@@ -1,0 +1,108 @@
+//! Criterion benches for the analysis engines: deterministic STA, SSTA,
+//! statistical leakage, and Monte Carlo throughput.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use statleak_bench::standard_setup;
+use statleak_leakage::LeakageAnalysis;
+use statleak_mc::{McConfig, MonteCarlo};
+use statleak_ssta::Ssta;
+use statleak_sta::Sta;
+use statleak_tech::VthClass;
+
+fn bench_sta(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sta");
+    for name in ["c432", "c1908", "c7552"] {
+        let (design, _) = standard_setup(name);
+        group.bench_function(format!("full/{name}"), |b| {
+            b.iter(|| std::hint::black_box(Sta::analyze(&design)))
+        });
+    }
+    // Incremental cone update after a Vth swap.
+    let (mut design, _) = standard_setup("c1908");
+    let g = design.circuit().gates().nth(200).expect("big circuit");
+    let sta = Sta::analyze(&design);
+    design.set_vth(g, VthClass::High);
+    group.bench_function("incremental/c1908", |b| {
+        b.iter_batched(
+            || sta.clone(),
+            |mut s| std::hint::black_box(s.recompute_cone(&design, &[g])),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_ssta(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ssta");
+    for name in ["c432", "c1908"] {
+        let (design, fm) = standard_setup(name);
+        group.bench_function(format!("full/{name}"), |b| {
+            b.iter(|| std::hint::black_box(Ssta::analyze(&design, &fm)))
+        });
+    }
+    let (mut design, fm) = standard_setup("c1908");
+    let g = design.circuit().gates().nth(200).expect("big circuit");
+    let ssta = Ssta::analyze(&design, &fm);
+    design.set_vth(g, VthClass::High);
+    group.bench_function("incremental/c1908", |b| {
+        b.iter_batched(
+            || ssta.clone(),
+            |mut s| std::hint::black_box(s.recompute_cone(&design, &fm, &[g])),
+            BatchSize::SmallInput,
+        )
+    });
+    let (design, fm) = standard_setup("c880");
+    let ssta = Ssta::analyze(&design, &fm);
+    group.bench_function("yield/c880", |b| {
+        b.iter(|| std::hint::black_box(ssta.timing_yield(1000.0)))
+    });
+    group.finish();
+}
+
+fn bench_leakage(c: &mut Criterion) {
+    let mut group = c.benchmark_group("leakage");
+    for name in ["c432", "c7552"] {
+        let (design, fm) = standard_setup(name);
+        group.bench_function(format!("analyze/{name}"), |b| {
+            b.iter(|| std::hint::black_box(LeakageAnalysis::analyze(&design, &fm)))
+        });
+        let leak = LeakageAnalysis::analyze(&design, &fm);
+        group.bench_function(format!("total_lognormal/{name}"), |b| {
+            b.iter(|| std::hint::black_box(leak.total_current()))
+        });
+    }
+    let (mut design, fm) = standard_setup("c7552");
+    let leak = LeakageAnalysis::analyze(&design, &fm);
+    let g = design.circuit().gates().nth(1000).expect("big circuit");
+    design.set_vth(g, VthClass::High);
+    group.bench_function("update_gate/c7552", |b| {
+        b.iter_batched(
+            || leak.clone(),
+            |mut l| std::hint::black_box(l.update_gate(&design, &fm, g)),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_mc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("monte_carlo");
+    group.sample_size(10);
+    let (design, fm) = standard_setup("c432");
+    group.bench_function("c432/200_samples", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                MonteCarlo::new(McConfig {
+                    samples: 200,
+                    seed: 1,
+                    threads: 0,
+                })
+                .run(&design, &fm),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sta, bench_ssta, bench_leakage, bench_mc);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Criterion benches for the optimizers: sizing, deterministic dual-Vth,
+//! and the statistical optimizer (tables T2's runtime column).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use statleak_bench::standard_setup;
+use statleak_opt::{sizing, DeterministicOptimizer, StatisticalOptimizer};
+
+fn bench_sizing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sizing");
+    group.sample_size(10);
+    let (design, fm) = standard_setup("c432");
+    let dmin = sizing::min_delay_estimate(&design);
+    group.bench_function("min_delay/c432", |b| {
+        b.iter_batched(
+            || design.clone(),
+            |mut d| std::hint::black_box(sizing::size_for_min_delay(&mut d)),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("for_delay/c432", |b| {
+        b.iter_batched(
+            || design.clone(),
+            |mut d| std::hint::black_box(sizing::size_for_delay(&mut d, dmin * 1.2)),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("for_yield/c432", |b| {
+        b.iter_batched(
+            || design.clone(),
+            |mut d| std::hint::black_box(sizing::size_for_yield(&mut d, &fm, dmin * 1.2, 0.95)),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_optimizers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimize");
+    group.sample_size(10);
+    for name in ["c432", "c880"] {
+        let (base, fm) = standard_setup(name);
+        let dmin = sizing::min_delay_estimate(&base);
+        let t = dmin * 1.2;
+
+        let mut det_start = base.clone();
+        sizing::size_for_delay(&mut det_start, t, ).expect("sizable");
+        group.bench_function(format!("deterministic/{name}"), |b| {
+            b.iter_batched(
+                || det_start.clone(),
+                |mut d| std::hint::black_box(DeterministicOptimizer::new(t).optimize(&mut d)),
+                BatchSize::SmallInput,
+            )
+        });
+
+        let mut stat_start = base.clone();
+        sizing::size_for_yield(&mut stat_start, &fm, t, 0.95).expect("sizable");
+        group.bench_function(format!("statistical/{name}"), |b| {
+            b.iter_batched(
+                || stat_start.clone(),
+                |mut d| {
+                    std::hint::black_box(
+                        StatisticalOptimizer::new(t)
+                            .with_yield_target(0.95)
+                            .optimize(&mut d, &fm),
+                    )
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_lr_sizing(c: &mut Criterion) {
+    use statleak_opt::{size_lagrangian, LrConfig};
+    let mut group = c.benchmark_group("lr_sizing");
+    group.sample_size(10);
+    let (base, _) = standard_setup("c432");
+    let dmin = sizing::min_delay_estimate(&base);
+    group.bench_function("c432", |b| {
+        b.iter_batched(
+            || base.clone(),
+            |mut d| std::hint::black_box(size_lagrangian(&mut d, &LrConfig::new(dmin * 1.2))),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sizing, bench_optimizers, bench_lr_sizing);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion benches for the substrates: circuit generation, `.bench`
+//! parsing, factor-model construction, and the statistics kernels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use statleak_netlist::generate::{generate, GenSpec};
+use statleak_netlist::{bench as benchio, benchmarks, placement::Placement};
+use statleak_stats::{clark_max, phi_inv, wilkinson_sum, LognormalTerm};
+use statleak_tech::{FactorModel, Technology, VariationConfig};
+
+fn bench_netlist(c: &mut Criterion) {
+    let mut group = c.benchmark_group("netlist");
+    group.bench_function("generate/c7552_class", |b| {
+        b.iter(|| std::hint::black_box(generate(&GenSpec::new("bench", 207, 108, 3512, 43))))
+    });
+    let c880 = benchmarks::by_name("c880").expect("known");
+    let text = benchio::write(&c880);
+    group.bench_function("parse_bench/c880", |b| {
+        b.iter(|| std::hint::black_box(benchio::parse("c880", &text).expect("round trip")))
+    });
+    group.bench_function("placement/c880", |b| {
+        b.iter(|| std::hint::black_box(Placement::by_level(&c880)))
+    });
+    group.finish();
+}
+
+fn bench_factor_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("factor_model");
+    let circuit = benchmarks::by_name("c3540").expect("known");
+    let placement = Placement::by_level(&circuit);
+    let tech = Technology::ptm100();
+    let cfg = VariationConfig::ptm100();
+    group.bench_function("build/c3540", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                FactorModel::build(&circuit, &placement, &tech, &cfg).expect("factors"),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_stats_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stats");
+    group.bench_function("clark_max", |b| {
+        b.iter(|| std::hint::black_box(clark_max(1.0, 2.0, 1.2, 1.5, 0.8)))
+    });
+    group.bench_function("phi_inv", |b| {
+        b.iter(|| std::hint::black_box(phi_inv(0.987)))
+    });
+    let terms: Vec<LognormalTerm> = (0..16)
+        .map(|i| LognormalTerm {
+            mu: -12.0 + 0.1 * i as f64,
+            factor_coeffs: vec![0.1; 17],
+            local_coeff: 0.2,
+        })
+        .collect();
+    group.bench_function("wilkinson_sum/16_terms", |b| {
+        b.iter(|| std::hint::black_box(wilkinson_sum(&terms)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_netlist, bench_factor_model, bench_stats_kernels);
+criterion_main!(benches);

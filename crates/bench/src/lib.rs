@@ -1,0 +1,58 @@
+//! Shared helpers for the `statleak` benchmark and reproduction harness.
+//!
+//! The interesting entry points are the `repro` binary (regenerates every
+//! table and figure of the reproduction — see `EXPERIMENTS.md`) and the
+//! Criterion benches under `benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use statleak_netlist::{benchmarks, placement::Placement, Circuit};
+use statleak_tech::{Design, FactorModel, Technology, VariationConfig};
+use std::sync::Arc;
+
+/// Builds the standard `(design, factor model)` pair for a benchmark with
+/// the default 100 nm variation budget.
+///
+/// # Panics
+///
+/// Panics if the benchmark name is unknown (these helpers are only used
+/// with the fixed suite).
+pub fn standard_setup(name: &str) -> (Design, FactorModel) {
+    let circuit: Arc<Circuit> =
+        Arc::new(benchmarks::by_name(name).unwrap_or_else(|| panic!("unknown benchmark {name}")));
+    let placement = Placement::by_level(&circuit);
+    let tech = Technology::ptm100();
+    let fm = FactorModel::build(&circuit, &placement, &tech, &VariationConfig::ptm100())
+        .expect("exponential-kernel correlation always factors");
+    (Design::new(circuit, tech), fm)
+}
+
+/// The benchmark list used in quick mode (small/medium circuits).
+pub fn quick_suite() -> Vec<&'static str> {
+    vec!["c432", "c499", "c880"]
+}
+
+/// The full evaluation suite (everything except c17).
+pub fn full_suite() -> Vec<&'static str> {
+    benchmarks::evaluation_names()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_setup_builds() {
+        let (d, fm) = standard_setup("c432");
+        assert_eq!(d.circuit().num_gates(), 160);
+        assert_eq!(fm.num_shared(), 17);
+    }
+
+    #[test]
+    fn suites_are_subsets_of_known() {
+        for n in quick_suite().into_iter().chain(full_suite()) {
+            assert!(benchmarks::spec(n).is_some(), "{n}");
+        }
+    }
+}

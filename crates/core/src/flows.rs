@@ -1,0 +1,669 @@
+//! The experiment flows.
+
+use statleak_leakage::LeakageAnalysis;
+use statleak_mc::{McConfig, MonteCarlo};
+use statleak_netlist::{benchmarks, placement::Placement, Circuit};
+use statleak_opt::{deterministic_for_yield, sizing, statistical_for_yield};
+use statleak_ssta::Ssta;
+use statleak_stats::{CholeskyError, Histogram};
+use statleak_tech::{Design, FactorModel, Technology, VariationConfig};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Errors surfaced by the flows.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlowError {
+    /// The named benchmark does not exist.
+    UnknownBenchmark(String),
+    /// The spatial-correlation matrix failed to factor.
+    Correlation(CholeskyError),
+    /// A sizing step could not reach its target.
+    Sizing(statleak_opt::SizeError),
+}
+
+impl std::fmt::Display for FlowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlowError::UnknownBenchmark(n) => write!(f, "unknown benchmark `{n}`"),
+            FlowError::Correlation(e) => write!(f, "correlation model: {e}"),
+            FlowError::Sizing(e) => write!(f, "sizing: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FlowError {}
+
+impl From<CholeskyError> for FlowError {
+    fn from(e: CholeskyError) -> Self {
+        FlowError::Correlation(e)
+    }
+}
+
+impl From<statleak_opt::SizeError> for FlowError {
+    fn from(e: statleak_opt::SizeError) -> Self {
+        FlowError::Sizing(e)
+    }
+}
+
+/// Configuration of one experiment flow.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowConfig {
+    /// Benchmark name (see [`statleak_netlist::benchmarks::SUITE`]).
+    pub benchmark: String,
+    /// Clock target as a multiple of the minimum achievable delay.
+    pub slack_factor: f64,
+    /// Timing-yield requirement `η`.
+    pub eta: f64,
+    /// Variation model.
+    pub variation: VariationConfig,
+    /// Monte-Carlo samples used for validation metrics (0 = skip MC).
+    pub mc_samples: usize,
+    /// Install placement-driven wire loads
+    /// ([`statleak_tech::wire::wire_caps_from_placement`]) instead of the
+    /// fixed-stub-only load model.
+    pub wire_loads: bool,
+}
+
+impl FlowConfig {
+    /// The default experiment configuration for a benchmark:
+    /// `T = 1.20·Dmin`, `η = 0.95`, the 100 nm variation budget, and
+    /// 2000 Monte-Carlo samples.
+    pub fn new(benchmark: impl Into<String>) -> Self {
+        Self {
+            benchmark: benchmark.into(),
+            slack_factor: 1.20,
+            eta: 0.95,
+            variation: VariationConfig::ptm100(),
+            mc_samples: 2000,
+            wire_loads: false,
+        }
+    }
+
+    /// A fast configuration for tests and doc examples (few MC samples).
+    pub fn quick(benchmark: impl Into<String>) -> Self {
+        Self {
+            mc_samples: 200,
+            ..Self::new(benchmark)
+        }
+    }
+}
+
+/// Prepared experiment state: circuit, factor model, delay targets.
+#[derive(Debug, Clone)]
+pub struct Setup {
+    /// The benchmark circuit.
+    pub circuit: Arc<Circuit>,
+    /// The factor model for the configured variation.
+    pub fm: FactorModel,
+    /// An unsized all-low-Vth base design.
+    pub base: Design,
+    /// Minimum achievable (nominal) delay, ps.
+    pub dmin: f64,
+    /// The clock target `slack_factor · dmin`, ps.
+    pub t_clk: f64,
+}
+
+/// Builds the experiment state for a configuration.
+///
+/// # Errors
+///
+/// Returns [`FlowError::UnknownBenchmark`] or a correlation-model error.
+pub fn prepare(cfg: &FlowConfig) -> Result<Setup, FlowError> {
+    // Combinational suite first, then the sequential (FF-cut) suite.
+    let circuit = benchmarks::by_name(&cfg.benchmark)
+        .or_else(|| benchmarks::sequential_by_name(&cfg.benchmark).map(|(c, _)| c))
+        .ok_or_else(|| FlowError::UnknownBenchmark(cfg.benchmark.clone()))?;
+    let circuit = Arc::new(circuit);
+    let placement = Placement::by_level(&circuit);
+    let tech = Technology::ptm100();
+    let fm = FactorModel::build(&circuit, &placement, &tech, &cfg.variation)?;
+    let mut base = Design::new(Arc::clone(&circuit), tech);
+    if cfg.wire_loads {
+        base.set_wire_caps(statleak_tech::wire::wire_caps_from_placement(
+            &circuit,
+            &placement,
+            &statleak_tech::wire::WireModel::ptm100(),
+        ));
+    }
+    let dmin = sizing::min_delay_estimate(&base);
+    Ok(Setup {
+        circuit,
+        fm,
+        base,
+        dmin,
+        t_clk: dmin * cfg.slack_factor,
+    })
+}
+
+/// Metrics of one optimized (or baseline) design.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignMetrics {
+    /// Nominal (no-variation) total leakage power, W.
+    pub leakage_nominal: f64,
+    /// Mean of the total leakage-power lognormal, W.
+    pub leakage_mean: f64,
+    /// 95th percentile of the total leakage-power lognormal, W.
+    pub leakage_p95: f64,
+    /// Analytical (SSTA) timing yield at the clock target.
+    pub timing_yield: f64,
+    /// Empirical Monte-Carlo yield (`None` if MC was skipped).
+    pub mc_yield: Option<f64>,
+    /// Empirical Monte-Carlo 95th-percentile leakage power, W.
+    pub mc_leakage_p95: Option<f64>,
+    /// Total gate width (area proxy).
+    pub width: f64,
+    /// Gates assigned high Vth.
+    pub high_vth: usize,
+    /// Optimization wall-clock time, seconds.
+    pub runtime_s: f64,
+}
+
+/// Measures a design against the clock target (and optionally MC).
+pub fn measure(
+    design: &Design,
+    fm: &FactorModel,
+    t_clk: f64,
+    mc_samples: usize,
+    runtime_s: f64,
+) -> DesignMetrics {
+    let ssta = Ssta::analyze(design, fm);
+    let power = LeakageAnalysis::analyze(design, fm).total_power(design);
+    let (mc_yield, mc_p95) = if mc_samples > 0 {
+        let mc = MonteCarlo::new(McConfig {
+            samples: mc_samples,
+            ..Default::default()
+        })
+        .run(design, fm);
+        let vdd = design.tech().vdd;
+        (
+            Some(mc.timing_yield(t_clk)),
+            Some(mc.leakage_percentile(0.95) * vdd),
+        )
+    } else {
+        (None, None)
+    };
+    DesignMetrics {
+        leakage_nominal: design.total_leakage_power_nominal(),
+        leakage_mean: power.mean(),
+        leakage_p95: power.quantile(0.95),
+        timing_yield: ssta.timing_yield(t_clk),
+        mc_yield,
+        mc_leakage_p95: mc_p95,
+        width: design.total_width(),
+        high_vth: design.high_vth_count(),
+        runtime_s,
+    }
+}
+
+/// Outcome of the headline three-way comparison (table T2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComparisonOutcome {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Minimum achievable delay, ps.
+    pub dmin: f64,
+    /// Clock target, ps.
+    pub t_clk: f64,
+    /// All-low-Vth design sized for the yield target (no optimization).
+    pub baseline: DesignMetrics,
+    /// Guard-banded deterministic dual-Vth + sizing at yield ≥ η.
+    pub deterministic: DesignMetrics,
+    /// Statistical dual-Vth + sizing at yield ≥ η.
+    pub statistical: DesignMetrics,
+    /// Guard band the deterministic flow selected.
+    pub det_guard_band: f64,
+    /// Extra saving of statistical over deterministic on p95 leakage,
+    /// `1 − p95_stat / p95_det`.
+    pub stat_extra_saving: f64,
+}
+
+/// Runs the headline comparison: baseline vs deterministic vs statistical
+/// at equal timing yield `η`.
+///
+/// # Errors
+///
+/// Returns [`FlowError`] on unknown benchmarks or infeasible sizing.
+pub fn run_comparison(cfg: &FlowConfig) -> Result<ComparisonOutcome, FlowError> {
+    let setup = prepare(cfg)?;
+    let Setup {
+        fm, base, dmin, t_clk, ..
+    } = setup;
+
+    // Baseline: size for the yield target, no leakage optimization.
+    let t0 = Instant::now();
+    let mut baseline = base.clone();
+    sizing::size_for_yield(&mut baseline, &fm, t_clk, cfg.eta)?;
+    let m_base = measure(&baseline, &fm, t_clk, cfg.mc_samples, t0.elapsed().as_secs_f64());
+
+    // Deterministic flow (best guard band for the yield target).
+    let t0 = Instant::now();
+    let det = deterministic_for_yield(&base, &fm, t_clk, cfg.eta, 6)?;
+    let m_det = measure(&det.design, &fm, t_clk, cfg.mc_samples, t0.elapsed().as_secs_f64());
+
+    // Statistical flow.
+    let t0 = Instant::now();
+    let stat = statistical_for_yield(&base, &fm, t_clk, cfg.eta)?;
+    let m_stat = measure(
+        &stat.design,
+        &fm,
+        t_clk,
+        cfg.mc_samples,
+        t0.elapsed().as_secs_f64(),
+    );
+
+    let extra = 1.0 - m_stat.leakage_p95 / m_det.leakage_p95;
+    Ok(ComparisonOutcome {
+        benchmark: cfg.benchmark.clone(),
+        dmin,
+        t_clk,
+        baseline: m_base,
+        deterministic: m_det,
+        statistical: m_stat,
+        det_guard_band: det.guard_band,
+        stat_extra_saving: extra,
+    })
+}
+
+/// One point of a delay-target sweep (table T3 / figure F2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// The swept parameter value (slack factor or sigma).
+    pub x: f64,
+    /// Deterministic p95 leakage power, W.
+    pub det_p95: f64,
+    /// Statistical p95 leakage power, W.
+    pub stat_p95: f64,
+    /// Timing yield the deterministic flow actually achieved (can fall
+    /// short of `η` at very tight clocks, where no guard band suffices).
+    pub det_yield: f64,
+    /// Timing yield the statistical flow achieved.
+    pub stat_yield: f64,
+    /// Extra saving of statistical over deterministic (only an
+    /// equal-yield comparison when both yields reach `η`).
+    pub extra_saving: f64,
+}
+
+/// Sweeps the clock target tightness (T3 / F2): for each slack factor,
+/// runs both flows at yield `η` and reports p95 leakage.
+///
+/// # Errors
+///
+/// Propagates [`FlowError`]; individual infeasible points are skipped.
+pub fn sweep_delay_target(
+    cfg: &FlowConfig,
+    slack_factors: &[f64],
+) -> Result<Vec<SweepPoint>, FlowError> {
+    let mut out = Vec::new();
+    for &sf in slack_factors {
+        let point_cfg = FlowConfig {
+            slack_factor: sf,
+            mc_samples: 0,
+            ..cfg.clone()
+        };
+        match run_comparison(&point_cfg) {
+            Ok(o) => out.push(SweepPoint {
+                x: sf,
+                det_p95: o.deterministic.leakage_p95,
+                stat_p95: o.statistical.leakage_p95,
+                det_yield: o.deterministic.timing_yield,
+                stat_yield: o.statistical.timing_yield,
+                extra_saving: o.stat_extra_saving,
+            }),
+            Err(FlowError::Sizing(_)) => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(out)
+}
+
+/// Sweeps the channel-length variation magnitude (F4).
+///
+/// # Errors
+///
+/// Propagates [`FlowError`]; individual infeasible points are skipped.
+pub fn sweep_sigma(cfg: &FlowConfig, sigmas: &[f64]) -> Result<Vec<SweepPoint>, FlowError> {
+    let mut out = Vec::new();
+    for &s in sigmas {
+        let point_cfg = FlowConfig {
+            variation: cfg.variation.with_sigma_l(s),
+            mc_samples: 0,
+            ..cfg.clone()
+        };
+        match run_comparison(&point_cfg) {
+            Ok(o) => out.push(SweepPoint {
+                x: s,
+                det_p95: o.deterministic.leakage_p95,
+                stat_p95: o.statistical.leakage_p95,
+                det_yield: o.deterministic.timing_yield,
+                stat_yield: o.statistical.timing_yield,
+                extra_saving: o.stat_extra_saving,
+            }),
+            Err(FlowError::Sizing(_)) => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(out)
+}
+
+/// Yield-vs-clock curves for the three designs (figure F3). Returns
+/// `(t_over_dmin, baseline, deterministic, statistical)` rows.
+///
+/// # Errors
+///
+/// Propagates [`FlowError`].
+pub fn yield_curves(
+    cfg: &FlowConfig,
+    t_grid: &[f64],
+) -> Result<Vec<(f64, f64, f64, f64)>, FlowError> {
+    let setup = prepare(cfg)?;
+    let mut baseline = setup.base.clone();
+    sizing::size_for_yield(&mut baseline, &setup.fm, setup.t_clk, cfg.eta)?;
+    let det = deterministic_for_yield(&setup.base, &setup.fm, setup.t_clk, cfg.eta, 6)?;
+    let stat = statistical_for_yield(&setup.base, &setup.fm, setup.t_clk, cfg.eta)?;
+    let ssta_b = Ssta::analyze(&baseline, &setup.fm);
+    let ssta_d = Ssta::analyze(&det.design, &setup.fm);
+    let ssta_s = Ssta::analyze(&stat.design, &setup.fm);
+    Ok(t_grid
+        .iter()
+        .map(|&k| {
+            let t = k * setup.dmin;
+            (
+                k,
+                ssta_b.timing_yield(t),
+                ssta_d.timing_yield(t),
+                ssta_s.timing_yield(t),
+            )
+        })
+        .collect())
+}
+
+/// Analytical-vs-Monte-Carlo validation of SSTA and the leakage lognormal
+/// (table T4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct McValidation {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// SSTA delay mean, ps.
+    pub ssta_mean: f64,
+    /// MC delay mean, ps.
+    pub mc_mean: f64,
+    /// SSTA delay sigma, ps.
+    pub ssta_sigma: f64,
+    /// MC delay sigma, ps.
+    pub mc_sigma: f64,
+    /// SSTA yield at the clock target.
+    pub ssta_yield: f64,
+    /// MC yield at the clock target.
+    pub mc_yield: f64,
+    /// Analytical leakage-power mean, W.
+    pub leak_mean: f64,
+    /// MC leakage-power mean, W.
+    pub mc_leak_mean: f64,
+    /// Analytical leakage-power p95, W.
+    pub leak_p95: f64,
+    /// MC leakage-power p95, W.
+    pub mc_leak_p95: f64,
+}
+
+/// Runs the T4 validation on the *sized baseline* design of a benchmark.
+///
+/// # Errors
+///
+/// Propagates [`FlowError`].
+pub fn mc_validation(cfg: &FlowConfig) -> Result<McValidation, FlowError> {
+    let setup = prepare(cfg)?;
+    let mut design = setup.base.clone();
+    sizing::size_for_yield(&mut design, &setup.fm, setup.t_clk, cfg.eta)?;
+    let ssta = Ssta::analyze(&design, &setup.fm);
+    let power = LeakageAnalysis::analyze(&design, &setup.fm).total_power(&design);
+    let mc = MonteCarlo::new(McConfig {
+        samples: cfg.mc_samples.max(100),
+        ..Default::default()
+    })
+    .run(&design, &setup.fm);
+    let vdd = design.tech().vdd;
+    let d = ssta.circuit_delay();
+    let md = mc.delay_summary();
+    let ml = mc.leakage_summary();
+    Ok(McValidation {
+        benchmark: cfg.benchmark.clone(),
+        ssta_mean: d.mean,
+        mc_mean: md.mean,
+        ssta_sigma: d.std(),
+        mc_sigma: md.std,
+        ssta_yield: ssta.timing_yield(setup.t_clk),
+        mc_yield: mc.timing_yield(setup.t_clk),
+        leak_mean: power.mean(),
+        mc_leak_mean: ml.mean * vdd,
+        leak_p95: power.quantile(0.95),
+        mc_leak_p95: ml.p95 * vdd,
+    })
+}
+
+/// Leakage-distribution data for figure F1: the baseline and the
+/// statistically optimized design, each with an MC histogram and the
+/// analytical lognormal parameters.
+#[derive(Debug, Clone)]
+pub struct DistributionData {
+    /// MC leakage-power samples of the sized baseline (W).
+    pub baseline_samples: Vec<f64>,
+    /// MC leakage-power samples of the optimized design (W).
+    pub optimized_samples: Vec<f64>,
+    /// Analytical lognormal of the baseline leakage power.
+    pub baseline_analytic: statleak_stats::LogNormal,
+    /// Analytical lognormal of the optimized leakage power.
+    pub optimized_analytic: statleak_stats::LogNormal,
+}
+
+impl DistributionData {
+    /// Histogram of the baseline samples.
+    pub fn baseline_histogram(&self, bins: usize) -> Histogram {
+        Histogram::from_samples(&self.baseline_samples, bins)
+    }
+
+    /// Histogram of the optimized samples.
+    pub fn optimized_histogram(&self, bins: usize) -> Histogram {
+        Histogram::from_samples(&self.optimized_samples, bins)
+    }
+}
+
+/// Produces the F1 distribution data.
+///
+/// # Errors
+///
+/// Propagates [`FlowError`].
+pub fn distribution(cfg: &FlowConfig) -> Result<DistributionData, FlowError> {
+    let setup = prepare(cfg)?;
+    let mut baseline = setup.base.clone();
+    sizing::size_for_yield(&mut baseline, &setup.fm, setup.t_clk, cfg.eta)?;
+    let stat = statistical_for_yield(&setup.base, &setup.fm, setup.t_clk, cfg.eta)?;
+    let vdd = setup.base.tech().vdd;
+    let run = |d: &Design| -> Vec<f64> {
+        MonteCarlo::new(McConfig {
+            samples: cfg.mc_samples.max(100),
+            ..Default::default()
+        })
+        .run(d, &setup.fm)
+        .chips()
+        .iter()
+        .map(|c| c.leakage * vdd)
+        .collect()
+    };
+    Ok(DistributionData {
+        baseline_samples: run(&baseline),
+        optimized_samples: run(&stat.design),
+        baseline_analytic: LeakageAnalysis::analyze(&baseline, &setup.fm).total_power(&baseline),
+        optimized_analytic: LeakageAnalysis::analyze(&stat.design, &setup.fm)
+            .total_power(&stat.design),
+    })
+}
+
+/// One ablation row (experiment A1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AblationRow {
+    /// Which model variant.
+    pub variant: String,
+    /// Circuit-delay sigma under the variant, ps.
+    pub delay_sigma: f64,
+    /// Leakage-power p95 under the variant, W.
+    pub leak_p95: f64,
+    /// Leakage sigma/mean under the variant.
+    pub leak_cv: f64,
+}
+
+/// Runs the modeling ablations on the sized baseline design: full model,
+/// no spatial correlation, no Vth–L coupling, and independent-sum leakage.
+///
+/// # Errors
+///
+/// Propagates [`FlowError`].
+pub fn ablation(cfg: &FlowConfig) -> Result<Vec<AblationRow>, FlowError> {
+    let setup = prepare(cfg)?;
+    let mut design = setup.base.clone();
+    sizing::size_for_yield(&mut design, &setup.fm, setup.t_clk, cfg.eta)?;
+    let placement = Placement::by_level(&setup.circuit);
+    let mut rows = Vec::new();
+
+    let mut add = |variant: &str, fm: &FactorModel, d: &Design, independent: bool| {
+        let ssta = Ssta::analyze(d, fm);
+        let leak = LeakageAnalysis::analyze(d, fm);
+        let power = if independent {
+            leak.total_current_independent().scale(d.tech().vdd)
+        } else {
+            leak.total_power(d)
+        };
+        rows.push(AblationRow {
+            variant: variant.to_string(),
+            delay_sigma: ssta.circuit_delay().std(),
+            leak_p95: power.quantile(0.95),
+            leak_cv: power.std() / power.mean(),
+        });
+    };
+
+    add("full model", &setup.fm, &design, false);
+
+    let fm_nospatial = FactorModel::build(
+        &setup.circuit,
+        &placement,
+        design.tech(),
+        &cfg.variation.without_spatial_correlation(),
+    )?;
+    add("no spatial correlation", &fm_nospatial, &design, false);
+
+    let mut tech_nocouple = design.tech().clone();
+    tech_nocouple.vth_l_coeff = 0.0;
+    let fm_nc = FactorModel::build(&setup.circuit, &placement, &tech_nocouple, &cfg.variation)?;
+    let design_nc = {
+        let mut d = Design::new(Arc::clone(&setup.circuit), tech_nocouple);
+        // Copy the baseline's implementation state.
+        for g in design.circuit().gates() {
+            d.set_size(g, design.size(g));
+            d.set_vth(g, design.vth(g));
+        }
+        d
+    };
+    add("no Vth-L coupling", &fm_nc, &design_nc, false);
+
+    add("independent-sum leakage", &setup.fm, &design, true);
+
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prepare_rejects_unknown() {
+        let cfg = FlowConfig::quick("c9999");
+        assert!(matches!(
+            prepare(&cfg),
+            Err(FlowError::UnknownBenchmark(_))
+        ));
+    }
+
+    #[test]
+    fn comparison_on_c432_shows_statistical_win() {
+        let cfg = FlowConfig {
+            mc_samples: 0,
+            ..FlowConfig::new("c432")
+        };
+        let o = run_comparison(&cfg).unwrap();
+        // Both optimizers beat the baseline massively.
+        assert!(o.deterministic.leakage_p95 < o.baseline.leakage_p95 * 0.7);
+        assert!(o.statistical.leakage_p95 < o.baseline.leakage_p95 * 0.7);
+        // Statistical wins at equal yield.
+        assert!(o.stat_extra_saving > 0.0, "extra saving {}", o.stat_extra_saving);
+        assert!(o.statistical.timing_yield >= cfg.eta - 1e-9);
+        assert!(o.deterministic.timing_yield >= cfg.eta - 1e-9);
+    }
+
+    #[test]
+    fn sweep_reports_monotone_pressure() {
+        let cfg = FlowConfig {
+            mc_samples: 0,
+            ..FlowConfig::new("c432")
+        };
+        let pts = sweep_delay_target(&cfg, &[1.10, 1.30]).unwrap();
+        assert_eq!(pts.len(), 2);
+        // Looser clock → lower leakage for both flows.
+        assert!(pts[1].det_p95 <= pts[0].det_p95 * 1.01);
+        assert!(pts[1].stat_p95 <= pts[0].stat_p95 * 1.01);
+    }
+
+    #[test]
+    fn yield_curves_monotone() {
+        let cfg = FlowConfig {
+            mc_samples: 0,
+            ..FlowConfig::quick("c432")
+        };
+        let rows = yield_curves(&cfg, &[1.0, 1.1, 1.2, 1.3]).unwrap();
+        for w in rows.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+            assert!(w[1].2 >= w[0].2);
+            assert!(w[1].3 >= w[0].3);
+        }
+    }
+
+    #[test]
+    fn mc_validation_errors_small() {
+        let cfg = FlowConfig {
+            mc_samples: 1500,
+            ..FlowConfig::new("c432")
+        };
+        let v = mc_validation(&cfg).unwrap();
+        assert!((v.ssta_mean - v.mc_mean).abs() / v.mc_mean < 0.03);
+        assert!((v.leak_mean - v.mc_leak_mean).abs() / v.mc_leak_mean < 0.05);
+        assert!((v.leak_p95 - v.mc_leak_p95).abs() / v.mc_leak_p95 < 0.10);
+        assert!((v.ssta_yield - v.mc_yield).abs() < 0.07);
+    }
+
+    #[test]
+    fn ablation_shows_expected_ordering() {
+        let cfg = FlowConfig {
+            mc_samples: 0,
+            ..FlowConfig::quick("c432")
+        };
+        let rows = ablation(&cfg).unwrap();
+        assert_eq!(rows.len(), 4);
+        let by = |name: &str| rows.iter().find(|r| r.variant == name).unwrap().clone();
+        let full = by("full model");
+        // Removing spatial correlation shrinks both delay and leakage
+        // spread (independent averaging).
+        assert!(by("no spatial correlation").delay_sigma < full.delay_sigma);
+        assert!(by("independent-sum leakage").leak_cv < full.leak_cv);
+        // Removing the Vth-L coupling shrinks the leakage spread.
+        assert!(by("no Vth-L coupling").leak_cv < full.leak_cv);
+    }
+
+    #[test]
+    fn distribution_samples_present() {
+        let cfg = FlowConfig::quick("c17");
+        let d = distribution(&cfg).unwrap();
+        assert_eq!(d.baseline_samples.len(), 200);
+        assert_eq!(d.optimized_samples.len(), 200);
+        // Optimization shifts the distribution left.
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(mean(&d.optimized_samples) < mean(&d.baseline_samples));
+    }
+}

@@ -1,0 +1,221 @@
+//! Joint parametric yield: timing **and** leakage together.
+//!
+//! A die is sellable only if it both meets the clock and stays inside its
+//! leakage-power budget. Because circuit delay and `ln I_total` are driven
+//! by the same channel-length factors with *opposite* signs (short
+//! channels are fast and leaky), the two constraints are strongly
+//! anti-correlated: the dies that fail leakage are concentrated among the
+//! dies that pass timing most comfortably. The joint yield is therefore
+//! well below the product of the marginals — and well modeled by a
+//! bivariate normal over `(D, ln I)` in the shared factor basis. This
+//! module computes it analytically and the Monte-Carlo engine provides the
+//! empirical cross-check (experiment T5 in `EXPERIMENTS.md`).
+
+use statleak_leakage::LeakageAnalysis;
+use statleak_ssta::Ssta;
+use statleak_stats::bivariate_normal_cdf;
+use statleak_tech::{Design, FactorModel};
+
+/// Analytical joint timing/leakage yield model for one design.
+#[derive(Debug, Clone)]
+pub struct JointYield {
+    delay_mean: f64,
+    delay_sigma: f64,
+    ln_leak_mu: f64,
+    ln_leak_sigma: f64,
+    /// Correlation between circuit delay and `ln I_total`.
+    correlation: f64,
+}
+
+impl JointYield {
+    /// Builds the joint model from fresh SSTA and leakage analyses.
+    pub fn analyze(design: &Design, fm: &FactorModel) -> Self {
+        let ssta = Ssta::analyze(design, fm);
+        let leak = LeakageAnalysis::analyze(design, fm);
+        Self::from_parts(&ssta, &leak)
+    }
+
+    /// Builds the joint model from existing analyses (e.g. inside an
+    /// optimizer loop where both are maintained incrementally).
+    pub fn from_parts(ssta: &Ssta, leak: &LeakageAnalysis) -> Self {
+        let d = ssta.circuit_delay();
+        let l = leak.total_current_factored();
+        // Cov(D, ln I) through the shared factors only.
+        let cov: f64 = d
+            .shared
+            .iter()
+            .zip(&l.shared)
+            .map(|(a, b)| a * b)
+            .sum();
+        let ds = d.std();
+        let ls = (l.shared.iter().map(|a| a * a).sum::<f64>() + l.local * l.local).sqrt();
+        let correlation = if ds == 0.0 || ls == 0.0 {
+            0.0
+        } else {
+            (cov / (ds * ls)).clamp(-1.0, 1.0)
+        };
+        Self {
+            delay_mean: d.mean,
+            delay_sigma: ds,
+            ln_leak_mu: l.mu,
+            ln_leak_sigma: ls,
+            correlation,
+        }
+    }
+
+    /// The modeled correlation between circuit delay and `ln I_total`
+    /// (strongly negative in this technology).
+    pub fn correlation(&self) -> f64 {
+        self.correlation
+    }
+
+    /// Marginal timing yield `P(D ≤ t_clk)`.
+    pub fn timing_yield(&self, t_clk: f64) -> f64 {
+        if self.delay_sigma == 0.0 {
+            return if self.delay_mean <= t_clk { 1.0 } else { 0.0 };
+        }
+        statleak_stats::phi((t_clk - self.delay_mean) / self.delay_sigma)
+    }
+
+    /// Marginal leakage yield `P(I_total ≤ i_max)` for a current budget in
+    /// amperes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i_max` is not strictly positive.
+    pub fn leakage_yield(&self, i_max: f64) -> f64 {
+        assert!(i_max > 0.0, "leakage budget must be positive");
+        if self.ln_leak_sigma == 0.0 {
+            return if self.ln_leak_mu <= i_max.ln() { 1.0 } else { 0.0 };
+        }
+        statleak_stats::phi((i_max.ln() - self.ln_leak_mu) / self.ln_leak_sigma)
+    }
+
+    /// Joint parametric yield `P(D ≤ t_clk ∧ I_total ≤ i_max)` from the
+    /// bivariate-normal model of `(D, ln I_total)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i_max` is not strictly positive.
+    pub fn joint_yield(&self, t_clk: f64, i_max: f64) -> f64 {
+        assert!(i_max > 0.0, "leakage budget must be positive");
+        if self.delay_sigma == 0.0 || self.ln_leak_sigma == 0.0 {
+            return self.timing_yield(t_clk) * self.leakage_yield(i_max);
+        }
+        let zx = (t_clk - self.delay_mean) / self.delay_sigma;
+        let zy = (i_max.ln() - self.ln_leak_mu) / self.ln_leak_sigma;
+        bivariate_normal_cdf(zx, zy, self.correlation)
+    }
+
+    /// The leakage budget (A) at which the joint yield reaches `eta`,
+    /// given the clock, found by bisection on the budget.
+    ///
+    /// Returns `None` if even an unbounded leakage budget (i.e. the
+    /// timing yield alone) cannot reach `eta`.
+    pub fn budget_for_yield(&self, t_clk: f64, eta: f64) -> Option<f64> {
+        if self.timing_yield(t_clk) < eta {
+            return None;
+        }
+        let mut lo = (self.ln_leak_mu - 10.0 * self.ln_leak_sigma).exp();
+        let mut hi = (self.ln_leak_mu + 10.0 * self.ln_leak_sigma).exp();
+        for _ in 0..200 {
+            let mid = (lo * hi).sqrt(); // geometric bisection: budget is log-scaled
+            if self.joint_yield(t_clk, mid) >= eta {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        Some(hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use statleak_mc::{McConfig, MonteCarlo};
+    use statleak_netlist::{benchmarks, placement::Placement};
+    use statleak_tech::{Technology, VariationConfig};
+    use std::sync::Arc;
+
+    fn setup(name: &str) -> (Design, FactorModel) {
+        let circuit = Arc::new(benchmarks::by_name(name).unwrap());
+        let placement = Placement::by_level(&circuit);
+        let tech = Technology::ptm100();
+        let fm =
+            FactorModel::build(&circuit, &placement, &tech, &VariationConfig::ptm100()).unwrap();
+        (Design::new(circuit, tech), fm)
+    }
+
+    #[test]
+    fn correlation_is_strongly_negative() {
+        let (d, fm) = setup("c880");
+        let j = JointYield::analyze(&d, &fm);
+        assert!(
+            j.correlation() < -0.4,
+            "delay and ln-leak must be anti-correlated, got {}",
+            j.correlation()
+        );
+    }
+
+    #[test]
+    fn joint_below_product_of_marginals() {
+        // With negative correlation, meeting both constraints is harder
+        // than independence predicts when both cuts bind.
+        let (d, fm) = setup("c432");
+        let j = JointYield::analyze(&d, &fm);
+        let ssta = Ssta::analyze(&d, &fm);
+        let t = ssta.clock_for_yield(0.90);
+        let leak = LeakageAnalysis::analyze(&d, &fm).total_current();
+        let i_max = leak.quantile(0.90);
+        let joint = j.joint_yield(t, i_max);
+        let product = j.timing_yield(t) * j.leakage_yield(i_max);
+        assert!(joint < product - 0.005, "joint {joint} vs product {product}");
+    }
+
+    #[test]
+    fn joint_matches_monte_carlo() {
+        let (d, fm) = setup("c499");
+        let j = JointYield::analyze(&d, &fm);
+        let mc = MonteCarlo::new(McConfig {
+            samples: 4000,
+            ..Default::default()
+        })
+        .run(&d, &fm);
+        let ssta = Ssta::analyze(&d, &fm);
+        let t = ssta.clock_for_yield(0.95);
+        let leak = LeakageAnalysis::analyze(&d, &fm).total_current();
+        for q in [0.80, 0.90, 0.97] {
+            let i_max = leak.quantile(q);
+            let analytic = j.joint_yield(t, i_max);
+            let empirical = mc.joint_yield(t, i_max);
+            assert!(
+                (analytic - empirical).abs() < 0.04,
+                "q={q}: analytic {analytic} vs MC {empirical}"
+            );
+        }
+    }
+
+    #[test]
+    fn marginals_recovered_at_loose_budgets() {
+        let (d, fm) = setup("c432");
+        let j = JointYield::analyze(&d, &fm);
+        let ssta = Ssta::analyze(&d, &fm);
+        let t = ssta.clock_for_yield(0.9);
+        let huge_budget = 1.0; // 1 A is effectively unconstrained
+        assert!((j.joint_yield(t, huge_budget) - j.timing_yield(t)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn budget_for_yield_inverts() {
+        let (d, fm) = setup("c432");
+        let j = JointYield::analyze(&d, &fm);
+        let ssta = Ssta::analyze(&d, &fm);
+        let t = ssta.clock_for_yield(0.99);
+        let budget = j.budget_for_yield(t, 0.90).expect("feasible");
+        assert!((j.joint_yield(t, budget) - 0.90).abs() < 1e-4);
+        // Infeasible when timing alone is below target.
+        let tight = ssta.clock_for_yield(0.50);
+        assert!(j.budget_for_yield(tight, 0.90).is_none());
+    }
+}

@@ -1,0 +1,45 @@
+//! End-to-end flows and reporting for the `statleak` reproduction.
+//!
+//! This crate assembles the substrates into the experiments the paper
+//! reports:
+//!
+//! * [`flows::prepare`] — benchmark → placement → factor model → minimum
+//!   delay → clock target;
+//! * [`flows::run_comparison`] — the headline three-way comparison at
+//!   equal timing yield: unoptimized baseline vs the guard-banded
+//!   deterministic flow vs the statistical flow (table T2);
+//! * [`flows::sweep_delay_target`], [`flows::sweep_sigma`] — parameter
+//!   sweeps (table T3, figures F2/F4);
+//! * [`flows::yield_curves`] — yield-vs-clock curves (figure F3);
+//! * [`flows::mc_validation`] — analytical-vs-Monte-Carlo accuracy
+//!   (table T4);
+//! * [`flows::distribution`] — leakage histograms before/after
+//!   optimization (figure F1);
+//! * [`flows::ablation`] — modeling ablations (experiment A1);
+//! * [`joint::JointYield`] — joint timing+leakage parametric yield
+//!   (experiment T5), an extension beyond the paper's single-constraint
+//!   formulation;
+//! * [`report`] — fixed-width console tables and CSV writers used by the
+//!   `repro` binary.
+//!
+//! # Example
+//!
+//! ```
+//! use statleak_core::flows::{self, FlowConfig};
+//!
+//! let cfg = FlowConfig::quick("c17");
+//! let outcome = flows::run_comparison(&cfg)?;
+//! // Statistical optimization never loses to deterministic at equal yield.
+//! assert!(outcome.statistical.leakage_p95 <= outcome.deterministic.leakage_p95 * 1.0001);
+//! # Ok::<(), statleak_core::FlowError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod flows;
+pub mod joint;
+pub mod report;
+
+pub use flows::{ComparisonOutcome, DesignMetrics, FlowConfig, FlowError};
+pub use joint::JointYield;

@@ -1,0 +1,268 @@
+//! Console tables and CSV writers for the experiment harness.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// A simple fixed-width console table.
+///
+/// ```
+/// use statleak_core::report::Table;
+/// let mut t = Table::new(&["circuit", "p95 (uW)"]);
+/// t.row(&["c432".to_string(), "12.3".to_string()]);
+/// let s = t.render();
+/// assert!(s.contains("c432"));
+/// assert!(s.lines().count() >= 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Self {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row has {} cells, table has {} columns",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Renders the table with padded columns and a separator line.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut width = vec![0usize; cols];
+        for (i, h) in self.headers.iter().enumerate() {
+            width[i] = h.chars().count();
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                width[i] = width[i].max(c.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], width: &[usize], out: &mut String| {
+            for (i, c) in cells.iter().enumerate() {
+                let pad = width[i] - c.chars().count();
+                let _ = write!(out, "{}{}", c, " ".repeat(pad));
+                if i + 1 < cells.len() {
+                    out.push_str("  ");
+                }
+            }
+            out.push('\n');
+        };
+        fmt_row(&self.headers, &width, &mut out);
+        let total: usize = width.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            fmt_row(row, &width, &mut out);
+        }
+        out
+    }
+
+    /// The number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Serializes the table as CSV (headers first).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the CSV form to a file, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_csv(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.to_csv())
+    }
+}
+
+/// Formats a power value in engineering units (W → µW/nW as appropriate).
+pub fn fmt_power(w: f64) -> String {
+    if w >= 1e-3 {
+        format!("{:.3} mW", w * 1e3)
+    } else if w >= 1e-6 {
+        format!("{:.3} uW", w * 1e6)
+    } else {
+        format!("{:.3} nW", w * 1e9)
+    }
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn fmt_pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["a", "bbbb"]);
+        t.row(&["xx".into(), "y".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0].len(), lines[2].len());
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let mut t = Table::new(&["x"]);
+        t.row(&["a,b".into()]);
+        assert!(t.to_csv().contains("\"a,b\""));
+    }
+
+    #[test]
+    fn csv_round_trips_headers() {
+        let t = Table::new(&["p95 (uW)", "yield"]);
+        assert!(t.to_csv().starts_with("p95 (uW),yield\n"));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn power_units() {
+        assert_eq!(fmt_power(2.5e-3), "2.500 mW");
+        assert_eq!(fmt_power(2.5e-6), "2.500 uW");
+        assert_eq!(fmt_power(2.5e-9), "2.500 nW");
+    }
+
+    #[test]
+    fn pct_format() {
+        assert_eq!(fmt_pct(0.1234), "12.3%");
+    }
+
+    #[test]
+    #[should_panic(expected = "row has 1 cells")]
+    fn row_arity_checked() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["only".into()]);
+    }
+}
+
+/// Renders a sign-off-style path timing report for the `k` worst paths:
+/// per-stage delay increments, cell bindings (kind, size, Vth), arrival
+/// totals, and slack against the clock.
+pub fn timing_report(
+    design: &statleak_tech::Design,
+    sta: &statleak_sta::Sta,
+    t_clk: f64,
+    k: usize,
+) -> String {
+    let mut out = String::new();
+    let circuit = design.circuit();
+    for (pi, path) in sta.top_paths(design, k).iter().enumerate() {
+        let start = circuit.node(path.nodes[0]).name.as_str();
+        let end = circuit.node(*path.nodes.last().expect("non-empty path")).name.as_str();
+        let _ = writeln!(out, "Path {} — startpoint {start} (input), endpoint {end} (output)", pi + 1);
+        let _ = writeln!(out, "  {:<12} {:<18} {:>10} {:>10}", "point", "cell", "incr(ps)", "path(ps)");
+        let mut total = 0.0;
+        for &u in &path.nodes {
+            let node = circuit.node(u);
+            if node.kind.is_gate() {
+                let d = design.gate_delay_nominal(u);
+                total += d;
+                let cell = format!(
+                    "{}{} X{} {}",
+                    node.kind,
+                    node.fanin.len(),
+                    design.size(u),
+                    design.vth(u)
+                );
+                let _ = writeln!(out, "  {:<12} {:<18} {:>10.2} {:>10.2}", node.name, cell, d, total);
+            } else {
+                let _ = writeln!(out, "  {:<12} {:<18} {:>10.2} {:>10.2}", node.name, "(input)", 0.0, 0.0);
+            }
+        }
+        let _ = writeln!(out, "  arrival {total:>38.2}");
+        let _ = writeln!(out, "  required {t_clk:>37.2}");
+        let _ = writeln!(out, "  slack {:>40.2}\n", t_clk - total);
+    }
+    out
+}
+
+#[cfg(test)]
+mod timing_report_tests {
+    use super::*;
+    use statleak_netlist::benchmarks;
+    use statleak_sta::Sta;
+    use statleak_tech::{Design, Technology};
+    use std::sync::Arc;
+
+    #[test]
+    fn report_contains_paths_and_slack() {
+        let design = Design::new(
+            Arc::new(benchmarks::by_name("c432").unwrap()),
+            Technology::ptm100(),
+        );
+        let sta = Sta::analyze(&design);
+        let t = sta.circuit_delay() * 1.1;
+        let text = timing_report(&design, &sta, t, 3);
+        assert_eq!(text.matches("Path ").count(), 3);
+        assert!(text.contains("slack"));
+        assert!(text.contains("(input)"));
+        // Worst path slack = t - circuit delay.
+        let expect = t - sta.circuit_delay();
+        assert!(text.contains(&format!("{expect:.2}")));
+    }
+
+    #[test]
+    fn report_cells_show_bindings() {
+        let design = Design::new(Arc::new(benchmarks::c17()), Technology::ptm100());
+        let sta = Sta::analyze(&design);
+        let text = timing_report(&design, &sta, 100.0, 1);
+        assert!(text.contains("NAND2 X1 L"));
+    }
+}

@@ -1,0 +1,92 @@
+//! Property-based tests for the core flows and joint-yield model.
+
+use proptest::prelude::*;
+use statleak_core::joint::JointYield;
+use statleak_core::report::{fmt_pct, fmt_power, Table};
+use statleak_leakage::LeakageAnalysis;
+use statleak_netlist::generate::{generate, GenSpec};
+use statleak_netlist::placement::Placement;
+use statleak_ssta::Ssta;
+use statleak_tech::{Design, FactorModel, Technology, VariationConfig};
+use std::sync::Arc;
+
+fn random_design(seed: u64) -> (Design, FactorModel) {
+    let mut spec = GenSpec::new(format!("core_prop{seed}"), 6, 3, 35, 6);
+    spec.seed = seed;
+    let circuit = Arc::new(generate(&spec));
+    let placement = Placement::by_level(&circuit);
+    let tech = Technology::ptm100();
+    let fm =
+        FactorModel::build(&circuit, &placement, &tech, &VariationConfig::ptm100()).expect("fm");
+    (Design::new(circuit, tech), fm)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Joint yield is bounded by both marginals and by the Fréchet bounds.
+    #[test]
+    fn joint_yield_frechet_bounds(seed in 0u64..400, qt in 0.5..0.99f64, ql in 0.5..0.99f64) {
+        let (d, fm) = random_design(seed);
+        let j = JointYield::analyze(&d, &fm);
+        let ssta = Ssta::analyze(&d, &fm);
+        let t = ssta.clock_for_yield(qt);
+        let leak = LeakageAnalysis::analyze(&d, &fm).total_current();
+        let i_max = leak.quantile(ql);
+        let yt = j.timing_yield(t);
+        let yl = j.leakage_yield(i_max);
+        let joint = j.joint_yield(t, i_max);
+        prop_assert!(joint <= yt.min(yl) + 1e-6, "joint {joint} vs min marginal");
+        prop_assert!(joint >= (yt + yl - 1.0).max(0.0) - 1e-6, "joint {joint} below Frechet");
+    }
+
+    /// Joint yield is monotone in both budgets.
+    #[test]
+    fn joint_yield_monotone(seed in 0u64..400) {
+        let (d, fm) = random_design(seed);
+        let j = JointYield::analyze(&d, &fm);
+        let ssta = Ssta::analyze(&d, &fm);
+        let leak = LeakageAnalysis::analyze(&d, &fm).total_current();
+        let t1 = ssta.clock_for_yield(0.7);
+        let t2 = ssta.clock_for_yield(0.9);
+        let i1 = leak.quantile(0.7);
+        let i2 = leak.quantile(0.9);
+        prop_assert!(j.joint_yield(t2, i1) >= j.joint_yield(t1, i1) - 1e-9);
+        prop_assert!(j.joint_yield(t1, i2) >= j.joint_yield(t1, i1) - 1e-9);
+    }
+
+    /// The modeled delay/ln-leak correlation is always in [-1, 0) for this
+    /// technology (roll-off makes it strictly negative).
+    #[test]
+    fn correlation_always_negative(seed in 0u64..400) {
+        let (d, fm) = random_design(seed);
+        let j = JointYield::analyze(&d, &fm);
+        prop_assert!(j.correlation() <= 0.0);
+        prop_assert!(j.correlation() >= -1.0);
+    }
+
+    /// Table rendering never panics and stays rectangular for arbitrary
+    /// cell content.
+    #[test]
+    fn tables_render_for_arbitrary_content(
+        cells in prop::collection::vec("[a-zA-Z0-9,\" .%-]{0,20}", 1..20),
+    ) {
+        let mut t = Table::new(&["a", "b"]);
+        for pair in cells.chunks(2) {
+            if pair.len() == 2 {
+                t.row(&[pair[0].clone(), pair[1].clone()]);
+            }
+        }
+        let rendered = t.render();
+        prop_assert!(rendered.lines().count() >= 2);
+        let csv = t.to_csv();
+        prop_assert!(csv.lines().count() == t.len() + 1);
+    }
+
+    /// Power/percentage formatting is total (never panics) over wide ranges.
+    #[test]
+    fn formatting_total(w in 1e-12..1.0f64, p in -2.0..2.0f64) {
+        let _ = fmt_power(w);
+        let _ = fmt_pct(p);
+    }
+}

@@ -1,0 +1,449 @@
+//! Full-chip statistical leakage analysis.
+//!
+//! Each gate's sub-threshold leakage is an *exact* lognormal in this
+//! model (see [`statleak_tech::cell::ln_leakage`]): its ln-space form is an
+//! affine function of the shared channel-length factors plus a gate-local
+//! term. The full-chip leakage is the sum of these correlated lognormals.
+//!
+//! Summation strategy (accuracy *and* speed):
+//!
+//! 1. gates are grouped by spatial-correlation **region** — by
+//!    construction every gate in a region has the *same* ln-space
+//!    sensitivity vector, so a region's subtotal keeps that vector and its
+//!    first two moments are available in closed form;
+//! 2. region subtotals (≤ `grid²` of them) are combined by
+//!    Fenton–Wilkinson moment matching ([`statleak_stats::wilkinson_sum`]),
+//!    which handles the cross-region correlation through the shared
+//!    factors.
+//!
+//! The analysis maintains per-region running sums, so a single-gate change
+//! (Vth swap or resize — the optimizer's moves) is an O(grid²) update with
+//! an exact undo, which is what makes statistical-objective greedy
+//! optimization tractable.
+//!
+//! # Example
+//!
+//! ```
+//! use statleak_netlist::{benchmarks, placement::Placement};
+//! use statleak_tech::{Design, FactorModel, Technology, VariationConfig};
+//! use statleak_leakage::LeakageAnalysis;
+//! use std::sync::Arc;
+//!
+//! let circuit = Arc::new(benchmarks::by_name("c432").expect("known"));
+//! let placement = Placement::by_level(&circuit);
+//! let tech = Technology::ptm100();
+//! let fm = FactorModel::build(&circuit, &placement, &tech, &VariationConfig::ptm100())?;
+//! let design = Design::new(circuit, tech);
+//! let leak = LeakageAnalysis::analyze(&design, &fm);
+//! let total = leak.total_current();
+//! // The 95th percentile exceeds the mean: leakage has a heavy upper tail.
+//! assert!(total.quantile(0.95) > total.mean());
+//! # Ok::<(), statleak_stats::CholeskyError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use statleak_netlist::NodeId;
+use statleak_stats::{wilkinson_sum, LogNormal, LognormalTerm};
+use statleak_tech::{cell, Design, FactorModel};
+
+/// The per-gate lognormal leakage description in the shared factor basis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateLeakage {
+    /// ln-space mean, `ln I_nom`.
+    pub mu: f64,
+    /// ln-space sensitivities to the shared factors.
+    pub shared: Vec<f64>,
+    /// ln-space gate-local sigma.
+    pub local: f64,
+}
+
+impl GateLeakage {
+    /// This gate's leakage as a standalone [`LogNormal`] (current, A).
+    pub fn to_lognormal(&self) -> LogNormal {
+        let v = self.shared.iter().map(|a| a * a).sum::<f64>() + self.local * self.local;
+        LogNormal::new(self.mu, v.sqrt())
+    }
+}
+
+/// Builds the ln-space leakage description of one gate.
+pub fn gate_leakage(design: &Design, fm: &FactorModel, id: NodeId) -> GateLeakage {
+    let node = design.circuit().node(id);
+    debug_assert!(node.kind.is_gate(), "inputs do not leak");
+    let (ln_nom, dln_dl, dln_dvth) = cell::ln_leakage(
+        design.tech(),
+        node.kind,
+        node.fanin.len(),
+        design.size(id),
+        design.vth(id),
+    );
+    let shared: Vec<f64> = fm.l_shared(id).iter().map(|a| dln_dl * a).collect();
+    let local =
+        ((dln_dl * fm.l_local(id)).powi(2) + (dln_dvth * fm.vth_local(id)).powi(2)).sqrt();
+    GateLeakage {
+        mu: ln_nom,
+        shared,
+        local,
+    }
+}
+
+/// Undo token for [`LeakageAnalysis::update_gate`]. Snapshots the affected
+/// region's running sums so the rollback is bit-exact (no accumulated
+/// floating-point drift across long optimizer runs).
+#[derive(Debug, Clone, Copy)]
+pub struct LeakUndo {
+    gate: u32,
+    old_mean: f64,
+    old_region_sum: f64,
+    old_region_sum_sq: f64,
+}
+
+/// Full-chip statistical leakage state with incremental updates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LeakageAnalysis {
+    /// Linear-space mean leakage current of each gate (0 for inputs).
+    gate_mean: Vec<f64>,
+    /// Region index per gate (cached from the factor model).
+    region: Vec<usize>,
+    /// Per-region Σ mean and Σ mean².
+    region_sum: Vec<f64>,
+    region_sum_sq: Vec<f64>,
+    /// Per-region ln-space shared coefficient vector (identical for every
+    /// gate in the region by construction).
+    region_shared: Vec<Vec<f64>>,
+    /// ln-space shared variance per region.
+    region_v_shared: Vec<f64>,
+    /// ln-space gate-local variance (identical for all gates).
+    v_local: f64,
+    /// Ratio mean/I_nom (constant across gates: `exp(v_total/2)`).
+    mean_over_nominal: f64,
+}
+
+impl LeakageAnalysis {
+    /// Analyzes the design: computes every gate's lognormal and the
+    /// region-aggregated summation state.
+    pub fn analyze(design: &Design, fm: &FactorModel) -> Self {
+        let circuit = design.circuit();
+        let n = circuit.num_nodes();
+        let num_regions = fm.num_shared() - 1;
+        let mut this = Self {
+            gate_mean: vec![0.0; n],
+            region: vec![0; n],
+            region_sum: vec![0.0; num_regions],
+            region_sum_sq: vec![0.0; num_regions],
+            region_shared: vec![Vec::new(); num_regions],
+            region_v_shared: vec![0.0; num_regions],
+            v_local: 0.0,
+            mean_over_nominal: 1.0,
+        };
+        let mut v_local_set = false;
+        for id in circuit.gates() {
+            let gl = gate_leakage(design, fm, id);
+            let r = fm.region(id);
+            this.region[id.index()] = r;
+            if this.region_shared[r].is_empty() {
+                this.region_v_shared[r] = gl.shared.iter().map(|a| a * a).sum();
+                this.region_shared[r] = gl.shared.clone();
+            }
+            if !v_local_set {
+                this.v_local = gl.local * gl.local;
+                v_local_set = true;
+            }
+            let v_total = this.region_v_shared[r] + this.v_local;
+            let mean = (gl.mu + 0.5 * v_total).exp();
+            this.gate_mean[id.index()] = mean;
+            this.region_sum[r] += mean;
+            this.region_sum_sq[r] += mean * mean;
+            this.mean_over_nominal = (0.5 * v_total).exp();
+        }
+        this
+    }
+
+    /// The mean leakage current of one gate (A).
+    #[inline]
+    pub fn gate_mean_current(&self, id: NodeId) -> f64 {
+        self.gate_mean[id.index()]
+    }
+
+    /// Total chip leakage **current** as a lognormal (A).
+    ///
+    /// Region subtotals are moment-matched keeping their shared factor
+    /// vector; the cross-region sum is a Wilkinson combination.
+    pub fn total_current(&self) -> LogNormal {
+        let mut terms = Vec::new();
+        for r in 0..self.region_sum.len() {
+            if self.region_sum[r] <= 0.0 {
+                continue;
+            }
+            let m = self.region_sum[r];
+            let m2 = self.region_sum_sq[r];
+            let v_sh = self.region_v_shared[r];
+            // Exact region second moment: cross terms share v_sh, diagonal
+            // adds the local variance.
+            let second = v_sh.exp() * (m * m - m2) + (v_sh + self.v_local).exp() * m2;
+            let var = (second - m * m).max(0.0);
+            let ln_var_total = (1.0 + var / (m * m)).ln();
+            let local = (ln_var_total - v_sh).max(0.0).sqrt();
+            terms.push(LognormalTerm {
+                mu: m.ln() - 0.5 * ln_var_total,
+                factor_coeffs: self.region_shared[r].clone(),
+                local_coeff: local,
+            });
+        }
+        assert!(!terms.is_empty(), "design has no leaking gates");
+        wilkinson_sum(&terms)
+    }
+
+    /// Total chip leakage **power** as a lognormal (W), `vdd · I_total`.
+    pub fn total_power(&self, design: &Design) -> LogNormal {
+        self.total_current().scale(design.tech().vdd)
+    }
+
+    /// Ablation: the total-current lognormal if all gates were treated as
+    /// mutually independent (shared variance folded into the local term).
+    /// Under-estimates the variance — the comparison is experiment A1.
+    pub fn total_current_independent(&self) -> LogNormal {
+        let mut mean = 0.0;
+        let mut var = 0.0;
+        for r in 0..self.region_sum.len() {
+            if self.region_sum[r] <= 0.0 {
+                continue;
+            }
+            let v_total = self.region_v_shared[r] + self.v_local;
+            // Treat every gate as independent lognormal with variance
+            // m²(e^{v}−1).
+            mean += self.region_sum[r];
+            var += self.region_sum_sq[r] * (v_total.exp() - 1.0);
+        }
+        LogNormal::from_moments(mean, var)
+    }
+
+    /// Applies a single-gate change (the gate's nominal leakage changed via
+    /// a Vth swap or resize) and returns an undo token.
+    pub fn update_gate(&mut self, design: &Design, fm: &FactorModel, id: NodeId) -> LeakUndo {
+        let gl = gate_leakage(design, fm, id);
+        let r = self.region[id.index()];
+        let v_total = self.region_v_shared[r] + self.v_local;
+        let new_mean = (gl.mu + 0.5 * v_total).exp();
+        let old_mean = self.gate_mean[id.index()];
+        let undo = LeakUndo {
+            gate: id.0,
+            old_mean,
+            old_region_sum: self.region_sum[r],
+            old_region_sum_sq: self.region_sum_sq[r],
+        };
+        self.region_sum[r] += new_mean - old_mean;
+        self.region_sum_sq[r] += new_mean * new_mean - old_mean * old_mean;
+        self.gate_mean[id.index()] = new_mean;
+        undo
+    }
+
+    /// Rolls back an [`LeakageAnalysis::update_gate`] bit-exactly.
+    pub fn undo(&mut self, undo: LeakUndo) {
+        let i = undo.gate as usize;
+        let r = self.region[i];
+        self.region_sum[r] = undo.old_region_sum;
+        self.region_sum_sq[r] = undo.old_region_sum_sq;
+        self.gate_mean[i] = undo.old_mean;
+    }
+
+    /// Sum of gate mean currents (the mean of the total, exactly).
+    pub fn mean_total_current(&self) -> f64 {
+        self.region_sum.iter().sum()
+    }
+
+    /// The total-current lognormal **with its factor structure**: the
+    /// ln-space sensitivities of `ln I_total` to each shared factor
+    /// (mean-weighted first-order attribution) plus a residual local term
+    /// sized so the total variance matches the Wilkinson result.
+    ///
+    /// This is what joint timing/leakage yield needs: the covariance
+    /// between circuit delay and `ln I_total` follows from dotting this
+    /// vector with the delay canonical's sensitivities.
+    pub fn total_current_factored(&self) -> GateLeakage {
+        let total = self.total_current();
+        let m: f64 = self.mean_total_current();
+        assert!(m > 0.0, "design has no leaking gates");
+        let num_factors = self
+            .region_shared
+            .iter()
+            .map(Vec::len)
+            .max()
+            .unwrap_or(0);
+        let mut shared = vec![0.0; num_factors];
+        for r in 0..self.region_sum.len() {
+            if self.region_sum[r] <= 0.0 {
+                continue;
+            }
+            let w = self.region_sum[r] / m;
+            for (k, &c) in self.region_shared[r].iter().enumerate() {
+                shared[k] += w * c;
+            }
+        }
+        let sigma2 = total.sigma() * total.sigma();
+        let shared_var: f64 = shared.iter().map(|a| a * a).sum();
+        let local = (sigma2 - shared_var).max(0.0).sqrt();
+        GateLeakage {
+            mu: total.mu(),
+            shared,
+            local,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use statleak_netlist::{benchmarks, placement::Placement};
+    use statleak_tech::{Technology, VariationConfig, VthClass};
+    use std::sync::Arc;
+
+    fn setup(name: &str) -> (Design, FactorModel) {
+        let circuit = Arc::new(benchmarks::by_name(name).unwrap());
+        let placement = Placement::by_level(&circuit);
+        let tech = Technology::ptm100();
+        let fm =
+            FactorModel::build(&circuit, &placement, &tech, &VariationConfig::ptm100()).unwrap();
+        (Design::new(circuit, tech), fm)
+    }
+
+    #[test]
+    fn mean_exceeds_nominal() {
+        // E[lognormal] = nominal · e^{v/2} > nominal.
+        let (d, fm) = setup("c432");
+        let leak = LeakageAnalysis::analyze(&d, &fm);
+        let nominal: f64 = d.circuit().gates().map(|g| d.gate_leakage_nominal(g)).sum();
+        let mean = leak.mean_total_current();
+        assert!(mean > nominal, "{mean} vs nominal {nominal}");
+        assert!(mean < nominal * 1.5, "{mean} vs nominal {nominal}");
+    }
+
+    #[test]
+    fn total_matches_componentwise_mean() {
+        let (d, fm) = setup("c880");
+        let leak = LeakageAnalysis::analyze(&d, &fm);
+        let total = leak.total_current();
+        assert!(
+            (total.mean() - leak.mean_total_current()).abs() / total.mean() < 1e-9,
+            "wilkinson mean must be exact"
+        );
+    }
+
+    #[test]
+    fn correlated_variance_exceeds_independent() {
+        let (d, fm) = setup("c880");
+        let leak = LeakageAnalysis::analyze(&d, &fm);
+        let corr = leak.total_current();
+        let ind = leak.total_current_independent();
+        assert!((corr.mean() - ind.mean()).abs() / corr.mean() < 1e-9);
+        assert!(corr.variance() > ind.variance() * 2.0);
+    }
+
+    #[test]
+    fn high_vth_reduces_mean_and_p95() {
+        let (mut d, fm) = setup("c432");
+        let before = LeakageAnalysis::analyze(&d, &fm).total_current();
+        let gates: Vec<_> = d.circuit().gates().collect();
+        for g in gates {
+            d.set_vth(g, VthClass::High);
+        }
+        let after = LeakageAnalysis::analyze(&d, &fm).total_current();
+        assert!(after.mean() < before.mean() / 10.0);
+        assert!(after.quantile(0.95) < before.quantile(0.95) / 10.0);
+    }
+
+    #[test]
+    fn incremental_update_matches_reanalysis() {
+        let (mut d, fm) = setup("c499");
+        let mut leak = LeakageAnalysis::analyze(&d, &fm);
+        let g = d.circuit().gates().nth(17).unwrap();
+        d.set_vth(g, VthClass::High);
+        leak.update_gate(&d, &fm, g);
+        let fresh = LeakageAnalysis::analyze(&d, &fm);
+        let a = leak.total_current();
+        let b = fresh.total_current();
+        assert!((a.mean() - b.mean()).abs() / b.mean() < 1e-12);
+        assert!((a.sigma() - b.sigma()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn undo_restores_exactly() {
+        let (mut d, fm) = setup("c499");
+        let mut leak = LeakageAnalysis::analyze(&d, &fm);
+        let snapshot = leak.clone();
+        let g = d.circuit().gates().nth(3).unwrap();
+        d.set_size(g, 6.0);
+        let undo = leak.update_gate(&d, &fm, g);
+        assert_ne!(leak, snapshot);
+        leak.undo(undo);
+        // Floating-point restoration is exact because we store the old mean.
+        assert!((leak.mean_total_current() - snapshot.mean_total_current()).abs() < 1e-18);
+        assert_eq!(leak.gate_mean, snapshot.gate_mean);
+    }
+
+    #[test]
+    fn sigma_over_mean_in_expected_range() {
+        // Chip-level sigma/mean for the default budget: partial correlation
+        // keeps it well above the independent limit but below single-gate.
+        let (d, fm) = setup("c1355");
+        let leak = LeakageAnalysis::analyze(&d, &fm);
+        let t = leak.total_current();
+        let cv = t.std() / t.mean();
+        assert!(cv > 0.10 && cv < 0.80, "cv = {cv}");
+    }
+
+    #[test]
+    fn power_is_vdd_times_current() {
+        let (d, fm) = setup("c17");
+        let leak = LeakageAnalysis::analyze(&d, &fm);
+        let i = leak.total_current();
+        let p = leak.total_power(&d);
+        assert!((p.mean() - i.mean() * d.tech().vdd).abs() < 1e-18);
+    }
+
+    #[test]
+    fn against_monte_carlo() {
+        // Sample the exact per-gate lognormals through the factor model and
+        // compare the analytical total to the empirical distribution.
+        use rand::{Rng, SeedableRng};
+        let (d, fm) = setup("c432");
+        let leak = LeakageAnalysis::analyze(&d, &fm);
+        let analytic = leak.total_current();
+
+        let gates: Vec<_> = d.circuit().gates().collect();
+        let gls: Vec<GateLeakage> = gates.iter().map(|&g| gate_leakage(&d, &fm, g)).collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let mut draw = |rng: &mut rand::rngs::StdRng| {
+            let u1: f64 = rng.gen_range(1e-12..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+        };
+        let n = 20_000;
+        let mut samples = Vec::with_capacity(n);
+        for _ in 0..n {
+            let z: Vec<f64> = (0..fm.num_shared()).map(|_| draw(&mut rng)).collect();
+            let mut total = 0.0;
+            for gl in &gls {
+                let g: f64 = gl.shared.iter().zip(&z).map(|(a, zz)| a * zz).sum();
+                total += (gl.mu + g + gl.local * draw(&mut rng)).exp();
+            }
+            samples.push(total);
+        }
+        samples.sort_by(f64::total_cmp);
+        let mc_mean = samples.iter().sum::<f64>() / n as f64;
+        let mc_p95 = samples[(0.95 * n as f64) as usize];
+        assert!(
+            (analytic.mean() - mc_mean).abs() / mc_mean < 0.02,
+            "mean {} vs MC {}",
+            analytic.mean(),
+            mc_mean
+        );
+        assert!(
+            (analytic.quantile(0.95) - mc_p95).abs() / mc_p95 < 0.05,
+            "p95 {} vs MC {}",
+            analytic.quantile(0.95),
+            mc_p95
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests for statistical leakage analysis.
+
+use proptest::prelude::*;
+use statleak_leakage::LeakageAnalysis;
+use statleak_netlist::generate::{generate, GenSpec};
+use statleak_netlist::placement::Placement;
+use statleak_tech::{Design, FactorModel, Technology, VariationConfig, VthClass};
+use std::sync::Arc;
+
+fn setup(seed: u64) -> (Design, FactorModel) {
+    let mut spec = GenSpec::new(format!("leak_prop{seed}"), 6, 3, 40, 7);
+    spec.seed = seed;
+    let circuit = Arc::new(generate(&spec));
+    let placement = Placement::by_level(&circuit);
+    let tech = Technology::ptm100();
+    let fm =
+        FactorModel::build(&circuit, &placement, &tech, &VariationConfig::ptm100()).expect("fm");
+    (Design::new(circuit, tech), fm)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn incremental_updates_match_fresh_analysis(
+        seed in 0u64..300,
+        moves in prop::collection::vec((0usize..40, 0usize..4), 1..10),
+    ) {
+        let (mut design, fm) = setup(seed);
+        let mut leak = LeakageAnalysis::analyze(&design, &fm);
+        let gates: Vec<_> = design.circuit().gates().collect();
+        for (gi, action) in moves {
+            let g = gates[gi % gates.len()];
+            match action {
+                0 => design.set_vth(g, VthClass::High),
+                1 => design.set_vth(g, VthClass::Low),
+                2 => {
+                    if let Some(up) = design.tech().size_up(design.size(g)) {
+                        design.set_size(g, up);
+                    }
+                }
+                _ => {
+                    if let Some(down) = design.tech().size_down(design.size(g)) {
+                        design.set_size(g, down);
+                    }
+                }
+            }
+            leak.update_gate(&design, &fm, g);
+        }
+        let fresh = LeakageAnalysis::analyze(&design, &fm);
+        let a = leak.total_current();
+        let b = fresh.total_current();
+        prop_assert!((a.mean() - b.mean()).abs() / b.mean() < 1e-9);
+        prop_assert!((a.sigma() - b.sigma()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn undo_round_trip_is_identity(seed in 0u64..300, gi in 0usize..40) {
+        let (mut design, fm) = setup(seed);
+        let mut leak = LeakageAnalysis::analyze(&design, &fm);
+        let before = leak.clone();
+        let gates: Vec<_> = design.circuit().gates().collect();
+        let g = gates[gi % gates.len()];
+        design.set_vth(g, VthClass::High);
+        let undo = leak.update_gate(&design, &fm, g);
+        leak.undo(undo);
+        prop_assert_eq!(leak, before);
+    }
+
+    #[test]
+    fn mean_is_sum_of_gate_means(seed in 0u64..300) {
+        let (design, fm) = setup(seed);
+        let leak = LeakageAnalysis::analyze(&design, &fm);
+        let sum: f64 = design
+            .circuit()
+            .gates()
+            .map(|g| leak.gate_mean_current(g))
+            .sum();
+        prop_assert!((leak.mean_total_current() - sum).abs() / sum < 1e-12);
+        prop_assert!((leak.total_current().mean() - sum).abs() / sum < 1e-9);
+    }
+
+    #[test]
+    fn correlation_never_shrinks_variance(seed in 0u64..300) {
+        let (design, fm) = setup(seed);
+        let leak = LeakageAnalysis::analyze(&design, &fm);
+        prop_assert!(
+            leak.total_current().variance()
+                >= leak.total_current_independent().variance() - 1e-24
+        );
+    }
+
+    #[test]
+    fn high_vth_gate_reduces_total(seed in 0u64..300, gi in 0usize..40) {
+        let (mut design, fm) = setup(seed);
+        let mut leak = LeakageAnalysis::analyze(&design, &fm);
+        let before = leak.total_current().quantile(0.95);
+        let gates: Vec<_> = design.circuit().gates().collect();
+        let g = gates[gi % gates.len()];
+        design.set_vth(g, VthClass::High);
+        leak.update_gate(&design, &fm, g);
+        prop_assert!(leak.total_current().quantile(0.95) < before);
+    }
+}

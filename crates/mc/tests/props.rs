@@ -1,0 +1,97 @@
+//! Property-based tests for the Monte-Carlo engine on random circuits.
+
+use proptest::prelude::*;
+use statleak_mc::{McConfig, MonteCarlo};
+use statleak_netlist::generate::{generate, GenSpec};
+use statleak_netlist::placement::Placement;
+use statleak_tech::{Design, FactorModel, Technology, VariationConfig};
+use std::sync::Arc;
+
+fn random_setup(seed: u64) -> (Design, FactorModel) {
+    let mut spec = GenSpec::new(format!("mc_prop{seed}"), 5, 2, 25, 5);
+    spec.seed = seed;
+    let circuit = Arc::new(generate(&spec));
+    let placement = Placement::by_level(&circuit);
+    let tech = Technology::ptm100();
+    let fm =
+        FactorModel::build(&circuit, &placement, &tech, &VariationConfig::ptm100()).expect("fm");
+    (Design::new(circuit, tech), fm)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every sampled chip has positive finite delay and leakage.
+    #[test]
+    fn samples_are_physical(seed in 0u64..500, mc_seed in 0u64..100) {
+        let (d, fm) = random_setup(seed);
+        let r = MonteCarlo::new(McConfig {
+            samples: 64,
+            seed: mc_seed,
+            threads: 2,
+        })
+        .run(&d, &fm);
+        for c in r.chips() {
+            prop_assert!(c.delay.is_finite() && c.delay > 0.0);
+            prop_assert!(c.leakage.is_finite() && c.leakage > 0.0);
+        }
+    }
+
+    /// Yield is a non-decreasing function of the clock, pinned to {0,1} at
+    /// the extremes of the sample.
+    #[test]
+    fn empirical_yield_monotone(seed in 0u64..500) {
+        let (d, fm) = random_setup(seed);
+        let r = MonteCarlo::new(McConfig {
+            samples: 128,
+            seed: 3,
+            threads: 0,
+        })
+        .run(&d, &fm);
+        let s = r.delay_summary();
+        prop_assert_eq!(r.timing_yield(s.min - 1.0), 0.0);
+        prop_assert_eq!(r.timing_yield(s.max + 1.0), 1.0);
+        let mut prev = 0.0;
+        for k in 0..=10 {
+            let t = s.min + (s.max - s.min) * k as f64 / 10.0;
+            let y = r.timing_yield(t);
+            prop_assert!(y >= prev);
+            prev = y;
+        }
+    }
+
+    /// Joint yield is bounded by both marginals and by the Fréchet lower
+    /// bound on the *same* sample set (exact, not approximate).
+    #[test]
+    fn empirical_joint_yield_bounds(seed in 0u64..500, qt in 0.2..0.95f64, ql in 0.2..0.95f64) {
+        let (d, fm) = random_setup(seed);
+        let r = MonteCarlo::new(McConfig {
+            samples: 200,
+            seed: 5,
+            threads: 0,
+        })
+        .run(&d, &fm);
+        let t = r.delay_summary().p95.min(r.delay_summary().max * qt.max(0.5));
+        let i = r.leakage_percentile(ql);
+        let yt = r.timing_yield(t);
+        let yl = r.chips().iter().filter(|c| c.leakage <= i).count() as f64
+            / r.samples() as f64;
+        let joint = r.joint_yield(t, i);
+        prop_assert!(joint <= yt.min(yl) + 1e-12);
+        prop_assert!(joint >= (yt + yl - 1.0).max(0.0) - 1e-12);
+    }
+
+    /// The delay-leakage correlation is negative for any design under this
+    /// technology's roll-off coupling.
+    #[test]
+    fn correlation_negative(seed in 0u64..500) {
+        let (d, fm) = random_setup(seed);
+        let r = MonteCarlo::new(McConfig {
+            samples: 256,
+            seed: 7,
+            threads: 0,
+        })
+        .run(&d, &fm);
+        prop_assert!(r.delay_leakage_correlation() < 0.0);
+    }
+}

@@ -1,0 +1,414 @@
+//! ISCAS85 `.bench` format parser and writer.
+//!
+//! The `.bench` grammar (as distributed with the ISCAS85/89 suites):
+//!
+//! ```text
+//! # comment
+//! INPUT(name)
+//! OUTPUT(name)
+//! name = GATE(arg1, arg2, ...)
+//! ```
+//!
+//! `OUTPUT` lines may precede the definition of the signal they reference.
+//!
+//! ISCAS89-style `name = DFF(d)` statements are supported by cutting the
+//! netlist at the flip-flop: the FF output becomes a pseudo primary input
+//! of the combinational core and the FF data input a pseudo primary
+//! output — the standard transformation for combinational timing and
+//! leakage analysis of sequential benchmarks.
+
+use crate::circuit::{BuildError, Circuit, CircuitBuilder, GateKind};
+use std::fmt;
+
+/// Errors produced while parsing a `.bench` file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseBenchError {
+    /// A line could not be parsed; carries the 1-based line number and text.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// The offending text.
+        text: String,
+    },
+    /// An unknown gate keyword; carries line number and keyword.
+    UnknownGate {
+        /// 1-based line number.
+        line: usize,
+        /// The unrecognized keyword.
+        keyword: String,
+    },
+    /// The netlist was syntactically fine but structurally invalid.
+    Build(BuildError),
+}
+
+impl fmt::Display for ParseBenchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseBenchError::Syntax { line, text } => {
+                write!(f, "syntax error on line {line}: `{text}`")
+            }
+            ParseBenchError::UnknownGate { line, keyword } => {
+                write!(f, "unknown gate `{keyword}` on line {line}")
+            }
+            ParseBenchError::Build(e) => write!(f, "invalid netlist: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseBenchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseBenchError::Build(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<BuildError> for ParseBenchError {
+    fn from(e: BuildError) -> Self {
+        ParseBenchError::Build(e)
+    }
+}
+
+/// Parses ISCAS85 `.bench` text into a [`Circuit`].
+///
+/// # Errors
+///
+/// Returns [`ParseBenchError`] on malformed lines, unknown gate keywords,
+/// or structural problems (cycles, dangling references).
+///
+/// ```
+/// let src = "
+/// INPUT(a)
+/// INPUT(b)
+/// OUTPUT(c)
+/// c = AND(a, b)
+/// ";
+/// let c = statleak_netlist::bench::parse("ha", src)?;
+/// assert_eq!(c.num_gates(), 1);
+/// # Ok::<(), statleak_netlist::bench::ParseBenchError>(())
+/// ```
+pub fn parse(name: &str, src: &str) -> Result<Circuit, ParseBenchError> {
+    parse_with_dff_count(name, src).map(|(c, _)| c)
+}
+
+/// Like [`parse`], additionally reporting how many `DFF` elements were cut
+/// (ISCAS89-style sequential netlists; see the DFF note in the grammar).
+///
+/// # Errors
+///
+/// Same as [`parse`].
+pub fn parse_with_dff_count(
+    name: &str,
+    src: &str,
+) -> Result<(Circuit, usize), ParseBenchError> {
+    let mut b = CircuitBuilder::new(name);
+    let mut outputs = Vec::new();
+    let mut dff_count = 0usize;
+    for (lineno, raw) in src.lines().enumerate() {
+        let line = lineno + 1;
+        let text = match raw.find('#') {
+            Some(i) => &raw[..i],
+            None => raw,
+        }
+        .trim();
+        if text.is_empty() {
+            continue;
+        }
+        let upper = text.to_ascii_uppercase();
+        if let Some(rest) = upper.strip_prefix("INPUT") {
+            let inner = extract_parens(rest, text, "INPUT").ok_or_else(|| {
+                ParseBenchError::Syntax {
+                    line,
+                    text: text.to_string(),
+                }
+            })?;
+            b.add_input(inner)?;
+        } else if let Some(rest) = upper.strip_prefix("OUTPUT") {
+            let inner = extract_parens(rest, text, "OUTPUT").ok_or_else(|| {
+                ParseBenchError::Syntax {
+                    line,
+                    text: text.to_string(),
+                }
+            })?;
+            outputs.push(inner.to_string());
+        } else if let Some(eq) = text.find('=') {
+            let lhs = text[..eq].trim();
+            let rhs = text[eq + 1..].trim();
+            let open = rhs.find('(').ok_or_else(|| ParseBenchError::Syntax {
+                line,
+                text: text.to_string(),
+            })?;
+            let close = rhs.rfind(')').ok_or_else(|| ParseBenchError::Syntax {
+                line,
+                text: text.to_string(),
+            })?;
+            if close < open || lhs.is_empty() {
+                return Err(ParseBenchError::Syntax {
+                    line,
+                    text: text.to_string(),
+                });
+            }
+            let keyword = rhs[..open].trim();
+            if keyword.eq_ignore_ascii_case("DFF") {
+                // ISCAS89 sequential element: cut the netlist at the
+                // flip-flop. Its Q output behaves as a pseudo primary
+                // input of the combinational core (valid at t = 0) and its
+                // D input must settle before the clock edge, i.e. it is a
+                // pseudo primary output.
+                let arg = rhs[open + 1..close].trim();
+                if arg.is_empty() {
+                    return Err(ParseBenchError::Syntax {
+                        line,
+                        text: text.to_string(),
+                    });
+                }
+                b.add_input(lhs)?;
+                outputs.push(arg.to_string());
+                dff_count += 1;
+                continue;
+            }
+            let kind = GateKind::from_bench_keyword(keyword).ok_or_else(|| {
+                ParseBenchError::UnknownGate {
+                    line,
+                    keyword: keyword.to_string(),
+                }
+            })?;
+            let args: Vec<&str> = rhs[open + 1..close]
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .collect();
+            if args.is_empty() {
+                return Err(ParseBenchError::Syntax {
+                    line,
+                    text: text.to_string(),
+                });
+            }
+            b.add_gate(lhs, kind, &args)?;
+        } else {
+            return Err(ParseBenchError::Syntax {
+                line,
+                text: text.to_string(),
+            });
+        }
+    }
+    for o in outputs {
+        b.mark_output(o)?;
+    }
+    Ok((b.build()?, dff_count))
+}
+
+/// Extracts the text between the parens of `KEYWORD(inner)`, given the
+/// uppercased remainder after the keyword and the original line.
+fn extract_parens<'a>(rest_upper: &str, original: &'a str, keyword: &str) -> Option<&'a str> {
+    if !rest_upper.trim_start().starts_with('(') {
+        return None;
+    }
+    let after = &original[keyword.len()..];
+    let open = after.find('(')?;
+    let close = after.rfind(')')?;
+    if close <= open {
+        return None;
+    }
+    let inner = after[open + 1..close].trim();
+    (!inner.is_empty()).then_some(inner)
+}
+
+/// Serializes a [`Circuit`] back to `.bench` text.
+///
+/// The output round-trips through [`parse`] to a structurally identical
+/// circuit.
+pub fn write(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# {}\n", circuit.name()));
+    out.push_str(&format!(
+        "# {} inputs, {} outputs, {} gates\n",
+        circuit.num_inputs(),
+        circuit.num_outputs(),
+        circuit.num_gates()
+    ));
+    for &i in circuit.inputs() {
+        out.push_str(&format!("INPUT({})\n", circuit.node(i).name));
+    }
+    for &o in circuit.outputs() {
+        out.push_str(&format!("OUTPUT({})\n", circuit.node(o).name));
+    }
+    for id in circuit.gates() {
+        let node = circuit.node(id);
+        let args: Vec<&str> = node
+            .fanin
+            .iter()
+            .map(|f| circuit.node(*f).name.as_str())
+            .collect();
+        out.push_str(&format!(
+            "{} = {}({})\n",
+            node.name,
+            node.kind.bench_keyword(),
+            args.join(", ")
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const C17: &str = include_str!("c17.bench");
+
+    #[test]
+    fn parses_c17() {
+        let c = parse("c17", C17).unwrap();
+        assert_eq!(c.num_inputs(), 5);
+        assert_eq!(c.num_outputs(), 2);
+        assert_eq!(c.num_gates(), 6);
+        assert!(c.gates().all(|g| c.node(g).kind == GateKind::Nand));
+    }
+
+    #[test]
+    fn c17_truth_sample() {
+        // With all inputs 0, every first-level NAND outputs 1.
+        let c = parse("c17", C17).unwrap();
+        let v = c.simulate(&[false; 5]);
+        for &o in c.outputs() {
+            // Outputs are NAND of (1, x) stages; just check simulation runs
+            // and yields a boolean deterministic value.
+            let _ = v[o.index()];
+        }
+        // Known vector: all inputs = 1 makes G10=NAND(1,1)=0, G11=NAND(1,1)=0,
+        // G16=NAND(1,G11)=NAND(1,0)=1, G19=NAND(G11,1)=1,
+        // G22=NAND(G10,G16)=NAND(0,1)=1, G23=NAND(G16,G19)=NAND(1,1)=0.
+        let v = c.simulate(&[true; 5]);
+        let g22 = c.find("G22").unwrap();
+        let g23 = c.find("G23").unwrap();
+        assert!(v[g22.index()]);
+        assert!(!v[g23.index()]);
+    }
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let c = parse("c17", C17).unwrap();
+        let text = write(&c);
+        let c2 = parse("c17", &text).unwrap();
+        assert_eq!(c.stats(), c2.stats());
+        // Same names and kinds.
+        for id in c.gates() {
+            let n = c.node(id);
+            let id2 = c2.find(&n.name).unwrap();
+            assert_eq!(c2.node(id2).kind, n.kind);
+            assert_eq!(c2.node(id2).fanin.len(), n.fanin.len());
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let c = parse(
+            "t",
+            "# hi\n\nINPUT(a) # trailing comment\nOUTPUT(y)\ny = NOT(a)\n",
+        )
+        .unwrap();
+        assert_eq!(c.num_gates(), 1);
+    }
+
+    #[test]
+    fn output_before_definition_ok() {
+        let c = parse("t", "OUTPUT(y)\nINPUT(a)\ny = BUFF(a)\n").unwrap();
+        assert_eq!(c.num_outputs(), 1);
+    }
+
+    #[test]
+    fn unknown_gate_reported_with_line() {
+        let e = parse("t", "INPUT(a)\ny = FROB(a)\nOUTPUT(y)\n").unwrap_err();
+        match e {
+            ParseBenchError::UnknownGate { line, keyword } => {
+                assert_eq!(line, 2);
+                assert_eq!(keyword, "FROB");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn syntax_error_reported() {
+        let e = parse("t", "INPUT a\n").unwrap_err();
+        assert!(matches!(e, ParseBenchError::Syntax { line: 1, .. }));
+    }
+
+    #[test]
+    fn empty_arglist_rejected() {
+        let e = parse("t", "INPUT(a)\ny = AND()\nOUTPUT(y)\n").unwrap_err();
+        assert!(matches!(e, ParseBenchError::Syntax { line: 2, .. }));
+    }
+
+    #[test]
+    fn case_insensitive_keywords() {
+        let c = parse("t", "input(a)\noutput(y)\ny = nand(a, a)\n").unwrap();
+        assert_eq!(c.num_gates(), 1);
+    }
+}
+
+#[cfg(test)]
+mod dff_tests {
+    use super::*;
+
+    /// A miniature ISCAS89-style sequential netlist (s27 topology spirit).
+    const SEQ: &str = "
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G14 = NOT(G0)
+G8 = AND(G14, G6)
+G10 = NOR(G8, G1)
+G11 = NOR(G5, G2)
+G17 = NOT(G11)
+";
+
+    #[test]
+    fn dff_cut_creates_pseudo_io() {
+        let (c, dffs) = parse_with_dff_count("seq", SEQ).unwrap();
+        assert_eq!(dffs, 2);
+        // 3 real + 2 pseudo inputs.
+        assert_eq!(c.num_inputs(), 5);
+        // 1 real + 2 pseudo outputs.
+        assert_eq!(c.num_outputs(), 3);
+        // FF outputs exist as inputs.
+        let g5 = c.find("G5").unwrap();
+        assert!(!c.node(g5).kind.is_gate());
+        // FF data inputs are outputs of the core.
+        let g10 = c.find("G10").unwrap();
+        assert!(c.is_output(g10));
+        // The cut netlist is acyclic and analyzable.
+        assert!(c.stats().depth >= 2);
+    }
+
+    #[test]
+    fn plain_parse_accepts_dff_too() {
+        let c = parse("seq", SEQ).unwrap();
+        assert_eq!(c.num_inputs(), 5);
+    }
+
+    #[test]
+    fn dff_without_arg_rejected() {
+        let e = parse("bad", "INPUT(a)\nq = DFF()\nOUTPUT(q)\n").unwrap_err();
+        assert!(matches!(e, ParseBenchError::Syntax { .. }));
+    }
+
+    #[test]
+    fn sequential_loop_through_dff_is_fine() {
+        // Combinational loop through a DFF must NOT be reported as a cycle
+        // because the cut breaks it.
+        let src = "
+INPUT(a)
+OUTPUT(y)
+q = DFF(y)
+y = NAND(a, q)
+";
+        let c = parse("loop", src).unwrap();
+        assert_eq!(c.num_inputs(), 2);
+        assert_eq!(c.num_gates(), 1);
+    }
+}

@@ -1,0 +1,264 @@
+//! The ISCAS85-class benchmark suite used throughout the evaluation.
+//!
+//! `c17` is the genuine published netlist; the ten larger circuits are
+//! produced by the deterministic generator with the published I/O counts,
+//! gate counts, and logic depths of the real ISCAS85 suite (see
+//! `DESIGN.md` §5 for the substitution rationale).
+
+use crate::circuit::Circuit;
+use crate::generate::{generate, GenSpec};
+
+/// Published structural parameters of one ISCAS85 benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BenchmarkSpec {
+    /// Benchmark name, e.g. `"c432"`.
+    pub name: &'static str,
+    /// Primary inputs.
+    pub inputs: usize,
+    /// Primary outputs.
+    pub outputs: usize,
+    /// Logic gates.
+    pub gates: usize,
+    /// Logic depth (levels of gates on the longest path).
+    pub depth: usize,
+    /// Original circuit function, for documentation.
+    pub function: &'static str,
+}
+
+/// The published ISCAS85 suite characteristics (c17 plus the ten classic
+/// circuits evaluated by the DAC 2004 paper's lineage).
+pub const SUITE: [BenchmarkSpec; 11] = [
+    BenchmarkSpec { name: "c17", inputs: 5, outputs: 2, gates: 6, depth: 3, function: "toy NAND network" },
+    BenchmarkSpec { name: "c432", inputs: 36, outputs: 7, gates: 160, depth: 17, function: "27-channel interrupt controller" },
+    BenchmarkSpec { name: "c499", inputs: 41, outputs: 32, gates: 202, depth: 11, function: "32-bit SEC circuit" },
+    BenchmarkSpec { name: "c880", inputs: 60, outputs: 26, gates: 383, depth: 24, function: "8-bit ALU" },
+    BenchmarkSpec { name: "c1355", inputs: 41, outputs: 32, gates: 546, depth: 24, function: "32-bit SEC circuit (expanded)" },
+    BenchmarkSpec { name: "c1908", inputs: 33, outputs: 25, gates: 880, depth: 40, function: "16-bit SEC/DED circuit" },
+    BenchmarkSpec { name: "c2670", inputs: 233, outputs: 140, gates: 1193, depth: 32, function: "12-bit ALU and controller" },
+    BenchmarkSpec { name: "c3540", inputs: 50, outputs: 22, gates: 1669, depth: 47, function: "8-bit ALU" },
+    BenchmarkSpec { name: "c5315", inputs: 178, outputs: 123, gates: 2307, depth: 49, function: "9-bit ALU" },
+    BenchmarkSpec { name: "c6288", inputs: 32, outputs: 32, gates: 2416, depth: 124, function: "16x16 multiplier" },
+    BenchmarkSpec { name: "c7552", inputs: 207, outputs: 108, gates: 3512, depth: 43, function: "32-bit adder/comparator" },
+];
+
+/// The genuine `c17` netlist parsed from its `.bench` source.
+///
+/// ```
+/// let c = statleak_netlist::benchmarks::c17();
+/// assert_eq!(c.name(), "c17");
+/// ```
+pub fn c17() -> Circuit {
+    crate::bench::parse("c17", include_str!("c17.bench"))
+        .expect("embedded c17.bench is valid")
+}
+
+/// Looks up the published spec of a benchmark by name.
+pub fn spec(name: &str) -> Option<&'static BenchmarkSpec> {
+    SUITE.iter().find(|s| s.name == name)
+}
+
+/// Builds one benchmark circuit by name.
+///
+/// `c17` returns the genuine netlist; all others are deterministically
+/// generated to the published structural parameters.
+///
+/// ```
+/// let c = statleak_netlist::benchmarks::by_name("c432").expect("known");
+/// assert_eq!(c.num_gates(), 160);
+/// assert_eq!(c.stats().depth, 17);
+/// ```
+pub fn by_name(name: &str) -> Option<Circuit> {
+    let s = spec(name)?;
+    if s.name == "c17" {
+        return Some(c17());
+    }
+    Some(generate(&GenSpec::new(
+        s.name, s.inputs, s.outputs, s.gates, s.depth,
+    )))
+}
+
+/// Builds the whole suite (c17 first, then by size).
+pub fn suite() -> Vec<Circuit> {
+    SUITE
+        .iter()
+        .map(|s| by_name(s.name).expect("suite entries are known"))
+        .collect()
+}
+
+/// The names of the ten "large" benchmarks (everything except c17), the
+/// set evaluated in the paper's tables.
+pub fn evaluation_names() -> Vec<&'static str> {
+    SUITE.iter().skip(1).map(|s| s.name).collect()
+}
+
+/// Published-style structural parameters of one ISCAS89-class sequential
+/// benchmark (gate counts per the published suite; logic depths
+/// approximate — see `DESIGN.md` §5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeqBenchmarkSpec {
+    /// Benchmark name, e.g. `"s1423"`.
+    pub name: &'static str,
+    /// Primary inputs (excluding flip-flop outputs).
+    pub inputs: usize,
+    /// Primary outputs (excluding flip-flop inputs).
+    pub outputs: usize,
+    /// Flip-flops.
+    pub dffs: usize,
+    /// Combinational gates.
+    pub gates: usize,
+    /// Combinational logic depth.
+    pub depth: usize,
+}
+
+/// The ISCAS89-class sequential suite (a representative size ladder).
+pub const SEQ_SUITE: [SeqBenchmarkSpec; 6] = [
+    SeqBenchmarkSpec { name: "s27", inputs: 4, outputs: 1, dffs: 3, gates: 10, depth: 5 },
+    SeqBenchmarkSpec { name: "s344", inputs: 9, outputs: 11, dffs: 15, gates: 160, depth: 14 },
+    SeqBenchmarkSpec { name: "s526", inputs: 3, outputs: 6, dffs: 21, gates: 193, depth: 9 },
+    SeqBenchmarkSpec { name: "s1196", inputs: 14, outputs: 14, dffs: 18, gates: 529, depth: 24 },
+    SeqBenchmarkSpec { name: "s1423", inputs: 17, outputs: 5, dffs: 74, gates: 657, depth: 59 },
+    SeqBenchmarkSpec { name: "s5378", inputs: 35, outputs: 49, dffs: 164, gates: 2779, depth: 25 },
+];
+
+/// Builds a sequential benchmark: the combinational core is generated to
+/// spec, wrapped in ISCAS89-style `.bench` text with `DFF` statements, and
+/// parsed back through the flip-flop cut — so the returned circuit is the
+/// combinational core with the FF outputs as pseudo primary inputs and FF
+/// data inputs as pseudo primary outputs (what timing/leakage analysis of
+/// a sequential design operates on). Also returns the `.bench` text for
+/// users who want the sequential netlist itself.
+pub fn sequential_by_name(name: &str) -> Option<(Circuit, String)> {
+    let s = SEQ_SUITE.iter().find(|s| s.name == name)?;
+    let core = generate(&GenSpec::new(
+        s.name,
+        s.inputs + s.dffs,
+        s.outputs + s.dffs,
+        s.gates,
+        s.depth,
+    ));
+    // Assemble .bench: real PIs/POs first, then DFFs binding the last
+    // `dffs` core inputs (FF outputs Q) to the last `dffs` core outputs
+    // (FF data inputs D), then the gate definitions.
+    let mut text = format!("# {} (ISCAS89-class, generated)\n", s.name);
+    for &i in core.inputs().iter().take(s.inputs) {
+        text.push_str(&format!("INPUT({})\n", core.node(i).name));
+    }
+    for &o in core.outputs().iter().take(s.outputs) {
+        text.push_str(&format!("OUTPUT({})\n", core.node(o).name));
+    }
+    for k in 0..s.dffs {
+        let q = &core.node(core.inputs()[s.inputs + k]).name;
+        let d = &core.node(core.outputs()[s.outputs + k]).name;
+        text.push_str(&format!("{q} = DFF({d})\n"));
+    }
+    for id in core.gates() {
+        let node = core.node(id);
+        let args: Vec<&str> = node
+            .fanin
+            .iter()
+            .map(|f| core.node(*f).name.as_str())
+            .collect();
+        text.push_str(&format!(
+            "{} = {}({})\n",
+            node.name,
+            node.kind.bench_keyword(),
+            args.join(", ")
+        ));
+    }
+    let (circuit, dffs) =
+        crate::bench::parse_with_dff_count(s.name, &text).expect("generated netlist is valid");
+    debug_assert_eq!(dffs, s.dffs);
+    Some((circuit, text))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_suite_entry_matches_published_structure() {
+        for s in &SUITE {
+            let c = by_name(s.name).unwrap();
+            let st = c.stats();
+            assert_eq!(st.inputs, s.inputs, "{} inputs", s.name);
+            assert_eq!(st.gates, s.gates, "{} gates", s.name);
+            assert_eq!(st.depth, s.depth, "{} depth", s.name);
+            // Generated circuits may very rarely promote an extra output;
+            // assert we are exact or within one.
+            assert!(
+                st.outputs >= s.outputs && st.outputs <= s.outputs + 2,
+                "{}: outputs {} vs spec {}",
+                s.name,
+                st.outputs,
+                s.outputs
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_benchmark_is_none() {
+        assert!(by_name("c9999").is_none());
+        assert!(spec("nope").is_none());
+    }
+
+    #[test]
+    fn c17_is_genuine() {
+        let c = c17();
+        assert_eq!(c.num_gates(), 6);
+        assert!(c.find("G22").is_some());
+    }
+
+    #[test]
+    fn suite_is_deterministic() {
+        let a = suite();
+        let b = suite();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn evaluation_names_excludes_c17() {
+        let names = evaluation_names();
+        assert_eq!(names.len(), 10);
+        assert!(!names.contains(&"c17"));
+        assert!(names.contains(&"c6288"));
+    }
+}
+
+#[cfg(test)]
+mod seq_tests {
+    use super::*;
+
+    #[test]
+    fn sequential_suite_builds_to_spec() {
+        for s in &SEQ_SUITE {
+            let (c, text) = sequential_by_name(s.name).unwrap();
+            assert_eq!(c.num_inputs(), s.inputs + s.dffs, "{}", s.name);
+            assert_eq!(c.num_outputs(), s.outputs + s.dffs, "{}", s.name);
+            assert_eq!(c.num_gates(), s.gates, "{}", s.name);
+            assert_eq!(c.stats().depth, s.depth, "{}", s.name);
+            assert_eq!(text.matches("DFF").count(), s.dffs, "{}", s.name);
+        }
+    }
+
+    #[test]
+    fn sequential_text_reparses_identically() {
+        let (c, text) = sequential_by_name("s344").unwrap();
+        let (c2, dffs) = crate::bench::parse_with_dff_count("s344", &text).unwrap();
+        assert_eq!(c, c2);
+        assert_eq!(dffs, 15);
+    }
+
+    #[test]
+    fn unknown_sequential_is_none() {
+        assert!(sequential_by_name("s9999").is_none());
+    }
+
+    #[test]
+    fn sequential_core_is_analyzable() {
+        // The FF-cut core must be a normal combinational circuit: acyclic,
+        // simulable, with every FF Q reachable as an input.
+        let (c, _) = sequential_by_name("s27").unwrap();
+        let v = c.simulate(&vec![true; c.num_inputs()]);
+        assert_eq!(v.len(), c.num_nodes());
+    }
+}

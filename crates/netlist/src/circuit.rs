@@ -1,0 +1,666 @@
+//! The combinational circuit DAG.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Index of a node (primary input or gate) inside a [`Circuit`].
+///
+/// Node ids are dense: `0..circuit.num_nodes()`. They index directly into
+/// the per-node vectors kept by the analysis crates (arrival times, sizes,
+/// threshold assignments, …), which is why the whole workspace uses plain
+/// `Vec<T>` keyed by `NodeId` instead of hash maps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// The gate alphabet of the ISCAS85 benchmark suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GateKind {
+    /// A primary input (no fanin).
+    Input,
+    /// Single-input buffer.
+    Buff,
+    /// Single-input inverter.
+    Not,
+    /// Multi-input AND.
+    And,
+    /// Multi-input NAND.
+    Nand,
+    /// Multi-input OR.
+    Or,
+    /// Multi-input NOR.
+    Nor,
+    /// Two-or-more-input XOR.
+    Xor,
+    /// Two-or-more-input XNOR.
+    Xnor,
+}
+
+impl GateKind {
+    /// All logic-gate kinds (excluding [`GateKind::Input`]).
+    pub const LOGIC_KINDS: [GateKind; 8] = [
+        GateKind::Buff,
+        GateKind::Not,
+        GateKind::And,
+        GateKind::Nand,
+        GateKind::Or,
+        GateKind::Nor,
+        GateKind::Xor,
+        GateKind::Xnor,
+    ];
+
+    /// `true` if the node is a logic gate (has fanin).
+    #[inline]
+    pub fn is_gate(self) -> bool {
+        !matches!(self, GateKind::Input)
+    }
+
+    /// The `.bench` keyword for this kind (upper case).
+    pub fn bench_keyword(self) -> &'static str {
+        match self {
+            GateKind::Input => "INPUT",
+            GateKind::Buff => "BUFF",
+            GateKind::Not => "NOT",
+            GateKind::And => "AND",
+            GateKind::Nand => "NAND",
+            GateKind::Or => "OR",
+            GateKind::Nor => "NOR",
+            GateKind::Xor => "XOR",
+            GateKind::Xnor => "XNOR",
+        }
+    }
+
+    /// Parses a `.bench` keyword (case-insensitive).
+    pub fn from_bench_keyword(kw: &str) -> Option<GateKind> {
+        Some(match kw.to_ascii_uppercase().as_str() {
+            "BUFF" | "BUF" => GateKind::Buff,
+            "NOT" | "INV" => GateKind::Not,
+            "AND" => GateKind::And,
+            "NAND" => GateKind::Nand,
+            "OR" => GateKind::Or,
+            "NOR" => GateKind::Nor,
+            "XOR" => GateKind::Xor,
+            "XNOR" => GateKind::Xnor,
+            _ => return None,
+        })
+    }
+
+    /// Evaluates the boolean function on the fanin values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on [`GateKind::Input`] or with an empty input slice.
+    pub fn eval(self, inputs: &[bool]) -> bool {
+        assert!(
+            self.is_gate(),
+            "cannot evaluate a primary input as a gate"
+        );
+        assert!(!inputs.is_empty(), "gate must have at least one fanin");
+        match self {
+            GateKind::Input => unreachable!(),
+            GateKind::Buff => inputs[0],
+            GateKind::Not => !inputs[0],
+            GateKind::And => inputs.iter().all(|&b| b),
+            GateKind::Nand => !inputs.iter().all(|&b| b),
+            GateKind::Or => inputs.iter().any(|&b| b),
+            GateKind::Nor => !inputs.iter().any(|&b| b),
+            GateKind::Xor => inputs.iter().fold(false, |a, &b| a ^ b),
+            GateKind::Xnor => !inputs.iter().fold(false, |a, &b| a ^ b),
+        }
+    }
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.bench_keyword())
+    }
+}
+
+/// One node of the circuit: a primary input or a logic gate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Node {
+    /// Human-readable signal name (unique within the circuit).
+    pub name: String,
+    /// The node's function.
+    pub kind: GateKind,
+    /// Driver nodes, in `.bench` argument order. Empty for inputs.
+    pub fanin: Vec<NodeId>,
+    /// Nodes driven by this node (computed at build time).
+    pub fanout: Vec<NodeId>,
+}
+
+/// Structural statistics of a circuit, as reported in benchmark tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CircuitStats {
+    /// Number of primary inputs.
+    pub inputs: usize,
+    /// Number of primary outputs.
+    pub outputs: usize,
+    /// Number of logic gates (nodes that are not primary inputs).
+    pub gates: usize,
+    /// Logic depth: the longest input→output path counted in gates.
+    pub depth: usize,
+}
+
+/// Errors produced while building a [`Circuit`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// Two nodes were declared with the same name.
+    DuplicateName(String),
+    /// A fanin referenced a name that was never declared.
+    UnknownSignal(String),
+    /// A gate was declared with no fanin.
+    MissingFanin(String),
+    /// A primary output referenced an undeclared signal.
+    UnknownOutput(String),
+    /// The netlist contains a combinational cycle through the named node.
+    Cycle(String),
+    /// The circuit has no primary outputs.
+    NoOutputs,
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::DuplicateName(n) => write!(f, "duplicate signal name `{n}`"),
+            BuildError::UnknownSignal(n) => write!(f, "fanin references unknown signal `{n}`"),
+            BuildError::MissingFanin(n) => write!(f, "gate `{n}` has no fanin"),
+            BuildError::UnknownOutput(n) => write!(f, "output references unknown signal `{n}`"),
+            BuildError::Cycle(n) => write!(f, "combinational cycle through `{n}`"),
+            BuildError::NoOutputs => write!(f, "circuit has no primary outputs"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Incremental builder for [`Circuit`].
+///
+/// ```
+/// use statleak_netlist::{CircuitBuilder, GateKind};
+///
+/// let mut b = CircuitBuilder::new("demo");
+/// b.add_input("a")?;
+/// b.add_input("b")?;
+/// b.add_gate("y", GateKind::Nand, &["a", "b"])?;
+/// b.mark_output("y")?;
+/// let c = b.build()?;
+/// assert_eq!(c.num_gates(), 1);
+/// # Ok::<(), statleak_netlist::BuildError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CircuitBuilder {
+    name: String,
+    nodes: Vec<(String, GateKind, Vec<String>)>,
+    outputs: Vec<String>,
+    by_name: HashMap<String, usize>,
+}
+
+impl CircuitBuilder {
+    /// Starts building a circuit with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            nodes: Vec::new(),
+            outputs: Vec::new(),
+            by_name: HashMap::new(),
+        }
+    }
+
+    /// Declares a primary input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::DuplicateName`] if the name is already used.
+    pub fn add_input(&mut self, name: impl Into<String>) -> Result<(), BuildError> {
+        let name = name.into();
+        self.declare(name.clone(), GateKind::Input, Vec::new())
+    }
+
+    /// Declares a logic gate driven by the named signals.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::DuplicateName`] if the name is already used, or
+    /// [`BuildError::MissingFanin`] if `fanin` is empty.
+    pub fn add_gate(
+        &mut self,
+        name: impl Into<String>,
+        kind: GateKind,
+        fanin: &[&str],
+    ) -> Result<(), BuildError> {
+        let name = name.into();
+        if fanin.is_empty() {
+            return Err(BuildError::MissingFanin(name));
+        }
+        self.declare(
+            name,
+            kind,
+            fanin.iter().map(|s| s.to_string()).collect(),
+        )
+    }
+
+    /// Marks a declared signal as a primary output.
+    ///
+    /// Output marks may be issued before the signal is declared; existence
+    /// is checked at [`CircuitBuilder::build`] time.
+    pub fn mark_output(&mut self, name: impl Into<String>) -> Result<(), BuildError> {
+        self.outputs.push(name.into());
+        Ok(())
+    }
+
+    fn declare(
+        &mut self,
+        name: String,
+        kind: GateKind,
+        fanin: Vec<String>,
+    ) -> Result<(), BuildError> {
+        if self.by_name.contains_key(&name) {
+            return Err(BuildError::DuplicateName(name));
+        }
+        self.by_name.insert(name.clone(), self.nodes.len());
+        self.nodes.push((name, kind, fanin));
+        Ok(())
+    }
+
+    /// Finalizes the circuit: resolves names, checks acyclicity, computes
+    /// fanout lists and the topological order.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildError`] on dangling references, cycles, or missing
+    /// outputs.
+    pub fn build(self) -> Result<Circuit, BuildError> {
+        let n = self.nodes.len();
+        let mut nodes = Vec::with_capacity(n);
+        for (name, kind, fanin_names) in &self.nodes {
+            let mut fanin = Vec::with_capacity(fanin_names.len());
+            for f in fanin_names {
+                let idx = self
+                    .by_name
+                    .get(f)
+                    .ok_or_else(|| BuildError::UnknownSignal(f.clone()))?;
+                fanin.push(NodeId(*idx as u32));
+            }
+            nodes.push(Node {
+                name: name.clone(),
+                kind: *kind,
+                fanin,
+                fanout: Vec::new(),
+            });
+        }
+        // Fanout lists.
+        for i in 0..n {
+            let fanin = nodes[i].fanin.clone();
+            for f in fanin {
+                nodes[f.index()].fanout.push(NodeId(i as u32));
+            }
+        }
+        // Outputs.
+        if self.outputs.is_empty() {
+            return Err(BuildError::NoOutputs);
+        }
+        let mut outputs = Vec::with_capacity(self.outputs.len());
+        for o in &self.outputs {
+            let idx = self
+                .by_name
+                .get(o)
+                .ok_or_else(|| BuildError::UnknownOutput(o.clone()))?;
+            outputs.push(NodeId(*idx as u32));
+        }
+        // Kahn topological sort (also detects cycles).
+        let mut indeg: Vec<usize> = nodes.iter().map(|nd| nd.fanin.len()).collect();
+        let mut queue: Vec<NodeId> = (0..n)
+            .filter(|&i| indeg[i] == 0)
+            .map(|i| NodeId(i as u32))
+            .collect();
+        let mut topo = Vec::with_capacity(n);
+        let mut head = 0;
+        while head < queue.len() {
+            let u = queue[head];
+            head += 1;
+            topo.push(u);
+            for &v in &nodes[u.index()].fanout {
+                indeg[v.index()] -= 1;
+                if indeg[v.index()] == 0 {
+                    queue.push(v);
+                }
+            }
+        }
+        if topo.len() != n {
+            let culprit = (0..n)
+                .find(|&i| indeg[i] > 0)
+                .map(|i| nodes[i].name.clone())
+                .unwrap_or_default();
+            return Err(BuildError::Cycle(culprit));
+        }
+        // Levels (longest path from any input, inputs at level 0).
+        let mut level = vec![0usize; n];
+        for &u in &topo {
+            let lvl = nodes[u.index()]
+                .fanin
+                .iter()
+                .map(|f| level[f.index()] + 1)
+                .max()
+                .unwrap_or(0);
+            level[u.index()] = lvl;
+        }
+        let inputs: Vec<NodeId> = (0..n)
+            .filter(|&i| nodes[i].kind == GateKind::Input)
+            .map(|i| NodeId(i as u32))
+            .collect();
+        Ok(Circuit {
+            name: self.name,
+            nodes,
+            inputs,
+            outputs,
+            topo,
+            level,
+        })
+    }
+}
+
+/// An immutable combinational circuit DAG.
+///
+/// Constructed via [`CircuitBuilder`] (or the [`crate::bench`] parser /
+/// [`crate::generate`] generator). All derived structures — fanouts,
+/// topological order, levels — are precomputed at build time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Circuit {
+    name: String,
+    nodes: Vec<Node>,
+    inputs: Vec<NodeId>,
+    outputs: Vec<NodeId>,
+    topo: Vec<NodeId>,
+    level: Vec<usize>,
+}
+
+impl Circuit {
+    /// The circuit's name (e.g. `"c432"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total node count (inputs + gates).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of primary inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Number of primary outputs.
+    pub fn num_outputs(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Number of logic gates.
+    pub fn num_gates(&self) -> usize {
+        self.nodes.len() - self.inputs.len()
+    }
+
+    /// The node with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of bounds.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// All nodes, indexed by [`NodeId`].
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Primary input ids.
+    pub fn inputs(&self) -> &[NodeId] {
+        &self.inputs
+    }
+
+    /// Primary output ids.
+    pub fn outputs(&self) -> &[NodeId] {
+        &self.outputs
+    }
+
+    /// Nodes in topological order (inputs first).
+    pub fn topo_order(&self) -> &[NodeId] {
+        &self.topo
+    }
+
+    /// Nodes in reverse topological order (outputs first).
+    pub fn reverse_topo(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.topo.iter().rev().copied()
+    }
+
+    /// The level (longest distance from a primary input) of each node.
+    pub fn level(&self, id: NodeId) -> usize {
+        self.level[id.index()]
+    }
+
+    /// Iterator over gate ids (skipping primary inputs) in topological
+    /// order.
+    pub fn gates(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.topo
+            .iter()
+            .copied()
+            .filter(move |&id| self.nodes[id.index()].kind.is_gate())
+    }
+
+    /// Looks up a node by name.
+    pub fn find(&self, name: &str) -> Option<NodeId> {
+        self.nodes
+            .iter()
+            .position(|n| n.name == name)
+            .map(|i| NodeId(i as u32))
+    }
+
+    /// Whether the node is a primary output.
+    pub fn is_output(&self, id: NodeId) -> bool {
+        self.outputs.contains(&id)
+    }
+
+    /// Structural statistics (as reported in benchmark tables).
+    pub fn stats(&self) -> CircuitStats {
+        CircuitStats {
+            inputs: self.num_inputs(),
+            outputs: self.num_outputs(),
+            gates: self.num_gates(),
+            depth: self.level.iter().copied().max().unwrap_or(0),
+        }
+    }
+
+    /// Simulates the circuit on a primary-input assignment, returning the
+    /// value of every node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_values.len() != num_inputs()`.
+    pub fn simulate(&self, input_values: &[bool]) -> Vec<bool> {
+        assert_eq!(
+            input_values.len(),
+            self.inputs.len(),
+            "expected {} input values",
+            self.inputs.len()
+        );
+        let mut value = vec![false; self.nodes.len()];
+        for (i, &id) in self.inputs.iter().enumerate() {
+            value[id.index()] = input_values[i];
+        }
+        let mut buf = Vec::new();
+        for &id in &self.topo {
+            let node = &self.nodes[id.index()];
+            if node.kind == GateKind::Input {
+                continue;
+            }
+            buf.clear();
+            buf.extend(node.fanin.iter().map(|f| value[f.index()]));
+            value[id.index()] = node.kind.eval(&buf);
+        }
+        value
+    }
+
+    /// The transitive fanout cone of a node (including the node itself),
+    /// in topological order. Used for incremental timing updates.
+    pub fn fanout_cone(&self, root: NodeId) -> Vec<NodeId> {
+        let mut in_cone = vec![false; self.nodes.len()];
+        in_cone[root.index()] = true;
+        let mut cone = Vec::new();
+        for &id in &self.topo {
+            if in_cone[id.index()] {
+                cone.push(id);
+                for &f in &self.nodes[id.index()].fanout {
+                    in_cone[f.index()] = true;
+                }
+            }
+        }
+        cone
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Circuit {
+        let mut b = CircuitBuilder::new("t");
+        b.add_input("a").unwrap();
+        b.add_input("b").unwrap();
+        b.add_gate("g1", GateKind::Nand, &["a", "b"]).unwrap();
+        b.add_gate("g2", GateKind::Not, &["g1"]).unwrap();
+        b.mark_output("g2").unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builds_counts_and_levels() {
+        let c = small();
+        assert_eq!(c.num_inputs(), 2);
+        assert_eq!(c.num_gates(), 2);
+        assert_eq!(c.stats().depth, 2);
+        let g2 = c.find("g2").unwrap();
+        assert_eq!(c.level(g2), 2);
+    }
+
+    #[test]
+    fn fanout_computed() {
+        let c = small();
+        let a = c.find("a").unwrap();
+        let g1 = c.find("g1").unwrap();
+        assert_eq!(c.node(a).fanout, vec![g1]);
+    }
+
+    #[test]
+    fn simulate_nand_not() {
+        let c = small();
+        let g2 = c.find("g2").unwrap();
+        // g2 = NOT(NAND(a,b)) = AND(a,b)
+        for (a, b) in [(false, false), (false, true), (true, false), (true, true)] {
+            let v = c.simulate(&[a, b]);
+            assert_eq!(v[g2.index()], a && b, "a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn topo_respects_edges() {
+        let c = small();
+        let pos: Vec<usize> = {
+            let mut p = vec![0; c.num_nodes()];
+            for (i, &id) in c.topo_order().iter().enumerate() {
+                p[id.index()] = i;
+            }
+            p
+        };
+        for id in c.gates() {
+            for &f in &c.node(id).fanin {
+                assert!(pos[f.index()] < pos[id.index()]);
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut b = CircuitBuilder::new("cyc");
+        b.add_input("a").unwrap();
+        b.add_gate("x", GateKind::And, &["a", "y"]).unwrap();
+        b.add_gate("y", GateKind::Not, &["x"]).unwrap();
+        b.mark_output("y").unwrap();
+        assert!(matches!(b.build(), Err(BuildError::Cycle(_))));
+    }
+
+    #[test]
+    fn duplicate_name_rejected() {
+        let mut b = CircuitBuilder::new("d");
+        b.add_input("a").unwrap();
+        assert_eq!(
+            b.add_input("a"),
+            Err(BuildError::DuplicateName("a".into()))
+        );
+    }
+
+    #[test]
+    fn unknown_fanin_rejected() {
+        let mut b = CircuitBuilder::new("u");
+        b.add_input("a").unwrap();
+        b.add_gate("g", GateKind::Not, &["zzz"]).unwrap();
+        b.mark_output("g").unwrap();
+        assert!(matches!(b.build(), Err(BuildError::UnknownSignal(_))));
+    }
+
+    #[test]
+    fn no_outputs_rejected() {
+        let mut b = CircuitBuilder::new("n");
+        b.add_input("a").unwrap();
+        assert!(matches!(b.build(), Err(BuildError::NoOutputs)));
+    }
+
+    #[test]
+    fn fanout_cone_includes_reachable() {
+        let c = small();
+        let a = c.find("a").unwrap();
+        let cone = c.fanout_cone(a);
+        assert_eq!(cone.len(), 3); // a, g1, g2
+    }
+
+    #[test]
+    fn gate_eval_truth_tables() {
+        use GateKind::*;
+        assert!(And.eval(&[true, true]));
+        assert!(!And.eval(&[true, false]));
+        assert!(!Nand.eval(&[true, true]));
+        assert!(Or.eval(&[false, true]));
+        assert!(!Nor.eval(&[false, true]));
+        assert!(Nor.eval(&[false, false]));
+        assert!(Xor.eval(&[true, false]));
+        assert!(!Xor.eval(&[true, true]));
+        assert!(Xnor.eval(&[true, true]));
+        assert!(Not.eval(&[false]));
+        assert!(Buff.eval(&[true]));
+        // 3-input parity.
+        assert!(Xor.eval(&[true, true, true]));
+    }
+
+    #[test]
+    fn bench_keyword_round_trip() {
+        for k in GateKind::LOGIC_KINDS {
+            assert_eq!(GateKind::from_bench_keyword(k.bench_keyword()), Some(k));
+        }
+        assert_eq!(GateKind::from_bench_keyword("nand"), Some(GateKind::Nand));
+        assert_eq!(GateKind::from_bench_keyword("FLIPFLOP"), None);
+    }
+}

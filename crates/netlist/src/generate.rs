@@ -1,0 +1,403 @@
+//! Deterministic ISCAS85-class circuit generation.
+//!
+//! Real ISCAS85 netlist files are not redistributable in this offline
+//! environment (see `DESIGN.md` §5), so the benchmark suite is produced by
+//! a *seeded, deterministic* generator that reproduces the structural
+//! properties the optimizers actually interact with: gate count, I/O
+//! count, logic depth, the NAND-heavy ISCAS85 gate mix, and a realistic
+//! fanout distribution. Identical seeds always produce identical circuits,
+//! so every table and figure in the reproduction is stable run-to-run.
+
+use crate::circuit::{Circuit, CircuitBuilder, GateKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Structural specification for a generated circuit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GenSpec {
+    /// Circuit name (also salts the RNG so different benchmarks differ).
+    pub name: String,
+    /// Number of primary inputs (must be ≥ 2).
+    pub inputs: usize,
+    /// Number of primary outputs (must be ≥ 1).
+    pub outputs: usize,
+    /// Number of logic gates (must be ≥ outputs and ≥ depth).
+    pub gates: usize,
+    /// Logic depth (longest input→output path in gates, must be ≥ 2).
+    pub depth: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl GenSpec {
+    /// Creates a spec with the given structure and a default seed.
+    pub fn new(
+        name: impl Into<String>,
+        inputs: usize,
+        outputs: usize,
+        gates: usize,
+        depth: usize,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            inputs,
+            outputs,
+            gates,
+            depth,
+            seed: 0x5EED_1EA4,
+        }
+    }
+}
+
+/// `true` for gate kinds whose fanin list may grow arbitrarily.
+fn is_variadic(kind: GateKind) -> bool {
+    matches!(
+        kind,
+        GateKind::And | GateKind::Nand | GateKind::Or | GateKind::Nor
+    )
+}
+
+/// Weighted ISCAS85-like gate mix: NAND-dominated, some inverters,
+/// occasional XOR parity logic.
+fn pick_kind(rng: &mut StdRng) -> GateKind {
+    let r: f64 = rng.gen();
+    match r {
+        r if r < 0.38 => GateKind::Nand,
+        r if r < 0.53 => GateKind::Nor,
+        r if r < 0.63 => GateKind::And,
+        r if r < 0.72 => GateKind::Or,
+        r if r < 0.87 => GateKind::Not,
+        r if r < 0.92 => GateKind::Xor,
+        r if r < 0.95 => GateKind::Xnor,
+        _ => GateKind::Buff,
+    }
+}
+
+/// Generates a circuit matching the spec.
+///
+/// The generated DAG is layered: gates are spread over `depth` levels, each
+/// gate takes at least one fanin from the immediately preceding level (which
+/// pins the logic depth exactly), remaining fanins are drawn from earlier
+/// levels with a bias toward recent ones. Two structural guarantees make the
+/// stitching of dangling logic exact:
+///
+/// 1. the deepest level holds at most `outputs` gates, so every deepest
+///    gate can be a primary output, and
+/// 2. the deepest level always contains at least one variadic (NAND) gate —
+///    the *absorber* — so any dangling gate at a shallower level can always
+///    be consumed as an extra fanin.
+///
+/// # Panics
+///
+/// Panics if the spec is degenerate (`inputs < 2`, `outputs < 1`,
+/// `gates < depth`, `gates < outputs`, or `depth < 2`).
+///
+/// ```
+/// use statleak_netlist::generate::{generate, GenSpec};
+/// let c = generate(&GenSpec::new("demo", 8, 4, 64, 9));
+/// assert_eq!(c.num_gates(), 64);
+/// assert_eq!(c.num_outputs(), 4);
+/// assert_eq!(c.stats().depth, 9);
+/// ```
+pub fn generate(spec: &GenSpec) -> Circuit {
+    assert!(spec.inputs >= 2, "need at least 2 inputs");
+    assert!(spec.outputs >= 1, "need at least 1 output");
+    assert!(spec.depth >= 2, "depth must be >= 2");
+    assert!(
+        spec.gates >= spec.depth,
+        "need at least one gate per level ({} gates < depth {})",
+        spec.gates,
+        spec.depth
+    );
+    assert!(
+        spec.gates >= spec.outputs,
+        "need at least as many gates as outputs"
+    );
+
+    // Salt the seed with the name so each benchmark is distinct.
+    let salt = spec
+        .name
+        .bytes()
+        .fold(0u64, |h, b| h.wrapping_mul(131).wrapping_add(b as u64));
+    let mut rng = StdRng::seed_from_u64(spec.seed ^ salt);
+
+    // ---- Distribute gates over levels 1..=depth (each level >= 1). ----
+    let mut per_level = vec![1usize; spec.depth];
+    let mut remaining = spec.gates - spec.depth;
+    // Bias extra gates toward the shallow part of the circuit, like real
+    // benchmarks whose cones narrow toward the outputs. The deepest level
+    // is capped at `outputs` so every deepest gate can become an output.
+    let last = spec.depth - 1;
+    let last_cap = spec.outputs.max(1);
+    while remaining > 0 {
+        let t: f64 = rng.gen();
+        let mut idx = (((t * t) * spec.depth as f64) as usize).min(last);
+        if idx == last && per_level[last] >= last_cap {
+            idx = last.saturating_sub(1);
+        }
+        per_level[idx] += 1;
+        remaining -= 1;
+    }
+
+    // ---- Create gates level by level. ----
+    // `pool[l]` = names of nodes at level l (level 0 = inputs).
+    let mut pool: Vec<Vec<String>> = Vec::with_capacity(spec.depth + 1);
+    pool.push((0..spec.inputs).map(|i| format!("I{i}")).collect());
+
+    let mut builder = CircuitBuilder::new(spec.name.clone());
+    for name in &pool[0] {
+        builder
+            .add_input(name.clone())
+            .expect("generated input names are unique");
+    }
+
+    // (name, kind, fanin, level) records; stitched before emission.
+    let mut gate_records: Vec<(String, GateKind, Vec<String>, usize)> = Vec::new();
+    let mut gate_counter = 0usize;
+
+    for (lvl0, &count) in per_level.iter().enumerate() {
+        let level = lvl0 + 1;
+        let mut this_level = Vec::with_capacity(count);
+        for slot in 0..count {
+            // The first gate of the deepest level is the NAND absorber.
+            let kind = if level == spec.depth && slot == 0 {
+                GateKind::Nand
+            } else {
+                pick_kind(&mut rng)
+            };
+            let arity = match kind {
+                GateKind::Not | GateKind::Buff => 1,
+                GateKind::Xor | GateKind::Xnor => 2,
+                _ => {
+                    // 2-4 inputs, mostly 2.
+                    let r: f64 = rng.gen();
+                    if r < 0.62 {
+                        2
+                    } else if r < 0.90 {
+                        3
+                    } else {
+                        4
+                    }
+                }
+            };
+            let mut fanin = Vec::with_capacity(arity);
+            // First fanin pinned to the previous level (pins the depth).
+            let prev = &pool[level - 1];
+            fanin.push(prev[rng.gen_range(0..prev.len())].clone());
+            for _ in 1..arity {
+                // Bias toward recent levels: geometric walk backwards.
+                let mut l = level - 1;
+                while l > 0 && rng.gen::<f64>() < 0.45 {
+                    l -= 1;
+                }
+                let cands = &pool[l];
+                let pick = cands[rng.gen_range(0..cands.len())].clone();
+                if !fanin.contains(&pick) {
+                    fanin.push(pick);
+                }
+            }
+            let name = format!("G{gate_counter}");
+            gate_counter += 1;
+            gate_records.push((name.clone(), kind, fanin, level));
+            this_level.push(name);
+        }
+        pool.push(this_level);
+    }
+
+    // ---- Stitch dangling logic back in. ----
+    let mut consumed: std::collections::HashSet<String> = gate_records
+        .iter()
+        .flat_map(|(_, _, fanin, _)| fanin.iter().cloned())
+        .collect();
+
+    // Variadic gates grouped for quick "deeper than l" lookups.
+    let variadic: Vec<(usize, usize)> = gate_records
+        .iter()
+        .enumerate()
+        .filter(|(_, (_, kind, _, _))| is_variadic(*kind))
+        .map(|(i, (_, _, _, lvl))| (i, *lvl))
+        .collect();
+    debug_assert!(
+        variadic.iter().any(|&(_, lvl)| lvl == spec.depth),
+        "absorber guarantees a variadic gate at the deepest level"
+    );
+
+    // Consume a dangling node `name` (at level `lvl`) in some variadic gate
+    // strictly deeper than `lvl`. The absorber makes this always possible
+    // for lvl < depth.
+    let absorb = |name: &str, lvl: usize, rng: &mut StdRng,
+                      gate_records: &mut Vec<(String, GateKind, Vec<String>, usize)>| {
+        let cands: Vec<usize> = variadic
+            .iter()
+            .filter(|&&(_, vl)| vl > lvl)
+            .map(|&(i, _)| i)
+            .collect();
+        debug_assert!(!cands.is_empty(), "absorber must exist deeper than {lvl}");
+        // Try a few random candidates that don't already contain the node.
+        for _ in 0..4 {
+            let gi = cands[rng.gen_range(0..cands.len())];
+            if !gate_records[gi].2.iter().any(|f| f == name) {
+                gate_records[gi].2.push(name.to_string());
+                return;
+            }
+        }
+        // Fall back to the first candidate not containing it (the absorber
+        // at the deepest level will match unless it already contains it).
+        for &gi in &cands {
+            if !gate_records[gi].2.iter().any(|f| f == name) {
+                gate_records[gi].2.push(name.to_string());
+                return;
+            }
+        }
+        // Already consumed everywhere it could go — nothing to do.
+    };
+
+    // Dangling inputs first (level 0).
+    let dangling_inputs: Vec<String> = pool[0]
+        .iter()
+        .filter(|n| !consumed.contains(*n))
+        .cloned()
+        .collect();
+    for name in dangling_inputs {
+        absorb(&name, 0, &mut rng, &mut gate_records);
+        consumed.insert(name);
+    }
+
+    // Dangling gates: deepest become outputs, shallower are absorbed.
+    let mut dangling_gates: Vec<(String, usize)> = gate_records
+        .iter()
+        .filter(|(n, _, _, _)| !consumed.contains(n))
+        .map(|(n, _, _, lvl)| (n.clone(), *lvl))
+        .collect();
+    dangling_gates.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+
+    let outputs_from_dangling: Vec<String> = dangling_gates
+        .iter()
+        .take(spec.outputs)
+        .map(|(n, _)| n.clone())
+        .collect();
+    for (name, lvl) in dangling_gates.iter().skip(spec.outputs) {
+        debug_assert!(
+            *lvl < spec.depth,
+            "deepest level holds at most `outputs` gates, all taken as outputs"
+        );
+        absorb(name, *lvl, &mut rng, &mut gate_records);
+    }
+
+    // Top up outputs from the deepest gates if too few gates dangled.
+    let mut outputs = outputs_from_dangling;
+    if outputs.len() < spec.outputs {
+        for (name, _, _, _) in gate_records.iter().rev() {
+            if outputs.len() >= spec.outputs {
+                break;
+            }
+            if !outputs.contains(name) {
+                outputs.push(name.clone());
+            }
+        }
+    }
+
+    // ---- Emit. ----
+    for (name, kind, fanin, _) in &gate_records {
+        let refs: Vec<&str> = fanin.iter().map(String::as_str).collect();
+        builder
+            .add_gate(name.clone(), *kind, &refs)
+            .expect("generated gate names are unique");
+    }
+    for o in &outputs {
+        builder.mark_output(o.clone()).expect("infallible");
+    }
+    builder
+        .build()
+        .expect("generator produces structurally valid circuits")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_spec_counts() {
+        let spec = GenSpec::new("t1", 12, 6, 100, 12);
+        let c = generate(&spec);
+        assert_eq!(c.num_inputs(), 12);
+        assert_eq!(c.num_gates(), 100);
+        assert_eq!(c.num_outputs(), 6);
+        assert_eq!(c.stats().depth, 12);
+    }
+
+    #[test]
+    fn exact_structure_across_many_specs() {
+        for (i, o, g, d) in [
+            (5, 2, 10, 3),
+            (36, 7, 160, 17),
+            (60, 26, 383, 24),
+            (33, 25, 880, 40),
+            (32, 32, 2416, 124),
+        ] {
+            let c = generate(&GenSpec::new(format!("s{i}_{g}"), i, o, g, d));
+            assert_eq!(c.num_inputs(), i);
+            assert_eq!(c.num_outputs(), o, "outputs for g={g}");
+            assert_eq!(c.num_gates(), g);
+            assert_eq!(c.stats().depth, d, "depth for g={g}");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let spec = GenSpec::new("t2", 10, 3, 60, 8);
+        let a = generate(&spec);
+        let b = generate(&spec);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut s1 = GenSpec::new("t3", 10, 3, 60, 8);
+        let mut s2 = s1.clone();
+        s1.seed = 1;
+        s2.seed = 2;
+        assert_ne!(generate(&s1), generate(&s2));
+    }
+
+    #[test]
+    fn no_dead_logic() {
+        let c = generate(&GenSpec::new("t4", 16, 8, 200, 15));
+        for id in c.gates() {
+            if !c.is_output(id) {
+                assert!(
+                    !c.node(id).fanout.is_empty(),
+                    "gate {} dangles",
+                    c.node(id).name
+                );
+            }
+        }
+        for &i in c.inputs() {
+            assert!(
+                !c.node(i).fanout.is_empty(),
+                "input {} unused",
+                c.node(i).name
+            );
+        }
+    }
+
+    #[test]
+    fn simulable() {
+        let c = generate(&GenSpec::new("t5", 8, 4, 50, 7));
+        let v = c.simulate(&vec![true; 8]);
+        assert_eq!(v.len(), c.num_nodes());
+    }
+
+    #[test]
+    fn large_circuit_generates_quickly() {
+        let c = generate(&GenSpec::new("t6", 200, 100, 3500, 43));
+        assert_eq!(c.num_gates(), 3500);
+        assert_eq!(c.stats().depth, 43);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one gate per level")]
+    fn rejects_too_few_gates() {
+        let _ = generate(&GenSpec::new("bad", 4, 2, 5, 10));
+    }
+}

@@ -1,0 +1,40 @@
+//! Gate-level combinational netlist substrate for the `statleak` workspace.
+//!
+//! Provides:
+//!
+//! * [`Circuit`] — an immutable-after-build combinational DAG with typed
+//!   [`NodeId`]s, levelization, and structural statistics;
+//! * [`GateKind`] — the ISCAS85 gate alphabet (NAND/NOR/AND/OR/NOT/XOR/
+//!   XNOR/BUFF plus primary inputs);
+//! * [`mod@bench`] — parser and writer for the ISCAS85 `.bench` format
+//!   (including the ISCAS89 `DFF` cut);
+//! * [`verilog`] — reader/writer for primitive-only structural Verilog;
+//! * [`benchmarks`] — the ISCAS85-class benchmark suite: the genuine `c17`
+//!   plus deterministic generated circuits matching the published gate
+//!   counts and logic depths of c432…c7552 (see `DESIGN.md` §5 for why the
+//!   generator is a faithful substitution);
+//! * [`placement`] — a deterministic die placement used by the
+//!   spatial-correlation model.
+//!
+//! # Example
+//!
+//! ```
+//! use statleak_netlist::benchmarks;
+//!
+//! let c17 = benchmarks::c17();
+//! assert_eq!(c17.num_inputs(), 5);
+//! assert_eq!(c17.num_gates(), 6);
+//! assert_eq!(c17.num_outputs(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod benchmarks;
+mod circuit;
+pub mod generate;
+pub mod placement;
+pub mod verilog;
+
+pub use circuit::{BuildError, Circuit, CircuitBuilder, CircuitStats, GateKind, Node, NodeId};

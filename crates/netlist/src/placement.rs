@@ -1,0 +1,121 @@
+//! Deterministic die placement.
+//!
+//! Spatially correlated process variation needs every gate to have a
+//! physical location. The paper's flow takes placed netlists; here we use a
+//! deterministic structural placement: gates are spread across a unit die
+//! with the x-coordinate following logic level (data flows left→right, as a
+//! row-based placer would produce for a levelized design) and the
+//! y-coordinate spreading each level's gates evenly, with a small
+//! deterministic stagger so no two gates coincide.
+
+use crate::circuit::{Circuit, NodeId};
+
+/// A physical placement: one `(x, y)` position in the unit square per node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Placement {
+    positions: Vec<(f64, f64)>,
+}
+
+impl Placement {
+    /// Places every node of the circuit deterministically on the unit die.
+    ///
+    /// ```
+    /// use statleak_netlist::{benchmarks, placement::Placement};
+    /// let c = benchmarks::c17();
+    /// let p = Placement::by_level(&c);
+    /// let (x, y) = p.position(c.outputs()[0]);
+    /// assert!((0.0..=1.0).contains(&x) && (0.0..=1.0).contains(&y));
+    /// ```
+    pub fn by_level(circuit: &Circuit) -> Self {
+        let n = circuit.num_nodes();
+        let depth = circuit
+            .topo_order()
+            .iter()
+            .map(|&id| circuit.level(id))
+            .max()
+            .unwrap_or(0)
+            .max(1);
+        // Count nodes per level, then assign within-level ranks.
+        let mut per_level = vec![0usize; depth + 1];
+        for &id in circuit.topo_order() {
+            per_level[circuit.level(id)] += 1;
+        }
+        let mut next_rank = vec![0usize; depth + 1];
+        let mut positions = vec![(0.0, 0.0); n];
+        for &id in circuit.topo_order() {
+            let lvl = circuit.level(id);
+            let rank = next_rank[lvl];
+            next_rank[lvl] += 1;
+            let count = per_level[lvl].max(1);
+            let x = (lvl as f64 + 0.5) / (depth as f64 + 1.0);
+            // Evenly spread plus a tiny level-dependent stagger.
+            let y = (rank as f64 + 0.5) / count as f64;
+            let stagger = ((lvl * 2654435761usize) % 97) as f64 / 97.0 * 0.5 / count as f64;
+            positions[id.index()] = (x, (y + stagger).min(1.0));
+        }
+        Self { positions }
+    }
+
+    /// The position of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of bounds for the placed circuit.
+    #[inline]
+    pub fn position(&self, id: NodeId) -> (f64, f64) {
+        self.positions[id.index()]
+    }
+
+    /// All positions, indexed by [`NodeId`].
+    pub fn positions(&self) -> &[(f64, f64)] {
+        &self.positions
+    }
+
+    /// Euclidean distance between two placed nodes.
+    pub fn distance(&self, a: NodeId, b: NodeId) -> f64 {
+        let (ax, ay) = self.position(a);
+        let (bx, by) = self.position(b);
+        ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks;
+
+    #[test]
+    fn all_positions_inside_die() {
+        let c = benchmarks::by_name("c432").unwrap();
+        let p = Placement::by_level(&c);
+        for &(x, y) in p.positions() {
+            assert!((0.0..=1.0).contains(&x), "x={x}");
+            assert!((0.0..=1.0).contains(&y), "y={y}");
+        }
+    }
+
+    #[test]
+    fn deeper_gates_further_right() {
+        let c = benchmarks::c17();
+        let p = Placement::by_level(&c);
+        let input = c.inputs()[0];
+        let output = c.outputs()[0];
+        assert!(p.position(input).0 < p.position(output).0);
+    }
+
+    #[test]
+    fn distance_symmetric_and_zero_on_self() {
+        let c = benchmarks::c17();
+        let p = Placement::by_level(&c);
+        let a = c.inputs()[0];
+        let b = c.outputs()[0];
+        assert_eq!(p.distance(a, a), 0.0);
+        assert!((p.distance(a, b) - p.distance(b, a)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn placement_is_deterministic() {
+        let c = benchmarks::by_name("c880").unwrap();
+        assert_eq!(Placement::by_level(&c), Placement::by_level(&c));
+    }
+}

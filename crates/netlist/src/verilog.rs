@@ -1,0 +1,412 @@
+//! Structural gate-level Verilog reader and writer.
+//!
+//! ISCAS85 circuits are commonly distributed as primitive-only structural
+//! Verilog alongside the `.bench` format. This module supports that
+//! subset:
+//!
+//! ```text
+//! module c17 (N1, N2, N3, N6, N7, N22, N23);
+//!   input  N1, N2, N3, N6, N7;
+//!   output N22, N23;
+//!   wire   N10, N11, N16, N19;
+//!   nand g0 (N10, N1, N3);   // output port first, like Verilog primitives
+//!   ...
+//! endmodule
+//! ```
+//!
+//! Supported statements: `module`/`endmodule`, `input`, `output`, `wire`
+//! declarations (comma lists), the gate primitives `and`, `nand`, `or`,
+//! `nor`, `xor`, `xnor`, `not`, `buf`, and `assign lhs = rhs;` (treated as
+//! a buffer). Comments (`//` and `/* */`) are stripped.
+
+use crate::circuit::{BuildError, Circuit, CircuitBuilder, GateKind};
+use std::collections::HashSet;
+use std::fmt;
+
+/// Errors produced while parsing structural Verilog.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseVerilogError {
+    /// No `module` header found.
+    MissingModule,
+    /// A statement could not be parsed.
+    Syntax {
+        /// The offending statement text (truncated).
+        statement: String,
+    },
+    /// An unsupported primitive or statement keyword.
+    Unsupported {
+        /// The unrecognized keyword.
+        keyword: String,
+    },
+    /// The netlist was syntactically fine but structurally invalid.
+    Build(BuildError),
+}
+
+impl fmt::Display for ParseVerilogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseVerilogError::MissingModule => write!(f, "no `module` header found"),
+            ParseVerilogError::Syntax { statement } => {
+                write!(f, "cannot parse statement `{statement}`")
+            }
+            ParseVerilogError::Unsupported { keyword } => {
+                write!(f, "unsupported construct `{keyword}`")
+            }
+            ParseVerilogError::Build(e) => write!(f, "invalid netlist: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseVerilogError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseVerilogError::Build(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<BuildError> for ParseVerilogError {
+    fn from(e: BuildError) -> Self {
+        ParseVerilogError::Build(e)
+    }
+}
+
+fn primitive_keyword(kind: GateKind) -> &'static str {
+    match kind {
+        GateKind::Input => unreachable!("inputs are not primitives"),
+        GateKind::Buff => "buf",
+        GateKind::Not => "not",
+        GateKind::And => "and",
+        GateKind::Nand => "nand",
+        GateKind::Or => "or",
+        GateKind::Nor => "nor",
+        GateKind::Xor => "xor",
+        GateKind::Xnor => "xnor",
+    }
+}
+
+fn primitive_kind(kw: &str) -> Option<GateKind> {
+    Some(match kw {
+        "buf" => GateKind::Buff,
+        "not" => GateKind::Not,
+        "and" => GateKind::And,
+        "nand" => GateKind::Nand,
+        "or" => GateKind::Or,
+        "nor" => GateKind::Nor,
+        "xor" => GateKind::Xor,
+        "xnor" => GateKind::Xnor,
+        _ => return None,
+    })
+}
+
+/// Strips `//` line comments and `/* */` block comments.
+fn strip_comments(src: &str) -> String {
+    let mut out = String::with_capacity(src.len());
+    let mut chars = src.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c == '/' {
+            match chars.peek() {
+                Some('/') => {
+                    for d in chars.by_ref() {
+                        if d == '\n' {
+                            out.push('\n');
+                            break;
+                        }
+                    }
+                }
+                Some('*') => {
+                    chars.next();
+                    let mut prev = ' ';
+                    for d in chars.by_ref() {
+                        if prev == '*' && d == '/' {
+                            break;
+                        }
+                        prev = d;
+                    }
+                    out.push(' ');
+                }
+                _ => out.push(c),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Parses a single structural-Verilog module into a [`Circuit`].
+///
+/// # Errors
+///
+/// Returns [`ParseVerilogError`] on unsupported constructs, syntax
+/// problems, or structural netlist errors.
+///
+/// ```
+/// let src = "module tiny (a, b, y);
+///   input a, b; output y;
+///   nand g0 (y, a, b);
+/// endmodule";
+/// let c = statleak_netlist::verilog::parse(src)?;
+/// assert_eq!(c.name(), "tiny");
+/// assert_eq!(c.num_gates(), 1);
+/// # Ok::<(), statleak_netlist::verilog::ParseVerilogError>(())
+/// ```
+pub fn parse(src: &str) -> Result<Circuit, ParseVerilogError> {
+    let text = strip_comments(src);
+    // Statements are `;`-separated; `endmodule` has no semicolon.
+    let mut name = None;
+    let mut inputs: Vec<String> = Vec::new();
+    let mut outputs: Vec<String> = Vec::new();
+    let mut gates: Vec<(String, GateKind, Vec<String>)> = Vec::new();
+
+    for raw in text.split(';') {
+        let stmt = raw.trim().trim_end_matches("endmodule").trim();
+        if stmt.is_empty() {
+            continue;
+        }
+        let mut words = stmt.split_whitespace();
+        let keyword = words.next().unwrap_or_default();
+        let rest = stmt[keyword.len()..].trim();
+        match keyword {
+            "module" => {
+                let head = rest.split('(').next().unwrap_or("").trim();
+                if head.is_empty() {
+                    return Err(ParseVerilogError::Syntax {
+                        statement: truncate(stmt),
+                    });
+                }
+                name = Some(head.to_string());
+                // The port list itself carries no direction info; skip it.
+            }
+            "input" => inputs.extend(split_names(rest)),
+            "output" => outputs.extend(split_names(rest)),
+            "wire" => { /* declarations only; connectivity is from gates */ }
+            "assign" => {
+                // assign lhs = rhs;  → buffer.
+                let Some((lhs, rhs)) = rest.split_once('=') else {
+                    return Err(ParseVerilogError::Syntax {
+                        statement: truncate(stmt),
+                    });
+                };
+                gates.push((
+                    lhs.trim().to_string(),
+                    GateKind::Buff,
+                    vec![rhs.trim().to_string()],
+                ));
+            }
+            kw => {
+                let Some(kind) = primitive_kind(kw) else {
+                    return Err(ParseVerilogError::Unsupported {
+                        keyword: kw.to_string(),
+                    });
+                };
+                // `kind [instance_name] ( out, in... )`
+                let open = rest.find('(').ok_or_else(|| ParseVerilogError::Syntax {
+                    statement: truncate(stmt),
+                })?;
+                let close = rest.rfind(')').ok_or_else(|| ParseVerilogError::Syntax {
+                    statement: truncate(stmt),
+                })?;
+                if close < open {
+                    return Err(ParseVerilogError::Syntax {
+                        statement: truncate(stmt),
+                    });
+                }
+                let ports: Vec<String> = split_names(&rest[open + 1..close]);
+                if ports.len() < 2 {
+                    return Err(ParseVerilogError::Syntax {
+                        statement: truncate(stmt),
+                    });
+                }
+                // The instance name between the keyword and `(` is
+                // optional in primitive instantiations and unused here.
+                let out_net = ports[0].clone();
+                gates.push((out_net, kind, ports[1..].to_vec()));
+            }
+        }
+    }
+
+    let name = name.ok_or(ParseVerilogError::MissingModule)?;
+    let mut builder = CircuitBuilder::new(name);
+    let declared_inputs: HashSet<&String> = inputs.iter().collect();
+    for i in &inputs {
+        builder.add_input(i.clone())?;
+    }
+    for (out, kind, ins) in &gates {
+        if declared_inputs.contains(out) {
+            return Err(ParseVerilogError::Build(BuildError::DuplicateName(
+                out.clone(),
+            )));
+        }
+        let refs: Vec<&str> = ins.iter().map(String::as_str).collect();
+        builder.add_gate(out.clone(), *kind, &refs)?;
+    }
+    for o in &outputs {
+        builder.mark_output(o.clone())?;
+    }
+    Ok(builder.build()?)
+}
+
+fn split_names(s: &str) -> Vec<String> {
+    s.split(',')
+        .map(str::trim)
+        .filter(|t| !t.is_empty())
+        .map(str::to_string)
+        .collect()
+}
+
+fn truncate(s: &str) -> String {
+    let mut t: String = s.chars().take(60).collect();
+    if s.chars().count() > 60 {
+        t.push('…');
+    }
+    t
+}
+
+/// Serializes a [`Circuit`] as primitive-only structural Verilog.
+///
+/// The output round-trips through [`parse`] to a structurally identical
+/// circuit.
+pub fn write(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    let port_names: Vec<&str> = circuit
+        .inputs()
+        .iter()
+        .chain(circuit.outputs())
+        .map(|&id| circuit.node(id).name.as_str())
+        .collect();
+    out.push_str(&format!(
+        "module {} ({});\n",
+        circuit.name(),
+        port_names.join(", ")
+    ));
+    let list = |ids: &[crate::circuit::NodeId]| -> String {
+        ids.iter()
+            .map(|&id| circuit.node(id).name.clone())
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    out.push_str(&format!("  input {};\n", list(circuit.inputs())));
+    out.push_str(&format!("  output {};\n", list(circuit.outputs())));
+    let wires: Vec<String> = circuit
+        .gates()
+        .filter(|&g| !circuit.is_output(g))
+        .map(|g| circuit.node(g).name.clone())
+        .collect();
+    if !wires.is_empty() {
+        out.push_str(&format!("  wire {};\n", wires.join(", ")));
+    }
+    for (i, id) in circuit.gates().enumerate() {
+        let node = circuit.node(id);
+        let mut ports = vec![node.name.as_str()];
+        ports.extend(node.fanin.iter().map(|f| circuit.node(*f).name.as_str()));
+        out.push_str(&format!(
+            "  {} g{} ({});\n",
+            primitive_keyword(node.kind),
+            i,
+            ports.join(", ")
+        ));
+    }
+    out.push_str("endmodule\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks;
+
+    #[test]
+    fn writes_and_reparses_c17() {
+        let c = benchmarks::c17();
+        let v = write(&c);
+        assert!(v.contains("module c17"));
+        assert!(v.contains("nand"));
+        let c2 = parse(&v).unwrap();
+        assert_eq!(c.stats(), c2.stats());
+    }
+
+    #[test]
+    fn round_trip_preserves_simulation() {
+        let c = benchmarks::by_name("c432").unwrap();
+        let c2 = parse(&write(&c)).unwrap();
+        let inputs: Vec<bool> = (0..c.num_inputs()).map(|i| i % 2 == 0).collect();
+        let v1 = c.simulate(&inputs);
+        let v2 = c2.simulate(&inputs);
+        for &o in c.outputs() {
+            let name = &c.node(o).name;
+            let o2 = c2.find(name).unwrap();
+            assert_eq!(v1[o.index()], v2[o2.index()], "output {name}");
+        }
+    }
+
+    #[test]
+    fn parses_hand_written_module_with_comments() {
+        let src = "
+        // a tiny mux-ish thing
+        module m (a, b, s, y);
+          input a, b, s; /* three inputs */
+          output y;
+          wire na, t1, t2;
+          not  i0 (na, s);
+          and  i1 (t1, a, na);
+          and  i2 (t2, b, s);
+          or   i3 (y, t1, t2);
+        endmodule";
+        let c = parse(src).unwrap();
+        assert_eq!(c.num_inputs(), 3);
+        assert_eq!(c.num_gates(), 4);
+        // Behaves like a mux: y = s ? b : a.
+        for (a, b, s) in [(true, false, false), (false, true, true), (true, true, false)] {
+            let v = c.simulate(&[a, b, s]);
+            let y = c.find("y").unwrap();
+            assert_eq!(v[y.index()], if s { b } else { a });
+        }
+    }
+
+    #[test]
+    fn assign_becomes_buffer() {
+        let src = "module t (a, y); input a; output y; assign y = a; endmodule";
+        let c = parse(src).unwrap();
+        let y = c.find("y").unwrap();
+        assert_eq!(c.node(y).kind, GateKind::Buff);
+    }
+
+    #[test]
+    fn instance_names_are_optional() {
+        let src = "module t (a, b, y); input a, b; output y; nand (y, a, b); endmodule";
+        let c = parse(src).unwrap();
+        assert_eq!(c.num_gates(), 1);
+    }
+
+    #[test]
+    fn unsupported_keyword_reported() {
+        let src = "module t (a, y); input a; output y; always @(a) y = a; endmodule";
+        let e = parse(src).unwrap_err();
+        assert!(matches!(e, ParseVerilogError::Unsupported { .. }));
+    }
+
+    #[test]
+    fn missing_module_reported() {
+        assert_eq!(parse("input a;"), Err(ParseVerilogError::MissingModule).map_err(|e| e));
+    }
+
+    #[test]
+    fn redefined_input_rejected() {
+        let src = "module t (a, y); input a; output y; buf g (a, y); endmodule";
+        assert!(matches!(
+            parse(src),
+            Err(ParseVerilogError::Build(BuildError::DuplicateName(_)))
+        ));
+    }
+
+    #[test]
+    fn generated_suite_round_trips() {
+        for name in ["c499", "c880"] {
+            let c = benchmarks::by_name(name).unwrap();
+            let c2 = parse(&write(&c)).unwrap();
+            assert_eq!(c.stats(), c2.stats(), "{name}");
+        }
+    }
+}

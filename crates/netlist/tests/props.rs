@@ -1,0 +1,126 @@
+//! Property-based tests for the netlist substrate.
+
+use proptest::prelude::*;
+use statleak_netlist::generate::{generate, GenSpec};
+use statleak_netlist::{bench, GateKind};
+
+/// A strategy for structurally valid generator specs.
+fn specs() -> impl Strategy<Value = GenSpec> {
+    (2usize..40, 2usize..80, 2usize..12, 0u64..1000).prop_flat_map(
+        |(inputs, extra_gates, depth, seed)| {
+            let gates = depth + extra_gates;
+            (1usize..=gates.min(20)).prop_map(move |outputs| {
+                let mut s = GenSpec::new(
+                    format!("p{inputs}_{gates}_{depth}_{seed}"),
+                    inputs,
+                    outputs,
+                    gates,
+                    depth,
+                );
+                s.seed = seed;
+                s
+            })
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn generated_circuits_match_spec(spec in specs()) {
+        let c = generate(&spec);
+        prop_assert_eq!(c.num_inputs(), spec.inputs);
+        prop_assert_eq!(c.num_gates(), spec.gates);
+        prop_assert_eq!(c.num_outputs(), spec.outputs);
+        prop_assert_eq!(c.stats().depth, spec.depth);
+    }
+
+    #[test]
+    fn generated_circuits_have_no_dead_logic(spec in specs()) {
+        let c = generate(&spec);
+        for id in c.gates() {
+            if !c.is_output(id) {
+                prop_assert!(!c.node(id).fanout.is_empty(), "dangling gate");
+            }
+        }
+        for &i in c.inputs() {
+            prop_assert!(!c.node(i).fanout.is_empty(), "unused input");
+        }
+    }
+
+    #[test]
+    fn topo_order_respects_edges(spec in specs()) {
+        let c = generate(&spec);
+        let mut pos = vec![0usize; c.num_nodes()];
+        for (i, &id) in c.topo_order().iter().enumerate() {
+            pos[id.index()] = i;
+        }
+        for id in c.gates() {
+            for &f in &c.node(id).fanin {
+                prop_assert!(pos[f.index()] < pos[id.index()]);
+            }
+        }
+    }
+
+    #[test]
+    fn levels_are_longest_paths(spec in specs()) {
+        let c = generate(&spec);
+        for id in c.gates() {
+            let expected = c
+                .node(id)
+                .fanin
+                .iter()
+                .map(|f| c.level(*f) + 1)
+                .max()
+                .unwrap();
+            prop_assert_eq!(c.level(id), expected);
+        }
+    }
+
+    #[test]
+    fn bench_round_trip_preserves_structure(spec in specs()) {
+        let c = generate(&spec);
+        let text = bench::write(&c);
+        let c2 = bench::parse(c.name(), &text).expect("own output parses");
+        prop_assert_eq!(c.stats(), c2.stats());
+        // Same simulation behaviour on a few vectors.
+        for pattern in 0..4u32 {
+            let inputs: Vec<bool> = (0..c.num_inputs())
+                .map(|i| (pattern >> (i % 32)) & 1 == 1)
+                .collect();
+            let v1 = c.simulate(&inputs);
+            let v2 = c2.simulate(&inputs);
+            for &o in c.outputs() {
+                let name = &c.node(o).name;
+                let o2 = c2.find(name).expect("output exists");
+                prop_assert_eq!(v1[o.index()], v2[o2.index()], "output {}", name);
+            }
+        }
+    }
+
+    #[test]
+    fn simulation_is_deterministic(spec in specs(), pattern in any::<u64>()) {
+        let c = generate(&spec);
+        let inputs: Vec<bool> = (0..c.num_inputs())
+            .map(|i| (pattern >> (i % 64)) & 1 == 1)
+            .collect();
+        prop_assert_eq!(c.simulate(&inputs), c.simulate(&inputs));
+    }
+
+    #[test]
+    fn gate_eval_involution_for_complement_pairs(
+        inputs in prop::collection::vec(any::<bool>(), 1..6),
+    ) {
+        // NAND = !AND, NOR = !OR, XNOR = !XOR.
+        prop_assert_eq!(
+            GateKind::Nand.eval(&inputs),
+            !GateKind::And.eval(&inputs)
+        );
+        prop_assert_eq!(GateKind::Nor.eval(&inputs), !GateKind::Or.eval(&inputs));
+        prop_assert_eq!(
+            GateKind::Xnor.eval(&inputs),
+            !GateKind::Xor.eval(&inputs)
+        );
+    }
+}

@@ -1,0 +1,143 @@
+//! Leakage-power optimizers: the reproduction's core contribution.
+//!
+//! Three engines, mirroring the DAC 2004 experimental setup:
+//!
+//! 1. [`sizing`] — TILOS-style greedy sizing used to build the starting
+//!    point: an all-low-Vth design sized to meet the delay target (and to
+//!    estimate the minimum achievable delay `Dmin`);
+//! 2. [`DeterministicOptimizer`] — the *comparison baseline*: greedy
+//!    dual-Vth assignment plus downsizing validated against **nominal**
+//!    STA slack (à la Wei/Roy and Pant et al.), optionally guard-banded;
+//! 3. [`StatisticalOptimizer`] — the paper's contribution: the same move
+//!    set validated against a **timing-yield** constraint from SSTA, with
+//!    the objective being a statistical leakage measure (95th percentile
+//!    or mean of the full-chip lognormal).
+//!
+//! Both optimizers use incremental cone updates with undo, so a candidate
+//! move costs time proportional to its fanout cone.
+//!
+//! # Example
+//!
+//! ```
+//! use statleak_netlist::{benchmarks, placement::Placement};
+//! use statleak_tech::{Design, FactorModel, Technology, VariationConfig};
+//! use statleak_opt::{sizing, DeterministicOptimizer};
+//! use std::sync::Arc;
+//!
+//! let circuit = Arc::new(benchmarks::by_name("c432").expect("known"));
+//! let tech = Technology::ptm100();
+//! let mut design = Design::new(circuit, tech);
+//! let dmin = sizing::size_for_min_delay(&mut design);
+//! let t_clk = 1.10 * dmin;
+//! sizing::size_for_delay(&mut design, t_clk)?;
+//! let report = DeterministicOptimizer::new(t_clk).optimize(&mut design);
+//! assert!(report.final_nominal_leakage < report.initial_nominal_leakage);
+//! # Ok::<(), statleak_opt::SizeError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod deterministic;
+pub mod lr_sizing;
+pub mod sizing;
+mod statistical;
+
+pub use deterministic::{
+    deterministic_for_yield, DeterministicOptimizer, DetReport, DetYieldOutcome,
+};
+pub use lr_sizing::{size_lagrangian, LrConfig, LrReport};
+pub use sizing::SizeError;
+pub use statistical::{
+    statistical_flow, statistical_for_yield, Objective, StatReport, StatisticalOptimizer,
+    StatYieldOutcome, TracePoint,
+};
+
+use statleak_netlist::NodeId;
+use statleak_tech::{cell, Design, VthClass};
+
+/// Nominal delay penalty of swapping gate `g` from its current Vth flavor
+/// to `target`, at its current size and load (ps).
+pub(crate) fn vth_penalty_to(design: &Design, g: NodeId, target: VthClass) -> f64 {
+    let node = design.circuit().node(g);
+    let c_load = design.load_cap(g);
+    let d_new = cell::gate_delay_nominal(
+        design.tech(),
+        node.kind,
+        node.fanin.len(),
+        design.size(g),
+        target,
+        c_load,
+    );
+    let d_cur = cell::gate_delay_nominal(
+        design.tech(),
+        node.kind,
+        node.fanin.len(),
+        design.size(g),
+        design.vth(g),
+        c_load,
+    );
+    d_new - d_cur
+}
+
+/// Nominal delay penalty of the classic low→high swap.
+pub(crate) fn vth_penalty(design: &Design, g: NodeId) -> f64 {
+    vth_penalty_to(design, g, VthClass::High)
+}
+
+/// Ranks low-Vth candidates for the high-Vth swap, TILOS-style: moves whose
+/// slack covers the delay penalty ("free" moves) come first ordered by
+/// leakage saving, then constrained moves ordered by saving per unit of
+/// slack shortfall. `slack_of` and `leak_of` are the analysis-specific
+/// slack and leakage measures.
+pub(crate) fn rank_vth_candidates_by(
+    candidates: &mut Vec<NodeId>,
+    penalty_of: impl Fn(NodeId) -> f64,
+    slack_of: impl Fn(NodeId) -> f64,
+    leak_of: impl Fn(NodeId) -> f64,
+) {
+    let mut scored: Vec<(NodeId, bool, f64)> = candidates
+        .iter()
+        .map(|&g| {
+            let penalty = penalty_of(g);
+            let slack = slack_of(g);
+            let saving = leak_of(g);
+            if slack >= penalty {
+                (g, true, saving)
+            } else {
+                (g, false, saving / (penalty - slack).max(1e-9))
+            }
+        })
+        .collect();
+    scored.sort_by(|a, b| b.1.cmp(&a.1).then(b.2.total_cmp(&a.2)));
+    *candidates = scored.into_iter().map(|(g, _, _)| g).collect();
+}
+
+/// Ranks low-Vth candidates for the classic low→high swap.
+pub(crate) fn rank_vth_candidates(
+    design: &Design,
+    candidates: &mut Vec<NodeId>,
+    slack_of: impl Fn(NodeId) -> f64,
+    leak_of: impl Fn(NodeId) -> f64,
+) {
+    rank_vth_candidates_by(candidates, |g| vth_penalty(design, g), slack_of, leak_of);
+}
+
+/// Seed set for an incremental timing update after changing gate `g`:
+/// the gate itself plus, if its input capacitance changed (resize), its
+/// fanin drivers whose load changed.
+pub(crate) fn seeds_for_change(design: &Design, g: NodeId, size_changed: bool) -> Vec<NodeId> {
+    let mut seeds = vec![g];
+    if size_changed {
+        seeds.extend(
+            design
+                .circuit()
+                .node(g)
+                .fanin
+                .iter()
+                .copied()
+                .filter(|f| design.circuit().node(*f).kind.is_gate()),
+        );
+    }
+    seeds
+}

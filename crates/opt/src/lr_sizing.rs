@@ -1,0 +1,269 @@
+//! Weight-driven (Lagrangian-relaxation-style) gate sizing.
+//!
+//! The TILOS greedy in [`crate::sizing`] upsizes one critical gate at a
+//! time — robust but myopic. This module implements the classic
+//! alternative: relax the timing constraints into per-gate weights
+//! `Λ_i` (Lagrange-multiplier analogs), solve the *relaxed* problem by
+//! cheap per-gate local optimization, and update the weights from the
+//! resulting slacks (multiplicative subgradient step). Each local step
+//! chooses the discrete size minimizing
+//!
+//! ```text
+//! cost_i(w) = w  +  Λ_i · d_i(w)  +  Σ_{f ∈ fanin} Λ_f · d_f(load(w))
+//! ```
+//!
+//! — its own width (the leakage/area proxy) plus weighted delay of itself
+//! *and* of the drivers whose load it changes. Gates with violated slack
+//! see their weights grow, pulling them (and their drivers) larger; gates
+//! with excess slack see weights decay, releasing area.
+//!
+//! The result is guaranteed feasible: the best timing-feasible iterate is
+//! kept, and if no iterate is feasible the greedy sizer repairs the final
+//! state.
+
+use crate::sizing::{size_for_delay, SizeError};
+use statleak_netlist::NodeId;
+use statleak_sta::Sta;
+use statleak_tech::{cell, Design};
+
+/// Configuration of the weight-driven sizer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LrConfig {
+    /// Delay target (ps).
+    pub t_clk: f64,
+    /// Outer iterations (weight updates).
+    pub iterations: usize,
+    /// Subgradient step aggressiveness.
+    pub kappa: f64,
+}
+
+impl LrConfig {
+    /// Default configuration for a delay target.
+    pub fn new(t_clk: f64) -> Self {
+        Self {
+            t_clk,
+            iterations: 30,
+            kappa: 2.0,
+        }
+    }
+}
+
+/// Outcome of a weight-driven sizing run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LrReport {
+    /// Achieved circuit delay (ps).
+    pub delay: f64,
+    /// Total width of the result.
+    pub width: f64,
+    /// Whether the relaxation itself found a feasible iterate (false =
+    /// the greedy repair pass was needed).
+    pub converged: bool,
+    /// Outer iterations executed.
+    pub iterations: usize,
+}
+
+/// Local cost of giving gate `g` size `w`: own width + weighted own delay
+/// + weighted delay of the fanin drivers whose load changes with `w`.
+fn local_cost(design: &Design, weights: &[f64], g: NodeId, w: f64) -> f64 {
+    let tech = design.tech();
+    let circuit = design.circuit();
+    let node = circuit.node(g);
+    // Own delay at size w with the current load.
+    let d_own = cell::gate_delay_nominal(
+        tech,
+        node.kind,
+        node.fanin.len(),
+        w,
+        design.vth(g),
+        design.load_cap(g),
+    );
+    let mut cost = w + weights[g.index()] * d_own;
+    // Effect of our input capacitance on each fanin driver.
+    let delta_cap = cell::input_cap(tech, w) - cell::input_cap(tech, design.size(g));
+    for &f in &node.fanin {
+        let fnode = circuit.node(f);
+        if !fnode.kind.is_gate() {
+            continue;
+        }
+        let d_f = cell::gate_delay_nominal(
+            tech,
+            fnode.kind,
+            fnode.fanin.len(),
+            design.size(f),
+            design.vth(f),
+            design.load_cap(f) + delta_cap,
+        );
+        cost += weights[f.index()] * d_f;
+    }
+    cost
+}
+
+/// Runs weight-driven sizing toward the delay target, mutating the design
+/// in place. See the module docs for the algorithm.
+///
+/// # Errors
+///
+/// Returns [`SizeError`] if the target is unreachable even by the greedy
+/// repair pass.
+pub fn size_lagrangian(design: &mut Design, cfg: &LrConfig) -> Result<LrReport, SizeError> {
+    let circuit = design.circuit_arc();
+    let n = circuit.num_nodes();
+    // Initial weights: uniform in units of 1/ps so Λ·d ≈ O(1) per gate.
+    let mut weights = vec![1.0 / cfg.t_clk.max(1.0); n];
+    let mut best: Option<(Design, f64, f64)> = None; // (design, delay, width)
+    let mut iterations = 0usize;
+
+    for _ in 0..cfg.iterations {
+        iterations += 1;
+        // --- Relaxed problem: coordinate pass in topological order. ---
+        let gates: Vec<NodeId> = circuit.gates().collect();
+        for &g in &gates {
+            let mut best_w = design.size(g);
+            let mut best_cost = local_cost(design, &weights, g, best_w);
+            for &w in &design.tech().sizes {
+                if w == best_w {
+                    continue;
+                }
+                let c = local_cost(design, &weights, g, w);
+                if c < best_cost {
+                    best_cost = c;
+                    best_w = w;
+                }
+            }
+            if best_w != design.size(g) {
+                design.set_size(g, best_w);
+            }
+        }
+
+        // --- Evaluate and update weights from slacks. ---
+        let sta = Sta::analyze(design);
+        let delay = sta.circuit_delay();
+        if delay <= cfg.t_clk + 1e-9 {
+            let width = design.total_width();
+            if best
+                .as_ref()
+                .map_or(true, |&(_, _, bw)| width < bw)
+            {
+                best = Some((design.clone(), delay, width));
+            }
+        }
+        let slacks = sta.slacks(design, cfg.t_clk);
+        let mut max_w: f64 = 0.0;
+        for &g in &gates {
+            let rel = -slacks.of(g) / cfg.t_clk; // >0 when violating
+            // Multiplicative update, capped per step for stability.
+            let factor = (cfg.kappa * rel).clamp(-0.5, 1.0).exp();
+            weights[g.index()] = (weights[g.index()] * factor).max(1e-12);
+            max_w = max_w.max(weights[g.index()]);
+        }
+        // Renormalize to keep the width-vs-delay exchange rate stable.
+        if max_w > 0.0 {
+            let scale = (1.0 / cfg.t_clk) / (max_w / 10.0).max(1e-12);
+            if !(0.5..=2.0).contains(&scale) {
+                for w in &mut weights {
+                    *w *= scale.clamp(0.01, 100.0);
+                }
+            }
+        }
+    }
+
+    match best {
+        Some((d, delay, width)) => {
+            *design = d;
+            Ok(LrReport {
+                delay,
+                width,
+                converged: true,
+                iterations,
+            })
+        }
+        None => {
+            // Repair: greedy sizing from the current (infeasible) state.
+            let delay = size_for_delay(design, cfg.t_clk)?;
+            Ok(LrReport {
+                delay,
+                width: design.total_width(),
+                converged: false,
+                iterations,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sizing;
+    use statleak_netlist::benchmarks;
+    use statleak_tech::Technology;
+    use std::sync::Arc;
+
+    fn design(name: &str) -> Design {
+        Design::new(
+            Arc::new(benchmarks::by_name(name).unwrap()),
+            Technology::ptm100(),
+        )
+    }
+
+    #[test]
+    fn meets_target_on_c432() {
+        let mut d = design("c432");
+        let dmin = sizing::min_delay_estimate(&d);
+        let t = dmin * 1.15;
+        let r = size_lagrangian(&mut d, &LrConfig::new(t)).unwrap();
+        assert!(r.delay <= t + 1e-9);
+        assert!((Sta::analyze(&d).circuit_delay() - r.delay).abs() < 1e-9);
+    }
+
+    #[test]
+    fn competitive_with_greedy_width() {
+        for name in ["c432", "c880"] {
+            let base = design(name);
+            let dmin = sizing::min_delay_estimate(&base);
+            let t = dmin * 1.15;
+            let mut greedy = base.clone();
+            sizing::size_for_delay(&mut greedy, t).unwrap();
+            let mut lr = base.clone();
+            let r = size_lagrangian(&mut lr, &LrConfig::new(t)).unwrap();
+            assert!(
+                r.width <= greedy.total_width() * 1.25,
+                "{name}: LR width {} vs greedy {}",
+                r.width,
+                greedy.total_width()
+            );
+        }
+    }
+
+    #[test]
+    fn loose_target_stays_near_minimum_width() {
+        let mut d = design("c499");
+        let dmin = sizing::min_delay_estimate(&d);
+        let r = size_lagrangian(&mut d, &LrConfig::new(dmin * 2.0)).unwrap();
+        let min_width = d.circuit().num_gates() as f64;
+        assert!(
+            r.width < min_width * 1.3,
+            "relaxed target should barely size: width {}",
+            r.width
+        );
+    }
+
+    #[test]
+    fn impossible_target_errors() {
+        let mut d = design("c432");
+        let dmin = sizing::min_delay_estimate(&d);
+        assert!(size_lagrangian(&mut d, &LrConfig::new(dmin * 0.3)).is_err());
+    }
+
+    #[test]
+    fn deterministic() {
+        let base = design("c880");
+        let dmin = sizing::min_delay_estimate(&base);
+        let cfg = LrConfig::new(dmin * 1.2);
+        let mut a = base.clone();
+        let mut b = base.clone();
+        let ra = size_lagrangian(&mut a, &cfg).unwrap();
+        let rb = size_lagrangian(&mut b, &cfg).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(ra, rb);
+    }
+}

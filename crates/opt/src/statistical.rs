@@ -1,0 +1,630 @@
+//! The statistical dual-Vth + sizing optimizer — the paper's contribution.
+//!
+//! Identical move set to the deterministic baseline (low→high Vth swaps
+//! and downsizing), but:
+//!
+//! * **feasibility** is a parametric timing-yield constraint
+//!   `P(D ≤ T_clk) ≥ η` evaluated by incremental SSTA, instead of a
+//!   nominal slack test;
+//! * the **objective** is a statistical measure of the full-chip leakage
+//!   lognormal — the 95th percentile by default — maintained incrementally
+//!   by [`statleak_leakage::LeakageAnalysis`].
+//!
+//! Because timing is treated as a distribution, the optimizer can spend
+//! *statistical* slack that the deterministic corner view cannot see
+//! (paths that are nominally critical but rarely so under variation), and
+//! it refuses moves that look safe nominally but crater the yield. Both
+//! effects push the result to strictly better leakage at equal yield.
+
+use crate::seeds_for_change;
+use statleak_leakage::LeakageAnalysis;
+use statleak_netlist::NodeId;
+use statleak_ssta::Ssta;
+use statleak_tech::{Design, FactorModel, VthClass};
+
+/// The statistical leakage objective to minimize.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum Objective {
+    /// Minimize the 95th percentile of total leakage (the paper's choice:
+    /// protects the sellable-parts leakage spec).
+    #[default]
+    P95,
+    /// Minimize the mean of total leakage.
+    Mean,
+    /// Minimize an arbitrary quantile of total leakage (e.g. `0.99` for a
+    /// stricter leakage spec). Must lie strictly inside `(0, 1)`.
+    Quantile(f64),
+    /// Minimize p95 leakage **plus** dynamic switching power for the given
+    /// average activity factor and clock frequency (GHz). Makes the
+    /// downsizing pass weigh switched capacitance, not just leakage.
+    TotalPower {
+        /// Average switching activity factor.
+        activity: f64,
+        /// Clock frequency in GHz.
+        f_ghz: f64,
+    },
+}
+
+/// One point of the optimizer convergence trace (figure F5).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TracePoint {
+    /// Accepted-move index (0 = initial state).
+    pub accepted_moves: usize,
+    /// Objective value (W) after this move.
+    pub objective: f64,
+    /// Timing yield after this move.
+    pub timing_yield: f64,
+}
+
+/// Statistical optimizer configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatisticalOptimizer {
+    /// Clock period to honor (ps).
+    pub t_clk: f64,
+    /// Timing-yield floor `η`: every accepted move keeps
+    /// `P(D ≤ t_clk) ≥ η`.
+    pub yield_target: f64,
+    /// Objective to minimize.
+    pub objective: Objective,
+    /// Maximum improvement passes.
+    pub max_passes: usize,
+    /// The Vth ladder, ascending: each pass tries to promote every gate to
+    /// the next rung. `[Low, High]` is the paper's dual-Vth setup;
+    /// `[Low, Mid, High]` enables the triple-Vth extension.
+    pub vth_levels: Vec<VthClass>,
+}
+
+/// Outcome of a statistical optimization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatReport {
+    /// Objective (W) before optimization.
+    pub initial_objective: f64,
+    /// Objective (W) after optimization.
+    pub final_objective: f64,
+    /// Mean total leakage power (W) after optimization.
+    pub final_mean_leakage: f64,
+    /// Timing yield at `t_clk` before optimization.
+    pub initial_yield: f64,
+    /// Timing yield at `t_clk` after optimization.
+    pub final_yield: f64,
+    /// Gates moved to high Vth.
+    pub high_vth_gates: usize,
+    /// Accepted downsizing moves.
+    pub downsized_gates: usize,
+    /// Passes actually run.
+    pub passes: usize,
+    /// Convergence trace (one point per accepted move, plus the start).
+    pub trace: Vec<TracePoint>,
+}
+
+impl StatisticalOptimizer {
+    /// Creates an optimizer for a clock period and a 99 % yield floor.
+    pub fn new(t_clk: f64) -> Self {
+        Self {
+            t_clk,
+            yield_target: 0.99,
+            objective: Objective::P95,
+            max_passes: 8,
+            vth_levels: vec![VthClass::Low, VthClass::High],
+        }
+    }
+
+    /// Enables the triple-Vth ladder `[Low, Mid, High]` — the "more Vth
+    /// flavors" extension of the dual-Vth formulation.
+    pub fn with_triple_vth(mut self) -> Self {
+        self.vth_levels = vec![VthClass::Low, VthClass::Mid, VthClass::High];
+        self
+    }
+
+    /// The next rung of the ladder above a gate's current flavor, if any.
+    fn next_level(&self, current: VthClass) -> Option<VthClass> {
+        let pos = self.vth_levels.iter().position(|&c| c == current)?;
+        self.vth_levels.get(pos + 1).copied()
+    }
+
+    /// Sets the yield floor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eta` is not strictly inside `(0, 1)`.
+    pub fn with_yield_target(mut self, eta: f64) -> Self {
+        assert!(eta > 0.0 && eta < 1.0, "yield target must be in (0,1)");
+        self.yield_target = eta;
+        self
+    }
+
+    /// Sets the objective.
+    pub fn with_objective(mut self, objective: Objective) -> Self {
+        self.objective = objective;
+        self
+    }
+
+    fn objective_value(&self, design: &Design, leak: &LeakageAnalysis) -> f64 {
+        let power = leak.total_power(design);
+        match self.objective {
+            Objective::P95 => power.quantile(0.95),
+            Objective::Mean => power.mean(),
+            Objective::Quantile(p) => power.quantile(p),
+            Objective::TotalPower { activity, f_ghz } => {
+                power.quantile(0.95) + design.dynamic_power(activity, f_ghz)
+            }
+        }
+    }
+
+    /// Runs the optimization, mutating the design in place.
+    ///
+    /// The effective yield floor is `min(yield_target, initial_yield)`:
+    /// if the starting design already yields less than the target, the
+    /// optimizer preserves (never degrades) the starting yield instead of
+    /// failing. The report carries both yields so callers can see which
+    /// floor was active.
+    pub fn optimize(&self, design: &mut Design, fm: &FactorModel) -> StatReport {
+        let mut ssta = Ssta::analyze(design, fm);
+        let mut leak = LeakageAnalysis::analyze(design, fm);
+
+        let initial_yield = ssta.timing_yield(self.t_clk);
+        let floor = self.yield_target.min(initial_yield) - 1e-12;
+        let initial_objective = self.objective_value(design, &leak);
+
+        let mut trace = vec![TracePoint {
+            accepted_moves: 0,
+            objective: initial_objective,
+            timing_yield: initial_yield,
+        }];
+        let mut accepted_total = 0usize;
+        let mut downsized = 0usize;
+        let mut passes = 0usize;
+
+        for _ in 0..self.max_passes {
+            passes += 1;
+            let mut accepted = 0usize;
+
+            // --- Vth pass: statistically-slack-covered moves first (by
+            // mean leakage), then constrained moves by saving-per-
+            // shortfall. Statistical slack uses the mean backward pass
+            // against the yield-equivalent clock. ---
+            let t_eff = self.t_clk
+                - (ssta.clock_for_yield(floor.clamp(1e-9, 1.0 - 1e-9))
+                    - ssta.circuit_delay().mean);
+            let slacks = ssta.mean_slack(design, t_eff, 0.0);
+            let mut candidates: Vec<NodeId> = design
+                .circuit()
+                .gates()
+                .filter(|&g| self.next_level(design.vth(g)).is_some())
+                .collect();
+            crate::rank_vth_candidates_by(
+                &mut candidates,
+                |g| {
+                    let target = self
+                        .next_level(design.vth(g))
+                        .expect("candidates have a next rung");
+                    crate::vth_penalty_to(design, g, target)
+                },
+                |g| slacks[g.index()],
+                |g| leak.gate_mean_current(g),
+            );
+            for g in candidates {
+                let current = design.vth(g);
+                // Try the rungs above the current one, highest (leanest)
+                // first, and keep the first that preserves the yield floor
+                // — so a gate that can afford High is never parked at Mid.
+                let cur_pos = self
+                    .vth_levels
+                    .iter()
+                    .position(|&c| c == current)
+                    .expect("candidates are on the ladder");
+                for target in self.vth_levels[cur_pos + 1..].iter().rev().copied() {
+                    design.set_vth(g, target);
+                    let t_undo =
+                        ssta.recompute_cone(design, fm, &seeds_for_change(design, g, false));
+                    if ssta.timing_yield(self.t_clk) >= floor {
+                        leak.update_gate(design, fm, g);
+                        accepted += 1;
+                        accepted_total += 1;
+                        trace.push(TracePoint {
+                            accepted_moves: accepted_total,
+                            objective: self.objective_value(design, &leak),
+                            timing_yield: ssta.timing_yield(self.t_clk),
+                        });
+                        break;
+                    }
+                    ssta.undo(t_undo);
+                    design.set_vth(g, current);
+                }
+            }
+
+            // --- Downsizing pass. ---
+            let mut sized: Vec<NodeId> = design
+                .circuit()
+                .gates()
+                .filter(|&g| design.size(g) > 1.0)
+                .collect();
+            sized.sort_by(|&a, &b| design.size(b).total_cmp(&design.size(a)));
+            for g in sized {
+                let old = design.size(g);
+                let Some(down) = design.tech().size_down(old) else {
+                    continue;
+                };
+                design.set_size(g, down);
+                let t_undo = ssta.recompute_cone(design, fm, &seeds_for_change(design, g, true));
+                if ssta.timing_yield(self.t_clk) >= floor {
+                    leak.update_gate(design, fm, g);
+                    accepted += 1;
+                    accepted_total += 1;
+                    downsized += 1;
+                    trace.push(TracePoint {
+                        accepted_moves: accepted_total,
+                        objective: self.objective_value(design, &leak),
+                        timing_yield: ssta.timing_yield(self.t_clk),
+                    });
+                } else {
+                    ssta.undo(t_undo);
+                    design.set_size(g, old);
+                }
+            }
+
+            if accepted == 0 {
+                break;
+            }
+        }
+
+        StatReport {
+            initial_objective,
+            final_objective: self.objective_value(design, &leak),
+            final_mean_leakage: leak.total_power(design).mean(),
+            initial_yield,
+            final_yield: ssta.timing_yield(self.t_clk),
+            high_vth_gates: design.high_vth_count(),
+            downsized_gates: downsized,
+            passes,
+            trace,
+        }
+    }
+}
+
+/// Result of the full statistical flow ([`statistical_for_yield`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatYieldOutcome {
+    /// The optimized design.
+    pub design: Design,
+    /// The inner report of the winning run.
+    pub report: StatReport,
+    /// The initial-sizing margin (in sigma above the yield target) that
+    /// won the sweep.
+    pub sizing_margin_sigma: f64,
+}
+
+/// The complete statistical flow: size for a yield target with a sweep of
+/// initial margins (the statistical analog of the deterministic flow's
+/// guard-band search — oversizing buys statistical slack that converts
+/// into extra high-Vth assignments), run the yield-constrained optimizer
+/// on each, and keep the lowest objective.
+///
+/// # Errors
+///
+/// Returns [`crate::SizeError`] if even the plain yield target cannot be
+/// sized to.
+pub fn statistical_for_yield(
+    base: &Design,
+    fm: &FactorModel,
+    t_clk: f64,
+    eta: f64,
+) -> Result<StatYieldOutcome, crate::SizeError> {
+    statistical_flow(
+        base,
+        fm,
+        &StatisticalOptimizer::new(t_clk).with_yield_target(eta),
+    )
+}
+
+/// Like [`statistical_for_yield`], but with a caller-configured optimizer
+/// prototype (objective, Vth ladder, pass budget). The prototype's
+/// `t_clk` and `yield_target` define the constraint.
+///
+/// # Errors
+///
+/// Returns [`crate::SizeError`] if even the plain yield target cannot be
+/// sized to.
+pub fn statistical_flow(
+    base: &Design,
+    fm: &FactorModel,
+    proto: &StatisticalOptimizer,
+) -> Result<StatYieldOutcome, crate::SizeError> {
+    let t_clk = proto.t_clk;
+    let eta = proto.yield_target;
+    let z_eta = statleak_stats::phi_inv(eta);
+    let mut best: Option<StatYieldOutcome> = None;
+    let mut first_err = None;
+    for &margin in &[0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0] {
+        let eta_sized = statleak_stats::phi(z_eta + margin).min(1.0 - 1e-9);
+        let mut d = base.clone();
+        match crate::sizing::size_for_yield(&mut d, fm, t_clk, eta_sized) {
+            Ok(_) => {}
+            Err(e) => {
+                if margin == 0.0 {
+                    first_err = Some(e);
+                }
+                continue;
+            }
+        }
+        let report = proto.clone().optimize(&mut d, fm);
+        let better = best
+            .as_ref()
+            .map_or(true, |b| report.final_objective < b.report.final_objective);
+        if better {
+            best = Some(StatYieldOutcome {
+                design: d,
+                report,
+                sizing_margin_sigma: margin,
+            });
+        }
+    }
+    match best {
+        Some(b) => Ok(b),
+        None => Err(first_err.unwrap_or(crate::SizeError {
+            achieved: f64::INFINITY,
+            target: t_clk,
+        })),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sizing;
+    use statleak_netlist::{benchmarks, placement::Placement};
+    use statleak_tech::{Technology, VariationConfig};
+    use std::sync::Arc;
+
+    fn setup(name: &str, slack_factor: f64) -> (Design, FactorModel, f64) {
+        let circuit = Arc::new(benchmarks::by_name(name).unwrap());
+        let placement = Placement::by_level(&circuit);
+        let tech = Technology::ptm100();
+        let fm =
+            FactorModel::build(&circuit, &placement, &tech, &VariationConfig::ptm100()).unwrap();
+        let mut d = Design::new(circuit, tech);
+        let dmin = sizing::min_delay_estimate(&d);
+        let t = dmin * slack_factor;
+        sizing::size_for_delay(&mut d, t).unwrap();
+        (d, fm, t)
+    }
+
+    #[test]
+    fn reduces_p95_and_preserves_yield() {
+        let (mut d, fm, t) = setup("c432", 1.15);
+        let opt = StatisticalOptimizer::new(t);
+        let r = opt.optimize(&mut d, &fm);
+        assert!(r.final_objective < r.initial_objective * 0.8);
+        // Yield never degrades below the effective floor.
+        assert!(r.final_yield >= r.initial_yield.min(opt.yield_target) - 1e-9);
+        assert!(r.high_vth_gates > 0);
+    }
+
+    #[test]
+    fn trace_is_monotone_decreasing() {
+        let (mut d, fm, t) = setup("c499", 1.15);
+        let r = StatisticalOptimizer::new(t).optimize(&mut d, &fm);
+        assert!(r.trace.len() >= 2, "should accept at least one move");
+        for w in r.trace.windows(2) {
+            assert!(
+                w[1].objective <= w[0].objective + 1e-12,
+                "objective must never increase"
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_objective_orders_with_strictness() {
+        // A stricter quantile objective reports a larger number but still
+        // optimizes successfully.
+        let (d0, fm, t) = setup("c432", 1.15);
+        let mut d99 = d0.clone();
+        let r99 = StatisticalOptimizer::new(t)
+            .with_objective(Objective::Quantile(0.99))
+            .optimize(&mut d99, &fm);
+        assert!(r99.final_objective < r99.initial_objective);
+        let mut d50 = d0.clone();
+        let r50 = StatisticalOptimizer::new(t)
+            .with_objective(Objective::Quantile(0.50))
+            .optimize(&mut d50, &fm);
+        assert!(r99.final_objective > r50.final_objective);
+    }
+
+    #[test]
+    fn total_power_objective_includes_dynamic() {
+        let (d0, fm, t) = setup("c432", 1.15);
+        let mut d = d0.clone();
+        let obj = Objective::TotalPower {
+            activity: 0.1,
+            f_ghz: 1.0,
+        };
+        let r = StatisticalOptimizer::new(t)
+            .with_objective(obj)
+            .optimize(&mut d, &fm);
+        assert!(r.final_objective < r.initial_objective);
+        // The objective includes the dynamic component.
+        let leak_p95 = statleak_leakage::LeakageAnalysis::analyze(&d, &fm)
+            .total_power(&d)
+            .quantile(0.95);
+        let dynamic = d.dynamic_power(0.1, 1.0);
+        assert!((r.final_objective - (leak_p95 + dynamic)).abs() / r.final_objective < 1e-9);
+        assert!(dynamic > 0.0);
+    }
+
+    #[test]
+    fn mean_objective_also_works() {
+        let (mut d, fm, t) = setup("c432", 1.15);
+        let r = StatisticalOptimizer::new(t)
+            .with_objective(Objective::Mean)
+            .optimize(&mut d, &fm);
+        assert!(r.final_objective < r.initial_objective);
+    }
+
+    #[test]
+    fn stricter_yield_floor_saves_less() {
+        let (d0, fm, t) = setup("c880", 1.12);
+        let mut d_lo = d0.clone();
+        let mut d_hi = d0.clone();
+        let r_lo = StatisticalOptimizer::new(t)
+            .with_yield_target(0.90)
+            .optimize(&mut d_lo, &fm);
+        let r_hi = StatisticalOptimizer::new(t)
+            .with_yield_target(0.9999)
+            .optimize(&mut d_hi, &fm);
+        assert!(
+            r_lo.final_objective <= r_hi.final_objective + 1e-15,
+            "looser yield floor must allow at least as much saving: {} vs {}",
+            r_lo.final_objective,
+            r_hi.final_objective
+        );
+    }
+
+    #[test]
+    fn beats_deterministic_at_equal_yield() {
+        // The paper's headline: at the SAME timing yield, the statistical
+        // flow (size-for-yield + yield-constrained optimization) finds
+        // lower p95 leakage than the best guard-banded deterministic flow.
+        let eta = 0.95;
+        let circuit = Arc::new(benchmarks::by_name("c880").unwrap());
+        let placement = Placement::by_level(&circuit);
+        let tech = Technology::ptm100();
+        let fm =
+            FactorModel::build(&circuit, &placement, &tech, &VariationConfig::ptm100()).unwrap();
+        let base = Design::new(circuit, tech);
+        let dmin = sizing::min_delay_estimate(&base);
+        let t = dmin * 1.20;
+
+        // Deterministic flow with its best possible guard band.
+        let det = crate::deterministic_for_yield(&base, &fm, t, eta, 6).unwrap();
+        assert!(det.achieved_yield >= eta, "det yield {}", det.achieved_yield);
+        let p95_det = statleak_leakage::LeakageAnalysis::analyze(&det.design, &fm)
+            .total_power(&det.design)
+            .quantile(0.95);
+
+        // Statistical flow at the same yield requirement.
+        let out = statistical_for_yield(&base, &fm, t, eta).unwrap();
+        let r = &out.report;
+
+        assert!(r.final_yield >= eta - 1e-9, "stat yield {}", r.final_yield);
+        assert!(
+            r.final_objective < p95_det,
+            "statistical p95 {} must beat deterministic {}",
+            r.final_objective,
+            p95_det
+        );
+    }
+
+    #[test]
+    fn flow_sweep_never_worse_than_single_shot() {
+        let circuit = Arc::new(benchmarks::by_name("c432").unwrap());
+        let placement = Placement::by_level(&circuit);
+        let tech = Technology::ptm100();
+        let fm =
+            FactorModel::build(&circuit, &placement, &tech, &VariationConfig::ptm100()).unwrap();
+        let base = Design::new(circuit, tech);
+        let dmin = sizing::min_delay_estimate(&base);
+        let t = dmin * 1.20;
+        let eta = 0.95;
+
+        let mut single = base.clone();
+        sizing::size_for_yield(&mut single, &fm, t, eta).unwrap();
+        let r_single = StatisticalOptimizer::new(t)
+            .with_yield_target(eta)
+            .optimize(&mut single, &fm);
+
+        let swept = statistical_for_yield(&base, &fm, t, eta).unwrap();
+        assert!(swept.report.final_objective <= r_single.final_objective + 1e-15);
+    }
+
+    #[test]
+    fn deterministic_at_corner_loses_yield() {
+        // The motivating observation: corner optimization with zero guard
+        // band leaves the nominal path at the clock edge, so yield ≈ 50 %
+        // or worse.
+        let (d0, fm, t) = setup("c1355", 1.10);
+        let mut d_det = d0.clone();
+        crate::DeterministicOptimizer::new(t).optimize(&mut d_det);
+        let y = statleak_ssta::Ssta::analyze(&d_det, &fm).timing_yield(t);
+        assert!(y < 0.75, "corner-optimized yield should collapse, got {y}");
+    }
+
+    #[test]
+    #[should_panic(expected = "yield target must be in (0,1)")]
+    fn rejects_bad_yield_target() {
+        let _ = StatisticalOptimizer::new(100.0).with_yield_target(1.0);
+    }
+}
+
+#[cfg(test)]
+mod triple_vth_tests {
+    use super::*;
+    use crate::sizing;
+    use statleak_netlist::{benchmarks, placement::Placement};
+    use statleak_tech::{Technology, VariationConfig, VthClass};
+    use std::sync::Arc;
+
+    fn base(name: &str) -> (Design, FactorModel, f64) {
+        let circuit = Arc::new(benchmarks::by_name(name).unwrap());
+        let placement = Placement::by_level(&circuit);
+        let tech = Technology::ptm100();
+        let fm =
+            FactorModel::build(&circuit, &placement, &tech, &VariationConfig::ptm100()).unwrap();
+        let d = Design::new(circuit, tech);
+        let dmin = sizing::min_delay_estimate(&d);
+        (d, fm, dmin)
+    }
+
+    #[test]
+    fn triple_vth_uses_mid_and_beats_dual() {
+        let (d0, fm, dmin) = base("c880");
+        let t = dmin * 1.12;
+        let eta = 0.95;
+        let dual = statistical_flow(
+            &d0,
+            &fm,
+            &StatisticalOptimizer::new(t).with_yield_target(eta),
+        )
+        .unwrap();
+        let triple = statistical_flow(
+            &d0,
+            &fm,
+            &StatisticalOptimizer::new(t)
+                .with_yield_target(eta)
+                .with_triple_vth(),
+        )
+        .unwrap();
+        assert!(
+            triple.design.vth_count(VthClass::Mid) > 0,
+            "mid flavor should be used on timing-constrained gates"
+        );
+        assert!(triple.report.final_yield >= eta - 1e-9);
+        // The extra flavor never hurts (greedy noise bounded at 3%).
+        assert!(
+            triple.report.final_objective <= dual.report.final_objective * 1.03,
+            "triple {} vs dual {}",
+            triple.report.final_objective,
+            dual.report.final_objective
+        );
+    }
+
+    #[test]
+    fn ladder_climbing_promotes_through_mid() {
+        // With a very loose clock every gate should climb to High even via
+        // the two-step ladder.
+        let (mut d, fm, dmin) = base("c432");
+        let t = dmin * 3.0;
+        sizing::size_for_yield(&mut d, &fm, t, 0.99).unwrap();
+        let r = StatisticalOptimizer::new(t)
+            .with_yield_target(0.99)
+            .with_triple_vth()
+            .optimize(&mut d, &fm);
+        let gates = d.circuit().num_gates();
+        assert!(
+            d.vth_count(VthClass::High) > gates * 8 / 10,
+            "loose clock: most gates should reach High, got {}/{}",
+            d.vth_count(VthClass::High),
+            gates
+        );
+        assert!(r.final_yield >= 0.99 - 1e-9);
+    }
+}

@@ -1,0 +1,97 @@
+//! Property-based tests for the optimizers: constraints are never
+//! violated, objectives never regress, on randomly generated circuits.
+
+use proptest::prelude::*;
+use statleak_netlist::generate::{generate, GenSpec};
+use statleak_netlist::placement::Placement;
+use statleak_opt::{sizing, DeterministicOptimizer, StatisticalOptimizer};
+use statleak_ssta::Ssta;
+use statleak_sta::Sta;
+use statleak_tech::{Design, FactorModel, Technology, VariationConfig};
+use std::sync::Arc;
+
+fn setup(seed: u64, gates: usize) -> (Design, FactorModel) {
+    let mut spec = GenSpec::new(format!("opt_prop{seed}_{gates}"), 8, 4, gates, 8);
+    spec.seed = seed;
+    let circuit = Arc::new(generate(&spec));
+    let placement = Placement::by_level(&circuit);
+    let tech = Technology::ptm100();
+    let fm =
+        FactorModel::build(&circuit, &placement, &tech, &VariationConfig::ptm100()).expect("fm");
+    (Design::new(circuit, tech), fm)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn deterministic_never_violates_clock(
+        seed in 0u64..200,
+        slack in 1.05..1.4f64,
+    ) {
+        let (mut design, _) = setup(seed, 60);
+        let dmin = sizing::min_delay_estimate(&design);
+        let t = dmin * slack;
+        prop_assume!(sizing::size_for_delay(&mut design, t).is_ok());
+        let before = design.total_leakage_power_nominal();
+        let report = DeterministicOptimizer::new(t).optimize(&mut design);
+        prop_assert!(Sta::analyze(&design).circuit_delay() <= t + 1e-9);
+        prop_assert!(report.final_nominal_leakage <= before + 1e-18);
+        prop_assert!(
+            (design.total_leakage_power_nominal() - report.final_nominal_leakage).abs()
+                < 1e-15
+        );
+    }
+
+    #[test]
+    fn statistical_never_violates_yield_floor(
+        seed in 0u64..200,
+        slack in 1.10..1.4f64,
+        eta in 0.80..0.98f64,
+    ) {
+        let (mut design, fm) = setup(seed, 60);
+        let dmin = sizing::min_delay_estimate(&design);
+        let t = dmin * slack;
+        prop_assume!(sizing::size_for_yield(&mut design, &fm, t, eta).is_ok());
+        let report = StatisticalOptimizer::new(t)
+            .with_yield_target(eta)
+            .optimize(&mut design, &fm);
+        let y = Ssta::analyze(&design, &fm).timing_yield(t);
+        prop_assert!(y >= eta - 1e-9, "final yield {y} < floor {eta}");
+        prop_assert!(report.final_objective <= report.initial_objective + 1e-18);
+        // Trace is monotone non-increasing in the objective.
+        for w in report.trace.windows(2) {
+            prop_assert!(w[1].objective <= w[0].objective + 1e-15);
+        }
+    }
+
+    #[test]
+    fn sizing_monotone_targets(seed in 0u64..200) {
+        let (design, _) = setup(seed, 50);
+        let dmin = sizing::min_delay_estimate(&design);
+        // A looser target never needs more width than a tighter one.
+        let mut tight = design.clone();
+        let mut loose = design.clone();
+        prop_assume!(sizing::size_for_delay(&mut tight, dmin * 1.1).is_ok());
+        prop_assume!(sizing::size_for_delay(&mut loose, dmin * 1.5).is_ok());
+        prop_assert!(loose.total_width() <= tight.total_width() + 1e-9);
+    }
+
+    #[test]
+    fn optimizers_preserve_circuit_structure(seed in 0u64..200) {
+        let (mut design, fm) = setup(seed, 40);
+        let dmin = sizing::min_delay_estimate(&design);
+        let t = dmin * 1.25;
+        prop_assume!(sizing::size_for_yield(&mut design, &fm, t, 0.9).is_ok());
+        let gates_before: Vec<_> = design.circuit().gates().collect();
+        StatisticalOptimizer::new(t)
+            .with_yield_target(0.9)
+            .optimize(&mut design, &fm);
+        let gates_after: Vec<_> = design.circuit().gates().collect();
+        prop_assert_eq!(gates_before, gates_after);
+        // Sizes stay on the discrete grid.
+        for g in design.circuit().gates() {
+            prop_assert!(design.tech().sizes.contains(&design.size(g)));
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! Canonical first-order random timing quantities.
+
+use statleak_stats::{clark_max, Normal};
+
+/// A canonical first-order Gaussian form
+/// `X = mean + Σ_k shared[k]·Z_k + local·R` over independent standard
+/// normals: the shared process factors `Z_k` and an aggregated
+/// node-private term `R`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Canonical {
+    /// Mean value.
+    pub mean: f64,
+    /// Sensitivities to the shared factors.
+    pub shared: Vec<f64>,
+    /// Aggregated independent (node-local) sigma, ≥ 0.
+    pub local: f64,
+    /// Total variance (cached: `Σ shared² + local²`).
+    pub variance: f64,
+}
+
+impl Canonical {
+    /// Creates a canonical form from its parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `local` is negative.
+    pub fn new(mean: f64, shared: Vec<f64>, local: f64) -> Self {
+        assert!(local >= 0.0, "local sigma must be non-negative");
+        let variance = shared.iter().map(|a| a * a).sum::<f64>() + local * local;
+        Self {
+            mean,
+            shared,
+            local,
+            variance,
+        }
+    }
+
+    /// A deterministic constant in a factor space of the given width.
+    pub fn constant(value: f64, num_shared: usize) -> Self {
+        Self {
+            mean: value,
+            shared: vec![0.0; num_shared],
+            local: 0.0,
+            variance: 0.0,
+        }
+    }
+
+    /// Standard deviation.
+    #[inline]
+    pub fn std(&self) -> f64 {
+        self.variance.sqrt()
+    }
+
+    /// Covariance with another canonical form in the same factor space
+    /// (local terms are independent across forms, so only shared factors
+    /// contribute).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the factor spaces differ in width.
+    pub fn covariance(&self, other: &Canonical) -> f64 {
+        debug_assert_eq!(self.shared.len(), other.shared.len());
+        self.shared
+            .iter()
+            .zip(&other.shared)
+            .map(|(a, b)| a * b)
+            .sum()
+    }
+
+    /// Exact sum of two canonical forms (`local` terms add in quadrature —
+    /// they are independent by construction).
+    pub fn add(&self, other: &Canonical) -> Canonical {
+        debug_assert_eq!(self.shared.len(), other.shared.len());
+        let shared: Vec<f64> = self
+            .shared
+            .iter()
+            .zip(&other.shared)
+            .map(|(a, b)| a + b)
+            .collect();
+        let local = (self.local * self.local + other.local * other.local).sqrt();
+        Canonical::new(self.mean + other.mean, shared, local)
+    }
+
+    /// Statistical maximum via Clark's approximation, re-canonicalized by
+    /// tightness-probability blending of the shared sensitivities; the
+    /// local term absorbs whatever variance the blend does not explain.
+    pub fn stat_max(&self, other: &Canonical) -> Canonical {
+        debug_assert_eq!(self.shared.len(), other.shared.len());
+        let cov = self.covariance(other);
+        let r = clark_max(self.mean, self.variance, other.mean, other.variance, cov);
+        let t = r.tightness;
+        let shared: Vec<f64> = self
+            .shared
+            .iter()
+            .zip(&other.shared)
+            .map(|(a, b)| t * a + (1.0 - t) * b)
+            .collect();
+        let shared_var: f64 = shared.iter().map(|a| a * a).sum();
+        let local = (r.variance - shared_var).max(0.0).sqrt();
+        Canonical {
+            mean: r.mean,
+            shared,
+            local,
+            variance: (shared_var + local * local).max(r.variance),
+        }
+    }
+
+    /// Collapses the canonical form to a plain Gaussian.
+    pub fn to_normal(&self) -> Normal {
+        Normal::new(self.mean, self.std())
+    }
+}
+
+impl std::fmt::Display for Canonical {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Canon(mean={:.4}, sigma={:.4})", self.mean, self.std())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn canon(mean: f64, shared: &[f64], local: f64) -> Canonical {
+        Canonical::new(mean, shared.to_vec(), local)
+    }
+
+    #[test]
+    fn add_is_exact() {
+        let a = canon(1.0, &[0.1, 0.2], 0.3);
+        let b = canon(2.0, &[0.3, -0.1], 0.4);
+        let c = a.add(&b);
+        assert!((c.mean - 3.0).abs() < 1e-12);
+        assert!((c.shared[0] - 0.4).abs() < 1e-12);
+        assert!((c.shared[1] - 0.1).abs() < 1e-12);
+        assert!((c.local - 0.5).abs() < 1e-12);
+        // Var(A+B) = VarA + VarB + 2Cov.
+        let expect = a.variance + b.variance + 2.0 * a.covariance(&b);
+        assert!((c.variance - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn covariance_only_shared() {
+        let a = canon(0.0, &[0.5, 0.0], 9.0);
+        let b = canon(0.0, &[0.5, 1.0], 9.0);
+        assert!((a.covariance(&b) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_of_dominant_is_dominant() {
+        let a = canon(100.0, &[1.0], 0.5);
+        let b = canon(0.0, &[0.2], 0.5);
+        let m = a.stat_max(&b);
+        assert!((m.mean - 100.0).abs() < 1e-6);
+        assert!((m.shared[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn max_variance_never_negative() {
+        let a = canon(1.0, &[0.4], 0.0);
+        let b = canon(1.0, &[0.4], 0.0);
+        let m = a.stat_max(&b);
+        assert!(m.variance >= 0.0);
+        assert!(m.local >= 0.0);
+    }
+
+    #[test]
+    fn max_mean_at_least_inputs() {
+        let a = canon(3.0, &[0.5, 0.1], 0.2);
+        let b = canon(3.1, &[0.1, 0.5], 0.2);
+        let m = a.stat_max(&b);
+        assert!(m.mean >= 3.1 - 1e-12);
+    }
+
+    #[test]
+    fn constant_has_zero_variance() {
+        let c = Canonical::constant(5.0, 4);
+        assert_eq!(c.variance, 0.0);
+        assert_eq!(c.shared.len(), 4);
+    }
+
+    #[test]
+    fn to_normal_matches_moments() {
+        let a = canon(2.0, &[0.3, 0.4], 0.0);
+        let n = a.to_normal();
+        assert!((n.mean() - 2.0).abs() < 1e-12);
+        assert!((n.std() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_against_monte_carlo_correlated() {
+        use rand::{Rng, SeedableRng};
+        let a = canon(10.0, &[0.8, 0.2], 0.3);
+        let b = canon(10.5, &[0.3, 0.6], 0.4);
+        let m = a.stat_max(&b);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let n = 200_000;
+        let mut sum = 0.0;
+        let mut sum2 = 0.0;
+        let mut draw = |rng: &mut rand::rngs::StdRng| {
+            let u1: f64 = rng.gen_range(1e-12..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+        };
+        for _ in 0..n {
+            let z = [draw(&mut rng), draw(&mut rng)];
+            let ra = draw(&mut rng);
+            let rb = draw(&mut rng);
+            let xa = a.mean + a.shared[0] * z[0] + a.shared[1] * z[1] + a.local * ra;
+            let xb = b.mean + b.shared[0] * z[0] + b.shared[1] * z[1] + b.local * rb;
+            let x = xa.max(xb);
+            sum += x;
+            sum2 += x * x;
+        }
+        let mc_mean = sum / n as f64;
+        let mc_var = sum2 / n as f64 - mc_mean * mc_mean;
+        assert!((m.mean - mc_mean).abs() < 0.01, "{} vs {}", m.mean, mc_mean);
+        assert!(
+            (m.variance - mc_var).abs() / mc_var < 0.05,
+            "{} vs {}",
+            m.variance,
+            mc_var
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "local sigma must be non-negative")]
+    fn negative_local_rejected() {
+        let _ = Canonical::new(0.0, vec![], -1.0);
+    }
+}

@@ -1,0 +1,581 @@
+//! First-order canonical statistical static timing analysis (SSTA).
+//!
+//! Every timing quantity is kept in *canonical first-order form*
+//! (Visweswariah/Chang-Sapatnekar style):
+//!
+//! ```text
+//! A = mean + Σ_k a_k · Z_k + a_r · R
+//! ```
+//!
+//! where the `Z_k` are the shared process factors from
+//! [`statleak_tech::FactorModel`] (die-to-die + spatially correlated
+//! channel-length factors) and `R` is an aggregated node-local independent
+//! term. Addition is exact; `max` uses Clark's two-moment approximation
+//! with tightness-probability blending of the sensitivity vectors.
+//!
+//! The circuit-level result is the canonical circuit delay, from which the
+//! *timing yield* `P(D ≤ T_clk) = Φ((T_clk − μ)/σ)` falls out directly —
+//! the constraint the paper's statistical optimizer enforces in place of
+//! the deterministic slack test.
+//!
+//! # Example
+//!
+//! ```
+//! use statleak_netlist::{benchmarks, placement::Placement};
+//! use statleak_tech::{Design, FactorModel, Technology, VariationConfig};
+//! use statleak_ssta::Ssta;
+//! use std::sync::Arc;
+//!
+//! let circuit = Arc::new(benchmarks::by_name("c432").expect("known"));
+//! let placement = Placement::by_level(&circuit);
+//! let tech = Technology::ptm100();
+//! let fm = FactorModel::build(&circuit, &placement, &tech, &VariationConfig::ptm100())?;
+//! let design = Design::new(circuit, tech);
+//! let ssta = Ssta::analyze(&design, &fm);
+//! let d = ssta.circuit_delay();
+//! // Yield at the mean is ~50%, at mean + 3σ it is ~99.9%.
+//! assert!((ssta.timing_yield(d.mean) - 0.5).abs() < 0.05);
+//! assert!(ssta.timing_yield(d.mean + 3.0 * d.variance.sqrt()) > 0.99);
+//! # Ok::<(), statleak_stats::CholeskyError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod canonical;
+
+pub use canonical::Canonical;
+
+use statleak_netlist::{Circuit, NodeId};
+use statleak_stats::phi;
+use statleak_tech::{cell, Design, FactorModel};
+
+/// Builds the canonical delay of one gate from the factor model.
+pub fn gate_delay_canonical(design: &Design, fm: &FactorModel, id: NodeId) -> Canonical {
+    let node = design.circuit().node(id);
+    debug_assert!(node.kind.is_gate(), "inputs have no delay");
+    let (d, dd_dl, dd_dvth) = cell::delay_sensitivities(
+        design.tech(),
+        node.kind,
+        node.fanin.len(),
+        design.size(id),
+        design.vth(id),
+        design.load_cap(id),
+    );
+    let shared: Vec<f64> = fm.l_shared(id).iter().map(|a| dd_dl * a).collect();
+    let local = ((dd_dl * fm.l_local(id)).powi(2) + (dd_dvth * fm.vth_local(id)).powi(2)).sqrt();
+    Canonical::new(d, shared, local)
+}
+
+/// Statistical arrival-time state for one design.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ssta {
+    arrival: Vec<Canonical>,
+    circuit_delay: Canonical,
+}
+
+/// Undo log for [`Ssta::recompute_cone`].
+#[derive(Debug, Clone)]
+pub struct SstaUndo {
+    changed: Vec<(u32, Canonical)>,
+    old_circuit_delay: Canonical,
+}
+
+impl Ssta {
+    /// Runs a full statistical timing analysis.
+    pub fn analyze(design: &Design, fm: &FactorModel) -> Self {
+        let circuit = design.circuit();
+        let zero = Canonical::constant(0.0, fm.num_shared());
+        let mut arrival = vec![zero; circuit.num_nodes()];
+        for &id in circuit.topo_order() {
+            if !circuit.node(id).kind.is_gate() {
+                continue;
+            }
+            arrival[id.index()] = Self::gate_arrival(design, fm, &arrival, id);
+        }
+        let circuit_delay = Self::max_output_arrival(circuit, &arrival, fm.num_shared());
+        Self {
+            arrival,
+            circuit_delay,
+        }
+    }
+
+    fn gate_arrival(
+        design: &Design,
+        fm: &FactorModel,
+        arrival: &[Canonical],
+        id: NodeId,
+    ) -> Canonical {
+        let node = design.circuit().node(id);
+        let mut worst: Option<Canonical> = None;
+        for &f in &node.fanin {
+            let a = &arrival[f.index()];
+            worst = Some(match worst {
+                None => a.clone(),
+                Some(w) => w.stat_max(a),
+            });
+        }
+        let worst = worst.expect("gates have fanin");
+        worst.add(&gate_delay_canonical(design, fm, id))
+    }
+
+    fn max_output_arrival(circuit: &Circuit, arrival: &[Canonical], num_shared: usize) -> Canonical {
+        let mut worst = Canonical::constant(0.0, num_shared);
+        for &o in circuit.outputs() {
+            worst = worst.stat_max(&arrival[o.index()]);
+        }
+        worst
+    }
+
+    /// The canonical arrival time of a node.
+    #[inline]
+    pub fn arrival(&self, id: NodeId) -> &Canonical {
+        &self.arrival[id.index()]
+    }
+
+    /// The canonical circuit delay (statistical max over outputs).
+    #[inline]
+    pub fn circuit_delay(&self) -> &Canonical {
+        &self.circuit_delay
+    }
+
+    /// Timing yield at a clock period: `P(D ≤ t_clk)`.
+    pub fn timing_yield(&self, t_clk: f64) -> f64 {
+        let d = &self.circuit_delay;
+        let sigma = d.variance.sqrt();
+        if sigma == 0.0 {
+            return if d.mean <= t_clk { 1.0 } else { 0.0 };
+        }
+        phi((t_clk - d.mean) / sigma)
+    }
+
+    /// The clock period achieving a target yield: `μ + Φ⁻¹(η)·σ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eta` is not strictly inside `(0, 1)`.
+    pub fn clock_for_yield(&self, eta: f64) -> f64 {
+        let d = &self.circuit_delay;
+        d.mean + statleak_stats::phi_inv(eta) * d.variance.sqrt()
+    }
+
+    /// Recomputes canonical arrivals in the union of fanout cones of
+    /// `seeds`, returning an undo log (same seed contract as the
+    /// deterministic `Sta::recompute_cone`: include every node whose own
+    /// delay may have changed).
+    pub fn recompute_cone(
+        &mut self,
+        design: &Design,
+        fm: &FactorModel,
+        seeds: &[NodeId],
+    ) -> SstaUndo {
+        let circuit = design.circuit();
+        let mut marked = vec![false; circuit.num_nodes()];
+        let mut stack: Vec<NodeId> = seeds.to_vec();
+        while let Some(u) = stack.pop() {
+            if marked[u.index()] {
+                continue;
+            }
+            marked[u.index()] = true;
+            for &v in &circuit.node(u).fanout {
+                if !marked[v.index()] {
+                    stack.push(v);
+                }
+            }
+        }
+        let mut undo = SstaUndo {
+            changed: Vec::new(),
+            old_circuit_delay: self.circuit_delay.clone(),
+        };
+        for &id in circuit.topo_order() {
+            if !marked[id.index()] || !circuit.node(id).kind.is_gate() {
+                continue;
+            }
+            let new = Self::gate_arrival(design, fm, &self.arrival, id);
+            if new != self.arrival[id.index()] {
+                undo.changed
+                    .push((id.0, std::mem::replace(&mut self.arrival[id.index()], new)));
+            }
+        }
+        self.circuit_delay = Self::max_output_arrival(circuit, &self.arrival, fm.num_shared());
+        undo
+    }
+
+    /// Rolls back a [`Ssta::recompute_cone`] update.
+    pub fn undo(&mut self, undo: SstaUndo) {
+        for (raw, old) in undo.changed.into_iter().rev() {
+            self.arrival[raw as usize] = old;
+        }
+        self.circuit_delay = undo.old_circuit_delay;
+    }
+
+    /// Samples the yield curve `P(D ≤ t)` at the given clock periods.
+    pub fn yield_curve(&self, t_values: &[f64]) -> Vec<(f64, f64)> {
+        t_values
+            .iter()
+            .map(|&t| (t, self.timing_yield(t)))
+            .collect()
+    }
+
+    /// An approximate statistical slack for each node against a clock
+    /// period: deterministic backward pass over *mean* delays, minus `k`
+    /// sigma of the node's arrival. Used only to order optimizer
+    /// candidates (feasibility is always re-checked with the full yield).
+    pub fn mean_slack(&self, design: &Design, t_clk: f64, k_sigma: f64) -> Vec<f64> {
+        let circuit = design.circuit();
+        let n = circuit.num_nodes();
+        let mut required = vec![f64::INFINITY; n];
+        for &o in circuit.outputs() {
+            required[o.index()] = t_clk;
+        }
+        for id in circuit.reverse_topo() {
+            let node = circuit.node(id);
+            if node.kind.is_gate() {
+                let req_at_input = required[id.index()] - self.mean_gate_delay(design, id);
+                for &f in &node.fanin {
+                    if req_at_input < required[f.index()] {
+                        required[f.index()] = req_at_input;
+                    }
+                }
+            }
+        }
+        (0..n)
+            .map(|i| {
+                let a = &self.arrival[i];
+                required[i] - (a.mean + k_sigma * a.variance.sqrt())
+            })
+            .collect()
+    }
+
+    fn mean_gate_delay(&self, design: &Design, id: NodeId) -> f64 {
+        design.gate_delay_nominal(id)
+    }
+
+    /// Computes the canonical *path-through* delay of every node: the
+    /// distribution of the longest input→output path constrained to pass
+    /// through that node, `P_u = A_u + R_u`, where `R_u` is the downstream
+    /// (node-to-output) canonical computed by a backward statistical-max
+    /// pass. The `A`/`R` correlation through shared factors is handled by
+    /// the canonical addition; reconvergent local correlation is ignored
+    /// (the standard block-based approximation).
+    pub fn path_through(&self, design: &Design, fm: &FactorModel) -> Vec<Canonical> {
+        let circuit = design.circuit();
+        let n = circuit.num_nodes();
+        let zero = Canonical::constant(0.0, fm.num_shared());
+        let mut downstream: Vec<Option<Canonical>> = vec![None; n];
+        for &o in circuit.outputs() {
+            downstream[o.index()] = Some(zero.clone());
+        }
+        let order: Vec<NodeId> = circuit.reverse_topo().collect();
+        for &u in &order {
+            // R_u = max over fanouts v of (d_v + R_v), blended with an
+            // existing output contribution if u is itself an output.
+            let mut best = downstream[u.index()].clone();
+            for &v in &circuit.node(u).fanout {
+                let Some(rv) = &downstream[v.index()] else {
+                    continue;
+                };
+                let through_v = gate_delay_canonical(design, fm, v).add(rv);
+                best = Some(match best {
+                    None => through_v,
+                    Some(b) => b.stat_max(&through_v),
+                });
+            }
+            downstream[u.index()] = best;
+        }
+        (0..n)
+            .map(|i| {
+                let a = &self.arrival[i];
+                match &downstream[i] {
+                    Some(r) => a.add(r),
+                    // Node reaches no output: its path-through is just its
+                    // own arrival (never critical).
+                    None => a.clone(),
+                }
+            })
+            .collect()
+    }
+
+    /// Gate criticalities at a clock period: `P(P_u > t_clk)` per node —
+    /// the probability the node sits on a timing-violating path. The most
+    /// critical node's value approximates `1 − yield(t_clk)`.
+    ///
+    /// ```
+    /// # use statleak_netlist::{benchmarks, placement::Placement};
+    /// # use statleak_tech::{Design, FactorModel, Technology, VariationConfig};
+    /// # use statleak_ssta::Ssta;
+    /// # use std::sync::Arc;
+    /// # let circuit = Arc::new(benchmarks::c17());
+    /// # let placement = Placement::by_level(&circuit);
+    /// # let tech = Technology::ptm100();
+    /// # let fm = FactorModel::build(&circuit, &placement, &tech, &VariationConfig::ptm100())?;
+    /// # let design = Design::new(circuit, tech);
+    /// let ssta = Ssta::analyze(&design, &fm);
+    /// let crit = ssta.criticalities(&design, &fm, ssta.circuit_delay().mean);
+    /// assert!(crit.iter().all(|&c| (0.0..=1.0).contains(&c)));
+    /// # Ok::<(), statleak_stats::CholeskyError>(())
+    /// ```
+    pub fn criticalities(&self, design: &Design, fm: &FactorModel, t_clk: f64) -> Vec<f64> {
+        self.path_through(design, fm)
+            .iter()
+            .map(|p| {
+                let s = p.std();
+                if s == 0.0 {
+                    if p.mean > t_clk {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                } else {
+                    1.0 - phi((t_clk - p.mean) / s)
+                }
+            })
+            .collect()
+    }
+
+    /// Traces the mean-critical path: the latest-mean-arrival chain from
+    /// the worst output back to a primary input, input first. Used by the
+    /// statistical sizer to pick upsizing candidates.
+    pub fn mean_critical_path(&self, design: &Design) -> Vec<NodeId> {
+        let circuit = design.circuit();
+        let mut cur = *circuit
+            .outputs()
+            .iter()
+            .max_by(|a, b| {
+                self.arrival[a.index()]
+                    .mean
+                    .total_cmp(&self.arrival[b.index()].mean)
+            })
+            .expect("circuits have outputs");
+        let mut path = vec![cur];
+        while circuit.node(cur).kind.is_gate() {
+            let prev = circuit
+                .node(cur)
+                .fanin
+                .iter()
+                .copied()
+                .max_by(|a, b| {
+                    self.arrival[a.index()]
+                        .mean
+                        .total_cmp(&self.arrival[b.index()].mean)
+                })
+                .expect("gates have fanin");
+            path.push(prev);
+            cur = prev;
+        }
+        path.reverse();
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use statleak_netlist::{benchmarks, placement::Placement};
+    use statleak_sta_like::*;
+    use statleak_tech::{Technology, VariationConfig, VthClass};
+    use std::sync::Arc;
+
+    /// Local helpers shared by the tests.
+    mod statleak_sta_like {
+        use super::*;
+
+        pub fn setup(name: &str) -> (Design, FactorModel) {
+            let circuit = Arc::new(benchmarks::by_name(name).unwrap());
+            let placement = Placement::by_level(&circuit);
+            let tech = Technology::ptm100();
+            let fm = FactorModel::build(&circuit, &placement, &tech, &VariationConfig::ptm100())
+                .unwrap();
+            (Design::new(circuit, tech), fm)
+        }
+    }
+
+    #[test]
+    fn mean_tracks_deterministic_sta_loosely() {
+        // Statistical mean of max ≥ deterministic max; within ~15%.
+        let (d, fm) = setup("c432");
+        let ssta = Ssta::analyze(&d, &fm);
+        let sta = statleak_sta::Sta::analyze(&d);
+        let mu = ssta.circuit_delay().mean;
+        let det = sta.circuit_delay();
+        assert!(mu >= det - 1e-9, "mean {mu} < det {det}");
+        assert!(mu < det * 1.15, "mean {mu} too far above det {det}");
+    }
+
+    #[test]
+    fn yield_monotone_in_clock() {
+        let (d, fm) = setup("c880");
+        let ssta = Ssta::analyze(&d, &fm);
+        let mu = ssta.circuit_delay().mean;
+        let ys: Vec<f64> = ssta
+            .yield_curve(&[0.9 * mu, mu, 1.05 * mu, 1.2 * mu])
+            .iter()
+            .map(|&(_, y)| y)
+            .collect();
+        assert!(ys.windows(2).all(|w| w[0] <= w[1]));
+        assert!(ys[0] < 0.5 && ys[3] > 0.9);
+    }
+
+    #[test]
+    fn clock_for_yield_inverts_yield() {
+        let (d, fm) = setup("c499");
+        let ssta = Ssta::analyze(&d, &fm);
+        for &eta in &[0.5, 0.9, 0.99] {
+            let t = ssta.clock_for_yield(eta);
+            assert!((ssta.timing_yield(t) - eta).abs() < 1e-6, "eta {eta}");
+        }
+    }
+
+    #[test]
+    fn sigma_reasonable_fraction_of_mean() {
+        // With a 6.67% L sigma, circuit delay sigma/mean lands in 2-8%.
+        let (d, fm) = setup("c1355");
+        let ssta = Ssta::analyze(&d, &fm);
+        let cd = ssta.circuit_delay();
+        let cv = cd.variance.sqrt() / cd.mean;
+        assert!(cv > 0.02 && cv < 0.10, "cv = {cv}");
+    }
+
+    #[test]
+    fn high_vth_shifts_mean_up() {
+        let (mut d, fm) = setup("c432");
+        let before = Ssta::analyze(&d, &fm).circuit_delay().mean;
+        let gates: Vec<_> = d.circuit().gates().collect();
+        for g in gates {
+            d.set_vth(g, VthClass::High);
+        }
+        let after = Ssta::analyze(&d, &fm).circuit_delay().mean;
+        assert!(after > before * 1.10);
+    }
+
+    #[test]
+    fn incremental_matches_full() {
+        let (mut d, fm) = setup("c432");
+        let mut ssta = Ssta::analyze(&d, &fm);
+        let g = d.circuit().gates().nth(33).unwrap();
+        d.set_vth(g, VthClass::High);
+        ssta.recompute_cone(&d, &fm, &[g]);
+        let full = Ssta::analyze(&d, &fm);
+        let a = ssta.circuit_delay();
+        let b = full.circuit_delay();
+        assert!((a.mean - b.mean).abs() < 1e-9);
+        assert!((a.variance - b.variance).abs() < 1e-9);
+    }
+
+    #[test]
+    fn undo_restores_exactly() {
+        let (mut d, fm) = setup("c499");
+        let mut ssta = Ssta::analyze(&d, &fm);
+        let snapshot = ssta.clone();
+        let g = d.circuit().gates().nth(7).unwrap();
+        d.set_size(g, 3.0);
+        let mut seeds = vec![g];
+        seeds.extend(d.circuit().node(g).fanin.iter().copied());
+        let undo = ssta.recompute_cone(&d, &fm, &seeds);
+        ssta.undo(undo);
+        assert_eq!(ssta, snapshot);
+    }
+
+    #[test]
+    fn mean_slack_negative_on_critical_nodes_at_tight_clock() {
+        let (d, fm) = setup("c880");
+        let ssta = Ssta::analyze(&d, &fm);
+        let t = ssta.circuit_delay().mean * 0.9;
+        let slacks = ssta.mean_slack(&d, t, 0.0);
+        assert!(slacks.iter().copied().fold(f64::INFINITY, f64::min) < 0.0);
+    }
+
+    #[test]
+    fn correlated_variance_exceeds_independent() {
+        // Killing spatial correlation reduces circuit-delay variance
+        // (averaging effect over independent terms).
+        let circuit = Arc::new(benchmarks::by_name("c880").unwrap());
+        let placement = Placement::by_level(&circuit);
+        let tech = Technology::ptm100();
+        let cfg = VariationConfig::ptm100();
+        let fm_corr = FactorModel::build(&circuit, &placement, &tech, &cfg).unwrap();
+        let fm_ind =
+            FactorModel::build(&circuit, &placement, &tech, &cfg.without_spatial_correlation())
+                .unwrap();
+        let d = Design::new(circuit, tech);
+        let v_corr = Ssta::analyze(&d, &fm_corr).circuit_delay().variance;
+        let v_ind = Ssta::analyze(&d, &fm_ind).circuit_delay().variance;
+        assert!(v_corr > v_ind, "corr {v_corr} vs ind {v_ind}");
+    }
+}
+
+#[cfg(test)]
+mod criticality_tests {
+    use super::*;
+    use statleak_netlist::{benchmarks, placement::Placement};
+    use statleak_tech::{Technology, VariationConfig};
+    use std::sync::Arc;
+
+    fn setup(name: &str) -> (Design, FactorModel) {
+        let circuit = Arc::new(benchmarks::by_name(name).unwrap());
+        let placement = Placement::by_level(&circuit);
+        let tech = Technology::ptm100();
+        let fm = FactorModel::build(&circuit, &placement, &tech, &VariationConfig::ptm100())
+            .unwrap();
+        (Design::new(circuit, tech), fm)
+    }
+
+    #[test]
+    fn path_through_bounds_circuit_delay() {
+        // No node's path-through mean can exceed the circuit-delay mean by
+        // more than the max-approximation slack; the best node should be
+        // close to it.
+        let (d, fm) = setup("c432");
+        let ssta = Ssta::analyze(&d, &fm);
+        let pts = ssta.path_through(&d, &fm);
+        let cd = ssta.circuit_delay().mean;
+        let best = pts.iter().map(|p| p.mean).fold(0.0, f64::max);
+        assert!(best <= cd * 1.02, "best path-through {best} vs circuit {cd}");
+        assert!(best >= cd * 0.98, "best path-through {best} vs circuit {cd}");
+    }
+
+    #[test]
+    fn critical_path_nodes_are_most_critical() {
+        let (d, fm) = setup("c880");
+        let ssta = Ssta::analyze(&d, &fm);
+        let t = ssta.circuit_delay().mean; // ~50% yield point
+        let crit = ssta.criticalities(&d, &fm, t);
+        let path = ssta.mean_critical_path(&d);
+        let max_crit = crit.iter().copied().fold(0.0, f64::max);
+        for &u in &path {
+            assert!(
+                crit[u.index()] > 0.5 * max_crit,
+                "critical-path node {u} criticality {} vs max {max_crit}",
+                crit[u.index()]
+            );
+        }
+    }
+
+    #[test]
+    fn criticality_approximates_one_minus_yield() {
+        let (d, fm) = setup("c499");
+        let ssta = Ssta::analyze(&d, &fm);
+        for k in [1.0, 1.05, 1.1] {
+            let t = k * ssta.circuit_delay().mean;
+            let crit = ssta.criticalities(&d, &fm, t);
+            let max_crit = crit.iter().copied().fold(0.0, f64::max);
+            let miss = 1.0 - ssta.timing_yield(t);
+            assert!(
+                (max_crit - miss).abs() < 0.10 + 0.3 * miss,
+                "k={k}: max criticality {max_crit} vs miss rate {miss}"
+            );
+        }
+    }
+
+    #[test]
+    fn criticality_monotone_in_clock() {
+        let (d, fm) = setup("c432");
+        let ssta = Ssta::analyze(&d, &fm);
+        let mu = ssta.circuit_delay().mean;
+        let tight = ssta.criticalities(&d, &fm, 0.95 * mu);
+        let loose = ssta.criticalities(&d, &fm, 1.10 * mu);
+        for (t, l) in tight.iter().zip(&loose) {
+            assert!(l <= t, "looser clock cannot raise criticality");
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Slew-aware deterministic timing analysis.
+//!
+//! The baseline STA (like the paper's precharacterized gate models) treats
+//! gate delay as a function of size, Vth, and load only. Real signoff
+//! timing also propagates the *transition time* (slew): a slowly rising
+//! input makes the receiving gate slower, and the output transition
+//! depends on how hard the gate drives its load. This module adds that
+//! second-order effect as a standalone analysis:
+//!
+//! ```text
+//! d(g)      = d_base(g, load) + slew_delay_coeff · s_in(g)
+//! s_out(g)  = slew_gain · d_base(g, load)
+//! s_in(g)   = s_out of the worst-arrival fanin (primary inputs drive
+//!             `input_slew`)
+//! ```
+//!
+//! It is intentionally separate from [`crate::Sta`]: the optimizers use
+//! the slew-blind model (as the paper does), and this analysis quantifies
+//! what that simplification costs — typically a few percent of path delay
+//! for well-sized designs, ballooning when gates are undersized.
+
+use statleak_netlist::NodeId;
+use statleak_tech::Design;
+
+/// Slew-aware arrival state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlewSta {
+    arrival: Vec<f64>,
+    slew: Vec<f64>,
+    circuit_delay: f64,
+}
+
+impl SlewSta {
+    /// Runs a slew-aware timing analysis of the design.
+    pub fn analyze(design: &Design) -> Self {
+        let circuit = design.circuit();
+        let tech = design.tech();
+        let n = circuit.num_nodes();
+        let mut arrival = vec![0.0; n];
+        let mut slew = vec![tech.input_slew; n];
+        for &id in circuit.topo_order() {
+            let node = circuit.node(id);
+            if !node.kind.is_gate() {
+                continue;
+            }
+            // Worst fanin by arrival; its slew drives this gate.
+            let (worst_arrival, in_slew) = node
+                .fanin
+                .iter()
+                .map(|f| (arrival[f.index()], slew[f.index()]))
+                .fold((0.0_f64, tech.input_slew), |acc, cur| {
+                    if cur.0 > acc.0 {
+                        cur
+                    } else {
+                        acc
+                    }
+                });
+            let d_base = design.gate_delay_nominal(id);
+            arrival[id.index()] = worst_arrival + d_base + tech.slew_delay_coeff * in_slew;
+            slew[id.index()] = tech.slew_gain * d_base;
+        }
+        let circuit_delay = circuit
+            .outputs()
+            .iter()
+            .map(|o| arrival[o.index()])
+            .fold(0.0, f64::max);
+        Self {
+            arrival,
+            slew,
+            circuit_delay,
+        }
+    }
+
+    /// Slew-aware arrival time of a node (ps).
+    #[inline]
+    pub fn arrival(&self, id: NodeId) -> f64 {
+        self.arrival[id.index()]
+    }
+
+    /// Output transition time of a node (ps).
+    #[inline]
+    pub fn slew(&self, id: NodeId) -> f64 {
+        self.slew[id.index()]
+    }
+
+    /// Slew-aware circuit delay (ps).
+    #[inline]
+    pub fn circuit_delay(&self) -> f64 {
+        self.circuit_delay
+    }
+
+    /// The relative delay increase versus the slew-blind analysis — the
+    /// modeling error the paper's style of precharacterized optimization
+    /// accepts.
+    pub fn slew_penalty(&self, design: &Design) -> f64 {
+        let blind = crate::Sta::analyze(design).circuit_delay();
+        self.circuit_delay / blind - 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Sta;
+    use statleak_netlist::benchmarks;
+    use statleak_tech::{Technology, VthClass};
+    use std::sync::Arc;
+
+    fn design(name: &str) -> Design {
+        Design::new(
+            Arc::new(benchmarks::by_name(name).unwrap()),
+            Technology::ptm100(),
+        )
+    }
+
+    #[test]
+    fn slew_aware_is_slower_than_blind() {
+        let d = design("c432");
+        let aware = SlewSta::analyze(&d);
+        let blind = Sta::analyze(&d);
+        assert!(aware.circuit_delay() > blind.circuit_delay());
+        // For this technology the penalty is bounded (sanity band).
+        let pen = aware.slew_penalty(&d);
+        assert!(pen > 0.0 && pen < 0.5, "penalty {pen}");
+    }
+
+    #[test]
+    fn slews_are_positive_everywhere() {
+        let d = design("c880");
+        let s = SlewSta::analyze(&d);
+        for id in d.circuit().gates() {
+            assert!(s.slew(id) > 0.0);
+            assert!(s.arrival(id) > 0.0);
+        }
+    }
+
+    #[test]
+    fn upsizing_reduces_downstream_slew() {
+        let mut d = design("c17");
+        let g10 = d.circuit().find("G10").unwrap();
+        let before = SlewSta::analyze(&d).slew(g10);
+        // Upsizing the gate lowers its own delay into the same load,
+        // hence its output transition.
+        d.set_size(g10, 4.0);
+        let after = SlewSta::analyze(&d).slew(g10);
+        assert!(after < before, "{after} vs {before}");
+    }
+
+    #[test]
+    fn zero_coefficients_recover_blind_sta() {
+        let circuit = Arc::new(benchmarks::by_name("c499").unwrap());
+        let mut tech = Technology::ptm100();
+        tech.slew_delay_coeff = 0.0;
+        tech.input_slew = 0.0;
+        let d = Design::new(circuit, tech);
+        let aware = SlewSta::analyze(&d);
+        let blind = Sta::analyze(&d);
+        assert!((aware.circuit_delay() - blind.circuit_delay()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn high_vth_raises_slew_penalty_in_absolute_terms() {
+        // Slower gates produce slower edges.
+        let mut d = design("c432");
+        let before = SlewSta::analyze(&d).circuit_delay();
+        let gates: Vec<_> = d.circuit().gates().collect();
+        for g in gates {
+            d.set_vth(g, VthClass::High);
+        }
+        let after = SlewSta::analyze(&d).circuit_delay();
+        assert!(after > before * 1.10);
+    }
+}

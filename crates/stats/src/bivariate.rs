@@ -1,0 +1,161 @@
+//! Bivariate standard-normal CDF.
+//!
+//! `P(X ≤ x, Y ≤ y)` for jointly standard-normal `X`, `Y` with correlation
+//! `rho`, using the Drezner–Wesolowsky Gauss–Legendre scheme (maximum
+//! absolute error below ~5e-7 over the full parameter range). This is the
+//! kernel of *joint parametric yield*: the probability that a die meets
+//! both its timing constraint and its leakage-power budget.
+
+use crate::erf::phi;
+
+/// 10-point Gauss–Legendre abscissae/weights on `[0, 1]` (half of the
+/// symmetric 20-point rule).
+const GL_X: [f64; 10] = [
+    0.076_526_521_133_497_33,
+    0.227_785_851_141_645_08,
+    0.373_706_088_715_419_56,
+    0.510_867_001_950_827_1,
+    0.636_053_680_726_515_1,
+    0.746_331_906_460_150_8,
+    0.839_116_971_822_218_8,
+    0.912_234_428_251_325_9,
+    0.963_971_927_277_913_8,
+    0.993_128_599_185_094_9,
+];
+const GL_W: [f64; 10] = [
+    0.152_753_387_130_725_85,
+    0.149_172_986_472_603_75,
+    0.142_096_109_318_382_05,
+    0.131_688_638_449_176_63,
+    0.118_194_531_961_518_42,
+    0.101_930_119_817_240_44,
+    0.083_276_741_576_704_75,
+    0.062_672_048_334_109_06,
+    0.040_601_429_800_386_94,
+    0.017_614_007_139_152_118,
+];
+
+/// Bivariate standard-normal CDF `P(X ≤ x, Y ≤ y)` with correlation `rho`.
+///
+/// Integrates `∂Φ₂/∂ρ = φ₂(x, y; r)` over `r ∈ [0, rho]` by Gauss–Legendre
+/// quadrature, starting from the independent case `Φ(x)·Φ(y)`.
+///
+/// # Panics
+///
+/// Panics if `rho` is outside `[-1, 1]` or the inputs are NaN.
+///
+/// ```
+/// use statleak_stats::bivariate_normal_cdf;
+/// // Independence factorizes.
+/// let p = bivariate_normal_cdf(0.5, -0.3, 0.0);
+/// let q = statleak_stats::phi(0.5) * statleak_stats::phi(-0.3);
+/// assert!((p - q).abs() < 1e-9);
+/// ```
+pub fn bivariate_normal_cdf(x: f64, y: f64, rho: f64) -> f64 {
+    assert!(!x.is_nan() && !y.is_nan(), "inputs must not be NaN");
+    assert!((-1.0..=1.0).contains(&rho), "rho must be in [-1,1], got {rho}");
+
+    // Perfect-correlation limits are exact.
+    if rho >= 1.0 - 1e-15 {
+        return phi(x.min(y));
+    }
+    if rho <= -1.0 + 1e-15 {
+        return (phi(x) + phi(y) - 1.0).max(0.0);
+    }
+    // Φ₂(x,y;ρ) = Φ(x)Φ(y) + ∫₀^ρ φ₂(x,y;r) dr, with
+    // φ₂(x,y;r) = exp(−(x²−2rxy+y²)/(2(1−r²))) / (2π√(1−r²)).
+    let base = phi(x) * phi(y);
+    let mut integral = 0.0;
+    for k in 0..GL_X.len() {
+        for &sign in &[-1.0, 1.0] {
+            // Map the symmetric 20-point rule on [0, rho].
+            let r = 0.5 * rho * (1.0 + sign * GL_X[k]);
+            let omr2 = 1.0 - r * r;
+            let dens = (-(x * x - 2.0 * r * x * y + y * y) / (2.0 * omr2)).exp()
+                / (2.0 * std::f64::consts::PI * omr2.sqrt());
+            integral += 0.5 * rho.abs() * GL_W[k] * dens * rho.signum();
+        }
+    }
+    (base + integral).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn independence_factorizes() {
+        for &(x, y) in &[(0.0, 0.0), (1.0, -1.0), (2.5, 0.3), (-2.0, -2.0)] {
+            let p = bivariate_normal_cdf(x, y, 0.0);
+            assert!((p - phi(x) * phi(y)).abs() < 1e-9, "x={x} y={y}");
+        }
+    }
+
+    #[test]
+    fn origin_known_values() {
+        // Φ₂(0,0;ρ) = 1/4 + asin(ρ)/(2π).
+        for &rho in &[-0.9f64, -0.5, 0.0, 0.3, 0.7, 0.95] {
+            let expect = 0.25 + rho.asin() / (2.0 * std::f64::consts::PI);
+            let got = bivariate_normal_cdf(0.0, 0.0, rho);
+            assert!((got - expect).abs() < 1e-6, "rho={rho}: {got} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn symmetry_in_arguments() {
+        let a = bivariate_normal_cdf(0.7, -0.2, 0.5);
+        let b = bivariate_normal_cdf(-0.2, 0.7, 0.5);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_correlation_limits() {
+        assert!((bivariate_normal_cdf(0.5, 1.5, 1.0) - phi(0.5)).abs() < 1e-12);
+        let p = bivariate_normal_cdf(0.5, 0.5, -1.0);
+        assert!((p - (2.0 * phi(0.5) - 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monotone_in_arguments_and_rho() {
+        assert!(bivariate_normal_cdf(1.0, 1.0, 0.3) > bivariate_normal_cdf(0.5, 1.0, 0.3));
+        assert!(bivariate_normal_cdf(1.0, 1.0, 0.3) > bivariate_normal_cdf(1.0, 0.5, 0.3));
+        // For positive thresholds, higher rho raises joint probability.
+        assert!(bivariate_normal_cdf(1.0, 1.0, 0.8) > bivariate_normal_cdf(1.0, 1.0, 0.2));
+    }
+
+    #[test]
+    fn marginal_limit() {
+        // y → ∞ reduces to the marginal.
+        let p = bivariate_normal_cdf(0.8, 8.0, 0.6);
+        assert!((p - phi(0.8)).abs() < 1e-7);
+    }
+
+    #[test]
+    fn against_monte_carlo() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        let (x, y, rho) = (0.6, -0.4, -0.55);
+        let n = 400_000;
+        let mut hits = 0usize;
+        for _ in 0..n {
+            let u1: f64 = rng.gen_range(1e-12..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            let r = (-2.0 * u1.ln()).sqrt();
+            let z1 = r * (2.0 * std::f64::consts::PI * u2).cos();
+            let z2 = r * (2.0 * std::f64::consts::PI * u2).sin();
+            let w = rho * z1 + (1.0f64 - rho * rho).sqrt() * z2;
+            if z1 <= x && w <= y {
+                hits += 1;
+            }
+        }
+        let mc = hits as f64 / n as f64;
+        let an = bivariate_normal_cdf(x, y, rho);
+        assert!((an - mc).abs() < 0.003, "{an} vs MC {mc}");
+    }
+
+    #[test]
+    #[should_panic(expected = "rho must be in [-1,1]")]
+    fn rejects_bad_rho() {
+        let _ = bivariate_normal_cdf(0.0, 0.0, 1.5);
+    }
+}

@@ -1,0 +1,168 @@
+//! Clark's approximation for the maximum of correlated Gaussians.
+//!
+//! C. E. Clark, "The greatest of a finite set of random variables,"
+//! Operations Research 9(2), 1961. This is the statistical-max kernel used
+//! by block-based SSTA: given two jointly Gaussian arrival times it returns
+//! the first two moments of their maximum plus the *tightness probability*
+//! `P(A ≥ B)` used to blend sensitivity coefficients.
+
+use crate::erf::{phi, std_normal_pdf};
+
+/// Moments of `max(A, B)` for jointly Gaussian `A`, `B`, plus the tightness
+/// probability of the first argument.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClarkMoments {
+    /// `E[max(A, B)]`.
+    pub mean: f64,
+    /// `Var[max(A, B)]` (clamped at zero against round-off).
+    pub variance: f64,
+    /// Tightness probability `P(A ≥ B)` — the weight given to `A`'s
+    /// sensitivities when re-canonicalizing the max.
+    pub tightness: f64,
+}
+
+/// Clark's two-moment approximation of `max(A, B)` where
+/// `A ~ N(mean_a, var_a)`, `B ~ N(mean_b, var_b)` and `Cov(A,B) = cov`.
+///
+/// Handles the degenerate case where the two inputs are (numerically)
+/// perfectly correlated with equal variance, in which case the max is just
+/// the one with the larger mean.
+///
+/// ```
+/// use statleak_stats::clark_max;
+/// // Independent standard normals: E[max] = 1/sqrt(pi).
+/// let m = clark_max(0.0, 1.0, 0.0, 1.0, 0.0);
+/// assert!((m.mean - 0.5641895835477563).abs() < 1e-9);
+/// assert!((m.tightness - 0.5).abs() < 1e-7);
+/// ```
+pub fn clark_max(mean_a: f64, var_a: f64, mean_b: f64, var_b: f64, cov: f64) -> ClarkMoments {
+    debug_assert!(var_a >= 0.0 && var_b >= 0.0, "variances must be >= 0");
+    // Variance of A - B.
+    let theta2 = (var_a + var_b - 2.0 * cov).max(0.0);
+    let theta = theta2.sqrt();
+    if theta < 1e-15 {
+        // A and B differ by (at most) a constant: max is the larger one.
+        return if mean_a >= mean_b {
+            ClarkMoments {
+                mean: mean_a,
+                variance: var_a,
+                tightness: 1.0,
+            }
+        } else {
+            ClarkMoments {
+                mean: mean_b,
+                variance: var_b,
+                tightness: 0.0,
+            }
+        };
+    }
+    let alpha = (mean_a - mean_b) / theta;
+    let t = phi(alpha); // P(A >= B)
+    let pdf = std_normal_pdf(alpha);
+    let mean = mean_a * t + mean_b * (1.0 - t) + theta * pdf;
+    let second_moment = (var_a + mean_a * mean_a) * t
+        + (var_b + mean_b * mean_b) * (1.0 - t)
+        + (mean_a + mean_b) * theta * pdf;
+    let variance = (second_moment - mean * mean).max(0.0);
+    ClarkMoments {
+        mean,
+        variance,
+        tightness: t,
+    }
+}
+
+/// Iterated Clark max over a slice of `(mean, variance)` pairs assumed
+/// mutually independent. Returns the approximated `(mean, variance)` of the
+/// overall maximum.
+///
+/// # Panics
+///
+/// Panics if `items` is empty.
+pub fn clark_max_many(items: &[(f64, f64)]) -> (f64, f64) {
+    assert!(!items.is_empty(), "clark_max_many requires at least one item");
+    let (mut m, mut v) = items[0];
+    for &(mi, vi) in &items[1..] {
+        let r = clark_max(m, v, mi, vi, 0.0);
+        m = r.mean;
+        v = r.variance;
+    }
+    (m, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominant_input_wins() {
+        // A is far above B: max ≈ A.
+        let r = clark_max(100.0, 1.0, 0.0, 1.0, 0.0);
+        assert!((r.mean - 100.0).abs() < 1e-9);
+        assert!((r.variance - 1.0).abs() < 1e-6);
+        assert!((r.tightness - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn symmetric_inputs_half_tightness() {
+        let r = clark_max(5.0, 2.0, 5.0, 2.0, 0.0);
+        assert!((r.tightness - 0.5).abs() < 1e-7);
+        assert!(r.mean > 5.0); // max of two equals exceeds either mean
+    }
+
+    #[test]
+    fn perfectly_correlated_equal_variance() {
+        let r = clark_max(3.0, 4.0, 1.0, 4.0, 4.0);
+        assert_eq!(r.mean, 3.0);
+        assert_eq!(r.variance, 4.0);
+        assert_eq!(r.tightness, 1.0);
+    }
+
+    #[test]
+    fn max_mean_at_least_either_mean() {
+        for &(ma, mb, cov) in &[(0.0, 0.0, 0.0), (1.0, -1.0, 0.5), (-2.0, 3.0, -0.3)] {
+            let r = clark_max(ma, 1.0, mb, 1.0, cov);
+            assert!(r.mean >= ma.max(mb) - 1e-12);
+        }
+    }
+
+    #[test]
+    fn against_monte_carlo_independent() {
+        // MC check of mean/variance of max of two independent Gaussians.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let (ma, sa, mb, sb) = (1.0, 2.0, 2.0, 0.5);
+        let n = 200_000;
+        let mut sum = 0.0;
+        let mut sum2 = 0.0;
+        for _ in 0..n {
+            // Box-Muller
+            let u1: f64 = rng.gen_range(1e-12..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            let r = (-2.0 * u1.ln()).sqrt();
+            let z1 = r * (2.0 * std::f64::consts::PI * u2).cos();
+            let z2 = r * (2.0 * std::f64::consts::PI * u2).sin();
+            let x = (ma + sa * z1).max(mb + sb * z2);
+            sum += x;
+            sum2 += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sum2 / n as f64 - mean * mean;
+        let r = clark_max(ma, sa * sa, mb, sb * sb, 0.0);
+        assert!((r.mean - mean).abs() < 0.02, "mean {} vs {}", r.mean, mean);
+        assert!((r.variance - var).abs() < 0.05, "var {} vs {}", r.variance, var);
+    }
+
+    #[test]
+    fn many_reduces_like_pairwise() {
+        let items = [(0.0, 1.0), (0.5, 1.0), (1.0, 1.0)];
+        let (m, v) = clark_max_many(&items);
+        assert!(m > 1.0);
+        assert!(v > 0.0 && v < 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one item")]
+    fn many_rejects_empty() {
+        let _ = clark_max_many(&[]);
+    }
+}

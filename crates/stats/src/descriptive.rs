@@ -1,0 +1,258 @@
+//! Descriptive statistics and histograms for Monte-Carlo output.
+
+/// Summary statistics of a sample: mean, standard deviation, extrema, and
+/// interpolated percentiles.
+///
+/// ```
+/// use statleak_stats::Summary;
+/// let s = Summary::from_samples(&[1.0, 2.0, 3.0, 4.0]);
+/// assert!((s.mean - 2.5).abs() < 1e-12);
+/// assert_eq!(s.min, 1.0);
+/// assert_eq!(s.max, 4.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (population convention, `1/n`).
+    pub std: f64,
+    /// Minimum sample.
+    pub min: f64,
+    /// Maximum sample.
+    pub max: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics from a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty or contains non-finite values.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "cannot summarize an empty sample");
+        assert!(
+            samples.iter().all(|x| x.is_finite()),
+            "samples must be finite"
+        );
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        Self {
+            count: samples.len(),
+            mean,
+            std: var.sqrt(),
+            min: sorted[0],
+            max: *sorted.last().expect("non-empty"),
+            median: percentile_of_sorted(&sorted, 0.50),
+            p95: percentile_of_sorted(&sorted, 0.95),
+            p99: percentile_of_sorted(&sorted, 0.99),
+        }
+    }
+
+    /// Interpolated percentile at probability `p ∈ [0, 1]` (re-sorts a copy
+    /// of the data; prefer [`percentile_of_sorted`] for repeated queries).
+    pub fn percentile(samples: &[f64], p: f64) -> f64 {
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        percentile_of_sorted(&sorted, p)
+    }
+}
+
+/// Linear-interpolated percentile of an already **sorted** sample.
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty or `p` is outside `[0, 1]`.
+pub fn percentile_of_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "empty sample");
+    assert!((0.0..=1.0).contains(&p), "p must be in [0,1], got {p}");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = p * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// A fixed-bin histogram over `[lo, hi)` with outliers counted in the edge
+/// bins, used to render Monte-Carlo leakage/delay distributions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins over `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `hi <= lo`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "need at least one bin");
+        assert!(hi > lo, "hi must exceed lo");
+        Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+        }
+    }
+
+    /// Builds a histogram spanning the sample range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty or `bins == 0`.
+    pub fn from_samples(samples: &[f64], bins: usize) -> Self {
+        assert!(!samples.is_empty(), "empty sample");
+        let lo = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        // Guard the degenerate all-equal case: give the single value a
+        // range wide enough to survive floating-point addition at `lo`.
+        let span = (hi - lo).max(lo.abs() * 1e-9).max(1e-12);
+        let mut h = Self::new(lo, lo + span * 1.000_001, bins);
+        for &x in samples {
+            h.add(x);
+        }
+        h
+    }
+
+    /// Adds one observation; values outside `[lo, hi)` clamp to edge bins.
+    pub fn add(&mut self, x: f64) {
+        let bins = self.counts.len();
+        let idx = ((x - self.lo) / (self.hi - self.lo) * bins as f64)
+            .floor()
+            .clamp(0.0, (bins - 1) as f64) as usize;
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Center of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        assert!(i < self.counts.len());
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + (i as f64 + 0.5) * w
+    }
+
+    /// Normalized density of bin `i` (so the histogram integrates to 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn density(&self, i: usize) -> f64 {
+        assert!(i < self.counts.len());
+        if self.total == 0 {
+            return 0.0;
+        }
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        self.counts[i] as f64 / (self.total as f64 * w)
+    }
+
+    /// Renders an ASCII bar chart, one bin per line, for quick inspection.
+    pub fn to_ascii(&self, width: usize) -> String {
+        let max = self.counts.iter().copied().max().unwrap_or(1).max(1);
+        let mut out = String::new();
+        for (i, &c) in self.counts.iter().enumerate() {
+            let bar = "#".repeat((c as usize * width) / max as usize);
+            out.push_str(&format!("{:>12.4e} | {bar} {c}\n", self.bin_center(i)));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basic() {
+        let s = Summary::from_samples(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.std - 2.0).abs() < 1e-12);
+        assert_eq!(s.count, 8);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let sorted = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert!((percentile_of_sorted(&sorted, 0.0) - 1.0).abs() < 1e-12);
+        assert!((percentile_of_sorted(&sorted, 1.0) - 5.0).abs() < 1e-12);
+        assert!((percentile_of_sorted(&sorted, 0.5) - 3.0).abs() < 1e-12);
+        assert!((percentile_of_sorted(&sorted, 0.625) - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_single_sample() {
+        assert_eq!(percentile_of_sorted(&[42.0], 0.73), 42.0);
+    }
+
+    #[test]
+    fn histogram_counts_and_density() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for i in 0..100 {
+            h.add(i as f64 / 10.0); // uniform over [0, 10)
+        }
+        assert_eq!(h.total(), 100);
+        for i in 0..10 {
+            assert_eq!(h.counts()[i], 10, "bin {i}");
+            assert!((h.density(i) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn histogram_clamps_outliers() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.add(-5.0);
+        h.add(7.0);
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[3], 1);
+    }
+
+    #[test]
+    fn histogram_from_samples_spans_range() {
+        let h = Histogram::from_samples(&[1.0, 2.0, 3.0], 3);
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.counts().iter().sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn ascii_render_has_one_line_per_bin() {
+        let h = Histogram::from_samples(&[0.0, 0.5, 1.0], 5);
+        assert_eq!(h.to_ascii(20).lines().count(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn summary_rejects_empty() {
+        let _ = Summary::from_samples(&[]);
+    }
+}

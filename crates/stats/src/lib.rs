@@ -1,0 +1,57 @@
+//! Numerics and statistics substrate for the `statleak` workspace.
+//!
+//! This crate provides the mathematical building blocks that every other
+//! crate in the reproduction relies on:
+//!
+//! * [`phi`], [`phi_inv`], [`erf`] — the standard-normal machinery used for
+//!   timing yield and leakage percentiles;
+//! * [`Normal`] and [`LogNormal`] — the two distribution families at the
+//!   heart of statistical leakage optimization (gate delay is modeled as
+//!   Gaussian to first order, gate leakage as lognormal);
+//! * [`clark_max`] — Clark's classic approximation for the moments of the
+//!   maximum of two correlated Gaussians, the kernel of block-based SSTA;
+//! * [`wilkinson_sum`] — Fenton–Wilkinson moment matching for sums of
+//!   correlated lognormals, the kernel of full-chip statistical leakage
+//!   analysis;
+//! * [`Matrix`] and [`cholesky`] — the small dense linear algebra needed to
+//!   factor spatial-correlation matrices into independent factors;
+//! * [`Summary`], [`Histogram`] — descriptive statistics for the
+//!   Monte-Carlo engine.
+//!
+//! # Example
+//!
+//! ```
+//! use statleak_stats::{Normal, LogNormal};
+//!
+//! // Delay of a path: N(100ps, 5ps). Yield at a 110ps clock:
+//! let d = Normal::new(100.0, 5.0);
+//! let yield_ = d.cdf(110.0);
+//! assert!(yield_ > 0.97 && yield_ < 0.98);
+//!
+//! // Leakage of a gate: lognormal with ln-space moments.
+//! let leak = LogNormal::new(0.0, 0.5);
+//! assert!(leak.mean() > 1.0); // e^{sigma^2/2}
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bivariate;
+mod clark;
+mod descriptive;
+mod erf;
+mod linalg;
+mod lognormal;
+mod normal;
+mod rng;
+mod wilkinson;
+
+pub use bivariate::bivariate_normal_cdf;
+pub use clark::{clark_max, clark_max_many, ClarkMoments};
+pub use descriptive::{percentile_of_sorted, Histogram, Summary};
+pub use erf::{erf, erfc, phi, phi_inv, std_normal_pdf};
+pub use linalg::{cholesky, CholeskyError, Matrix};
+pub use lognormal::LogNormal;
+pub use normal::Normal;
+pub use rng::{sample_standard_normal, seeded_rng, StdNormalSampler};
+pub use wilkinson::{wilkinson_sum, LognormalTerm};

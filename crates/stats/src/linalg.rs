@@ -1,0 +1,236 @@
+//! Minimal dense linear algebra: a small symmetric-matrix type and a
+//! Cholesky factorization, used to turn spatial correlation matrices into
+//! independent Gaussian factors shared by SSTA, leakage analysis, and the
+//! Monte-Carlo sampler.
+
+/// A dense, row-major `n × n` matrix of `f64`.
+///
+/// ```
+/// use statleak_stats::Matrix;
+/// let mut m = Matrix::identity(3);
+/// m[(0, 1)] = 0.5;
+/// assert_eq!(m[(0, 1)], 0.5);
+/// assert_eq!(m[(2, 2)], 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates an `n × n` zero matrix.
+    pub fn zeros(n: usize) -> Self {
+        Self {
+            n,
+            data: vec![0.0; n * n],
+        }
+    }
+
+    /// Creates an `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from a row-major vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != n * n`.
+    pub fn from_rows(n: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), n * n, "expected {} entries, got {}", n * n, data.len());
+        Self { n, data }
+    }
+
+    /// Side length of the matrix.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Returns row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n`.
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.n, "row {i} out of bounds for {}x{} matrix", self.n, self.n);
+        &self.data[i * self.n..(i + 1) * self.n]
+    }
+
+    /// Matrix-vector product `self · x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != n`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n);
+        (0..self.n)
+            .map(|i| self.row(i).iter().zip(x).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+
+    /// Computes `self · selfᵀ`, useful to verify a Cholesky factor.
+    pub fn mul_transpose(&self) -> Matrix {
+        let n = self.n;
+        let mut out = Matrix::zeros(n);
+        for i in 0..n {
+            for j in 0..n {
+                let mut s = 0.0;
+                for k in 0..n {
+                    s += self[(i, k)] * self[(j, k)];
+                }
+                out[(i, j)] = s;
+            }
+        }
+        out
+    }
+
+    /// Maximum absolute difference against another matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sizes differ.
+    pub fn max_abs_diff(&self, other: &Matrix) -> f64 {
+        assert_eq!(self.n, other.n);
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.n + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.n + j]
+    }
+}
+
+/// Error returned by [`cholesky`] when the input is not positive definite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CholeskyError {
+    /// The pivot index at which the factorization failed.
+    pub pivot: usize,
+}
+
+impl std::fmt::Display for CholeskyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "matrix is not positive definite (failed at pivot {})",
+            self.pivot
+        )
+    }
+}
+
+impl std::error::Error for CholeskyError {}
+
+/// Cholesky factorization `A = L·Lᵀ` of a symmetric positive-definite
+/// matrix, returning the lower-triangular factor `L`.
+///
+/// A tiny negative pivot (≥ −1e-10 relative) is clamped to zero to tolerate
+/// round-off in nearly singular correlation matrices.
+///
+/// # Errors
+///
+/// Returns [`CholeskyError`] if a pivot is significantly negative, i.e. the
+/// matrix is not positive semi-definite.
+///
+/// ```
+/// use statleak_stats::{cholesky, Matrix};
+/// let a = Matrix::from_rows(2, vec![4.0, 2.0, 2.0, 3.0]);
+/// let l = cholesky(&a)?;
+/// assert!(l.mul_transpose().max_abs_diff(&a) < 1e-12);
+/// # Ok::<(), statleak_stats::CholeskyError>(())
+/// ```
+pub fn cholesky(a: &Matrix) -> Result<Matrix, CholeskyError> {
+    let n = a.n();
+    let mut l = Matrix::zeros(n);
+    let scale = (0..n).map(|i| a[(i, i)].abs()).fold(1.0, f64::max);
+    for j in 0..n {
+        let mut d = a[(j, j)];
+        for k in 0..j {
+            d -= l[(j, k)] * l[(j, k)];
+        }
+        if d < -1e-10 * scale {
+            return Err(CholeskyError { pivot: j });
+        }
+        let d = d.max(0.0).sqrt();
+        l[(j, j)] = d;
+        for i in (j + 1)..n {
+            if d == 0.0 {
+                l[(i, j)] = 0.0;
+                continue;
+            }
+            let mut s = a[(i, j)];
+            for k in 0..j {
+                s -= l[(i, k)] * l[(j, k)];
+            }
+            l[(i, j)] = s / d;
+        }
+    }
+    Ok(l)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cholesky_reconstructs() {
+        let a = Matrix::from_rows(
+            3,
+            vec![4.0, 2.0, 0.6, 2.0, 5.0, 1.0, 0.6, 1.0, 3.0],
+        );
+        let l = cholesky(&a).expect("positive definite");
+        assert!(l.mul_transpose().max_abs_diff(&a) < 1e-12);
+    }
+
+    #[test]
+    fn cholesky_of_identity_is_identity() {
+        let a = Matrix::identity(5);
+        let l = cholesky(&a).unwrap();
+        assert!(l.max_abs_diff(&Matrix::identity(5)) < 1e-15);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_rows(2, vec![1.0, 2.0, 2.0, 1.0]); // eigenvalues 3, -1
+        assert!(cholesky(&a).is_err());
+    }
+
+    #[test]
+    fn cholesky_tolerates_semidefinite() {
+        // Rank-1 matrix: perfectly correlated pair.
+        let a = Matrix::from_rows(2, vec![1.0, 1.0, 1.0, 1.0]);
+        let l = cholesky(&a).expect("PSD should be tolerated");
+        assert!(l.mul_transpose().max_abs_diff(&a) < 1e-9);
+    }
+
+    #[test]
+    fn mul_vec_matches_manual() {
+        let a = Matrix::from_rows(2, vec![1.0, 2.0, 3.0, 4.0]);
+        let y = a.mul_vec(&[5.0, 6.0]);
+        assert_eq!(y, vec![17.0, 39.0]);
+    }
+
+    #[test]
+    fn error_displays_pivot() {
+        let e = CholeskyError { pivot: 3 };
+        assert!(e.to_string().contains("pivot 3"));
+    }
+}

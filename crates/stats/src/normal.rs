@@ -1,0 +1,174 @@
+//! Gaussian (normal) distribution with the operations SSTA needs.
+
+use crate::erf::{phi, phi_inv, std_normal_pdf};
+
+/// A univariate Gaussian distribution `N(mean, std²)`.
+///
+/// Used throughout the workspace to describe first-order (canonical) timing
+/// quantities after the factor structure has been collapsed.
+///
+/// ```
+/// use statleak_stats::Normal;
+/// let d = Normal::new(10.0, 2.0);
+/// assert!((d.cdf(10.0) - 0.5).abs() < 1e-7);
+/// assert!((d.quantile(0.5) - 10.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std: f64,
+}
+
+impl Normal {
+    /// Creates a Gaussian with the given mean and standard deviation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std` is negative or not finite, or `mean` is not finite.
+    pub fn new(mean: f64, std: f64) -> Self {
+        assert!(mean.is_finite(), "mean must be finite, got {mean}");
+        assert!(
+            std.is_finite() && std >= 0.0,
+            "std must be finite and non-negative, got {std}"
+        );
+        Self { mean, std }
+    }
+
+    /// The mean of the distribution.
+    #[inline]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The standard deviation of the distribution.
+    #[inline]
+    pub fn std(&self) -> f64 {
+        self.std
+    }
+
+    /// The variance of the distribution.
+    #[inline]
+    pub fn variance(&self) -> f64 {
+        self.std * self.std
+    }
+
+    /// Cumulative distribution function `P(X ≤ x)`.
+    ///
+    /// A degenerate (zero-variance) Gaussian yields a step function.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if self.std == 0.0 {
+            if x >= self.mean {
+                1.0
+            } else {
+                0.0
+            }
+        } else {
+            phi((x - self.mean) / self.std)
+        }
+    }
+
+    /// Probability density function at `x`.
+    pub fn pdf(&self, x: f64) -> f64 {
+        if self.std == 0.0 {
+            if x == self.mean {
+                f64::INFINITY
+            } else {
+                0.0
+            }
+        } else {
+            std_normal_pdf((x - self.mean) / self.std) / self.std
+        }
+    }
+
+    /// Quantile function (inverse CDF) at probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not strictly inside `(0, 1)`.
+    pub fn quantile(&self, p: f64) -> f64 {
+        self.mean + self.std * phi_inv(p)
+    }
+
+    /// The sum of two *independent* Gaussians.
+    pub fn add_independent(&self, other: &Normal) -> Normal {
+        Normal::new(
+            self.mean + other.mean,
+            (self.variance() + other.variance()).sqrt(),
+        )
+    }
+
+    /// Scales the random variable by a constant `k` (`Y = kX`).
+    pub fn scale(&self, k: f64) -> Normal {
+        Normal::new(self.mean * k, self.std * k.abs())
+    }
+
+    /// Shifts the random variable by a constant `c` (`Y = X + c`).
+    pub fn shift(&self, c: f64) -> Normal {
+        Normal::new(self.mean + c, self.std)
+    }
+}
+
+impl Default for Normal {
+    /// The standard normal `N(0, 1)`.
+    fn default() -> Self {
+        Normal::new(0.0, 1.0)
+    }
+}
+
+impl std::fmt::Display for Normal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "N({:.6}, {:.6}²)", self.mean, self.std)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_quantile_inverse() {
+        let d = Normal::new(3.0, 1.5);
+        for &p in &[0.01, 0.1, 0.5, 0.9, 0.99] {
+            let x = d.quantile(p);
+            assert!((d.cdf(x) - p).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn degenerate_gaussian_is_step() {
+        let d = Normal::new(2.0, 0.0);
+        assert_eq!(d.cdf(1.999), 0.0);
+        assert_eq!(d.cdf(2.0), 1.0);
+        assert_eq!(d.cdf(5.0), 1.0);
+    }
+
+    #[test]
+    fn add_independent_sums_moments() {
+        let a = Normal::new(1.0, 3.0);
+        let b = Normal::new(2.0, 4.0);
+        let c = a.add_independent(&b);
+        assert!((c.mean() - 3.0).abs() < 1e-12);
+        assert!((c.std() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scale_flips_sign_correctly() {
+        let a = Normal::new(1.0, 2.0);
+        let b = a.scale(-3.0);
+        assert!((b.mean() + 3.0).abs() < 1e-12);
+        assert!((b.std() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pdf_peak_at_mean() {
+        let d = Normal::new(-1.0, 0.5);
+        assert!(d.pdf(-1.0) > d.pdf(-0.5));
+        assert!(d.pdf(-1.0) > d.pdf(-1.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "std must be finite and non-negative")]
+    fn negative_std_rejected() {
+        let _ = Normal::new(0.0, -1.0);
+    }
+}

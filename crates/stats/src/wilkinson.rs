@@ -1,0 +1,203 @@
+//! Fenton–Wilkinson moment matching for sums of correlated lognormals.
+//!
+//! The chip-level leakage current is `I_total = Σ_i I_i` where every `I_i`
+//! is lognormal, `ln I_i = mu_i + g_i`, and the Gaussian exponents `g_i`
+//! are correlated through shared process-variation factors. Wilkinson's
+//! method computes the exact first two moments of the sum (which *are*
+//! available in closed form) and matches a single lognormal to them. It is
+//! the standard approach in statistical leakage analysis and is accurate in
+//! the body and the moderate upper tail of the distribution, which is what
+//! the 95th/99th-percentile objectives need.
+
+use crate::lognormal::LogNormal;
+
+/// One lognormal term of a correlated sum: `X_i = exp(mu + Σ_k a_k Z_k + b·R_i)`
+/// where `Z_k` are shared independent standard-normal factors and `R_i` is a
+/// term-local independent standard normal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LognormalTerm {
+    /// ln-space mean.
+    pub mu: f64,
+    /// Sensitivities to the shared factors (all terms must use the same
+    /// factor ordering; missing trailing factors are treated as zero).
+    pub factor_coeffs: Vec<f64>,
+    /// Coefficient of the term-local independent factor.
+    pub local_coeff: f64,
+}
+
+impl LognormalTerm {
+    /// Total ln-space variance of this term.
+    pub fn ln_variance(&self) -> f64 {
+        self.factor_coeffs.iter().map(|a| a * a).sum::<f64>()
+            + self.local_coeff * self.local_coeff
+    }
+
+    /// ln-space covariance with another term (only shared factors
+    /// contribute; local terms are independent across terms).
+    pub fn ln_covariance(&self, other: &LognormalTerm) -> f64 {
+        self.factor_coeffs
+            .iter()
+            .zip(&other.factor_coeffs)
+            .map(|(a, b)| a * b)
+            .sum()
+    }
+
+    /// Linear-space mean of this term.
+    pub fn mean(&self) -> f64 {
+        (self.mu + 0.5 * self.ln_variance()).exp()
+    }
+
+    /// This term as a standalone [`LogNormal`].
+    pub fn to_lognormal(&self) -> LogNormal {
+        LogNormal::new(self.mu, self.ln_variance().sqrt())
+    }
+}
+
+/// Sums correlated lognormal terms by Wilkinson (two-moment) matching.
+///
+/// The exact mean is `Σ exp(mu_i + v_i/2)` and the exact second moment uses
+/// `E[X_i X_j] = exp(mu_i + mu_j + (v_i + v_j + 2 c_ij)/2)`; the result is
+/// the lognormal with those two moments. Runs in `O(n²)` over the terms
+/// (with `n` capped by the caller — leakage analysis aggregates per grid
+/// region first so `n` is the region count, not the gate count).
+///
+/// # Panics
+///
+/// Panics if `terms` is empty.
+///
+/// ```
+/// use statleak_stats::{wilkinson_sum, LognormalTerm};
+/// let t = LognormalTerm { mu: 0.0, factor_coeffs: vec![0.3], local_coeff: 0.4 };
+/// let sum = wilkinson_sum(std::slice::from_ref(&t));
+/// // Sum of one term is that term.
+/// assert!((sum.mean() - t.mean()).abs() < 1e-12);
+/// ```
+pub fn wilkinson_sum(terms: &[LognormalTerm]) -> LogNormal {
+    assert!(!terms.is_empty(), "wilkinson_sum requires at least one term");
+    let means: Vec<f64> = terms.iter().map(LognormalTerm::mean).collect();
+    let total_mean: f64 = means.iter().sum();
+
+    // E[(ΣX)²] = Σ_ij E[X_i X_j]; E[X_i X_j] = m_i m_j exp(c_ij).
+    let mut second = 0.0;
+    for (i, ti) in terms.iter().enumerate() {
+        // Diagonal: c_ii = v_i (including the local part).
+        second += means[i] * means[i] * ti.ln_variance().exp();
+        for (j, tj) in terms.iter().enumerate().skip(i + 1) {
+            let cij = ti.ln_covariance(tj);
+            second += 2.0 * means[i] * means[j] * cij.exp();
+        }
+    }
+    let variance = (second - total_mean * total_mean).max(0.0);
+    LogNormal::from_moments(total_mean, variance)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn term(mu: f64, shared: &[f64], local: f64) -> LognormalTerm {
+        LognormalTerm {
+            mu,
+            factor_coeffs: shared.to_vec(),
+            local_coeff: local,
+        }
+    }
+
+    #[test]
+    fn independent_sum_moments_exact() {
+        // Two independent lognormals: Wilkinson matches exact mean/variance.
+        let a = term(0.0, &[], 0.5);
+        let b = term(0.3, &[], 0.4);
+        let s = wilkinson_sum(&[a.clone(), b.clone()]);
+        let exact_mean = a.to_lognormal().mean() + b.to_lognormal().mean();
+        let exact_var = a.to_lognormal().variance() + b.to_lognormal().variance();
+        assert!((s.mean() - exact_mean).abs() < 1e-10);
+        assert!((s.variance() - exact_var).abs() < 1e-9);
+    }
+
+    #[test]
+    fn correlated_sum_has_larger_variance() {
+        let shared = [0.5];
+        let a = term(0.0, &shared, 0.0);
+        let b = term(0.0, &shared, 0.0);
+        let corr = wilkinson_sum(&[a, b]);
+        let ai = term(0.0, &[], 0.5);
+        let bi = term(0.0, &[], 0.5);
+        let indep = wilkinson_sum(&[ai, bi]);
+        assert!((corr.mean() - indep.mean()).abs() < 1e-10);
+        assert!(corr.variance() > indep.variance());
+    }
+
+    #[test]
+    fn perfectly_correlated_pair_is_scaled_single() {
+        // X + X = 2X exactly, and Wilkinson is exact for that case.
+        let a = term(0.2, &[0.6], 0.0);
+        let s = wilkinson_sum(&[a.clone(), a.clone()]);
+        let expect = a.to_lognormal().scale(2.0);
+        assert!((s.mean() - expect.mean()).abs() < 1e-9);
+        assert!((s.variance() - expect.variance()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn against_monte_carlo() {
+        // 3 terms sharing 2 factors; compare mean/std and 95th percentile.
+        let terms = vec![
+            term(0.0, &[0.3, 0.1], 0.2),
+            term(-0.5, &[0.2, 0.25], 0.15),
+            term(0.4, &[0.1, 0.1], 0.3),
+        ];
+        let analytic = wilkinson_sum(&terms);
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let n = 200_000;
+        let mut samples = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut z = [0.0f64; 2];
+            for zi in &mut z {
+                let u1: f64 = rng.gen_range(1e-12..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                *zi = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            }
+            let mut total = 0.0;
+            for t in &terms {
+                let u1: f64 = rng.gen_range(1e-12..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                let r = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                let g: f64 = t.factor_coeffs.iter().zip(&z).map(|(a, zz)| a * zz).sum();
+                total += (t.mu + g + t.local_coeff * r).exp();
+            }
+            samples.push(total);
+        }
+        samples.sort_by(f64::total_cmp);
+        let mc_mean: f64 = samples.iter().sum::<f64>() / n as f64;
+        let mc_p95 = samples[(0.95 * n as f64) as usize];
+
+        assert!(
+            (analytic.mean() - mc_mean).abs() / mc_mean < 0.01,
+            "mean {} vs {}",
+            analytic.mean(),
+            mc_mean
+        );
+        assert!(
+            (analytic.quantile(0.95) - mc_p95).abs() / mc_p95 < 0.03,
+            "p95 {} vs {}",
+            analytic.quantile(0.95),
+            mc_p95
+        );
+    }
+
+    #[test]
+    fn mismatched_factor_lengths_treated_as_zero() {
+        let a = term(0.0, &[0.5, 0.2], 0.0);
+        let b = term(0.0, &[0.5], 0.0);
+        // Covariance only over the shared prefix.
+        assert!((a.ln_covariance(&b) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one term")]
+    fn empty_sum_rejected() {
+        let _ = wilkinson_sum(&[]);
+    }
+}

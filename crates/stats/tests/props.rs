@@ -1,0 +1,151 @@
+//! Property-based tests for the statistics substrate.
+
+use proptest::prelude::*;
+use statleak_stats::{
+    cholesky, clark_max, percentile_of_sorted, phi, phi_inv, wilkinson_sum, Histogram, LogNormal,
+    LognormalTerm, Matrix, Normal, Summary,
+};
+
+proptest! {
+    #[test]
+    fn phi_in_unit_interval(x in -50.0..50.0f64) {
+        let p = phi(x);
+        prop_assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    fn phi_monotone(a in -8.0..8.0f64, d in 0.001..4.0f64) {
+        prop_assert!(phi(a + d) >= phi(a));
+    }
+
+    #[test]
+    fn phi_inv_round_trip(p in 0.0001..0.9999f64) {
+        let x = phi_inv(p);
+        prop_assert!((phi(x) - p).abs() < 1e-7, "p={p} x={x}");
+    }
+
+    #[test]
+    fn normal_cdf_quantile_inverse(
+        mean in -100.0..100.0f64,
+        std in 0.01..50.0f64,
+        p in 0.001..0.999f64,
+    ) {
+        let n = Normal::new(mean, std);
+        prop_assert!((n.cdf(n.quantile(p)) - p).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normal_add_independent_moments(
+        m1 in -10.0..10.0f64, s1 in 0.0..5.0f64,
+        m2 in -10.0..10.0f64, s2 in 0.0..5.0f64,
+    ) {
+        let c = Normal::new(m1, s1).add_independent(&Normal::new(m2, s2));
+        prop_assert!((c.mean() - (m1 + m2)).abs() < 1e-9);
+        prop_assert!((c.variance() - (s1 * s1 + s2 * s2)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lognormal_moment_round_trip(mu in -5.0..5.0f64, sigma in 0.0..2.0f64) {
+        let x = LogNormal::new(mu, sigma);
+        let y = LogNormal::from_moments(x.mean(), x.variance());
+        prop_assert!((x.mu() - y.mu()).abs() < 1e-7);
+        prop_assert!((x.sigma() - y.sigma()).abs() < 1e-7);
+    }
+
+    #[test]
+    fn lognormal_quantiles_ordered(mu in -5.0..5.0f64, sigma in 0.001..2.0f64) {
+        let x = LogNormal::new(mu, sigma);
+        prop_assert!(x.quantile(0.05) < x.median());
+        prop_assert!(x.median() < x.quantile(0.95));
+    }
+
+    #[test]
+    fn clark_max_invariants(
+        ma in -10.0..10.0f64, va in 0.0..9.0f64,
+        mb in -10.0..10.0f64, vb in 0.0..9.0f64,
+        rho in -0.99..0.99f64,
+    ) {
+        let cov = rho * (va * vb).sqrt();
+        let r = clark_max(ma, va, mb, vb, cov);
+        prop_assert!(r.mean >= ma.max(mb) - 1e-9, "E[max] >= max of means");
+        prop_assert!(r.variance >= -1e-12);
+        prop_assert!((0.0..=1.0).contains(&r.tightness));
+    }
+
+    #[test]
+    fn wilkinson_mean_is_exact(
+        mus in prop::collection::vec(-3.0..1.0f64, 1..8),
+        shared in 0.0..0.6f64,
+        local in 0.0..0.6f64,
+    ) {
+        let terms: Vec<LognormalTerm> = mus
+            .iter()
+            .map(|&mu| LognormalTerm {
+                mu,
+                factor_coeffs: vec![shared],
+                local_coeff: local,
+            })
+            .collect();
+        let sum = wilkinson_sum(&terms);
+        let exact: f64 = terms.iter().map(LognormalTerm::mean).sum();
+        prop_assert!((sum.mean() - exact).abs() / exact < 1e-9);
+    }
+
+    #[test]
+    fn wilkinson_correlation_inflates_variance(
+        mus in prop::collection::vec(-2.0..1.0f64, 2..6),
+        sigma in 0.05..0.5f64,
+    ) {
+        let corr: Vec<LognormalTerm> = mus
+            .iter()
+            .map(|&mu| LognormalTerm { mu, factor_coeffs: vec![sigma], local_coeff: 0.0 })
+            .collect();
+        let ind: Vec<LognormalTerm> = mus
+            .iter()
+            .map(|&mu| LognormalTerm { mu, factor_coeffs: vec![], local_coeff: sigma })
+            .collect();
+        let vc = wilkinson_sum(&corr).variance();
+        let vi = wilkinson_sum(&ind).variance();
+        prop_assert!(vc >= vi - 1e-12 * vc.abs());
+    }
+
+    #[test]
+    fn cholesky_reconstructs_random_spd(
+        entries in prop::collection::vec(-1.0..1.0f64, 9),
+    ) {
+        // A = B·Bᵀ + I is symmetric positive definite.
+        let b = Matrix::from_rows(3, entries);
+        let mut a = b.mul_transpose();
+        for i in 0..3 {
+            a[(i, i)] += 1.0;
+        }
+        let l = cholesky(&a).expect("SPD");
+        prop_assert!(l.mul_transpose().max_abs_diff(&a) < 1e-9);
+    }
+
+    #[test]
+    fn percentile_bounded_by_extremes(
+        mut xs in prop::collection::vec(-100.0..100.0f64, 1..50),
+        p in 0.0..=1.0f64,
+    ) {
+        xs.sort_by(f64::total_cmp);
+        let v = percentile_of_sorted(&xs, p);
+        prop_assert!(v >= xs[0] - 1e-12 && v <= xs[xs.len() - 1] + 1e-12);
+    }
+
+    #[test]
+    fn summary_consistent(xs in prop::collection::vec(-100.0..100.0f64, 2..60)) {
+        let s = Summary::from_samples(&xs);
+        prop_assert!(s.min <= s.median && s.median <= s.max);
+        prop_assert!(s.mean >= s.min && s.mean <= s.max);
+        prop_assert!(s.std >= 0.0);
+        prop_assert!(s.p95 <= s.p99 + 1e-12);
+    }
+
+    #[test]
+    fn histogram_conserves_count(xs in prop::collection::vec(-10.0..10.0f64, 1..100)) {
+        let h = Histogram::from_samples(&xs, 7);
+        prop_assert_eq!(h.total() as usize, xs.len());
+        prop_assert_eq!(h.counts().iter().sum::<u64>() as usize, xs.len());
+    }
+}

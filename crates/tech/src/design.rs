@@ -1,0 +1,265 @@
+//! A circuit with its implementation choices: per-gate size and Vth flavor.
+
+use crate::cell;
+use crate::params::{Technology, VthClass};
+use statleak_netlist::{Circuit, NodeId};
+use std::sync::Arc;
+
+/// A gate-level design: a [`Circuit`], a [`Technology`], and the per-gate
+/// implementation state the optimizers mutate (drive size and Vth flavor).
+///
+/// Node-indexed state vectors cover *all* nodes; entries for primary inputs
+/// are inert (size 1.0, low Vth) and never read by the models.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Design {
+    circuit: Arc<Circuit>,
+    tech: Technology,
+    sizes: Vec<f64>,
+    vth: Vec<VthClass>,
+    /// Optional per-net extra wire capacitance (fF), indexed by driver
+    /// node; empty = the fixed-stub-only load model.
+    wire_caps: Vec<f64>,
+}
+
+impl Design {
+    /// Creates a design with every gate at minimum size and low Vth — the
+    /// starting point of every optimization flow in the paper.
+    pub fn new(circuit: Arc<Circuit>, tech: Technology) -> Self {
+        tech.validate();
+        let n = circuit.num_nodes();
+        Self {
+            circuit,
+            tech,
+            sizes: vec![1.0; n],
+            vth: vec![VthClass::Low; n],
+            wire_caps: Vec::new(),
+        }
+    }
+
+    /// Installs per-net extra wire capacitance (fF, indexed by driver
+    /// node), typically from
+    /// [`crate::wire::wire_caps_from_placement`]. Every analysis sees the
+    /// extra load transparently through [`Design::load_cap`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector length differs from the node count.
+    pub fn set_wire_caps(&mut self, caps: Vec<f64>) {
+        assert_eq!(
+            caps.len(),
+            self.circuit.num_nodes(),
+            "wire caps must cover every node"
+        );
+        self.wire_caps = caps;
+    }
+
+    /// The underlying circuit.
+    #[inline]
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// Shared handle to the underlying circuit.
+    pub fn circuit_arc(&self) -> Arc<Circuit> {
+        Arc::clone(&self.circuit)
+    }
+
+    /// The technology parameters.
+    #[inline]
+    pub fn tech(&self) -> &Technology {
+        &self.tech
+    }
+
+    /// The drive size of a node.
+    #[inline]
+    pub fn size(&self, id: NodeId) -> f64 {
+        self.sizes[id.index()]
+    }
+
+    /// The Vth flavor of a node.
+    #[inline]
+    pub fn vth(&self, id: NodeId) -> VthClass {
+        self.vth[id.index()]
+    }
+
+    /// Sets the drive size of a gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is not in the technology's discrete size set.
+    pub fn set_size(&mut self, id: NodeId, size: f64) {
+        assert!(
+            self.tech
+                .sizes
+                .iter()
+                .any(|&s| (s - size).abs() < 1e-9),
+            "size {size} not in the discrete size set"
+        );
+        self.sizes[id.index()] = size;
+    }
+
+    /// Sets the Vth flavor of a gate.
+    pub fn set_vth(&mut self, id: NodeId, class: VthClass) {
+        self.vth[id.index()] = class;
+    }
+
+    /// The capacitive load seen by a node's output (fF): fanin pins of the
+    /// driven gates, wire stubs per branch, and the fixed primary-output
+    /// load if the node is an output.
+    pub fn load_cap(&self, id: NodeId) -> f64 {
+        let node = self.circuit.node(id);
+        let mut c = 0.0;
+        for &f in &node.fanout {
+            c += cell::input_cap(&self.tech, self.sizes[f.index()]) + self.tech.c_wire;
+        }
+        if self.circuit.is_output(id) {
+            c += self.tech.c_output_load;
+        }
+        if !self.wire_caps.is_empty() {
+            c += self.wire_caps[id.index()];
+        }
+        c
+    }
+
+    /// Nominal (no-variation) delay of a gate (ps).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `id` is a primary input.
+    pub fn gate_delay_nominal(&self, id: NodeId) -> f64 {
+        let node = self.circuit.node(id);
+        cell::gate_delay_nominal(
+            &self.tech,
+            node.kind,
+            node.fanin.len(),
+            self.sizes[id.index()],
+            self.vth[id.index()],
+            self.load_cap(id),
+        )
+    }
+
+    /// Nominal leakage current of a gate (A).
+    pub fn gate_leakage_nominal(&self, id: NodeId) -> f64 {
+        let node = self.circuit.node(id);
+        cell::leakage_nominal(
+            &self.tech,
+            node.kind,
+            node.fanin.len(),
+            self.sizes[id.index()],
+            self.vth[id.index()],
+        )
+    }
+
+    /// Total nominal leakage power (W): `vdd · Σ I_gate`.
+    pub fn total_leakage_power_nominal(&self) -> f64 {
+        self.tech.vdd
+            * self
+                .circuit
+                .gates()
+                .map(|g| self.gate_leakage_nominal(g))
+                .sum::<f64>()
+    }
+
+    /// Total gate width (area proxy, in minimum-width units).
+    pub fn total_width(&self) -> f64 {
+        self.circuit.gates().map(|g| self.sizes[g.index()]).sum()
+    }
+
+    /// Number of gates assigned the high-Vth flavor.
+    pub fn high_vth_count(&self) -> usize {
+        self.vth_count(VthClass::High)
+    }
+
+    /// Number of gates assigned a given Vth flavor.
+    pub fn vth_count(&self, class: VthClass) -> usize {
+        self.circuit
+            .gates()
+            .filter(|&g| self.vth[g.index()] == class)
+            .count()
+    }
+
+    /// Dynamic switching power (W) for an average activity factor and clock
+    /// frequency in GHz: `0.5 · a · C_total · Vdd² · f`.
+    pub fn dynamic_power(&self, activity: f64, f_ghz: f64) -> f64 {
+        let c_total_ff: f64 = self
+            .circuit
+            .gates()
+            .map(|g| self.tech.c_par * self.sizes[g.index()] + self.load_cap(g))
+            .sum();
+        0.5 * activity * (c_total_ff * 1e-15) * self.tech.vdd * self.tech.vdd * (f_ghz * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use statleak_netlist::benchmarks;
+
+    fn design() -> Design {
+        Design::new(Arc::new(benchmarks::c17()), Technology::ptm100())
+    }
+
+    #[test]
+    fn starts_min_size_low_vth() {
+        let d = design();
+        for g in d.circuit().gates() {
+            assert_eq!(d.size(g), 1.0);
+            assert_eq!(d.vth(g), VthClass::Low);
+        }
+    }
+
+    #[test]
+    fn load_includes_output_cap() {
+        let d = design();
+        let out = d.circuit().outputs()[0];
+        assert!(d.load_cap(out) >= d.tech().c_output_load);
+    }
+
+    #[test]
+    fn upsizing_fanout_increases_driver_load() {
+        let mut d = design();
+        let g22 = d.circuit().find("G22").unwrap();
+        let g10 = d.circuit().find("G10").unwrap(); // drives G22
+        let before = d.load_cap(g10);
+        d.set_size(g22, 4.0);
+        assert!(d.load_cap(g10) > before);
+    }
+
+    #[test]
+    fn high_vth_cuts_total_leakage() {
+        let mut d = design();
+        let base = d.total_leakage_power_nominal();
+        let gates: Vec<_> = d.circuit().gates().collect();
+        for g in gates {
+            d.set_vth(g, VthClass::High);
+        }
+        assert!(d.total_leakage_power_nominal() < base / 10.0);
+        assert_eq!(d.high_vth_count(), 6);
+    }
+
+    #[test]
+    fn total_width_tracks_sizes() {
+        let mut d = design();
+        assert!((d.total_width() - 6.0).abs() < 1e-12);
+        let g = d.circuit().gates().next().unwrap();
+        d.set_size(g, 3.0);
+        assert!((d.total_width() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dynamic_power_positive_and_scales_with_activity() {
+        let d = design();
+        let p1 = d.dynamic_power(0.1, 1.0);
+        let p2 = d.dynamic_power(0.2, 1.0);
+        assert!(p1 > 0.0);
+        assert!((p2 / p1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in the discrete size set")]
+    fn rejects_off_grid_size() {
+        let mut d = design();
+        let g = d.circuit().gates().next().unwrap();
+        d.set_size(g, 2.7);
+    }
+}

@@ -1,0 +1,49 @@
+//! Technology and device models for the `statleak` workspace.
+//!
+//! This crate is the "SPICE substitute" of the reproduction (see
+//! `DESIGN.md` §5): closed-form alpha-power-law delay and exponential
+//! sub-threshold leakage models calibrated to published 100 nm dual-Vth
+//! ratios, plus the process-variation specification that couples both
+//! through the effective channel length.
+//!
+//! * [`Technology`] — the 100 nm parameter set ([`Technology::ptm100`]):
+//!   supply, the two threshold voltages, alpha-power exponent,
+//!   sub-threshold slope, capacitances, and the discrete size set;
+//! * [`cell`] — per-gate delay/leakage equations and their first-order
+//!   sensitivities to `ΔL/L` and `ΔVth`;
+//! * [`Design`] — a circuit plus its per-gate size and Vth assignment, the
+//!   object every analysis and optimizer operates on;
+//! * [`liberty`] — Liberty-subset (`.lib`) export/import of the cell
+//!   library for interchange with other tools;
+//! * [`variation`] — the variation decomposition (die-to-die / spatially
+//!   correlated / gate-local) factored into independent standard-normal
+//!   factors shared by SSTA, leakage analysis, and Monte Carlo.
+//!
+//! # Example
+//!
+//! ```
+//! use statleak_netlist::benchmarks;
+//! use statleak_tech::{Design, Technology, VthClass};
+//! use std::sync::Arc;
+//!
+//! let tech = Technology::ptm100();
+//! let mut design = Design::new(Arc::new(benchmarks::c17()), tech);
+//! let g = design.circuit().gates().next().expect("c17 has gates");
+//! let before = design.gate_leakage_nominal(g);
+//! design.set_vth(g, VthClass::High);
+//! assert!(design.gate_leakage_nominal(g) < before / 10.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cell;
+mod design;
+pub mod liberty;
+mod params;
+pub mod variation;
+pub mod wire;
+
+pub use design::Design;
+pub use params::{Technology, VthClass};
+pub use variation::{FactorModel, VariationConfig};

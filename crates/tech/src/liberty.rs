@@ -1,0 +1,365 @@
+//! Liberty-subset (`.lib`) export and import of the dual-Vth cell library.
+//!
+//! Downstream tools (synthesis, sign-off) consume characterized libraries
+//! in Synopsys Liberty format. This module renders the closed-form cell
+//! models of this technology as a Liberty-style library — one cell per
+//! (gate kind, fanin, drive size, Vth flavor) — with pin capacitance,
+//! state-averaged leakage power, and a linear (intrinsic + slope·load)
+//! timing model sampled from the alpha-power equation. A matching parser
+//! reads the subset back, which both round-trip-tests the writer and gives
+//! users a template for importing their own characterized values.
+
+use crate::cell;
+use crate::params::{Technology, VthClass};
+use statleak_netlist::GateKind;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One exported/imported library cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LibertyCell {
+    /// Cell name, e.g. `NAND2_X2_HVT`.
+    pub name: String,
+    /// Gate function.
+    pub kind: GateKind,
+    /// Fanin count the cell was characterized for.
+    pub fanin: usize,
+    /// Drive size (multiple of minimum width).
+    pub size: f64,
+    /// Threshold flavor.
+    pub vth: VthClass,
+    /// Input pin capacitance (fF).
+    pub input_cap: f64,
+    /// State-averaged leakage power (nW).
+    pub leakage_nw: f64,
+    /// Intrinsic delay at zero external load (ps).
+    pub intrinsic_ps: f64,
+    /// Delay slope per fF of external load (ps/fF).
+    pub slope_ps_per_ff: f64,
+}
+
+/// The gate kinds exported to the library (with their fanin variants).
+const EXPORT_KINDS: [(GateKind, &str, &[usize]); 8] = [
+    (GateKind::Not, "INV", &[1]),
+    (GateKind::Buff, "BUF", &[1]),
+    (GateKind::Nand, "NAND", &[2, 3, 4]),
+    (GateKind::Nor, "NOR", &[2, 3, 4]),
+    (GateKind::And, "AND", &[2, 3, 4]),
+    (GateKind::Or, "OR", &[2, 3, 4]),
+    (GateKind::Xor, "XOR", &[2]),
+    (GateKind::Xnor, "XNOR", &[2]),
+];
+
+fn vth_suffix(vth: VthClass) -> &'static str {
+    match vth {
+        VthClass::Low => "LVT",
+        VthClass::Mid => "MVT",
+        VthClass::High => "HVT",
+    }
+}
+
+fn cell_name(base: &str, fanin: usize, size: f64, vth: VthClass) -> String {
+    let arity = if fanin > 1 {
+        fanin.to_string()
+    } else {
+        String::new()
+    };
+    format!("{base}{arity}_X{}_{}", format_size(size), vth_suffix(vth))
+}
+
+fn format_size(size: f64) -> String {
+    if (size - size.round()).abs() < 1e-9 {
+        format!("{}", size.round() as i64)
+    } else {
+        format!("{size}").replace('.', "p")
+    }
+}
+
+/// Characterizes one cell from the closed-form models.
+pub fn characterize(
+    tech: &Technology,
+    kind: GateKind,
+    base: &str,
+    fanin: usize,
+    size: f64,
+    vth: VthClass,
+) -> LibertyCell {
+    // Linear delay fit from two load points (the model *is* linear in
+    // load, so two points are exact).
+    let d0 = cell::gate_delay_nominal(tech, kind, fanin, size, vth, 0.0);
+    let d10 = cell::gate_delay_nominal(tech, kind, fanin, size, vth, 10.0);
+    LibertyCell {
+        name: cell_name(base, fanin, size, vth),
+        kind,
+        fanin,
+        size,
+        vth,
+        input_cap: cell::input_cap(tech, size),
+        leakage_nw: cell::leakage_nominal(tech, kind, fanin, size, vth) * tech.vdd * 1e9,
+        intrinsic_ps: d0,
+        slope_ps_per_ff: (d10 - d0) / 10.0,
+    }
+}
+
+/// Exports the whole dual-Vth library (all kinds × sizes × {L,H}) as
+/// Liberty-subset text.
+pub fn export(tech: &Technology, library_name: &str) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("library ({library_name}) {{\n"));
+    out.push_str("  delay_model : generic_cmos;\n");
+    out.push_str("  time_unit : \"1ps\";\n");
+    out.push_str("  leakage_power_unit : \"1nW\";\n");
+    out.push_str("  capacitive_load_unit (1, ff);\n");
+    out.push_str(&format!("  nom_voltage : {};\n", tech.vdd));
+    for (kind, base, fanins) in EXPORT_KINDS {
+        for &fanin in fanins {
+            for &size in &tech.sizes {
+                for vth in [VthClass::Low, VthClass::High] {
+                    let c = characterize(tech, kind, base, fanin, size, vth);
+                    out.push_str(&format!("  cell ({}) {{\n", c.name));
+                    out.push_str(&format!(
+                        "    cell_leakage_power : {:.6};\n",
+                        c.leakage_nw
+                    ));
+                    out.push_str(&format!("    drive_size : {};\n", c.size));
+                    out.push_str(&format!("    fanin_count : {};\n", c.fanin));
+                    out.push_str(&format!("    function_kind : {};\n", c.kind.bench_keyword()));
+                    out.push_str(&format!("    threshold_flavor : {};\n", vth_suffix(c.vth)));
+                    out.push_str("    pin (A) {\n");
+                    out.push_str("      direction : input;\n");
+                    out.push_str(&format!("      capacitance : {:.6};\n", c.input_cap));
+                    out.push_str("    }\n");
+                    out.push_str("    pin (Y) {\n");
+                    out.push_str("      direction : output;\n");
+                    out.push_str("      timing () {\n");
+                    out.push_str(&format!(
+                        "        intrinsic_rise : {:.6};\n",
+                        c.intrinsic_ps
+                    ));
+                    out.push_str(&format!(
+                        "        rise_resistance : {:.6};\n",
+                        c.slope_ps_per_ff
+                    ));
+                    out.push_str("      }\n");
+                    out.push_str("    }\n");
+                    out.push_str("  }\n");
+                }
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Errors produced while parsing the Liberty subset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseLibertyError {
+    /// No `library (...)` header.
+    MissingLibrary,
+    /// A cell lacked a required attribute; carries cell name + attribute.
+    MissingAttribute {
+        /// The cell.
+        cell: String,
+        /// The missing attribute key.
+        attribute: String,
+    },
+    /// A value could not be parsed as a number; carries key and text.
+    BadValue {
+        /// Attribute key.
+        key: String,
+        /// Unparsable text.
+        text: String,
+    },
+}
+
+impl fmt::Display for ParseLibertyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseLibertyError::MissingLibrary => write!(f, "no `library` group found"),
+            ParseLibertyError::MissingAttribute { cell, attribute } => {
+                write!(f, "cell `{cell}` lacks attribute `{attribute}`")
+            }
+            ParseLibertyError::BadValue { key, text } => {
+                write!(f, "bad numeric value for `{key}`: `{text}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseLibertyError {}
+
+/// Parses Liberty-subset text back into cells.
+///
+/// Only the attributes written by [`export`] are interpreted; unknown
+/// attributes and groups are skipped (which is the Liberty convention and
+/// lets users feed in real libraries with richer content).
+///
+/// # Errors
+///
+/// Returns [`ParseLibertyError`] on missing headers/attributes or
+/// unparsable numbers.
+pub fn parse(src: &str) -> Result<Vec<LibertyCell>, ParseLibertyError> {
+    if !src.contains("library") {
+        return Err(ParseLibertyError::MissingLibrary);
+    }
+    let mut cells = Vec::new();
+    // Light-weight scan: find `cell (NAME) {` groups, then read key : value
+    // pairs until the group's brace depth closes.
+    let mut rest = src;
+    while let Some(pos) = rest.find("cell (") {
+        rest = &rest[pos + "cell (".len()..];
+        let close = rest.find(')').ok_or(ParseLibertyError::MissingLibrary)?;
+        let name = rest[..close].trim().to_string();
+        let body_start = rest[close..]
+            .find('{')
+            .map(|i| close + i + 1)
+            .ok_or(ParseLibertyError::MissingLibrary)?;
+        // Find the matching closing brace.
+        let mut depth = 1;
+        let mut end = body_start;
+        for (i, ch) in rest[body_start..].char_indices() {
+            match ch {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = body_start + i;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let body = &rest[body_start..end];
+        let mut attrs: BTreeMap<String, String> = BTreeMap::new();
+        for line in body.lines() {
+            if let Some((k, v)) = line.split_once(':') {
+                attrs.insert(
+                    k.trim().to_string(),
+                    v.trim().trim_end_matches(';').trim().to_string(),
+                );
+            }
+        }
+        let get = |key: &str| -> Result<String, ParseLibertyError> {
+            attrs
+                .get(key)
+                .cloned()
+                .ok_or_else(|| ParseLibertyError::MissingAttribute {
+                    cell: name.clone(),
+                    attribute: key.to_string(),
+                })
+        };
+        let num = |key: &str| -> Result<f64, ParseLibertyError> {
+            let text = get(key)?;
+            text.parse().map_err(|_| ParseLibertyError::BadValue {
+                key: key.to_string(),
+                text,
+            })
+        };
+        let kind = GateKind::from_bench_keyword(&get("function_kind")?).ok_or_else(|| {
+            ParseLibertyError::BadValue {
+                key: "function_kind".into(),
+                text: get("function_kind").unwrap_or_default(),
+            }
+        })?;
+        let vth = match get("threshold_flavor")?.as_str() {
+            "LVT" => VthClass::Low,
+            "MVT" => VthClass::Mid,
+            "HVT" => VthClass::High,
+            other => {
+                return Err(ParseLibertyError::BadValue {
+                    key: "threshold_flavor".into(),
+                    text: other.to_string(),
+                })
+            }
+        };
+        cells.push(LibertyCell {
+            name: name.clone(),
+            kind,
+            fanin: num("fanin_count")? as usize,
+            size: num("drive_size")?,
+            vth,
+            input_cap: num("capacitance")?,
+            leakage_nw: num("cell_leakage_power")?,
+            intrinsic_ps: num("intrinsic_rise")?,
+            slope_ps_per_ff: num("rise_resistance")?,
+        });
+        rest = &rest[end..];
+    }
+    Ok(cells)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn export_contains_expected_cells() {
+        let text = export(&Technology::ptm100(), "statleak100");
+        assert!(text.contains("library (statleak100)"));
+        assert!(text.contains("cell (INV_X1_LVT)"));
+        assert!(text.contains("cell (NAND2_X4_HVT)"));
+        assert!(text.contains("cell (XOR2_X16_LVT)"));
+    }
+
+    #[test]
+    fn round_trip_preserves_values() {
+        let tech = Technology::ptm100();
+        let cells = parse(&export(&tech, "lib")).unwrap();
+        // 2 single-fanin kinds + 4 kinds × 3 fanins + 2 kinds × 1 fanin
+        // = 16 variants × 9 sizes × 2 vth.
+        assert_eq!(cells.len(), 16 * tech.sizes.len() * 2);
+        let inv = cells
+            .iter()
+            .find(|c| c.name == "INV_X1_LVT")
+            .expect("inverter present");
+        let expect = characterize(&tech, GateKind::Not, "INV", 1, 1.0, VthClass::Low);
+        assert!((inv.leakage_nw - expect.leakage_nw).abs() < 1e-4);
+        assert!((inv.input_cap - expect.input_cap).abs() < 1e-4);
+        assert!((inv.intrinsic_ps - expect.intrinsic_ps).abs() < 1e-4);
+        assert!((inv.slope_ps_per_ff - expect.slope_ps_per_ff).abs() < 1e-4);
+    }
+
+    #[test]
+    fn linear_fit_reproduces_model_delay() {
+        let tech = Technology::ptm100();
+        let c = characterize(&tech, GateKind::Nand, "NAND", 2, 2.0, VthClass::High);
+        for load in [0.0, 5.0, 20.0, 50.0] {
+            let model = cell::gate_delay_nominal(&tech, GateKind::Nand, 2, 2.0, VthClass::High, load);
+            let fit = c.intrinsic_ps + c.slope_ps_per_ff * load;
+            assert!((model - fit).abs() < 1e-9, "load {load}");
+        }
+    }
+
+    #[test]
+    fn hvt_cells_leak_less_than_lvt() {
+        let cells = parse(&export(&Technology::ptm100(), "lib")).unwrap();
+        let lvt = cells.iter().find(|c| c.name == "NAND2_X1_LVT").unwrap();
+        let hvt = cells.iter().find(|c| c.name == "NAND2_X1_HVT").unwrap();
+        assert!(lvt.leakage_nw / hvt.leakage_nw > 15.0);
+        assert!(hvt.intrinsic_ps > lvt.intrinsic_ps);
+    }
+
+    #[test]
+    fn missing_library_rejected() {
+        assert_eq!(parse("cell (X) {}"), Err(ParseLibertyError::MissingLibrary));
+    }
+
+    #[test]
+    fn missing_attribute_reported() {
+        let src = "library (l) { cell (BROKEN) { drive_size : 1; } }";
+        let e = parse(src).unwrap_err();
+        assert!(matches!(e, ParseLibertyError::MissingAttribute { .. }));
+    }
+
+    #[test]
+    fn unknown_attributes_skipped() {
+        let tech = Technology::ptm100();
+        let mut text = export(&tech, "lib");
+        text = text.replace(
+            "delay_model : generic_cmos;",
+            "delay_model : generic_cmos;\n  vendor_secret_sauce : 42;",
+        );
+        assert!(parse(&text).is_ok());
+    }
+}

@@ -1,0 +1,250 @@
+//! The 100 nm dual-Vth technology parameter set.
+
+/// The two threshold-voltage flavors every cell is available in.
+///
+/// Dual-Vth libraries fabricate the same layout with two channel implants:
+/// the low-Vth flavor is fast and leaky, the high-Vth flavor is ~20× less
+/// leaky but slower. Assigning the flavor per gate is one of the paper's
+/// two optimization knobs (the other is sizing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum VthClass {
+    /// Fast, leaky (nominal 0.20 V at 100 nm).
+    #[default]
+    Low,
+    /// The optional middle flavor of a triple-Vth library (nominal
+    /// 0.26 V): ~9 % slower and ~4.7× less leaky than low-Vth. Only used
+    /// when an optimizer is configured for triple-Vth operation.
+    Mid,
+    /// ~18 % slower, ~20× less leaky (nominal 0.32 V at 100 nm).
+    High,
+}
+
+impl std::fmt::Display for VthClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            VthClass::Low => "L",
+            VthClass::Mid => "M",
+            VthClass::High => "H",
+        })
+    }
+}
+
+/// Closed-form 100 nm technology parameters (BPTM-flavoured).
+///
+/// Units used consistently across the workspace:
+///
+/// * delay — picoseconds (ps)
+/// * capacitance — femtofarads (fF)
+/// * current — amperes (A); leakage *power* is `vdd · I` in watts
+/// * gate size — multiples of the minimum drive width
+/// * channel-length variation — relative (`ΔL / L_nominal`)
+///
+/// The calibration targets (see `DESIGN.md` §3): a minimum-size low-Vth
+/// inverter leaks ≈ 100 nA and a high-Vth one ≈ 20× less; swapping low→high
+/// Vth slows a gate by ≈ 18 %.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Technology {
+    /// Supply voltage (V).
+    pub vdd: f64,
+    /// Low threshold voltage (V).
+    pub vth_low: f64,
+    /// Middle threshold voltage (V), used by triple-Vth optimization.
+    pub vth_mid: f64,
+    /// High threshold voltage (V).
+    pub vth_high: f64,
+    /// Alpha-power-law velocity-saturation exponent.
+    pub alpha: f64,
+    /// Sub-threshold swing factor `n` (dimensionless).
+    pub n_sub: f64,
+    /// Thermal voltage `kT/q` at the analysis temperature (V).
+    pub v_thermal: f64,
+    /// Delay scale: ps per (fF·V / unit-width / V^alpha).
+    pub k_delay: f64,
+    /// Gate input capacitance per unit width (fF).
+    pub c_gate: f64,
+    /// Parasitic (self-load) capacitance per unit width (fF).
+    pub c_par: f64,
+    /// Wire capacitance per fanout branch (fF).
+    pub c_wire: f64,
+    /// Fixed load presented by each primary output (fF).
+    pub c_output_load: f64,
+    /// Sub-threshold leakage scale per unit width at `Vth = 0` (A).
+    pub i0: f64,
+    /// Threshold-voltage shift per unit *relative* channel-length change
+    /// (V); positive — `ΔVth = vth_l_coeff · ΔL/L`, so shorter channels
+    /// (negative `ΔL`) have lower Vth (roll-off), which is exactly the
+    /// delay↔leakage anti-correlation the paper exploits.
+    pub vth_l_coeff: f64,
+    /// Discrete allowed gate sizes, ascending, starting at 1.0.
+    pub sizes: Vec<f64>,
+    /// Output-slew gain: output transition ≈ `slew_gain ·` (load-dependent
+    /// gate delay). Used by the slew-aware timing extension.
+    pub slew_gain: f64,
+    /// Delay sensitivity to input slew (dimensionless): the slew-aware
+    /// model adds `slew_delay_coeff · s_in` to each gate delay.
+    pub slew_delay_coeff: f64,
+    /// Transition time driven into the primary inputs (ps).
+    pub input_slew: f64,
+}
+
+impl Technology {
+    /// The 100 nm parameter set used by every experiment in this repo.
+    pub fn ptm100() -> Self {
+        Self {
+            vdd: 1.2,
+            vth_low: 0.20,
+            vth_mid: 0.26,
+            vth_high: 0.32,
+            alpha: 1.3,
+            n_sub: 1.5,
+            v_thermal: 0.0259,
+            k_delay: 2.8,
+            c_gate: 2.0,
+            c_par: 1.0,
+            c_wire: 0.4,
+            c_output_load: 8.0,
+            i0: 17.0e-6,
+            vth_l_coeff: 0.30,
+            sizes: vec![1.0, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0],
+            slew_gain: 2.0,
+            slew_delay_coeff: 0.15,
+            input_slew: 20.0,
+        }
+    }
+
+    /// The threshold voltage of a flavor.
+    #[inline]
+    pub fn vth(&self, class: VthClass) -> f64 {
+        match class {
+            VthClass::Low => self.vth_low,
+            VthClass::Mid => self.vth_mid,
+            VthClass::High => self.vth_high,
+        }
+    }
+
+    /// The sub-threshold slope denominator `n · vT` (V).
+    #[inline]
+    pub fn n_vt(&self) -> f64 {
+        self.n_sub * self.v_thermal
+    }
+
+    /// The next larger size in the discrete set, if any.
+    pub fn size_up(&self, w: f64) -> Option<f64> {
+        self.sizes.iter().copied().find(|&s| s > w * 1.000_001)
+    }
+
+    /// The next smaller size in the discrete set, if any.
+    pub fn size_down(&self, w: f64) -> Option<f64> {
+        self.sizes
+            .iter()
+            .rev()
+            .copied()
+            .find(|&s| s < w * 0.999_999)
+    }
+
+    /// Validates internal consistency (used by constructors in tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameter set is physically inconsistent (non-positive
+    /// scales, `vth_high ≤ vth_low`, `vth_high ≥ vdd`, empty or unsorted
+    /// size set).
+    pub fn validate(&self) {
+        assert!(self.vdd > 0.0 && self.k_delay > 0.0 && self.i0 > 0.0);
+        assert!(self.vth_low > 0.0 && self.vth_high > self.vth_low);
+        assert!(
+            self.vth_mid > self.vth_low && self.vth_mid < self.vth_high,
+            "vth_mid must lie strictly between vth_low and vth_high"
+        );
+        assert!(self.vth_high < self.vdd, "vth_high must stay below vdd");
+        assert!(self.n_vt() > 0.0);
+        assert!(!self.sizes.is_empty(), "size set must be non-empty");
+        assert!(
+            self.sizes.windows(2).all(|w| w[0] < w[1]),
+            "size set must be strictly ascending"
+        );
+        assert!(
+            (self.sizes[0] - 1.0).abs() < 1e-9,
+            "smallest size must be 1.0"
+        );
+        assert!(
+            self.slew_gain > 0.0 && self.slew_delay_coeff >= 0.0 && self.input_slew >= 0.0,
+            "slew parameters must be non-negative (gain positive)"
+        );
+    }
+}
+
+impl Default for Technology {
+    fn default() -> Self {
+        Self::ptm100()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ptm100_is_valid() {
+        Technology::ptm100().validate();
+    }
+
+    #[test]
+    fn vth_lookup() {
+        let t = Technology::ptm100();
+        assert_eq!(t.vth(VthClass::Low), t.vth_low);
+        assert_eq!(t.vth(VthClass::Mid), t.vth_mid);
+        assert_eq!(t.vth(VthClass::High), t.vth_high);
+    }
+
+    #[test]
+    fn mid_vth_between_flavors() {
+        let t = Technology::ptm100();
+        let il = (-t.vth_low / t.n_vt()).exp();
+        let im = (-t.vth_mid / t.n_vt()).exp();
+        let ih = (-t.vth_high / t.n_vt()).exp();
+        assert!(il > im && im > ih);
+    }
+
+    #[test]
+    #[should_panic(expected = "vth_mid must lie strictly between")]
+    fn validate_rejects_misordered_mid() {
+        let mut t = Technology::ptm100();
+        t.vth_mid = 0.10;
+        t.validate();
+    }
+
+    #[test]
+    fn size_stepping() {
+        let t = Technology::ptm100();
+        assert_eq!(t.size_up(1.0), Some(1.5));
+        assert_eq!(t.size_up(16.0), None);
+        assert_eq!(t.size_down(1.0), None);
+        assert_eq!(t.size_down(2.0), Some(1.5));
+        assert_eq!(t.size_down(16.0), Some(12.0));
+    }
+
+    #[test]
+    fn leakage_ratio_calibration() {
+        // exp(ΔVth / n·vT) ≈ 20×.
+        let t = Technology::ptm100();
+        let ratio = ((t.vth_high - t.vth_low) / t.n_vt()).exp();
+        assert!(ratio > 15.0 && ratio < 30.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn delay_penalty_calibration() {
+        // (Vdd-VthL)^a / (Vdd-VthH)^a ≈ 1.18.
+        let t = Technology::ptm100();
+        let pen = ((t.vdd - t.vth_low) / (t.vdd - t.vth_high)).powf(t.alpha);
+        assert!(pen > 1.10 && pen < 1.30, "penalty {pen}");
+    }
+
+    #[test]
+    #[should_panic(expected = "vth_high must stay below vdd")]
+    fn validate_rejects_vth_above_vdd() {
+        let mut t = Technology::ptm100();
+        t.vth_high = 1.3;
+        t.validate();
+    }
+}

@@ -1,0 +1,507 @@
+//! Process-variation decomposition and its factorization into independent
+//! standard-normal factors.
+//!
+//! Channel-length variation is split three ways (Agarwal/Blaauw-style):
+//!
+//! * **die-to-die** — one factor shared by every gate on the chip;
+//! * **spatially correlated within-die** — the die is divided into a
+//!   `grid × grid` array of regions whose correlation decays exponentially
+//!   with distance, `ρ(d) = exp(−d/λ)`; the region covariance matrix is
+//!   Cholesky-factored once so each region's correlated component is a
+//!   known linear combination of independent factors;
+//! * **gate-local random** — independent per gate.
+//!
+//! Threshold voltage additionally carries an independent random-dopant
+//! component per gate. The resulting [`FactorModel`] expresses each gate's
+//! `ΔL/L` as an affine function of `1 + grid²` shared factors plus a local
+//! term — the *same* basis used by SSTA (canonical delays), statistical
+//! leakage (lognormal exponents), and Monte Carlo (sampling), which is what
+//! makes the analytical and simulated results directly comparable.
+
+use crate::params::Technology;
+use statleak_netlist::placement::Placement;
+use statleak_netlist::{Circuit, NodeId};
+use statleak_stats::{cholesky, CholeskyError, Matrix};
+
+/// Configuration of the variation model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VariationConfig {
+    /// Total sigma of relative channel-length variation `σ(ΔL/L)`.
+    pub sigma_l_rel: f64,
+    /// Fraction of the `ΔL/L` *variance* that is die-to-die.
+    pub frac_d2d: f64,
+    /// Fraction of the variance that is spatially correlated within-die.
+    pub frac_spatial: f64,
+    /// Fraction of the variance that is gate-local random.
+    pub frac_local: f64,
+    /// Sigma of the independent random-dopant Vth component (V).
+    pub sigma_vth_rand: f64,
+    /// Spatial correlation length, in die units (die is the unit square).
+    pub corr_length: f64,
+    /// Grid resolution: the die is divided into `grid × grid` regions.
+    pub grid: usize,
+}
+
+impl VariationConfig {
+    /// The default 100 nm variation budget: `σ(ΔL/L) = 6.67 %` (3σ = 20 %),
+    /// split 40/40/20 between die-to-die, spatial, and local, plus 10 mV of
+    /// random-dopant Vth sigma, correlation length of half the die, 4×4
+    /// grid.
+    pub fn ptm100() -> Self {
+        Self {
+            sigma_l_rel: 0.0667,
+            frac_d2d: 0.40,
+            frac_spatial: 0.40,
+            frac_local: 0.20,
+            sigma_vth_rand: 0.010,
+            corr_length: 0.5,
+            grid: 4,
+        }
+    }
+
+    /// A copy with all spatial correlation removed (the variance moves into
+    /// the gate-local component). Used by the correlation ablation.
+    pub fn without_spatial_correlation(&self) -> Self {
+        Self {
+            frac_local: self.frac_local + self.frac_spatial,
+            frac_spatial: 0.0,
+            ..self.clone()
+        }
+    }
+
+    /// A copy with a scaled total `ΔL/L` sigma (variation-magnitude sweep).
+    pub fn with_sigma_l(&self, sigma_l_rel: f64) -> Self {
+        Self {
+            sigma_l_rel,
+            ..self.clone()
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fractions do not sum to 1, sigmas are negative, or the
+    /// grid is empty.
+    pub fn validate(&self) {
+        assert!(self.sigma_l_rel >= 0.0 && self.sigma_vth_rand >= 0.0);
+        assert!(
+            (self.frac_d2d + self.frac_spatial + self.frac_local - 1.0).abs() < 1e-9,
+            "variance fractions must sum to 1"
+        );
+        assert!(self.frac_d2d >= 0.0 && self.frac_spatial >= 0.0 && self.frac_local >= 0.0);
+        assert!(self.corr_length > 0.0);
+        assert!(self.grid >= 1, "grid must be at least 1x1");
+    }
+}
+
+impl Default for VariationConfig {
+    fn default() -> Self {
+        Self::ptm100()
+    }
+}
+
+/// The factored variation model for one placed circuit.
+///
+/// For gate `i`:
+///
+/// ```text
+/// ΔL_i/L   = Σ_k l_shared[i][k] · Z_k  +  l_local[i] · R_i
+/// ΔVth_i   = vth_l_coeff · ΔL_i/L      +  vth_local[i] · S_i
+/// ```
+///
+/// with `Z_k` the shared factors (factor 0 = die-to-die, factors
+/// `1..=grid²` the Cholesky-mixed regional factors) and `R_i`, `S_i`
+/// gate-local independent standard normals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FactorModel {
+    num_shared: usize,
+    l_shared: Vec<Vec<f64>>,
+    l_local: Vec<f64>,
+    vth_local: Vec<f64>,
+    region: Vec<usize>,
+    config: VariationConfig,
+}
+
+impl FactorModel {
+    /// Builds the factor model for a placed circuit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CholeskyError`] if the regional correlation matrix fails to
+    /// factor (cannot happen for the exponential kernel on distinct points,
+    /// but surfaced rather than hidden).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config is invalid (see [`VariationConfig::validate`]).
+    pub fn build(
+        circuit: &Circuit,
+        placement: &Placement,
+        tech: &Technology,
+        config: &VariationConfig,
+    ) -> Result<Self, CholeskyError> {
+        config.validate();
+        let _ = tech; // tech reserved for future per-parameter scaling
+        let g = config.grid;
+        let regions = g * g;
+        let num_shared = 1 + regions;
+
+        // Regional correlation matrix over region centers.
+        let mut corr = Matrix::identity(regions);
+        for a in 0..regions {
+            let (ax, ay) = region_center(a, g);
+            for b in (a + 1)..regions {
+                let (bx, by) = region_center(b, g);
+                let d = ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt();
+                let rho = (-d / config.corr_length).exp();
+                corr[(a, b)] = rho;
+                corr[(b, a)] = rho;
+            }
+        }
+        let chol = cholesky(&corr)?;
+
+        let sigma_d2d = config.sigma_l_rel * config.frac_d2d.sqrt();
+        let sigma_sp = config.sigma_l_rel * config.frac_spatial.sqrt();
+        let sigma_local = config.sigma_l_rel * config.frac_local.sqrt();
+
+        let n = circuit.num_nodes();
+        let mut l_shared = vec![vec![0.0; num_shared]; n];
+        let mut l_local = vec![0.0; n];
+        let mut vth_local = vec![0.0; n];
+        let mut region = vec![0usize; n];
+
+        for id in circuit.gates() {
+            let i = id.index();
+            let (x, y) = placement.position(id);
+            let r = region_of(x, y, g);
+            region[i] = r;
+            l_shared[i][0] = sigma_d2d;
+            for k in 0..regions {
+                l_shared[i][1 + k] = sigma_sp * chol[(r, k)];
+            }
+            l_local[i] = sigma_local;
+            vth_local[i] = config.sigma_vth_rand;
+        }
+
+        Ok(Self {
+            num_shared,
+            l_shared,
+            l_local,
+            vth_local,
+            region,
+            config: config.clone(),
+        })
+    }
+
+    /// Number of shared factors (`1 + grid²`).
+    #[inline]
+    pub fn num_shared(&self) -> usize {
+        self.num_shared
+    }
+
+    /// The configuration this model was built from.
+    pub fn config(&self) -> &VariationConfig {
+        &self.config
+    }
+
+    /// Shared-factor coefficients of gate `i`'s `ΔL/L`.
+    #[inline]
+    pub fn l_shared(&self, id: NodeId) -> &[f64] {
+        &self.l_shared[id.index()]
+    }
+
+    /// Gate-local `ΔL/L` sigma.
+    #[inline]
+    pub fn l_local(&self, id: NodeId) -> f64 {
+        self.l_local[id.index()]
+    }
+
+    /// Gate-local random-dopant Vth sigma (V).
+    #[inline]
+    pub fn vth_local(&self, id: NodeId) -> f64 {
+        self.vth_local[id.index()]
+    }
+
+    /// The grid region a gate was mapped to.
+    #[inline]
+    pub fn region(&self, id: NodeId) -> usize {
+        self.region[id.index()]
+    }
+
+    /// Total `ΔL/L` standard deviation of one gate (should equal the
+    /// configured `sigma_l_rel` by construction).
+    pub fn l_total_sigma(&self, id: NodeId) -> f64 {
+        let shared: f64 = self.l_shared[id.index()].iter().map(|a| a * a).sum();
+        (shared + self.l_local[id.index()].powi(2)).sqrt()
+    }
+
+    /// Correlation of `ΔL/L` between two gates (through shared factors).
+    pub fn l_correlation(&self, a: NodeId, b: NodeId) -> f64 {
+        let ca = &self.l_shared[a.index()];
+        let cb = &self.l_shared[b.index()];
+        let cov: f64 = ca.iter().zip(cb).map(|(x, y)| x * y).sum();
+        let sa = self.l_total_sigma(a);
+        let sb = self.l_total_sigma(b);
+        if sa == 0.0 || sb == 0.0 {
+            0.0
+        } else {
+            cov / (sa * sb)
+        }
+    }
+
+    /// Builds a factor model whose spatially correlated component uses the
+    /// Agarwal–Blaauw **quadtree** decomposition instead of the
+    /// grid-Cholesky kernel: the die is recursively quartered for
+    /// `levels` levels; each cell of each level carries an independent
+    /// factor with an equal share `σ_sp²/levels` of the spatial variance,
+    /// and a gate sums the factors of the cells containing it. Gates in
+    /// the same deep cell share more factors, hence correlate more — the
+    /// same qualitative structure as the exponential kernel, with O(1)
+    /// factor lookup and no matrix factorization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels == 0` or the config is invalid.
+    pub fn build_quadtree(
+        circuit: &Circuit,
+        placement: &Placement,
+        tech: &Technology,
+        config: &VariationConfig,
+        levels: usize,
+    ) -> Self {
+        config.validate();
+        assert!(levels >= 1, "need at least one quadtree level");
+        let _ = tech;
+        // Factor layout: [0] die-to-die, then level 1 (4 cells), level 2
+        // (16 cells), ... level `levels` (4^levels cells).
+        let mut level_offset = vec![1usize; levels + 1];
+        for l in 1..=levels {
+            level_offset[l] = level_offset[l - 1] + if l == 1 { 0 } else { 4usize.pow((l - 1) as u32) };
+        }
+        let num_shared = level_offset[levels] + 4usize.pow(levels as u32);
+
+        let sigma_d2d = config.sigma_l_rel * config.frac_d2d.sqrt();
+        let sigma_sp_level =
+            config.sigma_l_rel * (config.frac_spatial / levels as f64).sqrt();
+        let sigma_local = config.sigma_l_rel * config.frac_local.sqrt();
+
+        let n = circuit.num_nodes();
+        let mut l_shared = vec![vec![0.0; num_shared]; n];
+        let mut l_local = vec![0.0; n];
+        let mut vth_local = vec![0.0; n];
+        let mut region = vec![0usize; n];
+
+        for id in circuit.gates() {
+            let i = id.index();
+            let (x, y) = placement.position(id);
+            for l in 1..=levels {
+                let g = 1usize << l; // 2^l cells per side at level l
+                let cell = region_of(x, y, g);
+                l_shared[i][level_offset[l] + cell] = sigma_sp_level;
+            }
+            // Deepest-level cell doubles as the aggregation region.
+            region[i] = region_of(x, y, 1usize << levels);
+            l_shared[i][0] = sigma_d2d;
+            l_local[i] = sigma_local;
+            vth_local[i] = config.sigma_vth_rand;
+        }
+
+        Self {
+            num_shared,
+            l_shared,
+            l_local,
+            vth_local,
+            region,
+            config: config.clone(),
+        }
+    }
+
+    /// Evaluates gate `i`'s `ΔL/L` for a concrete factor sample: `shared`
+    /// must have length [`Self::num_shared`], `local` is the gate's own
+    /// standard-normal draw. Used by the Monte-Carlo engine.
+    pub fn sample_l(&self, id: NodeId, shared: &[f64], local: f64) -> f64 {
+        debug_assert_eq!(shared.len(), self.num_shared);
+        let coeffs = &self.l_shared[id.index()];
+        let mut v = 0.0;
+        for (c, z) in coeffs.iter().zip(shared) {
+            v += c * z;
+        }
+        v + self.l_local[id.index()] * local
+    }
+}
+
+/// Center of region `r` in a `g × g` grid over the unit square.
+fn region_center(r: usize, g: usize) -> (f64, f64) {
+    let row = r / g;
+    let col = r % g;
+    (
+        (col as f64 + 0.5) / g as f64,
+        (row as f64 + 0.5) / g as f64,
+    )
+}
+
+/// Region index of a point in the unit square.
+fn region_of(x: f64, y: f64, g: usize) -> usize {
+    let col = ((x * g as f64) as usize).min(g - 1);
+    let row = ((y * g as f64) as usize).min(g - 1);
+    row * g + col
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use statleak_netlist::benchmarks;
+    use statleak_netlist::placement::Placement;
+
+    fn model(name: &str, cfg: &VariationConfig) -> (std::sync::Arc<Circuit>, FactorModel) {
+        let c = std::sync::Arc::new(benchmarks::by_name(name).unwrap());
+        let p = Placement::by_level(&c);
+        let m = FactorModel::build(&c, &p, &Technology::ptm100(), cfg).unwrap();
+        (c, m)
+    }
+
+    #[test]
+    fn total_sigma_matches_budget() {
+        let cfg = VariationConfig::ptm100();
+        let (c, m) = model("c432", &cfg);
+        for g in c.gates() {
+            let s = m.l_total_sigma(g);
+            assert!(
+                (s - cfg.sigma_l_rel).abs() < 1e-9,
+                "gate sigma {s} vs budget {}",
+                cfg.sigma_l_rel
+            );
+        }
+    }
+
+    #[test]
+    fn self_correlation_is_partial() {
+        // Two distinct gates share d2d + (maybe) spatial, never local.
+        let cfg = VariationConfig::ptm100();
+        let (c, m) = model("c432", &cfg);
+        let gates: Vec<_> = c.gates().collect();
+        let rho = m.l_correlation(gates[0], gates[gates.len() - 1]);
+        assert!(rho > 0.3, "far gates still share d2d: rho={rho}");
+        assert!(rho < 1.0 - cfg.frac_local / 2.0, "rho={rho}");
+    }
+
+    #[test]
+    fn nearby_gates_more_correlated_than_far() {
+        let cfg = VariationConfig {
+            corr_length: 0.15,
+            ..VariationConfig::ptm100()
+        };
+        let (c, m) = model("c880", &cfg);
+        let gates: Vec<_> = c.gates().collect();
+        // Same region pair vs max-distance pair.
+        let a = gates[0];
+        let same = gates.iter().copied().find(|&g| g != a && m.region(g) == m.region(a));
+        let far = gates
+            .iter()
+            .copied()
+            .max_by(|&x, &y| {
+                let dx = (m.region(x) as f64 - m.region(a) as f64).abs();
+                let dy = (m.region(y) as f64 - m.region(a) as f64).abs();
+                dx.total_cmp(&dy)
+            })
+            .unwrap();
+        if let Some(same) = same {
+            assert!(m.l_correlation(a, same) >= m.l_correlation(a, far) - 1e-12);
+        }
+    }
+
+    #[test]
+    fn no_spatial_ablation_moves_variance_to_local() {
+        let cfg = VariationConfig::ptm100().without_spatial_correlation();
+        cfg.validate();
+        let (c, m) = model("c432", &cfg);
+        let g = c.gates().next().unwrap();
+        // Shared coefficients beyond factor 0 must vanish.
+        assert!(m.l_shared(g)[1..].iter().all(|&a| a == 0.0));
+        // Budget preserved.
+        assert!((m.l_total_sigma(g) - cfg.sigma_l_rel).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sample_l_reproduces_linear_combination() {
+        let cfg = VariationConfig::ptm100();
+        let (c, m) = model("c17", &cfg);
+        let g = c.gates().next().unwrap();
+        let shared = vec![1.0; m.num_shared()];
+        let manual: f64 = m.l_shared(g).iter().sum::<f64>() + m.l_local(g) * 2.0;
+        assert!((m.sample_l(g, &shared, 2.0) - manual).abs() < 1e-12);
+    }
+
+    #[test]
+    fn region_mapping_covers_grid() {
+        assert_eq!(region_of(0.0, 0.0, 4), 0);
+        assert_eq!(region_of(0.99, 0.99, 4), 15);
+        assert_eq!(region_of(1.0, 1.0, 4), 15); // clamped
+        let (cx, cy) = region_center(5, 4);
+        assert!((cx - 0.375).abs() < 1e-12 && (cy - 0.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quadtree_preserves_total_sigma() {
+        let cfg = VariationConfig::ptm100();
+        let c = std::sync::Arc::new(benchmarks::by_name("c432").unwrap());
+        let p = Placement::by_level(&c);
+        let m = FactorModel::build_quadtree(&c, &p, &Technology::ptm100(), &cfg, 2);
+        for g in c.gates() {
+            assert!(
+                (m.l_total_sigma(g) - cfg.sigma_l_rel).abs() < 1e-9,
+                "gate sigma {}",
+                m.l_total_sigma(g)
+            );
+        }
+    }
+
+    #[test]
+    fn quadtree_same_cell_more_correlated_than_far() {
+        let cfg = VariationConfig::ptm100();
+        let c = std::sync::Arc::new(benchmarks::by_name("c880").unwrap());
+        let p = Placement::by_level(&c);
+        let m = FactorModel::build_quadtree(&c, &p, &Technology::ptm100(), &cfg, 2);
+        let gates: Vec<_> = c.gates().collect();
+        let a = gates[0];
+        let same = gates
+            .iter()
+            .copied()
+            .find(|&g| g != a && m.region(g) == m.region(a));
+        // Find a gate in a different top-level quadrant.
+        let (ax, ay) = p.position(a);
+        let far = gates
+            .iter()
+            .copied()
+            .find(|&g| {
+                let (x, y) = p.position(g);
+                (x < 0.5) != (ax < 0.5) && (y < 0.5) != (ay < 0.5)
+            });
+        if let (Some(same), Some(far)) = (same, far) {
+            assert!(m.l_correlation(a, same) > m.l_correlation(a, far));
+        }
+    }
+
+    #[test]
+    fn quadtree_factor_count() {
+        let cfg = VariationConfig::ptm100();
+        let c = std::sync::Arc::new(benchmarks::c17());
+        let p = Placement::by_level(&c);
+        let m = FactorModel::build_quadtree(&c, &p, &Technology::ptm100(), &cfg, 2);
+        // 1 d2d + 4 (level 1) + 16 (level 2).
+        assert_eq!(m.num_shared(), 21);
+    }
+
+    #[test]
+    #[should_panic(expected = "variance fractions must sum to 1")]
+    fn bad_fractions_rejected() {
+        let cfg = VariationConfig {
+            frac_d2d: 0.9,
+            frac_spatial: 0.9,
+            frac_local: 0.9,
+            ..VariationConfig::ptm100()
+        };
+        cfg.validate();
+    }
+}

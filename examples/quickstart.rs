@@ -1,0 +1,61 @@
+//! Quickstart: optimize the leakage of one benchmark at a timing-yield
+//! requirement and compare the deterministic and statistical flows.
+//!
+//! ```text
+//! cargo run --release --example quickstart [benchmark]
+//! ```
+
+use statleak::core::flows::{self, FlowConfig};
+use statleak::core::report::{fmt_pct, fmt_power, Table};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let benchmark = std::env::args().nth(1).unwrap_or_else(|| "c432".into());
+    println!("statleak quickstart on {benchmark}: T = 1.20*Dmin, yield target 95%\n");
+
+    let cfg = FlowConfig {
+        mc_samples: 1000,
+        ..FlowConfig::new(&benchmark)
+    };
+    let o = flows::run_comparison(&cfg)?;
+
+    println!(
+        "minimum delay {:.1} ps, clock target {:.1} ps\n",
+        o.dmin, o.t_clk
+    );
+
+    let mut t = Table::new(&[
+        "design",
+        "nominal leak",
+        "mean leak",
+        "p95 leak",
+        "yield (SSTA)",
+        "yield (MC)",
+        "high-Vth gates",
+        "width",
+    ]);
+    for (name, m) in [
+        ("baseline (sized, all low-Vth)", &o.baseline),
+        ("deterministic (guard-banded)", &o.deterministic),
+        ("statistical (the paper)", &o.statistical),
+    ] {
+        t.row(&[
+            name.to_string(),
+            fmt_power(m.leakage_nominal),
+            fmt_power(m.leakage_mean),
+            fmt_power(m.leakage_p95),
+            format!("{:.3}", m.timing_yield),
+            m.mc_yield.map_or("-".into(), |y| format!("{y:.3}")),
+            m.high_vth.to_string(),
+            format!("{:.0}", m.width),
+        ]);
+    }
+    print!("{}", t.render());
+
+    println!(
+        "\nstatistical optimization saves an extra {} of p95 leakage over the\n\
+         deterministic flow at the same timing yield (guard band used: {:.1}%).",
+        fmt_pct(o.stat_extra_saving),
+        o.det_guard_band * 100.0
+    );
+    Ok(())
+}

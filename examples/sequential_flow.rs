@@ -1,0 +1,60 @@
+//! Sequential-circuit flow: an ISCAS89-class design is cut at its
+//! flip-flops, given placement-driven wire loads, optimized statistically,
+//! and reported — the register-to-register story the combinational
+//! benchmarks skip.
+//!
+//! ```text
+//! cargo run --release --example sequential_flow [s27|s344|s526|s1196|s1423|s5378]
+//! ```
+
+use statleak::core::report::timing_report;
+use statleak::netlist::{bench, benchmarks, placement::Placement};
+use statleak::opt::{sizing, statistical_for_yield};
+use statleak::sta::Sta;
+use statleak::tech::{
+    wire::{wire_caps_from_placement, WireModel},
+    Design, FactorModel, Technology, VariationConfig,
+};
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "s344".into());
+    let (circuit, text) =
+        benchmarks::sequential_by_name(&name).ok_or("unknown sequential benchmark")?;
+    let (_, dffs) = bench::parse_with_dff_count(&name, &text)?;
+    let stats = circuit.stats();
+    println!(
+        "{name}: {} PIs+FFs in, {} POs+FFs out, {} gates, {} DFFs, depth {}",
+        stats.inputs, stats.outputs, stats.gates, dffs, stats.depth
+    );
+
+    let circuit = Arc::new(circuit);
+    let placement = Placement::by_level(&circuit);
+    let tech = Technology::ptm100();
+    let fm = FactorModel::build(&circuit, &placement, &tech, &VariationConfig::ptm100())?;
+
+    // Register-to-register paths see real wire loads.
+    let mut base = Design::new(Arc::clone(&circuit), tech);
+    let caps = wire_caps_from_placement(&circuit, &placement, &WireModel::ptm100());
+    let total_wire: f64 = caps.iter().sum();
+    base.set_wire_caps(caps);
+    println!("installed {total_wire:.0} fF of placement-driven wire load");
+
+    let dmin = sizing::min_delay_estimate(&base);
+    let t_clk = 1.20 * dmin;
+    println!("min register-to-register delay {dmin:.1} ps; clock target {t_clk:.1} ps");
+
+    let out = statistical_for_yield(&base, &fm, t_clk, 0.95)?;
+    println!(
+        "optimized: p95 leakage {:.3} uW -> {:.3} uW, yield {:.4}, {} high-Vth gates",
+        out.report.initial_objective * 1e6,
+        out.report.final_objective * 1e6,
+        out.report.final_yield,
+        out.design.high_vth_count()
+    );
+
+    // The worst register-to-register path, sign-off style.
+    let sta = Sta::analyze(&out.design);
+    println!("\nworst path:\n{}", timing_report(&out.design, &sta, t_clk, 1));
+    Ok(())
+}

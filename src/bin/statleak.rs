@@ -1,0 +1,246 @@
+//! `statleak` — command-line front end to the statistical leakage
+//! optimizer.
+//!
+//! ```text
+//! statleak benchmarks
+//!     List the built-in ISCAS85-class benchmark suite.
+//!
+//! statleak analyze   --input FILE [--clock-ps N]
+//!     Timing (STA/SSTA), leakage, and yield report for a netlist.
+//!
+//! statleak optimize  --input FILE [--slack-factor F] [--eta E]
+//!                    [--triple-vth] [--out-verilog F] [--out-bench F]
+//!     Run the full statistical flow and write the optimized netlist.
+//!
+//! statleak export-lib [--out FILE]
+//!     Write the dual-Vth cell library as Liberty-subset text.
+//! ```
+//!
+//! `--input` accepts `.bench` (ISCAS85/89; DFFs are cut) or structural
+//! Verilog (`.v`), or the name of a built-in benchmark (e.g. `c880`).
+
+use statleak::leakage::LeakageAnalysis;
+use statleak::mc::{McConfig, MonteCarlo};
+use statleak::netlist::{bench, benchmarks, placement::Placement, verilog, Circuit};
+use statleak::opt::{sizing, statistical_flow, StatisticalOptimizer};
+use statleak::ssta::Ssta;
+use statleak::sta::{SlewSta, Sta};
+use statleak::tech::{liberty, Design, FactorModel, Technology, VariationConfig};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("statleak: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let Some(command) = args.first() else {
+        print_usage();
+        return Ok(());
+    };
+    match command.as_str() {
+        "benchmarks" => cmd_benchmarks(),
+        "analyze" => cmd_analyze(&args[1..]),
+        "optimize" => cmd_optimize(&args[1..]),
+        "export-lib" => cmd_export_lib(&args[1..]),
+        "--help" | "-h" | "help" => {
+            print_usage();
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}` (try --help)").into()),
+    }
+}
+
+fn print_usage() {
+    println!(
+        "statleak <command>\n\
+         \n\
+         commands:\n\
+         \x20 benchmarks                      list built-in circuits\n\
+         \x20 analyze   --input FILE [--clock-ps N] [--report K]\n\
+         \x20 optimize  --input FILE [--slack-factor F] [--eta E] [--triple-vth]\n\
+         \x20           [--out-verilog F] [--out-bench F]\n\
+         \x20 export-lib [--out FILE]\n\
+         \n\
+         --input accepts .bench, .v, or a built-in name like c880"
+    );
+}
+
+fn flag_value<'a>(args: &'a [String], key: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn flag_present(args: &[String], key: &str) -> bool {
+    args.iter().any(|a| a == key)
+}
+
+fn load_circuit(args: &[String]) -> Result<Circuit, Box<dyn std::error::Error>> {
+    let input = flag_value(args, "--input").ok_or("missing --input")?;
+    if let Some(c) = benchmarks::by_name(input) {
+        return Ok(c);
+    }
+    let text = std::fs::read_to_string(input)
+        .map_err(|e| format!("cannot read `{input}`: {e}"))?;
+    let stem = std::path::Path::new(input)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("design");
+    if input.ends_with(".v") {
+        Ok(verilog::parse(&text)?)
+    } else {
+        Ok(bench::parse(stem, &text)?)
+    }
+}
+
+fn build_context(
+    circuit: Circuit,
+) -> Result<(Design, FactorModel), Box<dyn std::error::Error>> {
+    let circuit = Arc::new(circuit);
+    let placement = Placement::by_level(&circuit);
+    let tech = Technology::ptm100();
+    let fm = FactorModel::build(&circuit, &placement, &tech, &VariationConfig::ptm100())?;
+    Ok((Design::new(circuit, tech), fm))
+}
+
+fn cmd_benchmarks() -> Result<(), Box<dyn std::error::Error>> {
+    println!(
+        "{:<8} {:>7} {:>8} {:>6} {:>6}  function",
+        "name", "inputs", "outputs", "gates", "depth"
+    );
+    for s in &benchmarks::SUITE {
+        println!(
+            "{:<8} {:>7} {:>8} {:>6} {:>6}  {}",
+            s.name, s.inputs, s.outputs, s.gates, s.depth, s.function
+        );
+    }
+    Ok(())
+}
+
+fn cmd_analyze(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let (design, fm) = build_context(load_circuit(args)?)?;
+    let stats = design.circuit().stats();
+    println!(
+        "{}: {} inputs, {} outputs, {} gates, depth {}",
+        design.circuit().name(),
+        stats.inputs,
+        stats.outputs,
+        stats.gates,
+        stats.depth
+    );
+    let sta = Sta::analyze(&design);
+    let slew = SlewSta::analyze(&design);
+    let ssta = Ssta::analyze(&design, &fm);
+    let power = LeakageAnalysis::analyze(&design, &fm).total_power(&design);
+    println!("nominal delay      : {:.1} ps (slew-aware {:.1} ps)", sta.circuit_delay(), slew.circuit_delay());
+    println!(
+        "statistical delay  : {:.1} ps mean, {:.1} ps sigma",
+        ssta.circuit_delay().mean,
+        ssta.circuit_delay().std()
+    );
+    println!(
+        "leakage power      : {:.3} uW mean, {:.3} uW p95",
+        power.mean() * 1e6,
+        power.quantile(0.95) * 1e6
+    );
+    let t_clk = match flag_value(args, "--clock-ps") {
+        Some(v) => v.parse::<f64>().map_err(|_| "bad --clock-ps")?,
+        None => ssta.clock_for_yield(0.95),
+    };
+    println!(
+        "yield @ {:.1} ps    : {:.4} (SSTA)",
+        t_clk,
+        ssta.timing_yield(t_clk)
+    );
+    if let Some(k) = flag_value(args, "--report") {
+        let k: usize = k.parse().map_err(|_| "bad --report")?;
+        println!();
+        print!(
+            "{}",
+            statleak::core::report::timing_report(&design, &sta, t_clk, k.max(1))
+        );
+    }
+    Ok(())
+}
+
+fn cmd_optimize(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let (base, fm) = build_context(load_circuit(args)?)?;
+    let slack: f64 = flag_value(args, "--slack-factor")
+        .map(|v| v.parse())
+        .transpose()
+        .map_err(|_| "bad --slack-factor")?
+        .unwrap_or(1.20);
+    let eta: f64 = flag_value(args, "--eta")
+        .map(|v| v.parse())
+        .transpose()
+        .map_err(|_| "bad --eta")?
+        .unwrap_or(0.95);
+
+    eprintln!("estimating minimum delay...");
+    let dmin = sizing::min_delay_estimate(&base);
+    let t_clk = dmin * slack;
+    eprintln!("Dmin = {dmin:.1} ps, clock target = {t_clk:.1} ps, yield target = {eta}");
+
+    let mut proto = StatisticalOptimizer::new(t_clk).with_yield_target(eta);
+    if flag_present(args, "--triple-vth") {
+        proto = proto.with_triple_vth();
+    }
+    let out = statistical_flow(&base, &fm, &proto)?;
+    let r = &out.report;
+    println!(
+        "optimized: p95 leakage {:.3} uW -> {:.3} uW ({:.1}% saved), yield {:.4}",
+        r.initial_objective * 1e6,
+        r.final_objective * 1e6,
+        (1.0 - r.final_objective / r.initial_objective) * 100.0,
+        r.final_yield
+    );
+    println!(
+        "gates: {} high-Vth of {}, total width {:.0}",
+        out.design.high_vth_count(),
+        out.design.circuit().num_gates(),
+        out.design.total_width()
+    );
+
+    // Monte-Carlo confirmation.
+    let mc = MonteCarlo::new(McConfig {
+        samples: 1000,
+        ..Default::default()
+    })
+    .run(&out.design, &fm);
+    println!(
+        "MC check: yield {:.4}, p95 leakage {:.3} uW",
+        mc.timing_yield(t_clk),
+        mc.leakage_percentile(0.95) * out.design.tech().vdd * 1e6
+    );
+
+    if let Some(path) = flag_value(args, "--out-verilog") {
+        std::fs::write(path, verilog::write(out.design.circuit()))?;
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = flag_value(args, "--out-bench") {
+        std::fs::write(path, bench::write(out.design.circuit()))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn cmd_export_lib(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let text = liberty::export(&Technology::ptm100(), "statleak100");
+    match flag_value(args, "--out") {
+        Some(path) => {
+            std::fs::write(path, text)?;
+            eprintln!("wrote {path}");
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}

@@ -1,0 +1,54 @@
+//! # statleak — statistical leakage-power optimization under process variation
+//!
+//! This is the facade crate of the `statleak` workspace, a from-scratch Rust
+//! reproduction of *A. Srivastava, D. Sylvester, D. Blaauw, "Statistical
+//! optimization of leakage power considering process variations using
+//! dual-Vth and sizing," DAC 2004*.
+//!
+//! It re-exports every sub-crate under a stable module name so downstream
+//! users need a single dependency:
+//!
+//! * [`stats`] — numerics (Φ, Clark's max, Wilkinson lognormal sums, Cholesky)
+//! * [`netlist`] — gate-level combinational netlists, ISCAS85 `.bench` I/O,
+//!   ISCAS85-class benchmark suite, die placement
+//! * [`tech`] — 100 nm dual-Vth technology models and the process-variation
+//!   specification with spatial correlation
+//! * [`sta`] — deterministic static timing analysis
+//! * [`ssta`] — first-order canonical statistical STA and timing yield
+//! * [`leakage`] — statistical (lognormal) full-chip leakage analysis
+//! * [`mc`] — Monte-Carlo validation engine
+//! * [`opt`] — deterministic and statistical dual-Vth + sizing optimizers
+//! * [`core`] — end-to-end flows, experiment configuration, joint
+//!   timing+leakage yield, report tables
+//!
+//! Beyond the paper, the workspace ships extensions: triple-Vth ladders,
+//! joint parametric yield (bivariate normal over the shared factor basis),
+//! post-silicon adaptive body bias, importance-sampled tail yield,
+//! slew-aware STA, k-longest-path reports, Liberty-subset and structural-
+//! Verilog interchange, placement-driven wire loads, ISCAS89-style
+//! sequential (DFF-cut) netlists, and a `statleak` CLI binary
+//!
+//! # Quickstart
+//!
+//! ```
+//! use statleak::core::flows::{self, FlowConfig};
+//!
+//! // Build a small ISCAS85-class benchmark, size it, then compare the
+//! // deterministic and statistical leakage optimizers at equal timing yield.
+//! let cfg = FlowConfig::quick("c17");
+//! let outcome = flows::run_comparison(&cfg)?;
+//! assert!(outcome.statistical.leakage_p95 <= outcome.deterministic.leakage_p95 * 1.0001);
+//! # Ok::<(), statleak::core::FlowError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use statleak_core as core;
+pub use statleak_leakage as leakage;
+pub use statleak_mc as mc;
+pub use statleak_netlist as netlist;
+pub use statleak_opt as opt;
+pub use statleak_ssta as ssta;
+pub use statleak_sta as sta;
+pub use statleak_stats as stats;
+pub use statleak_tech as tech;

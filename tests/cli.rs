@@ -1,0 +1,97 @@
+//! End-to-end tests of the `statleak` command-line binary.
+
+use std::process::Command;
+
+fn statleak(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_statleak"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn no_args_prints_usage() {
+    let out = statleak(&[]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("statleak <command>"));
+}
+
+#[test]
+fn benchmarks_lists_suite() {
+    let out = statleak(&["benchmarks"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("c17"));
+    assert!(text.contains("c7552"));
+}
+
+#[test]
+fn analyze_builtin_benchmark() {
+    let out = statleak(&["analyze", "--input", "c17"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("nominal delay"));
+    assert!(text.contains("leakage power"));
+    assert!(text.contains("yield"));
+}
+
+#[test]
+fn optimize_writes_netlists() {
+    let dir = std::env::temp_dir().join("statleak_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let v_path = dir.join("out.v");
+    let b_path = dir.join("out.bench");
+    let out = statleak(&[
+        "optimize",
+        "--input",
+        "c17",
+        "--slack-factor",
+        "1.3",
+        "--out-verilog",
+        v_path.to_str().unwrap(),
+        "--out-bench",
+        b_path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    // Both outputs parse back to the same structure.
+    let v = std::fs::read_to_string(&v_path).unwrap();
+    let b = std::fs::read_to_string(&b_path).unwrap();
+    let cv = statleak::netlist::verilog::parse(&v).unwrap();
+    let cb = statleak::netlist::bench::parse("c17", &b).unwrap();
+    assert_eq!(cv.stats(), cb.stats());
+    assert_eq!(cv.num_gates(), 6);
+}
+
+#[test]
+fn analyze_accepts_bench_file() {
+    let dir = std::env::temp_dir().join("statleak_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("tiny.bench");
+    std::fs::write(&path, "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NAND(a, b)\n").unwrap();
+    let out = statleak(&["analyze", "--input", path.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("1 gates"));
+}
+
+#[test]
+fn export_lib_emits_liberty() {
+    let out = statleak(&["export-lib"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.starts_with("library (statleak100)"));
+    assert!(text.contains("cell (INV_X1_LVT)"));
+}
+
+#[test]
+fn unknown_command_fails_with_message() {
+    let out = statleak(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn missing_input_reports_error() {
+    let out = statleak(&["analyze"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--input"));
+}

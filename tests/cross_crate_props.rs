@@ -1,0 +1,102 @@
+//! Cross-crate property tests on randomly generated circuits: invariants
+//! that must hold for *any* design the workspace can express.
+
+use proptest::prelude::*;
+use statleak::leakage::LeakageAnalysis;
+use statleak::netlist::generate::{generate, GenSpec};
+use statleak::netlist::placement::Placement;
+use statleak::ssta::Ssta;
+use statleak::sta::Sta;
+use statleak::tech::{Design, FactorModel, Technology, VariationConfig, VthClass};
+use std::sync::Arc;
+
+fn random_design(seed: u64, gates: usize, depth: usize) -> (Design, FactorModel) {
+    let mut spec = GenSpec::new(format!("xprop{seed}_{gates}"), 6, 3, gates, depth);
+    spec.seed = seed;
+    let circuit = Arc::new(generate(&spec));
+    let placement = Placement::by_level(&circuit);
+    let tech = Technology::ptm100();
+    let fm =
+        FactorModel::build(&circuit, &placement, &tech, &VariationConfig::ptm100()).expect("fm");
+    (Design::new(circuit, tech), fm)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The statistical mean circuit delay upper-bounds the deterministic
+    /// delay on any design state.
+    #[test]
+    fn ssta_mean_bounds_sta(
+        seed in 0u64..500,
+        hvt_mask in any::<u64>(),
+    ) {
+        let (mut design, fm) = random_design(seed, 35, 7);
+        let gates: Vec<_> = design.circuit().gates().collect();
+        for (i, &g) in gates.iter().enumerate() {
+            if (hvt_mask >> (i % 64)) & 1 == 1 {
+                design.set_vth(g, VthClass::High);
+            }
+        }
+        let det = Sta::analyze(&design).circuit_delay();
+        let stat = Ssta::analyze(&design, &fm).circuit_delay().mean;
+        prop_assert!(stat >= det - 1e-9, "SSTA mean {stat} < STA {det}");
+    }
+
+    /// Chip-level leakage coefficient of variation is always below the
+    /// single-gate CV (summation averages the independent parts).
+    #[test]
+    fn chip_cv_below_gate_cv(seed in 0u64..500) {
+        let (design, fm) = random_design(seed, 40, 6);
+        let leak = LeakageAnalysis::analyze(&design, &fm);
+        let total = leak.total_current();
+        let g = design.circuit().gates().next().unwrap();
+        let gate = statleak::leakage::gate_leakage(&design, &fm, g).to_lognormal();
+        let chip_cv = total.std() / total.mean();
+        let gate_cv = gate.std() / gate.mean();
+        prop_assert!(chip_cv <= gate_cv + 1e-12);
+    }
+
+    /// Swapping any single gate to high Vth: total leakage drops, circuit
+    /// delay does not decrease.
+    #[test]
+    fn single_vth_swap_tradeoff(seed in 0u64..500, gi in 0usize..40) {
+        let (mut design, fm) = random_design(seed, 40, 6);
+        let d0 = Sta::analyze(&design).circuit_delay();
+        let l0 = LeakageAnalysis::analyze(&design, &fm).mean_total_current();
+        let gates: Vec<_> = design.circuit().gates().collect();
+        design.set_vth(gates[gi % gates.len()], VthClass::High);
+        let d1 = Sta::analyze(&design).circuit_delay();
+        let l1 = LeakageAnalysis::analyze(&design, &fm).mean_total_current();
+        prop_assert!(l1 < l0);
+        prop_assert!(d1 >= d0 - 1e-9);
+    }
+
+    /// Upsizing any single gate never increases its own delay-through by
+    /// more than loading effects allow: the circuit delay change is
+    /// bounded and the total width increases by exactly the step.
+    #[test]
+    fn single_upsize_accounting(seed in 0u64..500, gi in 0usize..40) {
+        let (mut design, fm) = random_design(seed, 40, 6);
+        let _ = &fm;
+        let w0 = design.total_width();
+        let gates: Vec<_> = design.circuit().gates().collect();
+        let g = gates[gi % gates.len()];
+        let old = design.size(g);
+        if let Some(up) = design.tech().size_up(old) {
+            design.set_size(g, up);
+            prop_assert!((design.total_width() - (w0 + up - old)).abs() < 1e-9);
+        }
+    }
+
+    /// Yield from SSTA matches the Gaussian of the circuit-delay canonical.
+    #[test]
+    fn yield_matches_canonical_gaussian(seed in 0u64..500, k in 0.8..1.4f64) {
+        let (design, fm) = random_design(seed, 30, 6);
+        let ssta = Ssta::analyze(&design, &fm);
+        let cd = ssta.circuit_delay();
+        let t = k * cd.mean;
+        let expect = cd.to_normal().cdf(t);
+        prop_assert!((ssta.timing_yield(t) - expect).abs() < 1e-12);
+    }
+}

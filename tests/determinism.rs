@@ -1,0 +1,78 @@
+//! Reproducibility: every experiment in the repo must be bit-identical
+//! run-to-run — benchmark generation, factor models, Monte Carlo, and the
+//! optimizers are all seeded and deterministic.
+
+use statleak::core::flows::{self, FlowConfig};
+use statleak::mc::{McConfig, MonteCarlo};
+use statleak::netlist::{benchmarks, placement::Placement};
+use statleak::opt::{sizing, statistical_for_yield};
+use statleak::tech::{Design, FactorModel, Technology, VariationConfig};
+use std::sync::Arc;
+
+#[test]
+fn benchmark_suite_is_stable() {
+    let a = benchmarks::suite();
+    let b = benchmarks::suite();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn factor_model_is_stable() {
+    let circuit = Arc::new(benchmarks::by_name("c880").unwrap());
+    let placement = Placement::by_level(&circuit);
+    let tech = Technology::ptm100();
+    let cfg = VariationConfig::ptm100();
+    let a = FactorModel::build(&circuit, &placement, &tech, &cfg).unwrap();
+    let b = FactorModel::build(&circuit, &placement, &tech, &cfg).unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn monte_carlo_is_stable_across_runs_and_threads() {
+    let circuit = Arc::new(benchmarks::by_name("c432").unwrap());
+    let placement = Placement::by_level(&circuit);
+    let tech = Technology::ptm100();
+    let fm =
+        FactorModel::build(&circuit, &placement, &tech, &VariationConfig::ptm100()).unwrap();
+    let design = Design::new(circuit, tech);
+    let run = |threads| {
+        MonteCarlo::new(McConfig {
+            samples: 256,
+            seed: 7,
+            threads,
+        })
+        .run(&design, &fm)
+    };
+    assert_eq!(run(1), run(1));
+    assert_eq!(run(1), run(3));
+}
+
+#[test]
+fn optimizer_is_stable() {
+    let circuit = Arc::new(benchmarks::by_name("c499").unwrap());
+    let placement = Placement::by_level(&circuit);
+    let tech = Technology::ptm100();
+    let fm =
+        FactorModel::build(&circuit, &placement, &tech, &VariationConfig::ptm100()).unwrap();
+    let base = Design::new(circuit, tech);
+    let dmin = sizing::min_delay_estimate(&base);
+    let a = statistical_for_yield(&base, &fm, dmin * 1.2, 0.95).unwrap();
+    let b = statistical_for_yield(&base, &fm, dmin * 1.2, 0.95).unwrap();
+    assert_eq!(a.design, b.design);
+    assert_eq!(a.report.final_objective, b.report.final_objective);
+}
+
+#[test]
+fn comparison_flow_is_stable() {
+    let cfg = FlowConfig {
+        mc_samples: 100,
+        ..FlowConfig::quick("c17")
+    };
+    let a = flows::run_comparison(&cfg).unwrap();
+    let b = flows::run_comparison(&cfg).unwrap();
+    // Runtime differs; every numeric result must match.
+    assert_eq!(a.statistical.leakage_p95, b.statistical.leakage_p95);
+    assert_eq!(a.deterministic.leakage_p95, b.deterministic.leakage_p95);
+    assert_eq!(a.baseline.leakage_p95, b.baseline.leakage_p95);
+    assert_eq!(a.statistical.mc_yield, b.statistical.mc_yield);
+}

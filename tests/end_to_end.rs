@@ -1,0 +1,126 @@
+//! Cross-crate integration: the complete pipeline from netlist to
+//! optimized design, with every analysis engine cross-checked against the
+//! others.
+
+use statleak::leakage::LeakageAnalysis;
+use statleak::mc::{McConfig, MonteCarlo};
+use statleak::netlist::{benchmarks, placement::Placement};
+use statleak::opt::{deterministic_for_yield, sizing, statistical_for_yield};
+use statleak::ssta::Ssta;
+use statleak::sta::Sta;
+use statleak::tech::{Design, FactorModel, Technology, VariationConfig};
+use std::sync::Arc;
+
+fn setup(name: &str) -> (Design, FactorModel) {
+    let circuit = Arc::new(benchmarks::by_name(name).expect("known benchmark"));
+    let placement = Placement::by_level(&circuit);
+    let tech = Technology::ptm100();
+    let fm =
+        FactorModel::build(&circuit, &placement, &tech, &VariationConfig::ptm100()).expect("fm");
+    (Design::new(circuit, tech), fm)
+}
+
+#[test]
+fn full_pipeline_c432() {
+    let (base, fm) = setup("c432");
+    let dmin = sizing::min_delay_estimate(&base);
+    let t_clk = 1.20 * dmin;
+    let eta = 0.95;
+
+    // Both flows complete and meet the yield requirement.
+    let det = deterministic_for_yield(&base, &fm, t_clk, eta, 6).expect("det flow");
+    assert!(det.achieved_yield >= eta);
+    let stat = statistical_for_yield(&base, &fm, t_clk, eta).expect("stat flow");
+    assert!(stat.report.final_yield >= eta - 1e-9);
+
+    // Statistical wins at equal yield (the paper's claim).
+    let p95 = |d: &Design| {
+        LeakageAnalysis::analyze(d, &fm)
+            .total_power(d)
+            .quantile(0.95)
+    };
+    assert!(
+        p95(&stat.design) < p95(&det.design),
+        "stat {} vs det {}",
+        p95(&stat.design),
+        p95(&det.design)
+    );
+
+    // Monte Carlo confirms the analytical yield within sampling noise.
+    let mc = MonteCarlo::new(McConfig {
+        samples: 2000,
+        ..Default::default()
+    })
+    .run(&stat.design, &fm);
+    let analytic = Ssta::analyze(&stat.design, &fm).timing_yield(t_clk);
+    assert!(
+        (mc.timing_yield(t_clk) - analytic).abs() < 0.05,
+        "MC {} vs SSTA {}",
+        mc.timing_yield(t_clk),
+        analytic
+    );
+}
+
+#[test]
+fn analyses_are_mutually_consistent() {
+    let (mut design, fm) = setup("c880");
+    let dmin = sizing::min_delay_estimate(&design);
+    sizing::size_for_delay(&mut design, dmin * 1.3).expect("relaxed target");
+
+    // SSTA mean >= deterministic STA delay (max of Gaussians).
+    let sta = Sta::analyze(&design);
+    let ssta = Ssta::analyze(&design, &fm);
+    assert!(ssta.circuit_delay().mean >= sta.circuit_delay() - 1e-9);
+    assert!(ssta.circuit_delay().mean <= sta.circuit_delay() * 1.2);
+
+    // Leakage analysis mean equals nominal scaled by the lognormal factor.
+    let leak = LeakageAnalysis::analyze(&design, &fm);
+    let nominal: f64 = design
+        .circuit()
+        .gates()
+        .map(|g| design.gate_leakage_nominal(g))
+        .sum();
+    let ratio = leak.mean_total_current() / nominal;
+    assert!(ratio > 1.0 && ratio < 1.5, "lognormal factor {ratio}");
+
+    // Monte Carlo agrees with both.
+    let mc = MonteCarlo::new(McConfig {
+        samples: 2000,
+        ..Default::default()
+    })
+    .run(&design, &fm);
+    let md = mc.delay_summary();
+    assert!((md.mean - ssta.circuit_delay().mean).abs() / md.mean < 0.03);
+    let ml = mc.leakage_summary();
+    assert!((ml.mean - leak.mean_total_current()).abs() / ml.mean < 0.05);
+}
+
+#[test]
+fn bench_io_round_trips_through_facade() {
+    let c = benchmarks::by_name("c499").expect("known");
+    let text = statleak::netlist::bench::write(&c);
+    let c2 = statleak::netlist::bench::parse("c499", &text).expect("own output");
+    assert_eq!(c.stats(), c2.stats());
+}
+
+#[test]
+fn flows_api_runs_quick_config() {
+    use statleak::core::flows::{self, FlowConfig};
+    let o = flows::run_comparison(&FlowConfig::quick("c17")).expect("quick flow");
+    assert!(o.statistical.leakage_p95 <= o.baseline.leakage_p95);
+    assert!(o.statistical.timing_yield >= 0.95 - 1e-9);
+}
+
+#[test]
+fn optimized_designs_keep_logic_function() {
+    // Vth swaps and sizing must never change the boolean function.
+    let (base, fm) = setup("c432");
+    let dmin = sizing::min_delay_estimate(&base);
+    let stat = statistical_for_yield(&base, &fm, dmin * 1.25, 0.9).expect("flow");
+    let inputs: Vec<bool> = (0..base.circuit().num_inputs())
+        .map(|i| i % 3 == 0)
+        .collect();
+    let v1 = base.circuit().simulate(&inputs);
+    let v2 = stat.design.circuit().simulate(&inputs);
+    assert_eq!(v1, v2);
+}
