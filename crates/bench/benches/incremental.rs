@@ -1,0 +1,60 @@
+//! Criterion benches mirroring the `perf` binary: per-move incremental
+//! cone updates against the full-reanalysis baseline they replace.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use statleak_bench::standard_setup;
+use statleak_opt::sizing;
+use statleak_ssta::Ssta;
+use statleak_tech::VthClass;
+
+fn bench_move_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("move_update");
+    for name in ["c880", "c1908"] {
+        let (mut design, fm) = standard_setup(name);
+        let t = 1.15 * sizing::min_delay_estimate(&design);
+        sizing::size_for_delay(&mut design, t).expect("sizable");
+        let ssta = Ssta::analyze(&design, &fm);
+        let g = design
+            .circuit()
+            .gates()
+            .nth(design.circuit().num_gates() / 3)
+            .expect("non-trivial circuit");
+        design.set_vth(g, VthClass::High);
+        group.bench_function(format!("incremental/{name}"), |b| {
+            b.iter_batched(
+                || ssta.clone(),
+                |mut s| std::hint::black_box(s.recompute_cone(&design, &fm, &[g])),
+                BatchSize::SmallInput,
+            )
+        });
+        group.bench_function(format!("full_reanalysis/{name}"), |b| {
+            b.iter(|| std::hint::black_box(Ssta::analyze(&design, &fm)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_move_with_undo(c: &mut Criterion) {
+    // The optimizer's reject path: recompute the cone, then roll it back.
+    let mut group = c.benchmark_group("move_reject");
+    let (mut design, fm) = standard_setup("c1908");
+    let t = 1.15 * sizing::min_delay_estimate(&design);
+    sizing::size_for_delay(&mut design, t).expect("sizable");
+    let mut ssta = Ssta::analyze(&design, &fm);
+    let g = design
+        .circuit()
+        .gates()
+        .nth(design.circuit().num_gates() / 3)
+        .expect("non-trivial circuit");
+    design.set_vth(g, VthClass::High);
+    group.bench_function("recompute_and_undo/c1908", |b| {
+        b.iter(|| {
+            let undo = ssta.recompute_cone(&design, &fm, &[g]);
+            ssta.undo(undo);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_move_update, bench_move_with_undo);
+criterion_main!(benches);

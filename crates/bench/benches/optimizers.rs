@@ -43,7 +43,7 @@ fn bench_optimizers(c: &mut Criterion) {
         let t = dmin * 1.2;
 
         let mut det_start = base.clone();
-        sizing::size_for_delay(&mut det_start, t, ).expect("sizable");
+        sizing::size_for_delay(&mut det_start, t).expect("sizable");
         group.bench_function(format!("deterministic/{name}"), |b| {
             b.iter_batched(
                 || det_start.clone(),

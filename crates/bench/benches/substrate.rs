@@ -60,5 +60,10 @@ fn bench_stats_kernels(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_netlist, bench_factor_model, bench_stats_kernels);
+criterion_group!(
+    benches,
+    bench_netlist,
+    bench_factor_model,
+    bench_stats_kernels
+);
 criterion_main!(benches);

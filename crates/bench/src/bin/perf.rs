@@ -1,0 +1,214 @@
+//! Performance harness for the optimizer inner loop.
+//!
+//! Measures, per benchmark circuit:
+//!
+//! - full `Ssta::analyze` wall time;
+//! - per-move incremental `recompute_cone` cost (with peak/mean fanout-cone
+//!   size) against a full-reanalysis-per-move baseline, reporting the
+//!   speedup the scratch-based cone update buys;
+//! - one statistical optimizer run on a sized design;
+//! - the complete `statistical_for_yield` flow (margin sweep included).
+//!
+//! Results land in `BENCH_opt.json` (or the path given as the first CLI
+//! argument) so the numbers are re-runnable and reviewable:
+//!
+//! ```text
+//! cargo run --release -p statleak-bench --bin perf [out.json]
+//! ```
+
+use statleak_bench::standard_setup;
+use statleak_netlist::{ConeScratch, NodeId};
+use statleak_opt::{sizing, statistical_for_yield, StatisticalOptimizer};
+use statleak_ssta::Ssta;
+use statleak_tech::{Design, VthClass};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Incremental moves timed per circuit (each is a Vth toggle + cone update).
+const INCR_MOVES: usize = 400;
+/// Moves timed with a full re-analysis each (the pre-incremental baseline).
+const BASELINE_MOVES: usize = 40;
+/// Repetitions of the full analysis for a stable mean.
+const ANALYZE_REPS: usize = 20;
+
+struct Row {
+    name: &'static str,
+    gates: usize,
+    full_analyze_us: f64,
+    incr_us_per_move: f64,
+    moves_per_sec: f64,
+    peak_cone: usize,
+    mean_cone: f64,
+    baseline_us_per_move: f64,
+    speedup: f64,
+    optimizer_run_ms: f64,
+    optimizer_passes: usize,
+    flow_ms: f64,
+}
+
+/// Deterministic move schedule: stride through the gate list so cones of
+/// many shapes (deep and shallow) are exercised.
+fn move_gate(gates: &[NodeId], i: usize) -> NodeId {
+    gates[(i * 37) % gates.len()]
+}
+
+fn toggle_vth(design: &mut Design, g: NodeId) {
+    let flip = if design.vth(g) == VthClass::Low {
+        VthClass::High
+    } else {
+        VthClass::Low
+    };
+    design.set_vth(g, flip);
+}
+
+fn measure(name: &'static str) -> Row {
+    let (mut design, fm) = standard_setup(name);
+    let gates: Vec<NodeId> = design.circuit().gates().collect();
+    let dmin = sizing::min_delay_estimate(&design);
+    let t_clk = dmin * 1.15;
+    sizing::size_for_delay(&mut design, t_clk).expect("suite circuits are sizable");
+
+    // Full SSTA analysis.
+    let start = Instant::now();
+    let mut ssta = Ssta::analyze(&design, &fm);
+    for _ in 1..ANALYZE_REPS {
+        ssta = Ssta::analyze(&design, &fm);
+    }
+    let full_analyze_us = start.elapsed().as_secs_f64() * 1e6 / ANALYZE_REPS as f64;
+
+    // Cone statistics for the move schedule (outside the timed loops).
+    let mut scratch = ConeScratch::new();
+    let mut peak_cone = 0usize;
+    let mut cone_total = 0usize;
+    for i in 0..INCR_MOVES {
+        design
+            .circuit()
+            .collect_fanout_cone(&[move_gate(&gates, i)], &mut scratch);
+        peak_cone = peak_cone.max(scratch.cone().len());
+        cone_total += scratch.cone().len();
+    }
+    let mean_cone = cone_total as f64 / INCR_MOVES as f64;
+
+    // Per-move incremental update (the optimizer inner loop).
+    let start = Instant::now();
+    for i in 0..INCR_MOVES {
+        let g = move_gate(&gates, i);
+        toggle_vth(&mut design, g);
+        std::hint::black_box(ssta.recompute_cone(&design, &fm, &[g]));
+    }
+    let incr_us_per_move = start.elapsed().as_secs_f64() * 1e6 / INCR_MOVES as f64;
+
+    // Baseline: the same move validated by a from-scratch analysis.
+    let start = Instant::now();
+    for i in 0..BASELINE_MOVES {
+        let g = move_gate(&gates, i);
+        toggle_vth(&mut design, g);
+        std::hint::black_box(Ssta::analyze(&design, &fm));
+    }
+    let baseline_us_per_move = start.elapsed().as_secs_f64() * 1e6 / BASELINE_MOVES as f64;
+
+    // One statistical optimizer run on a freshly sized design.
+    let (mut d_opt, _) = standard_setup(name);
+    sizing::size_for_delay(&mut d_opt, t_clk).expect("sizable");
+    let start = Instant::now();
+    let report = StatisticalOptimizer::new(t_clk).optimize(&mut d_opt, &fm);
+    let optimizer_run_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    // Full yield-targeted flow: margin sweep + sizing + optimization.
+    let (base, _) = standard_setup(name);
+    let t_flow = dmin * 1.20;
+    let start = Instant::now();
+    statistical_for_yield(&base, &fm, t_flow, 0.95).expect("flow succeeds on the suite");
+    let flow_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    Row {
+        name,
+        gates: base.circuit().num_gates(),
+        full_analyze_us,
+        incr_us_per_move,
+        moves_per_sec: 1e6 / incr_us_per_move,
+        peak_cone,
+        mean_cone,
+        baseline_us_per_move,
+        speedup: baseline_us_per_move / incr_us_per_move,
+        optimizer_run_ms,
+        optimizer_passes: report.passes,
+        flow_ms,
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_opt.json".to_string());
+    let mut rows = Vec::new();
+    for name in ["c432", "c880", "c1908"] {
+        eprintln!("measuring {name} ...");
+        let row = measure(name);
+        eprintln!(
+            "  {name}: full analyze {:.1} us | incremental {:.2} us/move ({:.0} moves/s, \
+             peak cone {}) | baseline {:.1} us/move | speedup {:.1}x",
+            row.full_analyze_us,
+            row.incr_us_per_move,
+            row.moves_per_sec,
+            row.peak_cone,
+            row.baseline_us_per_move,
+            row.speedup,
+        );
+        rows.push(row);
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"harness\": \"cargo run --release -p statleak-bench --bin perf\",\n");
+    writeln!(
+        json,
+        "  \"incremental_moves\": {INCR_MOVES},\n  \"baseline_moves\": {BASELINE_MOVES},"
+    )
+    .unwrap();
+    json.push_str("  \"benchmarks\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        writeln!(json, "    {{").unwrap();
+        writeln!(json, "      \"name\": \"{}\",", r.name).unwrap();
+        writeln!(json, "      \"gates\": {},", r.gates).unwrap();
+        writeln!(
+            json,
+            "      \"full_ssta_analyze_us\": {:.2},",
+            r.full_analyze_us
+        )
+        .unwrap();
+        writeln!(
+            json,
+            "      \"incremental_us_per_move\": {:.3},",
+            r.incr_us_per_move
+        )
+        .unwrap();
+        writeln!(json, "      \"moves_per_sec\": {:.0},", r.moves_per_sec).unwrap();
+        writeln!(json, "      \"peak_cone_size\": {},", r.peak_cone).unwrap();
+        writeln!(json, "      \"mean_cone_size\": {:.1},", r.mean_cone).unwrap();
+        writeln!(
+            json,
+            "      \"full_reanalysis_us_per_move\": {:.2},",
+            r.baseline_us_per_move
+        )
+        .unwrap();
+        writeln!(json, "      \"incremental_speedup\": {:.2},", r.speedup).unwrap();
+        writeln!(
+            json,
+            "      \"statistical_optimizer_ms\": {:.2},",
+            r.optimizer_run_ms
+        )
+        .unwrap();
+        writeln!(json, "      \"optimizer_passes\": {},", r.optimizer_passes).unwrap();
+        writeln!(json, "      \"statistical_for_yield_ms\": {:.2}", r.flow_ms).unwrap();
+        write!(
+            json,
+            "    }}{}",
+            if i + 1 < rows.len() { ",\n" } else { "\n" }
+        )
+        .unwrap();
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write BENCH_opt.json");
+    eprintln!("wrote {out_path}");
+}

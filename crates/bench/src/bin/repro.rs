@@ -385,7 +385,13 @@ fn f2(opts: &Options) {
     let factors = [1.05, 1.08, 1.12, 1.16, 1.20, 1.30, 1.40];
     match flows::sweep_delay_target(&cfg, &factors) {
         Ok(points) => {
-            let mut t = Table::new(&["T/Dmin", "det p95 (W)", "stat p95 (W)", "det yield", "stat yield"]);
+            let mut t = Table::new(&[
+                "T/Dmin",
+                "det p95 (W)",
+                "stat p95 (W)",
+                "det yield",
+                "stat yield",
+            ]);
             for p in &points {
                 t.row(&[
                     format!("{:.2}", p.x),
@@ -633,8 +639,7 @@ fn a3(opts: &Options) {
                 continue;
             }
         };
-        let Ok(out) = statistical_for_yield(&setup.base, &setup.fm, setup.t_clk, cfg.eta)
-        else {
+        let Ok(out) = statistical_for_yield(&setup.base, &setup.fm, setup.t_clk, cfg.eta) else {
             eprintln!("{name}: flow infeasible (skipped)");
             continue;
         };

@@ -226,19 +226,35 @@ pub struct ComparisonOutcome {
 pub fn run_comparison(cfg: &FlowConfig) -> Result<ComparisonOutcome, FlowError> {
     let setup = prepare(cfg)?;
     let Setup {
-        fm, base, dmin, t_clk, ..
+        fm,
+        base,
+        dmin,
+        t_clk,
+        ..
     } = setup;
 
     // Baseline: size for the yield target, no leakage optimization.
     let t0 = Instant::now();
     let mut baseline = base.clone();
     sizing::size_for_yield(&mut baseline, &fm, t_clk, cfg.eta)?;
-    let m_base = measure(&baseline, &fm, t_clk, cfg.mc_samples, t0.elapsed().as_secs_f64());
+    let m_base = measure(
+        &baseline,
+        &fm,
+        t_clk,
+        cfg.mc_samples,
+        t0.elapsed().as_secs_f64(),
+    );
 
     // Deterministic flow (best guard band for the yield target).
     let t0 = Instant::now();
     let det = deterministic_for_yield(&base, &fm, t_clk, cfg.eta, 6)?;
-    let m_det = measure(&det.design, &fm, t_clk, cfg.mc_samples, t0.elapsed().as_secs_f64());
+    let m_det = measure(
+        &det.design,
+        &fm,
+        t_clk,
+        cfg.mc_samples,
+        t0.elapsed().as_secs_f64(),
+    );
 
     // Statistical flow.
     let t0 = Instant::now();
@@ -576,10 +592,7 @@ mod tests {
     #[test]
     fn prepare_rejects_unknown() {
         let cfg = FlowConfig::quick("c9999");
-        assert!(matches!(
-            prepare(&cfg),
-            Err(FlowError::UnknownBenchmark(_))
-        ));
+        assert!(matches!(prepare(&cfg), Err(FlowError::UnknownBenchmark(_))));
     }
 
     #[test]
@@ -593,7 +606,11 @@ mod tests {
         assert!(o.deterministic.leakage_p95 < o.baseline.leakage_p95 * 0.7);
         assert!(o.statistical.leakage_p95 < o.baseline.leakage_p95 * 0.7);
         // Statistical wins at equal yield.
-        assert!(o.stat_extra_saving > 0.0, "extra saving {}", o.stat_extra_saving);
+        assert!(
+            o.stat_extra_saving > 0.0,
+            "extra saving {}",
+            o.stat_extra_saving
+        );
         assert!(o.statistical.timing_yield >= cfg.eta - 1e-9);
         assert!(o.deterministic.timing_yield >= cfg.eta - 1e-9);
     }

@@ -41,12 +41,7 @@ impl JointYield {
         let d = ssta.circuit_delay();
         let l = leak.total_current_factored();
         // Cov(D, ln I) through the shared factors only.
-        let cov: f64 = d
-            .shared
-            .iter()
-            .zip(&l.shared)
-            .map(|(a, b)| a * b)
-            .sum();
+        let cov: f64 = d.shared.iter().zip(&l.shared).map(|(a, b)| a * b).sum();
         let ds = d.std();
         let ls = (l.shared.iter().map(|a| a * a).sum::<f64>() + l.local * l.local).sqrt();
         let correlation = if ds == 0.0 || ls == 0.0 {
@@ -86,7 +81,11 @@ impl JointYield {
     pub fn leakage_yield(&self, i_max: f64) -> f64 {
         assert!(i_max > 0.0, "leakage budget must be positive");
         if self.ln_leak_sigma == 0.0 {
-            return if self.ln_leak_mu <= i_max.ln() { 1.0 } else { 0.0 };
+            return if self.ln_leak_mu <= i_max.ln() {
+                1.0
+            } else {
+                0.0
+            };
         }
         statleak_stats::phi((i_max.ln() - self.ln_leak_mu) / self.ln_leak_sigma)
     }
@@ -170,7 +169,10 @@ mod tests {
         let i_max = leak.quantile(0.90);
         let joint = j.joint_yield(t, i_max);
         let product = j.timing_yield(t) * j.leakage_yield(i_max);
-        assert!(joint < product - 0.005, "joint {joint} vs product {product}");
+        assert!(
+            joint < product - 0.005,
+            "joint {joint} vs product {product}"
+        );
     }
 
     #[test]

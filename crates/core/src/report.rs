@@ -205,9 +205,20 @@ pub fn timing_report(
     let circuit = design.circuit();
     for (pi, path) in sta.top_paths(design, k).iter().enumerate() {
         let start = circuit.node(path.nodes[0]).name.as_str();
-        let end = circuit.node(*path.nodes.last().expect("non-empty path")).name.as_str();
-        let _ = writeln!(out, "Path {} — startpoint {start} (input), endpoint {end} (output)", pi + 1);
-        let _ = writeln!(out, "  {:<12} {:<18} {:>10} {:>10}", "point", "cell", "incr(ps)", "path(ps)");
+        let end = circuit
+            .node(*path.nodes.last().expect("non-empty path"))
+            .name
+            .as_str();
+        let _ = writeln!(
+            out,
+            "Path {} — startpoint {start} (input), endpoint {end} (output)",
+            pi + 1
+        );
+        let _ = writeln!(
+            out,
+            "  {:<12} {:<18} {:>10} {:>10}",
+            "point", "cell", "incr(ps)", "path(ps)"
+        );
         let mut total = 0.0;
         for &u in &path.nodes {
             let node = circuit.node(u);
@@ -221,9 +232,17 @@ pub fn timing_report(
                     design.size(u),
                     design.vth(u)
                 );
-                let _ = writeln!(out, "  {:<12} {:<18} {:>10.2} {:>10.2}", node.name, cell, d, total);
+                let _ = writeln!(
+                    out,
+                    "  {:<12} {:<18} {:>10.2} {:>10.2}",
+                    node.name, cell, d, total
+                );
             } else {
-                let _ = writeln!(out, "  {:<12} {:<18} {:>10.2} {:>10.2}", node.name, "(input)", 0.0, 0.0);
+                let _ = writeln!(
+                    out,
+                    "  {:<12} {:<18} {:>10.2} {:>10.2}",
+                    node.name, "(input)", 0.0, 0.0
+                );
             }
         }
         let _ = writeln!(out, "  arrival {total:>38.2}");

@@ -79,8 +79,7 @@ pub fn gate_leakage(design: &Design, fm: &FactorModel, id: NodeId) -> GateLeakag
         design.vth(id),
     );
     let shared: Vec<f64> = fm.l_shared(id).iter().map(|a| dln_dl * a).collect();
-    let local =
-        ((dln_dl * fm.l_local(id)).powi(2) + (dln_dvth * fm.vth_local(id)).powi(2)).sqrt();
+    let local = ((dln_dl * fm.l_local(id)).powi(2) + (dln_dvth * fm.vth_local(id)).powi(2)).sqrt();
     GateLeakage {
         mu: ln_nom,
         shared,
@@ -221,11 +220,24 @@ impl LeakageAnalysis {
 
     /// Applies a single-gate change (the gate's nominal leakage changed via
     /// a Vth swap or resize) and returns an undo token.
-    pub fn update_gate(&mut self, design: &Design, fm: &FactorModel, id: NodeId) -> LeakUndo {
-        let gl = gate_leakage(design, fm, id);
+    ///
+    /// Allocation-free: only the ln-space nominal is needed (the gate's
+    /// sensitivity vector is a region-level constant already cached in
+    /// `region_v_shared`), so this evaluates [`cell::ln_leakage`] directly
+    /// instead of building a full [`GateLeakage`].
+    pub fn update_gate(&mut self, design: &Design, _fm: &FactorModel, id: NodeId) -> LeakUndo {
+        let node = design.circuit().node(id);
+        debug_assert!(node.kind.is_gate(), "inputs do not leak");
+        let (ln_nom, _, _) = cell::ln_leakage(
+            design.tech(),
+            node.kind,
+            node.fanin.len(),
+            design.size(id),
+            design.vth(id),
+        );
         let r = self.region[id.index()];
         let v_total = self.region_v_shared[r] + self.v_local;
-        let new_mean = (gl.mu + 0.5 * v_total).exp();
+        let new_mean = (ln_nom + 0.5 * v_total).exp();
         let old_mean = self.gate_mean[id.index()];
         let undo = LeakUndo {
             gate: id.0,
@@ -265,12 +277,7 @@ impl LeakageAnalysis {
         let total = self.total_current();
         let m: f64 = self.mean_total_current();
         assert!(m > 0.0, "design has no leaking gates");
-        let num_factors = self
-            .region_shared
-            .iter()
-            .map(Vec::len)
-            .max()
-            .unwrap_or(0);
+        let num_factors = self.region_shared.iter().map(Vec::len).max().unwrap_or(0);
         let mut shared = vec![0.0; num_factors];
         for r in 0..self.region_sum.len() {
             if self.region_sum[r] <= 0.0 {
@@ -414,7 +421,7 @@ mod tests {
         let gates: Vec<_> = d.circuit().gates().collect();
         let gls: Vec<GateLeakage> = gates.iter().map(|&g| gate_leakage(&d, &fm, g)).collect();
         let mut rng = rand::rngs::StdRng::seed_from_u64(99);
-        let mut draw = |rng: &mut rand::rngs::StdRng| {
+        let draw = |rng: &mut rand::rngs::StdRng| {
             let u1: f64 = rng.gen_range(1e-12..1.0);
             let u2: f64 = rng.gen_range(0.0..1.0);
             (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()

@@ -37,6 +37,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rayon::prelude::*;
 use statleak_netlist::NodeId;
 use statleak_stats::{Histogram, StdNormalSampler, Summary};
 use statleak_tech::{cell, Design, FactorModel};
@@ -172,39 +173,35 @@ impl MonteCarlo {
         Self { config }
     }
 
-    /// Runs the simulation: one full-chip non-linear evaluation per sample.
+    /// Runs the simulation: one full-chip non-linear evaluation per sample,
+    /// fanned out on rayon. Sample `i`'s RNG sub-stream depends only on
+    /// `seed` and `i`, and the parallel collect preserves index order, so
+    /// the result is bit-identical for any thread count.
     pub fn run(&self, design: &Design, fm: &FactorModel) -> McResult {
-        let threads = if self.config.threads == 0 {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        } else {
-            self.config.threads
-        }
-        .min(self.config.samples);
-
-        let n = self.config.samples;
-        let chunk = n.div_ceil(threads);
-        let mut samples = vec![
-            ChipSample {
-                delay: 0.0,
-                leakage: 0.0
-            };
-            n
-        ];
-        std::thread::scope(|scope| {
-            for (t, out) in samples.chunks_mut(chunk).enumerate() {
-                let start = t * chunk;
-                let seed = self.config.seed;
-                scope.spawn(move || {
-                    for (k, slot) in out.iter_mut().enumerate() {
-                        let i = start + k;
-                        *slot = evaluate_sample(design, fm, seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-                    }
-                });
-            }
-        });
+        let seed = self.config.seed;
+        let eval = |i: usize| {
+            evaluate_sample(
+                design,
+                fm,
+                seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            )
+        };
+        let samples = self.in_pool(|| (0..self.config.samples).into_par_iter().map(eval).collect());
         McResult { samples }
+    }
+
+    /// Runs `op` under this config's thread bound (`threads == 0` keeps the
+    /// ambient rayon parallelism).
+    fn in_pool<R, F: FnOnce() -> R>(&self, op: F) -> R {
+        if self.config.threads == 0 {
+            op()
+        } else {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(self.config.threads)
+                .build()
+                .expect("thread pool")
+                .install(op)
+        }
     }
 }
 
@@ -306,17 +303,17 @@ impl MonteCarlo {
     /// Panics if the bias grid is empty or does not contain `0.0`.
     pub fn run_abb(&self, design: &Design, fm: &FactorModel, abb: &AbbConfig) -> AbbResult {
         assert!(!abb.bias_grid.is_empty(), "bias grid must be non-empty");
-        assert!(
-            abb.bias_grid.iter().any(|&b| b == 0.0),
-            "bias grid must contain 0.0"
-        );
-        let chips: Vec<AbbChip> = (0..self.config.samples)
-            .map(|i| {
-                let seed =
-                    self.config.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-                evaluate_abb_sample(design, fm, seed, abb)
-            })
-            .collect();
+        assert!(abb.bias_grid.contains(&0.0), "bias grid must contain 0.0");
+        let base = self.config.seed;
+        let chips: Vec<AbbChip> = self.in_pool(|| {
+            (0..self.config.samples)
+                .into_par_iter()
+                .map(|i| {
+                    let seed = base ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                    evaluate_abb_sample(design, fm, seed, abb)
+                })
+                .collect()
+        });
         AbbResult {
             chips,
             t_clk: abb.t_clk,
@@ -327,12 +324,7 @@ impl MonteCarlo {
 /// Evaluates one chip at every candidate bias and applies the selection
 /// policy. The process sample (all factor draws) is shared across biases —
 /// the bias is the only difference, exactly as on silicon.
-fn evaluate_abb_sample(
-    design: &Design,
-    fm: &FactorModel,
-    seed: u64,
-    abb: &AbbConfig,
-) -> AbbChip {
+fn evaluate_abb_sample(design: &Design, fm: &FactorModel, seed: u64, abb: &AbbConfig) -> AbbChip {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut normal = StdNormalSampler::new();
     let circuit = design.circuit();
@@ -409,16 +401,14 @@ fn evaluate_abb_sample(
         } else {
             evaluate(bias)
         };
-        if fastest.as_ref().map_or(true, |&(_, fd, _)| d < fd) {
+        if fastest.as_ref().is_none_or(|&(_, fd, _)| d < fd) {
             fastest = Some((bias, d, l));
         }
-        if d <= abb.t_clk && best.as_ref().map_or(true, |&(_, _, bl)| l < bl) {
+        if d <= abb.t_clk && best.as_ref().is_none_or(|&(_, _, bl)| l < bl) {
             best = Some((bias, d, l));
         }
     }
-    let (bias, delay, leakage) = best
-        .or(fastest)
-        .expect("bias grid is non-empty");
+    let (bias, delay, leakage) = best.or(fastest).expect("bias grid is non-empty");
     AbbChip {
         bias,
         delay,
@@ -515,19 +505,25 @@ mod tests {
     #[test]
     fn deterministic_across_thread_counts() {
         let (d, fm) = setup("c17");
-        let one = MonteCarlo::new(McConfig {
-            samples: 64,
-            seed: 5,
-            threads: 1,
-        })
-        .run(&d, &fm);
-        let four = MonteCarlo::new(McConfig {
-            samples: 64,
-            seed: 5,
-            threads: 4,
-        })
-        .run(&d, &fm);
+        let mc = |threads| {
+            MonteCarlo::new(McConfig {
+                samples: 64,
+                seed: 5,
+                threads,
+            })
+        };
+        let one = mc(1).run(&d, &fm);
+        let four = mc(4).run(&d, &fm);
         assert_eq!(one, four);
+        // Same contract for the ABB experiment: per-chip seeds depend only
+        // on the sample index, so the population is thread-count invariant.
+        let abb = AbbConfig::standard(one.delay_summary().mean);
+        let abb_one = mc(1).run_abb(&d, &fm, &abb);
+        let abb_four = mc(4).run_abb(&d, &fm, &abb);
+        assert_eq!(abb_one, abb_four);
+        // An odd thread count exercises the uneven-chunk path too.
+        let abb_three = mc(3).run_abb(&d, &fm, &abb);
+        assert_eq!(abb_one, abb_three);
     }
 
     #[test]
@@ -537,7 +533,12 @@ mod tests {
         let mc = r.delay_summary();
         let an = ssta.circuit_delay();
         let err = (an.mean - mc.mean).abs() / mc.mean;
-        assert!(err < 0.03, "SSTA mean {} vs MC {} ({err})", an.mean, mc.mean);
+        assert!(
+            err < 0.03,
+            "SSTA mean {} vs MC {} ({err})",
+            an.mean,
+            mc.mean
+        );
         let serr = (an.variance.sqrt() - mc.std).abs() / mc.std;
         assert!(
             serr < 0.25,
@@ -577,7 +578,10 @@ mod tests {
     fn fast_die_leak_more() {
         let (_, _, r) = run("c880", 1000);
         let rho = r.delay_leakage_correlation();
-        assert!(rho < -0.3, "expected strong negative correlation, got {rho}");
+        assert!(
+            rho < -0.3,
+            "expected strong negative correlation, got {rho}"
+        );
     }
 
     #[test]
@@ -676,8 +680,7 @@ mod abb_tests {
             ..Default::default()
         })
         .run_abb(&d, &fm, &AbbConfig::standard(t));
-        let mean_bias: f64 =
-            r.chips().iter().map(|c| c.bias).sum::<f64>() / r.chips().len() as f64;
+        let mean_bias: f64 = r.chips().iter().map(|c| c.bias).sum::<f64>() / r.chips().len() as f64;
         assert!(mean_bias > 0.02, "mean bias {mean_bias} should be reverse");
         assert!(r.leakage_summary().mean < r.leakage_summary_unbiased().mean * 0.7);
     }
@@ -808,7 +811,10 @@ mod importance_sampling_tests {
         let t = ssta.clock_for_yield(0.9);
         let plain = 1.0 - mc.run(&d, &fm).timing_yield(t);
         let (is_est, _) = mc.tail_miss_probability(&d, &fm, t, 0.0);
-        assert!((is_est - plain).abs() < 0.03, "IS {is_est} vs plain {plain}");
+        assert!(
+            (is_est - plain).abs() < 0.03,
+            "IS {is_est} vs plain {plain}"
+        );
     }
 
     #[test]

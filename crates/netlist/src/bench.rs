@@ -98,10 +98,7 @@ pub fn parse(name: &str, src: &str) -> Result<Circuit, ParseBenchError> {
 /// # Errors
 ///
 /// Same as [`parse`].
-pub fn parse_with_dff_count(
-    name: &str,
-    src: &str,
-) -> Result<(Circuit, usize), ParseBenchError> {
+pub fn parse_with_dff_count(name: &str, src: &str) -> Result<(Circuit, usize), ParseBenchError> {
     let mut b = CircuitBuilder::new(name);
     let mut outputs = Vec::new();
     let mut dff_count = 0usize;
@@ -117,20 +114,18 @@ pub fn parse_with_dff_count(
         }
         let upper = text.to_ascii_uppercase();
         if let Some(rest) = upper.strip_prefix("INPUT") {
-            let inner = extract_parens(rest, text, "INPUT").ok_or_else(|| {
-                ParseBenchError::Syntax {
+            let inner =
+                extract_parens(rest, text, "INPUT").ok_or_else(|| ParseBenchError::Syntax {
                     line,
                     text: text.to_string(),
-                }
-            })?;
+                })?;
             b.add_input(inner)?;
         } else if let Some(rest) = upper.strip_prefix("OUTPUT") {
-            let inner = extract_parens(rest, text, "OUTPUT").ok_or_else(|| {
-                ParseBenchError::Syntax {
+            let inner =
+                extract_parens(rest, text, "OUTPUT").ok_or_else(|| ParseBenchError::Syntax {
                     line,
                     text: text.to_string(),
-                }
-            })?;
+                })?;
             outputs.push(inner.to_string());
         } else if let Some(eq) = text.find('=') {
             let lhs = text[..eq].trim();

@@ -28,17 +28,94 @@ pub struct BenchmarkSpec {
 /// The published ISCAS85 suite characteristics (c17 plus the ten classic
 /// circuits evaluated by the DAC 2004 paper's lineage).
 pub const SUITE: [BenchmarkSpec; 11] = [
-    BenchmarkSpec { name: "c17", inputs: 5, outputs: 2, gates: 6, depth: 3, function: "toy NAND network" },
-    BenchmarkSpec { name: "c432", inputs: 36, outputs: 7, gates: 160, depth: 17, function: "27-channel interrupt controller" },
-    BenchmarkSpec { name: "c499", inputs: 41, outputs: 32, gates: 202, depth: 11, function: "32-bit SEC circuit" },
-    BenchmarkSpec { name: "c880", inputs: 60, outputs: 26, gates: 383, depth: 24, function: "8-bit ALU" },
-    BenchmarkSpec { name: "c1355", inputs: 41, outputs: 32, gates: 546, depth: 24, function: "32-bit SEC circuit (expanded)" },
-    BenchmarkSpec { name: "c1908", inputs: 33, outputs: 25, gates: 880, depth: 40, function: "16-bit SEC/DED circuit" },
-    BenchmarkSpec { name: "c2670", inputs: 233, outputs: 140, gates: 1193, depth: 32, function: "12-bit ALU and controller" },
-    BenchmarkSpec { name: "c3540", inputs: 50, outputs: 22, gates: 1669, depth: 47, function: "8-bit ALU" },
-    BenchmarkSpec { name: "c5315", inputs: 178, outputs: 123, gates: 2307, depth: 49, function: "9-bit ALU" },
-    BenchmarkSpec { name: "c6288", inputs: 32, outputs: 32, gates: 2416, depth: 124, function: "16x16 multiplier" },
-    BenchmarkSpec { name: "c7552", inputs: 207, outputs: 108, gates: 3512, depth: 43, function: "32-bit adder/comparator" },
+    BenchmarkSpec {
+        name: "c17",
+        inputs: 5,
+        outputs: 2,
+        gates: 6,
+        depth: 3,
+        function: "toy NAND network",
+    },
+    BenchmarkSpec {
+        name: "c432",
+        inputs: 36,
+        outputs: 7,
+        gates: 160,
+        depth: 17,
+        function: "27-channel interrupt controller",
+    },
+    BenchmarkSpec {
+        name: "c499",
+        inputs: 41,
+        outputs: 32,
+        gates: 202,
+        depth: 11,
+        function: "32-bit SEC circuit",
+    },
+    BenchmarkSpec {
+        name: "c880",
+        inputs: 60,
+        outputs: 26,
+        gates: 383,
+        depth: 24,
+        function: "8-bit ALU",
+    },
+    BenchmarkSpec {
+        name: "c1355",
+        inputs: 41,
+        outputs: 32,
+        gates: 546,
+        depth: 24,
+        function: "32-bit SEC circuit (expanded)",
+    },
+    BenchmarkSpec {
+        name: "c1908",
+        inputs: 33,
+        outputs: 25,
+        gates: 880,
+        depth: 40,
+        function: "16-bit SEC/DED circuit",
+    },
+    BenchmarkSpec {
+        name: "c2670",
+        inputs: 233,
+        outputs: 140,
+        gates: 1193,
+        depth: 32,
+        function: "12-bit ALU and controller",
+    },
+    BenchmarkSpec {
+        name: "c3540",
+        inputs: 50,
+        outputs: 22,
+        gates: 1669,
+        depth: 47,
+        function: "8-bit ALU",
+    },
+    BenchmarkSpec {
+        name: "c5315",
+        inputs: 178,
+        outputs: 123,
+        gates: 2307,
+        depth: 49,
+        function: "9-bit ALU",
+    },
+    BenchmarkSpec {
+        name: "c6288",
+        inputs: 32,
+        outputs: 32,
+        gates: 2416,
+        depth: 124,
+        function: "16x16 multiplier",
+    },
+    BenchmarkSpec {
+        name: "c7552",
+        inputs: 207,
+        outputs: 108,
+        gates: 3512,
+        depth: 43,
+        function: "32-bit adder/comparator",
+    },
 ];
 
 /// The genuine `c17` netlist parsed from its `.bench` source.
@@ -48,8 +125,7 @@ pub const SUITE: [BenchmarkSpec; 11] = [
 /// assert_eq!(c.name(), "c17");
 /// ```
 pub fn c17() -> Circuit {
-    crate::bench::parse("c17", include_str!("c17.bench"))
-        .expect("embedded c17.bench is valid")
+    crate::bench::parse("c17", include_str!("c17.bench")).expect("embedded c17.bench is valid")
 }
 
 /// Looks up the published spec of a benchmark by name.
@@ -112,12 +188,54 @@ pub struct SeqBenchmarkSpec {
 
 /// The ISCAS89-class sequential suite (a representative size ladder).
 pub const SEQ_SUITE: [SeqBenchmarkSpec; 6] = [
-    SeqBenchmarkSpec { name: "s27", inputs: 4, outputs: 1, dffs: 3, gates: 10, depth: 5 },
-    SeqBenchmarkSpec { name: "s344", inputs: 9, outputs: 11, dffs: 15, gates: 160, depth: 14 },
-    SeqBenchmarkSpec { name: "s526", inputs: 3, outputs: 6, dffs: 21, gates: 193, depth: 9 },
-    SeqBenchmarkSpec { name: "s1196", inputs: 14, outputs: 14, dffs: 18, gates: 529, depth: 24 },
-    SeqBenchmarkSpec { name: "s1423", inputs: 17, outputs: 5, dffs: 74, gates: 657, depth: 59 },
-    SeqBenchmarkSpec { name: "s5378", inputs: 35, outputs: 49, dffs: 164, gates: 2779, depth: 25 },
+    SeqBenchmarkSpec {
+        name: "s27",
+        inputs: 4,
+        outputs: 1,
+        dffs: 3,
+        gates: 10,
+        depth: 5,
+    },
+    SeqBenchmarkSpec {
+        name: "s344",
+        inputs: 9,
+        outputs: 11,
+        dffs: 15,
+        gates: 160,
+        depth: 14,
+    },
+    SeqBenchmarkSpec {
+        name: "s526",
+        inputs: 3,
+        outputs: 6,
+        dffs: 21,
+        gates: 193,
+        depth: 9,
+    },
+    SeqBenchmarkSpec {
+        name: "s1196",
+        inputs: 14,
+        outputs: 14,
+        dffs: 18,
+        gates: 529,
+        depth: 24,
+    },
+    SeqBenchmarkSpec {
+        name: "s1423",
+        inputs: 17,
+        outputs: 5,
+        dffs: 74,
+        gates: 657,
+        depth: 59,
+    },
+    SeqBenchmarkSpec {
+        name: "s5378",
+        inputs: 35,
+        outputs: 49,
+        dffs: 164,
+        gates: 2779,
+        depth: 25,
+    },
 ];
 
 /// Builds a sequential benchmark: the combinational core is generated to

@@ -104,10 +104,7 @@ impl GateKind {
     ///
     /// Panics if called on [`GateKind::Input`] or with an empty input slice.
     pub fn eval(self, inputs: &[bool]) -> bool {
-        assert!(
-            self.is_gate(),
-            "cannot evaluate a primary input as a gate"
-        );
+        assert!(self.is_gate(), "cannot evaluate a primary input as a gate");
         assert!(!inputs.is_empty(), "gate must have at least one fanin");
         match self {
             GateKind::Input => unreachable!(),
@@ -246,11 +243,7 @@ impl CircuitBuilder {
         if fanin.is_empty() {
             return Err(BuildError::MissingFanin(name));
         }
-        self.declare(
-            name,
-            kind,
-            fanin.iter().map(|s| s.to_string()).collect(),
-        )
+        self.declare(name, kind, fanin.iter().map(|s| s.to_string()).collect())
     }
 
     /// Marks a declared signal as a primary output.
@@ -362,13 +355,24 @@ impl CircuitBuilder {
             .filter(|&i| nodes[i].kind == GateKind::Input)
             .map(|i| NodeId(i as u32))
             .collect();
+        // Inverse permutation of `topo`: rank of each node in the order.
+        let mut topo_rank = vec![0u32; n];
+        for (r, &id) in topo.iter().enumerate() {
+            topo_rank[id.index()] = r as u32;
+        }
+        let mut output_mask = vec![false; n];
+        for &o in &outputs {
+            output_mask[o.index()] = true;
+        }
         Ok(Circuit {
             name: self.name,
             nodes,
             inputs,
             outputs,
             topo,
+            topo_rank,
             level,
+            output_mask,
         })
     }
 }
@@ -385,7 +389,9 @@ pub struct Circuit {
     inputs: Vec<NodeId>,
     outputs: Vec<NodeId>,
     topo: Vec<NodeId>,
+    topo_rank: Vec<u32>,
     level: Vec<usize>,
+    output_mask: Vec<bool>,
 }
 
 impl Circuit {
@@ -470,9 +476,18 @@ impl Circuit {
             .map(|i| NodeId(i as u32))
     }
 
-    /// Whether the node is a primary output.
+    /// Whether the node is a primary output. O(1): answered from a
+    /// membership mask built at construction time.
     pub fn is_output(&self, id: NodeId) -> bool {
-        self.outputs.contains(&id)
+        self.output_mask[id.index()]
+    }
+
+    /// The rank of a node in the topological order (the inverse of
+    /// [`Circuit::topo_order`]). Sorting a node set by this key puts it in
+    /// valid evaluation order without scanning the whole circuit.
+    #[inline]
+    pub fn topo_rank(&self, id: NodeId) -> u32 {
+        self.topo_rank[id.index()]
     }
 
     /// Structural statistics (as reported in benchmark tables).
@@ -517,19 +532,87 @@ impl Circuit {
 
     /// The transitive fanout cone of a node (including the node itself),
     /// in topological order. Used for incremental timing updates.
+    ///
+    /// Convenience wrapper that allocates a fresh [`ConeScratch`] per call;
+    /// hot loops should hold a scratch and use
+    /// [`Circuit::collect_fanout_cone`] instead.
     pub fn fanout_cone(&self, root: NodeId) -> Vec<NodeId> {
-        let mut in_cone = vec![false; self.nodes.len()];
-        in_cone[root.index()] = true;
-        let mut cone = Vec::new();
-        for &id in &self.topo {
-            if in_cone[id.index()] {
-                cone.push(id);
-                for &f in &self.nodes[id.index()].fanout {
-                    in_cone[f.index()] = true;
-                }
+        let mut scratch = ConeScratch::new();
+        self.collect_fanout_cone(&[root], &mut scratch);
+        scratch.cone().to_vec()
+    }
+
+    /// Collects the union of the transitive fanout cones of `seeds`
+    /// (including the seeds themselves) into `scratch`, sorted
+    /// topologically. Touches only cone nodes plus their immediate fanout
+    /// edges — O(k log k) for a k-node cone — instead of scanning the full
+    /// circuit, and reuses the scratch's buffers so steady-state calls do
+    /// not allocate.
+    pub fn collect_fanout_cone(&self, seeds: &[NodeId], scratch: &mut ConeScratch) {
+        scratch.begin(self.nodes.len());
+        for &s in seeds {
+            scratch.push_if_new(s);
+        }
+        // DFS over fanout edges; `cone` doubles as the visit stack because
+        // every discovered node is part of the result.
+        let mut head = 0;
+        while head < scratch.cone.len() {
+            let u = scratch.cone[head];
+            head += 1;
+            for &v in &self.nodes[u.index()].fanout {
+                scratch.push_if_new(v);
             }
         }
-        cone
+        let ranks = &self.topo_rank;
+        scratch.cone.sort_unstable_by_key(|id| ranks[id.index()]);
+    }
+}
+
+/// Reusable scratch space for fanout-cone collection.
+///
+/// Visited marks are epoch-stamped: `stamp[i] == epoch` means node `i` is
+/// in the current cone, and bumping the epoch invalidates every mark at
+/// once, so repeated collections never clear (or reallocate) the
+/// full-circuit array. One scratch serves circuits of any size — the stamp
+/// vector grows to the largest circuit seen and sticks there.
+#[derive(Debug, Clone, Default)]
+pub struct ConeScratch {
+    stamp: Vec<u32>,
+    epoch: u32,
+    cone: Vec<NodeId>,
+}
+
+impl ConeScratch {
+    /// Creates an empty scratch; buffers are sized lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The most recently collected cone, in topological order.
+    pub fn cone(&self) -> &[NodeId] {
+        &self.cone
+    }
+
+    fn begin(&mut self, num_nodes: usize) {
+        if self.stamp.len() < num_nodes {
+            self.stamp.resize(num_nodes, 0);
+        }
+        // On wrap-around, stale stamps could alias the new epoch; clearing
+        // once every u32::MAX collections keeps correctness without a
+        // per-call cost.
+        if self.epoch == u32::MAX {
+            self.stamp.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.cone.clear();
+    }
+
+    fn push_if_new(&mut self, id: NodeId) {
+        if self.stamp[id.index()] != self.epoch {
+            self.stamp[id.index()] = self.epoch;
+            self.cone.push(id);
+        }
     }
 }
 
@@ -607,10 +690,7 @@ mod tests {
     fn duplicate_name_rejected() {
         let mut b = CircuitBuilder::new("d");
         b.add_input("a").unwrap();
-        assert_eq!(
-            b.add_input("a"),
-            Err(BuildError::DuplicateName("a".into()))
-        );
+        assert_eq!(b.add_input("a"), Err(BuildError::DuplicateName("a".into())));
     }
 
     #[test]
@@ -635,6 +715,58 @@ mod tests {
         let a = c.find("a").unwrap();
         let cone = c.fanout_cone(a);
         assert_eq!(cone.len(), 3); // a, g1, g2
+    }
+
+    #[test]
+    fn topo_rank_is_inverse_of_topo_order() {
+        let c = small();
+        for (r, &id) in c.topo_order().iter().enumerate() {
+            assert_eq!(c.topo_rank(id) as usize, r);
+        }
+    }
+
+    #[test]
+    fn output_mask_matches_output_list() {
+        let c = small();
+        for id in (0..c.num_nodes()).map(|i| NodeId(i as u32)) {
+            assert_eq!(c.is_output(id), c.outputs().contains(&id));
+        }
+    }
+
+    #[test]
+    fn scratch_cone_matches_full_scan_and_reuses_buffers() {
+        let c = small();
+        let mut scratch = ConeScratch::new();
+        for &id in c.topo_order() {
+            // Reference: mark + full topo scan (the pre-scratch algorithm).
+            let mut in_cone = vec![false; c.num_nodes()];
+            in_cone[id.index()] = true;
+            let mut expected = Vec::new();
+            for &t in c.topo_order() {
+                if in_cone[t.index()] {
+                    expected.push(t);
+                    for &f in &c.node(t).fanout {
+                        in_cone[f.index()] = true;
+                    }
+                }
+            }
+            c.collect_fanout_cone(&[id], &mut scratch);
+            assert_eq!(scratch.cone(), expected.as_slice(), "root {id}");
+        }
+    }
+
+    #[test]
+    fn scratch_cone_multi_seed_union() {
+        let c = small();
+        let a = c.find("a").unwrap();
+        let b = c.find("b").unwrap();
+        let mut scratch = ConeScratch::new();
+        c.collect_fanout_cone(&[a, b], &mut scratch);
+        // Union of both cones: a, b, g1, g2 — each exactly once.
+        assert_eq!(scratch.cone().len(), 4);
+        for w in scratch.cone().windows(2) {
+            assert!(c.topo_rank(w[0]) < c.topo_rank(w[1]));
+        }
     }
 
     #[test]

@@ -225,8 +225,10 @@ pub fn generate(spec: &GenSpec) -> Circuit {
     // Consume a dangling node `name` (at level `lvl`) in some variadic gate
     // strictly deeper than `lvl`. The absorber makes this always possible
     // for lvl < depth.
-    let absorb = |name: &str, lvl: usize, rng: &mut StdRng,
-                      gate_records: &mut Vec<(String, GateKind, Vec<String>, usize)>| {
+    let absorb = |name: &str,
+                  lvl: usize,
+                  rng: &mut StdRng,
+                  gate_records: &mut Vec<(String, GateKind, Vec<String>, usize)>| {
         let cands: Vec<usize> = variadic
             .iter()
             .filter(|&&(_, vl)| vl > lvl)
@@ -384,7 +386,7 @@ mod tests {
     #[test]
     fn simulable() {
         let c = generate(&GenSpec::new("t5", 8, 4, 50, 7));
-        let v = c.simulate(&vec![true; 8]);
+        let v = c.simulate(&[true; 8]);
         assert_eq!(v.len(), c.num_nodes());
     }
 

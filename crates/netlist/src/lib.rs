@@ -37,4 +37,6 @@ pub mod generate;
 pub mod placement;
 pub mod verilog;
 
-pub use circuit::{BuildError, Circuit, CircuitBuilder, CircuitStats, GateKind, Node, NodeId};
+pub use circuit::{
+    BuildError, Circuit, CircuitBuilder, CircuitStats, ConeScratch, GateKind, Node, NodeId,
+};

@@ -358,7 +358,11 @@ mod tests {
         assert_eq!(c.num_inputs(), 3);
         assert_eq!(c.num_gates(), 4);
         // Behaves like a mux: y = s ? b : a.
-        for (a, b, s) in [(true, false, false), (false, true, true), (true, true, false)] {
+        for (a, b, s) in [
+            (true, false, false),
+            (false, true, true),
+            (true, true, false),
+        ] {
             let v = c.simulate(&[a, b, s]);
             let y = c.find("y").unwrap();
             assert_eq!(v[y.index()], if s { b } else { a });
@@ -389,7 +393,7 @@ mod tests {
 
     #[test]
     fn missing_module_reported() {
-        assert_eq!(parse("input a;"), Err(ParseVerilogError::MissingModule).map_err(|e| e));
+        assert_eq!(parse("input a;"), Err(ParseVerilogError::MissingModule));
     }
 
     #[test]

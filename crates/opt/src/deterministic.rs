@@ -12,6 +12,7 @@
 //! leakage saving. The statistical optimizer removes the corner blindness.
 
 use crate::seeds_for_change;
+use rayon::prelude::*;
 use statleak_netlist::NodeId;
 use statleak_sta::Sta;
 use statleak_tech::{Design, VthClass};
@@ -235,13 +236,21 @@ pub fn deterministic_for_yield(
     // larger bands and keep the lowest nominal leakage among yield-passing
     // designs — nominal leakage being the deterministic flow's own
     // objective (it has no statistical leakage model to compare with).
+    // The probes are independent full runs, so they fan out on rayon; the
+    // ordered collect plus a serial fold with the original strict-< rule
+    // keeps the selection bit-identical to the sequential loop.
     let g_star = best.2;
-    for extra in [0.04, 0.08, 0.12] {
-        let g = (g_star + extra).min(g_max);
-        if let Some((d, r, y)) = evaluate(g) {
-            if y >= eta && r.final_nominal_leakage < best.1.final_nominal_leakage {
-                best = (d, r, g, y);
-            }
+    let extras: Vec<f64> = vec![0.04, 0.08, 0.12];
+    let probes: Vec<Option<(Design, DetReport, f64, f64)>> = extras
+        .into_par_iter()
+        .map(|extra| {
+            let g = (g_star + extra).min(g_max);
+            evaluate(g).map(|(d, r, y)| (d, r, g, y))
+        })
+        .collect();
+    for (d, r, g, y) in probes.into_iter().flatten() {
+        if y >= eta && r.final_nominal_leakage < best.1.final_nominal_leakage {
+            best = (d, r, g, y);
         }
     }
     Ok(DetYieldOutcome {

@@ -44,15 +44,16 @@ pub mod sizing;
 mod statistical;
 
 pub use deterministic::{
-    deterministic_for_yield, DeterministicOptimizer, DetReport, DetYieldOutcome,
+    deterministic_for_yield, DetReport, DetYieldOutcome, DeterministicOptimizer,
 };
 pub use lr_sizing::{size_lagrangian, LrConfig, LrReport};
 pub use sizing::SizeError;
 pub use statistical::{
-    statistical_flow, statistical_for_yield, Objective, StatReport, StatisticalOptimizer,
-    StatYieldOutcome, TracePoint,
+    statistical_flow, statistical_for_yield, Objective, StatReport, StatYieldOutcome,
+    StatisticalOptimizer, TracePoint,
 };
 
+use rayon::prelude::*;
 use statleak_netlist::NodeId;
 use statleak_tech::{cell, Design, VthClass};
 
@@ -90,14 +91,17 @@ pub(crate) fn vth_penalty(design: &Design, g: NodeId) -> f64 {
 /// leakage saving, then constrained moves ordered by saving per unit of
 /// slack shortfall. `slack_of` and `leak_of` are the analysis-specific
 /// slack and leakage measures.
+/// Scoring is read-only per candidate and fans out on rayon; the ordered
+/// collect plus the serial **stable** sort keep the final ranking
+/// bit-identical to fully-serial scoring for any thread count.
 pub(crate) fn rank_vth_candidates_by(
     candidates: &mut Vec<NodeId>,
-    penalty_of: impl Fn(NodeId) -> f64,
-    slack_of: impl Fn(NodeId) -> f64,
-    leak_of: impl Fn(NodeId) -> f64,
+    penalty_of: impl Fn(NodeId) -> f64 + Sync,
+    slack_of: impl Fn(NodeId) -> f64 + Sync,
+    leak_of: impl Fn(NodeId) -> f64 + Sync,
 ) {
     let mut scored: Vec<(NodeId, bool, f64)> = candidates
-        .iter()
+        .par_iter()
         .map(|&g| {
             let penalty = penalty_of(g);
             let slack = slack_of(g);
@@ -117,8 +121,8 @@ pub(crate) fn rank_vth_candidates_by(
 pub(crate) fn rank_vth_candidates(
     design: &Design,
     candidates: &mut Vec<NodeId>,
-    slack_of: impl Fn(NodeId) -> f64,
-    leak_of: impl Fn(NodeId) -> f64,
+    slack_of: impl Fn(NodeId) -> f64 + Sync,
+    leak_of: impl Fn(NodeId) -> f64 + Sync,
 ) {
     rank_vth_candidates_by(candidates, |g| vth_penalty(design, g), slack_of, leak_of);
 }

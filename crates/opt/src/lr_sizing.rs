@@ -140,10 +140,7 @@ pub fn size_lagrangian(design: &mut Design, cfg: &LrConfig) -> Result<LrReport, 
         let delay = sta.circuit_delay();
         if delay <= cfg.t_clk + 1e-9 {
             let width = design.total_width();
-            if best
-                .as_ref()
-                .map_or(true, |&(_, _, bw)| width < bw)
-            {
+            if best.as_ref().is_none_or(|&(_, _, bw)| width < bw) {
                 best = Some((design.clone(), delay, width));
             }
         }
@@ -151,7 +148,7 @@ pub fn size_lagrangian(design: &mut Design, cfg: &LrConfig) -> Result<LrReport, 
         let mut max_w: f64 = 0.0;
         for &g in &gates {
             let rel = -slacks.of(g) / cfg.t_clk; // >0 when violating
-            // Multiplicative update, capped per step for stability.
+                                                 // Multiplicative update, capped per step for stability.
             let factor = (cfg.kappa * rel).clamp(-0.5, 1.0).exp();
             weights[g.index()] = (weights[g.index()] * factor).max(1e-12);
             max_w = max_w.max(weights[g.index()]);

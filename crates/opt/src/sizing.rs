@@ -53,9 +53,7 @@ fn best_upsize_step(design: &mut Design, sta: &mut Sta) -> Option<f64> {
         let after = sta.circuit_delay();
         sta.undo(undo);
         design.set_size(g, old);
-        if after < before - 1e-12
-            && best.as_ref().map_or(true, |&(_, _, d)| after < d)
-        {
+        if after < before - 1e-12 && best.as_ref().is_none_or(|&(_, _, d)| after < d) {
             best = Some((g, up, after));
         }
     }
@@ -146,7 +144,7 @@ pub fn size_for_yield(
             let t_new = ssta.clock_for_yield(eta);
             ssta.undo(undo);
             design.set_size(g, old);
-            if t_new < t_eta - 1e-12 && best.as_ref().map_or(true, |&(_, _, bt)| t_new < bt) {
+            if t_new < t_eta - 1e-12 && best.as_ref().is_none_or(|&(_, _, bt)| t_new < bt) {
                 best = Some((g, up, t_new));
             }
         }

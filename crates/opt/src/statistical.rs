@@ -17,6 +17,7 @@
 //! effects push the result to strictly better leakage at equal yield.
 
 use crate::seeds_for_change;
+use rayon::prelude::*;
 use statleak_leakage::LeakageAnalysis;
 use statleak_netlist::NodeId;
 use statleak_ssta::Ssta;
@@ -184,8 +185,7 @@ impl StatisticalOptimizer {
             // shortfall. Statistical slack uses the mean backward pass
             // against the yield-equivalent clock. ---
             let t_eff = self.t_clk
-                - (ssta.clock_for_yield(floor.clamp(1e-9, 1.0 - 1e-9))
-                    - ssta.circuit_delay().mean);
+                - (ssta.clock_for_yield(floor.clamp(1e-9, 1.0 - 1e-9)) - ssta.circuit_delay().mean);
             let slacks = ssta.mean_slack(design, t_eff, 0.0);
             let mut candidates: Vec<NodeId> = design
                 .circuit()
@@ -333,30 +333,45 @@ pub fn statistical_flow(
     let t_clk = proto.t_clk;
     let eta = proto.yield_target;
     let z_eta = statleak_stats::phi_inv(eta);
+    // The seven margin points are independent end-to-end runs (each clones
+    // the base design), so they fan out on rayon. Results come back in
+    // margin order and the winner is picked by a serial fold with the same
+    // strict-< / earliest-margin tie-breaking as the historical loop, so
+    // the outcome is bit-identical for any thread count.
+    let margins: Vec<f64> = vec![0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0];
+    let runs: Vec<(f64, Result<StatYieldOutcome, crate::SizeError>)> = margins
+        .into_par_iter()
+        .map(|margin| {
+            let eta_sized = statleak_stats::phi(z_eta + margin).min(1.0 - 1e-9);
+            let mut d = base.clone();
+            let run = crate::sizing::size_for_yield(&mut d, fm, t_clk, eta_sized).map(|_| {
+                let report = proto.clone().optimize(&mut d, fm);
+                StatYieldOutcome {
+                    design: d,
+                    report,
+                    sizing_margin_sigma: margin,
+                }
+            });
+            (margin, run)
+        })
+        .collect();
     let mut best: Option<StatYieldOutcome> = None;
     let mut first_err = None;
-    for &margin in &[0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0] {
-        let eta_sized = statleak_stats::phi(z_eta + margin).min(1.0 - 1e-9);
-        let mut d = base.clone();
-        match crate::sizing::size_for_yield(&mut d, fm, t_clk, eta_sized) {
-            Ok(_) => {}
+    for (margin, run) in runs {
+        match run {
+            Ok(outcome) => {
+                let better = best
+                    .as_ref()
+                    .is_none_or(|b| outcome.report.final_objective < b.report.final_objective);
+                if better {
+                    best = Some(outcome);
+                }
+            }
             Err(e) => {
                 if margin == 0.0 {
                     first_err = Some(e);
                 }
-                continue;
             }
-        }
-        let report = proto.clone().optimize(&mut d, fm);
-        let better = best
-            .as_ref()
-            .map_or(true, |b| report.final_objective < b.report.final_objective);
-        if better {
-            best = Some(StatYieldOutcome {
-                design: d,
-                report,
-                sizing_margin_sigma: margin,
-            });
         }
     }
     match best {
@@ -496,7 +511,11 @@ mod tests {
 
         // Deterministic flow with its best possible guard band.
         let det = crate::deterministic_for_yield(&base, &fm, t, eta, 6).unwrap();
-        assert!(det.achieved_yield >= eta, "det yield {}", det.achieved_yield);
+        assert!(
+            det.achieved_yield >= eta,
+            "det yield {}",
+            det.achieved_yield
+        );
         let p95_det = statleak_leakage::LeakageAnalysis::analyze(&det.design, &fm)
             .total_power(&det.design)
             .quantile(0.95);
@@ -534,6 +553,38 @@ mod tests {
 
         let swept = statistical_for_yield(&base, &fm, t, eta).unwrap();
         assert!(swept.report.final_objective <= r_single.final_objective + 1e-15);
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial_bitwise() {
+        // The margin sweep fans out on rayon; the ordered collect plus the
+        // serial winner fold must make the outcome bit-identical to a
+        // single-threaded run — whole-design assert_eq!, no tolerance.
+        let circuit = Arc::new(benchmarks::by_name("c432").unwrap());
+        let placement = Placement::by_level(&circuit);
+        let tech = Technology::ptm100();
+        let fm =
+            FactorModel::build(&circuit, &placement, &tech, &VariationConfig::ptm100()).unwrap();
+        let base = Design::new(circuit, tech);
+        let dmin = sizing::min_delay_estimate(&base);
+        let t = dmin * 1.20;
+        let eta = 0.95;
+
+        let run = |threads: usize| {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("pool")
+                .install(|| statistical_for_yield(&base, &fm, t, eta).unwrap())
+        };
+        let serial = run(1);
+        let par4 = run(4);
+        // 3 threads forces uneven chunks over the 7 margin points.
+        let par3 = run(3);
+        assert_eq!(serial.sizing_margin_sigma, par4.sizing_margin_sigma);
+        assert_eq!(serial.report, par4.report);
+        assert_eq!(serial.design, par4.design);
+        assert_eq!(serial, par3);
     }
 
     #[test]

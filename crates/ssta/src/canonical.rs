@@ -81,6 +81,21 @@ impl Canonical {
         Canonical::new(self.mean + other.mean, shared, local)
     }
 
+    /// In-place sum: `self = self + other` without allocating a new shared
+    /// vector. Bit-identical to [`Canonical::add`] — every intermediate is
+    /// computed with the same expressions in the same order — so callers
+    /// may mix the two freely without perturbing results.
+    pub fn add_assign(&mut self, other: &Canonical) {
+        debug_assert_eq!(self.shared.len(), other.shared.len());
+        for (a, b) in self.shared.iter_mut().zip(&other.shared) {
+            *a += *b;
+        }
+        let local = (self.local * self.local + other.local * other.local).sqrt();
+        self.mean += other.mean;
+        self.local = local;
+        self.variance = self.shared.iter().map(|a| a * a).sum::<f64>() + local * local;
+    }
+
     /// Statistical maximum via Clark's approximation, re-canonicalized by
     /// tightness-probability blending of the shared sensitivities; the
     /// local term absorbs whatever variance the blend does not explain.
@@ -103,6 +118,46 @@ impl Canonical {
             local,
             variance: (shared_var + local * local).max(r.variance),
         }
+    }
+
+    /// In-place statistical maximum: `self = max(self, other)` without
+    /// allocating. Bit-identical to [`Canonical::stat_max`]: the blended
+    /// sensitivities and their variance are accumulated in the same order
+    /// as the allocating version's two passes (`Σ sᵢ²` is a left fold
+    /// either way), so results match to the last ulp.
+    pub fn stat_max_into(&mut self, other: &Canonical) {
+        debug_assert_eq!(self.shared.len(), other.shared.len());
+        let cov = self.covariance(other);
+        let r = clark_max(self.mean, self.variance, other.mean, other.variance, cov);
+        let t = r.tightness;
+        let mut shared_var = 0.0;
+        for (a, b) in self.shared.iter_mut().zip(&other.shared) {
+            let s = t * *a + (1.0 - t) * *b;
+            *a = s;
+            shared_var += s * s;
+        }
+        let local = (r.variance - shared_var).max(0.0).sqrt();
+        self.mean = r.mean;
+        self.local = local;
+        self.variance = (shared_var + local * local).max(r.variance);
+    }
+
+    /// Resets the form to a deterministic constant, keeping the shared
+    /// vector's allocation (all sensitivities zeroed).
+    pub fn set_constant(&mut self, value: f64) {
+        self.mean = value;
+        self.shared.fill(0.0);
+        self.local = 0.0;
+        self.variance = 0.0;
+    }
+
+    /// Copies `other` into `self`, reusing `self`'s shared allocation.
+    pub fn clone_from_canonical(&mut self, other: &Canonical) {
+        self.mean = other.mean;
+        self.shared.clear();
+        self.shared.extend_from_slice(&other.shared);
+        self.local = other.local;
+        self.variance = other.variance;
     }
 
     /// Collapses the canonical form to a plain Gaussian.
@@ -197,7 +252,7 @@ mod tests {
         let n = 200_000;
         let mut sum = 0.0;
         let mut sum2 = 0.0;
-        let mut draw = |rng: &mut rand::rngs::StdRng| {
+        let draw = |rng: &mut rand::rngs::StdRng| {
             let u1: f64 = rng.gen_range(1e-12..1.0);
             let u2: f64 = rng.gen_range(0.0..1.0);
             (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
@@ -227,5 +282,46 @@ mod tests {
     #[should_panic(expected = "local sigma must be non-negative")]
     fn negative_local_rejected() {
         let _ = Canonical::new(0.0, vec![], -1.0);
+    }
+
+    #[test]
+    fn add_assign_bit_identical_to_add() {
+        let a = canon(1.25, &[0.1, -0.2, 0.37], 0.3);
+        let b = canon(2.75, &[0.3, 0.11, -0.05], 0.4);
+        let expected = a.add(&b);
+        let mut got = a.clone();
+        got.add_assign(&b);
+        assert_eq!(got, expected); // exact f64 equality, not approximate
+    }
+
+    #[test]
+    fn stat_max_into_bit_identical_to_stat_max() {
+        // Exercise both dominance regimes and a near-tie.
+        let cases = [
+            (canon(10.0, &[0.8, 0.2], 0.3), canon(10.5, &[0.3, 0.6], 0.4)),
+            (canon(100.0, &[1.0, 0.0], 0.5), canon(0.0, &[0.2, 0.1], 0.5)),
+            (canon(3.0, &[0.5, 0.1], 0.2), canon(3.0, &[0.5, 0.1], 0.2)),
+        ];
+        for (a, b) in cases {
+            let expected = a.stat_max(&b);
+            let mut got = a.clone();
+            got.stat_max_into(&b);
+            assert_eq!(got, expected, "max({a}, {b})");
+        }
+    }
+
+    #[test]
+    fn set_constant_keeps_width_clears_moments() {
+        let mut c = canon(9.0, &[0.4, 0.2], 0.7);
+        c.set_constant(1.5);
+        assert_eq!(c, Canonical::constant(1.5, 2));
+    }
+
+    #[test]
+    fn clone_from_canonical_copies_exactly() {
+        let src = canon(4.0, &[0.6, -0.3], 0.2);
+        let mut dst = Canonical::constant(0.0, 2);
+        dst.clone_from_canonical(&src);
+        assert_eq!(dst, src);
     }
 }

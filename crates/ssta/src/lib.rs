@@ -46,12 +46,25 @@ mod canonical;
 
 pub use canonical::Canonical;
 
-use statleak_netlist::{Circuit, NodeId};
+use statleak_netlist::{Circuit, ConeScratch, NodeId};
 use statleak_stats::phi;
 use statleak_tech::{cell, Design, FactorModel};
 
 /// Builds the canonical delay of one gate from the factor model.
 pub fn gate_delay_canonical(design: &Design, fm: &FactorModel, id: NodeId) -> Canonical {
+    let mut out = Canonical::constant(0.0, fm.num_shared());
+    gate_delay_canonical_into(design, fm, id, &mut out);
+    out
+}
+
+/// Writes the canonical delay of one gate into `out`, reusing its shared
+/// allocation. Bit-identical to [`gate_delay_canonical`].
+pub fn gate_delay_canonical_into(
+    design: &Design,
+    fm: &FactorModel,
+    id: NodeId,
+    out: &mut Canonical,
+) {
     let node = design.circuit().node(id);
     debug_assert!(node.kind.is_gate(), "inputs have no delay");
     let (d, dd_dl, dd_dvth) = cell::delay_sensitivities(
@@ -62,16 +75,33 @@ pub fn gate_delay_canonical(design: &Design, fm: &FactorModel, id: NodeId) -> Ca
         design.vth(id),
         design.load_cap(id),
     );
-    let shared: Vec<f64> = fm.l_shared(id).iter().map(|a| dd_dl * a).collect();
-    let local = ((dd_dl * fm.l_local(id)).powi(2) + (dd_dvth * fm.vth_local(id)).powi(2)).sqrt();
-    Canonical::new(d, shared, local)
+    out.mean = d;
+    out.shared.clear();
+    out.shared.extend(fm.l_shared(id).iter().map(|a| dd_dl * a));
+    out.local = ((dd_dl * fm.l_local(id)).powi(2) + (dd_dvth * fm.vth_local(id)).powi(2)).sqrt();
+    out.variance = out.shared.iter().map(|a| a * a).sum::<f64>() + out.local * out.local;
 }
 
 /// Statistical arrival-time state for one design.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Besides the timing state proper (`arrival`, `circuit_delay`), the
+/// struct owns reusable scratch buffers so per-move incremental updates
+/// touch only the affected cone and perform no full-circuit allocation.
+/// Equality ([`PartialEq`]) compares only the timing state — scratch
+/// contents are incidental.
+#[derive(Debug, Clone)]
 pub struct Ssta {
     arrival: Vec<Canonical>,
     circuit_delay: Canonical,
+    scratch: ConeScratch,
+    work: Canonical,
+    delay_work: Canonical,
+}
+
+impl PartialEq for Ssta {
+    fn eq(&self, other: &Self) -> bool {
+        self.arrival == other.arrival && self.circuit_delay == other.circuit_delay
+    }
 }
 
 /// Undo log for [`Ssta::recompute_cone`].
@@ -97,6 +127,9 @@ impl Ssta {
         Self {
             arrival,
             circuit_delay,
+            scratch: ConeScratch::new(),
+            work: Canonical::constant(0.0, fm.num_shared()),
+            delay_work: Canonical::constant(0.0, fm.num_shared()),
         }
     }
 
@@ -106,20 +139,40 @@ impl Ssta {
         arrival: &[Canonical],
         id: NodeId,
     ) -> Canonical {
-        let node = design.circuit().node(id);
-        let mut worst: Option<Canonical> = None;
-        for &f in &node.fanin {
-            let a = &arrival[f.index()];
-            worst = Some(match worst {
-                None => a.clone(),
-                Some(w) => w.stat_max(a),
-            });
-        }
-        let worst = worst.expect("gates have fanin");
-        worst.add(&gate_delay_canonical(design, fm, id))
+        let mut out = Canonical::constant(0.0, fm.num_shared());
+        let mut delay = Canonical::constant(0.0, fm.num_shared());
+        Self::gate_arrival_into(design, fm, arrival, id, &mut out, &mut delay);
+        out
     }
 
-    fn max_output_arrival(circuit: &Circuit, arrival: &[Canonical], num_shared: usize) -> Canonical {
+    /// Computes a gate's canonical arrival into `out` using only in-place
+    /// canonical ops; `delay` is a second scratch for the gate's own delay.
+    /// The fold order (fanin list order, accumulator first) matches the
+    /// historical allocating implementation, so results are bit-identical.
+    fn gate_arrival_into(
+        design: &Design,
+        fm: &FactorModel,
+        arrival: &[Canonical],
+        id: NodeId,
+        out: &mut Canonical,
+        delay: &mut Canonical,
+    ) {
+        let node = design.circuit().node(id);
+        let mut fanin = node.fanin.iter();
+        let first = fanin.next().expect("gates have fanin");
+        out.clone_from_canonical(&arrival[first.index()]);
+        for &f in fanin {
+            out.stat_max_into(&arrival[f.index()]);
+        }
+        gate_delay_canonical_into(design, fm, id, delay);
+        out.add_assign(delay);
+    }
+
+    fn max_output_arrival(
+        circuit: &Circuit,
+        arrival: &[Canonical],
+        num_shared: usize,
+    ) -> Canonical {
         let mut worst = Canonical::constant(0.0, num_shared);
         for &o in circuit.outputs() {
             worst = worst.stat_max(&arrival[o.index()]);
@@ -163,6 +216,13 @@ impl Ssta {
     /// `seeds`, returning an undo log (same seed contract as the
     /// deterministic `Sta::recompute_cone`: include every node whose own
     /// delay may have changed).
+    ///
+    /// Incremental: the owned [`ConeScratch`] collects only cone nodes
+    /// (epoch-stamped visited marks, sorted by topological rank), so cost
+    /// scales with the cone, not the circuit. The output fold is skipped
+    /// entirely when no primary output's arrival changed — in that case
+    /// the stat-max over outputs would reproduce the cached value bit for
+    /// bit, since it reads nothing else.
     pub fn recompute_cone(
         &mut self,
         design: &Design,
@@ -170,34 +230,35 @@ impl Ssta {
         seeds: &[NodeId],
     ) -> SstaUndo {
         let circuit = design.circuit();
-        let mut marked = vec![false; circuit.num_nodes()];
-        let mut stack: Vec<NodeId> = seeds.to_vec();
-        while let Some(u) = stack.pop() {
-            if marked[u.index()] {
-                continue;
-            }
-            marked[u.index()] = true;
-            for &v in &circuit.node(u).fanout {
-                if !marked[v.index()] {
-                    stack.push(v);
-                }
-            }
-        }
+        circuit.collect_fanout_cone(seeds, &mut self.scratch);
         let mut undo = SstaUndo {
             changed: Vec::new(),
             old_circuit_delay: self.circuit_delay.clone(),
         };
-        for &id in circuit.topo_order() {
-            if !marked[id.index()] || !circuit.node(id).kind.is_gate() {
+        let mut output_changed = false;
+        for &id in self.scratch.cone() {
+            if !circuit.node(id).kind.is_gate() {
                 continue;
             }
-            let new = Self::gate_arrival(design, fm, &self.arrival, id);
-            if new != self.arrival[id.index()] {
-                undo.changed
-                    .push((id.0, std::mem::replace(&mut self.arrival[id.index()], new)));
+            Self::gate_arrival_into(
+                design,
+                fm,
+                &self.arrival,
+                id,
+                &mut self.work,
+                &mut self.delay_work,
+            );
+            if self.work != self.arrival[id.index()] {
+                output_changed |= circuit.is_output(id);
+                undo.changed.push((
+                    id.0,
+                    std::mem::replace(&mut self.arrival[id.index()], self.work.clone()),
+                ));
             }
         }
-        self.circuit_delay = Self::max_output_arrival(circuit, &self.arrival, fm.num_shared());
+        if output_changed {
+            self.circuit_delay = Self::max_output_arrival(circuit, &self.arrival, fm.num_shared());
+        }
         undo
     }
 
@@ -494,9 +555,13 @@ mod tests {
         let tech = Technology::ptm100();
         let cfg = VariationConfig::ptm100();
         let fm_corr = FactorModel::build(&circuit, &placement, &tech, &cfg).unwrap();
-        let fm_ind =
-            FactorModel::build(&circuit, &placement, &tech, &cfg.without_spatial_correlation())
-                .unwrap();
+        let fm_ind = FactorModel::build(
+            &circuit,
+            &placement,
+            &tech,
+            &cfg.without_spatial_correlation(),
+        )
+        .unwrap();
         let d = Design::new(circuit, tech);
         let v_corr = Ssta::analyze(&d, &fm_corr).circuit_delay().variance;
         let v_ind = Ssta::analyze(&d, &fm_ind).circuit_delay().variance;
@@ -515,8 +580,8 @@ mod criticality_tests {
         let circuit = Arc::new(benchmarks::by_name(name).unwrap());
         let placement = Placement::by_level(&circuit);
         let tech = Technology::ptm100();
-        let fm = FactorModel::build(&circuit, &placement, &tech, &VariationConfig::ptm100())
-            .unwrap();
+        let fm =
+            FactorModel::build(&circuit, &placement, &tech, &VariationConfig::ptm100()).unwrap();
         (Design::new(circuit, tech), fm)
     }
 
@@ -530,8 +595,14 @@ mod criticality_tests {
         let pts = ssta.path_through(&d, &fm);
         let cd = ssta.circuit_delay().mean;
         let best = pts.iter().map(|p| p.mean).fold(0.0, f64::max);
-        assert!(best <= cd * 1.02, "best path-through {best} vs circuit {cd}");
-        assert!(best >= cd * 0.98, "best path-through {best} vs circuit {cd}");
+        assert!(
+            best <= cd * 1.02,
+            "best path-through {best} vs circuit {cd}"
+        );
+        assert!(
+            best >= cd * 0.98,
+            "best path-through {best} vs circuit {cd}"
+        );
     }
 
     #[test]

@@ -54,8 +54,8 @@ proptest! {
     }
 }
 
-/// Random small circuits: incremental SSTA must match a fresh analysis
-/// after arbitrary Vth/size mutations.
+// Random small circuits: incremental SSTA must match a fresh analysis
+// after arbitrary Vth/size mutations, and undo must restore state exactly.
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
@@ -102,6 +102,55 @@ proptest! {
         let b = full.circuit_delay();
         prop_assert!((a.mean - b.mean).abs() < 1e-9, "mean {} vs {}", a.mean, b.mean);
         prop_assert!((a.variance - b.variance).abs() < 1e-9);
+    }
+
+    #[test]
+    fn undo_chain_restores_exactly_after_random_moves(
+        seed in 0u64..500,
+        moves in prop::collection::vec((0usize..30, 0usize..4), 1..8),
+    ) {
+        // Apply a random move sequence with incremental recomputes, then
+        // unwind the undo stack: the timing state must come back bit-exact
+        // (assert_eq!, no tolerance) — the contract the greedy optimizers
+        // rely on when they reject a move.
+        let mut spec = GenSpec::new(format!("ssta_undo{seed}"), 6, 3, 30, 6);
+        spec.seed = seed;
+        let circuit = Arc::new(generate(&spec));
+        let placement = Placement::by_level(&circuit);
+        let tech = Technology::ptm100();
+        let fm = FactorModel::build(&circuit, &placement, &tech, &VariationConfig::ptm100())
+            .expect("factors");
+        let mut design = Design::new(circuit, tech);
+        let mut ssta = Ssta::analyze(&design, &fm);
+        let snapshot = ssta.clone();
+
+        let gates: Vec<_> = design.circuit().gates().collect();
+        let mut undos = Vec::new();
+        for (gi, action) in moves {
+            let g = gates[gi % gates.len()];
+            let mut seeds = vec![g];
+            match action {
+                0 => design.set_vth(g, VthClass::High),
+                1 => design.set_vth(g, VthClass::Low),
+                2 => {
+                    if let Some(up) = design.tech().size_up(design.size(g)) {
+                        design.set_size(g, up);
+                    }
+                    seeds.extend(design.circuit().node(g).fanin.clone());
+                }
+                _ => {
+                    if let Some(down) = design.tech().size_down(design.size(g)) {
+                        design.set_size(g, down);
+                    }
+                    seeds.extend(design.circuit().node(g).fanin.clone());
+                }
+            }
+            undos.push(ssta.recompute_cone(&design, &fm, &seeds));
+        }
+        for undo in undos.into_iter().rev() {
+            ssta.undo(undo);
+        }
+        prop_assert!(ssta == snapshot, "undo chain must restore the exact state");
     }
 
     #[test]

@@ -31,14 +31,26 @@ pub mod slew;
 
 pub use slew::SlewSta;
 
-use statleak_netlist::{Circuit, NodeId};
+use statleak_netlist::{Circuit, ConeScratch, NodeId};
 use statleak_tech::Design;
 
 /// Deterministic arrival-time state for one design.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Owns a reusable [`ConeScratch`] so incremental cone updates neither
+/// allocate a full-circuit visited array nor scan the whole topological
+/// order. Equality compares only the timing state (arrivals and circuit
+/// delay); the scratch is incidental.
+#[derive(Debug, Clone)]
 pub struct Sta {
     arrival: Vec<f64>,
     circuit_delay: f64,
+    scratch: ConeScratch,
+}
+
+impl PartialEq for Sta {
+    fn eq(&self, other: &Self) -> bool {
+        self.arrival == other.arrival && self.circuit_delay == other.circuit_delay
+    }
 }
 
 /// Undo log returned by [`Sta::recompute_cone`]; pass to [`Sta::undo`] to
@@ -64,6 +76,7 @@ impl Sta {
         Self {
             arrival,
             circuit_delay,
+            scratch: ConeScratch::new(),
         }
     }
 
@@ -106,35 +119,29 @@ impl Sta {
     /// plus `g`'s fanin drivers (their load changed).
     pub fn recompute_cone(&mut self, design: &Design, seeds: &[NodeId]) -> StaUndo {
         let circuit = design.circuit();
-        let mut marked = vec![false; circuit.num_nodes()];
-        let mut stack: Vec<NodeId> = seeds.to_vec();
-        while let Some(u) = stack.pop() {
-            if marked[u.index()] {
-                continue;
-            }
-            marked[u.index()] = true;
-            for &v in &circuit.node(u).fanout {
-                if !marked[v.index()] {
-                    stack.push(v);
-                }
-            }
-        }
+        circuit.collect_fanout_cone(seeds, &mut self.scratch);
         let mut undo = StaUndo {
             changed: Vec::new(),
             old_circuit_delay: self.circuit_delay,
         };
-        for &id in circuit.topo_order() {
-            if !marked[id.index()] || !circuit.node(id).kind.is_gate() {
+        let mut output_changed = false;
+        for &id in self.scratch.cone() {
+            if !circuit.node(id).kind.is_gate() {
                 continue;
             }
             let new = Self::gate_arrival(design, &self.arrival, id);
             let old = self.arrival[id.index()];
             if new != old {
+                output_changed |= circuit.is_output(id);
                 undo.changed.push((id.0, old));
                 self.arrival[id.index()] = new;
             }
         }
-        self.circuit_delay = Self::max_output_arrival(circuit, &self.arrival);
+        // The output max reads only output arrivals; when none changed it
+        // would reproduce the cached value exactly, so skip the fold.
+        if output_changed {
+            self.circuit_delay = Self::max_output_arrival(circuit, &self.arrival);
+        }
         undo
     }
 
@@ -172,9 +179,7 @@ impl Sta {
                 }
             }
         }
-        let slack = (0..n)
-            .map(|i| required[i] - self.arrival[i])
-            .collect();
+        let slack = (0..n).map(|i| required[i] - self.arrival[i]).collect();
         Slacks { required, slack }
     }
 
@@ -190,7 +195,8 @@ impl Sta {
             .expect("circuits have outputs");
         let mut path = vec![cur];
         while circuit.node(cur).kind.is_gate() {
-            let prev = circuit.node(cur)
+            let prev = circuit
+                .node(cur)
                 .fanin
                 .iter()
                 .copied()
@@ -348,20 +354,34 @@ mod tests {
         let path = sta.critical_path(&d);
         assert!(!d.circuit().node(*path.first().unwrap()).kind.is_gate());
         assert!(d.circuit().is_output(*path.last().unwrap()));
-        assert_eq!(path.len() - 1, d.circuit().stats().depth);
+        // The max-delay path is at most as deep as the deepest path (they
+        // need not coincide: a shallower path can carry more delay).
+        let gates_on_path = path.len() - 1;
+        assert!(gates_on_path >= 1);
+        assert!(gates_on_path <= d.circuit().stats().depth);
+        // Consecutive path nodes must be wired: each node drives the next.
+        for w in path.windows(2) {
+            assert!(d.circuit().node(w[1]).fanin.contains(&w[0]));
+        }
     }
 
     #[test]
     fn upsizing_critical_gate_reduces_delay() {
-        let mut d = design("c880");
+        let d = design("c880");
         let sta = Sta::analyze(&d);
         let path = sta.critical_path(&d);
-        // Pick a mid-path gate and upsize it.
-        let g = path[path.len() / 2];
-        assert!(d.circuit().node(g).kind.is_gate());
-        d.set_size(g, 4.0);
-        let after = Sta::analyze(&d).circuit_delay();
-        assert!(after < sta.circuit_delay());
+        // Upsizing one critical gate cuts its own delay but loads its
+        // drivers, so no single fixed pick is guaranteed to win; sizing
+        // leverage means *some* critical gate must win.
+        let improved = path
+            .iter()
+            .filter(|&&g| d.circuit().node(g).kind.is_gate())
+            .any(|&g| {
+                let mut trial = d.clone();
+                trial.set_size(g, 4.0);
+                Sta::analyze(&trial).circuit_delay() < sta.circuit_delay()
+            });
+        assert!(improved, "no critical-path upsize reduced circuit delay");
     }
 }
 

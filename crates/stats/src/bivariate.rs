@@ -18,7 +18,7 @@ const GL_X: [f64; 10] = [
     0.636_053_680_726_515_1,
     0.746_331_906_460_150_8,
     0.839_116_971_822_218_8,
-    0.912_234_428_251_325_9,
+    0.912_234_428_251_326,
     0.963_971_927_277_913_8,
     0.993_128_599_185_094_9,
 ];
@@ -53,7 +53,10 @@ const GL_W: [f64; 10] = [
 /// ```
 pub fn bivariate_normal_cdf(x: f64, y: f64, rho: f64) -> f64 {
     assert!(!x.is_nan() && !y.is_nan(), "inputs must not be NaN");
-    assert!((-1.0..=1.0).contains(&rho), "rho must be in [-1,1], got {rho}");
+    assert!(
+        (-1.0..=1.0).contains(&rho),
+        "rho must be in [-1,1], got {rho}"
+    );
 
     // Perfect-correlation limits are exact.
     if rho >= 1.0 - 1e-15 {

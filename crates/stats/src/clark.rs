@@ -79,7 +79,10 @@ pub fn clark_max(mean_a: f64, var_a: f64, mean_b: f64, var_b: f64, cov: f64) -> 
 ///
 /// Panics if `items` is empty.
 pub fn clark_max_many(items: &[(f64, f64)]) -> (f64, f64) {
-    assert!(!items.is_empty(), "clark_max_many requires at least one item");
+    assert!(
+        !items.is_empty(),
+        "clark_max_many requires at least one item"
+    );
     let (mut m, mut v) = items[0];
     for &(mi, vi) in &items[1..] {
         let r = clark_max(m, v, mi, vi, 0.0);
@@ -149,7 +152,12 @@ mod tests {
         let var = sum2 / n as f64 - mean * mean;
         let r = clark_max(ma, sa * sa, mb, sb * sb, 0.0);
         assert!((r.mean - mean).abs() < 0.02, "mean {} vs {}", r.mean, mean);
-        assert!((r.variance - var).abs() < 0.05, "var {} vs {}", r.variance, var);
+        assert!(
+            (r.variance - var).abs() < 0.05,
+            "var {} vs {}",
+            r.variance,
+            var
+        );
     }
 
     #[test]

@@ -81,16 +81,13 @@ pub fn phi(x: f64) -> f64 {
 /// assert!((z - 1.959963984540054).abs() < 1e-6);
 /// ```
 pub fn phi_inv(p: f64) -> f64 {
-    assert!(
-        p > 0.0 && p < 1.0,
-        "phi_inv requires p in (0,1), got {p}"
-    );
+    assert!(p > 0.0 && p < 1.0, "phi_inv requires p in (0,1), got {p}");
     // Coefficients for Acklam's algorithm.
     const A: [f64; 6] = [
         -3.969_683_028_665_376e1,
         2.209_460_984_245_205e2,
         -2.759_285_104_469_687e2,
-        1.383_577_518_672_690e2,
+        1.383_577_518_672_69e2,
         -3.066_479_806_614_716e1,
         2.506_628_277_459_239,
     ];

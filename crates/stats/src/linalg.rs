@@ -42,7 +42,13 @@ impl Matrix {
     ///
     /// Panics if `data.len() != n * n`.
     pub fn from_rows(n: usize, data: Vec<f64>) -> Self {
-        assert_eq!(data.len(), n * n, "expected {} entries, got {}", n * n, data.len());
+        assert_eq!(
+            data.len(),
+            n * n,
+            "expected {} entries, got {}",
+            n * n,
+            data.len()
+        );
         Self { n, data }
     }
 
@@ -58,7 +64,12 @@ impl Matrix {
     ///
     /// Panics if `i >= n`.
     pub fn row(&self, i: usize) -> &[f64] {
-        assert!(i < self.n, "row {i} out of bounds for {}x{} matrix", self.n, self.n);
+        assert!(
+            i < self.n,
+            "row {i} out of bounds for {}x{} matrix",
+            self.n,
+            self.n
+        );
         &self.data[i * self.n..(i + 1) * self.n]
     }
 
@@ -192,10 +203,7 @@ mod tests {
 
     #[test]
     fn cholesky_reconstructs() {
-        let a = Matrix::from_rows(
-            3,
-            vec![4.0, 2.0, 0.6, 2.0, 5.0, 1.0, 0.6, 1.0, 3.0],
-        );
+        let a = Matrix::from_rows(3, vec![4.0, 2.0, 0.6, 2.0, 5.0, 1.0, 0.6, 1.0, 3.0]);
         let l = cholesky(&a).expect("positive definite");
         assert!(l.mul_transpose().max_abs_diff(&a) < 1e-12);
     }

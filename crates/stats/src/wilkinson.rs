@@ -28,8 +28,7 @@ pub struct LognormalTerm {
 impl LognormalTerm {
     /// Total ln-space variance of this term.
     pub fn ln_variance(&self) -> f64 {
-        self.factor_coeffs.iter().map(|a| a * a).sum::<f64>()
-            + self.local_coeff * self.local_coeff
+        self.factor_coeffs.iter().map(|a| a * a).sum::<f64>() + self.local_coeff * self.local_coeff
     }
 
     /// ln-space covariance with another term (only shared factors
@@ -73,7 +72,10 @@ impl LognormalTerm {
 /// assert!((sum.mean() - t.mean()).abs() < 1e-12);
 /// ```
 pub fn wilkinson_sum(terms: &[LognormalTerm]) -> LogNormal {
-    assert!(!terms.is_empty(), "wilkinson_sum requires at least one term");
+    assert!(
+        !terms.is_empty(),
+        "wilkinson_sum requires at least one term"
+    );
     let means: Vec<f64> = terms.iter().map(LognormalTerm::mean).collect();
     let total_mean: f64 = means.iter().sum();
 

@@ -65,6 +65,9 @@ pub fn input_cap(tech: &Technology, size: f64) -> f64 {
 /// # Panics
 ///
 /// Panics (debug) if called for [`GateKind::Input`].
+// The argument list mirrors the physical model's parameter vector; bundling
+// it into a struct would just move the same eight names one level down.
+#[allow(clippy::too_many_arguments)]
 pub fn gate_delay(
     tech: &Technology,
     kind: GateKind,
@@ -79,11 +82,7 @@ pub fn gate_delay(
     let vth_eff = tech.vth(vth_class) + tech.vth_l_coeff * delta_l_rel + delta_vth_rand;
     let overdrive = (tech.vdd - vth_eff).max(0.05 * tech.vdd);
     let c_total = tech.c_par * size + c_load;
-    tech.k_delay
-        * stack_resistance(kind, fanin)
-        * (1.0 + delta_l_rel)
-        * c_total
-        * tech.vdd
+    tech.k_delay * stack_resistance(kind, fanin) * (1.0 + delta_l_rel) * c_total * tech.vdd
         / (size * overdrive.powf(tech.alpha))
 }
 
@@ -230,7 +229,10 @@ mod tests {
             - gate_delay(&t, GateKind::Nand, 3, 2.0, VthClass::Low, 12.0, 0.0, -h))
             / (2.0 * h);
         assert!((dd_dl - fd_l).abs() / d < 1e-4, "dl: {dd_dl} vs {fd_l}");
-        assert!((dd_dvth - fd_v).abs() / dd_dvth.abs() < 1e-4, "dvth: {dd_dvth} vs {fd_v}");
+        assert!(
+            (dd_dvth - fd_v).abs() / dd_dvth.abs() < 1e-4,
+            "dvth: {dd_dvth} vs {fd_v}"
+        );
     }
 
     #[test]

@@ -89,10 +89,7 @@ impl Design {
     /// Panics if `size` is not in the technology's discrete size set.
     pub fn set_size(&mut self, id: NodeId, size: f64) {
         assert!(
-            self.tech
-                .sizes
-                .iter()
-                .any(|&s| (s - size).abs() < 1e-9),
+            self.tech.sizes.iter().any(|&s| (s - size).abs() < 1e-9),
             "size {size} not in the discrete size set"
         );
         self.sizes[id.index()] = size;

@@ -117,13 +117,13 @@ pub fn export(tech: &Technology, library_name: &str) -> String {
                 for vth in [VthClass::Low, VthClass::High] {
                     let c = characterize(tech, kind, base, fanin, size, vth);
                     out.push_str(&format!("  cell ({}) {{\n", c.name));
-                    out.push_str(&format!(
-                        "    cell_leakage_power : {:.6};\n",
-                        c.leakage_nw
-                    ));
+                    out.push_str(&format!("    cell_leakage_power : {:.6};\n", c.leakage_nw));
                     out.push_str(&format!("    drive_size : {};\n", c.size));
                     out.push_str(&format!("    fanin_count : {};\n", c.fanin));
-                    out.push_str(&format!("    function_kind : {};\n", c.kind.bench_keyword()));
+                    out.push_str(&format!(
+                        "    function_kind : {};\n",
+                        c.kind.bench_keyword()
+                    ));
                     out.push_str(&format!("    threshold_flavor : {};\n", vth_suffix(c.vth)));
                     out.push_str("    pin (A) {\n");
                     out.push_str("      direction : input;\n");
@@ -325,7 +325,8 @@ mod tests {
         let tech = Technology::ptm100();
         let c = characterize(&tech, GateKind::Nand, "NAND", 2, 2.0, VthClass::High);
         for load in [0.0, 5.0, 20.0, 50.0] {
-            let model = cell::gate_delay_nominal(&tech, GateKind::Nand, 2, 2.0, VthClass::High, load);
+            let model =
+                cell::gate_delay_nominal(&tech, GateKind::Nand, 2, 2.0, VthClass::High, load);
             let fit = c.intrinsic_ps + c.slope_ps_per_ff * load;
             assert!((model - fit).abs() < 1e-9, "load {load}");
         }

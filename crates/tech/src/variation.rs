@@ -277,13 +277,17 @@ impl FactorModel {
         // (16 cells), ... level `levels` (4^levels cells).
         let mut level_offset = vec![1usize; levels + 1];
         for l in 1..=levels {
-            level_offset[l] = level_offset[l - 1] + if l == 1 { 0 } else { 4usize.pow((l - 1) as u32) };
+            level_offset[l] = level_offset[l - 1]
+                + if l == 1 {
+                    0
+                } else {
+                    4usize.pow((l - 1) as u32)
+                };
         }
         let num_shared = level_offset[levels] + 4usize.pow(levels as u32);
 
         let sigma_d2d = config.sigma_l_rel * config.frac_d2d.sqrt();
-        let sigma_sp_level =
-            config.sigma_l_rel * (config.frac_spatial / levels as f64).sqrt();
+        let sigma_sp_level = config.sigma_l_rel * (config.frac_spatial / levels as f64).sqrt();
         let sigma_local = config.sigma_l_rel * config.frac_local.sqrt();
 
         let n = circuit.num_nodes();
@@ -335,10 +339,7 @@ impl FactorModel {
 fn region_center(r: usize, g: usize) -> (f64, f64) {
     let row = r / g;
     let col = r % g;
-    (
-        (col as f64 + 0.5) / g as f64,
-        (row as f64 + 0.5) / g as f64,
-    )
+    ((col as f64 + 0.5) / g as f64, (row as f64 + 0.5) / g as f64)
 }
 
 /// Region index of a point in the unit square.
@@ -396,7 +397,10 @@ mod tests {
         let gates: Vec<_> = c.gates().collect();
         // Same region pair vs max-distance pair.
         let a = gates[0];
-        let same = gates.iter().copied().find(|&g| g != a && m.region(g) == m.region(a));
+        let same = gates
+            .iter()
+            .copied()
+            .find(|&g| g != a && m.region(g) == m.region(a));
         let far = gates
             .iter()
             .copied()
@@ -471,13 +475,10 @@ mod tests {
             .find(|&g| g != a && m.region(g) == m.region(a));
         // Find a gate in a different top-level quadrant.
         let (ax, ay) = p.position(a);
-        let far = gates
-            .iter()
-            .copied()
-            .find(|&g| {
-                let (x, y) = p.position(g);
-                (x < 0.5) != (ax < 0.5) && (y < 0.5) != (ay < 0.5)
-            });
+        let far = gates.iter().copied().find(|&g| {
+            let (x, y) = p.position(g);
+            (x < 0.5) != (ax < 0.5) && (y < 0.5) != (ay < 0.5)
+        });
         if let (Some(same), Some(far)) = (same, far) {
             assert!(m.l_correlation(a, same) > m.l_correlation(a, far));
         }

@@ -123,8 +123,16 @@ mod tests {
             .filter(|&(f, _)| f > 0)
             .collect();
         by_fanout.sort_by_key(|&(f, _)| f);
-        let small: Vec<f64> = by_fanout.iter().filter(|&&(f, _)| f == 1).map(|&(_, l)| l).collect();
-        let large: Vec<f64> = by_fanout.iter().filter(|&&(f, _)| f >= 4).map(|&(_, l)| l).collect();
+        let small: Vec<f64> = by_fanout
+            .iter()
+            .filter(|&&(f, _)| f == 1)
+            .map(|&(_, l)| l)
+            .collect();
+        let large: Vec<f64> = by_fanout
+            .iter()
+            .filter(|&&(f, _)| f >= 4)
+            .map(|&(_, l)| l)
+            .collect();
         if !small.is_empty() && !large.is_empty() {
             let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
             assert!(mean(&large) > mean(&small));
@@ -140,7 +148,10 @@ mod tests {
         let caps = wire_caps_from_placement(&circuit, &p, &WireModel::ptm100());
         d.set_wire_caps(caps);
         let after: f64 = circuit.gates().map(|g| d.load_cap(g)).sum();
-        assert!(after > before * 1.2, "wire load should be visible: {before} -> {after}");
+        assert!(
+            after > before * 1.2,
+            "wire load should be visible: {before} -> {after}"
+        );
     }
 
     #[test]

@@ -55,6 +55,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The worst register-to-register path, sign-off style.
     let sta = Sta::analyze(&out.design);
-    println!("\nworst path:\n{}", timing_report(&out.design, &sta, t_clk, 1));
+    println!(
+        "\nworst path:\n{}",
+        timing_report(&out.design, &sta, t_clk, 1)
+    );
     Ok(())
 }

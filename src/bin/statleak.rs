@@ -89,8 +89,7 @@ fn load_circuit(args: &[String]) -> Result<Circuit, Box<dyn std::error::Error>> 
     if let Some(c) = benchmarks::by_name(input) {
         return Ok(c);
     }
-    let text = std::fs::read_to_string(input)
-        .map_err(|e| format!("cannot read `{input}`: {e}"))?;
+    let text = std::fs::read_to_string(input).map_err(|e| format!("cannot read `{input}`: {e}"))?;
     let stem = std::path::Path::new(input)
         .file_stem()
         .and_then(|s| s.to_str())
@@ -102,9 +101,7 @@ fn load_circuit(args: &[String]) -> Result<Circuit, Box<dyn std::error::Error>> 
     }
 }
 
-fn build_context(
-    circuit: Circuit,
-) -> Result<(Design, FactorModel), Box<dyn std::error::Error>> {
+fn build_context(circuit: Circuit) -> Result<(Design, FactorModel), Box<dyn std::error::Error>> {
     let circuit = Arc::new(circuit);
     let placement = Placement::by_level(&circuit);
     let tech = Technology::ptm100();
@@ -141,7 +138,11 @@ fn cmd_analyze(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let slew = SlewSta::analyze(&design);
     let ssta = Ssta::analyze(&design, &fm);
     let power = LeakageAnalysis::analyze(&design, &fm).total_power(&design);
-    println!("nominal delay      : {:.1} ps (slew-aware {:.1} ps)", sta.circuit_delay(), slew.circuit_delay());
+    println!(
+        "nominal delay      : {:.1} ps (slew-aware {:.1} ps)",
+        sta.circuit_delay(),
+        slew.circuit_delay()
+    );
     println!(
         "statistical delay  : {:.1} ps mean, {:.1} ps sigma",
         ssta.circuit_delay().mean,

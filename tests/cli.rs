@@ -52,7 +52,11 @@ fn optimize_writes_netlists() {
         "--out-bench",
         b_path.to_str().unwrap(),
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     // Both outputs parse back to the same structure.
     let v = std::fs::read_to_string(&v_path).unwrap();
     let b = std::fs::read_to_string(&b_path).unwrap();
@@ -69,7 +73,11 @@ fn analyze_accepts_bench_file() {
     let path = dir.join("tiny.bench");
     std::fs::write(&path, "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NAND(a, b)\n").unwrap();
     let out = statleak(&["analyze", "--input", path.to_str().unwrap()]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("1 gates"));
 }
 

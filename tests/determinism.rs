@@ -32,8 +32,7 @@ fn monte_carlo_is_stable_across_runs_and_threads() {
     let circuit = Arc::new(benchmarks::by_name("c432").unwrap());
     let placement = Placement::by_level(&circuit);
     let tech = Technology::ptm100();
-    let fm =
-        FactorModel::build(&circuit, &placement, &tech, &VariationConfig::ptm100()).unwrap();
+    let fm = FactorModel::build(&circuit, &placement, &tech, &VariationConfig::ptm100()).unwrap();
     let design = Design::new(circuit, tech);
     let run = |threads| {
         MonteCarlo::new(McConfig {
@@ -52,8 +51,7 @@ fn optimizer_is_stable() {
     let circuit = Arc::new(benchmarks::by_name("c499").unwrap());
     let placement = Placement::by_level(&circuit);
     let tech = Technology::ptm100();
-    let fm =
-        FactorModel::build(&circuit, &placement, &tech, &VariationConfig::ptm100()).unwrap();
+    let fm = FactorModel::build(&circuit, &placement, &tech, &VariationConfig::ptm100()).unwrap();
     let base = Design::new(circuit, tech);
     let dmin = sizing::min_delay_estimate(&base);
     let a = statistical_for_yield(&base, &fm, dmin * 1.2, 0.95).unwrap();

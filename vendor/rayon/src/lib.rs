@@ -1,0 +1,379 @@
+//! Offline API-compatible subset of the `rayon` crate.
+//!
+//! The workspace builds without crates.io access, so the rayon surface it
+//! uses is vendored here and wired in via `[patch.crates-io]`. This is not
+//! a work-stealing scheduler: a parallel iterator materialises its items,
+//! chunks the index space evenly across `std::thread::scope` threads, and
+//! reassembles results **in input order** — which is exactly the contract
+//! the workspace leans on for determinism (`collect` order never depends
+//! on thread count or scheduling).
+//!
+//! Supported: `par_iter` (on slices/Vec refs), `into_par_iter` (on `Vec`
+//! and `Range<usize>`), `map`, `collect`, `sum`, `for_each`, and
+//! `ThreadPoolBuilder` / `ThreadPool::install` (which bounds the thread
+//! count inside the closure via a scoped thread-local override).
+
+use std::cell::Cell;
+
+pub mod prelude {
+    pub use crate::iter::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+pub use crate::iter::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+
+thread_local! {
+    /// Max threads override installed by `ThreadPool::install`; 0 = unset.
+    static POOL_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Number of worker threads a parallel call may use right now.
+pub fn current_num_threads() -> usize {
+    let installed = POOL_THREADS.with(Cell::get);
+    if installed > 0 {
+        return installed;
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// Error type for [`ThreadPoolBuilder::build`]. The shim cannot fail to
+/// build, so this is uninhabited in practice but keeps signatures aligned.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Caps the pool at `n` threads (0 = use all available cores).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A bounded pool. The shim spawns scoped threads per call rather than
+/// keeping workers alive; `install` just bounds how many a call may spawn.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's thread bound active on the current
+    /// thread (parallel iterators inside `op` see it).
+    pub fn install<R, F: FnOnce() -> R>(&self, op: F) -> R {
+        let prev = POOL_THREADS.with(|c| c.replace(self.num_threads));
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                POOL_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(prev);
+        op()
+    }
+
+    pub fn current_num_threads(&self) -> usize {
+        if self.num_threads > 0 {
+            self.num_threads
+        } else {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        }
+    }
+}
+
+pub mod iter {
+    use super::current_num_threads;
+
+    /// Conversion into a parallel iterator, by value.
+    pub trait IntoParallelIterator {
+        type Item: Send;
+        type Iter: ParallelIterator<Item = Self::Item>;
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    /// Conversion into a parallel iterator over references.
+    pub trait IntoParallelRefIterator<'a> {
+        type Item: Send + 'a;
+        type Iter: ParallelIterator<Item = Self::Item>;
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    impl<'a, T: Sync + 'a, C: 'a> IntoParallelRefIterator<'a> for C
+    where
+        &'a C: IntoParallelIterator<Item = &'a T>,
+    {
+        type Item = &'a T;
+        type Iter = <&'a C as IntoParallelIterator>::Iter;
+        fn par_iter(&'a self) -> Self::Iter {
+            self.into_par_iter()
+        }
+    }
+
+    /// The parallel iterator operations the workspace uses.
+    ///
+    /// Implementations are *lazy over a materialised item list*: `map`
+    /// composes closures; the terminal operation (`collect`, `sum`,
+    /// `for_each`) runs the fused pipeline across scoped threads and
+    /// reassembles outputs in input order.
+    pub trait ParallelIterator: Sized {
+        type Item: Send;
+
+        /// Runs the pipeline, returning all outputs in input order.
+        fn run(self) -> Vec<Self::Item>;
+
+        fn map<O: Send, F>(self, f: F) -> Map<Self, F>
+        where
+            F: Fn(Self::Item) -> O + Sync + Send,
+        {
+            Map { base: self, f }
+        }
+
+        fn for_each<F>(self, f: F)
+        where
+            F: Fn(Self::Item) + Sync + Send,
+        {
+            self.run().into_iter().for_each(f);
+        }
+
+        fn collect<C: FromParallel<Self::Item>>(self) -> C {
+            C::from_ordered(self.run())
+        }
+
+        fn sum<S>(self) -> S
+        where
+            S: std::iter::Sum<Self::Item>,
+        {
+            self.run().into_iter().sum()
+        }
+
+        fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+        where
+            ID: Fn() -> Self::Item + Sync + Send,
+            OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync + Send,
+        {
+            // Sequential left fold over the ordered outputs: deterministic
+            // for any `op`, associative or not.
+            self.run().into_iter().fold(identity(), op)
+        }
+    }
+
+    /// Collection types buildable from ordered parallel output.
+    pub trait FromParallel<T> {
+        fn from_ordered(items: Vec<T>) -> Self;
+    }
+
+    impl<T> FromParallel<T> for Vec<T> {
+        fn from_ordered(items: Vec<T>) -> Self {
+            items
+        }
+    }
+
+    impl<T, E> FromParallel<Result<T, E>> for Result<Vec<T>, E> {
+        fn from_ordered(items: Vec<Result<T, E>>) -> Self {
+            items.into_iter().collect()
+        }
+    }
+
+    impl<T> FromParallel<Option<T>> for Option<Vec<T>> {
+        fn from_ordered(items: Vec<Option<T>>) -> Self {
+            items.into_iter().collect()
+        }
+    }
+
+    /// Executes `f` over `items`, fanning chunks out across scoped
+    /// threads; output order matches input order regardless of thread
+    /// count.
+    fn execute<I, O, F>(items: Vec<I>, f: &F) -> Vec<O>
+    where
+        I: Send,
+        O: Send,
+        F: Fn(I) -> O + Sync,
+    {
+        let n = items.len();
+        let threads = current_num_threads().clamp(1, n.max(1));
+        if threads <= 1 || n <= 1 {
+            return items.into_iter().map(f).collect();
+        }
+        let chunk = n.div_ceil(threads);
+        let mut chunks: Vec<Vec<I>> = Vec::with_capacity(threads);
+        {
+            let mut iter = items.into_iter();
+            loop {
+                let c: Vec<I> = iter.by_ref().take(chunk).collect();
+                if c.is_empty() {
+                    break;
+                }
+                chunks.push(c);
+            }
+        }
+        let mut out: Vec<Vec<O>> = Vec::with_capacity(chunks.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|c| scope.spawn(move || c.into_iter().map(f).collect::<Vec<O>>()))
+                .collect();
+            for h in handles {
+                out.push(h.join().expect("parallel worker panicked"));
+            }
+        });
+        out.into_iter().flatten().collect()
+    }
+
+    /// Source iterator over an owned item list.
+    pub struct VecIter<T: Send> {
+        items: Vec<T>,
+    }
+
+    impl<T: Send> ParallelIterator for VecIter<T> {
+        type Item = T;
+        fn run(self) -> Vec<T> {
+            self.items
+        }
+    }
+
+    /// `map` adaptor; the terminal op fuses it into the worker closure.
+    pub struct Map<B, F> {
+        base: B,
+        f: F,
+    }
+
+    impl<B, O, F> ParallelIterator for Map<B, F>
+    where
+        B: ParallelIterator,
+        O: Send,
+        F: Fn(B::Item) -> O + Sync + Send,
+    {
+        type Item = O;
+        fn run(self) -> Vec<O> {
+            execute(self.base.run(), &self.f)
+        }
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        type Iter = VecIter<T>;
+        fn into_par_iter(self) -> VecIter<T> {
+            VecIter { items: self }
+        }
+    }
+
+    impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+        type Item = &'a T;
+        type Iter = VecIter<&'a T>;
+        fn into_par_iter(self) -> VecIter<&'a T> {
+            VecIter {
+                items: self.iter().collect(),
+            }
+        }
+    }
+
+    impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+        type Item = &'a T;
+        type Iter = VecIter<&'a T>;
+        fn into_par_iter(self) -> VecIter<&'a T> {
+            VecIter {
+                items: self.iter().collect(),
+            }
+        }
+    }
+
+    macro_rules! range_into_par_iter {
+        ($($t:ty),*) => {$(
+            impl IntoParallelIterator for std::ops::Range<$t> {
+                type Item = $t;
+                type Iter = VecIter<$t>;
+                fn into_par_iter(self) -> VecIter<$t> {
+                    VecIter { items: self.collect() }
+                }
+            }
+        )*};
+    }
+
+    range_into_par_iter!(usize, u32, u64, i32, i64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::ThreadPoolBuilder;
+
+    #[test]
+    fn collect_preserves_input_order() {
+        let out: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn identical_across_thread_counts() {
+        let run = |threads| {
+            ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap()
+                .install(|| {
+                    (0..257usize)
+                        .into_par_iter()
+                        .map(|i| (i as f64).sqrt())
+                        .collect::<Vec<f64>>()
+                })
+        };
+        assert_eq!(run(1), run(4));
+        assert_eq!(run(1), run(13));
+    }
+
+    #[test]
+    fn par_iter_over_slice_refs() {
+        let data = vec![1.0f64, 2.0, 3.0];
+        let s: f64 = data.par_iter().map(|x| x * x).sum();
+        assert_eq!(s, 14.0);
+    }
+
+    #[test]
+    fn result_collect_short_circuits_to_err() {
+        let r: Result<Vec<usize>, String> = (0..10usize)
+            .into_par_iter()
+            .map(|i| {
+                if i == 7 {
+                    Err("seven".to_string())
+                } else {
+                    Ok(i)
+                }
+            })
+            .collect();
+        assert_eq!(r, Err("seven".to_string()));
+    }
+
+    #[test]
+    fn install_bounds_are_scoped() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let outside = super::current_num_threads();
+        pool.install(|| assert_eq!(super::current_num_threads(), 2));
+        assert_eq!(super::current_num_threads(), outside);
+    }
+}
