@@ -3,107 +3,271 @@
 //! Usage:
 //!
 //! ```text
-//! repro [--quick] [--out DIR] [t1|t2|t3|t4|t5|t6|f1|f2|f3|f4|f5|a1|a2|a3|a4|all]
+//! repro [--quick] [--out DIR] [--fresh] [--no-checkpoint]
+//!       [t1|t2|t3|t4|t5|t6|f1|f2|f3|f4|f5|a1|a2|a3|a4|all]
 //! ```
 //!
 //! Each experiment prints a console table and writes a CSV under the
 //! output directory (default `results/`). `--quick` runs the small/medium
 //! circuits with reduced Monte-Carlo sampling; the default runs the full
 //! ISCAS85-class suite. See `EXPERIMENTS.md` for the experiment index.
+//!
+//! ## Crash safety
+//!
+//! Every `(experiment, circuit)` cell is checkpointed atomically under
+//! `<out>/.checkpoint/` as soon as it completes (see
+//! [`statleak_bench::checkpoint`]). If a run is killed, re-invoking the
+//! same command resumes with only the unfinished cells and produces
+//! byte-identical CSVs to an uninterrupted run. Checkpoints are cleared
+//! when the requested experiments finish. `--fresh` discards any existing
+//! checkpoint first; `--no-checkpoint` disables the mechanism entirely.
+//!
+//! ## Graceful degradation
+//!
+//! A circuit that fails mid-suite (infeasible sizing, correlation-model
+//! breakdown) no longer aborts the remaining benchmarks: it is recorded as
+//! a structured failure row (`circuit, -, -, ...`) in the experiment's
+//! table and logged to `<out>/failures.csv` with its stable error class.
+//! The process exits 0 when every cell succeeded, 1 when any cell failed,
+//! and 2 on bad command-line usage.
 
+use statleak_bench::checkpoint::{CellResult, Checkpoint};
 use statleak_bench::{full_suite, quick_suite};
-use statleak_core::flows::{self, FlowConfig};
+use statleak_core::flows::{self, FlowConfig, FlowError};
 use statleak_core::report::{fmt_pct, fmt_power, Table};
 use statleak_netlist::benchmarks;
 use std::path::PathBuf;
+use std::process::ExitCode;
 use std::time::Instant;
+
+/// Everything `repro` knows how to run, in run order.
+const EXPERIMENTS: [&str; 15] = [
+    "t1", "t2", "t3", "t4", "t5", "t6", "f1", "f2", "f3", "f4", "f5", "a1", "a2", "a3", "a4",
+];
 
 struct Options {
     quick: bool,
     out: PathBuf,
     which: Vec<String>,
+    fresh: bool,
+    checkpoint: bool,
 }
 
-fn parse_args() -> Options {
+fn parse_args() -> Result<Options, String> {
     let mut quick = false;
     let mut out = PathBuf::from("results");
     let mut which = Vec::new();
+    let mut fresh = false;
+    let mut checkpoint = true;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--quick" => quick = true,
-            "--out" => {
-                out = PathBuf::from(args.next().unwrap_or_else(|| {
-                    eprintln!("--out requires a directory");
-                    std::process::exit(2);
-                }))
-            }
+            "--fresh" => fresh = true,
+            "--no-checkpoint" => checkpoint = false,
+            "--out" => match args.next() {
+                Some(dir) => out = PathBuf::from(dir),
+                None => return Err("flag `--out` requires a directory".into()),
+            },
             "--help" | "-h" => {
                 println!(
-                    "repro [--quick] [--out DIR] [t1|t2|t3|t4|t5|t6|f1|f2|f3|f4|f5|a1|a2|a3|a4|all]"
+                    "repro [--quick] [--out DIR] [--fresh] [--no-checkpoint] \
+                     [t1|t2|t3|t4|t5|t6|f1|f2|f3|f4|f5|a1|a2|a3|a4|all]"
                 );
                 std::process::exit(0);
             }
-            other => which.push(other.to_string()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag `{other}` (see --help)"));
+            }
+            other if other == "all" || EXPERIMENTS.contains(&other) => {
+                which.push(other.to_string());
+            }
+            other => {
+                return Err(format!(
+                    "unknown experiment `{other}` (known: all, {})",
+                    EXPERIMENTS.join(", ")
+                ));
+            }
         }
     }
     if which.is_empty() {
         which.push("all".to_string());
     }
-    Options { quick, out, which }
+    Ok(Options {
+        quick,
+        out,
+        which,
+        fresh,
+        checkpoint,
+    })
 }
 
-fn main() {
-    let opts = parse_args();
-    let run_all = opts.which.iter().any(|w| w == "all");
-    let wants = |k: &str| run_all || opts.which.iter().any(|w| w == k);
+/// One recorded cell failure, mirrored into `<out>/failures.csv`.
+struct FailureRecord {
+    experiment: String,
+    cell: String,
+    class: String,
+    message: String,
+}
+
+/// Shared run state: options, the checkpoint manifest, and the failure log.
+struct Ctx {
+    opts: Options,
+    ckpt: Checkpoint,
+    failures: Vec<FailureRecord>,
+}
+
+impl Ctx {
+    /// Runs one checkpointable `(experiment, cell)` unit: restores the
+    /// recorded outcome if present, otherwise computes, checkpoints, and
+    /// applies it. A failed cell becomes a structured failure row and the
+    /// suite continues.
+    fn cell(
+        &mut self,
+        experiment: &str,
+        name: &str,
+        table: &mut Table,
+        compute: impl FnOnce() -> Result<Vec<Vec<String>>, FlowError>,
+    ) {
+        let result = match self.ckpt.load(experiment, name) {
+            Some(r) => {
+                eprintln!("{experiment}/{name}: restored from checkpoint");
+                r
+            }
+            None => {
+                let r = match compute() {
+                    Ok(rows) => CellResult::Rows(rows),
+                    Err(e) => {
+                        eprintln!("{name}: {e} (recorded as failure, suite continues)");
+                        CellResult::Failed {
+                            class: e.class().to_string(),
+                            message: e.to_string(),
+                        }
+                    }
+                };
+                if let Err(e) = self.ckpt.store(experiment, name, &r) {
+                    eprintln!("warning: cannot checkpoint {experiment}/{name}: {e}");
+                }
+                r
+            }
+        };
+        match result {
+            CellResult::Rows(rows) => {
+                for row in &rows {
+                    table.row(row);
+                }
+            }
+            CellResult::Failed { class, message } => {
+                table.failure_row(name);
+                self.failures.push(FailureRecord {
+                    experiment: experiment.to_string(),
+                    cell: name.to_string(),
+                    class,
+                    message,
+                });
+            }
+        }
+    }
+
+    fn save(&self, name: &str, table: &Table) {
+        let path = self.opts.out.join(format!("{name}.csv"));
+        if let Err(e) = table.write_csv(&path) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        } else {
+            eprintln!("wrote {}", path.display());
+        }
+    }
+
+    fn write_failure_log(&self) {
+        let mut t = Table::new(&["experiment", "circuit", "class", "message"]);
+        for f in &self.failures {
+            t.row(&[
+                f.experiment.clone(),
+                f.cell.clone(),
+                f.class.clone(),
+                f.message.clone(),
+            ]);
+        }
+        self.save("failures", &t);
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("repro: usage error: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    // The manifest key covers everything that changes cell contents, so a
+    // --quick run can never resume from full-suite cells (or vice versa).
+    let config_key = format!("repro-v1 quick={}", opts.quick);
+    let ckpt = if opts.checkpoint {
+        match Checkpoint::open(&opts.out, &config_key) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("warning: cannot open checkpoint manifest: {e}; resume disabled");
+                Checkpoint::disabled()
+            }
+        }
+    } else {
+        Checkpoint::disabled()
+    };
+    if opts.fresh {
+        if let Err(e) = ckpt.clear_all() {
+            eprintln!("warning: --fresh could not clear the checkpoint: {e}");
+        }
+    }
+    let mut ctx = Ctx {
+        opts,
+        ckpt,
+        failures: Vec::new(),
+    };
+
+    let run_all = ctx.opts.which.iter().any(|w| w == "all");
+    let wants = |k: &str| run_all || ctx.opts.which.iter().any(|w| w == k);
+    let requested: Vec<&str> = EXPERIMENTS.iter().copied().filter(|e| wants(e)).collect();
     let t0 = Instant::now();
-    if wants("t1") {
-        t1(&opts);
+    for exp in &requested {
+        match *exp {
+            "t1" => t1(&mut ctx),
+            "t2" => t2(&mut ctx),
+            "t3" => t3(&mut ctx),
+            "t4" => t4(&mut ctx),
+            "t5" => t5(&mut ctx),
+            "t6" => t6(&mut ctx),
+            "f1" => f1(&mut ctx),
+            "f2" => f2(&mut ctx),
+            "f3" => f3(&mut ctx),
+            "f4" => f4(&mut ctx),
+            "f5" => f5(&mut ctx),
+            "a1" => a1(&mut ctx),
+            "a2" => a2(&mut ctx),
+            "a3" => a3(&mut ctx),
+            "a4" => a4(&mut ctx),
+            _ => unreachable!("EXPERIMENTS is exhaustive"),
+        }
     }
-    if wants("t2") {
-        t2(&opts);
-    }
-    if wants("t3") {
-        t3(&opts);
-    }
-    if wants("t4") {
-        t4(&opts);
-    }
-    if wants("t5") {
-        t5(&opts);
-    }
-    if wants("t6") {
-        t6(&opts);
-    }
-    if wants("f1") {
-        f1(&opts);
-    }
-    if wants("f2") {
-        f2(&opts);
-    }
-    if wants("f3") {
-        f3(&opts);
-    }
-    if wants("f4") {
-        f4(&opts);
-    }
-    if wants("f5") {
-        f5(&opts);
-    }
-    if wants("a1") {
-        a1(&opts);
-    }
-    if wants("a2") {
-        a2(&opts);
-    }
-    if wants("a3") {
-        a3(&opts);
-    }
-    if wants("a4") {
-        a4(&opts);
+    ctx.write_failure_log();
+    // The run completed everything that was asked for: drop those cells so
+    // the next invocation recomputes instead of replaying a stale cache.
+    for exp in &requested {
+        if let Err(e) = ctx.ckpt.clear_experiment(exp) {
+            eprintln!("warning: could not clear checkpoint for {exp}: {e}");
+        }
     }
     eprintln!("\ntotal time: {:.1}s", t0.elapsed().as_secs_f64());
+    if ctx.failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "{} cell(s) failed; see {}",
+            ctx.failures.len(),
+            ctx.opts.out.join("failures.csv").display()
+        );
+        ExitCode::FAILURE
+    }
 }
 
 fn suite(opts: &Options) -> Vec<&'static str> {
@@ -122,37 +286,31 @@ fn mc_samples(opts: &Options) -> usize {
     }
 }
 
-fn save(opts: &Options, name: &str, table: &Table) {
-    let path = opts.out.join(format!("{name}.csv"));
-    if let Err(e) = table.write_csv(&path) {
-        eprintln!("warning: could not write {}: {e}", path.display());
-    } else {
-        eprintln!("wrote {}", path.display());
-    }
-}
-
 /// T1 — benchmark characteristics.
-fn t1(opts: &Options) {
+fn t1(ctx: &mut Ctx) {
     println!("\n== T1: benchmark characteristics ==");
     let mut t = Table::new(&["circuit", "inputs", "outputs", "gates", "depth", "function"]);
     for s in &benchmarks::SUITE {
-        let c = benchmarks::by_name(s.name).expect("suite");
-        let st = c.stats();
-        t.row(&[
-            s.name.to_string(),
-            st.inputs.to_string(),
-            st.outputs.to_string(),
-            st.gates.to_string(),
-            st.depth.to_string(),
-            s.function.to_string(),
-        ]);
+        ctx.cell("t1", s.name, &mut t, move || {
+            let c = benchmarks::by_name(s.name)
+                .ok_or_else(|| FlowError::UnknownBenchmark(s.name.to_string()))?;
+            let st = c.stats();
+            Ok(vec![vec![
+                s.name.to_string(),
+                st.inputs.to_string(),
+                st.outputs.to_string(),
+                st.gates.to_string(),
+                st.depth.to_string(),
+                s.function.to_string(),
+            ]])
+        });
     }
     print!("{}", t.render());
-    save(opts, "t1_benchmarks", &t);
+    ctx.save("t1_benchmarks", &t);
 }
 
 /// T2 — headline comparison at equal timing yield.
-fn t2(opts: &Options) {
+fn t2(ctx: &mut Ctx) {
     println!("\n== T2: leakage at equal timing yield (T = 1.20*Dmin, eta = 0.95) ==");
     let mut t = Table::new(&[
         "circuit",
@@ -166,45 +324,42 @@ fn t2(opts: &Options) {
         "det s",
         "stat s",
     ]);
-    for name in suite(opts) {
+    let samples = mc_samples(&ctx.opts);
+    for name in suite(&ctx.opts) {
         let cfg = FlowConfig {
-            mc_samples: mc_samples(opts),
+            mc_samples: samples,
             ..FlowConfig::new(name)
         };
-        let o = match flows::run_comparison(&cfg) {
-            Ok(o) => o,
-            Err(e) => {
-                eprintln!("{name}: {e} (skipped)");
-                continue;
-            }
-        };
-        println!(
-            "{name}: stat saves an extra {} over deterministic",
-            fmt_pct(o.stat_extra_saving)
-        );
-        t.row(&[
-            name.to_string(),
-            fmt_power(o.baseline.leakage_p95),
-            fmt_power(o.deterministic.leakage_p95),
-            fmt_power(o.statistical.leakage_p95),
-            fmt_pct(o.stat_extra_saving),
-            format!("{:.3}", o.deterministic.timing_yield),
-            format!("{:.3}", o.statistical.timing_yield),
-            o.statistical
-                .mc_yield
-                .map_or("-".into(), |y| format!("{y:.3}")),
-            format!("{:.1}", o.deterministic.runtime_s),
-            format!("{:.1}", o.statistical.runtime_s),
-        ]);
+        ctx.cell("t2", name, &mut t, move || {
+            let o = flows::run_comparison(&cfg)?;
+            println!(
+                "{name}: stat saves an extra {} over deterministic",
+                fmt_pct(o.stat_extra_saving)
+            );
+            Ok(vec![vec![
+                name.to_string(),
+                fmt_power(o.baseline.leakage_p95),
+                fmt_power(o.deterministic.leakage_p95),
+                fmt_power(o.statistical.leakage_p95),
+                fmt_pct(o.stat_extra_saving),
+                format!("{:.3}", o.deterministic.timing_yield),
+                format!("{:.3}", o.statistical.timing_yield),
+                o.statistical
+                    .mc_yield
+                    .map_or("-".into(), |y| format!("{y:.3}")),
+                format!("{:.1}", o.deterministic.runtime_s),
+                format!("{:.1}", o.statistical.runtime_s),
+            ]])
+        });
     }
     print!("{}", t.render());
-    save(opts, "t2_comparison", &t);
+    ctx.save("t2_comparison", &t);
 }
 
 /// T3 — savings vs delay-constraint tightness.
-fn t3(opts: &Options) {
+fn t3(ctx: &mut Ctx) {
     println!("\n== T3: savings vs clock tightness ==");
-    let circuits = if opts.quick {
+    let circuits = if ctx.opts.quick {
         vec!["c432", "c880"]
     } else {
         vec!["c432", "c880", "c1908"]
@@ -224,10 +379,12 @@ fn t3(opts: &Options) {
             mc_samples: 0,
             ..FlowConfig::new(name)
         };
-        match flows::sweep_delay_target(&cfg, &factors) {
-            Ok(points) => {
-                for p in points {
-                    t.row(&[
+        ctx.cell("t3", name, &mut t, move || {
+            let points = flows::sweep_delay_target(&cfg, &factors)?;
+            Ok(points
+                .iter()
+                .map(|p| {
+                    vec![
                         name.to_string(),
                         format!("{:.2}", p.x),
                         fmt_power(p.det_p95),
@@ -235,18 +392,17 @@ fn t3(opts: &Options) {
                         format!("{:.3}", p.det_yield),
                         format!("{:.3}", p.stat_yield),
                         fmt_pct(p.extra_saving),
-                    ]);
-                }
-            }
-            Err(e) => eprintln!("{name}: {e} (skipped)"),
-        }
+                    ]
+                })
+                .collect())
+        });
     }
     print!("{}", t.render());
-    save(opts, "t3_tightness", &t);
+    ctx.save("t3_tightness", &t);
 }
 
 /// T4 — analytical vs Monte-Carlo accuracy.
-fn t4(opts: &Options) {
+fn t4(ctx: &mut Ctx) {
     println!("\n== T4: SSTA / leakage-lognormal accuracy vs Monte Carlo ==");
     let mut t = Table::new(&[
         "circuit",
@@ -256,29 +412,30 @@ fn t4(opts: &Options) {
         "leak mean err",
         "leak p95 err",
     ]);
-    for name in suite(opts) {
+    let samples = mc_samples(&ctx.opts);
+    for name in suite(&ctx.opts) {
         let cfg = FlowConfig {
-            mc_samples: mc_samples(opts),
+            mc_samples: samples,
             ..FlowConfig::new(name)
         };
-        match flows::mc_validation(&cfg) {
-            Ok(v) => t.row(&[
+        ctx.cell("t4", name, &mut t, move || {
+            let v = flows::mc_validation(&cfg)?;
+            Ok(vec![vec![
                 name.to_string(),
                 fmt_pct((v.ssta_mean - v.mc_mean).abs() / v.mc_mean),
                 fmt_pct((v.ssta_sigma - v.mc_sigma).abs() / v.mc_sigma),
                 format!("{:.3}", (v.ssta_yield - v.mc_yield).abs()),
                 fmt_pct((v.leak_mean - v.mc_leak_mean).abs() / v.mc_leak_mean),
                 fmt_pct((v.leak_p95 - v.mc_leak_p95).abs() / v.mc_leak_p95),
-            ]),
-            Err(e) => eprintln!("{name}: {e} (skipped)"),
-        }
+            ]])
+        });
     }
     print!("{}", t.render());
-    save(opts, "t4_mc_validation", &t);
+    ctx.save("t4_mc_validation", &t);
 }
 
 /// T5 — joint timing/leakage parametric yield (extension experiment).
-fn t5(opts: &Options) {
+fn t5(ctx: &mut Ctx) {
     use statleak_core::joint::JointYield;
     use statleak_leakage::LeakageAnalysis;
     use statleak_mc::{McConfig, MonteCarlo};
@@ -294,261 +451,258 @@ fn t5(opts: &Options) {
         "joint analytic",
         "joint MC",
     ]);
-    for name in suite(opts) {
+    let samples = mc_samples(&ctx.opts);
+    for name in suite(&ctx.opts) {
         let cfg = FlowConfig {
-            mc_samples: mc_samples(opts),
+            mc_samples: samples,
             ..FlowConfig::new(name)
         };
-        let setup = match flows::prepare(&cfg) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("{name}: {e} (skipped)");
-                continue;
-            }
-        };
-        let mut design = setup.base.clone();
-        if sizing::size_for_yield(&mut design, &setup.fm, setup.t_clk, cfg.eta).is_err() {
-            eprintln!("{name}: sizing infeasible (skipped)");
-            continue;
-        }
-        let j = JointYield::analyze(&design, &setup.fm);
-        let ssta = Ssta::analyze(&design, &setup.fm);
-        let t_clk = ssta.clock_for_yield(0.95);
-        let i_max = LeakageAnalysis::analyze(&design, &setup.fm)
-            .total_current()
-            .quantile(0.90);
-        let mc = MonteCarlo::new(McConfig {
-            samples: cfg.mc_samples.max(500),
-            ..Default::default()
-        })
-        .run(&design, &setup.fm);
-        t.row(&[
-            name.to_string(),
-            format!("{:.2}", j.correlation()),
-            format!("{:.3}", j.timing_yield(t_clk)),
-            format!("{:.3}", j.leakage_yield(i_max)),
-            format!("{:.3}", j.timing_yield(t_clk) * j.leakage_yield(i_max)),
-            format!("{:.3}", j.joint_yield(t_clk, i_max)),
-            format!("{:.3}", mc.joint_yield(t_clk, i_max)),
-        ]);
+        ctx.cell("t5", name, &mut t, move || {
+            let setup = flows::prepare(&cfg)?;
+            let mut design = setup.base.clone();
+            sizing::size_for_yield(&mut design, &setup.fm, setup.t_clk, cfg.eta)?;
+            let j = JointYield::analyze(&design, &setup.fm);
+            let ssta = Ssta::analyze(&design, &setup.fm);
+            let t_clk = ssta.clock_for_yield(0.95);
+            let i_max = LeakageAnalysis::analyze(&design, &setup.fm)
+                .total_current()
+                .quantile(0.90);
+            let mc = MonteCarlo::new(McConfig {
+                samples: cfg.mc_samples.max(500),
+                ..Default::default()
+            })
+            .run(&design, &setup.fm);
+            Ok(vec![vec![
+                name.to_string(),
+                format!("{:.2}", j.correlation()),
+                format!("{:.3}", j.timing_yield(t_clk)),
+                format!("{:.3}", j.leakage_yield(i_max)),
+                format!("{:.3}", j.timing_yield(t_clk) * j.leakage_yield(i_max)),
+                format!("{:.3}", j.joint_yield(t_clk, i_max)),
+                format!("{:.3}", mc.joint_yield(t_clk, i_max)),
+            ]])
+        });
     }
     print!("{}", t.render());
-    save(opts, "t5_joint_yield", &t);
+    ctx.save("t5_joint_yield", &t);
 }
 
 /// F1 — leakage distribution before/after optimization.
-fn f1(opts: &Options) {
+fn f1(ctx: &mut Ctx) {
     println!("\n== F1: leakage distribution, baseline vs statistical (c880) ==");
     let cfg = FlowConfig {
-        mc_samples: if opts.quick { 1000 } else { 5000 },
+        mc_samples: if ctx.opts.quick { 1000 } else { 5000 },
         ..FlowConfig::new("c880")
     };
-    match flows::distribution(&cfg) {
-        Ok(d) => {
-            let bins = 30;
-            let hb = d.baseline_histogram(bins);
-            let ho = d.optimized_histogram(bins);
-            println!("baseline (analytic {}):", d.baseline_analytic);
-            print!("{}", hb.to_ascii(40));
-            println!("optimized (analytic {}):", d.optimized_analytic);
-            print!("{}", ho.to_ascii(40));
-            let mut t = Table::new(&[
-                "bin",
-                "baseline center (W)",
-                "baseline density",
-                "optimized center (W)",
-                "optimized density",
-            ]);
-            for i in 0..bins {
-                t.row(&[
+    let mut t = Table::new(&[
+        "bin",
+        "baseline center (W)",
+        "baseline density",
+        "optimized center (W)",
+        "optimized density",
+    ]);
+    ctx.cell("f1", "c880", &mut t, move || {
+        let d = flows::distribution(&cfg)?;
+        let bins = 30;
+        let hb = d.baseline_histogram(bins);
+        let ho = d.optimized_histogram(bins);
+        println!("baseline (analytic {}):", d.baseline_analytic);
+        print!("{}", hb.to_ascii(40));
+        println!("optimized (analytic {}):", d.optimized_analytic);
+        print!("{}", ho.to_ascii(40));
+        Ok((0..bins)
+            .map(|i| {
+                vec![
                     i.to_string(),
                     format!("{:.4e}", hb.bin_center(i)),
                     format!("{:.4e}", hb.density(i)),
                     format!("{:.4e}", ho.bin_center(i)),
                     format!("{:.4e}", ho.density(i)),
-                ]);
-            }
-            save(opts, "f1_distribution", &t);
-        }
-        Err(e) => eprintln!("f1: {e} (skipped)"),
-    }
+                ]
+            })
+            .collect())
+    });
+    ctx.save("f1_distribution", &t);
 }
 
 /// F2 — leakage–delay trade-off curves.
-fn f2(opts: &Options) {
-    println!("\n== F2: leakage-delay trade-off (c1908) ==");
-    let name = if opts.quick { "c499" } else { "c1908" };
+fn f2(ctx: &mut Ctx) {
+    let name = if ctx.opts.quick { "c499" } else { "c1908" };
+    println!("\n== F2: leakage-delay trade-off ({name}) ==");
     let cfg = FlowConfig {
         mc_samples: 0,
         ..FlowConfig::new(name)
     };
     let factors = [1.05, 1.08, 1.12, 1.16, 1.20, 1.30, 1.40];
-    match flows::sweep_delay_target(&cfg, &factors) {
-        Ok(points) => {
-            let mut t = Table::new(&[
-                "T/Dmin",
-                "det p95 (W)",
-                "stat p95 (W)",
-                "det yield",
-                "stat yield",
-            ]);
-            for p in &points {
-                t.row(&[
+    let mut t = Table::new(&[
+        "T/Dmin",
+        "det p95 (W)",
+        "stat p95 (W)",
+        "det yield",
+        "stat yield",
+    ]);
+    ctx.cell("f2", name, &mut t, move || {
+        let points = flows::sweep_delay_target(&cfg, &factors)?;
+        for p in &points {
+            println!(
+                "T/Dmin {:.2}: det {} stat {} (extra {})",
+                p.x,
+                fmt_power(p.det_p95),
+                fmt_power(p.stat_p95),
+                fmt_pct(p.extra_saving)
+            );
+        }
+        Ok(points
+            .iter()
+            .map(|p| {
+                vec![
                     format!("{:.2}", p.x),
                     format!("{:.4e}", p.det_p95),
                     format!("{:.4e}", p.stat_p95),
                     format!("{:.3}", p.det_yield),
                     format!("{:.3}", p.stat_yield),
-                ]);
-                println!(
-                    "T/Dmin {:.2}: det {} stat {} (extra {})",
-                    p.x,
-                    fmt_power(p.det_p95),
-                    fmt_power(p.stat_p95),
-                    fmt_pct(p.extra_saving)
-                );
-            }
-            save(opts, "f2_tradeoff", &t);
-        }
-        Err(e) => eprintln!("f2: {e} (skipped)"),
-    }
+                ]
+            })
+            .collect())
+    });
+    ctx.save("f2_tradeoff", &t);
 }
 
 /// F3 — yield vs clock period for the three designs.
-fn f3(opts: &Options) {
-    println!("\n== F3: timing yield vs clock (c2670) ==");
-    let name = if opts.quick { "c880" } else { "c2670" };
+fn f3(ctx: &mut Ctx) {
+    let name = if ctx.opts.quick { "c880" } else { "c2670" };
+    println!("\n== F3: timing yield vs clock ({name}) ==");
     let cfg = FlowConfig {
         mc_samples: 0,
         ..FlowConfig::new(name)
     };
     let grid: Vec<f64> = (0..=20).map(|i| 1.00 + 0.025 * i as f64).collect();
-    match flows::yield_curves(&cfg, &grid) {
-        Ok(rows) => {
-            let mut t = Table::new(&["T/Dmin", "baseline", "deterministic", "statistical"]);
-            for (k, yb, yd, ys) in rows {
-                t.row(&[
+    let mut t = Table::new(&["T/Dmin", "baseline", "deterministic", "statistical"]);
+    ctx.cell("f3", name, &mut t, move || {
+        let rows = flows::yield_curves(&cfg, &grid)?;
+        Ok(rows
+            .iter()
+            .map(|(k, yb, yd, ys)| {
+                vec![
                     format!("{k:.3}"),
                     format!("{yb:.4}"),
                     format!("{yd:.4}"),
                     format!("{ys:.4}"),
-                ]);
-            }
-            print!("{}", t.render());
-            save(opts, "f3_yield_curves", &t);
-        }
-        Err(e) => eprintln!("f3: {e} (skipped)"),
-    }
+                ]
+            })
+            .collect())
+    });
+    print!("{}", t.render());
+    ctx.save("f3_yield_curves", &t);
 }
 
 /// F4 — statistical advantage vs variation magnitude.
-fn f4(opts: &Options) {
-    println!("\n== F4: extra saving vs sigma(L)/L (c1355) ==");
-    let name = if opts.quick { "c499" } else { "c1355" };
+fn f4(ctx: &mut Ctx) {
+    let name = if ctx.opts.quick { "c499" } else { "c1355" };
+    println!("\n== F4: extra saving vs sigma(L)/L ({name}) ==");
     let cfg = FlowConfig {
         mc_samples: 0,
         ..FlowConfig::new(name)
     };
     let sigmas = [0.025, 0.05, 0.075, 0.10];
-    match flows::sweep_sigma(&cfg, &sigmas) {
-        Ok(points) => {
-            let mut t = Table::new(&[
-                "sigma_L",
-                "det p95 (W)",
-                "stat p95 (W)",
-                "det yield",
-                "stat yield",
-                "extra saving",
-            ]);
-            for p in &points {
-                t.row(&[
+    let mut t = Table::new(&[
+        "sigma_L",
+        "det p95 (W)",
+        "stat p95 (W)",
+        "det yield",
+        "stat yield",
+        "extra saving",
+    ]);
+    ctx.cell("f4", name, &mut t, move || {
+        let points = flows::sweep_sigma(&cfg, &sigmas)?;
+        Ok(points
+            .iter()
+            .map(|p| {
+                vec![
                     format!("{:.3}", p.x),
                     format!("{:.4e}", p.det_p95),
                     format!("{:.4e}", p.stat_p95),
                     format!("{:.3}", p.det_yield),
                     format!("{:.3}", p.stat_yield),
                     fmt_pct(p.extra_saving),
-                ]);
-            }
-            print!("{}", t.render());
-            save(opts, "f4_sigma_sweep", &t);
-        }
-        Err(e) => eprintln!("f4: {e} (skipped)"),
-    }
+                ]
+            })
+            .collect())
+    });
+    print!("{}", t.render());
+    ctx.save("f4_sigma_sweep", &t);
 }
 
 /// F5 — optimizer convergence trace.
-fn f5(opts: &Options) {
-    println!("\n== F5: statistical-optimizer convergence (c3540) ==");
-    let name = if opts.quick { "c880" } else { "c3540" };
+fn f5(ctx: &mut Ctx) {
+    let name = if ctx.opts.quick { "c880" } else { "c3540" };
+    println!("\n== F5: statistical-optimizer convergence ({name}) ==");
     let cfg = FlowConfig {
         mc_samples: 0,
         ..FlowConfig::new(name)
     };
-    let setup = match flows::prepare(&cfg) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("f5: {e} (skipped)");
-            return;
-        }
-    };
-    match statleak_opt::statistical_for_yield(&setup.base, &setup.fm, setup.t_clk, cfg.eta) {
-        Ok(out) => {
-            let mut t = Table::new(&["accepted move", "objective (W)", "yield"]);
-            // Subsample long traces to <= 200 rows.
-            let trace = &out.report.trace;
-            let step = (trace.len() / 200).max(1);
-            for p in trace.iter().step_by(step) {
-                t.row(&[
+    let mut t = Table::new(&["accepted move", "objective (W)", "yield"]);
+    ctx.cell("f5", name, &mut t, move || {
+        let setup = flows::prepare(&cfg)?;
+        let out =
+            statleak_opt::statistical_for_yield(&setup.base, &setup.fm, setup.t_clk, cfg.eta)?;
+        // Subsample long traces to <= 200 rows.
+        let trace = &out.report.trace;
+        let step = (trace.len() / 200).max(1);
+        println!(
+            "{} accepted moves, objective {} -> {}",
+            trace.last().map_or(0, |p| p.accepted_moves),
+            fmt_power(out.report.initial_objective),
+            fmt_power(out.report.final_objective)
+        );
+        Ok(trace
+            .iter()
+            .step_by(step)
+            .map(|p| {
+                vec![
                     p.accepted_moves.to_string(),
                     format!("{:.4e}", p.objective),
                     format!("{:.4}", p.timing_yield),
-                ]);
-            }
-            println!(
-                "{} accepted moves, objective {} -> {}",
-                trace.last().map_or(0, |p| p.accepted_moves),
-                fmt_power(out.report.initial_objective),
-                fmt_power(out.report.final_objective)
-            );
-            save(opts, "f5_convergence", &t);
-        }
-        Err(e) => eprintln!("f5: {e} (skipped)"),
-    }
+                ]
+            })
+            .collect())
+    });
+    ctx.save("f5_convergence", &t);
 }
 
 /// A1 — modeling ablations.
-fn a1(opts: &Options) {
+fn a1(ctx: &mut Ctx) {
     println!("\n== A1: modeling ablations (c880) ==");
     let cfg = FlowConfig {
         mc_samples: 0,
         ..FlowConfig::new("c880")
     };
-    match flows::ablation(&cfg) {
-        Ok(rows) => {
-            let mut t = Table::new(&["variant", "delay sigma (ps)", "leak p95 (W)", "leak cv"]);
-            for r in rows {
-                t.row(&[
+    let mut t = Table::new(&["variant", "delay sigma (ps)", "leak p95 (W)", "leak cv"]);
+    ctx.cell("a1", "c880", &mut t, move || {
+        let rows = flows::ablation(&cfg)?;
+        Ok(rows
+            .into_iter()
+            .map(|r| {
+                vec![
                     r.variant,
                     format!("{:.2}", r.delay_sigma),
                     format!("{:.4e}", r.leak_p95),
                     format!("{:.3}", r.leak_cv),
-                ]);
-            }
-            print!("{}", t.render());
-            save(opts, "a1_ablation", &t);
-        }
-        Err(e) => eprintln!("a1: {e} (skipped)"),
-    }
+                ]
+            })
+            .collect())
+    });
+    print!("{}", t.render());
+    ctx.save("a1_ablation", &t);
 }
 
 /// A2 — the triple-Vth extension: a third threshold flavor vs the paper's
 /// dual-Vth setup, at equal timing yield.
-fn a2(opts: &Options) {
+fn a2(ctx: &mut Ctx) {
     use statleak_opt::{statistical_flow, StatisticalOptimizer};
     use statleak_tech::VthClass;
     println!("\n== A2: dual-Vth vs triple-Vth statistical optimization ==");
-    let circuits = if opts.quick {
+    let circuits = if ctx.opts.quick {
         vec!["c432", "c880"]
     } else {
         vec!["c432", "c880", "c1908"]
@@ -566,55 +720,46 @@ fn a2(opts: &Options) {
             slack_factor: 1.12,
             ..FlowConfig::new(name)
         };
-        let setup = match flows::prepare(&cfg) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("{name}: {e} (skipped)");
-                continue;
-            }
-        };
-        let dual = statistical_flow(
-            &setup.base,
-            &setup.fm,
-            &StatisticalOptimizer::new(setup.t_clk).with_yield_target(cfg.eta),
-        );
-        let triple = statistical_flow(
-            &setup.base,
-            &setup.fm,
-            &StatisticalOptimizer::new(setup.t_clk)
-                .with_yield_target(cfg.eta)
-                .with_triple_vth(),
-        );
-        match (dual, triple) {
-            (Ok(d), Ok(tr)) => {
-                t.row(&[
-                    name.to_string(),
-                    fmt_power(d.report.final_objective),
-                    fmt_power(tr.report.final_objective),
-                    fmt_pct(1.0 - tr.report.final_objective / d.report.final_objective),
-                    format!(
-                        "{}/{}/{}",
-                        tr.design.vth_count(VthClass::Low),
-                        tr.design.vth_count(VthClass::Mid),
-                        tr.design.vth_count(VthClass::High)
-                    ),
-                ]);
-            }
-            _ => eprintln!("{name}: flow infeasible (skipped)"),
-        }
+        ctx.cell("a2", name, &mut t, move || {
+            let setup = flows::prepare(&cfg)?;
+            let dual = statistical_flow(
+                &setup.base,
+                &setup.fm,
+                &StatisticalOptimizer::new(setup.t_clk).with_yield_target(cfg.eta),
+            )?;
+            let triple = statistical_flow(
+                &setup.base,
+                &setup.fm,
+                &StatisticalOptimizer::new(setup.t_clk)
+                    .with_yield_target(cfg.eta)
+                    .with_triple_vth(),
+            )?;
+            Ok(vec![vec![
+                name.to_string(),
+                fmt_power(dual.report.final_objective),
+                fmt_power(triple.report.final_objective),
+                fmt_pct(1.0 - triple.report.final_objective / dual.report.final_objective),
+                format!(
+                    "{}/{}/{}",
+                    triple.design.vth_count(VthClass::Low),
+                    triple.design.vth_count(VthClass::Mid),
+                    triple.design.vth_count(VthClass::High)
+                ),
+            ]])
+        });
     }
     print!("{}", t.render());
-    save(opts, "a2_triple_vth", &t);
+    ctx.save("a2_triple_vth", &t);
 }
 
 /// A3 — post-silicon adaptive body bias on top of the statistically
 /// optimized design (extension experiment).
-fn a3(opts: &Options) {
+fn a3(ctx: &mut Ctx) {
     use statleak_mc::{AbbConfig, McConfig, MonteCarlo};
     use statleak_opt::statistical_for_yield;
     use statleak_ssta::Ssta;
     println!("\n== A3: adaptive body bias on the optimized design ==");
-    let circuits = if opts.quick {
+    let circuits = if ctx.opts.quick {
         vec!["c432", "c880"]
     } else {
         vec!["c432", "c880", "c1355"]
@@ -627,55 +772,49 @@ fn a3(opts: &Options) {
         "mean leak no-ABB",
         "mean leak ABB",
     ]);
+    let samples = mc_samples(&ctx.opts);
     for name in circuits {
         let cfg = FlowConfig {
             mc_samples: 0,
             ..FlowConfig::new(name)
         };
-        let setup = match flows::prepare(&cfg) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("{name}: {e} (skipped)");
-                continue;
-            }
-        };
-        let Ok(out) = statistical_for_yield(&setup.base, &setup.fm, setup.t_clk, cfg.eta) else {
-            eprintln!("{name}: flow infeasible (skipped)");
-            continue;
-        };
-        // Stress the design at a clock tighter than it was built for, so
-        // there are slow die for forward bias to rescue.
-        let ssta = Ssta::analyze(&out.design, &setup.fm);
-        let t_stress = ssta.clock_for_yield(0.85);
-        let r = MonteCarlo::new(McConfig {
-            samples: mc_samples(opts),
-            ..Default::default()
-        })
-        .run_abb(&out.design, &setup.fm, &AbbConfig::standard(t_stress));
-        let vdd = out.design.tech().vdd;
-        t.row(&[
-            name.to_string(),
-            format!("{t_stress:.1}"),
-            format!("{:.3}", r.yield_without_abb()),
-            format!("{:.3}", r.yield_with_abb()),
-            fmt_power(r.leakage_summary_unbiased().mean * vdd),
-            fmt_power(r.leakage_summary().mean * vdd),
-        ]);
+        ctx.cell("a3", name, &mut t, move || {
+            let setup = flows::prepare(&cfg)?;
+            let out = statistical_for_yield(&setup.base, &setup.fm, setup.t_clk, cfg.eta)?;
+            // Stress the design at a clock tighter than it was built for, so
+            // there are slow die for forward bias to rescue.
+            let ssta = Ssta::analyze(&out.design, &setup.fm);
+            let t_stress = ssta.clock_for_yield(0.85);
+            let r = MonteCarlo::new(McConfig {
+                samples,
+                ..Default::default()
+            })
+            .run_abb(&out.design, &setup.fm, &AbbConfig::standard(t_stress));
+            let vdd = out.design.tech().vdd;
+            Ok(vec![vec![
+                name.to_string(),
+                format!("{t_stress:.1}"),
+                format!("{:.3}", r.yield_without_abb()),
+                format!("{:.3}", r.yield_with_abb()),
+                fmt_power(r.leakage_summary_unbiased().mean * vdd),
+                fmt_power(r.leakage_summary().mean * vdd),
+            ]])
+        });
     }
     print!("{}", t.render());
-    save(opts, "a3_body_bias", &t);
+    ctx.save("a3_body_bias", &t);
 }
 
 /// T6 — sequential (ISCAS89-class) circuits with placement-driven wire
 /// loads: the headline comparison on FF-cut cores (extension experiment).
-fn t6(opts: &Options) {
+fn t6(ctx: &mut Ctx) {
     use statleak_netlist::benchmarks::SEQ_SUITE;
     println!("\n== T6: sequential suite (FF-cut cores, wire loads) ==");
-    let names: Vec<&str> = if opts.quick {
-        vec!["s27", "s344", "s526"]
-    } else {
-        SEQ_SUITE.iter().map(|s| s.name).collect()
-    };
+    let quick_names = ["s27", "s344", "s526"];
+    let specs: Vec<&statleak_netlist::benchmarks::SeqBenchmarkSpec> = SEQ_SUITE
+        .iter()
+        .filter(|s| !ctx.opts.quick || quick_names.contains(&s.name))
+        .collect();
     let mut t = Table::new(&[
         "circuit",
         "gates",
@@ -685,41 +824,40 @@ fn t6(opts: &Options) {
         "extra saving",
         "stat yield",
     ]);
-    for name in names {
-        let spec = SEQ_SUITE.iter().find(|s| s.name == name).expect("known");
+    for spec in specs {
         let cfg = FlowConfig {
             mc_samples: 0,
             wire_loads: true,
-            ..FlowConfig::new(name)
+            ..FlowConfig::new(spec.name)
         };
-        match flows::run_comparison(&cfg) {
-            Ok(o) => t.row(&[
-                name.to_string(),
+        ctx.cell("t6", spec.name, &mut t, move || {
+            let o = flows::run_comparison(&cfg)?;
+            Ok(vec![vec![
+                spec.name.to_string(),
                 spec.gates.to_string(),
                 spec.dffs.to_string(),
                 fmt_power(o.deterministic.leakage_p95),
                 fmt_power(o.statistical.leakage_p95),
                 fmt_pct(o.stat_extra_saving),
                 format!("{:.3}", o.statistical.timing_yield),
-            ]),
-            Err(e) => eprintln!("{name}: {e} (skipped)"),
-        }
+            ]])
+        });
     }
     print!("{}", t.render());
-    save(opts, "t6_sequential", &t);
+    ctx.save("t6_sequential", &t);
 }
 
 /// A4 — correlation-model comparison: grid-Cholesky kernel vs the
 /// Agarwal–Blaauw quadtree decomposition (extension experiment). Both are
 /// checked against Monte Carlo run through their own factor model.
-fn a4(opts: &Options) {
+fn a4(ctx: &mut Ctx) {
     use statleak_mc::{McConfig, MonteCarlo};
     use statleak_netlist::placement::Placement;
     use statleak_opt::sizing;
     use statleak_ssta::Ssta;
     use statleak_tech::{Design, FactorModel, Technology};
     println!("\n== A4: grid-Cholesky vs quadtree correlation model ==");
-    let circuits = if opts.quick {
+    let circuits = if ctx.opts.quick {
         vec!["c432", "c880"]
     } else {
         vec!["c432", "c880", "c1355"]
@@ -733,47 +871,43 @@ fn a4(opts: &Options) {
         "leak p95 (uW)",
         "MC leak p95",
     ]);
+    let samples = mc_samples(&ctx.opts);
     for name in circuits {
         let cfg = FlowConfig {
-            mc_samples: mc_samples(opts),
+            mc_samples: samples,
             ..FlowConfig::new(name)
         };
-        let setup = match flows::prepare(&cfg) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("{name}: {e} (skipped)");
-                continue;
+        ctx.cell("a4", name, &mut t, move || {
+            let setup = flows::prepare(&cfg)?;
+            let placement = Placement::by_level(&setup.circuit);
+            let tech = Technology::ptm100();
+            let fm_quad =
+                FactorModel::build_quadtree(&setup.circuit, &placement, &tech, &cfg.variation, 2);
+            let mut design = Design::new(std::sync::Arc::clone(&setup.circuit), tech);
+            sizing::size_for_delay(&mut design, setup.t_clk)?;
+            let mut rows = Vec::new();
+            for (label, fm) in [("grid 4x4", &setup.fm), ("quadtree L2", &fm_quad)] {
+                let ssta = Ssta::analyze(&design, fm);
+                let leak = statleak_leakage::LeakageAnalysis::analyze(&design, fm);
+                let mc = MonteCarlo::new(McConfig {
+                    samples: cfg.mc_samples.max(500),
+                    ..Default::default()
+                })
+                .run(&design, fm);
+                let vdd = design.tech().vdd;
+                rows.push(vec![
+                    name.to_string(),
+                    label.to_string(),
+                    fm.num_shared().to_string(),
+                    format!("{:.2}", ssta.circuit_delay().std()),
+                    format!("{:.2}", mc.delay_summary().std),
+                    format!("{:.2}", leak.total_power(&design).quantile(0.95) * 1e6),
+                    format!("{:.2}", mc.leakage_percentile(0.95) * vdd * 1e6),
+                ]);
             }
-        };
-        let placement = Placement::by_level(&setup.circuit);
-        let tech = Technology::ptm100();
-        let fm_quad =
-            FactorModel::build_quadtree(&setup.circuit, &placement, &tech, &cfg.variation, 2);
-        let mut design = Design::new(std::sync::Arc::clone(&setup.circuit), tech);
-        if sizing::size_for_delay(&mut design, setup.t_clk).is_err() {
-            eprintln!("{name}: sizing infeasible (skipped)");
-            continue;
-        }
-        for (label, fm) in [("grid 4x4", &setup.fm), ("quadtree L2", &fm_quad)] {
-            let ssta = Ssta::analyze(&design, fm);
-            let leak = statleak_leakage::LeakageAnalysis::analyze(&design, fm);
-            let mc = MonteCarlo::new(McConfig {
-                samples: cfg.mc_samples.max(500),
-                ..Default::default()
-            })
-            .run(&design, fm);
-            let vdd = design.tech().vdd;
-            t.row(&[
-                name.to_string(),
-                label.to_string(),
-                fm.num_shared().to_string(),
-                format!("{:.2}", ssta.circuit_delay().std()),
-                format!("{:.2}", mc.delay_summary().std),
-                format!("{:.2}", leak.total_power(&design).quantile(0.95) * 1e6),
-                format!("{:.2}", mc.leakage_percentile(0.95) * vdd * 1e6),
-            ]);
-        }
+            Ok(rows)
+        });
     }
     print!("{}", t.render());
-    save(opts, "a4_correlation_models", &t);
+    ctx.save("a4_correlation_models", &t);
 }

@@ -1,0 +1,380 @@
+//! Crash-safe checkpointing for the repro suite.
+//!
+//! The full reproduction run (`--bin repro`) takes tens of minutes; before
+//! this module existed, a crash or `kill -9` at minute 24 restarted the
+//! whole suite from zero. The harness now records the outcome of every
+//! `(experiment, circuit)` **cell** — the rendered table rows on success,
+//! the error class and message on failure — in a manifest directory under
+//! `<out>/.checkpoint/<config-hash>/`:
+//!
+//! * Each cell is one file, written **atomically** (temp file in the same
+//!   directory, then `rename`), so a kill mid-write can never corrupt a
+//!   completed cell: the manifest only ever contains whole cells.
+//! * The manifest directory is keyed by an FNV-1a hash of the run
+//!   configuration (format version + `--quick`), so a `--quick` run never
+//!   resumes from full-suite cells or vice versa.
+//! * Because a cell stores the exact table rows it rendered, a resumed run
+//!   assembles **byte-identical CSVs** to an uninterrupted run: cached
+//!   cells are spliced verbatim, only unfinished cells recompute.
+//! * Loading is tolerant: any unreadable, truncated, or version-mismatched
+//!   cell file is treated as absent and recomputed.
+//!
+//! Cells of an experiment are removed once the experiment completes in a
+//! finished run, so checkpoints only persist while a run is interrupted —
+//! a fresh invocation after a completed one recomputes from scratch.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Version tag written at the top of every cell file. Bump when the
+/// encoding changes; old cells then fail to load and recompute.
+const FORMAT_HEADER: &str = "statleak-ckpt v1";
+
+/// The recorded outcome of one `(experiment, circuit)` cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CellResult {
+    /// The cell computed successfully and produced these table rows.
+    Rows(Vec<Vec<String>>),
+    /// The cell failed; the suite continued with a structured failure row.
+    Failed {
+        /// Stable error class (see `FlowError::class`).
+        class: String,
+        /// Human-readable message.
+        message: String,
+    },
+}
+
+/// A checkpoint manifest bound to one output directory and configuration.
+#[derive(Debug)]
+pub struct Checkpoint {
+    dir: Option<PathBuf>,
+}
+
+impl Checkpoint {
+    /// Opens (creating if needed) the manifest for `config_key` under
+    /// `out_dir/.checkpoint/`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn open(out_dir: &Path, config_key: &str) -> io::Result<Self> {
+        let dir = out_dir
+            .join(".checkpoint")
+            .join(format!("{:016x}", fnv1a64(config_key.as_bytes())));
+        fs::create_dir_all(&dir)?;
+        Ok(Self { dir: Some(dir) })
+    }
+
+    /// A checkpoint that never stores or restores anything.
+    pub fn disabled() -> Self {
+        Self { dir: None }
+    }
+
+    /// Whether this checkpoint persists cells.
+    pub fn is_enabled(&self) -> bool {
+        self.dir.is_some()
+    }
+
+    /// The manifest directory, if enabled.
+    pub fn dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+
+    fn cell_path(&self, experiment: &str, cell: &str) -> Option<PathBuf> {
+        let dir = self.dir.as_ref()?;
+        Some(dir.join(cell_file_name(experiment, cell)))
+    }
+
+    /// Restores a previously stored cell, or `None` if it was never
+    /// stored, the manifest is disabled, or the file is unreadable or
+    /// corrupt (in which case the caller simply recomputes).
+    pub fn load(&self, experiment: &str, cell: &str) -> Option<CellResult> {
+        let text = fs::read_to_string(self.cell_path(experiment, cell)?).ok()?;
+        decode(&text)
+    }
+
+    /// Stores a cell atomically: the encoding is written to a temp file in
+    /// the manifest directory and renamed into place, so readers (and
+    /// resumed runs after a mid-write kill) only ever see whole cells.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors. A disabled checkpoint stores nothing and
+    /// returns `Ok`.
+    pub fn store(&self, experiment: &str, cell: &str, result: &CellResult) -> io::Result<()> {
+        let Some(path) = self.cell_path(experiment, cell) else {
+            return Ok(());
+        };
+        let tmp = path.with_extension(format!("tmp{}", std::process::id()));
+        fs::write(&tmp, encode(result))?;
+        fs::rename(&tmp, &path)
+    }
+
+    /// Removes every stored cell of `experiment` (called once the
+    /// experiment has fully completed in a finished run).
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-listing errors; missing files are fine.
+    pub fn clear_experiment(&self, experiment: &str) -> io::Result<()> {
+        let Some(dir) = self.dir.as_ref() else {
+            return Ok(());
+        };
+        let prefix = format!("{}--", sanitize(experiment));
+        for entry in fs::read_dir(dir)? {
+            let entry = entry?;
+            if entry
+                .file_name()
+                .to_str()
+                .is_some_and(|n| n.starts_with(&prefix))
+            {
+                let _ = fs::remove_file(entry.path());
+            }
+        }
+        Ok(())
+    }
+
+    /// Removes the whole manifest directory (the `--fresh` flag).
+    ///
+    /// # Errors
+    ///
+    /// Propagates removal errors; an absent directory is fine.
+    pub fn clear_all(&self) -> io::Result<()> {
+        match self.dir.as_ref() {
+            Some(dir) if dir.exists() => {
+                fs::remove_dir_all(dir).and_then(|()| fs::create_dir_all(dir))
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+/// One file per cell: sanitized names plus a short hash of the exact key,
+/// so unusual circuit names can never collide after sanitization.
+fn cell_file_name(experiment: &str, cell: &str) -> String {
+    let key = format!("{experiment}\x1f{cell}");
+    format!(
+        "{}--{}-{:08x}.cell",
+        sanitize(experiment),
+        sanitize(cell),
+        fnv1a64(key.as_bytes()) as u32
+    )
+}
+
+fn sanitize(s: &str) -> String {
+    s.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// 64-bit FNV-1a: tiny, dependency-free, and stable across platforms.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Escapes a cell string so rows join with `\x1f` and lines with `\n`
+/// unambiguously.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\x1f' => out.push_str("\\s"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape(s: &str) -> Option<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('s') => out.push('\x1f'),
+            _ => return None, // corrupt escape: treat the cell as absent
+        }
+    }
+    Some(out)
+}
+
+fn encode(result: &CellResult) -> String {
+    let mut out = String::new();
+    out.push_str(FORMAT_HEADER);
+    out.push('\n');
+    match result {
+        CellResult::Rows(rows) => {
+            out.push_str("ok\n");
+            for row in rows {
+                let line: Vec<String> = row.iter().map(|c| escape(c)).collect();
+                out.push_str(&line.join("\x1f"));
+                out.push('\n');
+            }
+        }
+        CellResult::Failed { class, message } => {
+            out.push_str("err\n");
+            out.push_str(&escape(class));
+            out.push('\n');
+            out.push_str(&escape(message));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+fn decode(text: &str) -> Option<CellResult> {
+    let mut lines = text.lines();
+    if lines.next()? != FORMAT_HEADER {
+        return None;
+    }
+    match lines.next()? {
+        "ok" => {
+            let mut rows = Vec::new();
+            for line in lines {
+                let row: Option<Vec<String>> = line.split('\x1f').map(unescape).collect();
+                rows.push(row?);
+            }
+            Some(CellResult::Rows(rows))
+        }
+        "err" => Some(CellResult::Failed {
+            class: unescape(lines.next()?)?,
+            message: unescape(lines.next()?)?,
+        }),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("statleak_ckpt_test_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn round_trips_rows_with_awkward_content() {
+        let dir = tmp_dir("rows");
+        let ck = Checkpoint::open(&dir, "k").unwrap();
+        let rows = CellResult::Rows(vec![
+            vec!["c432".into(), "1.2 uW".into()],
+            vec![
+                "multi\nline, with, commas".into(),
+                "back\\slash\x1funit".into(),
+            ],
+        ]);
+        ck.store("t2", "c432", &rows).unwrap();
+        assert_eq!(ck.load("t2", "c432"), Some(rows));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn round_trips_failures() {
+        let dir = tmp_dir("fail");
+        let ck = Checkpoint::open(&dir, "k").unwrap();
+        let f = CellResult::Failed {
+            class: "infeasible".into(),
+            message: "sizing cannot reach 100.00 ps".into(),
+        };
+        ck.store("t3", "c880", &f).unwrap();
+        assert_eq!(ck.load("t3", "c880"), Some(f));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_and_corrupt_cells_load_as_none() {
+        let dir = tmp_dir("corrupt");
+        let ck = Checkpoint::open(&dir, "k").unwrap();
+        assert_eq!(ck.load("t2", "c432"), None);
+        // A truncated/garbage file must be treated as absent, not a panic.
+        let path = ck.dir().unwrap().join(cell_file_name("t2", "c432"));
+        fs::write(&path, "statleak-ckpt v1\nok\nbad\\escape\\q").unwrap();
+        assert_eq!(ck.load("t2", "c432"), None);
+        fs::write(&path, "something else entirely").unwrap();
+        assert_eq!(ck.load("t2", "c432"), None);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn different_config_keys_are_isolated() {
+        let dir = tmp_dir("keys");
+        let full = Checkpoint::open(&dir, "quick=false").unwrap();
+        let quick = Checkpoint::open(&dir, "quick=true").unwrap();
+        full.store("t2", "c432", &CellResult::Rows(vec![vec!["full".into()]]))
+            .unwrap();
+        assert_eq!(quick.load("t2", "c432"), None);
+        assert!(full.load("t2", "c432").is_some());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn clear_experiment_is_scoped() {
+        let dir = tmp_dir("clear");
+        let ck = Checkpoint::open(&dir, "k").unwrap();
+        let r = CellResult::Rows(vec![vec!["x".into()]]);
+        ck.store("t2", "c432", &r).unwrap();
+        ck.store("t3", "c432", &r).unwrap();
+        ck.clear_experiment("t2").unwrap();
+        assert_eq!(ck.load("t2", "c432"), None);
+        assert_eq!(ck.load("t3", "c432"), Some(r));
+        ck.clear_all().unwrap();
+        assert_eq!(ck.load("t3", "c432"), None);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disabled_checkpoint_is_inert() {
+        let ck = Checkpoint::disabled();
+        assert!(!ck.is_enabled());
+        ck.store("t2", "c432", &CellResult::Rows(vec![])).unwrap();
+        assert_eq!(ck.load("t2", "c432"), None);
+        ck.clear_experiment("t2").unwrap();
+        ck.clear_all().unwrap();
+    }
+
+    #[test]
+    fn store_overwrites_atomically_with_no_stray_temp_files() {
+        let dir = tmp_dir("atomic");
+        let ck = Checkpoint::open(&dir, "k").unwrap();
+        ck.store("t2", "c432", &CellResult::Rows(vec![vec!["v1".into()]]))
+            .unwrap();
+        ck.store("t2", "c432", &CellResult::Rows(vec![vec!["v2".into()]]))
+            .unwrap();
+        assert_eq!(
+            ck.load("t2", "c432"),
+            Some(CellResult::Rows(vec![vec!["v2".into()]]))
+        );
+        let leftovers: Vec<_> = fs::read_dir(ck.dir().unwrap())
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|x| x != "cell"))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -7,6 +7,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
+
 use statleak_netlist::{benchmarks, placement::Placement, Circuit};
 use statleak_tech::{Design, FactorModel, Technology, VariationConfig};
 use std::sync::Arc;

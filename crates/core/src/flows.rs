@@ -21,6 +21,20 @@ pub enum FlowError {
     Sizing(statleak_opt::SizeError),
 }
 
+impl FlowError {
+    /// A stable machine-readable class name for this error, used by the
+    /// repro harness to record structured failure rows and by the CLI to
+    /// pick exit codes. The names are part of the output format
+    /// (`results/failures.csv`) and must not change between releases.
+    pub fn class(&self) -> &'static str {
+        match self {
+            FlowError::UnknownBenchmark(_) => "unknown-benchmark",
+            FlowError::Correlation(_) => "correlation",
+            FlowError::Sizing(_) => "infeasible",
+        }
+    }
+}
+
 impl std::fmt::Display for FlowError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {

@@ -78,6 +78,16 @@ impl Table {
         out
     }
 
+    /// Appends a structured failure row: the first column carries `label`,
+    /// every remaining column a `-` placeholder. The repro harness uses
+    /// this to keep a failed circuit visible in tables and CSVs without
+    /// aborting the rest of the suite.
+    pub fn failure_row(&mut self, label: &str) {
+        let mut cells = vec![label.to_string()];
+        cells.resize(self.headers.len().max(1), "-".to_string());
+        self.rows.push(cells);
+    }
+
     /// The number of data rows.
     pub fn len(&self) -> usize {
         self.rows.len()
@@ -204,11 +214,11 @@ pub fn timing_report(
     let mut out = String::new();
     let circuit = design.circuit();
     for (pi, path) in sta.top_paths(design, k).iter().enumerate() {
-        let start = circuit.node(path.nodes[0]).name.as_str();
-        let end = circuit
-            .node(*path.nodes.last().expect("non-empty path"))
-            .name
-            .as_str();
+        let (Some(&first), Some(&last)) = (path.nodes.first(), path.nodes.last()) else {
+            continue;
+        };
+        let start = circuit.node(first).name.as_str();
+        let end = circuit.node(last).name.as_str();
         let _ = writeln!(
             out,
             "Path {} — startpoint {start} (input), endpoint {end} (output)",

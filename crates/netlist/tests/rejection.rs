@@ -1,0 +1,136 @@
+//! Parser-rejection corpus: malformed `.bench` and structural-Verilog
+//! inputs must come back as typed errors — never panics, never silently
+//! mis-parsed netlists. Each case pins the error variant so a regression
+//! in diagnostics (e.g. a cycle reported as a syntax error) is caught.
+
+use statleak_netlist::bench::{self, ParseBenchError};
+use statleak_netlist::verilog::{self, ParseVerilogError};
+use statleak_netlist::BuildError;
+
+// ---------------------------------------------------------------- .bench --
+
+#[test]
+fn bench_rejects_garbage_line_with_line_number() {
+    let src = "INPUT(a)\nthis is not a bench line\n";
+    match bench::parse("t", src) {
+        Err(ParseBenchError::Syntax { line, .. }) => assert_eq!(line, 2),
+        other => panic!("expected Syntax, got {other:?}"),
+    }
+}
+
+#[test]
+fn bench_rejects_unknown_gate_keyword() {
+    let src = "INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n";
+    match bench::parse("t", src) {
+        Err(ParseBenchError::UnknownGate { line, .. }) => assert_eq!(line, 3),
+        other => panic!("expected UnknownGate, got {other:?}"),
+    }
+}
+
+#[test]
+fn bench_rejects_fanin_to_undeclared_signal() {
+    let src = "INPUT(a)\nOUTPUT(y)\ny = NAND(a, ghost)\n";
+    assert!(matches!(
+        bench::parse("t", src),
+        Err(ParseBenchError::Build(BuildError::UnknownSignal(_)))
+    ));
+}
+
+#[test]
+fn bench_rejects_duplicate_signal_names() {
+    let src = "INPUT(a)\nINPUT(a)\nOUTPUT(y)\ny = NOT(a)\n";
+    assert!(matches!(
+        bench::parse("t", src),
+        Err(ParseBenchError::Build(BuildError::DuplicateName(_)))
+    ));
+}
+
+#[test]
+fn bench_rejects_combinational_cycle() {
+    let src = "INPUT(a)\nOUTPUT(y)\nx = NAND(a, y)\ny = NAND(a, x)\n";
+    assert!(matches!(
+        bench::parse("t", src),
+        Err(ParseBenchError::Build(BuildError::Cycle(_)))
+    ));
+}
+
+#[test]
+fn bench_rejects_netlist_without_outputs() {
+    let src = "INPUT(a)\nx = NOT(a)\n";
+    assert!(matches!(
+        bench::parse("t", src),
+        Err(ParseBenchError::Build(BuildError::NoOutputs))
+    ));
+}
+
+#[test]
+fn bench_rejects_empty_input() {
+    assert!(bench::parse("t", "").is_err());
+}
+
+#[test]
+fn bench_rejects_unbalanced_parens() {
+    assert!(bench::parse("t", "INPUT(a\n").is_err());
+}
+
+#[test]
+fn bench_errors_render_line_numbers() {
+    let err = bench::parse("t", "INPUT(a)\n???\n").unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains('2'), "{msg}");
+}
+
+// --------------------------------------------------------------- verilog --
+
+#[test]
+fn verilog_rejects_missing_module_header() {
+    assert!(matches!(
+        verilog::parse("wire x;\n"),
+        Err(ParseVerilogError::MissingModule)
+    ));
+}
+
+#[test]
+fn verilog_rejects_unsupported_primitive() {
+    let src = "module t (a, y);\ninput a;\noutput y;\nxnor3 g1 (y, a, a, a);\nendmodule\n";
+    match verilog::parse(src) {
+        Err(ParseVerilogError::Unsupported { keyword }) => {
+            assert_eq!(keyword, "xnor3");
+        }
+        Err(ParseVerilogError::Syntax { .. }) => {} // also acceptable: typed, not a panic
+        other => panic!("expected rejection, got {other:?}"),
+    }
+}
+
+#[test]
+fn verilog_rejects_garbage_statement() {
+    let src = "module t (a, y);\ninput a;\noutput y;\n%%%;\nendmodule\n";
+    assert!(verilog::parse(src).is_err());
+}
+
+#[test]
+fn verilog_rejects_undeclared_fanin() {
+    let src = "module t (a, y);\ninput a;\noutput y;\nnand g1 (y, a, ghost);\nendmodule\n";
+    assert!(matches!(
+        verilog::parse(src),
+        Err(ParseVerilogError::Build(BuildError::UnknownSignal(_)))
+    ));
+}
+
+#[test]
+fn verilog_rejects_empty_input() {
+    assert!(verilog::parse("").is_err());
+}
+
+#[test]
+fn verilog_errors_are_displayable_and_sourced() {
+    // Every rejection renders a human-readable message (used verbatim by
+    // the CLI's `parse error:` output).
+    for src in ["", "module t (y);\noutput y;\nfrob g (y);\nendmodule\n"] {
+        if let Err(e) = verilog::parse(src) {
+            assert!(!e.to_string().is_empty());
+        } else {
+            panic!("corpus entry unexpectedly parsed: {src:?}");
+        }
+    }
+}

@@ -88,12 +88,17 @@ pub fn percentile_of_sorted(sorted: &[f64], p: f64) -> f64 {
 
 /// A fixed-bin histogram over `[lo, hi)` with outliers counted in the edge
 /// bins, used to render Monte-Carlo leakage/delay distributions.
+///
+/// Non-finite observations (NaN, ±∞) are never binned — `NaN as usize`
+/// would land in bin 0 and silently distort the distribution — they are
+/// skipped and counted in [`Histogram::dropped`] instead.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
     lo: f64,
     hi: f64,
     counts: Vec<u64>,
     total: u64,
+    dropped: u64,
 }
 
 impl Histogram {
@@ -110,18 +115,28 @@ impl Histogram {
             hi,
             counts: vec![0; bins],
             total: 0,
+            dropped: 0,
         }
     }
 
-    /// Builds a histogram spanning the sample range.
+    /// Builds a histogram spanning the finite sample range. Non-finite
+    /// samples do not contribute to the range and are counted as dropped.
     ///
     /// # Panics
     ///
     /// Panics if `samples` is empty or `bins == 0`.
     pub fn from_samples(samples: &[f64], bins: usize) -> Self {
         assert!(!samples.is_empty(), "empty sample");
-        let lo = samples.iter().copied().fold(f64::INFINITY, f64::min);
-        let hi = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let finite = samples.iter().copied().filter(|x| x.is_finite());
+        let lo = finite.clone().fold(f64::INFINITY, f64::min);
+        let hi = finite.fold(f64::NEG_INFINITY, f64::max);
+        // All-non-finite input: an arbitrary unit range; every sample is
+        // dropped by `add` below.
+        let (lo, hi) = if lo.is_finite() && hi.is_finite() {
+            (lo, hi)
+        } else {
+            (0.0, 1.0)
+        };
         // Guard the degenerate all-equal case: give the single value a
         // range wide enough to survive floating-point addition at `lo`.
         let span = (hi - lo).max(lo.abs() * 1e-9).max(1e-12);
@@ -132,8 +147,14 @@ impl Histogram {
         h
     }
 
-    /// Adds one observation; values outside `[lo, hi)` clamp to edge bins.
+    /// Adds one observation; finite values outside `[lo, hi)` clamp to
+    /// edge bins, non-finite values (NaN, ±∞) are skipped and counted in
+    /// [`Histogram::dropped`].
     pub fn add(&mut self, x: f64) {
+        if !x.is_finite() {
+            self.dropped += 1;
+            return;
+        }
         let bins = self.counts.len();
         let idx = ((x - self.lo) / (self.hi - self.lo) * bins as f64)
             .floor()
@@ -147,9 +168,14 @@ impl Histogram {
         &self.counts
     }
 
-    /// Total number of observations.
+    /// Total number of binned observations (excludes dropped ones).
     pub fn total(&self) -> u64 {
         self.total
+    }
+
+    /// Number of non-finite observations skipped by [`Histogram::add`].
+    pub fn dropped(&self) -> u64 {
+        self.dropped
     }
 
     /// Center of bin `i`.
@@ -178,12 +204,19 @@ impl Histogram {
     }
 
     /// Renders an ASCII bar chart, one bin per line, for quick inspection.
+    /// A trailing line reports dropped (non-finite) observations, if any.
     pub fn to_ascii(&self, width: usize) -> String {
         let max = self.counts.iter().copied().max().unwrap_or(1).max(1);
         let mut out = String::new();
         for (i, &c) in self.counts.iter().enumerate() {
             let bar = "#".repeat((c as usize * width) / max as usize);
             out.push_str(&format!("{:>12.4e} | {bar} {c}\n", self.bin_center(i)));
+        }
+        if self.dropped > 0 {
+            out.push_str(&format!(
+                "  ({} non-finite sample(s) dropped)\n",
+                self.dropped
+            ));
         }
         out
     }
@@ -254,5 +287,79 @@ mod tests {
     #[should_panic(expected = "empty sample")]
     fn summary_rejects_empty() {
         let _ = Summary::from_samples(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn percentile_rejects_empty() {
+        let _ = percentile_of_sorted(&[], 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be in [0,1]")]
+    fn percentile_rejects_p_above_one() {
+        let _ = percentile_of_sorted(&[1.0, 2.0], 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be in [0,1]")]
+    fn percentile_rejects_negative_p() {
+        let _ = percentile_of_sorted(&[1.0, 2.0], -0.1);
+    }
+
+    #[test]
+    fn histogram_drops_nan_instead_of_bin_zero() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.add(f64::NAN);
+        h.add(5.0);
+        assert_eq!(h.counts()[0], 0, "NaN must not land in bin 0");
+        assert_eq!(h.total(), 1);
+        assert_eq!(h.dropped(), 1);
+        // Density still normalizes over the binned observations only.
+        assert!((h.density(5) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_drops_infinities() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.add(f64::INFINITY);
+        h.add(f64::NEG_INFINITY);
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.dropped(), 2);
+        assert_eq!(h.counts().iter().sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn histogram_from_samples_ignores_nan_for_range() {
+        let h = Histogram::from_samples(&[1.0, f64::NAN, 3.0], 2);
+        assert_eq!(h.total(), 2);
+        assert_eq!(h.dropped(), 1);
+        // Range spans the finite values only.
+        assert!(h.bin_center(0) > 1.0 && h.bin_center(1) < 3.1);
+    }
+
+    #[test]
+    fn histogram_from_all_nan_samples_drops_everything() {
+        let h = Histogram::from_samples(&[f64::NAN, f64::NAN], 3);
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.dropped(), 2);
+        for i in 0..3 {
+            assert_eq!(h.density(i), 0.0);
+        }
+    }
+
+    #[test]
+    fn histogram_single_sample() {
+        let h = Histogram::from_samples(&[7.5], 4);
+        assert_eq!(h.total(), 1);
+        assert_eq!(h.counts().iter().sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn ascii_reports_dropped() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.add(0.5);
+        h.add(f64::NAN);
+        assert!(h.to_ascii(10).contains("1 non-finite"));
     }
 }

@@ -5,7 +5,7 @@
 //! statleak benchmarks
 //!     List the built-in ISCAS85-class benchmark suite.
 //!
-//! statleak analyze   --input FILE [--clock-ps N]
+//! statleak analyze   --input FILE [--clock-ps N] [--report K]
 //!     Timing (STA/SSTA), leakage, and yield report for a netlist.
 //!
 //! statleak optimize  --input FILE [--slack-factor F] [--eta E]
@@ -17,8 +17,16 @@
 //! ```
 //!
 //! `--input` accepts `.bench` (ISCAS85/89; DFFs are cut) or structural
-//! Verilog (`.v`), or the name of a built-in benchmark (e.g. `c880`).
+//! Verilog (`.v`/`.verilog`, any case), or the name of a built-in
+//! benchmark (e.g. `c880`). Files with any other extension are rejected
+//! rather than guessed at.
+//!
+//! Argument parsing is strict: unknown flags, flags missing their value,
+//! and unparsable values are errors, not silently ignored defaults. Each
+//! failure class exits with a stable code (see [`statleak::error`]):
+//! 2 usage, 3 I/O, 4 parse, 5 model, 6 infeasible.
 
+use statleak::error::StatleakError;
 use statleak::leakage::LeakageAnalysis;
 use statleak::mc::{McConfig, MonteCarlo};
 use statleak::netlist::{bench, benchmarks, placement::Placement, verilog, Circuit};
@@ -26,7 +34,9 @@ use statleak::opt::{sizing, statistical_flow, StatisticalOptimizer};
 use statleak::ssta::Ssta;
 use statleak::sta::{SlewSta, Sta};
 use statleak::tech::{liberty, Design, FactorModel, Technology, VariationConfig};
+use std::collections::BTreeMap;
 use std::process::ExitCode;
+use std::str::FromStr;
 use std::sync::Arc;
 
 fn main() -> ExitCode {
@@ -34,27 +44,36 @@ fn main() -> ExitCode {
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("statleak: {e}");
-            ExitCode::FAILURE
+            eprintln!("statleak: {} error: {e}", e.class());
+            ExitCode::from(e.exit_code())
         }
     }
 }
 
-fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+fn run(args: &[String]) -> Result<(), StatleakError> {
     let Some(command) = args.first() else {
         print_usage();
         return Ok(());
     };
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print_usage();
+        return Ok(());
+    }
     match command.as_str() {
-        "benchmarks" => cmd_benchmarks(),
+        "benchmarks" => {
+            parse_flags(&args[1..], &[], &[])?;
+            cmd_benchmarks()
+        }
         "analyze" => cmd_analyze(&args[1..]),
         "optimize" => cmd_optimize(&args[1..]),
         "export-lib" => cmd_export_lib(&args[1..]),
-        "--help" | "-h" | "help" => {
+        "help" => {
             print_usage();
             Ok(())
         }
-        other => Err(format!("unknown command `{other}` (try --help)").into()),
+        other => Err(StatleakError::Usage(format!(
+            "unknown command `{other}` (try --help)"
+        ))),
     }
 }
 
@@ -69,39 +88,106 @@ fn print_usage() {
          \x20           [--out-verilog F] [--out-bench F]\n\
          \x20 export-lib [--out FILE]\n\
          \n\
-         --input accepts .bench, .v, or a built-in name like c880"
+         --input accepts .bench, .v, or a built-in name like c880\n\
+         exit codes: 0 ok, 2 usage, 3 io, 4 parse, 5 model, 6 infeasible"
     );
 }
 
-fn flag_value<'a>(args: &'a [String], key: &str) -> Option<&'a str> {
-    args.iter()
-        .position(|a| a == key)
-        .and_then(|i| args.get(i + 1))
-        .map(String::as_str)
+/// Strict flag parser: every argument must be a known flag; flags in
+/// `value_flags` consume the following argument, flags in `bool_flags`
+/// stand alone. Unknown flags, missing values, stray positionals, and
+/// duplicates are usage errors — nothing is silently ignored.
+fn parse_flags(
+    args: &[String],
+    value_flags: &[&str],
+    bool_flags: &[&str],
+) -> Result<BTreeMap<String, String>, StatleakError> {
+    let mut out = BTreeMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i].as_str();
+        if !a.starts_with("--") {
+            return Err(StatleakError::Usage(format!(
+                "unexpected argument `{a}` (see --help)"
+            )));
+        }
+        let value = if bool_flags.contains(&a) {
+            i += 1;
+            String::new()
+        } else if value_flags.contains(&a) {
+            let Some(v) = args.get(i + 1) else {
+                return Err(StatleakError::Usage(format!("flag `{a}` requires a value")));
+            };
+            i += 2;
+            v.clone()
+        } else {
+            return Err(StatleakError::Usage(format!(
+                "unknown flag `{a}` (see --help)"
+            )));
+        };
+        if out.insert(a.to_string(), value).is_some() {
+            return Err(StatleakError::Usage(format!("duplicate flag `{a}`")));
+        }
+    }
+    Ok(out)
 }
 
-fn flag_present(args: &[String], key: &str) -> bool {
-    args.iter().any(|a| a == key)
+/// Parses an optional flag value, reporting the flag and text on failure.
+fn get_parsed<T: FromStr>(
+    flags: &BTreeMap<String, String>,
+    key: &str,
+) -> Result<Option<T>, StatleakError> {
+    match flags.get(key) {
+        None => Ok(None),
+        Some(v) => v
+            .parse()
+            .map(Some)
+            .map_err(|_| StatleakError::Usage(format!("invalid value `{v}` for `{key}`"))),
+    }
 }
 
-fn load_circuit(args: &[String]) -> Result<Circuit, Box<dyn std::error::Error>> {
-    let input = flag_value(args, "--input").ok_or("missing --input")?;
+fn require_positive(key: &str, x: f64) -> Result<f64, StatleakError> {
+    if x.is_finite() && x > 0.0 {
+        Ok(x)
+    } else {
+        Err(StatleakError::Usage(format!(
+            "`{key}` must be a positive finite number, got {x}"
+        )))
+    }
+}
+
+fn load_circuit(flags: &BTreeMap<String, String>) -> Result<Circuit, StatleakError> {
+    let input = flags
+        .get("--input")
+        .ok_or_else(|| StatleakError::Usage("missing --input".into()))?;
     if let Some(c) = benchmarks::by_name(input) {
         return Ok(c);
     }
-    let text = std::fs::read_to_string(input).map_err(|e| format!("cannot read `{input}`: {e}"))?;
-    let stem = std::path::Path::new(input)
+    let path = std::path::Path::new(input);
+    let ext = path
+        .extension()
+        .and_then(|s| s.to_str())
+        .map(str::to_ascii_lowercase);
+    let stem = path
         .file_stem()
         .and_then(|s| s.to_str())
         .unwrap_or("design");
-    if input.ends_with(".v") {
-        Ok(verilog::parse(&text)?)
-    } else {
-        Ok(bench::parse(stem, &text)?)
+    let read = || {
+        std::fs::read_to_string(input).map_err(|e| StatleakError::Io {
+            path: input.clone(),
+            source: e,
+        })
+    };
+    match ext.as_deref() {
+        Some("v") | Some("verilog") => Ok(verilog::parse(&read()?)?),
+        Some("bench") => Ok(bench::parse(stem, &read()?)?),
+        _ => Err(StatleakError::UnknownFormat {
+            path: input.clone(),
+        }),
     }
 }
 
-fn build_context(circuit: Circuit) -> Result<(Design, FactorModel), Box<dyn std::error::Error>> {
+fn build_context(circuit: Circuit) -> Result<(Design, FactorModel), StatleakError> {
     let circuit = Arc::new(circuit);
     let placement = Placement::by_level(&circuit);
     let tech = Technology::ptm100();
@@ -109,7 +195,14 @@ fn build_context(circuit: Circuit) -> Result<(Design, FactorModel), Box<dyn std:
     Ok((Design::new(circuit, tech), fm))
 }
 
-fn cmd_benchmarks() -> Result<(), Box<dyn std::error::Error>> {
+fn write_file(path: &str, text: String) -> Result<(), StatleakError> {
+    std::fs::write(path, text).map_err(|e| StatleakError::Io {
+        path: path.to_string(),
+        source: e,
+    })
+}
+
+fn cmd_benchmarks() -> Result<(), StatleakError> {
     println!(
         "{:<8} {:>7} {:>8} {:>6} {:>6}  function",
         "name", "inputs", "outputs", "gates", "depth"
@@ -123,8 +216,15 @@ fn cmd_benchmarks() -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
-fn cmd_analyze(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
-    let (design, fm) = build_context(load_circuit(args)?)?;
+fn cmd_analyze(args: &[String]) -> Result<(), StatleakError> {
+    let flags = parse_flags(args, &["--input", "--clock-ps", "--report"], &[])?;
+    // Validate every value before the (expensive) analysis starts.
+    let clock_override = match get_parsed::<f64>(&flags, "--clock-ps")? {
+        Some(v) => Some(require_positive("--clock-ps", v)?),
+        None => None,
+    };
+    let report_k = get_parsed::<usize>(&flags, "--report")?;
+    let (design, fm) = build_context(load_circuit(&flags)?)?;
     let stats = design.circuit().stats();
     println!(
         "{}: {} inputs, {} outputs, {} gates, depth {}",
@@ -153,17 +253,13 @@ fn cmd_analyze(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         power.mean() * 1e6,
         power.quantile(0.95) * 1e6
     );
-    let t_clk = match flag_value(args, "--clock-ps") {
-        Some(v) => v.parse::<f64>().map_err(|_| "bad --clock-ps")?,
-        None => ssta.clock_for_yield(0.95),
-    };
+    let t_clk = clock_override.unwrap_or_else(|| ssta.clock_for_yield(0.95));
     println!(
         "yield @ {:.1} ps    : {:.4} (SSTA)",
         t_clk,
         ssta.timing_yield(t_clk)
     );
-    if let Some(k) = flag_value(args, "--report") {
-        let k: usize = k.parse().map_err(|_| "bad --report")?;
+    if let Some(k) = report_k {
         println!();
         print!(
             "{}",
@@ -173,18 +269,38 @@ fn cmd_analyze(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
-fn cmd_optimize(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
-    let (base, fm) = build_context(load_circuit(args)?)?;
-    let slack: f64 = flag_value(args, "--slack-factor")
-        .map(|v| v.parse())
-        .transpose()
-        .map_err(|_| "bad --slack-factor")?
-        .unwrap_or(1.20);
-    let eta: f64 = flag_value(args, "--eta")
-        .map(|v| v.parse())
-        .transpose()
-        .map_err(|_| "bad --eta")?
-        .unwrap_or(0.95);
+fn cmd_optimize(args: &[String]) -> Result<(), StatleakError> {
+    let flags = parse_flags(
+        args,
+        &[
+            "--input",
+            "--slack-factor",
+            "--eta",
+            "--out-verilog",
+            "--out-bench",
+        ],
+        &["--triple-vth"],
+    )?;
+    // Validate every value before the (expensive) flow starts.
+    let slack = match get_parsed::<f64>(&flags, "--slack-factor")? {
+        Some(v) if v.is_finite() && v >= 1.0 => v,
+        Some(v) => {
+            return Err(StatleakError::Usage(format!(
+                "`--slack-factor` must be >= 1.0 (a multiple of Dmin), got {v}"
+            )))
+        }
+        None => 1.20,
+    };
+    let eta = match get_parsed::<f64>(&flags, "--eta")? {
+        Some(v) if v > 0.0 && v < 1.0 => v,
+        Some(v) => {
+            return Err(StatleakError::Usage(format!(
+                "`--eta` must be a yield in (0, 1), got {v}"
+            )))
+        }
+        None => 0.95,
+    };
+    let (base, fm) = build_context(load_circuit(&flags)?)?;
 
     eprintln!("estimating minimum delay...");
     let dmin = sizing::min_delay_estimate(&base);
@@ -192,7 +308,7 @@ fn cmd_optimize(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     eprintln!("Dmin = {dmin:.1} ps, clock target = {t_clk:.1} ps, yield target = {eta}");
 
     let mut proto = StatisticalOptimizer::new(t_clk).with_yield_target(eta);
-    if flag_present(args, "--triple-vth") {
+    if flags.contains_key("--triple-vth") {
         proto = proto.with_triple_vth();
     }
     let out = statistical_flow(&base, &fm, &proto)?;
@@ -223,22 +339,23 @@ fn cmd_optimize(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         mc.leakage_percentile(0.95) * out.design.tech().vdd * 1e6
     );
 
-    if let Some(path) = flag_value(args, "--out-verilog") {
-        std::fs::write(path, verilog::write(out.design.circuit()))?;
+    if let Some(path) = flags.get("--out-verilog") {
+        write_file(path, verilog::write(out.design.circuit()))?;
         eprintln!("wrote {path}");
     }
-    if let Some(path) = flag_value(args, "--out-bench") {
-        std::fs::write(path, bench::write(out.design.circuit()))?;
+    if let Some(path) = flags.get("--out-bench") {
+        write_file(path, bench::write(out.design.circuit()))?;
         eprintln!("wrote {path}");
     }
     Ok(())
 }
 
-fn cmd_export_lib(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+fn cmd_export_lib(args: &[String]) -> Result<(), StatleakError> {
+    let flags = parse_flags(args, &["--out"], &[])?;
     let text = liberty::export(&Technology::ptm100(), "statleak100");
-    match flag_value(args, "--out") {
+    match flags.get("--out") {
         Some(path) => {
-            std::fs::write(path, text)?;
+            write_file(path, text)?;
             eprintln!("wrote {path}");
         }
         None => print!("{text}"),

@@ -1,0 +1,215 @@
+//! The typed error hierarchy of the `statleak` front end.
+//!
+//! Every user-input-reachable failure — bad CLI usage, unreadable files,
+//! netlist/library parse errors, correlation-model breakdowns, infeasible
+//! optimization targets — is funnelled into [`StatleakError`], which maps
+//! each class onto a **stable process exit code** so scripts and CI can
+//! dispatch on the failure kind without scraping stderr:
+//!
+//! | code | class        | meaning                                        |
+//! |------|--------------|------------------------------------------------|
+//! | 0    | —            | success                                        |
+//! | 1    | `internal`   | unexpected/internal error                      |
+//! | 2    | `usage`      | bad command line (unknown command/flag, missing or invalid value, unknown benchmark) |
+//! | 3    | `io`         | file could not be read or written              |
+//! | 4    | `parse`      | netlist or Liberty input failed to parse, or the input format could not be inferred |
+//! | 5    | `model`      | statistical model construction failed (correlation matrix not positive definite) |
+//! | 6    | `infeasible` | the optimization target cannot be met          |
+//!
+//! The mapping is part of the CLI contract (see the README) and must not
+//! change between releases.
+
+use statleak_core::FlowError;
+use statleak_netlist::bench::ParseBenchError;
+use statleak_netlist::verilog::ParseVerilogError;
+use statleak_opt::SizeError;
+use statleak_stats::CholeskyError;
+use statleak_tech::liberty::ParseLibertyError;
+use std::fmt;
+
+/// All failures the `statleak` CLI and facade surface to callers.
+#[derive(Debug)]
+pub enum StatleakError {
+    /// Bad command-line usage: unknown command or flag, a flag missing its
+    /// value, an invalid value, or an unknown built-in benchmark name.
+    Usage(String),
+    /// A file could not be read or written.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// The input file's format could not be inferred from its extension.
+    UnknownFormat {
+        /// The offending path.
+        path: String,
+    },
+    /// A `.bench` netlist failed to parse.
+    ParseBench(ParseBenchError),
+    /// A structural-Verilog netlist failed to parse.
+    ParseVerilog(ParseVerilogError),
+    /// A Liberty-subset library failed to parse.
+    Liberty(ParseLibertyError),
+    /// The spatial-correlation matrix failed to factor.
+    Correlation(CholeskyError),
+    /// A sizing/optimization target cannot be met.
+    Infeasible(SizeError),
+    /// An experiment-flow error (wraps [`FlowError`] for facade users).
+    Flow(FlowError),
+}
+
+impl StatleakError {
+    /// The stable process exit code for this error class (see the module
+    /// docs for the table).
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            StatleakError::Usage(_) => 2,
+            StatleakError::Io { .. } => 3,
+            StatleakError::UnknownFormat { .. } | StatleakError::ParseBench(_) => 4,
+            StatleakError::ParseVerilog(_) | StatleakError::Liberty(_) => 4,
+            StatleakError::Correlation(_) => 5,
+            StatleakError::Infeasible(_) => 6,
+            StatleakError::Flow(e) => match e {
+                FlowError::UnknownBenchmark(_) => 2,
+                FlowError::Correlation(_) => 5,
+                FlowError::Sizing(_) => 6,
+            },
+        }
+    }
+
+    /// A stable machine-readable class name matching the exit-code table.
+    pub fn class(&self) -> &'static str {
+        match self.exit_code() {
+            2 => "usage",
+            3 => "io",
+            4 => "parse",
+            5 => "model",
+            6 => "infeasible",
+            _ => "internal",
+        }
+    }
+}
+
+impl fmt::Display for StatleakError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatleakError::Usage(msg) => write!(f, "{msg}"),
+            StatleakError::Io { path, source } => write!(f, "cannot access `{path}`: {source}"),
+            StatleakError::UnknownFormat { path } => write!(
+                f,
+                "`{path}` is neither a built-in benchmark nor a recognized \
+                 netlist file (expected a .bench or .v extension)"
+            ),
+            StatleakError::ParseBench(e) => write!(f, "bench netlist: {e}"),
+            StatleakError::ParseVerilog(e) => write!(f, "verilog netlist: {e}"),
+            StatleakError::Liberty(e) => write!(f, "liberty library: {e}"),
+            StatleakError::Correlation(e) => write!(f, "correlation model: {e}"),
+            StatleakError::Infeasible(e) => write!(f, "{e}"),
+            StatleakError::Flow(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for StatleakError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StatleakError::Io { source, .. } => Some(source),
+            StatleakError::ParseBench(e) => Some(e),
+            StatleakError::ParseVerilog(e) => Some(e),
+            StatleakError::Liberty(e) => Some(e),
+            StatleakError::Correlation(e) => Some(e),
+            StatleakError::Infeasible(e) => Some(e),
+            StatleakError::Flow(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParseBenchError> for StatleakError {
+    fn from(e: ParseBenchError) -> Self {
+        StatleakError::ParseBench(e)
+    }
+}
+
+impl From<ParseVerilogError> for StatleakError {
+    fn from(e: ParseVerilogError) -> Self {
+        StatleakError::ParseVerilog(e)
+    }
+}
+
+impl From<ParseLibertyError> for StatleakError {
+    fn from(e: ParseLibertyError) -> Self {
+        StatleakError::Liberty(e)
+    }
+}
+
+impl From<CholeskyError> for StatleakError {
+    fn from(e: CholeskyError) -> Self {
+        StatleakError::Correlation(e)
+    }
+}
+
+impl From<SizeError> for StatleakError {
+    fn from(e: SizeError) -> Self {
+        StatleakError::Infeasible(e)
+    }
+}
+
+impl From<FlowError> for StatleakError {
+    fn from(e: FlowError) -> Self {
+        StatleakError::Flow(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_are_stable() {
+        assert_eq!(StatleakError::Usage("x".into()).exit_code(), 2);
+        assert_eq!(
+            StatleakError::Io {
+                path: "f".into(),
+                source: std::io::Error::new(std::io::ErrorKind::NotFound, "gone"),
+            }
+            .exit_code(),
+            3
+        );
+        assert_eq!(
+            StatleakError::UnknownFormat { path: "f".into() }.exit_code(),
+            4
+        );
+        assert_eq!(
+            StatleakError::Infeasible(SizeError {
+                achieved: 2.0,
+                target: 1.0,
+            })
+            .exit_code(),
+            6
+        );
+    }
+
+    #[test]
+    fn flow_errors_map_through() {
+        let e = StatleakError::from(FlowError::UnknownBenchmark("c9999".into()));
+        assert_eq!(e.exit_code(), 2);
+        assert_eq!(e.class(), "usage");
+        let e = StatleakError::from(FlowError::Sizing(SizeError {
+            achieved: 2.0,
+            target: 1.0,
+        }));
+        assert_eq!(e.exit_code(), 6);
+        assert_eq!(e.class(), "infeasible");
+    }
+
+    #[test]
+    fn display_names_the_offender() {
+        let e = StatleakError::UnknownFormat {
+            path: "design.txt".into(),
+        };
+        assert!(e.to_string().contains("design.txt"));
+        assert!(e.to_string().contains(".bench"));
+    }
+}

@@ -43,6 +43,10 @@
 
 #![forbid(unsafe_code)]
 
+pub mod error;
+
+pub use error::StatleakError;
+
 pub use statleak_core as core;
 pub use statleak_leakage as leakage;
 pub use statleak_mc as mc;

@@ -93,13 +93,112 @@ fn export_lib_emits_liberty() {
 #[test]
 fn unknown_command_fails_with_message() {
     let out = statleak(&["frobnicate"]);
-    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
 }
 
 #[test]
 fn missing_input_reports_error() {
     let out = statleak(&["analyze"]);
-    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&out.stderr).contains("--input"));
+}
+
+#[test]
+fn unknown_flag_is_rejected_with_usage_exit_code() {
+    // The `--clok-ps` typo case: a misspelled flag must fail loudly, not be
+    // silently ignored.
+    let out = statleak(&["analyze", "--input", "c17", "--clok-ps", "800"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--clok-ps"), "{err}");
+    assert!(err.contains("usage error"), "{err}");
+}
+
+#[test]
+fn flag_missing_value_is_rejected() {
+    let out = statleak(&["analyze", "--input"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("requires a value"), "{err}");
+}
+
+#[test]
+fn duplicate_flag_is_rejected() {
+    let out = statleak(&["analyze", "--input", "c17", "--input", "c432"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--input"), "{err}");
+}
+
+#[test]
+fn invalid_flag_value_fails_before_analysis() {
+    let out = statleak(&["analyze", "--input", "c17", "--clock-ps", "fast"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("invalid value"), "{err}");
+    // Fail-fast: the bad value must be rejected before any analysis output.
+    assert!(!String::from_utf8_lossy(&out.stdout).contains("nominal delay"));
+}
+
+#[test]
+fn missing_file_exits_with_io_code() {
+    let out = statleak(&["analyze", "--input", "/nonexistent/nope.bench"]);
+    assert_eq!(out.status.code(), Some(3));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("io error"), "{err}");
+    assert!(err.contains("nope.bench"), "{err}");
+}
+
+#[test]
+fn unknown_extension_exits_with_parse_code() {
+    let dir = std::env::temp_dir().join("statleak_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("netlist.xyz");
+    std::fs::write(&path, "not a netlist").unwrap();
+    let out = statleak(&["analyze", "--input", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(4));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("neither a built-in benchmark"), "{err}");
+}
+
+#[test]
+fn extension_dispatch_is_case_insensitive() {
+    let dir = std::env::temp_dir().join("statleak_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("upper.BENCH");
+    std::fs::write(&path, "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NAND(a, b)\n").unwrap();
+    let out = statleak(&["analyze", "--input", path.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn malformed_bench_file_exits_with_parse_code() {
+    let dir = std::env::temp_dir().join("statleak_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("broken.bench");
+    std::fs::write(&path, "INPUT(a)\ny = FROB(a)\n").unwrap();
+    let out = statleak(&["analyze", "--input", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(4));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("parse error"), "{err}");
+}
+
+#[test]
+fn out_of_range_option_is_a_usage_error() {
+    let out = statleak(&["optimize", "--input", "c17", "--eta", "1.5"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--eta"), "{err}");
+}
+
+#[test]
+fn help_flag_succeeds_anywhere() {
+    let out = statleak(&["analyze", "--help"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("statleak <command>"));
 }
