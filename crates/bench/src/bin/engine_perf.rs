@@ -1,0 +1,118 @@
+//! Warm-vs-cold benchmark for the engine's session cache.
+//!
+//! For each circuit this times one *cold* `run_comparison` (empty engine:
+//! netlist build, correlation-model factorization, sizing, both optimizers)
+//! against *warm* repeats of the same request through the same engine
+//! (session-cache hit + result-memo hit), and records the speedup.
+//!
+//! Results land in `BENCH_engine.json` (or the path given as the first CLI
+//! argument):
+//!
+//! ```text
+//! cargo run --release -p statleak-bench --bin engine_perf [out.json]
+//! ```
+
+use statleak_core::flows::FlowConfig;
+use statleak_engine::{Engine, Json};
+use std::time::Instant;
+
+/// Warm repetitions for a stable mean (each is a full request through the
+/// engine: key hash, LRU lookup, memo lookup, result clone).
+const WARM_REPS: usize = 100;
+
+struct Row {
+    name: &'static str,
+    gates: usize,
+    cold_ms: f64,
+    warm_us: f64,
+    speedup: f64,
+}
+
+fn measure(name: &'static str) -> Row {
+    let cfg = FlowConfig::builder(name)
+        .mc_samples(0)
+        .build()
+        .expect("suite configs are valid");
+    let engine = Engine::new(8);
+
+    let start = Instant::now();
+    let outcome = engine
+        .session(&cfg)
+        .and_then(|s| s.run_comparison())
+        .expect("suite circuits are optimizable");
+    let cold_ms = start.elapsed().as_secs_f64() * 1e3;
+    let gates = {
+        let session = engine.session(&cfg).expect("cached");
+        session.setup().base.circuit().num_gates()
+    };
+
+    let start = Instant::now();
+    for _ in 0..WARM_REPS {
+        let warm = engine
+            .session(&cfg)
+            .and_then(|s| s.run_comparison())
+            .expect("cached request succeeds");
+        assert_eq!(
+            warm.statistical.leakage_p95, outcome.statistical.leakage_p95,
+            "warm result must equal the cold one"
+        );
+    }
+    let warm_us = start.elapsed().as_secs_f64() * 1e6 / WARM_REPS as f64;
+
+    let stats = engine.cache_stats();
+    assert_eq!(stats.misses, 1, "only the cold request may miss");
+
+    Row {
+        name,
+        gates,
+        cold_ms,
+        warm_us,
+        speedup: cold_ms * 1e3 / warm_us,
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_engine.json".to_string());
+    let mut rows = Vec::new();
+    for name in ["c432", "c1908", "c7552"] {
+        eprintln!("measuring {name} (cold run includes both optimizers) ...");
+        let row = measure(name);
+        eprintln!(
+            "  {name}: cold {:.0} ms | warm {:.1} us/request | speedup {:.0}x",
+            row.cold_ms, row.warm_us, row.speedup
+        );
+        rows.push(row);
+    }
+
+    let json = Json::obj(vec![
+        (
+            "harness",
+            Json::Str("cargo run --release -p statleak-bench --bin engine_perf".to_string()),
+        ),
+        ("warm_reps", Json::Num(WARM_REPS as f64)),
+        (
+            "benchmarks",
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::obj(vec![
+                            ("name", Json::Str(r.name.to_string())),
+                            ("gates", Json::Num(r.gates as f64)),
+                            ("cold_run_comparison_ms", Json::Num(round2(r.cold_ms))),
+                            ("warm_request_us", Json::Num(round2(r.warm_us))),
+                            ("warm_speedup", Json::Num(round2(r.speedup))),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    std::fs::write(&out_path, format!("{json}\n")).expect("write BENCH_engine.json");
+    eprintln!("wrote {out_path}");
+}
+
+fn round2(x: f64) -> f64 {
+    (x * 100.0).round() / 100.0
+}

@@ -33,8 +33,9 @@
 
 use statleak_bench::checkpoint::{CellResult, Checkpoint};
 use statleak_bench::{full_suite, quick_suite};
-use statleak_core::flows::{self, FlowConfig, FlowError};
+use statleak_core::flows::{FlowConfig, FlowError, SweepSpec};
 use statleak_core::report::{fmt_pct, fmt_power, Table};
+use statleak_engine::Engine;
 use statleak_netlist::benchmarks;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -326,12 +327,9 @@ fn t2(ctx: &mut Ctx) {
     ]);
     let samples = mc_samples(&ctx.opts);
     for name in suite(&ctx.opts) {
-        let cfg = FlowConfig {
-            mc_samples: samples,
-            ..FlowConfig::new(name)
-        };
         ctx.cell("t2", name, &mut t, move || {
-            let o = flows::run_comparison(&cfg)?;
+            let cfg = FlowConfig::builder(name).mc_samples(samples).build()?;
+            let o = Engine::global().session(&cfg)?.run_comparison()?;
             println!(
                 "{name}: stat saves an extra {} over deterministic",
                 fmt_pct(o.stat_extra_saving)
@@ -375,12 +373,11 @@ fn t3(ctx: &mut Ctx) {
         "extra saving",
     ]);
     for name in circuits {
-        let cfg = FlowConfig {
-            mc_samples: 0,
-            ..FlowConfig::new(name)
-        };
         ctx.cell("t3", name, &mut t, move || {
-            let points = flows::sweep_delay_target(&cfg, &factors)?;
+            let cfg = FlowConfig::builder(name).mc_samples(0).build()?;
+            let points = Engine::global()
+                .session(&cfg)?
+                .sweep(&SweepSpec::SlackFactor(factors.to_vec()))?;
             Ok(points
                 .iter()
                 .map(|p| {
@@ -414,12 +411,9 @@ fn t4(ctx: &mut Ctx) {
     ]);
     let samples = mc_samples(&ctx.opts);
     for name in suite(&ctx.opts) {
-        let cfg = FlowConfig {
-            mc_samples: samples,
-            ..FlowConfig::new(name)
-        };
         ctx.cell("t4", name, &mut t, move || {
-            let v = flows::mc_validation(&cfg)?;
+            let cfg = FlowConfig::builder(name).mc_samples(samples).build()?;
+            let v = Engine::global().session(&cfg)?.mc_validation()?;
             Ok(vec![vec![
                 name.to_string(),
                 fmt_pct((v.ssta_mean - v.mc_mean).abs() / v.mc_mean),
@@ -453,12 +447,10 @@ fn t5(ctx: &mut Ctx) {
     ]);
     let samples = mc_samples(&ctx.opts);
     for name in suite(&ctx.opts) {
-        let cfg = FlowConfig {
-            mc_samples: samples,
-            ..FlowConfig::new(name)
-        };
         ctx.cell("t5", name, &mut t, move || {
-            let setup = flows::prepare(&cfg)?;
+            let cfg = FlowConfig::builder(name).mc_samples(samples).build()?;
+            let session = Engine::global().session(&cfg)?;
+            let setup = session.setup();
             let mut design = setup.base.clone();
             sizing::size_for_yield(&mut design, &setup.fm, setup.t_clk, cfg.eta)?;
             let j = JointYield::analyze(&design, &setup.fm);
@@ -490,10 +482,7 @@ fn t5(ctx: &mut Ctx) {
 /// F1 — leakage distribution before/after optimization.
 fn f1(ctx: &mut Ctx) {
     println!("\n== F1: leakage distribution, baseline vs statistical (c880) ==");
-    let cfg = FlowConfig {
-        mc_samples: if ctx.opts.quick { 1000 } else { 5000 },
-        ..FlowConfig::new("c880")
-    };
+    let samples = if ctx.opts.quick { 1000 } else { 5000 };
     let mut t = Table::new(&[
         "bin",
         "baseline center (W)",
@@ -502,7 +491,8 @@ fn f1(ctx: &mut Ctx) {
         "optimized density",
     ]);
     ctx.cell("f1", "c880", &mut t, move || {
-        let d = flows::distribution(&cfg)?;
+        let cfg = FlowConfig::builder("c880").mc_samples(samples).build()?;
+        let d = Engine::global().session(&cfg)?.distribution()?;
         let bins = 30;
         let hb = d.baseline_histogram(bins);
         let ho = d.optimized_histogram(bins);
@@ -529,10 +519,6 @@ fn f1(ctx: &mut Ctx) {
 fn f2(ctx: &mut Ctx) {
     let name = if ctx.opts.quick { "c499" } else { "c1908" };
     println!("\n== F2: leakage-delay trade-off ({name}) ==");
-    let cfg = FlowConfig {
-        mc_samples: 0,
-        ..FlowConfig::new(name)
-    };
     let factors = [1.05, 1.08, 1.12, 1.16, 1.20, 1.30, 1.40];
     let mut t = Table::new(&[
         "T/Dmin",
@@ -542,7 +528,10 @@ fn f2(ctx: &mut Ctx) {
         "stat yield",
     ]);
     ctx.cell("f2", name, &mut t, move || {
-        let points = flows::sweep_delay_target(&cfg, &factors)?;
+        let cfg = FlowConfig::builder(name).mc_samples(0).build()?;
+        let points = Engine::global()
+            .session(&cfg)?
+            .sweep(&SweepSpec::SlackFactor(factors.to_vec()))?;
         for p in &points {
             println!(
                 "T/Dmin {:.2}: det {} stat {} (extra {})",
@@ -572,14 +561,11 @@ fn f2(ctx: &mut Ctx) {
 fn f3(ctx: &mut Ctx) {
     let name = if ctx.opts.quick { "c880" } else { "c2670" };
     println!("\n== F3: timing yield vs clock ({name}) ==");
-    let cfg = FlowConfig {
-        mc_samples: 0,
-        ..FlowConfig::new(name)
-    };
     let grid: Vec<f64> = (0..=20).map(|i| 1.00 + 0.025 * i as f64).collect();
     let mut t = Table::new(&["T/Dmin", "baseline", "deterministic", "statistical"]);
     ctx.cell("f3", name, &mut t, move || {
-        let rows = flows::yield_curves(&cfg, &grid)?;
+        let cfg = FlowConfig::builder(name).mc_samples(0).build()?;
+        let rows = Engine::global().session(&cfg)?.yield_curves(&grid)?;
         Ok(rows
             .iter()
             .map(|(k, yb, yd, ys)| {
@@ -600,10 +586,6 @@ fn f3(ctx: &mut Ctx) {
 fn f4(ctx: &mut Ctx) {
     let name = if ctx.opts.quick { "c499" } else { "c1355" };
     println!("\n== F4: extra saving vs sigma(L)/L ({name}) ==");
-    let cfg = FlowConfig {
-        mc_samples: 0,
-        ..FlowConfig::new(name)
-    };
     let sigmas = [0.025, 0.05, 0.075, 0.10];
     let mut t = Table::new(&[
         "sigma_L",
@@ -614,7 +596,10 @@ fn f4(ctx: &mut Ctx) {
         "extra saving",
     ]);
     ctx.cell("f4", name, &mut t, move || {
-        let points = flows::sweep_sigma(&cfg, &sigmas)?;
+        let cfg = FlowConfig::builder(name).mc_samples(0).build()?;
+        let points = Engine::global()
+            .session(&cfg)?
+            .sweep(&SweepSpec::SigmaL(sigmas.to_vec()))?;
         Ok(points
             .iter()
             .map(|p| {
@@ -637,13 +622,11 @@ fn f4(ctx: &mut Ctx) {
 fn f5(ctx: &mut Ctx) {
     let name = if ctx.opts.quick { "c880" } else { "c3540" };
     println!("\n== F5: statistical-optimizer convergence ({name}) ==");
-    let cfg = FlowConfig {
-        mc_samples: 0,
-        ..FlowConfig::new(name)
-    };
     let mut t = Table::new(&["accepted move", "objective (W)", "yield"]);
     ctx.cell("f5", name, &mut t, move || {
-        let setup = flows::prepare(&cfg)?;
+        let cfg = FlowConfig::builder(name).mc_samples(0).build()?;
+        let session = Engine::global().session(&cfg)?;
+        let setup = session.setup();
         let out =
             statleak_opt::statistical_for_yield(&setup.base, &setup.fm, setup.t_clk, cfg.eta)?;
         // Subsample long traces to <= 200 rows.
@@ -673,13 +656,10 @@ fn f5(ctx: &mut Ctx) {
 /// A1 — modeling ablations.
 fn a1(ctx: &mut Ctx) {
     println!("\n== A1: modeling ablations (c880) ==");
-    let cfg = FlowConfig {
-        mc_samples: 0,
-        ..FlowConfig::new("c880")
-    };
     let mut t = Table::new(&["variant", "delay sigma (ps)", "leak p95 (W)", "leak cv"]);
     ctx.cell("a1", "c880", &mut t, move || {
-        let rows = flows::ablation(&cfg)?;
+        let cfg = FlowConfig::builder("c880").mc_samples(0).build()?;
+        let rows = Engine::global().session(&cfg)?.ablation()?;
         Ok(rows
             .into_iter()
             .map(|r| {
@@ -715,13 +695,13 @@ fn a2(ctx: &mut Ctx) {
         "low/mid/high gates",
     ]);
     for name in circuits {
-        let cfg = FlowConfig {
-            mc_samples: 0,
-            slack_factor: 1.12,
-            ..FlowConfig::new(name)
-        };
         ctx.cell("a2", name, &mut t, move || {
-            let setup = flows::prepare(&cfg)?;
+            let cfg = FlowConfig::builder(name)
+                .mc_samples(0)
+                .slack_factor(1.12)
+                .build()?;
+            let session = Engine::global().session(&cfg)?;
+            let setup = session.setup();
             let dual = statistical_flow(
                 &setup.base,
                 &setup.fm,
@@ -774,12 +754,10 @@ fn a3(ctx: &mut Ctx) {
     ]);
     let samples = mc_samples(&ctx.opts);
     for name in circuits {
-        let cfg = FlowConfig {
-            mc_samples: 0,
-            ..FlowConfig::new(name)
-        };
         ctx.cell("a3", name, &mut t, move || {
-            let setup = flows::prepare(&cfg)?;
+            let cfg = FlowConfig::builder(name).mc_samples(0).build()?;
+            let session = Engine::global().session(&cfg)?;
+            let setup = session.setup();
             let out = statistical_for_yield(&setup.base, &setup.fm, setup.t_clk, cfg.eta)?;
             // Stress the design at a clock tighter than it was built for, so
             // there are slow die for forward bias to rescue.
@@ -825,13 +803,12 @@ fn t6(ctx: &mut Ctx) {
         "stat yield",
     ]);
     for spec in specs {
-        let cfg = FlowConfig {
-            mc_samples: 0,
-            wire_loads: true,
-            ..FlowConfig::new(spec.name)
-        };
         ctx.cell("t6", spec.name, &mut t, move || {
-            let o = flows::run_comparison(&cfg)?;
+            let cfg = FlowConfig::builder(spec.name)
+                .mc_samples(0)
+                .wire_loads(true)
+                .build()?;
+            let o = Engine::global().session(&cfg)?.run_comparison()?;
             Ok(vec![vec![
                 spec.name.to_string(),
                 spec.gates.to_string(),
@@ -873,12 +850,10 @@ fn a4(ctx: &mut Ctx) {
     ]);
     let samples = mc_samples(&ctx.opts);
     for name in circuits {
-        let cfg = FlowConfig {
-            mc_samples: samples,
-            ..FlowConfig::new(name)
-        };
         ctx.cell("a4", name, &mut t, move || {
-            let setup = flows::prepare(&cfg)?;
+            let cfg = FlowConfig::builder(name).mc_samples(samples).build()?;
+            let session = Engine::global().session(&cfg)?;
+            let setup = session.setup();
             let placement = Placement::by_level(&setup.circuit);
             let tech = Technology::ptm100();
             let fm_quad =

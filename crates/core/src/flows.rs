@@ -10,8 +10,32 @@ use statleak_tech::{Design, FactorModel, Technology, VariationConfig};
 use std::sync::Arc;
 use std::time::Instant;
 
-/// Errors surfaced by the flows.
+/// A configuration value rejected by [`FlowConfigBuilder::build`].
+///
+/// Carries the offending field name and a human-readable requirement so
+/// callers (the CLI, the serve protocol) can surface precise diagnostics.
 #[derive(Debug, Clone, PartialEq)]
+pub struct ConfigError {
+    /// The builder field that failed validation.
+    pub field: &'static str,
+    /// What the field requires and what was supplied instead.
+    pub message: String,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "`{}` {}", self.field, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Errors surfaced by the flows.
+///
+/// Marked `#[non_exhaustive]`: downstream matches must keep a wildcard arm
+/// so new failure classes can be added without a semver-major bump.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum FlowError {
     /// The named benchmark does not exist.
     UnknownBenchmark(String),
@@ -19,6 +43,8 @@ pub enum FlowError {
     Correlation(CholeskyError),
     /// A sizing step could not reach its target.
     Sizing(statleak_opt::SizeError),
+    /// A [`FlowConfig`] field failed builder validation.
+    Config(ConfigError),
 }
 
 impl FlowError {
@@ -31,6 +57,7 @@ impl FlowError {
             FlowError::UnknownBenchmark(_) => "unknown-benchmark",
             FlowError::Correlation(_) => "correlation",
             FlowError::Sizing(_) => "infeasible",
+            FlowError::Config(_) => "config",
         }
     }
 }
@@ -41,6 +68,7 @@ impl std::fmt::Display for FlowError {
             FlowError::UnknownBenchmark(n) => write!(f, "unknown benchmark `{n}`"),
             FlowError::Correlation(e) => write!(f, "correlation model: {e}"),
             FlowError::Sizing(e) => write!(f, "sizing: {e}"),
+            FlowError::Config(e) => write!(f, "config: {e}"),
         }
     }
 }
@@ -59,8 +87,20 @@ impl From<statleak_opt::SizeError> for FlowError {
     }
 }
 
+impl From<ConfigError> for FlowError {
+    fn from(e: ConfigError) -> Self {
+        FlowError::Config(e)
+    }
+}
+
 /// Configuration of one experiment flow.
+///
+/// Construct it with [`FlowConfig::builder`], which validates every knob
+/// at [`FlowConfigBuilder::build`]. The struct is `#[non_exhaustive]` so
+/// knobs can be added without breaking downstream crates; fields remain
+/// `pub` for reading.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub struct FlowConfig {
     /// Benchmark name (see [`statleak_netlist::benchmarks::SUITE`]).
     pub benchmark: String,
@@ -79,9 +119,45 @@ pub struct FlowConfig {
 }
 
 impl FlowConfig {
-    /// The default experiment configuration for a benchmark:
+    /// Starts a fluent builder with the default experiment knobs:
     /// `T = 1.20·Dmin`, `η = 0.95`, the 100 nm variation budget, and
     /// 2000 Monte-Carlo samples.
+    ///
+    /// ```
+    /// use statleak_core::flows::FlowConfig;
+    /// let cfg = FlowConfig::builder("c432")
+    ///     .slack_factor(1.3)
+    ///     .mc_samples(0)
+    ///     .build()?;
+    /// assert_eq!(cfg.benchmark, "c432");
+    /// # Ok::<(), statleak_core::flows::ConfigError>(())
+    /// ```
+    pub fn builder(benchmark: impl Into<String>) -> FlowConfigBuilder {
+        FlowConfigBuilder {
+            benchmark: benchmark.into(),
+            slack_factor: 1.20,
+            eta: 0.95,
+            variation: VariationConfig::ptm100(),
+            mc_samples: 2000,
+            wire_loads: false,
+        }
+    }
+
+    /// Re-opens this configuration as a builder (for derived configs).
+    pub fn to_builder(&self) -> FlowConfigBuilder {
+        FlowConfigBuilder {
+            benchmark: self.benchmark.clone(),
+            slack_factor: self.slack_factor,
+            eta: self.eta,
+            variation: self.variation.clone(),
+            mc_samples: self.mc_samples,
+            wire_loads: self.wire_loads,
+        }
+    }
+
+    /// The default experiment configuration for a benchmark (see
+    /// [`FlowConfig::builder`] for the values).
+    #[deprecated(note = "use FlowConfig::builder()")]
     pub fn new(benchmark: impl Into<String>) -> Self {
         Self {
             benchmark: benchmark.into(),
@@ -94,10 +170,148 @@ impl FlowConfig {
     }
 
     /// A fast configuration for tests and doc examples (few MC samples).
+    #[deprecated(note = "use FlowConfig::builder().mc_samples(200)")]
     pub fn quick(benchmark: impl Into<String>) -> Self {
         Self {
             mc_samples: 200,
-            ..Self::new(benchmark)
+            ..Self::builder(benchmark).unvalidated()
+        }
+    }
+}
+
+/// Fluent, validating builder for [`FlowConfig`].
+///
+/// Setters store raw values; [`FlowConfigBuilder::build`] applies the same
+/// range checks the CLI enforces on its flags (slack factor ≥ 1, yield in
+/// the open unit interval, positive finite variation sigmas) and reports
+/// the first violation as a typed [`ConfigError`].
+#[derive(Debug, Clone)]
+pub struct FlowConfigBuilder {
+    benchmark: String,
+    slack_factor: f64,
+    eta: f64,
+    variation: VariationConfig,
+    mc_samples: usize,
+    wire_loads: bool,
+}
+
+impl FlowConfigBuilder {
+    /// Clock target as a multiple of the minimum achievable delay.
+    pub fn slack_factor(mut self, slack_factor: f64) -> Self {
+        self.slack_factor = slack_factor;
+        self
+    }
+
+    /// Timing-yield requirement `η`.
+    pub fn eta(mut self, eta: f64) -> Self {
+        self.eta = eta;
+        self
+    }
+
+    /// Full variation model override.
+    pub fn variation(mut self, variation: VariationConfig) -> Self {
+        self.variation = variation;
+        self
+    }
+
+    /// Shortcut: rescale the channel-length sigma of the current
+    /// variation model (keeps the d2d/spatial/local split).
+    pub fn sigma_l(mut self, sigma_l_rel: f64) -> Self {
+        self.variation = self.variation.with_sigma_l(sigma_l_rel);
+        self
+    }
+
+    /// Monte-Carlo samples used for validation metrics (0 = skip MC).
+    pub fn mc_samples(mut self, mc_samples: usize) -> Self {
+        self.mc_samples = mc_samples;
+        self
+    }
+
+    /// Install placement-driven wire loads instead of fixed stubs.
+    pub fn wire_loads(mut self, wire_loads: bool) -> Self {
+        self.wire_loads = wire_loads;
+        self
+    }
+
+    /// Validates every knob and produces the [`FlowConfig`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] naming the first out-of-range field.
+    pub fn build(self) -> Result<FlowConfig, ConfigError> {
+        fn positive_finite(field: &'static str, x: f64) -> Result<(), ConfigError> {
+            if x.is_finite() && x > 0.0 {
+                Ok(())
+            } else {
+                Err(ConfigError {
+                    field,
+                    message: format!("must be a positive finite number, got {x}"),
+                })
+            }
+        }
+        if self.benchmark.is_empty() {
+            return Err(ConfigError {
+                field: "benchmark",
+                message: "must name a circuit (see `statleak benchmarks`)".into(),
+            });
+        }
+        if !(self.slack_factor.is_finite() && self.slack_factor >= 1.0) {
+            return Err(ConfigError {
+                field: "slack_factor",
+                message: format!(
+                    "must be >= 1.0 (a multiple of Dmin), got {}",
+                    self.slack_factor
+                ),
+            });
+        }
+        if !(self.eta.is_finite() && self.eta > 0.0 && self.eta < 1.0) {
+            return Err(ConfigError {
+                field: "eta",
+                message: format!("must be a yield in (0, 1), got {}", self.eta),
+            });
+        }
+        positive_finite("variation.sigma_l_rel", self.variation.sigma_l_rel)?;
+        positive_finite("variation.corr_length", self.variation.corr_length)?;
+        if !(self.variation.sigma_vth_rand.is_finite() && self.variation.sigma_vth_rand >= 0.0) {
+            return Err(ConfigError {
+                field: "variation.sigma_vth_rand",
+                message: format!(
+                    "must be a non-negative finite voltage, got {}",
+                    self.variation.sigma_vth_rand
+                ),
+            });
+        }
+        for (field, frac) in [
+            ("variation.frac_d2d", self.variation.frac_d2d),
+            ("variation.frac_spatial", self.variation.frac_spatial),
+            ("variation.frac_local", self.variation.frac_local),
+        ] {
+            if !(frac.is_finite() && (0.0..=1.0).contains(&frac)) {
+                return Err(ConfigError {
+                    field,
+                    message: format!("must be a variance fraction in [0, 1], got {frac}"),
+                });
+            }
+        }
+        if self.variation.grid == 0 || self.variation.grid > 64 {
+            return Err(ConfigError {
+                field: "variation.grid",
+                message: format!("must be in 1..=64, got {}", self.variation.grid),
+            });
+        }
+        Ok(self.unvalidated())
+    }
+
+    /// Assembles the config without validation (crate-internal: used by the
+    /// known-good default constructors).
+    fn unvalidated(self) -> FlowConfig {
+        FlowConfig {
+            benchmark: self.benchmark,
+            slack_factor: self.slack_factor,
+            eta: self.eta,
+            variation: self.variation,
+            mc_samples: self.mc_samples,
+            wire_loads: self.wire_loads,
         }
     }
 }
@@ -231,14 +445,16 @@ pub struct ComparisonOutcome {
     pub stat_extra_saving: f64,
 }
 
-/// Runs the headline comparison: baseline vs deterministic vs statistical
-/// at equal timing yield `η`.
+/// Runs the headline comparison on an already-prepared [`Setup`]: baseline
+/// vs deterministic vs statistical at equal timing yield `η`.
+///
+/// This is the single implementation shared by the deprecated one-shot
+/// [`run_comparison`] and the cached `statleak-engine` sessions.
 ///
 /// # Errors
 ///
-/// Returns [`FlowError`] on unknown benchmarks or infeasible sizing.
-pub fn run_comparison(cfg: &FlowConfig) -> Result<ComparisonOutcome, FlowError> {
-    let setup = prepare(cfg)?;
+/// Returns [`FlowError`] on infeasible sizing.
+pub fn run_comparison_on(setup: &Setup, cfg: &FlowConfig) -> Result<ComparisonOutcome, FlowError> {
     let Setup {
         fm,
         base,
@@ -246,14 +462,15 @@ pub fn run_comparison(cfg: &FlowConfig) -> Result<ComparisonOutcome, FlowError> 
         t_clk,
         ..
     } = setup;
+    let (dmin, t_clk) = (*dmin, *t_clk);
 
     // Baseline: size for the yield target, no leakage optimization.
     let t0 = Instant::now();
     let mut baseline = base.clone();
-    sizing::size_for_yield(&mut baseline, &fm, t_clk, cfg.eta)?;
+    sizing::size_for_yield(&mut baseline, fm, t_clk, cfg.eta)?;
     let m_base = measure(
         &baseline,
-        &fm,
+        fm,
         t_clk,
         cfg.mc_samples,
         t0.elapsed().as_secs_f64(),
@@ -261,10 +478,10 @@ pub fn run_comparison(cfg: &FlowConfig) -> Result<ComparisonOutcome, FlowError> 
 
     // Deterministic flow (best guard band for the yield target).
     let t0 = Instant::now();
-    let det = deterministic_for_yield(&base, &fm, t_clk, cfg.eta, 6)?;
+    let det = deterministic_for_yield(base, fm, t_clk, cfg.eta, 6)?;
     let m_det = measure(
         &det.design,
-        &fm,
+        fm,
         t_clk,
         cfg.mc_samples,
         t0.elapsed().as_secs_f64(),
@@ -272,10 +489,10 @@ pub fn run_comparison(cfg: &FlowConfig) -> Result<ComparisonOutcome, FlowError> 
 
     // Statistical flow.
     let t0 = Instant::now();
-    let stat = statistical_for_yield(&base, &fm, t_clk, cfg.eta)?;
+    let stat = statistical_for_yield(base, fm, t_clk, cfg.eta)?;
     let m_stat = measure(
         &stat.design,
-        &fm,
+        fm,
         t_clk,
         cfg.mc_samples,
         t0.elapsed().as_secs_f64(),
@@ -292,6 +509,18 @@ pub fn run_comparison(cfg: &FlowConfig) -> Result<ComparisonOutcome, FlowError> 
         det_guard_band: det.guard_band,
         stat_extra_saving: extra,
     })
+}
+
+/// One-shot form of [`run_comparison_on`]: re-runs [`prepare`] every call.
+///
+/// # Errors
+///
+/// Returns [`FlowError`] on unknown benchmarks or infeasible sizing.
+#[deprecated(
+    note = "route repeated requests through `statleak_engine::Engine`, which caches prepare()"
+)]
+pub fn run_comparison(cfg: &FlowConfig) -> Result<ComparisonOutcome, FlowError> {
+    run_comparison_on(&prepare(cfg)?, cfg)
 }
 
 /// One point of a delay-target sweep (table T3 / figure F2).
@@ -313,37 +542,110 @@ pub struct SweepPoint {
     pub extra_saving: f64,
 }
 
+/// The axis of a parameter sweep.
+///
+/// [`sweep_delay_target`] and [`sweep_sigma`] historically took the same
+/// `&[f64]` with different meanings; `SweepSpec` names the axis so one
+/// [`sweep`] entry point (and one `Session::sweep` method) covers both.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SweepSpec {
+    /// Sweep the clock-target tightness `T/Dmin` (T3 / F2).
+    SlackFactor(Vec<f64>),
+    /// Sweep the channel-length variation magnitude `σ(ΔL/L)` (F4).
+    SigmaL(Vec<f64>),
+}
+
+impl SweepSpec {
+    /// The swept values.
+    pub fn values(&self) -> &[f64] {
+        match self {
+            SweepSpec::SlackFactor(v) | SweepSpec::SigmaL(v) => v,
+        }
+    }
+
+    /// A stable axis name (used by reports and the serve protocol).
+    pub fn axis(&self) -> &'static str {
+        match self {
+            SweepSpec::SlackFactor(_) => "slack_factor",
+            SweepSpec::SigmaL(_) => "sigma_l",
+        }
+    }
+}
+
+fn sweep_point(x: f64, o: &ComparisonOutcome) -> SweepPoint {
+    SweepPoint {
+        x,
+        det_p95: o.deterministic.leakage_p95,
+        stat_p95: o.statistical.leakage_p95,
+        det_yield: o.deterministic.timing_yield,
+        stat_yield: o.statistical.timing_yield,
+        extra_saving: o.stat_extra_saving,
+    }
+}
+
+/// Runs a parameter sweep on an already-prepared [`Setup`].
+///
+/// Slack-factor sweeps reuse the setup directly (only the clock target
+/// changes, so the parse/placement/correlation work is amortized across
+/// all points); sigma sweeps rebuild the factor model per point, which the
+/// variation change requires.
+///
+/// # Errors
+///
+/// Propagates [`FlowError`]; individual infeasible points are skipped.
+pub fn sweep_on(
+    setup: &Setup,
+    cfg: &FlowConfig,
+    spec: &SweepSpec,
+) -> Result<Vec<SweepPoint>, FlowError> {
+    let mut out = Vec::new();
+    for &x in spec.values() {
+        let mut point_cfg = cfg.clone();
+        point_cfg.mc_samples = 0;
+        let point_setup;
+        match spec {
+            SweepSpec::SlackFactor(_) => {
+                point_cfg.slack_factor = x;
+                let mut s = setup.clone();
+                s.t_clk = s.dmin * x;
+                point_setup = s;
+            }
+            SweepSpec::SigmaL(_) => {
+                point_cfg.variation = cfg.variation.with_sigma_l(x);
+                point_setup = prepare(&point_cfg)?;
+            }
+        }
+        match run_comparison_on(&point_setup, &point_cfg) {
+            Ok(o) => out.push(sweep_point(x, &o)),
+            Err(FlowError::Sizing(_)) => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(out)
+}
+
+/// One-shot form of [`sweep_on`]: prepares the setup, then sweeps.
+///
+/// # Errors
+///
+/// Propagates [`FlowError`]; individual infeasible points are skipped.
+pub fn sweep(cfg: &FlowConfig, spec: &SweepSpec) -> Result<Vec<SweepPoint>, FlowError> {
+    sweep_on(&prepare(cfg)?, cfg, spec)
+}
+
 /// Sweeps the clock target tightness (T3 / F2): for each slack factor,
 /// runs both flows at yield `η` and reports p95 leakage.
 ///
 /// # Errors
 ///
 /// Propagates [`FlowError`]; individual infeasible points are skipped.
+#[deprecated(note = "use `sweep(cfg, &SweepSpec::SlackFactor(..))` or `Session::sweep`")]
 pub fn sweep_delay_target(
     cfg: &FlowConfig,
     slack_factors: &[f64],
 ) -> Result<Vec<SweepPoint>, FlowError> {
-    let mut out = Vec::new();
-    for &sf in slack_factors {
-        let point_cfg = FlowConfig {
-            slack_factor: sf,
-            mc_samples: 0,
-            ..cfg.clone()
-        };
-        match run_comparison(&point_cfg) {
-            Ok(o) => out.push(SweepPoint {
-                x: sf,
-                det_p95: o.deterministic.leakage_p95,
-                stat_p95: o.statistical.leakage_p95,
-                det_yield: o.deterministic.timing_yield,
-                stat_yield: o.statistical.timing_yield,
-                extra_saving: o.stat_extra_saving,
-            }),
-            Err(FlowError::Sizing(_)) => continue,
-            Err(e) => return Err(e),
-        }
-    }
-    Ok(out)
+    sweep(cfg, &SweepSpec::SlackFactor(slack_factors.to_vec()))
 }
 
 /// Sweeps the channel-length variation magnitude (F4).
@@ -351,41 +653,23 @@ pub fn sweep_delay_target(
 /// # Errors
 ///
 /// Propagates [`FlowError`]; individual infeasible points are skipped.
+#[deprecated(note = "use `sweep(cfg, &SweepSpec::SigmaL(..))` or `Session::sweep`")]
 pub fn sweep_sigma(cfg: &FlowConfig, sigmas: &[f64]) -> Result<Vec<SweepPoint>, FlowError> {
-    let mut out = Vec::new();
-    for &s in sigmas {
-        let point_cfg = FlowConfig {
-            variation: cfg.variation.with_sigma_l(s),
-            mc_samples: 0,
-            ..cfg.clone()
-        };
-        match run_comparison(&point_cfg) {
-            Ok(o) => out.push(SweepPoint {
-                x: s,
-                det_p95: o.deterministic.leakage_p95,
-                stat_p95: o.statistical.leakage_p95,
-                det_yield: o.deterministic.timing_yield,
-                stat_yield: o.statistical.timing_yield,
-                extra_saving: o.stat_extra_saving,
-            }),
-            Err(FlowError::Sizing(_)) => continue,
-            Err(e) => return Err(e),
-        }
-    }
-    Ok(out)
+    sweep(cfg, &SweepSpec::SigmaL(sigmas.to_vec()))
 }
 
-/// Yield-vs-clock curves for the three designs (figure F3). Returns
+/// Yield-vs-clock curves for the three designs (figure F3) on an
+/// already-prepared [`Setup`]. Returns
 /// `(t_over_dmin, baseline, deterministic, statistical)` rows.
 ///
 /// # Errors
 ///
 /// Propagates [`FlowError`].
-pub fn yield_curves(
+pub fn yield_curves_on(
+    setup: &Setup,
     cfg: &FlowConfig,
     t_grid: &[f64],
 ) -> Result<Vec<(f64, f64, f64, f64)>, FlowError> {
-    let setup = prepare(cfg)?;
     let mut baseline = setup.base.clone();
     sizing::size_for_yield(&mut baseline, &setup.fm, setup.t_clk, cfg.eta)?;
     let det = deterministic_for_yield(&setup.base, &setup.fm, setup.t_clk, cfg.eta, 6)?;
@@ -405,6 +689,19 @@ pub fn yield_curves(
             )
         })
         .collect())
+}
+
+/// One-shot form of [`yield_curves_on`].
+///
+/// # Errors
+///
+/// Propagates [`FlowError`].
+#[deprecated(note = "use `Session::yield_curves` on a cached engine session")]
+pub fn yield_curves(
+    cfg: &FlowConfig,
+    t_grid: &[f64],
+) -> Result<Vec<(f64, f64, f64, f64)>, FlowError> {
+    yield_curves_on(&prepare(cfg)?, cfg, t_grid)
 }
 
 /// Analytical-vs-Monte-Carlo validation of SSTA and the leakage lognormal
@@ -435,13 +732,13 @@ pub struct McValidation {
     pub mc_leak_p95: f64,
 }
 
-/// Runs the T4 validation on the *sized baseline* design of a benchmark.
+/// Runs the T4 validation on the *sized baseline* design of an
+/// already-prepared [`Setup`].
 ///
 /// # Errors
 ///
 /// Propagates [`FlowError`].
-pub fn mc_validation(cfg: &FlowConfig) -> Result<McValidation, FlowError> {
-    let setup = prepare(cfg)?;
+pub fn mc_validation_on(setup: &Setup, cfg: &FlowConfig) -> Result<McValidation, FlowError> {
     let mut design = setup.base.clone();
     sizing::size_for_yield(&mut design, &setup.fm, setup.t_clk, cfg.eta)?;
     let ssta = Ssta::analyze(&design, &setup.fm);
@@ -470,6 +767,16 @@ pub fn mc_validation(cfg: &FlowConfig) -> Result<McValidation, FlowError> {
     })
 }
 
+/// One-shot form of [`mc_validation_on`].
+///
+/// # Errors
+///
+/// Propagates [`FlowError`].
+#[deprecated(note = "use `Session::mc_validation` on a cached engine session")]
+pub fn mc_validation(cfg: &FlowConfig) -> Result<McValidation, FlowError> {
+    mc_validation_on(&prepare(cfg)?, cfg)
+}
+
 /// Leakage-distribution data for figure F1: the baseline and the
 /// statistically optimized design, each with an MC histogram and the
 /// analytical lognormal parameters.
@@ -485,25 +792,49 @@ pub struct DistributionData {
     pub optimized_analytic: statleak_stats::LogNormal,
 }
 
+/// Which of the two compared designs a [`DistributionData`] accessor
+/// refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DistKind {
+    /// The sized all-low-Vth baseline.
+    Baseline,
+    /// The statistically optimized design.
+    Optimized,
+}
+
 impl DistributionData {
+    /// The MC leakage samples of one side (W).
+    pub fn samples(&self, which: DistKind) -> &[f64] {
+        match which {
+            DistKind::Baseline => &self.baseline_samples,
+            DistKind::Optimized => &self.optimized_samples,
+        }
+    }
+
+    /// Histogram of one side's samples — the single implementation behind
+    /// [`DistributionData::baseline_histogram`] and
+    /// [`DistributionData::optimized_histogram`].
+    pub fn histogram(&self, which: DistKind, bins: usize) -> Histogram {
+        Histogram::from_samples(self.samples(which), bins)
+    }
+
     /// Histogram of the baseline samples.
     pub fn baseline_histogram(&self, bins: usize) -> Histogram {
-        Histogram::from_samples(&self.baseline_samples, bins)
+        self.histogram(DistKind::Baseline, bins)
     }
 
     /// Histogram of the optimized samples.
     pub fn optimized_histogram(&self, bins: usize) -> Histogram {
-        Histogram::from_samples(&self.optimized_samples, bins)
+        self.histogram(DistKind::Optimized, bins)
     }
 }
 
-/// Produces the F1 distribution data.
+/// Produces the F1 distribution data on an already-prepared [`Setup`].
 ///
 /// # Errors
 ///
 /// Propagates [`FlowError`].
-pub fn distribution(cfg: &FlowConfig) -> Result<DistributionData, FlowError> {
-    let setup = prepare(cfg)?;
+pub fn distribution_on(setup: &Setup, cfg: &FlowConfig) -> Result<DistributionData, FlowError> {
     let mut baseline = setup.base.clone();
     sizing::size_for_yield(&mut baseline, &setup.fm, setup.t_clk, cfg.eta)?;
     let stat = statistical_for_yield(&setup.base, &setup.fm, setup.t_clk, cfg.eta)?;
@@ -528,6 +859,16 @@ pub fn distribution(cfg: &FlowConfig) -> Result<DistributionData, FlowError> {
     })
 }
 
+/// One-shot form of [`distribution_on`].
+///
+/// # Errors
+///
+/// Propagates [`FlowError`].
+#[deprecated(note = "use `Session::distribution` on a cached engine session")]
+pub fn distribution(cfg: &FlowConfig) -> Result<DistributionData, FlowError> {
+    distribution_on(&prepare(cfg)?, cfg)
+}
+
 /// One ablation row (experiment A1).
 #[derive(Debug, Clone, PartialEq)]
 pub struct AblationRow {
@@ -541,14 +882,14 @@ pub struct AblationRow {
     pub leak_cv: f64,
 }
 
-/// Runs the modeling ablations on the sized baseline design: full model,
-/// no spatial correlation, no Vth–L coupling, and independent-sum leakage.
+/// Runs the modeling ablations on the sized baseline design of an
+/// already-prepared [`Setup`]: full model, no spatial correlation, no
+/// Vth–L coupling, and independent-sum leakage.
 ///
 /// # Errors
 ///
 /// Propagates [`FlowError`].
-pub fn ablation(cfg: &FlowConfig) -> Result<Vec<AblationRow>, FlowError> {
-    let setup = prepare(cfg)?;
+pub fn ablation_on(setup: &Setup, cfg: &FlowConfig) -> Result<Vec<AblationRow>, FlowError> {
     let mut design = setup.base.clone();
     sizing::size_for_yield(&mut design, &setup.fm, setup.t_clk, cfg.eta)?;
     let placement = Placement::by_level(&setup.circuit);
@@ -599,23 +940,88 @@ pub fn ablation(cfg: &FlowConfig) -> Result<Vec<AblationRow>, FlowError> {
     Ok(rows)
 }
 
+/// One-shot form of [`ablation_on`].
+///
+/// # Errors
+///
+/// Propagates [`FlowError`].
+#[deprecated(note = "use `Session::ablation` on a cached engine session")]
+pub fn ablation(cfg: &FlowConfig) -> Result<Vec<AblationRow>, FlowError> {
+    ablation_on(&prepare(cfg)?, cfg)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn cfg_no_mc(benchmark: &str) -> FlowConfig {
+        FlowConfig::builder(benchmark)
+            .mc_samples(0)
+            .build()
+            .expect("valid test config")
+    }
+
     #[test]
     fn prepare_rejects_unknown() {
-        let cfg = FlowConfig::quick("c9999");
+        let cfg = cfg_no_mc("c9999");
         assert!(matches!(prepare(&cfg), Err(FlowError::UnknownBenchmark(_))));
     }
 
     #[test]
+    fn builder_validates_ranges() {
+        let e = FlowConfig::builder("c432").slack_factor(0.8).build();
+        assert!(
+            matches!(
+                e,
+                Err(ConfigError {
+                    field: "slack_factor",
+                    ..
+                })
+            ),
+            "{e:?}"
+        );
+        let e = FlowConfig::builder("c432").eta(1.0).build();
+        assert!(matches!(e, Err(ConfigError { field: "eta", .. })), "{e:?}");
+        let e = FlowConfig::builder("c432").sigma_l(f64::NAN).build();
+        assert!(e.is_err());
+        let e = FlowConfig::builder("").build();
+        assert!(
+            matches!(
+                e,
+                Err(ConfigError {
+                    field: "benchmark",
+                    ..
+                })
+            ),
+            "{e:?}"
+        );
+        // The deprecated constructors forward to the same defaults.
+        #[allow(deprecated)]
+        let old = FlowConfig::new("c432");
+        let new = FlowConfig::builder("c432").build().unwrap();
+        assert_eq!(old, new);
+        #[allow(deprecated)]
+        let old_quick = FlowConfig::quick("c432");
+        let new_quick = FlowConfig::builder("c432").mc_samples(200).build().unwrap();
+        assert_eq!(old_quick, new_quick);
+    }
+
+    #[test]
+    fn to_builder_round_trips() {
+        let cfg = FlowConfig::builder("c880")
+            .slack_factor(1.35)
+            .eta(0.9)
+            .wire_loads(true)
+            .mc_samples(17)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.to_builder().build().unwrap(), cfg);
+    }
+
+    #[test]
     fn comparison_on_c432_shows_statistical_win() {
-        let cfg = FlowConfig {
-            mc_samples: 0,
-            ..FlowConfig::new("c432")
-        };
-        let o = run_comparison(&cfg).unwrap();
+        let cfg = cfg_no_mc("c432");
+        let o = run_comparison_on(&prepare(&cfg).unwrap(), &cfg).unwrap();
         // Both optimizers beat the baseline massively.
         assert!(o.deterministic.leakage_p95 < o.baseline.leakage_p95 * 0.7);
         assert!(o.statistical.leakage_p95 < o.baseline.leakage_p95 * 0.7);
@@ -631,24 +1037,30 @@ mod tests {
 
     #[test]
     fn sweep_reports_monotone_pressure() {
-        let cfg = FlowConfig {
-            mc_samples: 0,
-            ..FlowConfig::new("c432")
-        };
-        let pts = sweep_delay_target(&cfg, &[1.10, 1.30]).unwrap();
+        let cfg = cfg_no_mc("c432");
+        let pts = sweep(&cfg, &SweepSpec::SlackFactor(vec![1.10, 1.30])).unwrap();
         assert_eq!(pts.len(), 2);
         // Looser clock → lower leakage for both flows.
         assert!(pts[1].det_p95 <= pts[0].det_p95 * 1.01);
         assert!(pts[1].stat_p95 <= pts[0].stat_p95 * 1.01);
+        // The deprecated per-axis entry points are thin wrappers over the
+        // same implementation.
+        #[allow(deprecated)]
+        let legacy = sweep_delay_target(&cfg, &[1.10, 1.30]).unwrap();
+        assert_eq!(legacy, pts);
+    }
+
+    #[test]
+    fn sweep_axes_are_named() {
+        assert_eq!(SweepSpec::SlackFactor(vec![1.1]).axis(), "slack_factor");
+        assert_eq!(SweepSpec::SigmaL(vec![0.05]).axis(), "sigma_l");
+        assert_eq!(SweepSpec::SigmaL(vec![0.05, 0.1]).values(), &[0.05, 0.1]);
     }
 
     #[test]
     fn yield_curves_monotone() {
-        let cfg = FlowConfig {
-            mc_samples: 0,
-            ..FlowConfig::quick("c432")
-        };
-        let rows = yield_curves(&cfg, &[1.0, 1.1, 1.2, 1.3]).unwrap();
+        let cfg = cfg_no_mc("c432");
+        let rows = yield_curves_on(&prepare(&cfg).unwrap(), &cfg, &[1.0, 1.1, 1.2, 1.3]).unwrap();
         for w in rows.windows(2) {
             assert!(w[1].1 >= w[0].1);
             assert!(w[1].2 >= w[0].2);
@@ -658,11 +1070,11 @@ mod tests {
 
     #[test]
     fn mc_validation_errors_small() {
-        let cfg = FlowConfig {
-            mc_samples: 1500,
-            ..FlowConfig::new("c432")
-        };
-        let v = mc_validation(&cfg).unwrap();
+        let cfg = FlowConfig::builder("c432")
+            .mc_samples(1500)
+            .build()
+            .unwrap();
+        let v = mc_validation_on(&prepare(&cfg).unwrap(), &cfg).unwrap();
         assert!((v.ssta_mean - v.mc_mean).abs() / v.mc_mean < 0.03);
         assert!((v.leak_mean - v.mc_leak_mean).abs() / v.mc_leak_mean < 0.05);
         assert!((v.leak_p95 - v.mc_leak_p95).abs() / v.mc_leak_p95 < 0.10);
@@ -671,11 +1083,8 @@ mod tests {
 
     #[test]
     fn ablation_shows_expected_ordering() {
-        let cfg = FlowConfig {
-            mc_samples: 0,
-            ..FlowConfig::quick("c432")
-        };
-        let rows = ablation(&cfg).unwrap();
+        let cfg = cfg_no_mc("c432");
+        let rows = ablation_on(&prepare(&cfg).unwrap(), &cfg).unwrap();
         assert_eq!(rows.len(), 4);
         let by = |name: &str| rows.iter().find(|r| r.variant == name).unwrap().clone();
         let full = by("full model");
@@ -689,12 +1098,20 @@ mod tests {
 
     #[test]
     fn distribution_samples_present() {
-        let cfg = FlowConfig::quick("c17");
-        let d = distribution(&cfg).unwrap();
+        let cfg = FlowConfig::builder("c17").mc_samples(200).build().unwrap();
+        let d = distribution_on(&prepare(&cfg).unwrap(), &cfg).unwrap();
         assert_eq!(d.baseline_samples.len(), 200);
         assert_eq!(d.optimized_samples.len(), 200);
         // Optimization shifts the distribution left.
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
         assert!(mean(&d.optimized_samples) < mean(&d.baseline_samples));
+        // The per-side wrappers agree with the unified accessor.
+        let h = d.histogram(DistKind::Baseline, 16);
+        let hb = d.baseline_histogram(16);
+        assert_eq!(h.counts(), hb.counts());
+        assert_eq!(
+            d.optimized_histogram(16).counts(),
+            d.histogram(DistKind::Optimized, 16).counts()
+        );
     }
 }

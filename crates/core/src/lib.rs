@@ -27,12 +27,18 @@
 //! ```
 //! use statleak_core::flows::{self, FlowConfig};
 //!
-//! let cfg = FlowConfig::quick("c17");
-//! let outcome = flows::run_comparison(&cfg)?;
+//! let cfg = FlowConfig::builder("c17").mc_samples(200).build()?;
+//! let setup = flows::prepare(&cfg)?;
+//! let outcome = flows::run_comparison_on(&setup, &cfg)?;
 //! // Statistical optimization never loses to deterministic at equal yield.
 //! assert!(outcome.statistical.leakage_p95 <= outcome.deterministic.leakage_p95 * 1.0001);
 //! # Ok::<(), statleak_core::FlowError>(())
 //! ```
+//!
+//! Long-lived processes that issue many requests should go through
+//! `statleak-engine`, whose `Engine` caches prepared setups (and memoizes
+//! flow results) behind a content-hash key; the free functions here re-run
+//! [`flows::prepare`] on every call.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -41,5 +47,8 @@ pub mod flows;
 pub mod joint;
 pub mod report;
 
-pub use flows::{ComparisonOutcome, DesignMetrics, FlowConfig, FlowError};
+pub use flows::{
+    ComparisonOutcome, ConfigError, DesignMetrics, FlowConfig, FlowConfigBuilder, FlowError,
+    SweepSpec,
+};
 pub use joint::JointYield;

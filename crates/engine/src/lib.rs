@@ -1,0 +1,50 @@
+//! statleak-engine — the service layer over the statleak flows.
+//!
+//! The core crates (`statleak-core` and below) are one-shot: every flow
+//! call re-reads the netlist, rebuilds the timing graph, refactors the
+//! correlation model, and re-runs the optimizer. That is the right shape
+//! for a CLI invocation and the wrong shape for anything long-lived — a
+//! parameter sweep driver, a notebook, or a daemon answering requests.
+//!
+//! This crate adds the long-lived shape without touching the numerics:
+//!
+//! - [`Engine`] — a bounded LRU cache of prepared [`Session`]s keyed by a
+//!   deterministic content hash of the netlist bytes, the technology
+//!   model, and every [`FlowConfig`](statleak_core::flows::FlowConfig)
+//!   knob that affects results.
+//! - [`Session`] — an `Arc`-shared handle over one prepared setup, whose
+//!   methods mirror the `statleak_core::flows` free functions and
+//!   additionally memoize full results (sound because every flow is
+//!   deterministic end to end: fixed MC seed, ordered reductions).
+//! - [`serve`] — a newline-delimited-JSON TCP daemon over the engine,
+//!   with a bounded worker pool, `busy` backpressure past a high-water
+//!   mark, per-request deadlines, and graceful drain on shutdown.
+//!
+//! ```
+//! use statleak_core::flows::FlowConfig;
+//! use statleak_engine::Engine;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let cfg = FlowConfig::builder("c17").mc_samples(0).build()?;
+//! let session = Engine::global().session(&cfg)?;
+//! let first = session.run_comparison()?; // computes
+//! let again = session.run_comparison()?; // memo hit: same result, no work
+//! assert_eq!(first.statistical.leakage_p95, again.statistical.leakage_p95);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod json;
+pub mod proto;
+pub mod serve;
+pub mod session;
+
+pub use cache::{ContentHasher, Lru};
+pub use json::{Json, JsonError};
+pub use proto::{Op, ProtoError, Request};
+pub use serve::{ServeConfig, ServeReport, Server};
+pub use session::{session_key, CacheStats, Engine, Session, DEFAULT_CACHE_CAPACITY};

@@ -1,0 +1,566 @@
+//! The newline-delimited JSON request/response protocol of
+//! `statleak serve`.
+//!
+//! One request per line, one response line per request, processed in
+//! order per connection. See `docs/SERVE_PROTOCOL.md` for the full
+//! reference with example pairs. Every response carries `"ok"`; failures
+//! carry a typed `"error"` object whose `"class"` is stable:
+//!
+//! | class               | meaning                                      |
+//! |---------------------|----------------------------------------------|
+//! | `usage`             | malformed JSON, unknown op, bad field        |
+//! | `config`            | a config knob failed builder validation      |
+//! | `unknown-benchmark` | the named circuit does not exist             |
+//! | `correlation`       | correlation matrix failed to factor          |
+//! | `infeasible`        | optimization target cannot be met            |
+//! | `busy`              | queue at high-water mark, request rejected   |
+//! | `deadline`          | request expired before a worker picked it up |
+//! | `shutdown`          | server is draining, no new work accepted     |
+//! | `internal`          | anything else                                |
+
+use crate::json::Json;
+use crate::session::{CacheStats, Session};
+use statleak_core::flows::{
+    AblationRow, ComparisonOutcome, DesignMetrics, DistKind, DistributionData, FlowConfig,
+    FlowError, McValidation, SweepPoint, SweepSpec,
+};
+
+/// A parsed request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed verbatim in the response.
+    pub id: Json,
+    /// What to do.
+    pub op: Op,
+    /// Per-request queue deadline in milliseconds (overrides the server
+    /// default). The clock starts when the request is accepted.
+    pub deadline_ms: Option<u64>,
+}
+
+/// The operation a request names.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Op {
+    /// Liveness check; answered inline, never queued.
+    Ping,
+    /// Cache/server counters; answered inline, never queued.
+    Stats,
+    /// Begin graceful drain; answered inline.
+    Shutdown,
+    /// Table T2 three-way comparison.
+    Comparison(FlowConfig),
+    /// Parameter sweep over one axis.
+    Sweep(FlowConfig, SweepSpec),
+    /// Yield-vs-clock curves over a `T/Dmin` grid.
+    YieldCurves(FlowConfig, Vec<f64>),
+    /// Analytical-vs-MC validation (T4).
+    McValidation(FlowConfig),
+    /// Leakage distribution data (F1), histogrammed server-side.
+    Distribution(FlowConfig, usize),
+    /// Modeling ablations (A1).
+    Ablation(FlowConfig),
+}
+
+impl Op {
+    /// The stable wire name of the op.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Op::Ping => "ping",
+            Op::Stats => "stats",
+            Op::Shutdown => "shutdown",
+            Op::Comparison(_) => "comparison",
+            Op::Sweep(..) => "sweep",
+            Op::YieldCurves(..) => "yield_curves",
+            Op::McValidation(_) => "mc_validation",
+            Op::Distribution(..) => "distribution",
+            Op::Ablation(_) => "ablation",
+        }
+    }
+
+    /// Whether the op is answered inline by the connection handler
+    /// (control ops) rather than queued to the worker pool.
+    pub fn is_control(&self) -> bool {
+        matches!(self, Op::Ping | Op::Stats | Op::Shutdown)
+    }
+}
+
+/// A protocol-level failure: stable class + message (+ echoed id).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProtoError {
+    /// Stable machine-readable class (see the module table).
+    pub class: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl ProtoError {
+    fn usage(message: impl Into<String>) -> Self {
+        Self {
+            class: "usage",
+            message: message.into(),
+        }
+    }
+
+    /// Maps a flow failure onto its protocol class.
+    pub fn from_flow(e: &FlowError) -> Self {
+        Self {
+            class: e.class(),
+            message: e.to_string(),
+        }
+    }
+}
+
+fn field_f64(obj: &Json, key: &str) -> Result<Option<f64>, ProtoError> {
+    match obj.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| ProtoError::usage(format!("`{key}` must be a number"))),
+    }
+}
+
+fn field_usize(obj: &Json, key: &str) -> Result<Option<usize>, ProtoError> {
+    match obj.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v
+            .as_usize()
+            .map(Some)
+            .ok_or_else(|| ProtoError::usage(format!("`{key}` must be a non-negative integer"))),
+    }
+}
+
+fn field_bool(obj: &Json, key: &str) -> Result<Option<bool>, ProtoError> {
+    match obj.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v
+            .as_bool()
+            .map(Some)
+            .ok_or_else(|| ProtoError::usage(format!("`{key}` must be a boolean"))),
+    }
+}
+
+fn field_values(obj: &Json, key: &str) -> Result<Vec<f64>, ProtoError> {
+    let arr = obj
+        .get(key)
+        .and_then(Json::as_arr)
+        .ok_or_else(|| ProtoError::usage(format!("`{key}` must be an array of numbers")))?;
+    if arr.is_empty() || arr.len() > 256 {
+        return Err(ProtoError::usage(format!(
+            "`{key}` must hold 1..=256 numbers, got {}",
+            arr.len()
+        )));
+    }
+    arr.iter()
+        .map(|v| {
+            v.as_f64()
+                .ok_or_else(|| ProtoError::usage(format!("`{key}` must be an array of numbers")))
+        })
+        .collect()
+}
+
+/// Builds the [`FlowConfig`] from a request object's analysis fields.
+fn parse_config(obj: &Json) -> Result<FlowConfig, ProtoError> {
+    let benchmark = obj
+        .get("benchmark")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ProtoError::usage("missing string field `benchmark`"))?;
+    let mut builder = FlowConfig::builder(benchmark);
+    if let Some(x) = field_f64(obj, "slack_factor")? {
+        builder = builder.slack_factor(x);
+    }
+    if let Some(x) = field_f64(obj, "eta")? {
+        builder = builder.eta(x);
+    }
+    if let Some(x) = field_f64(obj, "sigma_l")? {
+        builder = builder.sigma_l(x);
+    }
+    if let Some(x) = field_usize(obj, "mc_samples")? {
+        builder = builder.mc_samples(x);
+    }
+    if let Some(x) = field_bool(obj, "wire_loads")? {
+        builder = builder.wire_loads(x);
+    }
+    builder.build().map_err(|e| ProtoError {
+        class: "config",
+        message: e.to_string(),
+    })
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// Returns the typed [`ProtoError`] plus the request id if one could be
+/// extracted (so the error response can still be correlated).
+pub fn parse_request(line: &str) -> Result<Request, (ProtoError, Json)> {
+    let obj = Json::parse(line).map_err(|e| (ProtoError::usage(e.to_string()), Json::Null))?;
+    let id = obj.get("id").cloned().unwrap_or(Json::Null);
+    let fail = |e: ProtoError| (e, id.clone());
+    let op_name = obj
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or_else(|| fail(ProtoError::usage("missing string field `op`")))?;
+    let op = match op_name {
+        "ping" => Op::Ping,
+        "stats" => Op::Stats,
+        "shutdown" => Op::Shutdown,
+        "comparison" => Op::Comparison(parse_config(&obj).map_err(fail)?),
+        "sweep" => {
+            let cfg = parse_config(&obj).map_err(fail)?;
+            let values = field_values(&obj, "values").map_err(fail)?;
+            let axis = obj
+                .get("axis")
+                .and_then(Json::as_str)
+                .unwrap_or("slack_factor");
+            let spec = match axis {
+                "slack_factor" => SweepSpec::SlackFactor(values),
+                "sigma_l" => SweepSpec::SigmaL(values),
+                other => {
+                    return Err(fail(ProtoError::usage(format!(
+                        "unknown sweep axis `{other}` (expected `slack_factor` or `sigma_l`)"
+                    ))))
+                }
+            };
+            Op::Sweep(cfg, spec)
+        }
+        "yield_curves" => Op::YieldCurves(
+            parse_config(&obj).map_err(fail)?,
+            field_values(&obj, "grid").map_err(fail)?,
+        ),
+        "mc_validation" => Op::McValidation(parse_config(&obj).map_err(fail)?),
+        "distribution" => {
+            let cfg = parse_config(&obj).map_err(fail)?;
+            let bins = field_usize(&obj, "bins").map_err(fail)?.unwrap_or(30);
+            if bins == 0 || bins > 1024 {
+                return Err(fail(ProtoError::usage(format!(
+                    "`bins` must be in 1..=1024, got {bins}"
+                ))));
+            }
+            Op::Distribution(cfg, bins)
+        }
+        "ablation" => Op::Ablation(parse_config(&obj).map_err(fail)?),
+        other => {
+            return Err(fail(ProtoError::usage(format!(
+                "unknown op `{other}` (see docs/SERVE_PROTOCOL.md)"
+            ))))
+        }
+    };
+    let deadline_ms = match obj.get("deadline_ms") {
+        None | Some(Json::Null) => None,
+        Some(v) => Some(v.as_usize().map(|x| x as u64).ok_or_else(|| {
+            fail(ProtoError::usage(
+                "`deadline_ms` must be a non-negative integer",
+            ))
+        })?),
+    };
+    Ok(Request {
+        id,
+        op,
+        deadline_ms,
+    })
+}
+
+/// Encodes a success response line (no trailing newline).
+pub fn ok_response(id: &Json, op: &str, data: Json) -> String {
+    Json::obj(vec![
+        ("id", id.clone()),
+        ("ok", Json::Bool(true)),
+        ("op", Json::str(op)),
+        ("data", data),
+    ])
+    .to_string()
+}
+
+/// Encodes an error response line (no trailing newline).
+pub fn err_response(id: &Json, error: &ProtoError) -> String {
+    Json::obj(vec![
+        ("id", id.clone()),
+        ("ok", Json::Bool(false)),
+        (
+            "error",
+            Json::obj(vec![
+                ("class", Json::str(error.class)),
+                ("message", Json::str(error.message.clone())),
+            ]),
+        ),
+    ])
+    .to_string()
+}
+
+fn metrics_json(m: &DesignMetrics) -> Json {
+    Json::obj(vec![
+        ("leakage_nominal_w", Json::Num(m.leakage_nominal)),
+        ("leakage_mean_w", Json::Num(m.leakage_mean)),
+        ("leakage_p95_w", Json::Num(m.leakage_p95)),
+        ("timing_yield", Json::Num(m.timing_yield)),
+        ("mc_yield", m.mc_yield.map_or(Json::Null, Json::Num)),
+        (
+            "mc_leakage_p95_w",
+            m.mc_leakage_p95.map_or(Json::Null, Json::Num),
+        ),
+        ("width", Json::Num(m.width)),
+        ("high_vth", Json::Num(m.high_vth as f64)),
+        ("runtime_s", Json::Num(m.runtime_s)),
+    ])
+}
+
+/// Encodes a [`ComparisonOutcome`].
+pub fn comparison_json(o: &ComparisonOutcome) -> Json {
+    Json::obj(vec![
+        ("benchmark", Json::str(o.benchmark.clone())),
+        ("dmin_ps", Json::Num(o.dmin)),
+        ("t_clk_ps", Json::Num(o.t_clk)),
+        ("baseline", metrics_json(&o.baseline)),
+        ("deterministic", metrics_json(&o.deterministic)),
+        ("statistical", metrics_json(&o.statistical)),
+        ("det_guard_band", Json::Num(o.det_guard_band)),
+        ("stat_extra_saving", Json::Num(o.stat_extra_saving)),
+    ])
+}
+
+/// Encodes a sweep result.
+pub fn sweep_json(axis: &str, points: &[SweepPoint]) -> Json {
+    Json::obj(vec![
+        ("axis", Json::str(axis)),
+        (
+            "points",
+            Json::Arr(
+                points
+                    .iter()
+                    .map(|p| {
+                        Json::obj(vec![
+                            ("x", Json::Num(p.x)),
+                            ("det_p95_w", Json::Num(p.det_p95)),
+                            ("stat_p95_w", Json::Num(p.stat_p95)),
+                            ("det_yield", Json::Num(p.det_yield)),
+                            ("stat_yield", Json::Num(p.stat_yield)),
+                            ("extra_saving", Json::Num(p.extra_saving)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Encodes yield-vs-clock curve rows.
+pub fn curves_json(rows: &[(f64, f64, f64, f64)]) -> Json {
+    Json::obj(vec![(
+        "rows",
+        Json::Arr(
+            rows.iter()
+                .map(|&(t, b, d, s)| {
+                    Json::obj(vec![
+                        ("t_over_dmin", Json::Num(t)),
+                        ("baseline", Json::Num(b)),
+                        ("deterministic", Json::Num(d)),
+                        ("statistical", Json::Num(s)),
+                    ])
+                })
+                .collect(),
+        ),
+    )])
+}
+
+/// Encodes a [`McValidation`].
+pub fn validation_json(v: &McValidation) -> Json {
+    Json::obj(vec![
+        ("benchmark", Json::str(v.benchmark.clone())),
+        ("ssta_mean_ps", Json::Num(v.ssta_mean)),
+        ("mc_mean_ps", Json::Num(v.mc_mean)),
+        ("ssta_sigma_ps", Json::Num(v.ssta_sigma)),
+        ("mc_sigma_ps", Json::Num(v.mc_sigma)),
+        ("ssta_yield", Json::Num(v.ssta_yield)),
+        ("mc_yield", Json::Num(v.mc_yield)),
+        ("leak_mean_w", Json::Num(v.leak_mean)),
+        ("mc_leak_mean_w", Json::Num(v.mc_leak_mean)),
+        ("leak_p95_w", Json::Num(v.leak_p95)),
+        ("mc_leak_p95_w", Json::Num(v.mc_leak_p95)),
+    ])
+}
+
+fn histogram_json(d: &DistributionData, which: DistKind, bins: usize) -> Json {
+    let h = d.histogram(which, bins);
+    Json::obj(vec![
+        (
+            "centers",
+            Json::nums(
+                &(0..h.counts().len())
+                    .map(|i| h.bin_center(i))
+                    .collect::<Vec<_>>(),
+            ),
+        ),
+        (
+            "counts",
+            Json::Arr(h.counts().iter().map(|&c| Json::Num(c as f64)).collect()),
+        ),
+        ("total", Json::Num(h.total() as f64)),
+        ("dropped", Json::Num(h.dropped() as f64)),
+    ])
+}
+
+/// Encodes a [`DistributionData`] with server-side histograms.
+pub fn distribution_json(d: &DistributionData, bins: usize) -> Json {
+    let analytic = |l: &statleak_stats::LogNormal| {
+        Json::obj(vec![
+            ("mean_w", Json::Num(l.mean())),
+            ("p95_w", Json::Num(l.quantile(0.95))),
+        ])
+    };
+    Json::obj(vec![
+        ("bins", Json::Num(bins as f64)),
+        (
+            "baseline",
+            Json::obj(vec![
+                ("histogram", histogram_json(d, DistKind::Baseline, bins)),
+                ("analytic", analytic(&d.baseline_analytic)),
+            ]),
+        ),
+        (
+            "optimized",
+            Json::obj(vec![
+                ("histogram", histogram_json(d, DistKind::Optimized, bins)),
+                ("analytic", analytic(&d.optimized_analytic)),
+            ]),
+        ),
+    ])
+}
+
+/// Encodes ablation rows.
+pub fn ablation_json(rows: &[AblationRow]) -> Json {
+    Json::obj(vec![(
+        "rows",
+        Json::Arr(
+            rows.iter()
+                .map(|r| {
+                    Json::obj(vec![
+                        ("variant", Json::str(r.variant.clone())),
+                        ("delay_sigma_ps", Json::Num(r.delay_sigma)),
+                        ("leak_p95_w", Json::Num(r.leak_p95)),
+                        ("leak_cv", Json::Num(r.leak_cv)),
+                    ])
+                })
+                .collect(),
+        ),
+    )])
+}
+
+/// Encodes cache stats (the `stats` op merges these with server counters).
+pub fn cache_stats_json(s: &CacheStats) -> Json {
+    Json::obj(vec![
+        ("hits", Json::Num(s.hits as f64)),
+        ("misses", Json::Num(s.misses as f64)),
+        ("evictions", Json::Num(s.evictions as f64)),
+        ("entries", Json::Num(s.entries as f64)),
+        ("capacity", Json::Num(s.capacity as f64)),
+        ("memo_hits", Json::Num(s.memo_hits as f64)),
+    ])
+}
+
+/// Executes an analysis op against a cached session and encodes the data
+/// payload. Control ops (`ping`/`stats`/`shutdown`) are not handled here.
+///
+/// # Errors
+///
+/// Returns the typed [`ProtoError`] for flow failures.
+pub fn execute(session: &Session, op: &Op) -> Result<Json, ProtoError> {
+    let flow = |r: Result<Json, FlowError>| r.map_err(|e| ProtoError::from_flow(&e));
+    match op {
+        Op::Comparison(_) => flow(session.run_comparison().map(|o| comparison_json(&o))),
+        Op::Sweep(_, spec) => flow(session.sweep(spec).map(|p| sweep_json(spec.axis(), &p))),
+        Op::YieldCurves(_, grid) => flow(session.yield_curves(grid).map(|r| curves_json(&r))),
+        Op::McValidation(_) => flow(session.mc_validation().map(|v| validation_json(&v))),
+        Op::Distribution(_, bins) => {
+            flow(session.distribution().map(|d| distribution_json(&d, *bins)))
+        }
+        Op::Ablation(_) => flow(session.ablation().map(|r| ablation_json(&r))),
+        Op::Ping | Op::Stats | Op::Shutdown => Err(ProtoError {
+            class: "internal",
+            message: format!("control op `{}` reached the worker pool", op.name()),
+        }),
+    }
+}
+
+/// The config an analysis op targets (`None` for control ops).
+pub fn op_config(op: &Op) -> Option<&FlowConfig> {
+    match op {
+        Op::Comparison(cfg)
+        | Op::Sweep(cfg, _)
+        | Op::YieldCurves(cfg, _)
+        | Op::McValidation(cfg)
+        | Op::Distribution(cfg, _)
+        | Op::Ablation(cfg) => Some(cfg),
+        Op::Ping | Op::Stats | Op::Shutdown => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_comparison_request() {
+        let r = parse_request(
+            r#"{"id":7,"op":"comparison","benchmark":"c432","slack_factor":1.3,"mc_samples":0}"#,
+        )
+        .unwrap();
+        assert_eq!(r.id, Json::Num(7.0));
+        assert_eq!(r.deadline_ms, None);
+        let Op::Comparison(cfg) = &r.op else {
+            panic!("wrong op: {:?}", r.op)
+        };
+        assert_eq!(cfg.benchmark, "c432");
+        assert_eq!(cfg.slack_factor, 1.3);
+        assert_eq!(cfg.mc_samples, 0);
+        assert_eq!(cfg.eta, 0.95);
+    }
+
+    #[test]
+    fn parses_sweep_axes() {
+        let r = parse_request(
+            r#"{"op":"sweep","benchmark":"c17","axis":"sigma_l","values":[0.05,0.1],"mc_samples":0}"#,
+        )
+        .unwrap();
+        assert!(matches!(r.op, Op::Sweep(_, SweepSpec::SigmaL(ref v)) if v == &[0.05, 0.1]));
+        let bad = parse_request(r#"{"op":"sweep","benchmark":"c17","axis":"nope","values":[1]}"#);
+        assert_eq!(bad.unwrap_err().0.class, "usage");
+    }
+
+    #[test]
+    fn rejects_bad_requests_with_stable_classes() {
+        assert_eq!(parse_request("not json").unwrap_err().0.class, "usage");
+        assert_eq!(
+            parse_request(r#"{"op":"comparison"}"#).unwrap_err().0.class,
+            "usage"
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"flyaway","benchmark":"c17"}"#)
+                .unwrap_err()
+                .0
+                .class,
+            "usage"
+        );
+        let (e, id) =
+            parse_request(r#"{"id":"x","op":"comparison","benchmark":"c17","slack_factor":0.5}"#)
+                .unwrap_err();
+        assert_eq!(e.class, "config");
+        assert_eq!(id, Json::str("x"));
+    }
+
+    #[test]
+    fn response_lines_are_single_line_json() {
+        let ok = ok_response(
+            &Json::Num(1.0),
+            "ping",
+            Json::obj(vec![("pong", Json::Bool(true))]),
+        );
+        assert_eq!(ok, r#"{"id":1,"ok":true,"op":"ping","data":{"pong":true}}"#);
+        assert!(!ok.contains('\n'));
+        let err = err_response(&Json::Null, &ProtoError::usage("nope"));
+        assert_eq!(
+            err,
+            r#"{"id":null,"ok":false,"error":{"class":"usage","message":"nope"}}"#
+        );
+    }
+}

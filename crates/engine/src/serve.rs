@@ -1,0 +1,610 @@
+//! `statleak serve` — a long-running TCP daemon over the cached engine.
+//!
+//! Transport: plain `std::net` TCP, newline-delimited JSON (one request
+//! per line, one response line per request, in order per connection). No
+//! async runtime: a nonblocking accept loop hands each connection to a
+//! thread, analysis ops flow through a bounded queue into a fixed worker
+//! pool, and control ops (`ping`/`stats`/`shutdown`) are answered inline
+//! so they stay responsive under load.
+//!
+//! Load shedding is explicit rather than implicit: once the queue reaches
+//! the configured high-water mark a request is rejected immediately with
+//! a typed `busy` error, and a request that waits in the queue past its
+//! deadline is answered `deadline` instead of silently running late.
+//!
+//! Shutdown is cooperative: when the shutdown flag flips (SIGTERM in the
+//! CLI, or a `shutdown` request), the listener stops accepting, queued
+//! and in-flight requests drain to completion, every response is written,
+//! and [`Server::run`] returns its final [`ServeReport`].
+
+use crate::json::Json;
+use crate::proto::{self, Op, ProtoError, Request};
+use crate::session::Engine;
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// How often blocked loops re-check the shutdown flag.
+const POLL: Duration = Duration::from_millis(50);
+
+/// Server configuration.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:7878` (`:0` picks an ephemeral port;
+    /// read it back from [`Server::local_addr`]).
+    pub addr: String,
+    /// Worker threads executing analysis ops (0 = available parallelism,
+    /// capped at 8).
+    pub workers: usize,
+    /// Queue high-water mark: requests beyond this many *queued* (not yet
+    /// executing) are rejected with a `busy` error.
+    pub queue_depth: usize,
+    /// Default per-request queue deadline; `None` = wait forever unless
+    /// the request carries its own `deadline_ms`.
+    pub default_deadline_ms: Option<u64>,
+    /// Capacity of the session LRU cache.
+    pub cache_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7878".to_string(),
+            workers: 0,
+            queue_depth: 64,
+            default_deadline_ms: None,
+            cache_capacity: crate::session::DEFAULT_CACHE_CAPACITY,
+        }
+    }
+}
+
+/// Final counters returned by [`Server::run`] after a drain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeReport {
+    /// Requests answered successfully.
+    pub served: u64,
+    /// Requests that failed in the flow (infeasible targets etc.).
+    pub request_errors: u64,
+    /// Requests shed at the high-water mark.
+    pub busy_rejected: u64,
+    /// Requests whose queue wait exceeded their deadline.
+    pub deadline_expired: u64,
+    /// Lines that failed to parse as protocol requests.
+    pub protocol_errors: u64,
+    /// Connections accepted over the server's lifetime.
+    pub connections: u64,
+}
+
+struct Job {
+    request: Request,
+    accepted: Instant,
+    deadline: Option<Duration>,
+    reply: mpsc::Sender<String>,
+}
+
+struct Shared {
+    engine: Engine,
+    queue: Mutex<VecDeque<Job>>,
+    queue_cv: Condvar,
+    queue_depth: usize,
+    default_deadline: Option<Duration>,
+    workers: usize,
+    started: Instant,
+    shutdown: &'static AtomicBool,
+    served: AtomicU64,
+    request_errors: AtomicU64,
+    busy_rejected: AtomicU64,
+    deadline_expired: AtomicU64,
+    protocol_errors: AtomicU64,
+    connections: AtomicU64,
+}
+
+impl Shared {
+    fn draining(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    fn report(&self) -> ServeReport {
+        ServeReport {
+            served: self.served.load(Ordering::Relaxed),
+            request_errors: self.request_errors.load(Ordering::Relaxed),
+            busy_rejected: self.busy_rejected.load(Ordering::Relaxed),
+            deadline_expired: self.deadline_expired.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            connections: self.connections.load(Ordering::Relaxed),
+        }
+    }
+
+    fn stats_json(&self) -> Json {
+        let r = self.report();
+        Json::obj(vec![
+            ("cache", proto::cache_stats_json(&self.engine.cache_stats())),
+            (
+                "server",
+                Json::obj(vec![
+                    ("served", Json::Num(r.served as f64)),
+                    ("request_errors", Json::Num(r.request_errors as f64)),
+                    ("busy_rejected", Json::Num(r.busy_rejected as f64)),
+                    ("deadline_expired", Json::Num(r.deadline_expired as f64)),
+                    ("protocol_errors", Json::Num(r.protocol_errors as f64)),
+                    ("connections", Json::Num(r.connections as f64)),
+                    (
+                        "queued",
+                        Json::Num(self.queue.lock().expect("queue lock").len() as f64),
+                    ),
+                    ("workers", Json::Num(self.workers as f64)),
+                    ("queue_depth", Json::Num(self.queue_depth as f64)),
+                    ("uptime_s", Json::Num(self.started.elapsed().as_secs_f64())),
+                    ("draining", Json::Bool(self.draining())),
+                ]),
+            ),
+        ])
+    }
+}
+
+/// A bound, not-yet-running server. Splitting bind from run lets callers
+/// learn the actual port (ephemeral binds) before the accept loop blocks.
+pub struct Server {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds the listener and sizes the worker pool.
+    ///
+    /// The `shutdown` flag is the drain trigger: the CLI points it at a
+    /// static that its SIGTERM handler sets; a `shutdown` request sets the
+    /// same flag from inside the protocol.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn bind(config: &ServeConfig, shutdown: &'static AtomicBool) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let workers = if config.workers == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(2)
+                .min(8)
+        } else {
+            config.workers
+        };
+        let shared = Arc::new(Shared {
+            engine: Engine::new(config.cache_capacity),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            queue_depth: config.queue_depth.max(1),
+            default_deadline: config.default_deadline_ms.map(Duration::from_millis),
+            workers,
+            started: Instant::now(),
+            shutdown,
+            served: AtomicU64::new(0),
+            request_errors: AtomicU64::new(0),
+            busy_rejected: AtomicU64::new(0),
+            deadline_expired: AtomicU64::new(0),
+            protocol_errors: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
+        });
+        Ok(Server {
+            listener,
+            local_addr,
+            shared,
+        })
+    }
+
+    /// The bound address (resolves `:0` ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Runs accept/worker loops until the shutdown flag flips, then drains
+    /// in-flight requests and returns the final counters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates unexpected accept-loop I/O failures.
+    pub fn run(self) -> std::io::Result<ServeReport> {
+        let Server {
+            listener, shared, ..
+        } = self;
+
+        let mut worker_handles = Vec::new();
+        for i in 0..shared.workers {
+            let shared = shared.clone();
+            worker_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("statleak-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker thread"),
+            );
+        }
+
+        let mut conn_handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        while !shared.draining() {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    shared.connections.fetch_add(1, Ordering::Relaxed);
+                    let shared = shared.clone();
+                    conn_handles.push(
+                        std::thread::Builder::new()
+                            .name("statleak-conn".to_string())
+                            .spawn(move || handle_connection(stream, &shared))
+                            .expect("spawn connection thread"),
+                    );
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(POLL),
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+            // Reap finished connection threads so the handle list stays
+            // bounded on long runs.
+            conn_handles = reap(conn_handles);
+        }
+
+        // Drain: stop accepting (listener drops below), let connection
+        // threads finish their in-flight request, then let workers empty
+        // the queue.
+        drop(listener);
+        for handle in conn_handles {
+            let _ = handle.join();
+        }
+        shared.queue_cv.notify_all();
+        for handle in worker_handles {
+            let _ = handle.join();
+        }
+        Ok(shared.report())
+    }
+}
+
+fn reap(handles: Vec<std::thread::JoinHandle<()>>) -> Vec<std::thread::JoinHandle<()>> {
+    handles
+        .into_iter()
+        .filter_map(|h| {
+            if h.is_finished() {
+                let _ = h.join();
+                None
+            } else {
+                Some(h)
+            }
+        })
+        .collect()
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().expect("queue lock");
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break Some(job);
+                }
+                if shared.draining() {
+                    break None;
+                }
+                let (q, _) = shared
+                    .queue_cv
+                    .wait_timeout(queue, POLL)
+                    .expect("queue lock");
+                queue = q;
+            }
+        };
+        let Some(job) = job else { return };
+        let line = process(shared, &job);
+        // A dropped receiver just means the client hung up mid-request.
+        let _ = job.reply.send(line);
+    }
+}
+
+fn process(shared: &Shared, job: &Job) -> String {
+    let id = &job.request.id;
+    if let Some(deadline) = job.deadline {
+        if job.accepted.elapsed() > deadline {
+            shared.deadline_expired.fetch_add(1, Ordering::Relaxed);
+            return proto::err_response(
+                id,
+                &ProtoError {
+                    class: "deadline",
+                    message: format!(
+                        "request waited {:.0} ms, past its {:.0} ms deadline",
+                        job.accepted.elapsed().as_secs_f64() * 1e3,
+                        deadline.as_secs_f64() * 1e3
+                    ),
+                },
+            );
+        }
+    }
+    let Some(cfg) = proto::op_config(&job.request.op) else {
+        // Control ops never reach the queue (see handle_connection).
+        shared.request_errors.fetch_add(1, Ordering::Relaxed);
+        return proto::err_response(
+            id,
+            &ProtoError {
+                class: "internal",
+                message: "control op routed to worker pool".to_string(),
+            },
+        );
+    };
+    let result = shared
+        .engine
+        .session(cfg)
+        .map_err(|e| ProtoError::from_flow(&e))
+        .and_then(|session| proto::execute(&session, &job.request.op));
+    match result {
+        Ok(data) => {
+            shared.served.fetch_add(1, Ordering::Relaxed);
+            proto::ok_response(id, job.request.op.name(), data)
+        }
+        Err(e) => {
+            shared.request_errors.fetch_add(1, Ordering::Relaxed);
+            proto::err_response(id, &e)
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    // Short read timeouts turn the blocking reader into a poll loop that
+    // notices the drain flag; writes stay blocking.
+    if stream.set_read_timeout(Some(POLL)).is_err() {
+        return;
+    }
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        if shared.draining() {
+            // In-flight work (below) has already been answered; close.
+            return;
+        }
+        line.clear();
+        match read_line_polled(&mut reader, &mut line, shared) {
+            ReadOutcome::Closed => return,
+            ReadOutcome::Drain => return,
+            ReadOutcome::Line => {}
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let response = dispatch(trimmed, shared);
+        if writer
+            .write_all(response.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            return;
+        }
+    }
+}
+
+enum ReadOutcome {
+    /// A full line is in the buffer.
+    Line,
+    /// The peer closed the connection.
+    Closed,
+    /// The server is draining; stop reading.
+    Drain,
+}
+
+fn read_line_polled(
+    reader: &mut BufReader<TcpStream>,
+    line: &mut String,
+    shared: &Shared,
+) -> ReadOutcome {
+    loop {
+        match reader.read_line(line) {
+            Ok(0) => return ReadOutcome::Closed,
+            Ok(_) => return ReadOutcome::Line,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::Interrupted
+                ) =>
+            {
+                // Partial data read so far stays appended to `line`;
+                // keep polling until the newline arrives or we drain.
+                if shared.draining() {
+                    return ReadOutcome::Drain;
+                }
+            }
+            Err(_) => return ReadOutcome::Closed,
+        }
+    }
+}
+
+fn dispatch(line: &str, shared: &Shared) -> String {
+    let request = match proto::parse_request(line) {
+        Ok(r) => r,
+        Err((e, id)) => {
+            shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            return proto::err_response(&id, &e);
+        }
+    };
+    let id = request.id.clone();
+    match &request.op {
+        // Control ops answer inline: they must stay responsive while the
+        // worker pool is saturated with long optimizations.
+        Op::Ping => proto::ok_response(&id, "ping", Json::obj(vec![("pong", Json::Bool(true))])),
+        Op::Stats => proto::ok_response(&id, "stats", shared.stats_json()),
+        Op::Shutdown => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            proto::ok_response(
+                &id,
+                "shutdown",
+                Json::obj(vec![("draining", Json::Bool(true))]),
+            )
+        }
+        _ => {
+            if shared.draining() {
+                return proto::err_response(
+                    &id,
+                    &ProtoError {
+                        class: "shutdown",
+                        message: "server is draining; request rejected".to_string(),
+                    },
+                );
+            }
+            let deadline = request
+                .deadline_ms
+                .map(Duration::from_millis)
+                .or(shared.default_deadline);
+            let (tx, rx) = mpsc::channel();
+            {
+                let mut queue = shared.queue.lock().expect("queue lock");
+                if queue.len() >= shared.queue_depth {
+                    shared.busy_rejected.fetch_add(1, Ordering::Relaxed);
+                    return proto::err_response(
+                        &id,
+                        &ProtoError {
+                            class: "busy",
+                            message: format!(
+                                "queue at high-water mark ({} requests); retry later",
+                                shared.queue_depth
+                            ),
+                        },
+                    );
+                }
+                queue.push_back(Job {
+                    request,
+                    accepted: Instant::now(),
+                    deadline,
+                    reply: tx,
+                });
+            }
+            shared.queue_cv.notify_one();
+            // Block until a worker answers; the worker pool always drains
+            // the queue (even during shutdown), so this terminates.
+            match rx.recv() {
+                Ok(response) => response,
+                Err(_) => proto::err_response(
+                    &id,
+                    &ProtoError {
+                        class: "internal",
+                        message: "worker dropped the request".to_string(),
+                    },
+                ),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufRead;
+
+    fn request(addr: SocketAddr, line: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(format!("{line}\n").as_bytes())
+            .expect("write");
+        let mut reader = BufReader::new(stream);
+        let mut response = String::new();
+        reader.read_line(&mut response).expect("read");
+        response.trim().to_string()
+    }
+
+    #[test]
+    fn serves_ping_stats_and_drains_on_shutdown_request() {
+        static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+        let config = ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_depth: 4,
+            ..Default::default()
+        };
+        let server = Server::bind(&config, &SHUTDOWN).expect("bind");
+        let addr = server.local_addr();
+        let handle = std::thread::spawn(move || server.run().expect("run"));
+
+        let pong = request(addr, r#"{"id":1,"op":"ping"}"#);
+        assert_eq!(
+            pong,
+            r#"{"id":1,"ok":true,"op":"ping","data":{"pong":true}}"#
+        );
+
+        // A real analysis request on the smallest circuit.
+        let comparison = request(
+            addr,
+            r#"{"id":2,"op":"comparison","benchmark":"c17","mc_samples":0}"#,
+        );
+        assert!(comparison.contains(r#""ok":true"#), "{comparison}");
+        assert!(
+            comparison.contains(r#""stat_extra_saving""#),
+            "{comparison}"
+        );
+
+        // Same request again: cache hit, memo hit, byte-identical modulo
+        // the runtime_s bookkeeping fields.
+        let again = request(
+            addr,
+            r#"{"id":2,"op":"comparison","benchmark":"c17","mc_samples":0}"#,
+        );
+        assert_eq!(comparison, again);
+
+        let stats = request(addr, r#"{"id":3,"op":"stats"}"#);
+        assert!(stats.contains(r#""hits":1"#), "{stats}");
+        assert!(stats.contains(r#""misses":1"#), "{stats}");
+
+        let bad = request(addr, r#"{"id":4,"op":"comparison","benchmark":"c9999"}"#);
+        assert!(bad.contains(r#""class":"unknown-benchmark""#), "{bad}");
+
+        let garbage = request(addr, "not json");
+        assert!(garbage.contains(r#""class":"usage""#), "{garbage}");
+
+        let ack = request(addr, r#"{"id":5,"op":"shutdown"}"#);
+        assert!(ack.contains(r#""draining":true"#), "{ack}");
+        let report = handle.join().expect("server thread");
+        assert_eq!(report.served, 2);
+        assert_eq!(report.request_errors, 1);
+        assert_eq!(report.protocol_errors, 1);
+        assert!(report.connections >= 6);
+        SHUTDOWN.store(false, Ordering::SeqCst);
+    }
+
+    #[test]
+    fn expired_deadline_is_reported_not_executed() {
+        static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+        let config = ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 1,
+            queue_depth: 8,
+            ..Default::default()
+        };
+        let server = Server::bind(&config, &SHUTDOWN).expect("bind");
+        let addr = server.local_addr();
+        let handle = std::thread::spawn(move || server.run().expect("run"));
+
+        // Occupy the single worker, then trail a request whose deadline
+        // has certainly passed by the time the worker frees up.
+        let busy_conn = std::thread::spawn(move || {
+            request(
+                addr,
+                r#"{"id":"slow","op":"mc_validation","benchmark":"c432","mc_samples":20000}"#,
+            )
+        });
+        std::thread::sleep(Duration::from_millis(150));
+        let expired = request(
+            addr,
+            r#"{"id":"late","op":"comparison","benchmark":"c17","mc_samples":0,"deadline_ms":1}"#,
+        );
+        assert!(expired.contains(r#""class":"deadline""#), "{expired}");
+        let slow = busy_conn.join().expect("slow request");
+        assert!(slow.contains(r#""ok":true"#), "{slow}");
+
+        request(addr, r#"{"op":"shutdown"}"#);
+        let report = handle.join().expect("server thread");
+        assert_eq!(report.deadline_expired, 1);
+        SHUTDOWN.store(false, Ordering::SeqCst);
+    }
+}

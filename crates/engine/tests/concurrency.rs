@@ -1,0 +1,96 @@
+//! Concurrency: many threads hammering one engine must each get results
+//! byte-identical to the one-shot `statleak_core::flows` functions, while
+//! sharing cached sessions instead of rebuilding them.
+
+use statleak_core::flows::{self, ComparisonOutcome, FlowConfig};
+use statleak_engine::Engine;
+use std::sync::Arc;
+
+/// Zeroes the wall-clock bookkeeping fields, the only non-deterministic
+/// bits of an outcome; everything else must match exactly.
+fn normalized(mut o: ComparisonOutcome) -> ComparisonOutcome {
+    o.baseline.runtime_s = 0.0;
+    o.deterministic.runtime_s = 0.0;
+    o.statistical.runtime_s = 0.0;
+    o
+}
+
+#[test]
+fn eight_threads_share_sessions_and_match_one_shot_results() {
+    let configs: Vec<FlowConfig> = ["c17", "c432"]
+        .into_iter()
+        .map(|n| {
+            FlowConfig::builder(n)
+                .mc_samples(0)
+                .build()
+                .expect("valid config")
+        })
+        .collect();
+
+    // One-shot reference results, computed without the engine.
+    let expected: Vec<ComparisonOutcome> = configs
+        .iter()
+        .map(|cfg| {
+            let setup = flows::prepare(cfg).expect("prepare");
+            normalized(flows::run_comparison_on(&setup, cfg).expect("one-shot"))
+        })
+        .collect();
+
+    let engine = Arc::new(Engine::new(4));
+    let mut handles = Vec::new();
+    for t in 0..8usize {
+        let engine = Arc::clone(&engine);
+        let configs = configs.clone();
+        let expected = expected.clone();
+        handles.push(std::thread::spawn(move || {
+            // Each thread issues both configs, staggered so cache hits and
+            // misses interleave across threads.
+            for rep in 0..2 {
+                let i = (t + rep) % configs.len();
+                let got = engine
+                    .session(&configs[i])
+                    .expect("session")
+                    .run_comparison()
+                    .expect("comparison");
+                assert_eq!(normalized(got), expected[i], "thread {t} rep {rep}");
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("worker thread");
+    }
+
+    let stats = engine.cache_stats();
+    assert_eq!(stats.hits + stats.misses, 16, "one lookup per request");
+    assert_eq!(
+        stats.entries, 2,
+        "distinct configs collapse to two sessions"
+    );
+    assert_eq!(stats.evictions, 0);
+    // Each session memoizes its comparison exactly once: `get_or_init`
+    // lets at most one racer compute per slot.
+    for cfg in &configs {
+        assert_eq!(engine.session(cfg).expect("cached").memo_len(), 1);
+    }
+}
+
+#[test]
+fn racing_threads_on_one_key_converge_to_one_session() {
+    let cfg = FlowConfig::builder("c17")
+        .mc_samples(0)
+        .build()
+        .expect("valid config");
+    let engine = Arc::new(Engine::new(4));
+    let keys: Vec<u64> = (0..8)
+        .map(|_| {
+            let engine = Arc::clone(&engine);
+            let cfg = cfg.clone();
+            std::thread::spawn(move || engine.session(&cfg).expect("session").key())
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .map(|h| h.join().expect("thread"))
+        .collect();
+    assert!(keys.windows(2).all(|w| w[0] == w[1]));
+    assert_eq!(engine.cache_stats().entries, 1);
+}

@@ -5,18 +5,15 @@
 //! cargo run --release --example quickstart [benchmark]
 //! ```
 
-use statleak::core::flows::{self, FlowConfig};
 use statleak::core::report::{fmt_pct, fmt_power, Table};
+use statleak::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let benchmark = std::env::args().nth(1).unwrap_or_else(|| "c432".into());
     println!("statleak quickstart on {benchmark}: T = 1.20*Dmin, yield target 95%\n");
 
-    let cfg = FlowConfig {
-        mc_samples: 1000,
-        ..FlowConfig::new(&benchmark)
-    };
-    let o = flows::run_comparison(&cfg)?;
+    let cfg = FlowConfig::builder(&benchmark).mc_samples(1000).build()?;
+    let o = Engine::global().session(&cfg)?.run_comparison()?;
 
     println!(
         "minimum delay {:.1} ps, clock target {:.1} ps\n",

@@ -6,25 +6,23 @@
 //! cargo run --release --example variation_study [benchmark]
 //! ```
 
-use statleak::core::flows::{self, FlowConfig};
 use statleak::core::report::{fmt_pct, Table};
 use statleak::leakage::LeakageAnalysis;
 use statleak::mc::{McConfig, MonteCarlo};
 use statleak::netlist::placement::Placement;
 use statleak::opt::sizing;
+use statleak::prelude::*;
 use statleak::tech::FactorModel;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let benchmark = std::env::args().nth(1).unwrap_or_else(|| "c499".into());
-    let cfg = FlowConfig {
-        mc_samples: 0,
-        ..FlowConfig::new(&benchmark)
-    };
+    let cfg = FlowConfig::builder(&benchmark).mc_samples(0).build()?;
+    let session = Engine::global().session(&cfg)?;
 
     // --- Advantage vs sigma(L). ---
     println!("statistical advantage vs variation magnitude on {benchmark}\n");
     let sigmas = [0.025, 0.05, 0.0667, 0.10];
-    let pts = flows::sweep_sigma(&cfg, &sigmas)?;
+    let pts = session.sweep(&SweepSpec::SigmaL(sigmas.to_vec()))?;
     let mut t = Table::new(&["sigma_L/L", "det p95 (uW)", "stat p95 (uW)", "extra saving"]);
     for p in &pts {
         t.row(&[
@@ -38,7 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Ablations: what each modeling ingredient contributes. ---
     println!("\nmodeling ablations (sized baseline design):\n");
-    let rows = flows::ablation(&cfg)?;
+    let rows = session.ablation()?;
     let mut t = Table::new(&["variant", "delay sigma (ps)", "leak p95 (uW)", "leak cv"]);
     for r in rows {
         t.row(&[
@@ -51,7 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     print!("{}", t.render());
 
     // --- The fast-die-leak-more correlation, measured from Monte Carlo. ---
-    let setup = flows::prepare(&cfg)?;
+    let setup = session.setup();
     let mut design = setup.base.clone();
     sizing::size_for_yield(&mut design, &setup.fm, setup.t_clk, cfg.eta)?;
     let mc = MonteCarlo::new(McConfig {

@@ -5,22 +5,20 @@
 //! cargo run --release --example yield_explorer [benchmark]
 //! ```
 
-use statleak::core::flows::{self, FlowConfig};
 use statleak::core::report::{fmt_power, Table};
 use statleak::opt::{sizing, statistical_for_yield};
+use statleak::prelude::*;
 use statleak::ssta::Ssta;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let benchmark = std::env::args().nth(1).unwrap_or_else(|| "c880".into());
-    let cfg = FlowConfig {
-        mc_samples: 0,
-        ..FlowConfig::new(&benchmark)
-    };
+    let cfg = FlowConfig::builder(&benchmark).mc_samples(0).build()?;
+    let session = Engine::global().session(&cfg)?;
 
     // --- Yield curves of the three designs. ---
     println!("yield vs clock for {benchmark} (T target = 1.20*Dmin, eta = 0.95)\n");
     let grid: Vec<f64> = (0..=12).map(|i| 1.00 + 0.05 * i as f64).collect();
-    let rows = flows::yield_curves(&cfg, &grid)?;
+    let rows = session.yield_curves(&grid)?;
     let mut t = Table::new(&["T/Dmin", "baseline", "deterministic", "statistical"]);
     for (k, yb, yd, ys) in rows {
         t.row(&[
@@ -34,7 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- The price of yield: p95 leakage vs yield requirement. ---
     println!("\np95 leakage vs yield requirement (statistical flow):\n");
-    let setup = flows::prepare(&cfg)?;
+    let setup = session.setup();
     let mut t = Table::new(&["eta", "p95 leakage", "clock@eta (ps)", "high-Vth gates"]);
     for eta in [0.80, 0.90, 0.95, 0.99] {
         let out = match statistical_for_yield(&setup.base, &setup.fm, setup.t_clk, eta) {

@@ -14,6 +14,14 @@
 //!
 //! statleak export-lib [--out FILE]
 //!     Write the dual-Vth cell library as Liberty-subset text.
+//!
+//! statleak serve [--addr A] [--workers N] [--queue-depth N]
+//!                [--cache-capacity N] [--deadline-ms N]
+//!     Run the newline-delimited-JSON analysis daemon (see
+//!     docs/SERVE_PROTOCOL.md). Drains gracefully on SIGTERM/SIGINT.
+//!
+//! statleak call --addr A --json REQUEST
+//!     Send one request line to a running daemon and print the response.
 //! ```
 //!
 //! `--input` accepts `.bench` (ISCAS85/89; DFFs are cut) or structural
@@ -24,8 +32,13 @@
 //! Argument parsing is strict: unknown flags, flags missing their value,
 //! and unparsable values are errors, not silently ignored defaults. Each
 //! failure class exits with a stable code (see [`statleak::error`]):
-//! 2 usage, 3 I/O, 4 parse, 5 model, 6 infeasible.
+//! 2 usage, 3 I/O, 4 parse, 5 model, 6 infeasible, 7 busy.
 
+// The only unsafe in the workspace: the two-line POSIX `signal()` binding
+// below (`install_shutdown_handler`), confined to this binary so every
+// library crate keeps `#![forbid(unsafe_code)]`.
+
+use statleak::engine::{Json, ServeConfig, Server};
 use statleak::error::StatleakError;
 use statleak::leakage::LeakageAnalysis;
 use statleak::mc::{McConfig, MonteCarlo};
@@ -67,6 +80,8 @@ fn run(args: &[String]) -> Result<(), StatleakError> {
         "analyze" => cmd_analyze(&args[1..]),
         "optimize" => cmd_optimize(&args[1..]),
         "export-lib" => cmd_export_lib(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
+        "call" => cmd_call(&args[1..]),
         "help" => {
             print_usage();
             Ok(())
@@ -87,9 +102,13 @@ fn print_usage() {
          \x20 optimize  --input FILE [--slack-factor F] [--eta E] [--triple-vth]\n\
          \x20           [--out-verilog F] [--out-bench F]\n\
          \x20 export-lib [--out FILE]\n\
+         \x20 serve     [--addr A] [--workers N] [--queue-depth N]\n\
+         \x20           [--cache-capacity N] [--deadline-ms N]\n\
+         \x20 call      --addr A --json REQUEST\n\
          \n\
          --input accepts .bench, .v, or a built-in name like c880\n\
-         exit codes: 0 ok, 2 usage, 3 io, 4 parse, 5 model, 6 infeasible"
+         serve speaks newline-delimited JSON (docs/SERVE_PROTOCOL.md)\n\
+         exit codes: 0 ok, 2 usage, 3 io, 4 parse, 5 model, 6 infeasible, 7 busy"
     );
 }
 
@@ -361,4 +380,149 @@ fn cmd_export_lib(args: &[String]) -> Result<(), StatleakError> {
         None => print!("{text}"),
     }
     Ok(())
+}
+
+/// Set by the SIGTERM/SIGINT handler; `serve` drains and exits when it
+/// flips.
+static SHUTDOWN: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+extern "C" fn on_shutdown_signal(_signum: i32) {
+    // Only async-signal-safe work here: set the flag, nothing else.
+    SHUTDOWN.store(true, std::sync::atomic::Ordering::SeqCst);
+}
+
+fn install_shutdown_handler() {
+    // POSIX `signal(2)`; avoids pulling in a libc crate for two constants.
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_shutdown_signal);
+        signal(SIGTERM, on_shutdown_signal);
+    }
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), StatleakError> {
+    let flags = parse_flags(
+        args,
+        &[
+            "--addr",
+            "--workers",
+            "--queue-depth",
+            "--cache-capacity",
+            "--deadline-ms",
+        ],
+        &[],
+    )?;
+    let mut config = ServeConfig::default();
+    if let Some(addr) = flags.get("--addr") {
+        config.addr = addr.clone();
+    }
+    if let Some(v) = get_parsed::<usize>(&flags, "--workers")? {
+        config.workers = v;
+    }
+    if let Some(v) = get_parsed::<usize>(&flags, "--queue-depth")? {
+        if v == 0 {
+            return Err(StatleakError::Usage(
+                "`--queue-depth` must be at least 1".into(),
+            ));
+        }
+        config.queue_depth = v;
+    }
+    if let Some(v) = get_parsed::<usize>(&flags, "--cache-capacity")? {
+        if v == 0 {
+            return Err(StatleakError::Usage(
+                "`--cache-capacity` must be at least 1".into(),
+            ));
+        }
+        config.cache_capacity = v;
+    }
+    if let Some(v) = get_parsed::<u64>(&flags, "--deadline-ms")? {
+        config.default_deadline_ms = Some(v);
+    }
+
+    install_shutdown_handler();
+    let server = Server::bind(&config, &SHUTDOWN).map_err(|e| StatleakError::Io {
+        path: config.addr.clone(),
+        source: e,
+    })?;
+    // Scripts (and the integration tests) read this line to learn the
+    // resolved port when binding to :0.
+    println!("serving on {}", server.local_addr());
+    let report = server.run().map_err(|e| StatleakError::Io {
+        path: config.addr.clone(),
+        source: e,
+    })?;
+    eprintln!(
+        "drained: {} served, {} errors, {} busy-rejected, {} past deadline, \
+         {} malformed, {} connections",
+        report.served,
+        report.request_errors,
+        report.busy_rejected,
+        report.deadline_expired,
+        report.protocol_errors,
+        report.connections
+    );
+    Ok(())
+}
+
+fn cmd_call(args: &[String]) -> Result<(), StatleakError> {
+    use std::io::{BufRead, BufReader, Write};
+
+    let flags = parse_flags(args, &["--addr", "--json"], &[])?;
+    let addr = flags
+        .get("--addr")
+        .ok_or_else(|| StatleakError::Usage("missing --addr".into()))?;
+    let request = flags
+        .get("--json")
+        .ok_or_else(|| StatleakError::Usage("missing --json".into()))?;
+    if request.contains('\n') {
+        return Err(StatleakError::Usage(
+            "`--json` must be a single line (the protocol is one request per line)".into(),
+        ));
+    }
+    let io_err = |e: std::io::Error| StatleakError::Io {
+        path: addr.clone(),
+        source: e,
+    };
+    let mut stream = std::net::TcpStream::connect(addr).map_err(io_err)?;
+    stream
+        .write_all(format!("{request}\n").as_bytes())
+        .and_then(|()| stream.flush())
+        .map_err(io_err)?;
+    let mut response = String::new();
+    BufReader::new(stream)
+        .read_line(&mut response)
+        .map_err(io_err)?;
+    let response = response.trim();
+    if response.is_empty() {
+        return Err(StatleakError::Remote {
+            class: "internal".into(),
+            message: "server closed the connection without responding".into(),
+        });
+    }
+    println!("{response}");
+    // Mirror the server's verdict in the exit code so scripts can dispatch
+    // on `statleak call` exactly like on the one-shot commands.
+    let parsed = Json::parse(response).map_err(|e| StatleakError::Remote {
+        class: "internal".into(),
+        message: format!("unparsable response: {e}"),
+    })?;
+    if parsed.get("ok").and_then(Json::as_bool) == Some(true) {
+        return Ok(());
+    }
+    let error = parsed.get("error");
+    let field = |k: &str| {
+        error
+            .and_then(|e| e.get(k))
+            .and_then(Json::as_str)
+            .unwrap_or("internal")
+            .to_string()
+    };
+    Err(StatleakError::Remote {
+        class: field("class"),
+        message: field("message"),
+    })
 }

@@ -15,9 +15,10 @@
 //! | 4    | `parse`      | netlist or Liberty input failed to parse, or the input format could not be inferred |
 //! | 5    | `model`      | statistical model construction failed (correlation matrix not positive definite) |
 //! | 6    | `infeasible` | the optimization target cannot be met          |
+//! | 7    | `busy`       | a `statleak serve` daemon shed the request at its queue high-water mark |
 //!
 //! The mapping is part of the CLI contract (see the README) and must not
-//! change between releases.
+//! change between releases; new classes may be appended with new codes.
 
 use statleak_core::FlowError;
 use statleak_netlist::bench::ParseBenchError;
@@ -29,6 +30,7 @@ use std::fmt;
 
 /// All failures the `statleak` CLI and facade surface to callers.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum StatleakError {
     /// Bad command-line usage: unknown command or flag, a flag missing its
     /// value, an invalid value, or an unknown built-in benchmark name.
@@ -57,6 +59,19 @@ pub enum StatleakError {
     Infeasible(SizeError),
     /// An experiment-flow error (wraps [`FlowError`] for facade users).
     Flow(FlowError),
+    /// A `statleak serve` daemon rejected the request at its queue
+    /// high-water mark; the caller should back off and retry.
+    Busy(String),
+    /// An error response received from a `statleak serve` daemon, carrying
+    /// the protocol's machine-readable error class (see
+    /// `statleak_engine::proto`). The class maps back onto the local exit
+    /// codes so `statleak call` behaves like the one-shot commands.
+    Remote {
+        /// Protocol error class (`usage`, `infeasible`, `busy`, ...).
+        class: String,
+        /// Human-readable message from the server.
+        message: String,
+    },
 }
 
 impl StatleakError {
@@ -71,9 +86,22 @@ impl StatleakError {
             StatleakError::Correlation(_) => 5,
             StatleakError::Infeasible(_) => 6,
             StatleakError::Flow(e) => match e {
-                FlowError::UnknownBenchmark(_) => 2,
+                FlowError::UnknownBenchmark(_) | FlowError::Config(_) => 2,
                 FlowError::Correlation(_) => 5,
                 FlowError::Sizing(_) => 6,
+                // `FlowError` is non-exhaustive; unknown future variants
+                // fall back to the internal-error code.
+                _ => 1,
+            },
+            StatleakError::Busy(_) => 7,
+            StatleakError::Remote { class, .. } => match class.as_str() {
+                "usage" | "config" | "unknown-benchmark" => 2,
+                "io" => 3,
+                "parse" => 4,
+                "model" | "correlation" => 5,
+                "infeasible" => 6,
+                "busy" => 7,
+                _ => 1,
             },
         }
     }
@@ -86,6 +114,7 @@ impl StatleakError {
             4 => "parse",
             5 => "model",
             6 => "infeasible",
+            7 => "busy",
             _ => "internal",
         }
     }
@@ -107,6 +136,10 @@ impl fmt::Display for StatleakError {
             StatleakError::Correlation(e) => write!(f, "correlation model: {e}"),
             StatleakError::Infeasible(e) => write!(f, "{e}"),
             StatleakError::Flow(e) => write!(f, "{e}"),
+            StatleakError::Busy(msg) => write!(f, "server busy: {msg}"),
+            StatleakError::Remote { class, message } => {
+                write!(f, "server error ({class}): {message}")
+            }
         }
     }
 }
@@ -202,6 +235,34 @@ mod tests {
         }));
         assert_eq!(e.exit_code(), 6);
         assert_eq!(e.class(), "infeasible");
+        let e = StatleakError::from(FlowError::Config(statleak_core::ConfigError {
+            field: "eta",
+            message: "out of range".into(),
+        }));
+        assert_eq!(e.exit_code(), 2);
+        assert_eq!(e.class(), "usage");
+    }
+
+    #[test]
+    fn busy_gets_its_own_exit_code() {
+        let e = StatleakError::Busy("queue full".into());
+        assert_eq!(e.exit_code(), 7);
+        assert_eq!(e.class(), "busy");
+        assert!(e.to_string().contains("queue full"));
+    }
+
+    #[test]
+    fn remote_classes_map_onto_local_exit_codes() {
+        let remote = |class: &str| StatleakError::Remote {
+            class: class.into(),
+            message: "m".into(),
+        };
+        assert_eq!(remote("usage").exit_code(), 2);
+        assert_eq!(remote("unknown-benchmark").exit_code(), 2);
+        assert_eq!(remote("correlation").exit_code(), 5);
+        assert_eq!(remote("infeasible").exit_code(), 6);
+        assert_eq!(remote("busy").exit_code(), 7);
+        assert_eq!(remote("deadline").exit_code(), 1);
     }
 
     #[test]

@@ -20,6 +20,8 @@
 //! * [`opt`] — deterministic and statistical dual-Vth + sizing optimizers
 //! * [`core`] — end-to-end flows, experiment configuration, joint
 //!   timing+leakage yield, report tables
+//! * [`engine`] — stateful service layer: an LRU cache of prepared
+//!   sessions with memoized results, and the NDJSON TCP serve mode
 //!
 //! Beyond the paper, the workspace ships extensions: triple-Vth ladders,
 //! joint parametric yield (bivariate normal over the shared factor basis),
@@ -31,15 +33,25 @@
 //! # Quickstart
 //!
 //! ```
-//! use statleak::core::flows::{self, FlowConfig};
+//! use statleak::prelude::*;
 //!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! // Build a small ISCAS85-class benchmark, size it, then compare the
 //! // deterministic and statistical leakage optimizers at equal timing yield.
-//! let cfg = FlowConfig::quick("c17");
-//! let outcome = flows::run_comparison(&cfg)?;
+//! let cfg = FlowConfig::builder("c17").mc_samples(200).build()?;
+//! let session = Engine::global().session(&cfg)?;
+//! let outcome = session.run_comparison()?;
 //! assert!(outcome.statistical.leakage_p95 <= outcome.deterministic.leakage_p95 * 1.0001);
-//! # Ok::<(), statleak::core::FlowError>(())
+//!
+//! // A second call on the same session is a memo hit — no recompute.
+//! let again = session.run_comparison()?;
+//! assert_eq!(outcome.statistical.leakage_p95, again.statistical.leakage_p95);
+//! # Ok(())
+//! # }
 //! ```
+//!
+//! One-shot scripts that don't want a cache can keep calling the free
+//! functions in [`core::flows`]; they share the same implementation.
 
 #![forbid(unsafe_code)]
 
@@ -47,7 +59,22 @@ pub mod error;
 
 pub use error::StatleakError;
 
+/// The most commonly used types, importable in one line.
+///
+/// ```
+/// use statleak::prelude::*;
+/// ```
+pub mod prelude {
+    pub use crate::error::StatleakError;
+    pub use statleak_core::flows::{
+        ComparisonOutcome, ConfigError, DesignMetrics, DistKind, DistributionData, FlowConfig,
+        FlowConfigBuilder, FlowError, SweepSpec,
+    };
+    pub use statleak_engine::{CacheStats, Engine, ServeConfig, Server, Session};
+}
+
 pub use statleak_core as core;
+pub use statleak_engine as engine;
 pub use statleak_leakage as leakage;
 pub use statleak_mc as mc;
 pub use statleak_netlist as netlist;

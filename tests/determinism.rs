@@ -2,7 +2,7 @@
 //! run-to-run — benchmark generation, factor models, Monte Carlo, and the
 //! optimizers are all seeded and deterministic.
 
-use statleak::core::flows::{self, FlowConfig};
+use statleak::core::flows::{run_comparison_on, FlowConfig};
 use statleak::mc::{McConfig, MonteCarlo};
 use statleak::netlist::{benchmarks, placement::Placement};
 use statleak::opt::{sizing, statistical_for_yield};
@@ -62,15 +62,29 @@ fn optimizer_is_stable() {
 
 #[test]
 fn comparison_flow_is_stable() {
-    let cfg = FlowConfig {
-        mc_samples: 100,
-        ..FlowConfig::quick("c17")
-    };
-    let a = flows::run_comparison(&cfg).unwrap();
-    let b = flows::run_comparison(&cfg).unwrap();
+    let cfg = FlowConfig::builder("c17").mc_samples(100).build().unwrap();
+    let setup = statleak::core::flows::prepare(&cfg).unwrap();
+    let a = run_comparison_on(&setup, &cfg).unwrap();
+    let b = run_comparison_on(&setup, &cfg).unwrap();
     // Runtime differs; every numeric result must match.
     assert_eq!(a.statistical.leakage_p95, b.statistical.leakage_p95);
     assert_eq!(a.deterministic.leakage_p95, b.deterministic.leakage_p95);
     assert_eq!(a.baseline.leakage_p95, b.baseline.leakage_p95);
     assert_eq!(a.statistical.mc_yield, b.statistical.mc_yield);
+}
+
+#[test]
+fn engine_session_matches_one_shot_flow() {
+    // The cached service layer must not change a single bit of the result.
+    let cfg = FlowConfig::builder("c17").mc_samples(100).build().unwrap();
+    let setup = statleak::core::flows::prepare(&cfg).unwrap();
+    let one_shot = run_comparison_on(&setup, &cfg).unwrap();
+    let session = statleak::engine::Engine::global().session(&cfg).unwrap();
+    let cached = session.run_comparison().unwrap();
+    assert_eq!(
+        one_shot.statistical.leakage_p95,
+        cached.statistical.leakage_p95
+    );
+    assert_eq!(one_shot.statistical.mc_yield, cached.statistical.mc_yield);
+    assert_eq!(one_shot.baseline.leakage_p95, cached.baseline.leakage_p95);
 }

@@ -105,10 +105,30 @@ fn bench_io_round_trips_through_facade() {
 
 #[test]
 fn flows_api_runs_quick_config() {
-    use statleak::core::flows::{self, FlowConfig};
-    let o = flows::run_comparison(&FlowConfig::quick("c17")).expect("quick flow");
+    use statleak::prelude::*;
+    let cfg = FlowConfig::builder("c17")
+        .mc_samples(200)
+        .build()
+        .expect("valid config");
+    let o = Engine::global()
+        .session(&cfg)
+        .and_then(|s| s.run_comparison())
+        .expect("quick flow");
     assert!(o.statistical.leakage_p95 <= o.baseline.leakage_p95);
     assert!(o.statistical.timing_yield >= 0.95 - 1e-9);
+}
+
+#[test]
+fn legacy_constructors_still_work() {
+    use statleak::core::flows::FlowConfig;
+    // The deprecated constructors must keep forwarding until removal.
+    #[allow(deprecated)]
+    let quick = FlowConfig::quick("c17");
+    let built = FlowConfig::builder("c17")
+        .mc_samples(200)
+        .build()
+        .expect("valid config");
+    assert_eq!(quick, built);
 }
 
 #[test]

@@ -1,0 +1,236 @@
+//! End-to-end tests of `statleak serve`: a real daemon process, real TCP
+//! clients, busy backpressure, and a graceful SIGTERM drain.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+struct Daemon {
+    child: Child,
+    addr: String,
+}
+
+impl Daemon {
+    /// Spawns `statleak serve` on an ephemeral port and reads the resolved
+    /// address from its first stdout line.
+    fn spawn(extra: &[&str]) -> Daemon {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_statleak"))
+            .arg("serve")
+            .args(["--addr", "127.0.0.1:0"])
+            .args(extra)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("daemon starts");
+        let stdout = child.stdout.take().expect("stdout piped");
+        let mut line = String::new();
+        BufReader::new(stdout)
+            .read_line(&mut line)
+            .expect("daemon announces its address");
+        let addr = line
+            .trim()
+            .strip_prefix("serving on ")
+            .unwrap_or_else(|| panic!("unexpected announcement: {line:?}"))
+            .to_string();
+        Daemon { child, addr }
+    }
+
+    fn request(&self, line: &str) -> String {
+        request_at(&self.addr, line)
+    }
+
+    /// Polls the inline `stats` op until `predicate` holds on the raw
+    /// response (control ops stay responsive while workers are busy).
+    fn wait_for_stats(&self, predicate: impl Fn(&str) -> bool, what: &str) {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let stats = self.request(r#"{"id":"poll","op":"stats"}"#);
+            if predicate(&stats) {
+                return;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "timed out waiting for {what}; last stats: {stats}"
+            );
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
+
+    fn sigterm(&self) {
+        let delivered = Command::new("kill")
+            .args(["-TERM", &self.child.id().to_string()])
+            .status()
+            .expect("kill runs");
+        assert!(delivered.success(), "SIGTERM delivered");
+    }
+
+    /// Waits for the daemon to exit, asserting a clean (exit 0) drain.
+    fn assert_clean_exit(mut self) {
+        let start = Instant::now();
+        let deadline = Duration::from_secs(120);
+        loop {
+            if let Some(status) = self.child.try_wait().expect("wait") {
+                assert!(
+                    status.success(),
+                    "daemon drains and exits 0, got {status:?}"
+                );
+                return;
+            }
+            assert!(
+                start.elapsed() < deadline,
+                "daemon did not exit within {deadline:?}"
+            );
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn request_at(addr: &str, line: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(format!("{line}\n").as_bytes())
+        .expect("send");
+    let mut response = String::new();
+    BufReader::new(stream)
+        .read_line(&mut response)
+        .expect("receive");
+    response.trim().to_string()
+}
+
+#[test]
+fn serve_answers_requests_and_reports_cache_stats() {
+    let daemon = Daemon::spawn(&["--workers", "2"]);
+
+    let pong = daemon.request(r#"{"id":"p1","op":"ping"}"#);
+    assert_eq!(
+        pong,
+        r#"{"id":"p1","ok":true,"op":"ping","data":{"pong":true}}"#
+    );
+
+    let first = daemon.request(r#"{"id":1,"op":"comparison","benchmark":"c17","mc_samples":0}"#);
+    assert!(first.contains(r#""ok":true"#), "{first}");
+    let second = daemon.request(r#"{"id":1,"op":"comparison","benchmark":"c17","mc_samples":0}"#);
+    assert_eq!(first, second, "warm repeat must be byte-identical");
+
+    let stats = daemon.request(r#"{"id":2,"op":"stats"}"#);
+    assert!(stats.contains(r#""hits":1"#), "{stats}");
+    assert!(stats.contains(r#""misses":1"#), "{stats}");
+    assert!(stats.contains(r#""served":2"#), "{stats}");
+
+    // Typed protocol errors with stable classes.
+    let unknown = daemon.request(r#"{"id":3,"op":"comparison","benchmark":"c9999"}"#);
+    assert!(
+        unknown.contains(r#""class":"unknown-benchmark""#),
+        "{unknown}"
+    );
+    let malformed = daemon.request("{not json");
+    assert!(malformed.contains(r#""class":"usage""#), "{malformed}");
+
+    daemon.sigterm();
+    daemon.assert_clean_exit();
+}
+
+#[test]
+fn serve_sheds_load_with_busy_and_drains_in_flight_work_on_sigterm() {
+    // One worker, queue depth one: with the worker occupied and the queue
+    // full, the next request must be rejected as busy instead of waiting
+    // unboundedly.
+    let daemon = Daemon::spawn(&["--workers", "1", "--queue-depth", "1"]);
+    let addr = daemon.addr.clone();
+
+    // Occupy the worker with a slow request (large Monte Carlo run:
+    // ~10 s in a debug build) and wait until it has been dequeued.
+    let slow = r#"{"id":"slow","op":"mc_validation","benchmark":"c880","mc_samples":20000}"#;
+    let occupant = {
+        let addr = addr.clone();
+        let slow = slow.to_string();
+        std::thread::spawn(move || request_at(&addr, &slow))
+    };
+    daemon.wait_for_stats(
+        |s| s.contains(r#""connections":"#) && s.contains(r#""queued":0"#),
+        "slow request to arrive",
+    );
+    std::thread::sleep(Duration::from_millis(500)); // worker dequeue latency
+
+    // Fill the single queue slot behind it and wait until it is visible.
+    let queued = {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            request_at(
+                &addr,
+                r#"{"id":"queued","op":"comparison","benchmark":"c17","mc_samples":0}"#,
+            )
+        })
+    };
+    daemon.wait_for_stats(|s| s.contains(r#""queued":1"#), "queue to fill");
+
+    // The high-water mark is hit: one more analysis request is shed.
+    let busy =
+        daemon.request(r#"{"id":"extra","op":"comparison","benchmark":"c17","mc_samples":0}"#);
+    assert!(busy.contains(r#""class":"busy""#), "{busy}");
+    assert!(busy.contains(r#""id":"extra""#), "{busy}");
+    // Control ops still answer inline while the pool is saturated.
+    assert!(daemon
+        .request(r#"{"id":"p2","op":"ping"}"#)
+        .contains(r#""pong":true"#));
+
+    // SIGTERM now: both the in-flight and the queued request must still
+    // complete with full responses before the process exits 0.
+    daemon.sigterm();
+    let slow_response = occupant.join().expect("slow client");
+    assert!(slow_response.contains(r#""ok":true"#), "{slow_response}");
+    assert!(slow_response.contains(r#""id":"slow""#), "{slow_response}");
+    let queued_response = queued.join().expect("queued client");
+    assert!(
+        queued_response.contains(r#""ok":true"#),
+        "{queued_response}"
+    );
+    daemon.assert_clean_exit();
+}
+
+#[test]
+fn call_round_trips_and_maps_exit_codes() {
+    let daemon = Daemon::spawn(&["--workers", "1"]);
+
+    let ok = Command::new(env!("CARGO_BIN_EXE_statleak"))
+        .args([
+            "call",
+            "--addr",
+            &daemon.addr,
+            "--json",
+            r#"{"id":9,"op":"comparison","benchmark":"c17","mc_samples":0}"#,
+        ])
+        .output()
+        .expect("call runs");
+    assert!(
+        ok.status.success(),
+        "{}",
+        String::from_utf8_lossy(&ok.stderr)
+    );
+    let body = String::from_utf8_lossy(&ok.stdout);
+    assert!(body.contains(r#""stat_extra_saving""#), "{body}");
+
+    // An unknown benchmark maps onto the local usage exit code (2).
+    let bad = Command::new(env!("CARGO_BIN_EXE_statleak"))
+        .args([
+            "call",
+            "--addr",
+            &daemon.addr,
+            "--json",
+            r#"{"id":10,"op":"comparison","benchmark":"c9999"}"#,
+        ])
+        .output()
+        .expect("call runs");
+    assert_eq!(bad.status.code(), Some(2));
+
+    daemon.sigterm();
+    daemon.assert_clean_exit();
+}
