@@ -13,11 +13,17 @@
 //! argument) so the numbers are re-runnable and reviewable:
 //!
 //! ```text
-//! cargo run --release -p statleak-bench --bin perf [out.json]
+//! cargo run --release -p statleak-bench --bin perf [out.json] [circuit...]
 //! ```
+//!
+//! Trailing arguments restrict the run to the named circuits (default:
+//! c432, c880, c1908). Setting `STATLEAK_TRACE=<file.ndjson>` records an
+//! observability trace during the run — the CI `obs-overhead` job uses a
+//! c880-only run in both modes to bound the instrumentation cost.
 
 use statleak_bench::standard_setup;
 use statleak_netlist::{ConeScratch, NodeId};
+use statleak_obs as obs;
 use statleak_opt::{sizing, statistical_for_yield, StatisticalOptimizer};
 use statleak_ssta::Ssta;
 use statleak_tech::{Design, VthClass};
@@ -32,7 +38,7 @@ const BASELINE_MOVES: usize = 40;
 const ANALYZE_REPS: usize = 20;
 
 struct Row {
-    name: &'static str,
+    name: String,
     gates: usize,
     full_analyze_us: f64,
     incr_us_per_move: f64,
@@ -61,7 +67,7 @@ fn toggle_vth(design: &mut Design, g: NodeId) {
     design.set_vth(g, flip);
 }
 
-fn measure(name: &'static str) -> Row {
+fn measure(name: &str) -> Row {
     let (mut design, fm) = standard_setup(name);
     let gates: Vec<NodeId> = design.circuit().gates().collect();
     let dmin = sizing::min_delay_estimate(&design);
@@ -122,7 +128,7 @@ fn measure(name: &'static str) -> Row {
     let flow_ms = start.elapsed().as_secs_f64() * 1e3;
 
     Row {
-        name,
+        name: name.to_string(),
         gates: base.circuit().num_gates(),
         full_analyze_us,
         incr_us_per_move,
@@ -138,11 +144,24 @@ fn measure(name: &'static str) -> Row {
 }
 
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
+    if let Err(e) = obs::init_from_env() {
+        eprintln!("statleak[warn] STATLEAK_TRACE setup failed: {e}");
+    }
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out_path = args
+        .first()
+        .cloned()
         .unwrap_or_else(|| "BENCH_opt.json".to_string());
+    let circuits: Vec<String> = if args.len() > 1 {
+        args[1..].to_vec()
+    } else {
+        ["c432", "c880", "c1908"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+    };
     let mut rows = Vec::new();
-    for name in ["c432", "c880", "c1908"] {
+    for name in &circuits {
         eprintln!("measuring {name} ...");
         let row = measure(name);
         eprintln!(
@@ -210,5 +229,6 @@ fn main() {
     }
     json.push_str("  ]\n}\n");
     std::fs::write(&out_path, &json).expect("write BENCH_opt.json");
+    obs::flush();
     eprintln!("wrote {out_path}");
 }

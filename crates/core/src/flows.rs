@@ -3,6 +3,7 @@
 use statleak_leakage::LeakageAnalysis;
 use statleak_mc::{McConfig, MonteCarlo};
 use statleak_netlist::{benchmarks, placement::Placement, Circuit};
+use statleak_obs as obs;
 use statleak_opt::{deterministic_for_yield, sizing, statistical_for_yield};
 use statleak_ssta::Ssta;
 use statleak_stats::{CholeskyError, Histogram};
@@ -337,6 +338,7 @@ pub struct Setup {
 ///
 /// Returns [`FlowError::UnknownBenchmark`] or a correlation-model error.
 pub fn prepare(cfg: &FlowConfig) -> Result<Setup, FlowError> {
+    let _span = obs::span!("flow.prepare");
     // Combinational suite first, then the sequential (FF-cut) suite.
     let circuit = benchmarks::by_name(&cfg.benchmark)
         .or_else(|| benchmarks::sequential_by_name(&cfg.benchmark).map(|(c, _)| c))
@@ -394,6 +396,7 @@ pub fn measure(
     mc_samples: usize,
     runtime_s: f64,
 ) -> DesignMetrics {
+    let _span = obs::span!("flow.measure");
     let ssta = Ssta::analyze(design, fm);
     let power = LeakageAnalysis::analyze(design, fm).total_power(design);
     let (mc_yield, mc_p95) = if mc_samples > 0 {
@@ -465,6 +468,7 @@ pub fn run_comparison_on(setup: &Setup, cfg: &FlowConfig) -> Result<ComparisonOu
     let (dmin, t_clk) = (*dmin, *t_clk);
 
     // Baseline: size for the yield target, no leakage optimization.
+    let _baseline_span = obs::span!("flow.baseline");
     let t0 = Instant::now();
     let mut baseline = base.clone();
     sizing::size_for_yield(&mut baseline, fm, t_clk, cfg.eta)?;
@@ -476,7 +480,10 @@ pub fn run_comparison_on(setup: &Setup, cfg: &FlowConfig) -> Result<ComparisonOu
         t0.elapsed().as_secs_f64(),
     );
 
+    drop(_baseline_span);
+
     // Deterministic flow (best guard band for the yield target).
+    let _det_span = obs::span!("flow.deterministic");
     let t0 = Instant::now();
     let det = deterministic_for_yield(base, fm, t_clk, cfg.eta, 6)?;
     let m_det = measure(
@@ -487,7 +494,10 @@ pub fn run_comparison_on(setup: &Setup, cfg: &FlowConfig) -> Result<ComparisonOu
         t0.elapsed().as_secs_f64(),
     );
 
+    drop(_det_span);
+
     // Statistical flow.
+    let _stat_span = obs::span!("flow.statistical");
     let t0 = Instant::now();
     let stat = statistical_for_yield(base, fm, t_clk, cfg.eta)?;
     let m_stat = measure(
@@ -497,6 +507,8 @@ pub fn run_comparison_on(setup: &Setup, cfg: &FlowConfig) -> Result<ComparisonOu
         cfg.mc_samples,
         t0.elapsed().as_secs_f64(),
     );
+
+    drop(_stat_span);
 
     let extra = 1.0 - m_stat.leakage_p95 / m_det.leakage_p95;
     Ok(ComparisonOutcome {
@@ -1113,5 +1125,51 @@ mod tests {
             d.optimized_histogram(16).counts(),
             d.histogram(DistKind::Optimized, 16).counts()
         );
+    }
+
+    /// A `DistributionData` with hand-picked samples, bypassing the MC run,
+    /// so histogram edge cases can be pinned exactly.
+    fn dist_with(baseline: Vec<f64>, optimized: Vec<f64>) -> DistributionData {
+        DistributionData {
+            baseline_samples: baseline,
+            optimized_samples: optimized,
+            baseline_analytic: statleak_stats::LogNormal::new(-14.0, 0.5),
+            optimized_analytic: statleak_stats::LogNormal::new(-15.0, 0.5),
+        }
+    }
+
+    #[test]
+    fn histogram_single_bin_collects_everything() {
+        let d = dist_with(vec![1.0, 2.0, 3.0, 4.0], vec![5.0]);
+        let h = d.histogram(DistKind::Baseline, 1);
+        assert_eq!(h.counts(), &[4]);
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.dropped(), 0);
+    }
+
+    #[test]
+    fn histogram_all_equal_samples_land_in_one_bin() {
+        // A zero-width sample range must not panic or divide by zero: the
+        // degenerate range is widened and every sample lands in bin 0.
+        let d = dist_with(vec![2.5e-6; 64], vec![2.5e-6]);
+        let h = d.histogram(DistKind::Baseline, 8);
+        assert_eq!(h.total(), 64);
+        assert_eq!(h.counts()[0], 64);
+        assert!(h.counts()[1..].iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn histogram_drops_non_finite_samples() {
+        let d = dist_with(
+            vec![1.0, f64::NAN, 2.0, f64::INFINITY, 3.0, f64::NEG_INFINITY],
+            vec![1.0],
+        );
+        let h = d.histogram(DistKind::Baseline, 4);
+        assert_eq!(h.total(), 3, "only the finite samples are binned");
+        assert_eq!(h.dropped(), 3, "NaN and infinities are counted dropped");
+        assert_eq!(h.counts().iter().sum::<u64>(), 3);
+        // The range comes from the finite samples alone: [1, 3] split in
+        // four, with the midpoint sample in the second bin.
+        assert_eq!(h.counts(), &[1, 1, 0, 1]);
     }
 }

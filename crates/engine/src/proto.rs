@@ -24,6 +24,7 @@ use statleak_core::flows::{
     AblationRow, ComparisonOutcome, DesignMetrics, DistKind, DistributionData, FlowConfig,
     FlowError, McValidation, SweepPoint, SweepSpec,
 };
+use statleak_obs as obs;
 
 /// A parsed request.
 #[derive(Debug, Clone, PartialEq)]
@@ -47,6 +48,10 @@ pub enum Op {
     Stats,
     /// Begin graceful drain; answered inline.
     Shutdown,
+    /// JSON snapshot of the observability registry; answered inline.
+    Metrics,
+    /// Prometheus text exposition of the registry; answered inline.
+    MetricsText,
     /// Table T2 three-way comparison.
     Comparison(FlowConfig),
     /// Parameter sweep over one axis.
@@ -68,6 +73,8 @@ impl Op {
             Op::Ping => "ping",
             Op::Stats => "stats",
             Op::Shutdown => "shutdown",
+            Op::Metrics => "metrics",
+            Op::MetricsText => "metrics_text",
             Op::Comparison(_) => "comparison",
             Op::Sweep(..) => "sweep",
             Op::YieldCurves(..) => "yield_curves",
@@ -80,7 +87,10 @@ impl Op {
     /// Whether the op is answered inline by the connection handler
     /// (control ops) rather than queued to the worker pool.
     pub fn is_control(&self) -> bool {
-        matches!(self, Op::Ping | Op::Stats | Op::Shutdown)
+        matches!(
+            self,
+            Op::Ping | Op::Stats | Op::Shutdown | Op::Metrics | Op::MetricsText
+        )
     }
 }
 
@@ -205,6 +215,8 @@ pub fn parse_request(line: &str) -> Result<Request, (ProtoError, Json)> {
         "ping" => Op::Ping,
         "stats" => Op::Stats,
         "shutdown" => Op::Shutdown,
+        "metrics" => Op::Metrics,
+        "metrics_text" => Op::MetricsText,
         "comparison" => Op::Comparison(parse_config(&obj).map_err(fail)?),
         "sweep" => {
             let cfg = parse_config(&obj).map_err(fail)?;
@@ -475,7 +487,7 @@ pub fn execute(session: &Session, op: &Op) -> Result<Json, ProtoError> {
             flow(session.distribution().map(|d| distribution_json(&d, *bins)))
         }
         Op::Ablation(_) => flow(session.ablation().map(|r| ablation_json(&r))),
-        Op::Ping | Op::Stats | Op::Shutdown => Err(ProtoError {
+        Op::Ping | Op::Stats | Op::Shutdown | Op::Metrics | Op::MetricsText => Err(ProtoError {
             class: "internal",
             message: format!("control op `{}` reached the worker pool", op.name()),
         }),
@@ -491,8 +503,56 @@ pub fn op_config(op: &Op) -> Option<&FlowConfig> {
         | Op::McValidation(cfg)
         | Op::Distribution(cfg, _)
         | Op::Ablation(cfg) => Some(cfg),
-        Op::Ping | Op::Stats | Op::Shutdown => None,
+        Op::Ping | Op::Stats | Op::Shutdown | Op::Metrics | Op::MetricsText => None,
     }
+}
+
+/// Encodes an observability-registry snapshot for the `metrics` op.
+pub fn obs_metrics_json(snapshot: &obs::metrics::MetricsSnapshot) -> Json {
+    Json::obj(vec![
+        (
+            "counters",
+            Json::Obj(
+                snapshot
+                    .counters
+                    .iter()
+                    .map(|&(name, v)| (name.to_string(), Json::Num(v as f64)))
+                    .collect(),
+            ),
+        ),
+        (
+            "gauges",
+            Json::Obj(
+                snapshot
+                    .gauges
+                    .iter()
+                    .map(|&(name, v)| (name.to_string(), Json::Num(v)))
+                    .collect(),
+            ),
+        ),
+        (
+            "histograms",
+            Json::Obj(
+                snapshot
+                    .histograms
+                    .iter()
+                    .map(|h| {
+                        (
+                            h.name.to_string(),
+                            Json::obj(vec![
+                                ("count", Json::Num(h.count as f64)),
+                                ("sum", Json::Num(h.sum as f64)),
+                                ("mean", Json::Num(h.mean)),
+                                ("p50", Json::Num(h.p50)),
+                                ("p95", Json::Num(h.p95)),
+                                ("p99", Json::Num(h.p99)),
+                            ]),
+                        )
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
 }
 
 #[cfg(test)]

@@ -20,7 +20,8 @@
 use crate::json::Json;
 use crate::proto::{self, Op, ProtoError, Request};
 use crate::session::Engine;
-use std::collections::VecDeque;
+use statleak_obs as obs;
+use std::collections::{BTreeMap, VecDeque};
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -96,6 +97,10 @@ struct Shared {
     started: Instant,
     shutdown: &'static AtomicBool,
     served: AtomicU64,
+    /// Per-op request counts (every parsed request, control ops included).
+    op_counts: Mutex<BTreeMap<&'static str, u64>>,
+    /// High-water mark of the queue length actually observed.
+    max_queued: AtomicU64,
     request_errors: AtomicU64,
     busy_rejected: AtomicU64,
     deadline_expired: AtomicU64,
@@ -136,11 +141,26 @@ impl Shared {
                         "queued",
                         Json::Num(self.queue.lock().expect("queue lock").len() as f64),
                     ),
+                    (
+                        "max_queued",
+                        Json::Num(self.max_queued.load(Ordering::Relaxed) as f64),
+                    ),
                     ("workers", Json::Num(self.workers as f64)),
                     ("queue_depth", Json::Num(self.queue_depth as f64)),
                     ("uptime_s", Json::Num(self.started.elapsed().as_secs_f64())),
                     ("draining", Json::Bool(self.draining())),
                 ]),
+            ),
+            (
+                "ops",
+                Json::Obj(
+                    self.op_counts
+                        .lock()
+                        .expect("op counts lock")
+                        .iter()
+                        .map(|(&name, &count)| (name.to_string(), Json::Num(count as f64)))
+                        .collect(),
+                ),
             ),
         ])
     }
@@ -186,6 +206,8 @@ impl Server {
             started: Instant::now(),
             shutdown,
             served: AtomicU64::new(0),
+            op_counts: Mutex::new(BTreeMap::new()),
+            max_queued: AtomicU64::new(0),
             request_errors: AtomicU64::new(0),
             busy_rejected: AtomicU64::new(0),
             deadline_expired: AtomicU64::new(0),
@@ -303,10 +325,13 @@ fn worker_loop(shared: &Shared) {
 }
 
 fn process(shared: &Shared, job: &Job) -> String {
+    let _span = obs::span!("serve.process");
     let id = &job.request.id;
+    obs::histogram!("serve_queue_wait_ns").record_duration(job.accepted.elapsed());
     if let Some(deadline) = job.deadline {
         if job.accepted.elapsed() > deadline {
             shared.deadline_expired.fetch_add(1, Ordering::Relaxed);
+            obs::counter!("serve_deadline_expired_total").inc();
             return proto::err_response(
                 id,
                 &ProtoError {
@@ -331,18 +356,22 @@ fn process(shared: &Shared, job: &Job) -> String {
             },
         );
     };
+    let service_start = Instant::now();
     let result = shared
         .engine
         .session(cfg)
         .map_err(|e| ProtoError::from_flow(&e))
         .and_then(|session| proto::execute(&session, &job.request.op));
+    obs::histogram!("serve_service_ns").record_duration(service_start.elapsed());
     match result {
         Ok(data) => {
             shared.served.fetch_add(1, Ordering::Relaxed);
+            obs::counter!("serve_served_total").inc();
             proto::ok_response(id, job.request.op.name(), data)
         }
         Err(e) => {
             shared.request_errors.fetch_add(1, Ordering::Relaxed);
+            obs::counter!("serve_request_errors_total").inc();
             proto::err_response(id, &e)
         }
     }
@@ -427,15 +456,36 @@ fn dispatch(line: &str, shared: &Shared) -> String {
         Ok(r) => r,
         Err((e, id)) => {
             shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            obs::counter!("serve_protocol_errors_total").inc();
             return proto::err_response(&id, &e);
         }
     };
+    *shared
+        .op_counts
+        .lock()
+        .expect("op counts lock")
+        .entry(request.op.name())
+        .or_insert(0) += 1;
+    obs::counter!("serve_requests_total").inc();
     let id = request.id.clone();
     match &request.op {
         // Control ops answer inline: they must stay responsive while the
         // worker pool is saturated with long optimizations.
         Op::Ping => proto::ok_response(&id, "ping", Json::obj(vec![("pong", Json::Bool(true))])),
         Op::Stats => proto::ok_response(&id, "stats", shared.stats_json()),
+        Op::Metrics => proto::ok_response(
+            &id,
+            "metrics",
+            proto::obs_metrics_json(&obs::Registry::global().snapshot()),
+        ),
+        Op::MetricsText => proto::ok_response(
+            &id,
+            "metrics_text",
+            Json::obj(vec![
+                ("content_type", Json::str("text/plain; version=0.0.4")),
+                ("text", Json::str(obs::Registry::global().prometheus_text())),
+            ]),
+        ),
         Op::Shutdown => {
             shared.shutdown.store(true, Ordering::SeqCst);
             proto::ok_response(
@@ -463,6 +513,7 @@ fn dispatch(line: &str, shared: &Shared) -> String {
                 let mut queue = shared.queue.lock().expect("queue lock");
                 if queue.len() >= shared.queue_depth {
                     shared.busy_rejected.fetch_add(1, Ordering::Relaxed);
+                    obs::counter!("serve_busy_rejected_total").inc();
                     return proto::err_response(
                         &id,
                         &ProtoError {
@@ -480,6 +531,9 @@ fn dispatch(line: &str, shared: &Shared) -> String {
                     deadline,
                     reply: tx,
                 });
+                shared
+                    .max_queued
+                    .fetch_max(queue.len() as u64, Ordering::Relaxed);
             }
             shared.queue_cv.notify_one();
             // Block until a worker answers; the worker pool always drains

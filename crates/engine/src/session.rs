@@ -18,6 +18,7 @@ use statleak_core::flows::{
     McValidation, Setup, SweepPoint, SweepSpec,
 };
 use statleak_netlist::{bench, benchmarks};
+use statleak_obs as obs;
 use statleak_tech::{Design, Technology};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -125,6 +126,7 @@ impl Session {
             Some(slot) => {
                 if slot.get().is_some() {
                     self.memo_hits.fetch_add(1, Ordering::Relaxed);
+                    obs::counter!("engine_memo_hits_total").inc();
                 }
                 slot.get_or_init(compute).clone()
             }
@@ -328,9 +330,11 @@ impl Engine {
         let key = session_key(cfg)?;
         if let Some(inner) = self.cache.lock().expect("cache lock").get(key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            obs::counter!("engine_cache_hits_total").inc();
             return Ok(self.wrap(inner));
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        obs::counter!("engine_cache_misses_total").inc();
         // Build outside the lock: a slow prepare() must not stall lookups
         // of already-cached sessions. Two threads racing on the same cold
         // key both build, and `insert` makes them converge on one copy.
@@ -344,6 +348,7 @@ impl Engine {
         let (winner, evicted) = self.cache.lock().expect("cache lock").insert(key, inner);
         if evicted.is_some() {
             self.evictions.fetch_add(1, Ordering::Relaxed);
+            obs::counter!("engine_cache_evictions_total").inc();
         }
         Ok(self.wrap(winner))
     }

@@ -39,6 +39,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
 use statleak_netlist::NodeId;
+use statleak_obs as obs;
 use statleak_stats::{Histogram, StdNormalSampler, Summary};
 use statleak_tech::{cell, Design, FactorModel};
 
@@ -178,6 +179,9 @@ impl MonteCarlo {
     /// `seed` and `i`, and the parallel collect preserves index order, so
     /// the result is bit-identical for any thread count.
     pub fn run(&self, design: &Design, fm: &FactorModel) -> McResult {
+        let _span = obs::span!("mc.sample_batch");
+        obs::counter!("mc_runs_total").inc();
+        obs::counter!("mc_samples_total").add(self.config.samples as u64);
         let seed = self.config.seed;
         let eval = |i: usize| {
             evaluate_sample(
@@ -302,6 +306,9 @@ impl MonteCarlo {
     ///
     /// Panics if the bias grid is empty or does not contain `0.0`.
     pub fn run_abb(&self, design: &Design, fm: &FactorModel, abb: &AbbConfig) -> AbbResult {
+        let _span = obs::span!("mc.abb_batch");
+        obs::counter!("mc_runs_total").inc();
+        obs::counter!("mc_samples_total").add(self.config.samples as u64);
         assert!(!abb.bias_grid.is_empty(), "bias grid must be non-empty");
         assert!(abb.bias_grid.contains(&0.0), "bias grid must contain 0.0");
         let base = self.config.seed;

@@ -1,0 +1,178 @@
+//! Zero-dependency observability layer for the statleak workspace.
+//!
+//! Three pillars, all hand-rolled (no external crates, in the spirit of
+//! `engine::json`):
+//!
+//! - **Spans** ([`span`], [`span!`]): hierarchical wall-clock timings with
+//!   monotonic-clock durations, per-thread parent links, and a stable
+//!   `thread` id. Each thread records into its own buffer (uncontended
+//!   mutex, so recording never blocks on other threads) and batches are
+//!   drained to the installed sinks.
+//! - **Metrics** ([`metrics::Registry`]): typed counters, gauges, and
+//!   log-bucketed (power-of-two) histograms in a global registry, with a
+//!   JSON-friendly snapshot and a Prometheus text exposition.
+//! - **Sinks** ([`sink::SinkSpec`]): stderr pretty-printer, NDJSON file,
+//!   and an in-memory store for tests. The default sink is
+//!   [`sink::SinkSpec::Disabled`]: span entry reduces to one relaxed
+//!   atomic load and no clock read, so instrumented code paths stay
+//!   effectively free until tracing is switched on.
+//!
+//! The overhead contract is enforced by tests in the workspace root:
+//! analysis results must be byte-identical with every sink installed,
+//! including `Disabled`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod profile;
+pub mod sink;
+pub mod span;
+
+pub use metrics::{Counter, Gauge, Histogram, Registry};
+pub use profile::{self_time, ProfileRow};
+pub use sink::{enabled, flush, init_from_env, install, take_memory, SinkSpec};
+pub use span::{event, span, EventRecord, Record, SpanRecord};
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Log verbosity for [`log`]; higher levels include lower ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// Unrecoverable or surprising failures.
+    Error = 0,
+    /// Suspicious conditions the run survives (default).
+    Warn = 1,
+    /// High-level progress.
+    Info = 2,
+    /// Per-stage details.
+    Debug = 3,
+    /// Per-iteration details.
+    Trace = 4,
+}
+
+impl Level {
+    fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+
+    fn from_u8(v: u8) -> Level {
+        match v {
+            0 => Level::Error,
+            1 => Level::Warn,
+            2 => Level::Info,
+            3 => Level::Debug,
+            _ => Level::Trace,
+        }
+    }
+}
+
+impl std::str::FromStr for Level {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Level, String> {
+        match s {
+            "error" => Ok(Level::Error),
+            "warn" => Ok(Level::Warn),
+            "info" => Ok(Level::Info),
+            "debug" => Ok(Level::Debug),
+            "trace" => Ok(Level::Trace),
+            other => Err(format!(
+                "unknown log level {other:?} (expected error|warn|info|debug|trace)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for Level {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+static LOG_LEVEL: AtomicU8 = AtomicU8::new(Level::Warn as u8);
+
+/// Sets the global threshold for [`log`].
+pub fn set_log_level(level: Level) {
+    LOG_LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// Current global log threshold.
+pub fn log_level() -> Level {
+    Level::from_u8(LOG_LEVEL.load(Ordering::Relaxed))
+}
+
+/// Writes `msg` to stderr iff `level` is at or below the global threshold.
+pub fn log(level: Level, msg: &str) {
+    if level <= log_level() {
+        eprintln!("statleak[{level}] {msg}");
+    }
+}
+
+/// Opens a span named by a string literal; bind the guard to keep it alive:
+/// `let _span = obs::span!("ssta.propagate");`.
+#[macro_export]
+macro_rules! span {
+    ($name:literal) => {
+        $crate::span::span($name)
+    };
+}
+
+/// Returns a `&'static` counter handle, resolved once per call site.
+#[macro_export]
+macro_rules! counter {
+    ($name:literal) => {{
+        static HANDLE: std::sync::OnceLock<$crate::metrics::Counter> = std::sync::OnceLock::new();
+        HANDLE.get_or_init(|| $crate::metrics::Registry::global().counter($name))
+    }};
+}
+
+/// Returns a `&'static` gauge handle, resolved once per call site.
+#[macro_export]
+macro_rules! gauge {
+    ($name:literal) => {{
+        static HANDLE: std::sync::OnceLock<$crate::metrics::Gauge> = std::sync::OnceLock::new();
+        HANDLE.get_or_init(|| $crate::metrics::Registry::global().gauge($name))
+    }};
+}
+
+/// Returns a `&'static` histogram handle, resolved once per call site.
+#[macro_export]
+macro_rules! histogram {
+    ($name:literal) => {{
+        static HANDLE: std::sync::OnceLock<$crate::metrics::Histogram> = std::sync::OnceLock::new();
+        HANDLE.get_or_init(|| $crate::metrics::Registry::global().histogram($name))
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_parse_round_trips_and_orders() {
+        for name in ["error", "warn", "info", "debug", "trace"] {
+            let level: Level = name.parse().unwrap();
+            assert_eq!(level.to_string(), name);
+        }
+        assert!("verbose".parse::<Level>().is_err());
+        assert!(Level::Error < Level::Trace);
+    }
+
+    #[test]
+    fn metric_macros_return_stable_handles() {
+        let c = counter!("obs_test_macro_counter");
+        c.inc();
+        c.add(2);
+        assert_eq!(c.get(), 3);
+        gauge!("obs_test_macro_gauge").set(1.5);
+        histogram!("obs_test_macro_histo").record(1000);
+    }
+}

@@ -1,0 +1,374 @@
+//! Typed counters, gauges, and log-bucketed histograms in a global
+//! registry, with a Prometheus text exposition.
+//!
+//! Handles are cheap `Arc` clones around atomics; call sites cache them in
+//! a `OnceLock` via the [`crate::counter!`] / [`crate::gauge!`] /
+//! [`crate::histogram!`] macros so steady-state updates are a single
+//! atomic op with no registry lock.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+/// Monotonically increasing counter.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins floating-point gauge (stored as bits in an atomic).
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Number of power-of-two buckets; bucket `i` (for `i >= 1`) holds values
+/// in `[2^(i-1), 2^i - 1]`, bucket 0 holds exactly 0, and the last bucket
+/// additionally absorbs everything above `2^62`.
+const BUCKETS: usize = 64;
+
+#[derive(Debug)]
+struct HistogramInner {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// Log-bucketed histogram for latency-like values (record in nanoseconds).
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramInner>);
+
+/// Bucket index for a recorded value: `64 - leading_zeros`, clamped.
+fn bucket_index(v: u64) -> usize {
+    ((u64::BITS - v.leading_zeros()) as usize).min(BUCKETS - 1)
+}
+
+/// Inclusive upper bound of bucket `i` (`None` = +Inf, for the last).
+fn bucket_upper(i: usize) -> Option<u64> {
+    if i + 1 >= BUCKETS {
+        None
+    } else {
+        Some((1u64 << i) - 1)
+    }
+}
+
+/// Representative value for bucket `i` (geometric midpoint), used for
+/// quantile estimates.
+fn bucket_mid(i: usize) -> f64 {
+    if i == 0 {
+        0.0
+    } else {
+        let lo = (1u64 << (i - 1)) as f64;
+        let hi = (1u64 << i.min(63)) as f64;
+        (lo * hi).sqrt()
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn record(&self, v: u64) {
+        self.0.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Records a duration in nanoseconds (saturating on overflow).
+    pub fn record_duration(&self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    fn snapshot(&self, name: &'static str) -> HistogramSnapshot {
+        let buckets: Vec<(usize, u64)> = (0..BUCKETS)
+            .filter_map(|i| {
+                let c = self.0.buckets[i].load(Ordering::Relaxed);
+                (c > 0).then_some((i, c))
+            })
+            .collect();
+        let count = self.count();
+        let sum = self.0.sum.load(Ordering::Relaxed);
+        let quantile = |q: f64| -> f64 {
+            if count == 0 {
+                return 0.0;
+            }
+            let target = (q * count as f64).ceil().max(1.0) as u64;
+            let mut seen = 0u64;
+            for &(i, c) in &buckets {
+                seen += c;
+                if seen >= target {
+                    return bucket_mid(i);
+                }
+            }
+            bucket_mid(BUCKETS - 1)
+        };
+        HistogramSnapshot {
+            name,
+            count,
+            sum,
+            mean: if count == 0 {
+                0.0
+            } else {
+                sum as f64 / count as f64
+            },
+            p50: quantile(0.50),
+            p95: quantile(0.95),
+            p99: quantile(0.99),
+            buckets,
+        }
+    }
+}
+
+/// Point-in-time view of one histogram.
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    /// Registered name.
+    pub name: &'static str,
+    /// Observation count.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// `sum / count` (0 when empty).
+    pub mean: f64,
+    /// Estimated median (bucket geometric midpoint).
+    pub p50: f64,
+    /// Estimated 95th percentile.
+    pub p95: f64,
+    /// Estimated 99th percentile.
+    pub p99: f64,
+    /// Non-empty `(bucket index, count)` pairs, ascending.
+    pub buckets: Vec<(usize, u64)>,
+}
+
+/// Point-in-time view of the whole registry (sorted by name).
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// Counter name/value pairs.
+    pub counters: Vec<(&'static str, u64)>,
+    /// Gauge name/value pairs.
+    pub gauges: Vec<(&'static str, f64)>,
+    /// Histogram snapshots.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+/// Named-metric registry. Use [`Registry::global`] in production code;
+/// `Registry::new` exists so tests can work on an isolated instance.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<&'static str, Counter>>,
+    gauges: Mutex<BTreeMap<&'static str, Gauge>>,
+    histograms: Mutex<BTreeMap<&'static str, Histogram>>,
+}
+
+impl Registry {
+    /// Creates an empty registry (tests / tools).
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The process-wide registry.
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::new)
+    }
+
+    /// Returns the counter registered under `name`, creating it if new.
+    pub fn counter(&self, name: &'static str) -> Counter {
+        self.counters
+            .lock()
+            .expect("metrics registry poisoned")
+            .entry(name)
+            .or_insert_with(|| Counter(Arc::new(AtomicU64::new(0))))
+            .clone()
+    }
+
+    /// Returns the gauge registered under `name`, creating it if new.
+    pub fn gauge(&self, name: &'static str) -> Gauge {
+        self.gauges
+            .lock()
+            .expect("metrics registry poisoned")
+            .entry(name)
+            .or_insert_with(|| Gauge(Arc::new(AtomicU64::new(0f64.to_bits()))))
+            .clone()
+    }
+
+    /// Returns the histogram registered under `name`, creating it if new.
+    pub fn histogram(&self, name: &'static str) -> Histogram {
+        self.histograms
+            .lock()
+            .expect("metrics registry poisoned")
+            .entry(name)
+            .or_insert_with(|| {
+                Histogram(Arc::new(HistogramInner {
+                    buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+                    count: AtomicU64::new(0),
+                    sum: AtomicU64::new(0),
+                }))
+            })
+            .clone()
+    }
+
+    /// Consistent-enough snapshot of every metric (each atomic read is
+    /// individually relaxed).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .lock()
+                .expect("metrics registry poisoned")
+                .iter()
+                .map(|(&name, c)| (name, c.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .lock()
+                .expect("metrics registry poisoned")
+                .iter()
+                .map(|(&name, g)| (name, g.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .expect("metrics registry poisoned")
+                .iter()
+                .map(|(&name, h)| h.snapshot(name))
+                .collect(),
+        }
+    }
+
+    /// Prometheus text exposition (version 0.0.4) of the registry, with
+    /// every metric name prefixed `statleak_`.
+    pub fn prometheus_text(&self) -> String {
+        let snapshot = self.snapshot();
+        let mut out = String::new();
+        for (name, value) in &snapshot.counters {
+            out.push_str(&format!(
+                "# TYPE statleak_{name} counter\nstatleak_{name} {value}\n"
+            ));
+        }
+        for (name, value) in &snapshot.gauges {
+            out.push_str(&format!(
+                "# TYPE statleak_{name} gauge\nstatleak_{name} {value}\n"
+            ));
+        }
+        for h in &snapshot.histograms {
+            let name = h.name;
+            out.push_str(&format!("# TYPE statleak_{name} histogram\n"));
+            let mut cumulative = 0u64;
+            for &(i, c) in &h.buckets {
+                cumulative += c;
+                if let Some(upper) = bucket_upper(i) {
+                    out.push_str(&format!(
+                        "statleak_{name}_bucket{{le=\"{upper}\"}} {cumulative}\n"
+                    ));
+                }
+            }
+            out.push_str(&format!(
+                "statleak_{name}_bucket{{le=\"+Inf\"}} {}\n",
+                h.count
+            ));
+            out.push_str(&format!("statleak_{name}_sum {}\n", h.sum));
+            out.push_str(&format!("statleak_{name}_count {}\n", h.count));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_log2_with_zero_bucket() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 63);
+    }
+
+    #[test]
+    fn bucket_bounds_cover_their_index_range() {
+        for i in 1..BUCKETS - 1 {
+            let upper = bucket_upper(i).unwrap();
+            assert_eq!(bucket_index(upper), i, "upper bound of bucket {i}");
+            assert_eq!(bucket_index(upper + 1), i + 1);
+        }
+        assert_eq!(bucket_upper(BUCKETS - 1), None);
+    }
+
+    #[test]
+    fn registry_dedups_handles_by_name() {
+        let registry = Registry::new();
+        let a = registry.counter("x");
+        let b = registry.counter("x");
+        a.add(2);
+        b.inc();
+        assert_eq!(registry.counter("x").get(), 3);
+    }
+
+    #[test]
+    fn histogram_snapshot_quantiles_are_monotone() {
+        let registry = Registry::new();
+        let h = registry.histogram("lat");
+        for v in [1u64, 10, 100, 1000, 10_000, 100_000, 1_000_000] {
+            h.record(v);
+        }
+        let snapshot = &registry.snapshot().histograms[0];
+        assert_eq!(snapshot.count, 7);
+        assert!(snapshot.p50 <= snapshot.p95);
+        assert!(snapshot.p95 <= snapshot.p99);
+        assert!(snapshot.mean > 0.0);
+    }
+
+    #[test]
+    fn prometheus_text_is_cumulative_and_typed() {
+        let registry = Registry::new();
+        registry.counter("reqs").add(5);
+        registry.gauge("depth").set(2.5);
+        let h = registry.histogram("svc_ns");
+        h.record(3);
+        h.record(100);
+        let text = registry.prometheus_text();
+        assert!(text.contains("# TYPE statleak_reqs counter\nstatleak_reqs 5\n"));
+        assert!(text.contains("# TYPE statleak_depth gauge\nstatleak_depth 2.5\n"));
+        assert!(text.contains("# TYPE statleak_svc_ns histogram\n"));
+        assert!(text.contains("statleak_svc_ns_bucket{le=\"3\"} 1\n"));
+        assert!(text.contains("statleak_svc_ns_bucket{le=\"127\"} 2\n"));
+        assert!(text.contains("statleak_svc_ns_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("statleak_svc_ns_sum 103\n"));
+        assert!(text.contains("statleak_svc_ns_count 2\n"));
+    }
+}

@@ -1,0 +1,92 @@
+//! Self-time aggregation over recorded spans, backing `statleak trace`.
+
+use std::collections::BTreeMap;
+
+use crate::span::Record;
+
+/// Aggregate for one span name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileRow {
+    /// Span name.
+    pub name: &'static str,
+    /// Number of completed spans with this name.
+    pub calls: u64,
+    /// Total (inclusive) time across calls, microseconds.
+    pub total_us: f64,
+    /// Self time: total minus time spent in child spans, microseconds.
+    pub self_us: f64,
+}
+
+/// Aggregates spans by name into per-name call counts, total time, and
+/// self time (total minus direct children), sorted by self time
+/// descending. Events are ignored.
+pub fn self_time(records: &[Record]) -> Vec<ProfileRow> {
+    let mut child_sum: BTreeMap<u64, f64> = BTreeMap::new();
+    for record in records {
+        if let Record::Span(s) = record {
+            if s.parent != 0 {
+                *child_sum.entry(s.parent).or_insert(0.0) += s.dur_us;
+            }
+        }
+    }
+    let mut rows: BTreeMap<&'static str, ProfileRow> = BTreeMap::new();
+    for record in records {
+        if let Record::Span(s) = record {
+            let row = rows.entry(s.name).or_insert(ProfileRow {
+                name: s.name,
+                calls: 0,
+                total_us: 0.0,
+                self_us: 0.0,
+            });
+            row.calls += 1;
+            row.total_us += s.dur_us;
+            row.self_us += (s.dur_us - child_sum.get(&s.id).copied().unwrap_or(0.0)).max(0.0);
+        }
+    }
+    let mut rows: Vec<ProfileRow> = rows.into_values().collect();
+    rows.sort_by(|a, b| b.self_us.total_cmp(&a.self_us).then(a.name.cmp(b.name)));
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::SpanRecord;
+
+    fn span(name: &'static str, id: u64, parent: u64, dur_us: f64) -> Record {
+        Record::Span(SpanRecord {
+            name,
+            id,
+            parent,
+            thread: 1,
+            start_us: 0.0,
+            dur_us,
+        })
+    }
+
+    #[test]
+    fn self_time_subtracts_direct_children_only() {
+        let records = vec![
+            span("root", 1, 0, 100.0),
+            span("mid", 2, 1, 80.0),
+            span("leaf", 3, 2, 30.0),
+            span("leaf", 4, 2, 30.0),
+        ];
+        let rows = self_time(&records);
+        let get = |name: &str| rows.iter().find(|r| r.name == name).unwrap().clone();
+        assert_eq!(get("leaf").calls, 2);
+        assert!((get("leaf").self_us - 60.0).abs() < 1e-9);
+        assert!((get("mid").self_us - 20.0).abs() < 1e-9);
+        assert!((get("root").self_us - 20.0).abs() < 1e-9);
+        assert_eq!(rows[0].name, "leaf", "sorted by self time descending");
+    }
+
+    #[test]
+    fn negative_self_time_clamps_to_zero() {
+        // Overlapping/clock-skewed children can exceed the parent; the
+        // row must not go negative.
+        let records = vec![span("p", 1, 0, 10.0), span("c", 2, 1, 15.0)];
+        let rows = self_time(&records);
+        assert_eq!(rows.iter().find(|r| r.name == "p").unwrap().self_us, 0.0);
+    }
+}

@@ -1,0 +1,208 @@
+//! Pluggable trace sinks and the global enable gate.
+//!
+//! The process has one sink configuration at a time, installed with
+//! [`install`]. The default is [`SinkSpec::Disabled`]: tracing is off and
+//! span entry costs one relaxed atomic load. Multiple sinks may be active
+//! at once (e.g. an NDJSON file plus the in-memory store used by
+//! `statleak trace` to build its profile table).
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use crate::span::{self, Record};
+
+/// Where trace records go. `Disabled` is compile-checked like every other
+/// variant: the byte-identity tests run the flow under each spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SinkSpec {
+    /// Drop everything; span entry is a single relaxed load.
+    Disabled,
+    /// Human-oriented one-line records on stderr.
+    StderrPretty,
+    /// Append NDJSON rows to the given file (created/truncated).
+    NdjsonFile(PathBuf),
+    /// Accumulate records in memory; retrieve with [`take_memory`].
+    InMemory,
+}
+
+#[derive(Default)]
+struct SinkState {
+    stderr_pretty: bool,
+    file: Option<BufWriter<File>>,
+    memory: Option<Vec<Record>>,
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+fn state() -> &'static Mutex<SinkState> {
+    static STATE: OnceLock<Mutex<SinkState>> = OnceLock::new();
+    STATE.get_or_init(|| Mutex::new(SinkState::default()))
+}
+
+/// True when at least one non-`Disabled` sink is installed. This is the
+/// hot-path gate: instrumentation that would cost clock reads or
+/// allocations checks it first.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Replaces the sink configuration. Pending records are flushed to the
+/// outgoing sinks first, so switching sinks never loses spans.
+pub fn install(specs: &[SinkSpec]) -> io::Result<()> {
+    flush();
+    let mut next = SinkState::default();
+    for spec in specs {
+        match spec {
+            SinkSpec::Disabled => {}
+            SinkSpec::StderrPretty => next.stderr_pretty = true,
+            SinkSpec::NdjsonFile(path) => {
+                next.file = Some(BufWriter::new(File::create(path)?));
+            }
+            SinkSpec::InMemory => next.memory = Some(Vec::new()),
+        }
+    }
+    let active = next.stderr_pretty || next.file.is_some() || next.memory.is_some();
+    let mut state = state().lock().expect("sink state poisoned");
+    *state = next;
+    ENABLED.store(active, Ordering::Relaxed);
+    Ok(())
+}
+
+/// Reads `STATLEAK_TRACE` (NDJSON trace path) and `STATLEAK_LOG` (log
+/// level) and applies them; unset variables leave the defaults in place.
+pub fn init_from_env() -> io::Result<()> {
+    if let Ok(level) = std::env::var("STATLEAK_LOG") {
+        if let Ok(level) = level.parse() {
+            crate::set_log_level(level);
+        }
+    }
+    if let Ok(path) = std::env::var("STATLEAK_TRACE") {
+        if !path.is_empty() {
+            install(&[SinkSpec::NdjsonFile(PathBuf::from(path))])?;
+        }
+    }
+    Ok(())
+}
+
+/// Writes a drained batch to every active sink (called from the span
+/// buffers when full, and from [`flush`]).
+pub(crate) fn write_records(records: &[Record]) {
+    if records.is_empty() {
+        return;
+    }
+    let mut state = state().lock().expect("sink state poisoned");
+    if state.stderr_pretty {
+        let mut err = io::stderr().lock();
+        for record in records {
+            let _ = writeln!(err, "{}", record.to_pretty());
+        }
+    }
+    if let Some(file) = state.file.as_mut() {
+        for record in records {
+            let _ = writeln!(file, "{}", record.to_ndjson());
+        }
+    }
+    if let Some(memory) = state.memory.as_mut() {
+        memory.extend_from_slice(records);
+    }
+}
+
+/// Drains every thread's span buffer into the sinks and flushes the
+/// NDJSON file, if any. Safe to call from any thread.
+pub fn flush() {
+    let pending = span::drain_all();
+    write_records(&pending);
+    let mut state = state().lock().expect("sink state poisoned");
+    if let Some(file) = state.file.as_mut() {
+        let _ = file.flush();
+    }
+}
+
+/// Flushes, then returns (and clears) the in-memory store. Empty when the
+/// `InMemory` sink is not installed.
+pub fn take_memory() -> Vec<Record> {
+    flush();
+    let mut state = state().lock().expect("sink state poisoned");
+    match state.memory.as_mut() {
+        Some(memory) => std::mem::take(memory),
+        None => Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Sink state is process-global; tests that install sinks serialize on
+    // this lock so they do not clobber each other under the parallel
+    // test runner.
+    fn guard() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    #[test]
+    fn disabled_by_default_and_spans_are_inert() {
+        let _guard = guard();
+        install(&[SinkSpec::Disabled]).unwrap();
+        assert!(!enabled());
+        {
+            let _span = crate::span!("test.inert");
+        }
+        assert!(take_memory().is_empty());
+    }
+
+    #[test]
+    fn in_memory_sink_captures_nested_spans_with_parent_links() {
+        let _guard = guard();
+        install(&[SinkSpec::InMemory]).unwrap();
+        {
+            let _outer = crate::span!("test.outer");
+            let _inner = crate::span!("test.inner");
+        }
+        crate::span::event("test.event", &[("k", 2.0)]);
+        let records = take_memory();
+        install(&[SinkSpec::Disabled]).unwrap();
+
+        let spans: Vec<_> = records
+            .iter()
+            .filter_map(|r| match r {
+                Record::Span(s) => Some(s),
+                Record::Event(_) => None,
+            })
+            .collect();
+        let outer = spans.iter().find(|s| s.name == "test.outer").unwrap();
+        let inner = spans.iter().find(|s| s.name == "test.inner").unwrap();
+        assert_eq!(inner.parent, outer.id, "inner span links to outer");
+        assert_eq!(outer.parent, 0, "outer span is a root");
+        assert!(outer.dur_us >= inner.dur_us);
+        assert!(records
+            .iter()
+            .any(|r| matches!(r, Record::Event(e) if e.name == "test.event")));
+    }
+
+    #[test]
+    fn ndjson_file_sink_writes_one_json_row_per_record() {
+        let _guard = guard();
+        let path =
+            std::env::temp_dir().join(format!("obs_sink_test_{}.ndjson", std::process::id()));
+        install(&[SinkSpec::NdjsonFile(path.clone())]).unwrap();
+        {
+            let _span = crate::span!("test.file");
+        }
+        flush();
+        install(&[SinkSpec::Disabled]).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        let lines: Vec<&str> = body.lines().collect();
+        assert!(!lines.is_empty());
+        for line in lines {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            assert!(line.contains("\"t\":\"span\""), "{line}");
+        }
+    }
+}

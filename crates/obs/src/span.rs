@@ -1,0 +1,287 @@
+//! Hierarchical spans and point events, recorded into per-thread buffers.
+//!
+//! Recording is "lock-free-ish": every thread owns its own buffer behind a
+//! mutex that only that thread locks on the hot path, so a push never
+//! contends with other recording threads. The buffers are registered in a
+//! global list so [`crate::flush`] can drain spans recorded on short-lived
+//! worker threads (the vendored rayon shim spawns scoped threads per
+//! parallel call) from any thread.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::sink;
+
+/// Records are flushed to the sinks once a thread buffer holds this many.
+const BATCH: usize = 256;
+
+/// A completed span: a named interval with a parent link and thread id.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Call-site name, e.g. `"ssta.propagate"`.
+    pub name: &'static str,
+    /// Unique id (process-wide, monotonically assigned).
+    pub id: u64,
+    /// Id of the enclosing span on the same thread; 0 for roots.
+    pub parent: u64,
+    /// Stable small integer identifying the recording thread.
+    pub thread: u64,
+    /// Start time in microseconds since the trace epoch.
+    pub start_us: f64,
+    /// Duration in microseconds (monotonic clock).
+    pub dur_us: f64,
+}
+
+/// A point-in-time event with numeric fields (e.g. a trajectory snapshot).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventRecord {
+    /// Event name, e.g. `"opt.trajectory"`.
+    pub name: &'static str,
+    /// Stable small integer identifying the recording thread.
+    pub thread: u64,
+    /// Timestamp in microseconds since the trace epoch.
+    pub at_us: f64,
+    /// Named numeric payload.
+    pub fields: Vec<(&'static str, f64)>,
+}
+
+/// One trace record: either a completed span or a point event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Record {
+    /// A completed span interval.
+    Span(SpanRecord),
+    /// A point event.
+    Event(EventRecord),
+}
+
+/// Formats an `f64` as a JSON value (non-finite values become `null`).
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+impl Record {
+    /// Single-line JSON encoding (NDJSON row).
+    pub fn to_ndjson(&self) -> String {
+        match self {
+            Record::Span(s) => format!(
+                "{{\"t\":\"span\",\"name\":\"{}\",\"id\":{},\"parent\":{},\"thread\":{},\"start_us\":{},\"dur_us\":{}}}",
+                s.name,
+                s.id,
+                s.parent,
+                s.thread,
+                json_num(s.start_us),
+                json_num(s.dur_us),
+            ),
+            Record::Event(e) => {
+                let fields: Vec<String> = e
+                    .fields
+                    .iter()
+                    .map(|(k, v)| format!("\"{k}\":{}", json_num(*v)))
+                    .collect();
+                format!(
+                    "{{\"t\":\"event\",\"name\":\"{}\",\"thread\":{},\"at_us\":{},\"fields\":{{{}}}}}",
+                    e.name,
+                    e.thread,
+                    json_num(e.at_us),
+                    fields.join(","),
+                )
+            }
+        }
+    }
+
+    /// Human-oriented one-line rendering for the stderr sink.
+    pub fn to_pretty(&self) -> String {
+        match self {
+            Record::Span(s) => format!(
+                "span  {:<28} {:>10.1} us  (thread {}, id {}, parent {})",
+                s.name, s.dur_us, s.thread, s.id, s.parent
+            ),
+            Record::Event(e) => {
+                let fields: Vec<String> =
+                    e.fields.iter().map(|(k, v)| format!("{k}={v}")).collect();
+                format!("event {:<28} {}", e.name, fields.join(" "))
+            }
+        }
+    }
+}
+
+/// Per-thread record buffer; only the owning thread pushes, any thread may
+/// drain (so worker-thread spans are not stranded when the worker exits).
+struct ThreadBuf {
+    thread: u64,
+    records: Mutex<Vec<Record>>,
+}
+
+fn registry() -> &'static Mutex<Vec<Arc<ThreadBuf>>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Arc<ThreadBuf>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Microseconds elapsed since the trace epoch.
+fn now_us() -> f64 {
+    epoch().elapsed().as_secs_f64() * 1e6
+}
+
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static LOCAL_BUF: Arc<ThreadBuf> = {
+        let buf = Arc::new(ThreadBuf {
+            thread: NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed),
+            records: Mutex::new(Vec::new()),
+        });
+        registry().lock().expect("span registry poisoned").push(Arc::clone(&buf));
+        buf
+    };
+    static STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+fn push_record(record: Record) {
+    LOCAL_BUF.with(|buf| {
+        let mut records = buf.records.lock().expect("thread buffer poisoned");
+        records.push(record);
+        if records.len() >= BATCH {
+            let batch = std::mem::take(&mut *records);
+            drop(records);
+            sink::write_records(&batch);
+        }
+    });
+}
+
+/// Drains every thread's buffer into one batch (any-thread safe).
+pub(crate) fn drain_all() -> Vec<Record> {
+    let bufs: Vec<Arc<ThreadBuf>> = registry().lock().expect("span registry poisoned").clone();
+    let mut out = Vec::new();
+    for buf in bufs {
+        let mut records = buf.records.lock().expect("thread buffer poisoned");
+        out.append(&mut records);
+    }
+    out
+}
+
+/// Live span state carried by a [`SpanGuard`].
+struct ActiveSpan {
+    name: &'static str,
+    id: u64,
+    parent: u64,
+    start_us: f64,
+    start: Instant,
+}
+
+/// RAII guard for an open span; records the span when dropped. Inert (no
+/// clock reads, nothing recorded) when tracing is disabled at entry.
+pub struct SpanGuard(Option<ActiveSpan>);
+
+/// Opens a span. Prefer the [`crate::span!`] macro at call sites.
+pub fn span(name: &'static str) -> SpanGuard {
+    if !sink::enabled() {
+        return SpanGuard(None);
+    }
+    let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    let parent = STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        let parent = stack.last().copied().unwrap_or(0);
+        stack.push(id);
+        parent
+    });
+    SpanGuard(Some(ActiveSpan {
+        name,
+        id,
+        parent,
+        start_us: now_us(),
+        start: Instant::now(),
+    }))
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(active) = self.0.take() else {
+            return;
+        };
+        let dur_us = active.start.elapsed().as_secs_f64() * 1e6;
+        STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Guards drop LIFO in straight-line code; tolerate an
+            // out-of-order drop by removing the matching id.
+            if stack.last() == Some(&active.id) {
+                stack.pop();
+            } else {
+                stack.retain(|&id| id != active.id);
+            }
+        });
+        let thread = LOCAL_BUF.with(|buf| buf.thread);
+        push_record(Record::Span(SpanRecord {
+            name: active.name,
+            id: active.id,
+            parent: active.parent,
+            thread,
+            start_us: active.start_us,
+            dur_us,
+        }));
+    }
+}
+
+/// Records a point event with numeric fields; a no-op when disabled.
+pub fn event(name: &'static str, fields: &[(&'static str, f64)]) {
+    if !sink::enabled() {
+        return;
+    }
+    let thread = LOCAL_BUF.with(|buf| buf.thread);
+    push_record(Record::Event(EventRecord {
+        name,
+        thread,
+        at_us: now_us(),
+        fields: fields.to_vec(),
+    }));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ndjson_escapes_non_finite_fields_to_null() {
+        let record = Record::Event(EventRecord {
+            name: "e",
+            thread: 1,
+            at_us: 2.0,
+            fields: vec![("ok", 1.5), ("bad", f64::NAN)],
+        });
+        let line = record.to_ndjson();
+        assert!(line.contains("\"ok\":1.5"), "{line}");
+        assert!(line.contains("\"bad\":null"), "{line}");
+    }
+
+    #[test]
+    fn span_ndjson_has_expected_keys() {
+        let record = Record::Span(SpanRecord {
+            name: "x.y",
+            id: 7,
+            parent: 3,
+            thread: 1,
+            start_us: 10.0,
+            dur_us: 2.5,
+        });
+        let line = record.to_ndjson();
+        for key in [
+            "\"t\":\"span\"",
+            "\"name\":\"x.y\"",
+            "\"id\":7",
+            "\"parent\":3",
+        ] {
+            assert!(line.contains(key), "{line}");
+        }
+    }
+}

@@ -14,6 +14,7 @@
 use crate::seeds_for_change;
 use rayon::prelude::*;
 use statleak_netlist::NodeId;
+use statleak_obs as obs;
 use statleak_sta::Sta;
 use statleak_tech::{Design, VthClass};
 
@@ -77,6 +78,7 @@ impl DeterministicOptimizer {
     /// Panics if the design does not meet the (guard-banded) budget to
     /// begin with — size it first with [`crate::sizing::size_for_delay`].
     pub fn optimize(&self, design: &mut Design) -> DetReport {
+        let _span = obs::span!("opt.det_optimize");
         let budget = self.budget();
         let mut sta = Sta::analyze(design);
         assert!(
@@ -190,6 +192,7 @@ pub fn deterministic_for_yield(
     iterations: usize,
 ) -> Result<DetYieldOutcome, crate::SizeError> {
     use statleak_ssta::Ssta;
+    let _span = obs::span!("opt.deterministic_flow");
     assert!(eta > 0.0 && eta < 1.0, "eta must be in (0,1)");
 
     let evaluate = |guard: f64| -> Option<(Design, DetReport, f64)> {

@@ -9,6 +9,7 @@
 
 use crate::seeds_for_change;
 use statleak_netlist::NodeId;
+use statleak_obs as obs;
 use statleak_sta::Sta;
 use statleak_tech::Design;
 
@@ -66,6 +67,7 @@ fn best_upsize_step(design: &mut Design, sta: &mut Sta) -> Option<f64> {
 /// Sizes the design for (approximately) minimum delay; returns the
 /// achieved circuit delay (ps). Mutates the design in place.
 pub fn size_for_min_delay(design: &mut Design) -> f64 {
+    let _span = obs::span!("sizing.min_delay");
     let mut sta = Sta::analyze(design);
     while best_upsize_step(design, &mut sta).is_some() {}
     sta.circuit_delay()
@@ -79,6 +81,7 @@ pub fn size_for_min_delay(design: &mut Design) -> f64 {
 ///
 /// Returns [`SizeError`] if greedy sizing cannot reach the target.
 pub fn size_for_delay(design: &mut Design, t_clk: f64) -> Result<f64, SizeError> {
+    let _span = obs::span!("sizing.for_delay");
     let mut sta = Sta::analyze(design);
     let mut delay = sta.circuit_delay();
     while delay > t_clk {
@@ -118,6 +121,7 @@ pub fn size_for_yield(
     eta: f64,
 ) -> Result<f64, SizeError> {
     use statleak_ssta::Ssta;
+    let _span = obs::span!("sizing.for_yield");
     assert!(eta > 0.0 && eta < 1.0, "eta must be in (0,1)");
     let mut ssta = Ssta::analyze(design, fm);
     loop {

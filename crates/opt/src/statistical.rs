@@ -20,8 +20,13 @@ use crate::seeds_for_change;
 use rayon::prelude::*;
 use statleak_leakage::LeakageAnalysis;
 use statleak_netlist::NodeId;
+use statleak_obs as obs;
 use statleak_ssta::Ssta;
 use statleak_tech::{Design, FactorModel, VthClass};
+
+/// A trajectory snapshot event is emitted every this many accepted moves
+/// (when tracing is enabled).
+const TRAJECTORY_EVERY: usize = 64;
 
 /// The statistical leakage objective to minimize.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -160,6 +165,7 @@ impl StatisticalOptimizer {
     /// failing. The report carries both yields so callers can see which
     /// floor was active.
     pub fn optimize(&self, design: &mut Design, fm: &FactorModel) -> StatReport {
+        let _span = obs::span!("opt.optimize");
         let mut ssta = Ssta::analyze(design, fm);
         let mut leak = LeakageAnalysis::analyze(design, fm);
 
@@ -175,6 +181,24 @@ impl StatisticalOptimizer {
         let mut accepted_total = 0usize;
         let mut downsized = 0usize;
         let mut passes = 0usize;
+        // Per-move telemetry is accumulated in locals and flushed to the
+        // global counters once per optimize() call, so the move loop
+        // stays free of atomic traffic.
+        let mut tried = 0u64;
+        let mut vth_swaps = 0u64;
+        let trajectory = |trace: &[TracePoint], accepted_total: usize| {
+            if obs::enabled() && accepted_total.is_multiple_of(TRAJECTORY_EVERY) {
+                let p = trace.last().expect("trace has the move just accepted");
+                obs::event(
+                    "opt.trajectory",
+                    &[
+                        ("accepted_moves", p.accepted_moves as f64),
+                        ("objective", p.objective),
+                        ("timing_yield", p.timing_yield),
+                    ],
+                );
+            }
+        };
 
         for _ in 0..self.max_passes {
             passes += 1;
@@ -184,6 +208,7 @@ impl StatisticalOptimizer {
             // mean leakage), then constrained moves by saving-per-
             // shortfall. Statistical slack uses the mean backward pass
             // against the yield-equivalent clock. ---
+            let _vth_span = obs::span!("opt.vth_pass");
             let t_eff = self.t_clk
                 - (ssta.clock_for_yield(floor.clamp(1e-9, 1.0 - 1e-9)) - ssta.circuit_delay().mean);
             let slacks = ssta.mean_slack(design, t_eff, 0.0);
@@ -215,25 +240,30 @@ impl StatisticalOptimizer {
                     .expect("candidates are on the ladder");
                 for target in self.vth_levels[cur_pos + 1..].iter().rev().copied() {
                     design.set_vth(g, target);
+                    tried += 1;
                     let t_undo =
                         ssta.recompute_cone(design, fm, &seeds_for_change(design, g, false));
                     if ssta.timing_yield(self.t_clk) >= floor {
                         leak.update_gate(design, fm, g);
                         accepted += 1;
                         accepted_total += 1;
+                        vth_swaps += 1;
                         trace.push(TracePoint {
                             accepted_moves: accepted_total,
                             objective: self.objective_value(design, &leak),
                             timing_yield: ssta.timing_yield(self.t_clk),
                         });
+                        trajectory(&trace, accepted_total);
                         break;
                     }
                     ssta.undo(t_undo);
                     design.set_vth(g, current);
                 }
             }
+            drop(_vth_span);
 
             // --- Downsizing pass. ---
+            let _down_span = obs::span!("opt.downsize_pass");
             let mut sized: Vec<NodeId> = design
                 .circuit()
                 .gates()
@@ -246,6 +276,7 @@ impl StatisticalOptimizer {
                     continue;
                 };
                 design.set_size(g, down);
+                tried += 1;
                 let t_undo = ssta.recompute_cone(design, fm, &seeds_for_change(design, g, true));
                 if ssta.timing_yield(self.t_clk) >= floor {
                     leak.update_gate(design, fm, g);
@@ -257,6 +288,7 @@ impl StatisticalOptimizer {
                         objective: self.objective_value(design, &leak),
                         timing_yield: ssta.timing_yield(self.t_clk),
                     });
+                    trajectory(&trace, accepted_total);
                 } else {
                     ssta.undo(t_undo);
                     design.set_size(g, old);
@@ -267,6 +299,13 @@ impl StatisticalOptimizer {
                 break;
             }
         }
+
+        obs::counter!("opt_moves_tried_total").add(tried);
+        obs::counter!("opt_moves_accepted_total").add(accepted_total as u64);
+        obs::counter!("opt_moves_rejected_total").add(tried - accepted_total as u64);
+        obs::counter!("opt_vth_swaps_total").add(vth_swaps);
+        obs::counter!("opt_downsizes_total").add(downsized as u64);
+        obs::counter!("opt_passes_total").add(passes as u64);
 
         StatReport {
             initial_objective,
@@ -330,6 +369,7 @@ pub fn statistical_flow(
     fm: &FactorModel,
     proto: &StatisticalOptimizer,
 ) -> Result<StatYieldOutcome, crate::SizeError> {
+    let _span = obs::span!("opt.statistical_flow");
     let t_clk = proto.t_clk;
     let eta = proto.yield_target;
     let z_eta = statleak_stats::phi_inv(eta);

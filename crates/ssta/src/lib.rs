@@ -47,6 +47,7 @@ mod canonical;
 pub use canonical::Canonical;
 
 use statleak_netlist::{Circuit, ConeScratch, NodeId};
+use statleak_obs as obs;
 use statleak_stats::phi;
 use statleak_tech::{cell, Design, FactorModel};
 
@@ -114,6 +115,8 @@ pub struct SstaUndo {
 impl Ssta {
     /// Runs a full statistical timing analysis.
     pub fn analyze(design: &Design, fm: &FactorModel) -> Self {
+        let _span = obs::span!("ssta.propagate");
+        obs::counter!("ssta_full_analyze_total").inc();
         let circuit = design.circuit();
         let zero = Canonical::constant(0.0, fm.num_shared());
         let mut arrival = vec![zero; circuit.num_nodes()];
@@ -258,6 +261,15 @@ impl Ssta {
         }
         if output_changed {
             self.circuit_delay = Self::max_output_arrival(circuit, &self.arrival, fm.num_shared());
+        }
+        // The per-move hot path stays metric-free unless tracing is on:
+        // cone stats are diagnostics, not service counters.
+        if obs::enabled() {
+            obs::counter!("ssta_cone_recomputes_total").inc();
+            obs::histogram!("ssta_cone_nodes").record(self.scratch.cone().len() as u64);
+            if output_changed {
+                obs::counter!("ssta_cone_output_folds_total").inc();
+            }
         }
         undo
     }

@@ -32,6 +32,7 @@ pub mod slew;
 pub use slew::SlewSta;
 
 use statleak_netlist::{Circuit, ConeScratch, NodeId};
+use statleak_obs as obs;
 use statleak_tech::Design;
 
 /// Deterministic arrival-time state for one design.
@@ -64,6 +65,8 @@ pub struct StaUndo {
 impl Sta {
     /// Runs a full timing analysis of the design.
     pub fn analyze(design: &Design) -> Self {
+        let _span = obs::span!("sta.propagate");
+        obs::counter!("sta_full_analyze_total").inc();
         let circuit = design.circuit();
         let mut arrival = vec![0.0; circuit.num_nodes()];
         for &id in circuit.topo_order() {
@@ -141,6 +144,10 @@ impl Sta {
         // would reproduce the cached value exactly, so skip the fold.
         if output_changed {
             self.circuit_delay = Self::max_output_arrival(circuit, &self.arrival);
+        }
+        if obs::enabled() {
+            obs::counter!("sta_cone_recomputes_total").inc();
+            obs::histogram!("sta_cone_nodes").record(self.scratch.cone().len() as u64);
         }
         undo
     }

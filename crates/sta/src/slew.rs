@@ -20,6 +20,7 @@
 //! for well-sized designs, ballooning when gates are undersized.
 
 use statleak_netlist::NodeId;
+use statleak_obs as obs;
 use statleak_tech::Design;
 
 /// Slew-aware arrival state.
@@ -33,6 +34,7 @@ pub struct SlewSta {
 impl SlewSta {
     /// Runs a slew-aware timing analysis of the design.
     pub fn analyze(design: &Design) -> Self {
+        let _span = obs::span!("sta.slew_propagate");
         let circuit = design.circuit();
         let tech = design.tech();
         let n = circuit.num_nodes();

@@ -22,7 +22,17 @@
 //!
 //! statleak call --addr A --json REQUEST
 //!     Send one request line to a running daemon and print the response.
+//!
+//! statleak trace INPUT [--slack-factor F] [--eta E] [--mc-samples N]
+//!                [--top K]
+//!     Run the comparison flow with full spans enabled and print a
+//!     self-time profile table (top-K spans by self time).
 //! ```
+//!
+//! Global flags (any command): `--trace FILE` appends every span/event as
+//! NDJSON to FILE; `--log-level error|warn|info|debug|trace` sets the
+//! stderr log threshold. The `STATLEAK_TRACE` / `STATLEAK_LOG`
+//! environment variables are the equivalent defaults.
 //!
 //! `--input` accepts `.bench` (ISCAS85/89; DFFs are cut) or structural
 //! Verilog (`.v`/`.verilog`, any case), or the name of a built-in
@@ -43,6 +53,7 @@ use statleak::error::StatleakError;
 use statleak::leakage::LeakageAnalysis;
 use statleak::mc::{McConfig, MonteCarlo};
 use statleak::netlist::{bench, benchmarks, placement::Placement, verilog, Circuit};
+use statleak::obs;
 use statleak::opt::{sizing, statistical_flow, StatisticalOptimizer};
 use statleak::ssta::Ssta;
 use statleak::sta::{SlewSta, Sta};
@@ -53,8 +64,12 @@ use std::str::FromStr;
 use std::sync::Arc;
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    match run(&args) {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let result = setup_observability(&mut args).and_then(|trace| run(&args, trace.as_deref()));
+    // Spans buffered on this (or any worker) thread must reach the sinks
+    // before exit, whatever the outcome.
+    obs::flush();
+    match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("statleak: {} error: {e}", e.class());
@@ -63,7 +78,48 @@ fn main() -> ExitCode {
     }
 }
 
-fn run(args: &[String]) -> Result<(), StatleakError> {
+/// Applies `STATLEAK_TRACE`/`STATLEAK_LOG`, then extracts (and removes)
+/// the global `--trace FILE` / `--log-level LEVEL` flags, which may appear
+/// anywhere on the command line. Returns the trace path, if any; for
+/// every command except `trace` (which composes its own sinks) the NDJSON
+/// sink is installed here.
+fn setup_observability(args: &mut Vec<String>) -> Result<Option<String>, StatleakError> {
+    let io_err = |path: &str| {
+        let path = path.to_string();
+        move |e: std::io::Error| StatleakError::Io { path, source: e }
+    };
+    obs::init_from_env().map_err(io_err("STATLEAK_TRACE"))?;
+    let mut trace: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].clone();
+        if flag != "--trace" && flag != "--log-level" {
+            i += 1;
+            continue;
+        }
+        let Some(value) = args.get(i + 1).cloned() else {
+            return Err(StatleakError::Usage(format!(
+                "flag `{flag}` requires a value"
+            )));
+        };
+        args.drain(i..i + 2);
+        if flag == "--trace" {
+            if trace.replace(value).is_some() {
+                return Err(StatleakError::Usage("duplicate flag `--trace`".into()));
+            }
+        } else {
+            obs::set_log_level(value.parse().map_err(StatleakError::Usage)?);
+        }
+    }
+    if let Some(path) = &trace {
+        if args.first().map(String::as_str) != Some("trace") {
+            obs::install(&[obs::SinkSpec::NdjsonFile(path.into())]).map_err(io_err(path))?;
+        }
+    }
+    Ok(trace)
+}
+
+fn run(args: &[String], trace_file: Option<&str>) -> Result<(), StatleakError> {
     let Some(command) = args.first() else {
         print_usage();
         return Ok(());
@@ -82,6 +138,7 @@ fn run(args: &[String]) -> Result<(), StatleakError> {
         "export-lib" => cmd_export_lib(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
         "call" => cmd_call(&args[1..]),
+        "trace" => cmd_trace(&args[1..], trace_file),
         "help" => {
             print_usage();
             Ok(())
@@ -105,7 +162,9 @@ fn print_usage() {
          \x20 serve     [--addr A] [--workers N] [--queue-depth N]\n\
          \x20           [--cache-capacity N] [--deadline-ms N]\n\
          \x20 call      --addr A --json REQUEST\n\
+         \x20 trace     INPUT [--slack-factor F] [--eta E] [--mc-samples N] [--top K]\n\
          \n\
+         global flags: --trace FILE (NDJSON span trace), --log-level LEVEL\n\
          --input accepts .bench, .v, or a built-in name like c880\n\
          serve speaks newline-delimited JSON (docs/SERVE_PROTOCOL.md)\n\
          exit codes: 0 ok, 2 usage, 3 io, 4 parse, 5 model, 6 infeasible, 7 busy"
@@ -525,4 +584,129 @@ fn cmd_call(args: &[String]) -> Result<(), StatleakError> {
         class: field("class"),
         message: field("message"),
     })
+}
+
+fn cmd_trace(args: &[String], trace_file: Option<&str>) -> Result<(), StatleakError> {
+    use statleak::core::flows::{self, FlowConfig, Setup};
+
+    let Some(input) = args.first().filter(|a| !a.starts_with("--")) else {
+        return Err(StatleakError::Usage(
+            "trace requires a netlist: statleak trace <input> [--slack-factor F] \
+             [--eta E] [--mc-samples N] [--top K]"
+                .into(),
+        ));
+    };
+    let flags = parse_flags(
+        &args[1..],
+        &["--slack-factor", "--eta", "--mc-samples", "--top"],
+        &[],
+    )?;
+    let slack = match get_parsed::<f64>(&flags, "--slack-factor")? {
+        Some(v) if v.is_finite() && v >= 1.0 => v,
+        Some(v) => {
+            return Err(StatleakError::Usage(format!(
+                "`--slack-factor` must be >= 1.0 (a multiple of Dmin), got {v}"
+            )))
+        }
+        None => 1.20,
+    };
+    let eta = match get_parsed::<f64>(&flags, "--eta")? {
+        Some(v) if v > 0.0 && v < 1.0 => v,
+        Some(v) => {
+            return Err(StatleakError::Usage(format!(
+                "`--eta` must be a yield in (0, 1), got {v}"
+            )))
+        }
+        None => 0.95,
+    };
+    let mc_samples = get_parsed::<usize>(&flags, "--mc-samples")?.unwrap_or(0);
+    let top = get_parsed::<usize>(&flags, "--top")?.unwrap_or(15).max(1);
+
+    // In-memory sink for the profile table, plus the NDJSON file when the
+    // global --trace flag (or STATLEAK_TRACE) named one.
+    let mut sinks = vec![obs::SinkSpec::InMemory];
+    if let Some(path) = trace_file {
+        sinks.push(obs::SinkSpec::NdjsonFile(path.into()));
+    }
+    obs::install(&sinks).map_err(|e| StatleakError::Io {
+        path: trace_file.unwrap_or("<in-memory trace>").to_string(),
+        source: e,
+    })?;
+
+    let mut input_flags = BTreeMap::new();
+    input_flags.insert("--input".to_string(), input.clone());
+    let circuit = load_circuit(&input_flags)?;
+    let name = circuit.name().to_string();
+
+    // Build the Setup by hand (so on-disk netlists work, not just built-in
+    // benchmark names) and run the full comparison single-threaded: the
+    // rayon shim runs 1-thread parallel calls inline, which keeps every
+    // span on one thread with exact parent links for self-time accounting.
+    eprintln!("tracing comparison flow on {name}...");
+    let outcome = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .expect("thread pool")
+        .install(|| -> Result<_, StatleakError> {
+            let circuit = Arc::new(circuit);
+            let placement = Placement::by_level(&circuit);
+            let tech = Technology::ptm100();
+            let fm = FactorModel::build(&circuit, &placement, &tech, &VariationConfig::ptm100())?;
+            let base = Design::new(Arc::clone(&circuit), tech);
+            let dmin = sizing::min_delay_estimate(&base);
+            let setup = Setup {
+                circuit,
+                fm,
+                base,
+                dmin,
+                t_clk: dmin * slack,
+            };
+            let cfg = FlowConfig::builder(&name)
+                .slack_factor(slack)
+                .eta(eta)
+                .mc_samples(mc_samples)
+                .build()
+                .map_err(|e| StatleakError::Usage(e.to_string()))?;
+            Ok(flows::run_comparison_on(&setup, &cfg)?)
+        })?;
+
+    let records = obs::take_memory();
+    let rows = obs::self_time(&records);
+    let span_count = rows.iter().map(|r| r.calls).sum::<u64>();
+    let self_sum: f64 = rows.iter().map(|r| r.self_us).sum();
+
+    println!(
+        "{name}: t_clk {:.1} ps, det p95 {:.3} uW, stat p95 {:.3} uW \
+         ({:.1}% extra saving)",
+        outcome.t_clk,
+        outcome.deterministic.leakage_p95 * 1e6,
+        outcome.statistical.leakage_p95 * 1e6,
+        outcome.stat_extra_saving * 100.0
+    );
+    println!(
+        "\n{span_count} spans recorded; top {} by self time:",
+        top.min(rows.len())
+    );
+    println!(
+        "{:<26} {:>8} {:>12} {:>12} {:>6}",
+        "span", "calls", "total ms", "self ms", "self%"
+    );
+    for r in rows.iter().take(top) {
+        println!(
+            "{:<26} {:>8} {:>12.2} {:>12.2} {:>5.1}%",
+            r.name,
+            r.calls,
+            r.total_us / 1e3,
+            r.self_us / 1e3,
+            if self_sum > 0.0 {
+                100.0 * r.self_us / self_sum
+            } else {
+                0.0
+            }
+        );
+    }
+    if let Some(path) = trace_file {
+        eprintln!("wrote {} trace records to {path}", records.len());
+    }
+    Ok(())
 }

@@ -78,6 +78,7 @@ pub use statleak_engine as engine;
 pub use statleak_leakage as leakage;
 pub use statleak_mc as mc;
 pub use statleak_netlist as netlist;
+pub use statleak_obs as obs;
 pub use statleak_opt as opt;
 pub use statleak_ssta as ssta;
 pub use statleak_sta as sta;

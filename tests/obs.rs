@@ -1,0 +1,148 @@
+//! Observability invariants: instrumentation must never perturb results.
+//!
+//! The whole stack is traced (spans in ssta/sta/opt/mc/flows, counters and
+//! histograms everywhere), so the load-bearing guarantee is that a run with
+//! any sink installed — including none — produces byte-for-byte the same
+//! analysis outcome. These tests exercise every [`obs::SinkSpec`] variant
+//! against the same flow, plus the `statleak trace` CLI surface.
+
+use statleak::core::flows::{self, FlowConfig};
+use statleak::engine::json::Json;
+use statleak::obs;
+use std::process::Command;
+
+fn outcome_under(sinks: &[obs::SinkSpec]) -> flows::ComparisonOutcome {
+    obs::install(sinks).expect("sink install");
+    let cfg = FlowConfig::builder("c17")
+        .mc_samples(0)
+        .build()
+        .expect("valid config");
+    let setup = flows::prepare(&cfg).expect("builtin benchmark");
+    let mut outcome = flows::run_comparison_on(&setup, &cfg).expect("flow runs");
+    obs::flush();
+    // Wall-clock fields are nondeterministic by nature; zero them so the
+    // comparison checks only the analysis results.
+    outcome.baseline.runtime_s = 0.0;
+    outcome.deterministic.runtime_s = 0.0;
+    outcome.statistical.runtime_s = 0.0;
+    outcome
+}
+
+/// One test (not four) so the process-global sink is never contended.
+#[test]
+fn results_are_identical_across_every_sink() {
+    let trace_path =
+        std::env::temp_dir().join(format!("statleak-obs-{}.ndjson", std::process::id()));
+
+    let disabled = outcome_under(&[obs::SinkSpec::Disabled]);
+    let stderr_pretty = outcome_under(&[obs::SinkSpec::StderrPretty]);
+    let ndjson = outcome_under(&[obs::SinkSpec::NdjsonFile(trace_path.clone())]);
+    let in_memory = outcome_under(&[obs::SinkSpec::InMemory]);
+    let records = obs::take_memory();
+
+    assert_eq!(disabled, stderr_pretty, "stderr sink perturbed the flow");
+    assert_eq!(disabled, ndjson, "ndjson sink perturbed the flow");
+    assert_eq!(disabled, in_memory, "in-memory sink perturbed the flow");
+
+    // The instrumented sinks actually observed the run.
+    assert!(!records.is_empty(), "in-memory sink captured no records");
+    let text = std::fs::read_to_string(&trace_path).expect("trace file written");
+    std::fs::remove_file(&trace_path).ok();
+    assert!(!text.is_empty(), "ndjson trace is empty");
+    for line in text.lines() {
+        let parsed = Json::parse(line).unwrap_or_else(|e| panic!("bad NDJSON {line:?}: {e}"));
+        match parsed {
+            Json::Obj(fields) => assert!(
+                fields.iter().any(|(k, _)| k == "t"),
+                "record missing discriminant: {line}"
+            ),
+            other => panic!("NDJSON line is not an object: {other:?}"),
+        }
+    }
+
+    // Spans named after the flow phases made it into the trace.
+    assert!(text.contains(r#""name":"ssta.propagate""#), "{text}");
+    assert!(text.contains(r#""name":"flow.statistical""#), "{text}");
+}
+
+#[test]
+fn trace_subcommand_profiles_the_hot_path() {
+    let trace_path =
+        std::env::temp_dir().join(format!("statleak-cli-{}.ndjson", std::process::id()));
+    let out = Command::new(env!("CARGO_BIN_EXE_statleak"))
+        .args([
+            "--trace",
+            trace_path.to_str().unwrap(),
+            "trace",
+            "c432",
+            "--top",
+            "5",
+        ])
+        .output()
+        .expect("trace runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+
+    // Self-time table with the advertised columns.
+    assert!(stdout.contains("self ms"), "{stdout}");
+    assert!(stdout.contains("spans recorded"), "{stdout}");
+
+    // The top self-time entry is one of the real hot paths: the margin
+    // sweep's repeated sizing or the optimizer passes that dominate it.
+    let top = stdout
+        .lines()
+        .skip_while(|l| !l.starts_with("span"))
+        .nth(1)
+        .expect("at least one profile row")
+        .split_whitespace()
+        .next()
+        .expect("row has a span name")
+        .to_string();
+    let hot = [
+        "sizing.for_yield",
+        "sizing.for_delay",
+        "opt.vth_pass",
+        "opt.downsize_pass",
+        "ssta.propagate",
+    ];
+    assert!(
+        hot.contains(&top.as_str()),
+        "unexpected top span {top}:\n{stdout}"
+    );
+
+    // Every NDJSON record parses; span records carry timing fields.
+    let text = std::fs::read_to_string(&trace_path).expect("trace written");
+    std::fs::remove_file(&trace_path).ok();
+    let mut spans = 0;
+    for line in text.lines() {
+        let parsed = Json::parse(line).unwrap_or_else(|e| panic!("bad NDJSON {line:?}: {e}"));
+        if line.contains(r#""t":"span""#) {
+            spans += 1;
+            let Json::Obj(fields) = parsed else {
+                panic!("span record not an object")
+            };
+            for key in ["name", "id", "parent", "thread", "start_us", "dur_us"] {
+                assert!(
+                    fields.iter().any(|(k, _)| k == key),
+                    "missing {key}: {line}"
+                );
+            }
+        }
+    }
+    assert!(spans > 0, "no span records in the trace");
+}
+
+#[test]
+fn bad_log_level_is_a_usage_error() {
+    let out = Command::new(env!("CARGO_BIN_EXE_statleak"))
+        .args(["--log-level", "verbose", "list"])
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("log level"), "{stderr}");
+}

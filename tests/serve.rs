@@ -234,3 +234,76 @@ fn call_round_trips_and_maps_exit_codes() {
     daemon.sigterm();
     daemon.assert_clean_exit();
 }
+
+/// Unescapes the `text` field of a `metrics_text` response and returns the
+/// value of the named Prometheus sample, panicking when absent.
+fn prom_value(response: &str, sample: &str) -> f64 {
+    let start = response
+        .find(r#""text":""#)
+        .unwrap_or_else(|| panic!("no text field in {response}"))
+        + r#""text":""#.len();
+    let body = &response[start..];
+    let end = body.find('"').expect("text field terminates");
+    let text = body[..end].replace("\\n", "\n");
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix(sample) {
+            if let Some(v) = rest.split_whitespace().next_back() {
+                return v.parse().unwrap_or_else(|_| panic!("bad sample: {line}"));
+            }
+        }
+    }
+    panic!("sample {sample} not found in:\n{text}");
+}
+
+#[test]
+fn metrics_ops_expose_prometheus_text_with_monotone_counters() {
+    let daemon = Daemon::spawn(&["--workers", "1"]);
+
+    // One analysis request so the served counter is non-zero.
+    let first = daemon.request(r#"{"id":1,"op":"comparison","benchmark":"c17","mc_samples":0}"#);
+    assert!(first.contains(r#""ok":true"#), "{first}");
+
+    // JSON metrics op exposes the counter map inline.
+    let json = daemon.request(r#"{"id":2,"op":"metrics"}"#);
+    assert!(json.contains(r#""counters""#), "{json}");
+    assert!(json.contains(r#""serve_served_total":1"#), "{json}");
+
+    // Prometheus exposition: typed, prefixed, parseable samples.
+    let text1 = daemon.request(r#"{"id":3,"op":"metrics_text"}"#);
+    assert!(
+        text1.contains(r#""content_type":"text/plain; version=0.0.4""#),
+        "{text1}"
+    );
+    assert!(
+        text1.contains(r"# TYPE statleak_serve_served_total counter"),
+        "{text1}"
+    );
+    assert!(
+        text1.contains(r"# TYPE statleak_serve_queue_wait_ns histogram"),
+        "{text1}"
+    );
+    let served1 = prom_value(&text1, "statleak_serve_served_total");
+    let requests1 = prom_value(&text1, "statleak_serve_requests_total");
+    assert_eq!(served1, 1.0, "{text1}");
+
+    // A second analysis request: counters must be monotone non-decreasing,
+    // and the ones it touches strictly increase.
+    let second = daemon.request(r#"{"id":4,"op":"comparison","benchmark":"c17","mc_samples":0}"#);
+    assert!(second.contains(r#""ok":true"#), "{second}");
+    let text2 = daemon.request(r#"{"id":5,"op":"metrics_text"}"#);
+    let served2 = prom_value(&text2, "statleak_serve_served_total");
+    let requests2 = prom_value(&text2, "statleak_serve_requests_total");
+    assert_eq!(served2, 2.0, "{text2}");
+    assert!(requests2 > requests1, "{requests1} -> {requests2}");
+
+    // The stats op reports per-op request counts and the queue high-water
+    // mark alongside the existing cache/server sections.
+    let stats = daemon.request(r#"{"id":6,"op":"stats"}"#);
+    assert!(stats.contains(r#""ops""#), "{stats}");
+    assert!(stats.contains(r#""comparison":2"#), "{stats}");
+    assert!(stats.contains(r#""metrics_text":2"#), "{stats}");
+    assert!(stats.contains(r#""max_queued":"#), "{stats}");
+
+    daemon.sigterm();
+    daemon.assert_clean_exit();
+}
