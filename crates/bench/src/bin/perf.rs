@@ -21,7 +21,7 @@
 //! observability trace during the run — the CI `obs-overhead` job uses a
 //! c880-only run in both modes to bound the instrumentation cost.
 
-use statleak_bench::standard_setup;
+use statleak_bench::{peak_rss_bytes, standard_setup};
 use statleak_netlist::{ConeScratch, NodeId};
 use statleak_obs as obs;
 use statleak_opt::{sizing, statistical_for_yield, StatisticalOptimizer};
@@ -227,7 +227,12 @@ fn main() {
         )
         .unwrap();
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    match peak_rss_bytes() {
+        Some(b) => writeln!(json, "  \"peak_rss_bytes\": {b}").unwrap(),
+        None => json.push_str("  \"peak_rss_bytes\": null\n"),
+    }
+    json.push_str("}\n");
     std::fs::write(&out_path, &json).expect("write BENCH_opt.json");
     obs::flush();
     eprintln!("wrote {out_path}");

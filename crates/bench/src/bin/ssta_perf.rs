@@ -1,0 +1,263 @@
+//! SSTA scaling harness: full-analyze wall time, incremental move cost,
+//! and peak RSS from ISCAS-size circuits up to generated million-gate
+//! netlists.
+//!
+//! Per circuit the harness measures:
+//!
+//! - circuit + factor-model build time;
+//! - full `Ssta::analyze` wall time at 1, 4, and 8 threads, asserting the
+//!   circuit delay (mean, sigma) and timing yield are **bit-identical**
+//!   across thread counts;
+//! - the historical dense-canonical reference analysis (feature
+//!   `dense-ref`), asserting the sparse path reproduces it bit-exactly;
+//! - per-move incremental `recompute_cone` cost;
+//! - the process peak RSS high-water mark after the circuit (monotone
+//!   across the run, so rows are ordered smallest circuit first).
+//!
+//! Results land in `BENCH_ssta.json` (or the path given as the first CLI
+//! argument):
+//!
+//! ```text
+//! cargo run --release -p statleak-bench --bin ssta_perf [out.json] [circuit...]
+//! ```
+//!
+//! Trailing arguments restrict the run to the named circuits (default:
+//! c1908, c7552, gen10k, gen100k, gen500k, gen1m). Generated names follow
+//! `statleak_netlist::benchmarks::generated_spec` (`gen<N>[k|m]`).
+
+use statleak_bench::{peak_rss_bytes, standard_setup};
+use statleak_netlist::NodeId;
+use statleak_ssta::{dense_ref, Ssta};
+use statleak_tech::{Design, VthClass};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Thread counts swept for the bit-identity check and timing curve.
+const THREADS: [usize; 3] = [1, 4, 8];
+/// Incremental moves timed per circuit (each is a Vth toggle + cone update).
+const INCR_MOVES: usize = 200;
+
+struct Row {
+    name: String,
+    gates: usize,
+    depth: usize,
+    num_shared: usize,
+    build_ms: f64,
+    analyze_ms: Vec<(usize, f64)>,
+    dense_ref_ms: f64,
+    incr_us_per_move: f64,
+    delay_mean: f64,
+    delay_sigma: f64,
+    yield_at_clk: f64,
+    peak_rss_bytes: Option<u64>,
+}
+
+fn toggle_vth(design: &mut Design, g: NodeId) {
+    let flip = if design.vth(g) == VthClass::Low {
+        VthClass::High
+    } else {
+        VthClass::Low
+    };
+    design.set_vth(g, flip);
+}
+
+/// Analysis repetitions scaled down for big circuits.
+fn reps_for(gates: usize) -> usize {
+    match gates {
+        0..=10_000 => 10,
+        10_001..=200_000 => 3,
+        _ => 1,
+    }
+}
+
+/// Incremental moves scaled down for big circuits (fanout cones grow with
+/// the netlist, so per-move cost does too).
+fn moves_for(gates: usize) -> usize {
+    match gates {
+        0..=10_000 => INCR_MOVES,
+        10_001..=200_000 => 100,
+        _ => 25,
+    }
+}
+
+fn measure(name: &str) -> Row {
+    let start = Instant::now();
+    let (mut design, fm) = standard_setup(name);
+    let build_ms = start.elapsed().as_secs_f64() * 1e3;
+    let gates: Vec<NodeId> = design.circuit().gates().collect();
+    let reps = reps_for(gates.len());
+
+    // Full analysis at each thread count; results must be bit-identical.
+    let mut analyze_ms = Vec::new();
+    let mut reference: Option<Ssta> = None;
+    for &t in &THREADS {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(t)
+            .build()
+            .expect("thread pool");
+        let start = Instant::now();
+        let mut ssta = pool.install(|| Ssta::analyze(&design, &fm));
+        for _ in 1..reps {
+            ssta = pool.install(|| Ssta::analyze(&design, &fm));
+        }
+        analyze_ms.push((t, start.elapsed().as_secs_f64() * 1e3 / reps as f64));
+        if let Some(r) = &reference {
+            assert!(
+                *r == ssta,
+                "{name}: analysis at {t} threads differs from 1 thread"
+            );
+        } else {
+            reference = Some(ssta);
+        }
+    }
+    let ssta = reference.expect("at least one thread count ran");
+
+    // Historical dense-canonical reference: same propagation, dense factor
+    // vectors, single-threaded. The sparse path must reproduce it exactly.
+    let start = Instant::now();
+    let dense = dense_ref::analyze(&design, &fm);
+    let dense_ref_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        ssta.circuit_delay().mean,
+        dense.circuit_delay.mean,
+        "{name}: sparse/dense circuit-delay mean diverged"
+    );
+    assert_eq!(
+        ssta.circuit_delay().variance,
+        dense.circuit_delay.variance,
+        "{name}: sparse/dense circuit-delay variance diverged"
+    );
+
+    let delay_mean = ssta.circuit_delay().mean;
+    let delay_sigma = ssta.circuit_delay().std();
+    let t_clk = delay_mean + 3.0 * delay_sigma;
+    let yield_at_clk = ssta.timing_yield(t_clk);
+
+    // Incremental moves (optimizer inner loop), single-threaded.
+    let moves = moves_for(gates.len());
+    let mut ssta = ssta;
+    let start = Instant::now();
+    for i in 0..moves {
+        let g = gates[(i * 37) % gates.len()];
+        toggle_vth(&mut design, g);
+        std::hint::black_box(ssta.recompute_cone(&design, &fm, &[g]));
+    }
+    let incr_us_per_move = start.elapsed().as_secs_f64() * 1e6 / moves as f64;
+
+    Row {
+        name: name.to_string(),
+        gates: gates.len(),
+        depth: design.circuit().depth(),
+        num_shared: fm.num_shared(),
+        build_ms,
+        analyze_ms,
+        dense_ref_ms,
+        incr_us_per_move,
+        delay_mean,
+        delay_sigma,
+        yield_at_clk,
+        peak_rss_bytes: peak_rss_bytes(),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out_path = args
+        .first()
+        .cloned()
+        .unwrap_or_else(|| "BENCH_ssta.json".to_string());
+    let circuits: Vec<String> = if args.len() > 1 {
+        args[1..].to_vec()
+    } else {
+        ["c1908", "c7552", "gen10k", "gen100k", "gen500k", "gen1m"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+    };
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut rows = Vec::new();
+    for name in &circuits {
+        eprintln!("measuring {name} ...");
+        let row = measure(name);
+        let one = row.analyze_ms.first().map(|&(_, ms)| ms).unwrap_or(0.0);
+        eprintln!(
+            "  {name}: {} gates, depth {} | build {:.0} ms | analyze {:.2} ms @1t \
+             (dense ref {:.2} ms) | incremental {:.1} us/move | rss {:.0} MB",
+            row.gates,
+            row.depth,
+            row.build_ms,
+            one,
+            row.dense_ref_ms,
+            row.incr_us_per_move,
+            row.peak_rss_bytes.unwrap_or(0) as f64 / (1024.0 * 1024.0),
+        );
+        rows.push(row);
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"harness\": \"cargo run --release -p statleak-bench --bin ssta_perf\",\n");
+    writeln!(json, "  \"host_cpus\": {host_cpus},").unwrap();
+    json.push_str("  \"threads_swept\": [1, 4, 8],\n");
+    json.push_str(
+        "  \"identity\": \"circuit delay and yield bit-identical across 1/4/8 threads \
+         and vs the dense reference (asserted at run time)\",\n",
+    );
+    json.push_str("  \"benchmarks\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        writeln!(json, "    {{").unwrap();
+        writeln!(json, "      \"name\": \"{}\",", r.name).unwrap();
+        writeln!(json, "      \"gates\": {},", r.gates).unwrap();
+        writeln!(json, "      \"depth\": {},", r.depth).unwrap();
+        writeln!(json, "      \"shared_factors\": {},", r.num_shared).unwrap();
+        writeln!(json, "      \"build_ms\": {:.2},", r.build_ms).unwrap();
+        for &(t, ms) in &r.analyze_ms {
+            writeln!(json, "      \"full_analyze_ms_{t}t\": {ms:.3},").unwrap();
+        }
+        writeln!(
+            json,
+            "      \"dense_ref_analyze_ms\": {:.3},",
+            r.dense_ref_ms
+        )
+        .unwrap();
+        writeln!(
+            json,
+            "      \"incremental_us_per_move\": {:.3},",
+            r.incr_us_per_move
+        )
+        .unwrap();
+        writeln!(
+            json,
+            "      \"circuit_delay_mean_ps\": {:.4},",
+            r.delay_mean
+        )
+        .unwrap();
+        writeln!(
+            json,
+            "      \"circuit_delay_sigma_ps\": {:.4},",
+            r.delay_sigma
+        )
+        .unwrap();
+        writeln!(
+            json,
+            "      \"yield_at_mean_plus_3sigma\": {:.6},",
+            r.yield_at_clk
+        )
+        .unwrap();
+        match r.peak_rss_bytes {
+            Some(b) => writeln!(json, "      \"peak_rss_bytes\": {b}").unwrap(),
+            None => writeln!(json, "      \"peak_rss_bytes\": null").unwrap(),
+        }
+        write!(
+            json,
+            "    }}{}",
+            if i + 1 < rows.len() { ",\n" } else { "\n" }
+        )
+        .unwrap();
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write BENCH_ssta.json");
+    eprintln!("wrote {out_path}");
+}

@@ -30,6 +30,26 @@ pub fn standard_setup(name: &str) -> (Design, FactorModel) {
     (Design::new(circuit, tech), fm)
 }
 
+/// Peak resident set size of this process so far (bytes), read from the
+/// `VmHWM` line of `/proc/self/status`. Returns `None` on platforms
+/// without procfs (the perf harness then omits the field).
+///
+/// The high-water mark is monotone over the process lifetime, so call
+/// sites that want per-phase attribution must measure phases in separate
+/// processes; the harness records it once per run as an upper bound on
+/// working-set size.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let kb: u64 = status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))?
+        .split_whitespace()
+        .next()?
+        .parse()
+        .ok()?;
+    Some(kb * 1024)
+}
+
 /// The benchmark list used in quick mode (small/medium circuits).
 pub fn quick_suite() -> Vec<&'static str> {
     vec!["c432", "c499", "c880"]

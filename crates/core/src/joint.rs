@@ -41,7 +41,7 @@ impl JointYield {
         let d = ssta.circuit_delay();
         let l = leak.total_current_factored();
         // Cov(D, ln I) through the shared factors only.
-        let cov: f64 = d.shared.iter().zip(&l.shared).map(|(a, b)| a * b).sum();
+        let cov: f64 = d.shared.dot_dense(&l.shared);
         let ds = d.std();
         let ls = (l.shared.iter().map(|a| a * a).sum::<f64>() + l.local * l.local).sqrt();
         let correlation = if ds == 0.0 || ls == 0.0 {

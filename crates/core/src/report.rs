@@ -217,8 +217,8 @@ pub fn timing_report(
         let (Some(&first), Some(&last)) = (path.nodes.first(), path.nodes.last()) else {
             continue;
         };
-        let start = circuit.node(first).name.as_str();
-        let end = circuit.node(last).name.as_str();
+        let start = circuit.name_of(first);
+        let end = circuit.name_of(last);
         let _ = writeln!(
             out,
             "Path {} — startpoint {start} (input), endpoint {end} (output)",

@@ -78,7 +78,10 @@ pub fn gate_leakage(design: &Design, fm: &FactorModel, id: NodeId) -> GateLeakag
         design.size(id),
         design.vth(id),
     );
-    let shared: Vec<f64> = fm.l_shared(id).iter().map(|a| dln_dl * a).collect();
+    let mut shared = fm.l_shared_dense(id);
+    for a in &mut shared {
+        *a *= dln_dl;
+    }
     let local = ((dln_dl * fm.l_local(id)).powi(2) + (dln_dvth * fm.vth_local(id)).powi(2)).sqrt();
     GateLeakage {
         mu: ln_nom,

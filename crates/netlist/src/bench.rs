@@ -231,11 +231,7 @@ pub fn write(circuit: &Circuit) -> String {
     }
     for id in circuit.gates() {
         let node = circuit.node(id);
-        let args: Vec<&str> = node
-            .fanin
-            .iter()
-            .map(|f| circuit.node(*f).name.as_str())
-            .collect();
+        let args: Vec<&str> = node.fanin.iter().map(|f| circuit.name_of(*f)).collect();
         out.push_str(&format!(
             "{} = {}({})\n",
             node.name,
@@ -290,7 +286,7 @@ mod tests {
         // Same names and kinds.
         for id in c.gates() {
             let n = c.node(id);
-            let id2 = c2.find(&n.name).unwrap();
+            let id2 = c2.find(n.name).unwrap();
             assert_eq!(c2.node(id2).kind, n.kind);
             assert_eq!(c2.node(id2).fanin.len(), n.fanin.len());
         }

@@ -144,13 +144,49 @@ pub fn spec(name: &str) -> Option<&'static BenchmarkSpec> {
 /// assert_eq!(c.stats().depth, 17);
 /// ```
 pub fn by_name(name: &str) -> Option<Circuit> {
-    let s = spec(name)?;
-    if s.name == "c17" {
-        return Some(c17());
+    if let Some(s) = spec(name) {
+        if s.name == "c17" {
+            return Some(c17());
+        }
+        return Some(generate(&GenSpec::new(
+            s.name, s.inputs, s.outputs, s.gates, s.depth,
+        )));
     }
-    Some(generate(&GenSpec::new(
-        s.name, s.inputs, s.outputs, s.gates, s.depth,
-    )))
+    generated_spec(name).map(|s| generate(&s))
+}
+
+/// Parses a synthetic scaling-benchmark name of the form `gen<N>[k|m]`
+/// (e.g. `gen10k`, `gen100k`, `gen1m`) into a generator spec with
+/// structural parameters derived from the gate count: I/O width
+/// `(gates/64).clamp(32, 4096)` and logic depth `round(2·log2(gates)) + 14`,
+/// which extrapolates the ISCAS85 suite's gate-count/depth trend. Gate
+/// counts outside `[128, 4_000_000]` and malformed names return `None`.
+///
+/// These names work everywhere a suite name does (`by_name`, the CLI, the
+/// perf harness), giving deterministic 100k–1M-gate circuits for scaling
+/// runs without storing netlist files.
+///
+/// ```
+/// let c = statleak_netlist::benchmarks::by_name("gen1k").expect("known");
+/// assert_eq!(c.num_gates(), 1000);
+/// ```
+pub fn generated_spec(name: &str) -> Option<GenSpec> {
+    let digits = name.strip_prefix("gen")?;
+    let (digits, mult) = match digits.as_bytes().last()? {
+        b'k' => (&digits[..digits.len() - 1], 1_000usize),
+        b'm' => (&digits[..digits.len() - 1], 1_000_000usize),
+        _ => (digits, 1),
+    };
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    let gates = digits.parse::<usize>().ok()?.checked_mul(mult)?;
+    if !(128..=4_000_000).contains(&gates) {
+        return None;
+    }
+    let io = (gates / 64).clamp(32, 4096);
+    let depth = (2.0 * (gates as f64).log2()).round() as usize + 14;
+    Some(GenSpec::new(name, io, io, gates, depth))
 }
 
 /// Builds the whole suite (c17 first, then by size).
@@ -271,11 +307,7 @@ pub fn sequential_by_name(name: &str) -> Option<(Circuit, String)> {
     }
     for id in core.gates() {
         let node = core.node(id);
-        let args: Vec<&str> = node
-            .fanin
-            .iter()
-            .map(|f| core.node(*f).name.as_str())
-            .collect();
+        let args: Vec<&str> = node.fanin.iter().map(|f| core.name_of(*f)).collect();
         text.push_str(&format!(
             "{} = {}({})\n",
             node.name,

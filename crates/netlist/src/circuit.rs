@@ -126,17 +126,22 @@ impl fmt::Display for GateKind {
     }
 }
 
-/// One node of the circuit: a primary input or a logic gate.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Node {
+/// A borrowed view of one node: a primary input or a logic gate.
+///
+/// The circuit stores node attributes struct-of-arrays (parallel vectors
+/// plus CSR adjacency) so the timing hot loops stream contiguous memory;
+/// this view reassembles the familiar per-node shape on demand for the
+/// cold paths. It is `Copy` — take it by value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Node<'a> {
     /// Human-readable signal name (unique within the circuit).
-    pub name: String,
+    pub name: &'a str,
     /// The node's function.
     pub kind: GateKind,
     /// Driver nodes, in `.bench` argument order. Empty for inputs.
-    pub fanin: Vec<NodeId>,
+    pub fanin: &'a [NodeId],
     /// Nodes driven by this node (computed at build time).
-    pub fanout: Vec<NodeId>,
+    pub fanout: &'a [NodeId],
 }
 
 /// Structural statistics of a circuit, as reported in benchmark tables.
@@ -277,45 +282,67 @@ impl CircuitBuilder {
     /// Returns a [`BuildError`] on dangling references, cycles, or missing
     /// outputs.
     pub fn build(self) -> Result<Circuit, BuildError> {
-        let n = self.nodes.len();
-        let mut nodes = Vec::with_capacity(n);
-        for (name, kind, fanin_names) in &self.nodes {
-            let mut fanin = Vec::with_capacity(fanin_names.len());
-            for f in fanin_names {
-                let idx = self
-                    .by_name
+        let CircuitBuilder {
+            name: circuit_name,
+            nodes: decls,
+            outputs: output_names,
+            by_name,
+        } = self;
+        let n = decls.len();
+        let mut names = Vec::with_capacity(n);
+        let mut kinds = Vec::with_capacity(n);
+        // Fanin adjacency in CSR form: row `i` is
+        // `fanin_dat[fanin_off[i]..fanin_off[i+1]]`, in `.bench` argument
+        // order.
+        let mut fanin_off = Vec::with_capacity(n + 1);
+        fanin_off.push(0u32);
+        let mut fanin_dat: Vec<NodeId> = Vec::new();
+        for (node_name, kind, fanin_names) in decls {
+            for f in &fanin_names {
+                let idx = by_name
                     .get(f)
                     .ok_or_else(|| BuildError::UnknownSignal(f.clone()))?;
-                fanin.push(NodeId(*idx as u32));
+                fanin_dat.push(NodeId(*idx as u32));
             }
-            nodes.push(Node {
-                name: name.clone(),
-                kind: *kind,
-                fanin,
-                fanout: Vec::new(),
-            });
+            fanin_off.push(fanin_dat.len() as u32);
+            names.push(node_name);
+            kinds.push(kind);
         }
-        // Fanout lists.
+        let fanin_row = |off: &[u32], i: usize| -> std::ops::Range<usize> {
+            off[i] as usize..off[i + 1] as usize
+        };
+        // Fanout adjacency via counting sort: consumers appear in
+        // (consumer id, fanin position) order — the same order the old
+        // per-node push construction produced.
+        let mut fanout_off = vec![0u32; n + 1];
+        for f in &fanin_dat {
+            fanout_off[f.index() + 1] += 1;
+        }
         for i in 0..n {
-            let fanin = nodes[i].fanin.clone();
-            for f in fanin {
-                nodes[f.index()].fanout.push(NodeId(i as u32));
+            fanout_off[i + 1] += fanout_off[i];
+        }
+        let mut cursor: Vec<u32> = fanout_off[..n].to_vec();
+        let mut fanout_dat = vec![NodeId(0); fanin_dat.len()];
+        for i in 0..n {
+            for k in fanin_row(&fanin_off, i) {
+                let f = fanin_dat[k];
+                fanout_dat[cursor[f.index()] as usize] = NodeId(i as u32);
+                cursor[f.index()] += 1;
             }
         }
         // Outputs.
-        if self.outputs.is_empty() {
+        if output_names.is_empty() {
             return Err(BuildError::NoOutputs);
         }
-        let mut outputs = Vec::with_capacity(self.outputs.len());
-        for o in &self.outputs {
-            let idx = self
-                .by_name
+        let mut outputs = Vec::with_capacity(output_names.len());
+        for o in &output_names {
+            let idx = by_name
                 .get(o)
                 .ok_or_else(|| BuildError::UnknownOutput(o.clone()))?;
             outputs.push(NodeId(*idx as u32));
         }
         // Kahn topological sort (also detects cycles).
-        let mut indeg: Vec<usize> = nodes.iter().map(|nd| nd.fanin.len()).collect();
+        let mut indeg: Vec<u32> = (0..n).map(|i| fanin_off[i + 1] - fanin_off[i]).collect();
         let mut queue: Vec<NodeId> = (0..n)
             .filter(|&i| indeg[i] == 0)
             .map(|i| NodeId(i as u32))
@@ -326,7 +353,8 @@ impl CircuitBuilder {
             let u = queue[head];
             head += 1;
             topo.push(u);
-            for &v in &nodes[u.index()].fanout {
+            let row = fanout_off[u.index()] as usize..fanout_off[u.index() + 1] as usize;
+            for &v in &fanout_dat[row] {
                 indeg[v.index()] -= 1;
                 if indeg[v.index()] == 0 {
                     queue.push(v);
@@ -336,23 +364,39 @@ impl CircuitBuilder {
         if topo.len() != n {
             let culprit = (0..n)
                 .find(|&i| indeg[i] > 0)
-                .map(|i| nodes[i].name.clone())
+                .map(|i| names[i].clone())
                 .unwrap_or_default();
             return Err(BuildError::Cycle(culprit));
         }
         // Levels (longest path from any input, inputs at level 0).
-        let mut level = vec![0usize; n];
+        let mut level = vec![0u32; n];
         for &u in &topo {
-            let lvl = nodes[u.index()]
-                .fanin
-                .iter()
-                .map(|f| level[f.index()] + 1)
+            let lvl = fanin_row(&fanin_off, u.index())
+                .map(|k| level[fanin_dat[k].index()] + 1)
                 .max()
                 .unwrap_or(0);
             level[u.index()] = lvl;
         }
+        // Level blocks: the topological order bucketed by level, so the
+        // parallel propagator can fan out one level at a time. Within a
+        // level, nodes keep their topo-order relative ranks.
+        let depth = level.iter().copied().max().unwrap_or(0) as usize;
+        let mut level_start = vec![0u32; depth + 2];
+        for &l in &level {
+            level_start[l as usize + 1] += 1;
+        }
+        for l in 0..=depth {
+            level_start[l + 1] += level_start[l];
+        }
+        let mut level_cursor: Vec<u32> = level_start[..=depth].to_vec();
+        let mut level_order = vec![NodeId(0); n];
+        for &id in &topo {
+            let l = level[id.index()] as usize;
+            level_order[level_cursor[l] as usize] = id;
+            level_cursor[l] += 1;
+        }
         let inputs: Vec<NodeId> = (0..n)
-            .filter(|&i| nodes[i].kind == GateKind::Input)
+            .filter(|&i| kinds[i] == GateKind::Input)
             .map(|i| NodeId(i as u32))
             .collect();
         // Inverse permutation of `topo`: rank of each node in the order.
@@ -364,14 +408,23 @@ impl CircuitBuilder {
         for &o in &outputs {
             output_mask[o.index()] = true;
         }
+        let by_name = by_name.into_iter().map(|(k, v)| (k, v as u32)).collect();
         Ok(Circuit {
-            name: self.name,
-            nodes,
+            name: circuit_name,
+            names,
+            kinds,
+            fanin_off,
+            fanin_dat,
+            fanout_off,
+            fanout_dat,
+            by_name,
             inputs,
             outputs,
             topo,
             topo_rank,
             level,
+            level_start,
+            level_order,
             output_mask,
         })
     }
@@ -381,16 +434,34 @@ impl CircuitBuilder {
 ///
 /// Constructed via [`CircuitBuilder`] (or the [`crate::bench`] parser /
 /// [`crate::generate`] generator). All derived structures — fanouts,
-/// topological order, levels — are precomputed at build time.
+/// topological order, levels, level blocks — are precomputed at build time.
+///
+/// Storage is struct-of-arrays: per-node attributes live in parallel
+/// vectors and the fanin/fanout adjacency in CSR offset+index arrays, so
+/// million-gate propagation streams contiguous memory instead of chasing
+/// per-node heap allocations. [`Circuit::node`] reassembles a borrowed
+/// [`Node`] view for call sites that want the per-node shape.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Circuit {
     name: String,
-    nodes: Vec<Node>,
+    names: Vec<String>,
+    kinds: Vec<GateKind>,
+    fanin_off: Vec<u32>,
+    fanin_dat: Vec<NodeId>,
+    fanout_off: Vec<u32>,
+    fanout_dat: Vec<NodeId>,
+    by_name: HashMap<String, u32>,
     inputs: Vec<NodeId>,
     outputs: Vec<NodeId>,
     topo: Vec<NodeId>,
     topo_rank: Vec<u32>,
-    level: Vec<usize>,
+    level: Vec<u32>,
+    /// Offsets into `level_order`: level `l` spans
+    /// `level_order[level_start[l]..level_start[l+1]]`.
+    level_start: Vec<u32>,
+    /// The topological order bucketed by level (topo-stable within a
+    /// level).
+    level_order: Vec<NodeId>,
     output_mask: Vec<bool>,
 }
 
@@ -402,7 +473,7 @@ impl Circuit {
 
     /// Total node count (inputs + gates).
     pub fn num_nodes(&self) -> usize {
-        self.nodes.len()
+        self.names.len()
     }
 
     /// Number of primary inputs.
@@ -417,21 +488,52 @@ impl Circuit {
 
     /// Number of logic gates.
     pub fn num_gates(&self) -> usize {
-        self.nodes.len() - self.inputs.len()
+        self.names.len() - self.inputs.len()
     }
 
-    /// The node with the given id.
+    /// A borrowed view of the node with the given id.
     ///
     /// # Panics
     ///
     /// Panics if the id is out of bounds.
-    pub fn node(&self, id: NodeId) -> &Node {
-        &self.nodes[id.index()]
+    pub fn node(&self, id: NodeId) -> Node<'_> {
+        Node {
+            name: self.name_of(id),
+            kind: self.kind(id),
+            fanin: self.fanin(id),
+            fanout: self.fanout(id),
+        }
     }
 
-    /// All nodes, indexed by [`NodeId`].
-    pub fn nodes(&self) -> &[Node] {
-        &self.nodes
+    /// The node's function.
+    #[inline]
+    pub fn kind(&self, id: NodeId) -> GateKind {
+        self.kinds[id.index()]
+    }
+
+    /// The node's signal name.
+    #[inline]
+    pub fn name_of(&self, id: NodeId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Driver nodes, in `.bench` argument order. Empty for inputs.
+    #[inline]
+    pub fn fanin(&self, id: NodeId) -> &[NodeId] {
+        &self.fanin_dat
+            [self.fanin_off[id.index()] as usize..self.fanin_off[id.index() + 1] as usize]
+    }
+
+    /// Nodes driven by this node.
+    #[inline]
+    pub fn fanout(&self, id: NodeId) -> &[NodeId] {
+        &self.fanout_dat
+            [self.fanout_off[id.index()] as usize..self.fanout_off[id.index() + 1] as usize]
+    }
+
+    /// All node ids, in id order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.names.len() as u32).map(NodeId)
     }
 
     /// Primary input ids.
@@ -456,7 +558,21 @@ impl Circuit {
 
     /// The level (longest distance from a primary input) of each node.
     pub fn level(&self, id: NodeId) -> usize {
-        self.level[id.index()]
+        self.level[id.index()] as usize
+    }
+
+    /// The logic depth: the maximum level over all nodes. Level 0 holds
+    /// exactly the primary inputs; every level ≥ 1 holds only gates.
+    pub fn depth(&self) -> usize {
+        self.level_start.len() - 2
+    }
+
+    /// The nodes of one level block, topo-stable. Every fanin of a node at
+    /// level `l` sits at a level `< l`, so the nodes within a block can be
+    /// evaluated in any order (or in parallel) once all earlier blocks are
+    /// done.
+    pub fn level_nodes(&self, lvl: usize) -> &[NodeId] {
+        &self.level_order[self.level_start[lvl] as usize..self.level_start[lvl + 1] as usize]
     }
 
     /// Iterator over gate ids (skipping primary inputs) in topological
@@ -465,15 +581,13 @@ impl Circuit {
         self.topo
             .iter()
             .copied()
-            .filter(move |&id| self.nodes[id.index()].kind.is_gate())
+            .filter(move |&id| self.kinds[id.index()].is_gate())
     }
 
-    /// Looks up a node by name.
+    /// Looks up a node by name. O(1): answered from the name index built
+    /// at construction time.
     pub fn find(&self, name: &str) -> Option<NodeId> {
-        self.nodes
-            .iter()
-            .position(|n| n.name == name)
-            .map(|i| NodeId(i as u32))
+        self.by_name.get(name).map(|&i| NodeId(i))
     }
 
     /// Whether the node is a primary output. O(1): answered from a
@@ -496,7 +610,7 @@ impl Circuit {
             inputs: self.num_inputs(),
             outputs: self.num_outputs(),
             gates: self.num_gates(),
-            depth: self.level.iter().copied().max().unwrap_or(0),
+            depth: self.depth(),
         }
     }
 
@@ -513,19 +627,19 @@ impl Circuit {
             "expected {} input values",
             self.inputs.len()
         );
-        let mut value = vec![false; self.nodes.len()];
+        let mut value = vec![false; self.num_nodes()];
         for (i, &id) in self.inputs.iter().enumerate() {
             value[id.index()] = input_values[i];
         }
         let mut buf = Vec::new();
         for &id in &self.topo {
-            let node = &self.nodes[id.index()];
-            if node.kind == GateKind::Input {
+            let kind = self.kinds[id.index()];
+            if kind == GateKind::Input {
                 continue;
             }
             buf.clear();
-            buf.extend(node.fanin.iter().map(|f| value[f.index()]));
-            value[id.index()] = node.kind.eval(&buf);
+            buf.extend(self.fanin(id).iter().map(|f| value[f.index()]));
+            value[id.index()] = kind.eval(&buf);
         }
         value
     }
@@ -549,7 +663,7 @@ impl Circuit {
     /// circuit, and reuses the scratch's buffers so steady-state calls do
     /// not allocate.
     pub fn collect_fanout_cone(&self, seeds: &[NodeId], scratch: &mut ConeScratch) {
-        scratch.begin(self.nodes.len());
+        scratch.begin(self.num_nodes());
         for &s in seeds {
             scratch.push_if_new(s);
         }
@@ -559,7 +673,7 @@ impl Circuit {
         while head < scratch.cone.len() {
             let u = scratch.cone[head];
             head += 1;
-            for &v in &self.nodes[u.index()].fanout {
+            for &v in self.fanout(u) {
                 scratch.push_if_new(v);
             }
         }
@@ -645,7 +759,32 @@ mod tests {
         let c = small();
         let a = c.find("a").unwrap();
         let g1 = c.find("g1").unwrap();
-        assert_eq!(c.node(a).fanout, vec![g1]);
+        assert_eq!(c.node(a).fanout, &[g1]);
+        assert_eq!(c.fanout(a), &[g1]);
+    }
+
+    #[test]
+    fn level_blocks_partition_topo_order() {
+        let c = small();
+        // Level blocks must cover every node exactly once, in ascending
+        // level, topo-stable within a block; level 0 is exactly the inputs.
+        let mut seen = Vec::new();
+        for lvl in 0..=c.depth() {
+            for &id in c.level_nodes(lvl) {
+                assert_eq!(c.level(id), lvl);
+                seen.push(id);
+            }
+        }
+        assert_eq!(seen.len(), c.num_nodes());
+        assert_eq!(c.level_nodes(0), c.inputs());
+        for lvl in 1..=c.depth() {
+            for &id in c.level_nodes(lvl) {
+                assert!(c.kind(id).is_gate());
+                for &f in c.fanin(id) {
+                    assert!(c.level(f) < lvl);
+                }
+            }
+        }
     }
 
     #[test]
@@ -670,7 +809,7 @@ mod tests {
             p
         };
         for id in c.gates() {
-            for &f in &c.node(id).fanin {
+            for &f in c.fanin(id) {
                 assert!(pos[f.index()] < pos[id.index()]);
             }
         }
@@ -745,7 +884,7 @@ mod tests {
             for &t in c.topo_order() {
                 if in_cone[t.index()] {
                     expected.push(t);
-                    for &f in &c.node(t).fanout {
+                    for &f in c.fanout(t) {
                         in_cone[f.index()] = true;
                     }
                 }

@@ -210,7 +210,10 @@ pub fn generate(spec: &GenSpec) -> Circuit {
         .flat_map(|(_, _, fanin, _)| fanin.iter().cloned())
         .collect();
 
-    // Variadic gates grouped for quick "deeper than l" lookups.
+    // Variadic gates grouped for quick "deeper than l" lookups. Creation
+    // order means levels are non-decreasing, so the gates strictly deeper
+    // than any level form a suffix — found by binary search rather than a
+    // per-call filter scan (which is quadratic at million-gate scale).
     let variadic: Vec<(usize, usize)> = gate_records
         .iter()
         .enumerate()
@@ -218,26 +221,28 @@ pub fn generate(spec: &GenSpec) -> Circuit {
         .map(|(i, (_, _, _, lvl))| (i, *lvl))
         .collect();
     debug_assert!(
+        variadic.windows(2).all(|w| w[0].1 <= w[1].1),
+        "variadic levels are non-decreasing in creation order"
+    );
+    debug_assert!(
         variadic.iter().any(|&(_, lvl)| lvl == spec.depth),
         "absorber guarantees a variadic gate at the deepest level"
     );
 
     // Consume a dangling node `name` (at level `lvl`) in some variadic gate
     // strictly deeper than `lvl`. The absorber makes this always possible
-    // for lvl < depth.
+    // for lvl < depth. The candidate suffix preserves the exact order the
+    // historical filter produced, so the RNG draws and picks are unchanged.
     let absorb = |name: &str,
                   lvl: usize,
                   rng: &mut StdRng,
                   gate_records: &mut Vec<(String, GateKind, Vec<String>, usize)>| {
-        let cands: Vec<usize> = variadic
-            .iter()
-            .filter(|&&(_, vl)| vl > lvl)
-            .map(|&(i, _)| i)
-            .collect();
+        let start = variadic.partition_point(|&(_, vl)| vl <= lvl);
+        let cands = &variadic[start..];
         debug_assert!(!cands.is_empty(), "absorber must exist deeper than {lvl}");
         // Try a few random candidates that don't already contain the node.
         for _ in 0..4 {
-            let gi = cands[rng.gen_range(0..cands.len())];
+            let (gi, _) = cands[rng.gen_range(0..cands.len())];
             if !gate_records[gi].2.iter().any(|f| f == name) {
                 gate_records[gi].2.push(name.to_string());
                 return;
@@ -245,7 +250,7 @@ pub fn generate(spec: &GenSpec) -> Circuit {
         }
         // Fall back to the first candidate not containing it (the absorber
         // at the deepest level will match unless it already contains it).
-        for &gi in &cands {
+        for &(gi, _) in cands {
             if !gate_records[gi].2.iter().any(|f| f == name) {
                 gate_records[gi].2.push(name.to_string());
                 return;

@@ -274,7 +274,7 @@ pub fn write(circuit: &Circuit) -> String {
         .inputs()
         .iter()
         .chain(circuit.outputs())
-        .map(|&id| circuit.node(id).name.as_str())
+        .map(|&id| circuit.name_of(id))
         .collect();
     out.push_str(&format!(
         "module {} ({});\n",
@@ -283,7 +283,7 @@ pub fn write(circuit: &Circuit) -> String {
     ));
     let list = |ids: &[crate::circuit::NodeId]| -> String {
         ids.iter()
-            .map(|&id| circuit.node(id).name.clone())
+            .map(|&id| circuit.name_of(id).to_string())
             .collect::<Vec<_>>()
             .join(", ")
     };
@@ -292,15 +292,15 @@ pub fn write(circuit: &Circuit) -> String {
     let wires: Vec<String> = circuit
         .gates()
         .filter(|&g| !circuit.is_output(g))
-        .map(|g| circuit.node(g).name.clone())
+        .map(|g| circuit.name_of(g).to_string())
         .collect();
     if !wires.is_empty() {
         out.push_str(&format!("  wire {};\n", wires.join(", ")));
     }
     for (i, id) in circuit.gates().enumerate() {
         let node = circuit.node(id);
-        let mut ports = vec![node.name.as_str()];
-        ports.extend(node.fanin.iter().map(|f| circuit.node(*f).name.as_str()));
+        let mut ports = vec![node.name];
+        ports.extend(node.fanin.iter().map(|f| circuit.name_of(*f)));
         out.push_str(&format!(
             "  {} g{} ({});\n",
             primitive_keyword(node.kind),

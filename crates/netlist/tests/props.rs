@@ -57,7 +57,7 @@ proptest! {
             pos[id.index()] = i;
         }
         for id in c.gates() {
-            for &f in &c.node(id).fanin {
+            for &f in c.node(id).fanin {
                 prop_assert!(pos[f.index()] < pos[id.index()]);
             }
         }

@@ -80,7 +80,7 @@ fn local_cost(design: &Design, weights: &[f64], g: NodeId, w: f64) -> f64 {
     let mut cost = w + weights[g.index()] * d_own;
     // Effect of our input capacitance on each fanin driver.
     let delta_cap = cell::input_cap(tech, w) - cell::input_cap(tech, design.size(g));
-    for &f in &node.fanin {
+    for &f in node.fanin {
         let fnode = circuit.node(f);
         if !fnode.kind.is_gate() {
             continue;

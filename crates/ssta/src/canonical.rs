@@ -1,17 +1,24 @@
 //! Canonical first-order random timing quantities.
 
-use statleak_stats::{clark_max, Normal};
+use statleak_stats::{clark_max, phi_inv, Normal, SparseVec};
 
 /// A canonical first-order Gaussian form
 /// `X = mean + Σ_k shared[k]·Z_k + local·R` over independent standard
 /// normals: the shared process factors `Z_k` and an aggregated
 /// node-private term `R`.
+///
+/// The shared sensitivities are held sparsely: with a quadtree spatial
+/// model each gate touches only O(log n) of the factors, and a `max`/`add`
+/// over two forms touches only the union of their patterns. All operations
+/// are bit-identical to the historical dense implementation (kept in
+/// [`crate::dense_ref`] for the equivalence tests and perf baselines); see
+/// the [`SparseVec`] module docs for the argument.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Canonical {
     /// Mean value.
     pub mean: f64,
-    /// Sensitivities to the shared factors.
-    pub shared: Vec<f64>,
+    /// Sensitivities to the shared factors (sparse over the factor space).
+    pub shared: SparseVec,
     /// Aggregated independent (node-local) sigma, ≥ 0.
     pub local: f64,
     /// Total variance (cached: `Σ shared² + local²`).
@@ -19,7 +26,8 @@ pub struct Canonical {
 }
 
 impl Canonical {
-    /// Creates a canonical form from its parts.
+    /// Creates a canonical form from its parts (dense sensitivities;
+    /// exact zeros are not stored).
     ///
     /// # Panics
     ///
@@ -27,6 +35,22 @@ impl Canonical {
     pub fn new(mean: f64, shared: Vec<f64>, local: f64) -> Self {
         assert!(local >= 0.0, "local sigma must be non-negative");
         let variance = shared.iter().map(|a| a * a).sum::<f64>() + local * local;
+        Self {
+            mean,
+            shared: SparseVec::from_dense(&shared),
+            local,
+            variance,
+        }
+    }
+
+    /// Creates a canonical form directly from a sparse sensitivity vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `local` is negative.
+    pub fn from_sparse(mean: f64, shared: SparseVec, local: f64) -> Self {
+        assert!(local >= 0.0, "local sigma must be non-negative");
+        let variance = shared.norm2() + local * local;
         Self {
             mean,
             shared,
@@ -39,16 +63,33 @@ impl Canonical {
     pub fn constant(value: f64, num_shared: usize) -> Self {
         Self {
             mean: value,
-            shared: vec![0.0; num_shared],
+            shared: SparseVec::zeros(num_shared),
             local: 0.0,
             variance: 0.0,
         }
+    }
+
+    /// Width of the shared-factor space this form lives in.
+    #[inline]
+    pub fn num_shared(&self) -> usize {
+        self.shared.dim()
+    }
+
+    /// The shared sensitivities as a dense vector (allocates; for tests,
+    /// reporting, and Monte-Carlo style dense dot products).
+    pub fn shared_dense(&self) -> Vec<f64> {
+        self.shared.to_dense()
     }
 
     /// Standard deviation.
     #[inline]
     pub fn std(&self) -> f64 {
         self.variance.sqrt()
+    }
+
+    /// The `p`-quantile of the Gaussian: `mean + Φ⁻¹(p)·σ`.
+    pub fn quantile(&self, p: f64) -> f64 {
+        self.mean + phi_inv(p) * self.std()
     }
 
     /// Covariance with another canonical form in the same factor space
@@ -59,83 +100,51 @@ impl Canonical {
     ///
     /// Panics (debug) if the factor spaces differ in width.
     pub fn covariance(&self, other: &Canonical) -> f64 {
-        debug_assert_eq!(self.shared.len(), other.shared.len());
-        self.shared
-            .iter()
-            .zip(&other.shared)
-            .map(|(a, b)| a * b)
-            .sum()
+        self.shared.dot(&other.shared)
     }
 
     /// Exact sum of two canonical forms (`local` terms add in quadrature —
     /// they are independent by construction).
     pub fn add(&self, other: &Canonical) -> Canonical {
-        debug_assert_eq!(self.shared.len(), other.shared.len());
-        let shared: Vec<f64> = self
-            .shared
-            .iter()
-            .zip(&other.shared)
-            .map(|(a, b)| a + b)
-            .collect();
-        let local = (self.local * self.local + other.local * other.local).sqrt();
-        Canonical::new(self.mean + other.mean, shared, local)
+        let mut out = self.clone();
+        out.add_assign(other);
+        out
     }
 
-    /// In-place sum: `self = self + other` without allocating a new shared
-    /// vector. Bit-identical to [`Canonical::add`] — every intermediate is
-    /// computed with the same expressions in the same order — so callers
-    /// may mix the two freely without perturbing results.
+    /// In-place sum: `self = self + other`, touching only the union of the
+    /// two sparsity patterns. Bit-identical to [`Canonical::add`] — every
+    /// intermediate is computed with the same expressions in the same order
+    /// — so callers may mix the two freely without perturbing results.
     pub fn add_assign(&mut self, other: &Canonical) {
-        debug_assert_eq!(self.shared.len(), other.shared.len());
-        for (a, b) in self.shared.iter_mut().zip(&other.shared) {
-            *a += *b;
-        }
+        self.shared.merge_assign(&other.shared, |a, b| a + b);
         let local = (self.local * self.local + other.local * other.local).sqrt();
         self.mean += other.mean;
         self.local = local;
-        self.variance = self.shared.iter().map(|a| a * a).sum::<f64>() + local * local;
+        self.variance = self.shared.norm2() + local * local;
     }
 
     /// Statistical maximum via Clark's approximation, re-canonicalized by
     /// tightness-probability blending of the shared sensitivities; the
     /// local term absorbs whatever variance the blend does not explain.
     pub fn stat_max(&self, other: &Canonical) -> Canonical {
-        debug_assert_eq!(self.shared.len(), other.shared.len());
-        let cov = self.covariance(other);
-        let r = clark_max(self.mean, self.variance, other.mean, other.variance, cov);
-        let t = r.tightness;
-        let shared: Vec<f64> = self
-            .shared
-            .iter()
-            .zip(&other.shared)
-            .map(|(a, b)| t * a + (1.0 - t) * b)
-            .collect();
-        let shared_var: f64 = shared.iter().map(|a| a * a).sum();
-        let local = (r.variance - shared_var).max(0.0).sqrt();
-        Canonical {
-            mean: r.mean,
-            shared,
-            local,
-            variance: (shared_var + local * local).max(r.variance),
-        }
+        let mut out = self.clone();
+        out.stat_max_into(other);
+        out
     }
 
     /// In-place statistical maximum: `self = max(self, other)` without
-    /// allocating. Bit-identical to [`Canonical::stat_max`]: the blended
-    /// sensitivities and their variance are accumulated in the same order
-    /// as the allocating version's two passes (`Σ sᵢ²` is a left fold
-    /// either way), so results match to the last ulp.
+    /// allocating, touching only the union of the two sparsity patterns.
+    /// Bit-identical to [`Canonical::stat_max`] and to the dense reference:
+    /// the blend evaluates the dense expression `t·a + (1−t)·b` with a
+    /// literal `0.0` for the side a pattern is missing, and `Σ sᵢ²` is the
+    /// same ascending-index left fold either way.
     pub fn stat_max_into(&mut self, other: &Canonical) {
-        debug_assert_eq!(self.shared.len(), other.shared.len());
-        let cov = self.covariance(other);
+        let cov = self.shared.dot(&other.shared);
         let r = clark_max(self.mean, self.variance, other.mean, other.variance, cov);
         let t = r.tightness;
-        let mut shared_var = 0.0;
-        for (a, b) in self.shared.iter_mut().zip(&other.shared) {
-            let s = t * *a + (1.0 - t) * *b;
-            *a = s;
-            shared_var += s * s;
-        }
+        self.shared
+            .merge_assign(&other.shared, |a, b| t * a + (1.0 - t) * b);
+        let shared_var = self.shared.norm2();
         let local = (r.variance - shared_var).max(0.0).sqrt();
         self.mean = r.mean;
         self.local = local;
@@ -143,10 +152,10 @@ impl Canonical {
     }
 
     /// Resets the form to a deterministic constant, keeping the shared
-    /// vector's allocation (all sensitivities zeroed).
+    /// vector's allocation (all sensitivities dropped, width preserved).
     pub fn set_constant(&mut self, value: f64) {
         self.mean = value;
-        self.shared.fill(0.0);
+        self.shared.clear();
         self.local = 0.0;
         self.variance = 0.0;
     }
@@ -154,8 +163,7 @@ impl Canonical {
     /// Copies `other` into `self`, reusing `self`'s shared allocation.
     pub fn clone_from_canonical(&mut self, other: &Canonical) {
         self.mean = other.mean;
-        self.shared.clear();
-        self.shared.extend_from_slice(&other.shared);
+        self.shared.assign(&other.shared);
         self.local = other.local;
         self.variance = other.variance;
     }
@@ -186,8 +194,8 @@ mod tests {
         let b = canon(2.0, &[0.3, -0.1], 0.4);
         let c = a.add(&b);
         assert!((c.mean - 3.0).abs() < 1e-12);
-        assert!((c.shared[0] - 0.4).abs() < 1e-12);
-        assert!((c.shared[1] - 0.1).abs() < 1e-12);
+        assert!((c.shared.get(0) - 0.4).abs() < 1e-12);
+        assert!((c.shared.get(1) - 0.1).abs() < 1e-12);
         assert!((c.local - 0.5).abs() < 1e-12);
         // Var(A+B) = VarA + VarB + 2Cov.
         let expect = a.variance + b.variance + 2.0 * a.covariance(&b);
@@ -207,7 +215,7 @@ mod tests {
         let b = canon(0.0, &[0.2], 0.5);
         let m = a.stat_max(&b);
         assert!((m.mean - 100.0).abs() < 1e-6);
-        assert!((m.shared[0] - 1.0).abs() < 1e-6);
+        assert!((m.shared.get(0) - 1.0).abs() < 1e-6);
     }
 
     #[test]
@@ -231,7 +239,8 @@ mod tests {
     fn constant_has_zero_variance() {
         let c = Canonical::constant(5.0, 4);
         assert_eq!(c.variance, 0.0);
-        assert_eq!(c.shared.len(), 4);
+        assert_eq!(c.num_shared(), 4);
+        assert_eq!(c.shared.nnz(), 0);
     }
 
     #[test]
@@ -240,6 +249,13 @@ mod tests {
         let n = a.to_normal();
         assert!((n.mean() - 2.0).abs() < 1e-12);
         assert!((n.std() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_matches_normal() {
+        let a = canon(2.0, &[0.3, 0.4], 0.0);
+        assert_eq!(a.quantile(0.5), 2.0 + statleak_stats::phi_inv(0.5) * 0.5);
+        assert!(a.quantile(0.99) > a.quantile(0.9));
     }
 
     #[test]
@@ -257,12 +273,13 @@ mod tests {
             let u2: f64 = rng.gen_range(0.0..1.0);
             (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
         };
+        let (sa, sb) = (a.shared_dense(), b.shared_dense());
         for _ in 0..n {
             let z = [draw(&mut rng), draw(&mut rng)];
             let ra = draw(&mut rng);
             let rb = draw(&mut rng);
-            let xa = a.mean + a.shared[0] * z[0] + a.shared[1] * z[1] + a.local * ra;
-            let xb = b.mean + b.shared[0] * z[0] + b.shared[1] * z[1] + b.local * rb;
+            let xa = a.mean + sa[0] * z[0] + sa[1] * z[1] + a.local * ra;
+            let xb = b.mean + sb[0] * z[0] + sb[1] * z[1] + b.local * rb;
             let x = xa.max(xb);
             sum += x;
             sum2 += x * x;
@@ -311,10 +328,22 @@ mod tests {
     }
 
     #[test]
+    fn disjoint_patterns_merge_like_dense() {
+        let a = canon(1.0, &[0.5, 0.0, 0.0, 0.0], 0.1);
+        let b = canon(1.2, &[0.0, 0.0, 0.4, 0.3], 0.2);
+        let sum = a.add(&b);
+        assert_eq!(sum.shared_dense(), vec![0.5, 0.0, 0.4, 0.3]);
+        let m = a.stat_max(&b);
+        assert_eq!(m.num_shared(), 4);
+        assert!(m.variance > 0.0);
+    }
+
+    #[test]
     fn set_constant_keeps_width_clears_moments() {
         let mut c = canon(9.0, &[0.4, 0.2], 0.7);
         c.set_constant(1.5);
         assert_eq!(c, Canonical::constant(1.5, 2));
+        assert_eq!(c.num_shared(), 2);
     }
 
     #[test]

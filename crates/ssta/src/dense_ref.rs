@@ -1,0 +1,310 @@
+//! The historical **dense** canonical-form implementation, kept verbatim as
+//! a reference.
+//!
+//! [`crate::Canonical`] stores shared sensitivities sparsely and must stay
+//! *bit-identical* to this dense code path. This module preserves the dense
+//! ops exactly as they were before the sparse rewrite so that:
+//!
+//! * the proptest equivalence suite can check every op (`add`, `max`,
+//!   covariance, quantile) bit-for-bit against the reference over random
+//!   sparsity patterns, and
+//! * the perf harness can measure the sparse speedup against the true
+//!   pre-optimization baseline ([`analyze`] reproduces the historical
+//!   single-threaded dense full analysis, allocation pattern included).
+//!
+//! Compiled only for tests and under the `dense-ref` feature — production
+//! code must not depend on it.
+
+use statleak_netlist::NodeId;
+use statleak_stats::{clark_max, phi_inv};
+use statleak_tech::{cell, Design, FactorModel};
+
+/// Dense canonical form `X = mean + Σ_k shared[k]·Z_k + local·R`; the
+/// pre-sparse representation with a full-width sensitivity vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseCanonical {
+    /// Mean value.
+    pub mean: f64,
+    /// Sensitivities to the shared factors, full width.
+    pub shared: Vec<f64>,
+    /// Aggregated independent (node-local) sigma, ≥ 0.
+    pub local: f64,
+    /// Total variance (cached: `Σ shared² + local²`).
+    pub variance: f64,
+}
+
+impl DenseCanonical {
+    /// Creates a dense canonical form from its parts.
+    pub fn new(mean: f64, shared: Vec<f64>, local: f64) -> Self {
+        assert!(local >= 0.0, "local sigma must be non-negative");
+        let variance = shared.iter().map(|a| a * a).sum::<f64>() + local * local;
+        Self {
+            mean,
+            shared,
+            local,
+            variance,
+        }
+    }
+
+    /// A deterministic constant in a factor space of the given width.
+    pub fn constant(value: f64, num_shared: usize) -> Self {
+        Self {
+            mean: value,
+            shared: vec![0.0; num_shared],
+            local: 0.0,
+            variance: 0.0,
+        }
+    }
+
+    /// Standard deviation.
+    pub fn std(&self) -> f64 {
+        self.variance.sqrt()
+    }
+
+    /// The `p`-quantile: `mean + Φ⁻¹(p)·σ` over the dense moments.
+    pub fn quantile(&self, p: f64) -> f64 {
+        self.mean + phi_inv(p) * self.std()
+    }
+
+    /// Covariance over the full dense factor vectors.
+    pub fn covariance(&self, other: &DenseCanonical) -> f64 {
+        debug_assert_eq!(self.shared.len(), other.shared.len());
+        self.shared
+            .iter()
+            .zip(&other.shared)
+            .map(|(a, b)| a * b)
+            .sum()
+    }
+
+    /// Exact sum, walking the full dense vectors.
+    pub fn add(&self, other: &DenseCanonical) -> DenseCanonical {
+        debug_assert_eq!(self.shared.len(), other.shared.len());
+        let shared: Vec<f64> = self
+            .shared
+            .iter()
+            .zip(&other.shared)
+            .map(|(a, b)| a + b)
+            .collect();
+        let local = (self.local * self.local + other.local * other.local).sqrt();
+        DenseCanonical::new(self.mean + other.mean, shared, local)
+    }
+
+    /// In-place dense sum.
+    pub fn add_assign(&mut self, other: &DenseCanonical) {
+        debug_assert_eq!(self.shared.len(), other.shared.len());
+        for (a, b) in self.shared.iter_mut().zip(&other.shared) {
+            *a += *b;
+        }
+        let local = (self.local * self.local + other.local * other.local).sqrt();
+        self.mean += other.mean;
+        self.local = local;
+        self.variance = self.shared.iter().map(|a| a * a).sum::<f64>() + local * local;
+    }
+
+    /// Clark statistical maximum with tightness blending, dense.
+    pub fn stat_max(&self, other: &DenseCanonical) -> DenseCanonical {
+        debug_assert_eq!(self.shared.len(), other.shared.len());
+        let cov = self.covariance(other);
+        let r = clark_max(self.mean, self.variance, other.mean, other.variance, cov);
+        let t = r.tightness;
+        let shared: Vec<f64> = self
+            .shared
+            .iter()
+            .zip(&other.shared)
+            .map(|(a, b)| t * a + (1.0 - t) * b)
+            .collect();
+        let shared_var: f64 = shared.iter().map(|a| a * a).sum();
+        let local = (r.variance - shared_var).max(0.0).sqrt();
+        DenseCanonical {
+            mean: r.mean,
+            shared,
+            local,
+            variance: (shared_var + local * local).max(r.variance),
+        }
+    }
+
+    /// In-place dense statistical maximum (single fused pass, as the
+    /// historical `stat_max_into`).
+    pub fn stat_max_into(&mut self, other: &DenseCanonical) {
+        debug_assert_eq!(self.shared.len(), other.shared.len());
+        let cov = self.covariance(other);
+        let r = clark_max(self.mean, self.variance, other.mean, other.variance, cov);
+        let t = r.tightness;
+        let mut shared_var = 0.0;
+        for (a, b) in self.shared.iter_mut().zip(&other.shared) {
+            let s = t * *a + (1.0 - t) * *b;
+            *a = s;
+            shared_var += s * s;
+        }
+        let local = (r.variance - shared_var).max(0.0).sqrt();
+        self.mean = r.mean;
+        self.local = local;
+        self.variance = (shared_var + local * local).max(r.variance);
+    }
+
+    /// Copies `other` into `self`, reusing the shared allocation.
+    pub fn clone_from_canonical(&mut self, other: &DenseCanonical) {
+        self.mean = other.mean;
+        self.shared.clear();
+        self.shared.extend_from_slice(&other.shared);
+        self.local = other.local;
+        self.variance = other.variance;
+    }
+}
+
+/// Result of a dense-reference full analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseAnalysis {
+    /// Per-node canonical arrival times, dense.
+    pub arrival: Vec<DenseCanonical>,
+    /// Statistical max over the primary outputs.
+    pub circuit_delay: DenseCanonical,
+}
+
+/// Dense canonical delay of one gate (historical `gate_delay_canonical`).
+pub fn gate_delay_dense(design: &Design, fm: &FactorModel, id: NodeId) -> DenseCanonical {
+    let circuit = design.circuit();
+    debug_assert!(circuit.kind(id).is_gate(), "inputs have no delay");
+    let (d, dd_dl, dd_dvth) = cell::delay_sensitivities(
+        design.tech(),
+        circuit.kind(id),
+        circuit.fanin(id).len(),
+        design.size(id),
+        design.vth(id),
+        design.load_cap(id),
+    );
+    let row = fm.l_shared_dense(id);
+    let shared: Vec<f64> = row.iter().map(|a| dd_dl * a).collect();
+    let local = ((dd_dl * fm.l_local(id)).powi(2) + (dd_dvth * fm.vth_local(id)).powi(2)).sqrt();
+    let variance = shared.iter().map(|a| a * a).sum::<f64>() + local * local;
+    DenseCanonical {
+        mean: d,
+        shared,
+        local,
+        variance,
+    }
+}
+
+/// Full single-threaded dense analysis, reproducing the historical
+/// `Ssta::analyze` propagation (same topo iteration, same fold orders, same
+/// per-gate allocation pattern) over full-width factor vectors.
+pub fn analyze(design: &Design, fm: &FactorModel) -> DenseAnalysis {
+    let circuit = design.circuit();
+    let zero = DenseCanonical::constant(0.0, fm.num_shared());
+    let mut arrival = vec![zero; circuit.num_nodes()];
+    for &id in circuit.topo_order() {
+        if !circuit.kind(id).is_gate() {
+            continue;
+        }
+        let mut fanin = circuit.fanin(id).iter();
+        let first = fanin.next().expect("gates have fanin");
+        let mut out = DenseCanonical::constant(0.0, fm.num_shared());
+        out.clone_from_canonical(&arrival[first.index()]);
+        for &f in fanin {
+            out.stat_max_into(&arrival[f.index()]);
+        }
+        let delay = gate_delay_dense(design, fm, id);
+        out.add_assign(&delay);
+        arrival[id.index()] = out;
+    }
+    let mut worst = DenseCanonical::constant(0.0, fm.num_shared());
+    for &o in circuit.outputs() {
+        worst = worst.stat_max(&arrival[o.index()]);
+    }
+    DenseAnalysis {
+        arrival,
+        circuit_delay: worst,
+    }
+}
+
+// Sparse-vs-dense equivalence suite. Lives here (unit tests) rather than
+// under `tests/` because the reference is only compiled for the crate's
+// own test builds. Every comparison is `==` on f64 — bit-exact for all
+// nonzero values; only the invisible sign of a stored zero may differ
+// between the two representations.
+#[cfg(test)]
+mod equivalence {
+    use super::DenseCanonical;
+    use crate::Canonical;
+    use proptest::prelude::*;
+
+    const DIM: usize = 9;
+
+    /// Dense factor vectors where each slot is zero with probability 3/5,
+    /// so the sparse side exercises disjoint, overlapping, and empty
+    /// patterns.
+    fn shared_vec() -> impl Strategy<Value = Vec<f64>> {
+        prop::collection::vec((0u8..5, -2.0..2.0f64), DIM).prop_map(|slots| {
+            slots
+                .into_iter()
+                .map(|(sel, x)| if sel < 3 { 0.0 } else { x })
+                .collect()
+        })
+    }
+
+    fn pair() -> impl Strategy<Value = (Canonical, DenseCanonical)> {
+        (-100.0..100.0f64, shared_vec(), 0.0..3.0f64).prop_map(|(mean, shared, local)| {
+            (
+                Canonical::new(mean, shared.clone(), local),
+                DenseCanonical::new(mean, shared, local),
+            )
+        })
+    }
+
+    /// Sparse and dense agree on every observable component.
+    fn assert_same(s: &Canonical, d: &DenseCanonical) {
+        assert_eq!(s.mean, d.mean, "mean");
+        assert_eq!(s.local, d.local, "local");
+        assert_eq!(s.variance, d.variance, "variance");
+        assert_eq!(s.shared_dense(), d.shared, "shared vector");
+    }
+
+    proptest! {
+        #[test]
+        fn construction_is_equivalent((s, d) in pair()) {
+            assert_same(&s, &d);
+        }
+
+        #[test]
+        fn add_is_bit_identical((sa, da) in pair(), (sb, db) in pair()) {
+            assert_same(&sa.add(&sb), &da.add(&db));
+            let (mut sa, mut da) = (sa, da);
+            sa.add_assign(&sb);
+            da.add_assign(&db);
+            assert_same(&sa, &da);
+        }
+
+        #[test]
+        fn stat_max_is_bit_identical((sa, da) in pair(), (sb, db) in pair()) {
+            assert_same(&sa.stat_max(&sb), &da.stat_max(&db));
+            let (mut sa, mut da) = (sa, da);
+            sa.stat_max_into(&sb);
+            da.stat_max_into(&db);
+            assert_same(&sa, &da);
+        }
+
+        #[test]
+        fn covariance_and_quantile_match((sa, da) in pair(), (sb, db) in pair()) {
+            prop_assert_eq!(sa.covariance(&sb), da.covariance(&db));
+            prop_assert_eq!(sa.quantile(0.95), da.quantile(0.95));
+            prop_assert_eq!(sb.quantile(0.05), db.quantile(0.05));
+        }
+
+        #[test]
+        fn propagation_style_fold_matches(ops in prop::collection::vec((pair(), any::<bool>()), 1..12)) {
+            // Interleave max and add the way arrival propagation does.
+            let mut s = Canonical::constant(0.0, DIM);
+            let mut d = DenseCanonical::constant(0.0, DIM);
+            for ((so, do_), is_max) in &ops {
+                if *is_max {
+                    s.stat_max_into(so);
+                    d.stat_max_into(do_);
+                } else {
+                    s.add_assign(so);
+                    d.add_assign(do_);
+                }
+                assert_same(&s, &d);
+            }
+        }
+    }
+}

@@ -43,13 +43,21 @@
 #![warn(missing_docs)]
 
 mod canonical;
+#[cfg(any(test, feature = "dense-ref"))]
+pub mod dense_ref;
 
 pub use canonical::Canonical;
 
+use rayon::prelude::*;
 use statleak_netlist::{Circuit, ConeScratch, NodeId};
 use statleak_obs as obs;
 use statleak_stats::phi;
 use statleak_tech::{cell, Design, FactorModel};
+
+/// Minimum number of gates in a level block before propagation of that
+/// level fans out across threads; below this the spawn/collect overhead of
+/// the ordered-collect shim outweighs the win.
+const PAR_LEVEL_MIN_GATES: usize = 256;
 
 /// Builds the canonical delay of one gate from the factor model.
 pub fn gate_delay_canonical(design: &Design, fm: &FactorModel, id: NodeId) -> Canonical {
@@ -66,21 +74,25 @@ pub fn gate_delay_canonical_into(
     id: NodeId,
     out: &mut Canonical,
 ) {
-    let node = design.circuit().node(id);
-    debug_assert!(node.kind.is_gate(), "inputs have no delay");
+    let circuit = design.circuit();
+    debug_assert!(circuit.kind(id).is_gate(), "inputs have no delay");
     let (d, dd_dl, dd_dvth) = cell::delay_sensitivities(
         design.tech(),
-        node.kind,
-        node.fanin.len(),
+        circuit.kind(id),
+        circuit.fanin(id).len(),
         design.size(id),
         design.vth(id),
         design.load_cap(id),
     );
+    let (idx, val) = fm.l_shared_row(id);
     out.mean = d;
-    out.shared.clear();
-    out.shared.extend(fm.l_shared(id).iter().map(|a| dd_dl * a));
+    // Scaling the factor row's nonzeros reproduces the dense
+    // `map(|a| dd_dl * a)` bit for bit: the skipped entries are exact
+    // zeros, whose scaled value (±0.0) is semantically zero everywhere
+    // downstream.
+    out.shared.assign_scaled(fm.num_shared(), idx, val, dd_dl);
     out.local = ((dd_dl * fm.l_local(id)).powi(2) + (dd_dvth * fm.vth_local(id)).powi(2)).sqrt();
-    out.variance = out.shared.iter().map(|a| a * a).sum::<f64>() + out.local * out.local;
+    out.variance = out.shared.norm2() + out.local * out.local;
 }
 
 /// Statistical arrival-time state for one design.
@@ -114,25 +126,64 @@ pub struct SstaUndo {
 
 impl Ssta {
     /// Runs a full statistical timing analysis.
+    ///
+    /// Propagation is *level-partitioned*: the topological order is grouped
+    /// into level blocks (every gate's fanins sit at strictly lower
+    /// levels), and each block wide enough to amortize the spawn cost is
+    /// propagated in parallel via the ordered-collect rayon shim. Per-gate
+    /// arrivals are pure functions of lower-level arrivals and the fold
+    /// order within each gate and over the outputs is unchanged, so the
+    /// result is bit-identical to the sequential topo-order walk for every
+    /// thread count.
     pub fn analyze(design: &Design, fm: &FactorModel) -> Self {
         let _span = obs::span!("ssta.propagate");
         obs::counter!("ssta_full_analyze_total").inc();
         let circuit = design.circuit();
-        let zero = Canonical::constant(0.0, fm.num_shared());
+        let ns = fm.num_shared();
+        let zero = Canonical::constant(0.0, ns);
         let mut arrival = vec![zero; circuit.num_nodes()];
-        for &id in circuit.topo_order() {
-            if !circuit.node(id).kind.is_gate() {
+        let threads = rayon::current_num_threads();
+        let mut work = Canonical::constant(0.0, ns);
+        let mut delay = Canonical::constant(0.0, ns);
+        for lvl in 1..=circuit.depth() {
+            let ids = circuit.level_nodes(lvl);
+            if ids.is_empty() {
                 continue;
             }
-            arrival[id.index()] = Self::gate_arrival(design, fm, &arrival, id);
+            let parallel = threads > 1 && ids.len() >= PAR_LEVEL_MIN_GATES;
+            let t0 = obs::enabled().then(std::time::Instant::now);
+            if parallel {
+                let computed: Vec<Canonical> = ids
+                    .into_par_iter()
+                    .map(|&id| Self::gate_arrival(design, fm, &arrival, id))
+                    .collect();
+                for (&id, c) in ids.iter().zip(computed) {
+                    arrival[id.index()] = c;
+                }
+            } else {
+                for &id in ids {
+                    debug_assert!(circuit.kind(id).is_gate(), "levels ≥ 1 hold only gates");
+                    Self::gate_arrival_into(design, fm, &arrival, id, &mut work, &mut delay);
+                    arrival[id.index()].clone_from_canonical(&work);
+                }
+            }
+            if let Some(t0) = t0 {
+                obs::histogram!("ssta_level_gates").record(ids.len() as u64);
+                obs::histogram!("ssta_level_us").record(t0.elapsed().as_micros() as u64);
+                if parallel {
+                    obs::counter!("ssta_parallel_levels_total").inc();
+                } else {
+                    obs::counter!("ssta_sequential_levels_total").inc();
+                }
+            }
         }
-        let circuit_delay = Self::max_output_arrival(circuit, &arrival, fm.num_shared());
+        let circuit_delay = Self::max_output_arrival(circuit, &arrival, ns);
         Self {
             arrival,
             circuit_delay,
             scratch: ConeScratch::new(),
-            work: Canonical::constant(0.0, fm.num_shared()),
-            delay_work: Canonical::constant(0.0, fm.num_shared()),
+            work,
+            delay_work: delay,
         }
     }
 
@@ -160,8 +211,7 @@ impl Ssta {
         out: &mut Canonical,
         delay: &mut Canonical,
     ) {
-        let node = design.circuit().node(id);
-        let mut fanin = node.fanin.iter();
+        let mut fanin = design.circuit().fanin(id).iter();
         let first = fanin.next().expect("gates have fanin");
         out.clone_from_canonical(&arrival[first.index()]);
         for &f in fanin {
@@ -240,7 +290,7 @@ impl Ssta {
         };
         let mut output_changed = false;
         for &id in self.scratch.cone() {
-            if !circuit.node(id).kind.is_gate() {
+            if !circuit.kind(id).is_gate() {
                 continue;
             }
             Self::gate_arrival_into(
@@ -302,10 +352,9 @@ impl Ssta {
             required[o.index()] = t_clk;
         }
         for id in circuit.reverse_topo() {
-            let node = circuit.node(id);
-            if node.kind.is_gate() {
+            if circuit.kind(id).is_gate() {
                 let req_at_input = required[id.index()] - self.mean_gate_delay(design, id);
-                for &f in &node.fanin {
+                for &f in circuit.fanin(id) {
                     if req_at_input < required[f.index()] {
                         required[f.index()] = req_at_input;
                     }
@@ -344,7 +393,7 @@ impl Ssta {
             // R_u = max over fanouts v of (d_v + R_v), blended with an
             // existing output contribution if u is itself an output.
             let mut best = downstream[u.index()].clone();
-            for &v in &circuit.node(u).fanout {
+            for &v in circuit.fanout(u) {
                 let Some(rv) = &downstream[v.index()] else {
                     continue;
                 };
@@ -421,10 +470,9 @@ impl Ssta {
             })
             .expect("circuits have outputs");
         let mut path = vec![cur];
-        while circuit.node(cur).kind.is_gate() {
+        while circuit.kind(cur).is_gate() {
             let prev = circuit
-                .node(cur)
-                .fanin
+                .fanin(cur)
                 .iter()
                 .copied()
                 .max_by(|a, b| {
@@ -543,7 +591,7 @@ mod tests {
         let g = d.circuit().gates().nth(7).unwrap();
         d.set_size(g, 3.0);
         let mut seeds = vec![g];
-        seeds.extend(d.circuit().node(g).fanin.iter().copied());
+        seeds.extend(d.circuit().fanin(g).iter().copied());
         let undo = ssta.recompute_cone(&d, &fm, &seeds);
         ssta.undo(undo);
         assert_eq!(ssta, snapshot);

@@ -85,13 +85,13 @@ proptest! {
                     if let Some(up) = design.tech().size_up(design.size(g)) {
                         design.set_size(g, up);
                     }
-                    seeds.extend(design.circuit().node(g).fanin.clone());
+                    seeds.extend(design.circuit().node(g).fanin.iter().copied());
                 }
                 _ => {
                     if let Some(down) = design.tech().size_down(design.size(g)) {
                         design.set_size(g, down);
                     }
-                    seeds.extend(design.circuit().node(g).fanin.clone());
+                    seeds.extend(design.circuit().node(g).fanin.iter().copied());
                 }
             }
             ssta.recompute_cone(&design, &fm, &seeds);
@@ -136,13 +136,13 @@ proptest! {
                     if let Some(up) = design.tech().size_up(design.size(g)) {
                         design.set_size(g, up);
                     }
-                    seeds.extend(design.circuit().node(g).fanin.clone());
+                    seeds.extend(design.circuit().node(g).fanin.iter().copied());
                 }
                 _ => {
                     if let Some(down) = design.tech().size_down(design.size(g)) {
                         design.set_size(g, down);
                     }
-                    seeds.extend(design.circuit().node(g).fanin.clone());
+                    seeds.extend(design.circuit().node(g).fanin.iter().copied());
                 }
             }
             undos.push(ssta.recompute_cone(&design, &fm, &seeds));

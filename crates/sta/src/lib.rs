@@ -31,9 +31,14 @@ pub mod slew;
 
 pub use slew::SlewSta;
 
+use rayon::prelude::*;
 use statleak_netlist::{Circuit, ConeScratch, NodeId};
 use statleak_obs as obs;
 use statleak_tech::Design;
+
+/// Minimum gates in a level before parallel propagation pays for the
+/// scatter/collect overhead; below this the sequential loop is used.
+const PAR_LEVEL_MIN_GATES: usize = 256;
 
 /// Deterministic arrival-time state for one design.
 ///
@@ -64,16 +69,34 @@ pub struct StaUndo {
 
 impl Sta {
     /// Runs a full timing analysis of the design.
+    ///
+    /// Propagation walks the circuit level by level (levels partition the
+    /// topological order); within a level every gate's fanins sit at
+    /// strictly lower levels, so large levels are computed in parallel with
+    /// results scattered back in node order — bit-identical to the
+    /// sequential walk at any thread count.
     pub fn analyze(design: &Design) -> Self {
         let _span = obs::span!("sta.propagate");
         obs::counter!("sta_full_analyze_total").inc();
         let circuit = design.circuit();
+        let threads = rayon::current_num_threads();
         let mut arrival = vec![0.0; circuit.num_nodes()];
-        for &id in circuit.topo_order() {
-            if !circuit.node(id).kind.is_gate() {
-                continue;
+        for lvl in 1..=circuit.depth() {
+            let ids = circuit.level_nodes(lvl);
+            if threads > 1 && ids.len() >= PAR_LEVEL_MIN_GATES {
+                let computed: Vec<f64> = ids
+                    .into_par_iter()
+                    .map(|&id| Self::gate_arrival(design, &arrival, id))
+                    .collect();
+                for (&id, a) in ids.iter().zip(computed) {
+                    arrival[id.index()] = a;
+                }
+            } else {
+                for &id in ids {
+                    debug_assert!(circuit.kind(id).is_gate(), "levels >= 1 hold only gates");
+                    arrival[id.index()] = Self::gate_arrival(design, &arrival, id);
+                }
             }
-            arrival[id.index()] = Self::gate_arrival(design, &arrival, id);
         }
         let circuit_delay = Self::max_output_arrival(circuit, &arrival);
         Self {
@@ -179,7 +202,7 @@ impl Sta {
             if node.kind.is_gate() {
                 let d = design.gate_delay_nominal(id);
                 let req_at_input = req - d;
-                for &f in &node.fanin {
+                for &f in node.fanin {
                     if req_at_input < required[f.index()] {
                         required[f.index()] = req_at_input;
                     }
@@ -258,7 +281,7 @@ mod tests {
         let d = design("c432");
         let sta = Sta::analyze(&d);
         for g in d.circuit().gates() {
-            for &f in &d.circuit().node(g).fanin {
+            for &f in d.circuit().node(g).fanin {
                 assert!(sta.arrival(g) > sta.arrival(f), "edge {f}->{g}");
             }
         }
@@ -483,7 +506,7 @@ impl Sta {
             }
             let d = design.gate_delay_nominal(p.node);
             let downstream = p.downstream + d;
-            for &f in &node.fanin {
+            for &f in node.fanin {
                 let mut suffix = p.suffix.clone();
                 suffix.push(p.node);
                 heap.push(Partial {

@@ -50,13 +50,13 @@ proptest! {
                     if let Some(up) = d.tech().size_up(d.size(g)) {
                         d.set_size(g, up);
                     }
-                    seeds.extend(d.circuit().node(g).fanin.clone());
+                    seeds.extend(d.circuit().node(g).fanin.iter().copied());
                 }
                 _ => {
                     if let Some(down) = d.tech().size_down(d.size(g)) {
                         d.set_size(g, down);
                     }
-                    seeds.extend(d.circuit().node(g).fanin.clone());
+                    seeds.extend(d.circuit().node(g).fanin.iter().copied());
                 }
             }
             sta.recompute_cone(&d, &seeds);

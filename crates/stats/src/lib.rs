@@ -44,6 +44,7 @@ mod linalg;
 mod lognormal;
 mod normal;
 mod rng;
+mod sparse;
 mod wilkinson;
 
 pub use bivariate::bivariate_normal_cdf;
@@ -54,4 +55,5 @@ pub use linalg::{cholesky, CholeskyError, Matrix};
 pub use lognormal::LogNormal;
 pub use normal::Normal;
 pub use rng::{sample_standard_normal, seeded_rng, StdNormalSampler};
+pub use sparse::SparseVec;
 pub use wilkinson::{wilkinson_sum, LognormalTerm};

@@ -106,7 +106,7 @@ impl Design {
     pub fn load_cap(&self, id: NodeId) -> f64 {
         let node = self.circuit.node(id);
         let mut c = 0.0;
-        for &f in &node.fanout {
+        for &f in node.fanout {
             c += cell::input_cap(&self.tech, self.sizes[f.index()]) + self.tech.c_wire;
         }
         if self.circuit.is_output(id) {

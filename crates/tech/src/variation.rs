@@ -113,10 +113,22 @@ impl Default for VariationConfig {
 /// with `Z_k` the shared factors (factor 0 = die-to-die, factors
 /// `1..=grid²` the Cholesky-mixed regional factors) and `R_i`, `S_i`
 /// gate-local independent standard normals.
+///
+/// The per-gate sensitivity rows are stored in **CSR form** (one offsets
+/// array plus packed index/value arrays, indices strictly ascending, exact
+/// zeros dropped): with the quadtree decomposition each gate touches only
+/// O(log n) of the factors, and downstream consumers (SSTA canonical
+/// forms, leakage exponents, Monte-Carlo sampling) iterate nonzeros only.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FactorModel {
     num_shared: usize,
-    l_shared: Vec<Vec<f64>>,
+    /// Row offsets into `shared_idx`/`shared_val`, length `num_nodes + 1`.
+    /// Non-gate nodes have empty rows.
+    shared_off: Vec<u32>,
+    /// Factor indices, strictly ascending within each row.
+    shared_idx: Vec<u32>,
+    /// Sensitivities, parallel to `shared_idx`.
+    shared_val: Vec<f64>,
     l_local: Vec<f64>,
     vth_local: Vec<f64>,
     region: Vec<usize>,
@@ -166,27 +178,35 @@ impl FactorModel {
         let sigma_local = config.sigma_l_rel * config.frac_local.sqrt();
 
         let n = circuit.num_nodes();
-        let mut l_shared = vec![vec![0.0; num_shared]; n];
+        let mut rows = CsrBuilder::new(n);
         let mut l_local = vec![0.0; n];
         let mut vth_local = vec![0.0; n];
         let mut region = vec![0usize; n];
 
-        for id in circuit.gates() {
+        for id in circuit.node_ids() {
             let i = id.index();
-            let (x, y) = placement.position(id);
-            let r = region_of(x, y, g);
-            region[i] = r;
-            l_shared[i][0] = sigma_d2d;
-            for k in 0..regions {
-                l_shared[i][1 + k] = sigma_sp * chol[(r, k)];
+            if circuit.kind(id).is_gate() {
+                let (x, y) = placement.position(id);
+                let r = region_of(x, y, g);
+                region[i] = r;
+                rows.push(0, sigma_d2d);
+                for k in 0..regions {
+                    // The Cholesky factor is lower-triangular: entries with
+                    // k > r are exact zeros and are not stored.
+                    rows.push(1 + k, sigma_sp * chol[(r, k)]);
+                }
+                l_local[i] = sigma_local;
+                vth_local[i] = config.sigma_vth_rand;
             }
-            l_local[i] = sigma_local;
-            vth_local[i] = config.sigma_vth_rand;
+            rows.finish_row();
         }
 
+        let (shared_off, shared_idx, shared_val) = rows.build();
         Ok(Self {
             num_shared,
-            l_shared,
+            shared_off,
+            shared_idx,
+            shared_val,
             l_local,
             vth_local,
             region,
@@ -205,10 +225,24 @@ impl FactorModel {
         &self.config
     }
 
-    /// Shared-factor coefficients of gate `i`'s `ΔL/L`.
+    /// Gate `i`'s sparse shared-factor row as `(indices, values)` — indices
+    /// strictly ascending, exact zeros dropped, empty for non-gates.
     #[inline]
-    pub fn l_shared(&self, id: NodeId) -> &[f64] {
-        &self.l_shared[id.index()]
+    pub fn l_shared_row(&self, id: NodeId) -> (&[u32], &[f64]) {
+        let s = self.shared_off[id.index()] as usize;
+        let e = self.shared_off[id.index() + 1] as usize;
+        (&self.shared_idx[s..e], &self.shared_val[s..e])
+    }
+
+    /// Gate `i`'s shared-factor coefficients as a dense vector (allocates;
+    /// for tests, reporting, and the dense reference path).
+    pub fn l_shared_dense(&self, id: NodeId) -> Vec<f64> {
+        let mut out = vec![0.0; self.num_shared];
+        let (idx, val) = self.l_shared_row(id);
+        for (&k, &v) in idx.iter().zip(val) {
+            out[k as usize] = v;
+        }
+        out
     }
 
     /// Gate-local `ΔL/L` sigma.
@@ -232,15 +266,29 @@ impl FactorModel {
     /// Total `ΔL/L` standard deviation of one gate (should equal the
     /// configured `sigma_l_rel` by construction).
     pub fn l_total_sigma(&self, id: NodeId) -> f64 {
-        let shared: f64 = self.l_shared[id.index()].iter().map(|a| a * a).sum();
+        let (_, val) = self.l_shared_row(id);
+        let shared: f64 = val.iter().map(|a| a * a).sum();
         (shared + self.l_local[id.index()].powi(2)).sqrt()
     }
 
     /// Correlation of `ΔL/L` between two gates (through shared factors).
     pub fn l_correlation(&self, a: NodeId, b: NodeId) -> f64 {
-        let ca = &self.l_shared[a.index()];
-        let cb = &self.l_shared[b.index()];
-        let cov: f64 = ca.iter().zip(cb).map(|(x, y)| x * y).sum();
+        let (ia, va) = self.l_shared_row(a);
+        let (ib, vb) = self.l_shared_row(b);
+        // Ascending intersection walk — the nonzero terms of the dense dot.
+        let mut cov = 0.0;
+        let (mut i, mut j) = (0, 0);
+        while i < ia.len() && j < ib.len() {
+            match ia[i].cmp(&ib[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    cov += va[i] * vb[j];
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
         let sa = self.l_total_sigma(a);
         let sb = self.l_total_sigma(b);
         if sa == 0.0 || sb == 0.0 {
@@ -291,29 +339,37 @@ impl FactorModel {
         let sigma_local = config.sigma_l_rel * config.frac_local.sqrt();
 
         let n = circuit.num_nodes();
-        let mut l_shared = vec![vec![0.0; num_shared]; n];
+        let mut rows = CsrBuilder::new(n);
         let mut l_local = vec![0.0; n];
         let mut vth_local = vec![0.0; n];
         let mut region = vec![0usize; n];
 
-        for id in circuit.gates() {
+        for id in circuit.node_ids() {
             let i = id.index();
-            let (x, y) = placement.position(id);
-            for l in 1..=levels {
-                let g = 1usize << l; // 2^l cells per side at level l
-                let cell = region_of(x, y, g);
-                l_shared[i][level_offset[l] + cell] = sigma_sp_level;
+            if circuit.kind(id).is_gate() {
+                let (x, y) = placement.position(id);
+                // Indices ascend across levels: `level_offset[l] + cell <
+                // level_offset[l] + 4^l = level_offset[l+1]`.
+                rows.push(0, sigma_d2d);
+                for (l, off) in level_offset.iter().enumerate().take(levels + 1).skip(1) {
+                    let g = 1usize << l; // 2^l cells per side at level l
+                    let cell = region_of(x, y, g);
+                    rows.push(off + cell, sigma_sp_level);
+                }
+                // Deepest-level cell doubles as the aggregation region.
+                region[i] = region_of(x, y, 1usize << levels);
+                l_local[i] = sigma_local;
+                vth_local[i] = config.sigma_vth_rand;
             }
-            // Deepest-level cell doubles as the aggregation region.
-            region[i] = region_of(x, y, 1usize << levels);
-            l_shared[i][0] = sigma_d2d;
-            l_local[i] = sigma_local;
-            vth_local[i] = config.sigma_vth_rand;
+            rows.finish_row();
         }
 
+        let (shared_off, shared_idx, shared_val) = rows.build();
         Self {
             num_shared,
-            l_shared,
+            shared_off,
+            shared_idx,
+            shared_val,
             l_local,
             vth_local,
             region,
@@ -326,12 +382,53 @@ impl FactorModel {
     /// standard-normal draw. Used by the Monte-Carlo engine.
     pub fn sample_l(&self, id: NodeId, shared: &[f64], local: f64) -> f64 {
         debug_assert_eq!(shared.len(), self.num_shared);
-        let coeffs = &self.l_shared[id.index()];
+        let (idx, val) = self.l_shared_row(id);
         let mut v = 0.0;
-        for (c, z) in coeffs.iter().zip(shared) {
-            v += c * z;
+        for (&k, &c) in idx.iter().zip(val) {
+            v += c * shared[k as usize];
         }
         v + self.l_local[id.index()] * local
+    }
+}
+
+/// Incremental builder for the CSR sensitivity rows: `push` entries with
+/// strictly ascending factor indices (exact zeros are dropped), then
+/// `finish_row` once per node in id order.
+struct CsrBuilder {
+    off: Vec<u32>,
+    idx: Vec<u32>,
+    val: Vec<f64>,
+}
+
+impl CsrBuilder {
+    fn new(num_rows: usize) -> Self {
+        let mut off = Vec::with_capacity(num_rows + 1);
+        off.push(0);
+        Self {
+            off,
+            idx: Vec::new(),
+            val: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, k: usize, v: f64) {
+        if v != 0.0 {
+            let row_start = *self.off.last().unwrap() as usize;
+            debug_assert!(
+                self.idx.len() == row_start || self.idx[self.idx.len() - 1] < k as u32,
+                "CSR row indices must be strictly ascending"
+            );
+            self.idx.push(k as u32);
+            self.val.push(v);
+        }
+    }
+
+    fn finish_row(&mut self) {
+        self.off.push(self.idx.len() as u32);
+    }
+
+    fn build(self) -> (Vec<u32>, Vec<u32>, Vec<f64>) {
+        (self.off, self.idx, self.val)
     }
 }
 
@@ -421,8 +518,11 @@ mod tests {
         cfg.validate();
         let (c, m) = model("c432", &cfg);
         let g = c.gates().next().unwrap();
-        // Shared coefficients beyond factor 0 must vanish.
-        assert!(m.l_shared(g)[1..].iter().all(|&a| a == 0.0));
+        // Shared coefficients beyond factor 0 must vanish — with exact
+        // zeros dropped, the sparse row holds only the d2d entry.
+        assert!(m.l_shared_dense(g)[1..].iter().all(|&a| a == 0.0));
+        let (idx, _) = m.l_shared_row(g);
+        assert_eq!(idx, &[0]);
         // Budget preserved.
         assert!((m.l_total_sigma(g) - cfg.sigma_l_rel).abs() < 1e-9);
     }
@@ -433,7 +533,7 @@ mod tests {
         let (c, m) = model("c17", &cfg);
         let g = c.gates().next().unwrap();
         let shared = vec![1.0; m.num_shared()];
-        let manual: f64 = m.l_shared(g).iter().sum::<f64>() + m.l_local(g) * 2.0;
+        let manual: f64 = m.l_shared_dense(g).iter().sum::<f64>() + m.l_local(g) * 2.0;
         assert!((m.sample_l(g, &shared, 2.0) - manual).abs() < 1e-12);
     }
 

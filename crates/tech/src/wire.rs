@@ -50,7 +50,7 @@ pub fn net_hpwl(circuit: &Circuit, placement: &Placement) -> Vec<f64> {
         }
         let (mut xmin, mut ymin) = placement.position(id);
         let (mut xmax, mut ymax) = (xmin, ymin);
-        for &f in &node.fanout {
+        for &f in node.fanout {
             let (x, y) = placement.position(f);
             xmin = xmin.min(x);
             xmax = xmax.max(x);
@@ -75,7 +75,10 @@ pub fn wire_caps_from_placement(
         .into_iter()
         .enumerate()
         .map(|(i, l)| {
-            if circuit.nodes()[i].fanout.is_empty() {
+            if circuit
+                .fanout(statleak_netlist::NodeId(i as u32))
+                .is_empty()
+            {
                 0.0
             } else {
                 model.c_per_unit * l.max(model.min_length)

@@ -85,7 +85,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let names: Vec<&str> = p
             .nodes
             .iter()
-            .map(|&u| out.design.circuit().node(u).name.as_str())
+            .map(|&u| out.design.circuit().name_of(u))
             .collect();
         println!("  {:8.1} ps  {}", p.delay, names.join(" -> "));
     }

@@ -74,6 +74,49 @@ fn comparison_flow_is_stable() {
 }
 
 #[test]
+fn analysis_stack_is_thread_count_invariant_on_generated_10k() {
+    // Level-partitioned parallel propagation must be byte-identical at any
+    // thread count, including on generated circuits far larger than the
+    // ISCAS suite (the 10k-gate circuit crosses the parallel-level
+    // threshold many times). Covers the full analysis stack the
+    // comparison flow is built from: canonical SSTA, deterministic STA,
+    // statistical leakage, and the derived yield numbers.
+    use statleak::leakage::LeakageAnalysis;
+    use statleak::ssta::Ssta;
+    use statleak::sta::Sta;
+
+    let circuit = Arc::new(benchmarks::by_name("gen10k").expect("generated spec"));
+    let placement = Placement::by_level(&circuit);
+    let tech = Technology::ptm100();
+    let fm = FactorModel::build(&circuit, &placement, &tech, &VariationConfig::ptm100()).unwrap();
+    let design = Design::new(circuit, tech);
+
+    let run = |threads: usize| {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("thread pool")
+            .install(|| {
+                let ssta = Ssta::analyze(&design, &fm);
+                let sta = Sta::analyze(&design);
+                let leak = LeakageAnalysis::analyze(&design, &fm);
+                let t_clk = ssta.circuit_delay().quantile(0.5) * 1.05;
+                let yield_at = ssta.timing_yield(t_clk);
+                (ssta, sta, leak, yield_at)
+            })
+    };
+
+    let (ssta1, sta1, leak1, yield1) = run(1);
+    for threads in [4, 8] {
+        let (ssta_t, sta_t, leak_t, yield_t) = run(threads);
+        assert_eq!(ssta1, ssta_t, "SSTA state at {threads} threads");
+        assert_eq!(sta1, sta_t, "STA state at {threads} threads");
+        assert_eq!(leak1, leak_t, "leakage state at {threads} threads");
+        assert_eq!(yield1.to_bits(), yield_t.to_bits(), "yield at {threads}");
+    }
+}
+
+#[test]
 fn engine_session_matches_one_shot_flow() {
     // The cached service layer must not change a single bit of the result.
     let cfg = FlowConfig::builder("c17").mc_samples(100).build().unwrap();
