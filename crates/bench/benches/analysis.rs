@@ -96,6 +96,7 @@ fn bench_mc(c: &mut Criterion) {
                     samples: 200,
                     seed: 1,
                     threads: 0,
+                    ..Default::default()
                 })
                 .run(&design, &fm),
             )

@@ -73,6 +73,7 @@ fn bench_abb(c: &mut Criterion) {
                     samples: 100,
                     seed: 2,
                     threads: 0,
+                    ..Default::default()
                 })
                 .run_abb(&design, &fm, &AbbConfig::standard(t)),
             )

@@ -1,0 +1,224 @@
+//! `mc_perf` — variance-reduction benchmark for the Monte-Carlo engine.
+//!
+//! Quantifies, per circuit, how many non-linear full-chip evaluations each
+//! estimator needs to pin a far-tail (99.9%) timing yield to a target
+//! relative error, and writes `BENCH_mc.json`:
+//!
+//! * a high-budget importance-sampling reference for the "true" miss
+//!   probability;
+//! * a plain-MC error-vs-samples curve with Wilson confidence intervals;
+//! * an IS error-vs-samples curve with standard errors and ESS;
+//! * the required-samples-at-matched-precision comparison, whose ratio is
+//!   the headline `nonlinear_eval_ratio` (target: ≥ 100× on c1908/c7552);
+//! * Sobol-QMC and control-variate cross-checks at the 95% clock.
+//!
+//! Usage: `mc_perf [out.json] [circuit ...]` (defaults: `BENCH_mc.json`,
+//! `c880 c1908 c7552`).
+//!
+//! Method note: at a matched 95% CI half-width of `0.1·p`, a counting
+//! estimator needs `n = p(1−p)·(1.96/(0.1p))²` samples while a weighted
+//! estimator with per-sample variance `σ²_w` needs `σ²_w·(1.96/(0.1p))²`,
+//! so the eval ratio reduces to `p(1−p)/σ²_w` — no giant plain-MC run has
+//! to actually execute to make the comparison fair.
+
+use statleak_bench::{peak_rss_bytes, standard_setup};
+use statleak_mc::{McConfig, MonteCarlo, SamplingScheme};
+use statleak_obs as obs;
+use statleak_ssta::Ssta;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// The yield target whose tail the benchmark resolves.
+const TARGET_YIELD: f64 = 0.999;
+/// Samples of the high-budget IS reference run.
+const REFERENCE_SAMPLES: usize = 40_000;
+/// Relative CI half-width the required-samples comparison is matched at.
+const TARGET_REL_ERR: f64 = 0.1;
+/// The plain / IS error-vs-samples curve budgets.
+const CURVE: [usize; 5] = [500, 1000, 2000, 4000, 8000];
+
+fn config(samples: usize, scheme: &str) -> McConfig {
+    McConfig {
+        samples,
+        ..Default::default()
+    }
+    .with_scheme(scheme.parse::<SamplingScheme>().expect("valid scheme"))
+}
+
+fn main() {
+    obs::init_from_env().expect("observability init");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out_path = args
+        .first()
+        .cloned()
+        .unwrap_or_else(|| "BENCH_mc.json".to_string());
+    let circuits: Vec<String> = if args.len() > 1 {
+        args[1..].to_vec()
+    } else {
+        ["c880", "c1908", "c7552"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+    };
+
+    let z = statleak_mc::DEFAULT_CI_Z;
+    let mut json = String::from("{\n");
+    writeln!(json, "  \"target_yield\": {TARGET_YIELD},").unwrap();
+    writeln!(json, "  \"target_rel_err\": {TARGET_REL_ERR},").unwrap();
+    writeln!(json, "  \"reference_samples\": {REFERENCE_SAMPLES},").unwrap();
+    writeln!(json, "  \"circuits\": {{").unwrap();
+
+    for (ci, name) in circuits.iter().enumerate() {
+        eprintln!("[mc_perf] {name}: setup");
+        let (design, fm) = standard_setup(name);
+        let ssta = Ssta::analyze(&design, &fm);
+        let t_clk = ssta.clock_for_yield(TARGET_YIELD);
+        let expected_miss = 1.0 - TARGET_YIELD;
+
+        // High-budget IS reference: the best estimate of the true miss
+        // probability this harness produces.
+        let t0 = Instant::now();
+        let reference = MonteCarlo::new(config(REFERENCE_SAMPLES, "plain+is"))
+            .timing_yield_estimate(&design, &fm, t_clk);
+        let reference_s = t0.elapsed().as_secs_f64();
+        let p = reference.miss_probability;
+        eprintln!(
+            "[mc_perf] {name}: reference miss {p:.3e} (analytic {expected_miss:.3e}), \
+             se {:.2e}, {reference_s:.1}s",
+            reference.std_error
+        );
+
+        writeln!(json, "    \"{name}\": {{").unwrap();
+        writeln!(json, "      \"t_clk_ps\": {t_clk},").unwrap();
+        writeln!(json, "      \"analytic_miss\": {expected_miss},").unwrap();
+        writeln!(json, "      \"reference\": {{").unwrap();
+        writeln!(json, "        \"miss\": {p},").unwrap();
+        writeln!(json, "        \"std_error\": {},", reference.std_error).unwrap();
+        writeln!(json, "        \"ess\": {},", reference.ess).unwrap();
+        writeln!(
+            json,
+            "        \"shift_magnitude\": {},",
+            reference.shift_magnitude
+        )
+        .unwrap();
+        writeln!(json, "        \"runtime_s\": {reference_s}").unwrap();
+        writeln!(json, "      }},").unwrap();
+
+        // Plain-MC curve: counting yield + Wilson CI per budget.
+        writeln!(json, "      \"plain_curve\": [").unwrap();
+        for (i, &n) in CURVE.iter().enumerate() {
+            let t0 = Instant::now();
+            let est =
+                MonteCarlo::new(config(n, "plain")).timing_yield_estimate(&design, &fm, t_clk);
+            let dt = t0.elapsed().as_secs_f64();
+            let rel_err = if p > 0.0 {
+                (est.miss_probability - p).abs() / p
+            } else {
+                0.0
+            };
+            write!(
+                json,
+                "        {{\"samples\": {n}, \"miss\": {}, \"yield_ci_lo\": {}, \
+                 \"yield_ci_hi\": {}, \"rel_err_vs_ref\": {rel_err}, \"runtime_s\": {dt}}}",
+                est.miss_probability, est.ci.lo, est.ci.hi
+            )
+            .unwrap();
+            writeln!(json, "{}", if i + 1 < CURVE.len() { "," } else { "" }).unwrap();
+        }
+        writeln!(json, "      ],").unwrap();
+
+        // IS curve: weighted estimator + normal-theory CI + ESS per budget.
+        writeln!(json, "      \"is_curve\": [").unwrap();
+        let mut is_var_w = f64::NAN;
+        for (i, &n) in CURVE.iter().enumerate() {
+            let t0 = Instant::now();
+            let est =
+                MonteCarlo::new(config(n, "plain+is")).timing_yield_estimate(&design, &fm, t_clk);
+            let dt = t0.elapsed().as_secs_f64();
+            let rel_err = if p > 0.0 {
+                (est.miss_probability - p).abs() / p
+            } else {
+                0.0
+            };
+            // Per-sample variance of the weighted tail estimator,
+            // recovered from the reported standard error.
+            is_var_w = est.std_error * est.std_error * n as f64;
+            write!(
+                json,
+                "        {{\"samples\": {n}, \"miss\": {}, \"std_error\": {}, \
+                 \"ess\": {}, \"rel_err_vs_ref\": {rel_err}, \"runtime_s\": {dt}}}",
+                est.miss_probability, est.std_error, est.ess
+            )
+            .unwrap();
+            writeln!(json, "{}", if i + 1 < CURVE.len() { "," } else { "" }).unwrap();
+        }
+        writeln!(json, "      ],").unwrap();
+
+        // Required samples at the matched CI half-width `TARGET_REL_ERR·p`.
+        let half_width = TARGET_REL_ERR * p;
+        let required_plain = p * (1.0 - p) * (z / half_width) * (z / half_width);
+        let required_is = is_var_w * (z / half_width) * (z / half_width);
+        let eval_ratio = p * (1.0 - p) / is_var_w;
+        eprintln!(
+            "[mc_perf] {name}: required plain {required_plain:.0}, IS {required_is:.0} \
+             -> ratio {eval_ratio:.0}x"
+        );
+        writeln!(json, "      \"required_samples_plain\": {required_plain},").unwrap();
+        writeln!(json, "      \"required_samples_is\": {required_is},").unwrap();
+        writeln!(json, "      \"nonlinear_eval_ratio\": {eval_ratio},").unwrap();
+
+        // Sobol-QMC and control-variate cross-checks at the 95% clock,
+        // where a 2000-sample population still resolves the yield.
+        let t95 = ssta.clock_for_yield(0.95);
+        let plain95 =
+            MonteCarlo::new(config(2000, "plain")).timing_yield_estimate(&design, &fm, t95);
+        let sobol95 =
+            MonteCarlo::new(config(2000, "sobol")).timing_yield_estimate(&design, &fm, t95);
+        let cv95 = MonteCarlo::new(config(2000, "plain+cv"));
+        let cv_run = cv95.run(&design, &fm);
+        let cv_delay = cv_run.delay_mean_cv().expect("cv surrogates recorded");
+        let cv_yield = cv95.yield_estimate_from(&cv_run, t95);
+        writeln!(json, "      \"qmc\": {{").unwrap();
+        writeln!(json, "        \"t_clk_ps\": {t95},").unwrap();
+        writeln!(json, "        \"plain_yield\": {},", plain95.yield_value).unwrap();
+        writeln!(json, "        \"plain_ci_lo\": {},", plain95.ci.lo).unwrap();
+        writeln!(json, "        \"plain_ci_hi\": {},", plain95.ci.hi).unwrap();
+        writeln!(json, "        \"sobol_yield\": {}", sobol95.yield_value).unwrap();
+        writeln!(json, "      }},").unwrap();
+        writeln!(json, "      \"control_variate\": {{").unwrap();
+        writeln!(json, "        \"delay_mean_raw\": {},", cv_delay.raw).unwrap();
+        writeln!(
+            json,
+            "        \"delay_mean_adjusted\": {},",
+            cv_delay.adjusted
+        )
+        .unwrap();
+        writeln!(
+            json,
+            "        \"delay_variance_reduction\": {},",
+            cv_delay.variance_reduction
+        )
+        .unwrap();
+        writeln!(
+            json,
+            "        \"yield_adjusted\": {},",
+            cv_yield.yield_value
+        )
+        .unwrap();
+        writeln!(json, "        \"yield_std_error\": {}", cv_yield.std_error).unwrap();
+        writeln!(json, "      }}").unwrap();
+        write!(json, "    }}").unwrap();
+        writeln!(json, "{}", if ci + 1 < circuits.len() { "," } else { "" }).unwrap();
+    }
+
+    writeln!(json, "  }},").unwrap();
+    match peak_rss_bytes() {
+        Some(rss) => writeln!(json, "  \"peak_rss_bytes\": {rss}").unwrap(),
+        None => writeln!(json, "  \"peak_rss_bytes\": null").unwrap(),
+    }
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, &json).expect("write BENCH_mc.json");
+    eprintln!("[mc_perf] wrote {out_path}");
+    obs::flush();
+}

@@ -1,12 +1,12 @@
 //! The experiment flows.
 
 use statleak_leakage::LeakageAnalysis;
-use statleak_mc::{McConfig, MonteCarlo};
+use statleak_mc::{McConfig, MonteCarlo, SamplingScheme, VarianceReduction, DEFAULT_CI_Z};
 use statleak_netlist::{benchmarks, placement::Placement, Circuit};
 use statleak_obs as obs;
 use statleak_opt::{deterministic_for_yield, sizing, statistical_for_yield};
 use statleak_ssta::Ssta;
-use statleak_stats::{CholeskyError, Histogram};
+use statleak_stats::{BinomialInterval, CholeskyError, Histogram};
 use statleak_tech::{Design, FactorModel, Technology, VariationConfig};
 use std::sync::Arc;
 use std::time::Instant;
@@ -113,6 +113,11 @@ pub struct FlowConfig {
     pub variation: VariationConfig,
     /// Monte-Carlo samples used for validation metrics (0 = skip MC).
     pub mc_samples: usize,
+    /// Sampler and variance-reduction layers for the validation MC (plain
+    /// seeded sampling by default; see [`SamplingScheme`]).
+    pub mc_sampling: SamplingScheme,
+    /// Base seed of the validation MC sub-streams.
+    pub mc_seed: u64,
     /// Install placement-driven wire loads
     /// ([`statleak_tech::wire::wire_caps_from_placement`]) instead of the
     /// fixed-stub-only load model.
@@ -140,6 +145,8 @@ impl FlowConfig {
             eta: 0.95,
             variation: VariationConfig::ptm100(),
             mc_samples: 2000,
+            mc_sampling: SamplingScheme::default(),
+            mc_seed: McConfig::default().seed,
             wire_loads: false,
         }
     }
@@ -152,6 +159,8 @@ impl FlowConfig {
             eta: self.eta,
             variation: self.variation.clone(),
             mc_samples: self.mc_samples,
+            mc_sampling: self.mc_sampling,
+            mc_seed: self.mc_seed,
             wire_loads: self.wire_loads,
         }
     }
@@ -160,14 +169,7 @@ impl FlowConfig {
     /// [`FlowConfig::builder`] for the values).
     #[deprecated(note = "use FlowConfig::builder()")]
     pub fn new(benchmark: impl Into<String>) -> Self {
-        Self {
-            benchmark: benchmark.into(),
-            slack_factor: 1.20,
-            eta: 0.95,
-            variation: VariationConfig::ptm100(),
-            mc_samples: 2000,
-            wire_loads: false,
-        }
+        Self::builder(benchmark).unvalidated()
     }
 
     /// A fast configuration for tests and doc examples (few MC samples).
@@ -193,6 +195,8 @@ pub struct FlowConfigBuilder {
     eta: f64,
     variation: VariationConfig,
     mc_samples: usize,
+    mc_sampling: SamplingScheme,
+    mc_seed: u64,
     wire_loads: bool,
 }
 
@@ -225,6 +229,19 @@ impl FlowConfigBuilder {
     /// Monte-Carlo samples used for validation metrics (0 = skip MC).
     pub fn mc_samples(mut self, mc_samples: usize) -> Self {
         self.mc_samples = mc_samples;
+        self
+    }
+
+    /// Sampler and variance-reduction layers for the validation MC
+    /// (e.g. `"sobol+is"`; see [`SamplingScheme`]).
+    pub fn mc_sampler(mut self, mc_sampling: SamplingScheme) -> Self {
+        self.mc_sampling = mc_sampling;
+        self
+    }
+
+    /// Base seed of the validation MC sub-streams.
+    pub fn mc_seed(mut self, mc_seed: u64) -> Self {
+        self.mc_seed = mc_seed;
         self
     }
 
@@ -312,6 +329,8 @@ impl FlowConfigBuilder {
             eta: self.eta,
             variation: self.variation,
             mc_samples: self.mc_samples,
+            mc_sampling: self.mc_sampling,
+            mc_seed: self.mc_seed,
             wire_loads: self.wire_loads,
         }
     }
@@ -378,6 +397,10 @@ pub struct DesignMetrics {
     pub timing_yield: f64,
     /// Empirical Monte-Carlo yield (`None` if MC was skipped).
     pub mc_yield: Option<f64>,
+    /// 95% confidence interval on the MC yield: Wilson score for the
+    /// counting estimator, normal-theory for the weighted/adjusted
+    /// estimators (`None` if MC was skipped).
+    pub mc_yield_ci: Option<BinomialInterval>,
     /// Empirical Monte-Carlo 95th-percentile leakage power, W.
     pub mc_leakage_p95: Option<f64>,
     /// Total gate width (area proxy).
@@ -388,30 +411,91 @@ pub struct DesignMetrics {
     pub runtime_s: f64,
 }
 
+/// The validation-MC knobs [`measure`] honors, extracted from a
+/// [`FlowConfig`] (or assembled directly for one-off measurements).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct McSpec {
+    /// Sample count (0 = skip MC).
+    pub samples: usize,
+    /// Sampler and variance-reduction layers.
+    pub sampling: SamplingScheme,
+    /// Base seed of the sub-streams.
+    pub seed: u64,
+}
+
+impl McSpec {
+    /// Plain seeded sampling with the default seed — the historical
+    /// `measure` behavior.
+    pub fn plain(samples: usize) -> Self {
+        Self {
+            samples,
+            sampling: SamplingScheme::default(),
+            seed: McConfig::default().seed,
+        }
+    }
+
+    /// The spec a [`FlowConfig`] requests.
+    pub fn from_config(cfg: &FlowConfig) -> Self {
+        Self {
+            samples: cfg.mc_samples,
+            sampling: cfg.mc_sampling,
+            seed: cfg.mc_seed,
+        }
+    }
+
+    fn mc_config(&self) -> McConfig {
+        McConfig {
+            samples: self.samples,
+            seed: self.seed,
+            ..Default::default()
+        }
+        .with_scheme(self.sampling)
+    }
+}
+
 /// Measures a design against the clock target (and optionally MC).
+///
+/// The MC yield honors the configured sampler stack: with importance
+/// sampling enabled the dedicated tail estimator supplies the yield and
+/// its interval (while the leakage percentile still comes from an
+/// unshifted population run); with control variates the
+/// indicator-regression estimator narrows the interval; otherwise the
+/// counting yield carries a Wilson score interval.
 pub fn measure(
     design: &Design,
     fm: &FactorModel,
     t_clk: f64,
-    mc_samples: usize,
+    spec: McSpec,
     runtime_s: f64,
 ) -> DesignMetrics {
     let _span = obs::span!("flow.measure");
     let ssta = Ssta::analyze(design, fm);
     let power = LeakageAnalysis::analyze(design, fm).total_power(design);
-    let (mc_yield, mc_p95) = if mc_samples > 0 {
-        let mc = MonteCarlo::new(McConfig {
-            samples: mc_samples,
-            ..Default::default()
-        })
-        .run(design, fm);
+    let (mc_yield, mc_yield_ci, mc_p95) = if spec.samples > 0 {
+        // The population run (leakage percentile + counting/CV yield)
+        // never applies the mean shift — IS is an estimator transform,
+        // not a population transform.
+        let population = MonteCarlo::new(McConfig {
+            variance_reduction: VarianceReduction {
+                importance_sampling: false,
+                ..spec.mc_config().variance_reduction
+            },
+            ..spec.mc_config()
+        });
+        let result = population.run(design, fm);
+        let est = if spec.sampling.variance_reduction.importance_sampling {
+            MonteCarlo::new(spec.mc_config()).timing_yield_estimate(design, fm, t_clk)
+        } else {
+            population.yield_estimate_from(&result, t_clk)
+        };
         let vdd = design.tech().vdd;
         (
-            Some(mc.timing_yield(t_clk)),
-            Some(mc.leakage_percentile(0.95) * vdd),
+            Some(est.yield_value),
+            Some(est.ci),
+            Some(result.leakage_percentile(0.95) * vdd),
         )
     } else {
-        (None, None)
+        (None, None, None)
     };
     DesignMetrics {
         leakage_nominal: design.total_leakage_power_nominal(),
@@ -419,6 +503,7 @@ pub fn measure(
         leakage_p95: power.quantile(0.95),
         timing_yield: ssta.timing_yield(t_clk),
         mc_yield,
+        mc_yield_ci,
         mc_leakage_p95: mc_p95,
         width: design.total_width(),
         high_vth: design.high_vth_count(),
@@ -476,7 +561,7 @@ pub fn run_comparison_on(setup: &Setup, cfg: &FlowConfig) -> Result<ComparisonOu
         &baseline,
         fm,
         t_clk,
-        cfg.mc_samples,
+        McSpec::from_config(cfg),
         t0.elapsed().as_secs_f64(),
     );
 
@@ -490,7 +575,7 @@ pub fn run_comparison_on(setup: &Setup, cfg: &FlowConfig) -> Result<ComparisonOu
         &det.design,
         fm,
         t_clk,
-        cfg.mc_samples,
+        McSpec::from_config(cfg),
         t0.elapsed().as_secs_f64(),
     );
 
@@ -504,7 +589,7 @@ pub fn run_comparison_on(setup: &Setup, cfg: &FlowConfig) -> Result<ComparisonOu
         &stat.design,
         fm,
         t_clk,
-        cfg.mc_samples,
+        McSpec::from_config(cfg),
         t0.elapsed().as_secs_f64(),
     );
 
@@ -734,6 +819,8 @@ pub struct McValidation {
     pub ssta_yield: f64,
     /// MC yield at the clock target.
     pub mc_yield: f64,
+    /// Wilson 95% confidence interval on the MC yield.
+    pub mc_yield_ci: BinomialInterval,
     /// Analytical leakage-power mean, W.
     pub leak_mean: f64,
     /// MC leakage-power mean, W.
@@ -755,10 +842,22 @@ pub fn mc_validation_on(setup: &Setup, cfg: &FlowConfig) -> Result<McValidation,
     sizing::size_for_yield(&mut design, &setup.fm, setup.t_clk, cfg.eta)?;
     let ssta = Ssta::analyze(&design, &setup.fm);
     let power = LeakageAnalysis::analyze(&design, &setup.fm).total_power(&design);
-    let mc = MonteCarlo::new(McConfig {
-        samples: cfg.mc_samples.max(100),
-        ..Default::default()
-    })
+    let mc = MonteCarlo::new(
+        McConfig {
+            samples: cfg.mc_samples.max(100),
+            seed: cfg.mc_seed,
+            ..Default::default()
+        }
+        .with_scheme(SamplingScheme {
+            // The validation compares full population statistics, so the
+            // IS estimator transform does not apply here.
+            variance_reduction: VarianceReduction {
+                importance_sampling: false,
+                ..cfg.mc_sampling.variance_reduction
+            },
+            ..cfg.mc_sampling
+        }),
+    )
     .run(&design, &setup.fm);
     let vdd = design.tech().vdd;
     let d = ssta.circuit_delay();
@@ -772,6 +871,7 @@ pub fn mc_validation_on(setup: &Setup, cfg: &FlowConfig) -> Result<McValidation,
         mc_sigma: md.std,
         ssta_yield: ssta.timing_yield(setup.t_clk),
         mc_yield: mc.timing_yield(setup.t_clk),
+        mc_yield_ci: mc.timing_yield_interval(setup.t_clk, DEFAULT_CI_Z),
         leak_mean: power.mean(),
         mc_leak_mean: ml.mean * vdd,
         leak_p95: power.quantile(0.95),
@@ -854,6 +954,8 @@ pub fn distribution_on(setup: &Setup, cfg: &FlowConfig) -> Result<DistributionDa
     let run = |d: &Design| -> Vec<f64> {
         MonteCarlo::new(McConfig {
             samples: cfg.mc_samples.max(100),
+            seed: cfg.mc_seed,
+            sampler: cfg.mc_sampling.sampler,
             ..Default::default()
         })
         .run(d, &setup.fm)

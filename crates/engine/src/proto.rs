@@ -188,6 +188,21 @@ fn parse_config(obj: &Json) -> Result<FlowConfig, ProtoError> {
     if let Some(x) = field_usize(obj, "mc_samples")? {
         builder = builder.mc_samples(x);
     }
+    match obj.get("mc_sampler") {
+        None | Some(Json::Null) => {}
+        Some(v) => {
+            let spec = v
+                .as_str()
+                .ok_or_else(|| ProtoError::usage("`mc_sampler` must be a string"))?;
+            let scheme = spec
+                .parse()
+                .map_err(|e| ProtoError::usage(format!("`mc_sampler`: {e}")))?;
+            builder = builder.mc_sampler(scheme);
+        }
+    }
+    if let Some(x) = field_usize(obj, "mc_seed")? {
+        builder = builder.mc_seed(x as u64);
+    }
     if let Some(x) = field_bool(obj, "wire_loads")? {
         builder = builder.wire_loads(x);
     }
@@ -308,6 +323,12 @@ fn metrics_json(m: &DesignMetrics) -> Json {
         ("timing_yield", Json::Num(m.timing_yield)),
         ("mc_yield", m.mc_yield.map_or(Json::Null, Json::Num)),
         (
+            "mc_yield_ci",
+            m.mc_yield_ci.map_or(Json::Null, |ci| {
+                Json::obj(vec![("lo", Json::Num(ci.lo)), ("hi", Json::Num(ci.hi))])
+            }),
+        ),
+        (
             "mc_leakage_p95_w",
             m.mc_leakage_p95.map_or(Json::Null, Json::Num),
         ),
@@ -385,6 +406,13 @@ pub fn validation_json(v: &McValidation) -> Json {
         ("mc_sigma_ps", Json::Num(v.mc_sigma)),
         ("ssta_yield", Json::Num(v.ssta_yield)),
         ("mc_yield", Json::Num(v.mc_yield)),
+        (
+            "mc_yield_ci",
+            Json::obj(vec![
+                ("lo", Json::Num(v.mc_yield_ci.lo)),
+                ("hi", Json::Num(v.mc_yield_ci.hi)),
+            ]),
+        ),
         ("leak_mean_w", Json::Num(v.leak_mean)),
         ("mc_leak_mean_w", Json::Num(v.mc_leak_mean)),
         ("leak_p95_w", Json::Num(v.leak_p95)),
@@ -574,6 +602,25 @@ mod tests {
         assert_eq!(cfg.slack_factor, 1.3);
         assert_eq!(cfg.mc_samples, 0);
         assert_eq!(cfg.eta, 0.95);
+    }
+
+    #[test]
+    fn parses_mc_sampler_and_seed() {
+        let r = parse_request(
+            r#"{"op":"mc_validation","benchmark":"c432","mc_sampler":"sobol+cv","mc_seed":42,"mc_samples":500}"#,
+        )
+        .unwrap();
+        let Op::McValidation(cfg) = &r.op else {
+            panic!("wrong op: {:?}", r.op)
+        };
+        assert_eq!(cfg.mc_sampling.to_string(), "sobol+cv");
+        assert_eq!(cfg.mc_seed, 42);
+        // Unknown sampler tokens fail with a usage-class error, and the
+        // field must be a string.
+        let bad = parse_request(r#"{"op":"mc_validation","benchmark":"c432","mc_sampler":"qmc"}"#);
+        assert_eq!(bad.unwrap_err().0.class, "usage");
+        let bad = parse_request(r#"{"op":"mc_validation","benchmark":"c432","mc_sampler":3}"#);
+        assert_eq!(bad.unwrap_err().0.class, "usage");
     }
 
     #[test]

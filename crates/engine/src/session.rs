@@ -254,7 +254,7 @@ impl Session {
             design,
             &self.inner.setup.fm,
             self.inner.setup.t_clk,
-            self.inner.cfg.mc_samples,
+            flows::McSpec::from_config(&self.inner.cfg),
             runtime_s,
         )
     }

@@ -268,6 +268,25 @@ impl LeakageAnalysis {
         self.region_sum.iter().sum()
     }
 
+    /// The conditional-mean surrogate of the total current in the shared
+    /// factor basis: `E[I_total | shared = z] = Σ_r scale_r · exp(s_rᵀ z)`,
+    /// returned as the per-region `(scale_r, s_r)` pairs (empty regions are
+    /// skipped). Its expectation over `z ~ N(0, I)` is exactly
+    /// [`Self::mean_total_current`] — the property a Monte-Carlo
+    /// control variate needs. Gate-local variation is integrated out
+    /// (`scale_r` carries the `e^{v_local/2}` factor), so the surrogate is
+    /// the best predictor of the sampled total that depends on the shared
+    /// factors alone.
+    pub fn conditional_mean_surrogate(&self) -> Vec<(f64, Vec<f64>)> {
+        (0..self.region_sum.len())
+            .filter(|&r| self.region_sum[r] > 0.0)
+            .map(|r| {
+                let scale = self.region_sum[r] * (-0.5 * self.region_v_shared[r]).exp();
+                (scale, self.region_shared[r].clone())
+            })
+            .collect()
+    }
+
     /// The total-current lognormal **with its factor structure**: the
     /// ln-space sensitivities of `ln I_total` to each shared factor
     /// (mean-weighted first-order attribution) plus a residual local term
@@ -401,6 +420,24 @@ mod tests {
         let t = leak.total_current();
         let cv = t.std() / t.mean();
         assert!(cv > 0.10 && cv < 0.80, "cv = {cv}");
+    }
+
+    #[test]
+    fn conditional_mean_surrogate_has_exact_expectation() {
+        // E[scale·exp(sᵀz)] = scale·e^{‖s‖²/2}; summed over regions this
+        // must reproduce the exact total mean.
+        let (d, fm) = setup("c880");
+        let leak = LeakageAnalysis::analyze(&d, &fm);
+        let expectation: f64 = leak
+            .conditional_mean_surrogate()
+            .iter()
+            .map(|(scale, s)| scale * (0.5 * s.iter().map(|a| a * a).sum::<f64>()).exp())
+            .sum();
+        let mean = leak.mean_total_current();
+        assert!(
+            (expectation - mean).abs() / mean < 1e-12,
+            "{expectation} vs {mean}"
+        );
     }
 
     #[test]

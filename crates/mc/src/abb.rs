@@ -1,0 +1,225 @@
+//! Post-silicon adaptive body bias (ABB) Monte-Carlo experiment.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+use statleak_obs as obs;
+use statleak_stats::{StdNormalSampler, Summary};
+use statleak_tech::{cell, Design, FactorModel};
+
+use crate::sample::sub_seed;
+use crate::MonteCarlo;
+
+/// Configuration of post-silicon adaptive body bias (ABB).
+///
+/// Body bias is a *die-level* knob applied after fabrication: reverse bias
+/// (positive Vth shift) trims leakage on fast/leaky die, forward bias
+/// (negative shift) rescues slow die at a leakage cost (Tschanz et al.,
+/// JSSC 2002). Each sampled chip measures itself and picks, from a small
+/// discrete grid, the bias that meets timing with minimum leakage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AbbConfig {
+    /// Candidate global Vth shifts (V), e.g. `[-0.06, -0.03, 0.0, 0.03, 0.06]`.
+    /// Must contain `0.0` so ABB can never be worse than no bias.
+    pub bias_grid: Vec<f64>,
+    /// The clock the chip must meet (ps).
+    pub t_clk: f64,
+}
+
+impl AbbConfig {
+    /// A standard ±60 mV grid in 20 mV steps.
+    pub fn standard(t_clk: f64) -> Self {
+        Self {
+            bias_grid: vec![-0.06, -0.04, -0.02, 0.0, 0.02, 0.04, 0.06],
+            t_clk,
+        }
+    }
+}
+
+/// One chip after adaptive body biasing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AbbChip {
+    /// The bias the chip selected (V).
+    pub bias: f64,
+    /// Circuit delay at the selected bias (ps).
+    pub delay: f64,
+    /// Leakage current at the selected bias (A).
+    pub leakage: f64,
+    /// Delay of the same chip with zero bias (ps).
+    pub delay_unbiased: f64,
+    /// Leakage of the same chip with zero bias (A).
+    pub leakage_unbiased: f64,
+}
+
+/// Result of an ABB Monte-Carlo run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AbbResult {
+    chips: Vec<AbbChip>,
+    t_clk: f64,
+}
+
+impl AbbResult {
+    /// Per-chip data.
+    pub fn chips(&self) -> &[AbbChip] {
+        &self.chips
+    }
+
+    /// Timing yield with adaptive body bias.
+    pub fn yield_with_abb(&self) -> f64 {
+        let ok = self.chips.iter().filter(|c| c.delay <= self.t_clk).count();
+        ok as f64 / self.chips.len().max(1) as f64
+    }
+
+    /// Timing yield of the same chip population without biasing.
+    pub fn yield_without_abb(&self) -> f64 {
+        let ok = self
+            .chips
+            .iter()
+            .filter(|c| c.delay_unbiased <= self.t_clk)
+            .count();
+        ok as f64 / self.chips.len().max(1) as f64
+    }
+
+    /// Summary of leakage current after biasing (A).
+    pub fn leakage_summary(&self) -> Summary {
+        Summary::from_samples(&self.chips.iter().map(|c| c.leakage).collect::<Vec<_>>())
+    }
+
+    /// Summary of the unbiased leakage current (A).
+    pub fn leakage_summary_unbiased(&self) -> Summary {
+        Summary::from_samples(
+            &self
+                .chips
+                .iter()
+                .map(|c| c.leakage_unbiased)
+                .collect::<Vec<_>>(),
+        )
+    }
+}
+
+impl MonteCarlo {
+    /// Runs the ABB experiment: every sampled chip evaluates the full
+    /// non-linear models at each candidate bias and keeps the
+    /// minimum-leakage bias that meets timing (or the fastest bias if none
+    /// does). Always uses the plain sampler — the experiment models the
+    /// fabricated population, not an estimator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bias grid is empty or does not contain `0.0`.
+    pub fn run_abb(&self, design: &Design, fm: &FactorModel, abb: &AbbConfig) -> AbbResult {
+        let _span = obs::span!("mc.abb_batch");
+        obs::counter!("mc_runs_total").inc();
+        obs::counter!("mc_samples_total").add(self.config.samples as u64);
+        assert!(!abb.bias_grid.is_empty(), "bias grid must be non-empty");
+        assert!(abb.bias_grid.contains(&0.0), "bias grid must contain 0.0");
+        let base = self.config.seed;
+        let chips: Vec<AbbChip> = self.in_pool(|| {
+            (0..self.config.samples)
+                .into_par_iter()
+                .map(|i| evaluate_abb_sample(design, fm, sub_seed(base, i), abb))
+                .collect()
+        });
+        AbbResult {
+            chips,
+            t_clk: abb.t_clk,
+        }
+    }
+}
+
+/// Evaluates one chip at every candidate bias and applies the selection
+/// policy. The process sample (all factor draws) is shared across biases —
+/// the bias is the only difference, exactly as on silicon.
+fn evaluate_abb_sample(design: &Design, fm: &FactorModel, seed: u64, abb: &AbbConfig) -> AbbChip {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut normal = StdNormalSampler::new();
+    let circuit = design.circuit();
+    let tech = design.tech();
+
+    let shared: Vec<f64> = (0..fm.num_shared())
+        .map(|_| normal.sample(&mut rng))
+        .collect();
+    // Freeze the per-gate draws so every bias sees the same silicon.
+    let per_gate: Vec<(f64, f64)> = circuit
+        .topo_order()
+        .iter()
+        .map(|&id| {
+            if circuit.node(id).kind.is_gate() {
+                let dl = fm.sample_l(id, &shared, normal.sample(&mut rng));
+                let dv = fm.vth_local(id) * normal.sample(&mut rng);
+                (dl, dv)
+            } else {
+                (0.0, 0.0)
+            }
+        })
+        .collect();
+
+    let evaluate = |bias: f64| -> (f64, f64) {
+        let mut arrival = vec![0.0_f64; circuit.num_nodes()];
+        let mut leakage = 0.0;
+        for (k, &id) in circuit.topo_order().iter().enumerate() {
+            let node = circuit.node(id);
+            if !node.kind.is_gate() {
+                continue;
+            }
+            let (dl, dv) = per_gate[k];
+            let dvth = dv + bias;
+            let d = cell::gate_delay(
+                tech,
+                node.kind,
+                node.fanin.len(),
+                design.size(id),
+                design.vth(id),
+                design.load_cap(id),
+                dl,
+                dvth,
+            );
+            let worst = node
+                .fanin
+                .iter()
+                .map(|f| arrival[f.index()])
+                .fold(0.0, f64::max);
+            arrival[id.index()] = worst + d;
+            leakage += cell::leakage_current(
+                tech,
+                node.kind,
+                node.fanin.len(),
+                design.size(id),
+                design.vth(id),
+                dl,
+                dvth,
+            );
+        }
+        let delay = circuit
+            .outputs()
+            .iter()
+            .map(|o| arrival[o.index()])
+            .fold(0.0, f64::max);
+        (delay, leakage)
+    };
+
+    let (delay_unbiased, leakage_unbiased) = evaluate(0.0);
+    let mut best: Option<(f64, f64, f64)> = None; // (bias, delay, leak)
+    let mut fastest: Option<(f64, f64, f64)> = None;
+    for &bias in &abb.bias_grid {
+        let (d, l) = if bias == 0.0 {
+            (delay_unbiased, leakage_unbiased)
+        } else {
+            evaluate(bias)
+        };
+        if fastest.as_ref().is_none_or(|&(_, fd, _)| d < fd) {
+            fastest = Some((bias, d, l));
+        }
+        if d <= abb.t_clk && best.as_ref().is_none_or(|&(_, _, bl)| l < bl) {
+            best = Some((bias, d, l));
+        }
+    }
+    let (bias, delay, leakage) = best.or(fastest).expect("bias grid is non-empty");
+    AbbChip {
+        bias,
+        delay,
+        leakage,
+        delay_unbiased,
+        leakage_unbiased,
+    }
+}

@@ -1,0 +1,229 @@
+//! Run configuration: sample budget, seeding, and the sampler /
+//! variance-reduction scheme.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Source of the underlying standard-normal draws.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SamplerKind {
+    /// Seeded pseudo-random sub-streams — the reference estimator, kept
+    /// bit-identical to the historical sampler.
+    #[default]
+    Plain,
+    /// Owen-scrambled Sobol' quasi-Monte-Carlo for the leading sample
+    /// dimensions (the shared process factors first), falling back to the
+    /// plain sub-stream beyond the direction-number table. See
+    /// [`statleak_stats::SobolSequence`] for the dimension budget.
+    Sobol,
+}
+
+impl SamplerKind {
+    /// Stable lowercase name (CLI/serve token).
+    pub fn name(self) -> &'static str {
+        match self {
+            SamplerKind::Plain => "plain",
+            SamplerKind::Sobol => "sobol",
+        }
+    }
+}
+
+/// Variance-reduction layers stacked on top of the base sampler. Both
+/// compose freely with either [`SamplerKind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct VarianceReduction {
+    /// Mean-shift importance sampling toward the SSTA-derived failure
+    /// direction. Only affects tail-yield estimation
+    /// ([`crate::MonteCarlo::timing_yield_estimate`]); population runs
+    /// ([`crate::MonteCarlo::run`]) ignore it.
+    pub importance_sampling: bool,
+    /// SSTA-linearization control variates: evaluate the linear delay /
+    /// conditional-mean leakage surrogates per sample and expose
+    /// known-mean-corrected estimators on [`crate::McResult`].
+    pub control_variate: bool,
+}
+
+/// A parsed sampler specification: base sampler plus variance-reduction
+/// layers, joined by `+` — the wire format of the `--mc-sampler` CLI flag
+/// and the serve-protocol `mc_sampler` field.
+///
+/// Accepted components: `plain`, `sobol` (at most one base), `is`
+/// (importance sampling), `cv` (control variates). Examples: `plain`,
+/// `sobol`, `plain+is`, `sobol+is+cv`.
+///
+/// ```
+/// use statleak_mc::{SamplerKind, SamplingScheme};
+/// let s: SamplingScheme = "sobol+is".parse().unwrap();
+/// assert_eq!(s.sampler, SamplerKind::Sobol);
+/// assert!(s.variance_reduction.importance_sampling);
+/// assert!(!s.variance_reduction.control_variate);
+/// assert_eq!(s.to_string(), "sobol+is");
+/// assert!("qmc".parse::<SamplingScheme>().is_err());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SamplingScheme {
+    /// The base draw source.
+    pub sampler: SamplerKind,
+    /// The layers stacked on top of it.
+    pub variance_reduction: VarianceReduction,
+}
+
+impl FromStr for SamplingScheme {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut scheme = SamplingScheme::default();
+        let mut base_seen = false;
+        let mut is_seen = false;
+        let mut cv_seen = false;
+        for part in s.split('+') {
+            match part {
+                "plain" | "sobol" => {
+                    if base_seen {
+                        return Err(format!("duplicate base sampler in '{s}'"));
+                    }
+                    base_seen = true;
+                    scheme.sampler = if part == "sobol" {
+                        SamplerKind::Sobol
+                    } else {
+                        SamplerKind::Plain
+                    };
+                }
+                "is" => {
+                    if is_seen {
+                        return Err(format!("duplicate 'is' layer in '{s}'"));
+                    }
+                    is_seen = true;
+                    scheme.variance_reduction.importance_sampling = true;
+                }
+                "cv" => {
+                    if cv_seen {
+                        return Err(format!("duplicate 'cv' layer in '{s}'"));
+                    }
+                    cv_seen = true;
+                    scheme.variance_reduction.control_variate = true;
+                }
+                other => {
+                    return Err(format!(
+                        "unknown sampler component '{other}' \
+                         (expected plain, sobol, is, or cv)"
+                    ));
+                }
+            }
+        }
+        Ok(scheme)
+    }
+}
+
+impl fmt::Display for SamplingScheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.sampler.name())?;
+        if self.variance_reduction.importance_sampling {
+            f.write_str("+is")?;
+        }
+        if self.variance_reduction.control_variate {
+            f.write_str("+cv")?;
+        }
+        Ok(())
+    }
+}
+
+/// Monte-Carlo run configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct McConfig {
+    /// Number of chip samples.
+    pub samples: usize,
+    /// Base RNG seed; sample `i` always uses sub-stream `seed ⊕ i`, so the
+    /// result is independent of the thread count.
+    pub seed: u64,
+    /// Worker threads (0 = use available parallelism).
+    pub threads: usize,
+    /// Base draw source (plain PRNG by default).
+    pub sampler: SamplerKind,
+    /// Variance-reduction layers (all off by default — the reference
+    /// estimator stays the plain path).
+    pub variance_reduction: VarianceReduction,
+}
+
+impl Default for McConfig {
+    fn default() -> Self {
+        Self {
+            samples: 2000,
+            seed: 0xCAFE,
+            threads: 0,
+            sampler: SamplerKind::default(),
+            variance_reduction: VarianceReduction::default(),
+        }
+    }
+}
+
+impl McConfig {
+    /// Applies a parsed [`SamplingScheme`] to this configuration.
+    pub fn with_scheme(mut self, scheme: SamplingScheme) -> Self {
+        self.sampler = scheme.sampler;
+        self.variance_reduction = scheme.variance_reduction;
+        self
+    }
+
+    /// The sampler/variance-reduction part of this configuration.
+    pub fn scheme(&self) -> SamplingScheme {
+        SamplingScheme {
+            sampler: self.sampler,
+            variance_reduction: self.variance_reduction,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheme_round_trips_through_display() {
+        for spec in [
+            "plain",
+            "sobol",
+            "plain+is",
+            "plain+cv",
+            "plain+is+cv",
+            "sobol+is",
+            "sobol+cv",
+            "sobol+is+cv",
+        ] {
+            let parsed: SamplingScheme = spec.parse().unwrap();
+            assert_eq!(parsed.to_string(), spec);
+        }
+    }
+
+    #[test]
+    fn layers_parse_in_any_order_and_without_a_base() {
+        let a: SamplingScheme = "is+sobol+cv".parse().unwrap();
+        let b: SamplingScheme = "sobol+is+cv".parse().unwrap();
+        assert_eq!(a, b);
+        let bare: SamplingScheme = "is".parse().unwrap();
+        assert_eq!(bare.sampler, SamplerKind::Plain);
+        assert!(bare.variance_reduction.importance_sampling);
+    }
+
+    #[test]
+    fn unknown_and_duplicate_components_rejected() {
+        assert!("qmc".parse::<SamplingScheme>().is_err());
+        assert!("".parse::<SamplingScheme>().is_err());
+        assert!("plain+plain".parse::<SamplingScheme>().is_err());
+        assert!("plain+sobol".parse::<SamplingScheme>().is_err());
+        assert!("is+is".parse::<SamplingScheme>().is_err());
+        assert!("cv+cv".parse::<SamplingScheme>().is_err());
+        assert!(
+            "sobol+IS".parse::<SamplingScheme>().is_err(),
+            "case-sensitive"
+        );
+    }
+
+    #[test]
+    fn default_config_is_the_plain_reference() {
+        let cfg = McConfig::default();
+        assert_eq!(cfg.sampler, SamplerKind::Plain);
+        assert_eq!(cfg.variance_reduction, VarianceReduction::default());
+        assert_eq!(cfg.scheme().to_string(), "plain");
+    }
+}

@@ -1,4 +1,4 @@
-//! Monte-Carlo validation engine.
+//! Monte-Carlo validation engine with composable variance reduction.
 //!
 //! Samples concrete process outcomes through the *same* factor model the
 //! analytical engines use ([`statleak_tech::FactorModel`]), but evaluates
@@ -8,9 +8,26 @@
 //! the SSTA and Wilkinson-lognormal approximations, and the ground truth
 //! for the timing-yield and 95th-percentile-leakage claims.
 //!
-//! Sampling is deterministic (seeded) and multi-threaded with
-//! per-thread sub-streams, so results are reproducible regardless of the
-//! thread count.
+//! The engine is built from three composable layers on top of the plain
+//! seeded sampler (which remains the default and the reference estimator):
+//!
+//! * **Importance sampling** ([`MonteCarlo::timing_yield_estimate`]) —
+//!   shifts the shared-factor distribution toward the failure region along
+//!   the direction the SSTA delay canonical provides analytically, and
+//!   unbiases every sample with its likelihood ratio. Turns far-tail yield
+//!   estimation from `O(1/p)` samples into a few hundred.
+//! * **Scrambled Sobol QMC** ([`SamplerKind::Sobol`]) — replaces the
+//!   leading sample dimensions (the shared factors first) with an
+//!   Owen-scrambled low-discrepancy sequence, falling back to the plain
+//!   sub-streams beyond the direction-number table (hybrid QMC+MC).
+//! * **SSTA control variates** ([`VarianceReduction::control_variate`]) —
+//!   evaluates the linearized delay and conditional-mean leakage surrogates
+//!   alongside the non-linear models and exposes known-mean-corrected
+//!   estimators on [`McResult`].
+//!
+//! Every path is deterministic: draws depend only on `(seed, sample
+//! index)`, parallel collects preserve index order, and reductions run
+//! sequentially — so results are bit-identical for any thread count.
 //!
 //! # Example
 //!
@@ -29,174 +46,132 @@
 //!     .run(&design, &fm);
 //! assert_eq!(result.samples(), 500);
 //! assert!(result.delay_summary().mean > 0.0);
+//! // Every empirical yield carries a Wilson confidence interval.
+//! let t = result.delay_summary().p95;
+//! let ci = result.timing_yield_interval(t, statleak_mc::DEFAULT_CI_Z);
+//! assert!(ci.contains(result.timing_yield(t)));
 //! # Ok::<(), statleak_stats::CholeskyError>(())
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+mod abb;
+mod config;
+mod importance;
+mod result;
+mod sample;
+mod surrogate;
+
+pub use abb::{AbbChip, AbbConfig, AbbResult};
+pub use config::{McConfig, SamplerKind, SamplingScheme, VarianceReduction};
+pub use importance::{importance_weight, YieldEstimate};
+pub use result::{ChipSample, ControlVariateEstimate, McResult, DEFAULT_CI_Z};
+
 use rayon::prelude::*;
-use statleak_netlist::NodeId;
 use statleak_obs as obs;
-use statleak_stats::{Histogram, StdNormalSampler, Summary};
-use statleak_tech::{cell, Design, FactorModel};
+use statleak_tech::{Design, FactorModel};
 
-/// Monte-Carlo run configuration.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct McConfig {
-    /// Number of chip samples.
-    pub samples: usize,
-    /// Base RNG seed; sample `i` always uses sub-stream `seed ⊕ i`, so the
-    /// result is independent of the thread count.
-    pub seed: u64,
-    /// Worker threads (0 = use available parallelism).
-    pub threads: usize,
-}
-
-impl Default for McConfig {
-    fn default() -> Self {
-        Self {
-            samples: 2000,
-            seed: 0xCAFE,
-            threads: 0,
-        }
-    }
-}
-
-/// One sampled chip: circuit delay and total leakage current.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct ChipSample {
-    /// Circuit delay (ps) under the sampled parameters.
-    pub delay: f64,
-    /// Total leakage current (A) under the sampled parameters.
-    pub leakage: f64,
-}
-
-/// The result of a Monte-Carlo run.
-#[derive(Debug, Clone, PartialEq)]
-pub struct McResult {
-    samples: Vec<ChipSample>,
-}
-
-impl McResult {
-    /// Number of chip samples.
-    pub fn samples(&self) -> usize {
-        self.samples.len()
-    }
-
-    /// Per-sample data.
-    pub fn chips(&self) -> &[ChipSample] {
-        &self.samples
-    }
-
-    /// Summary statistics of the circuit delay (ps).
-    pub fn delay_summary(&self) -> Summary {
-        Summary::from_samples(&self.delays())
-    }
-
-    /// Summary statistics of the total leakage current (A).
-    pub fn leakage_summary(&self) -> Summary {
-        Summary::from_samples(&self.leakages())
-    }
-
-    /// Empirical timing yield `P(delay ≤ t_clk)`.
-    pub fn timing_yield(&self, t_clk: f64) -> f64 {
-        let ok = self.samples.iter().filter(|s| s.delay <= t_clk).count();
-        ok as f64 / self.samples.len().max(1) as f64
-    }
-
-    /// Empirical leakage percentile.
-    pub fn leakage_percentile(&self, p: f64) -> f64 {
-        Summary::percentile(&self.leakages(), p)
-    }
-
-    /// Empirical **joint parametric yield**: the fraction of chips that
-    /// meet both the timing constraint and the leakage-current budget,
-    /// `P(delay ≤ t_clk ∧ leakage ≤ i_max)`. Because fast die leak more,
-    /// this is substantially below the product of the marginal yields.
-    pub fn joint_yield(&self, t_clk: f64, i_max: f64) -> f64 {
-        let ok = self
-            .samples
-            .iter()
-            .filter(|s| s.delay <= t_clk && s.leakage <= i_max)
-            .count();
-        ok as f64 / self.samples.len().max(1) as f64
-    }
-
-    /// Histogram of the total leakage (for the distribution figures).
-    pub fn leakage_histogram(&self, bins: usize) -> Histogram {
-        Histogram::from_samples(&self.leakages(), bins)
-    }
-
-    /// Pearson correlation between delay and leakage across chips.
-    /// Strongly negative in this technology: fast (short-channel) die leak
-    /// more — the effect the statistical optimizer must respect.
-    pub fn delay_leakage_correlation(&self) -> f64 {
-        let n = self.samples.len() as f64;
-        let md = self.samples.iter().map(|s| s.delay).sum::<f64>() / n;
-        let ml = self.samples.iter().map(|s| s.leakage).sum::<f64>() / n;
-        let mut cov = 0.0;
-        let mut vd = 0.0;
-        let mut vl = 0.0;
-        for s in &self.samples {
-            cov += (s.delay - md) * (s.leakage - ml);
-            vd += (s.delay - md) * (s.delay - md);
-            vl += (s.leakage - ml) * (s.leakage - ml);
-        }
-        if vd == 0.0 || vl == 0.0 {
-            0.0
-        } else {
-            cov / (vd.sqrt() * vl.sqrt())
-        }
-    }
-
-    fn delays(&self) -> Vec<f64> {
-        self.samples.iter().map(|s| s.delay).collect()
-    }
-
-    fn leakages(&self) -> Vec<f64> {
-        self.samples.iter().map(|s| s.leakage).collect()
-    }
-}
+use crate::result::SurrogateData;
+use crate::sample::{evaluate_chip, qmc_sequence, sub_seed};
+use crate::surrogate::{DelaySurrogate, LeakageSurrogate};
 
 /// The Monte-Carlo engine.
 #[derive(Debug, Clone)]
 pub struct MonteCarlo {
-    config: McConfig,
+    pub(crate) config: McConfig,
 }
 
 impl MonteCarlo {
     /// Creates an engine with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration requests zero samples.
     pub fn new(config: McConfig) -> Self {
         assert!(config.samples > 0, "need at least one sample");
         Self { config }
     }
 
-    /// Runs the simulation: one full-chip non-linear evaluation per sample,
-    /// fanned out on rayon. Sample `i`'s RNG sub-stream depends only on
-    /// `seed` and `i`, and the parallel collect preserves index order, so
-    /// the result is bit-identical for any thread count.
+    /// The configuration this engine runs with.
+    pub fn config(&self) -> &McConfig {
+        &self.config
+    }
+
+    /// Runs the population simulation: one full-chip non-linear evaluation
+    /// per sample, fanned out on rayon. Sample `i`'s draws depend only on
+    /// `seed` and `i` (PRNG sub-stream, and Sobol point `i` under
+    /// [`SamplerKind::Sobol`]), and the parallel collect preserves index
+    /// order, so the result is bit-identical for any thread count.
+    ///
+    /// With the control-variate layer enabled, the linearized surrogates
+    /// are evaluated per sample and the known-mean-corrected estimators on
+    /// [`McResult`] become available. The importance-sampling layer does
+    /// not apply to population runs — see
+    /// [`MonteCarlo::timing_yield_estimate`].
     pub fn run(&self, design: &Design, fm: &FactorModel) -> McResult {
         let _span = obs::span!("mc.sample_batch");
+        let n = self.config.samples;
         obs::counter!("mc_runs_total").inc();
-        obs::counter!("mc_samples_total").add(self.config.samples as u64);
+        obs::counter!("mc_samples_total").add(n as u64);
+        obs::counter!("mc_nonlinear_evals_total").add(n as u64);
         let seed = self.config.seed;
-        let eval = |i: usize| {
-            evaluate_sample(
-                design,
-                fm,
-                seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-            )
+        let seq = match self.config.sampler {
+            SamplerKind::Plain => None,
+            SamplerKind::Sobol => {
+                assert!(
+                    n as u128 <= u128::from(u32::MAX) + 1,
+                    "the Sobol index space holds 2^32 points"
+                );
+                Some(qmc_sequence(design, fm, seed))
+            }
         };
-        let samples = self.in_pool(|| (0..self.config.samples).into_par_iter().map(eval).collect());
-        McResult { samples }
+        let cv = self.config.variance_reduction.control_variate.then(|| {
+            (
+                DelaySurrogate::build(design, fm),
+                LeakageSurrogate::build(design, fm),
+            )
+        });
+        let eval = |i: usize| {
+            let qmc: Vec<f64> = match &seq {
+                Some(s) => {
+                    let mut buf = vec![0.0; s.dims()];
+                    s.normal_point(i as u32, &mut buf);
+                    buf
+                }
+                None => Vec::new(),
+            };
+            let (delay, leakage, shared) = evaluate_chip(design, fm, sub_seed(seed, i), &qmc, None);
+            let sur = cv.as_ref().map(|(d, l)| (d.eval(&shared), l.eval(&shared)));
+            (ChipSample { delay, leakage }, sur)
+        };
+        let rows: Vec<(ChipSample, Option<(f64, f64)>)> =
+            self.in_pool(|| (0..n).into_par_iter().map(eval).collect());
+
+        let mut samples = Vec::with_capacity(n);
+        let mut surrogates = cv.as_ref().map(|(d, l)| SurrogateData {
+            delay: Vec::with_capacity(n),
+            leakage: Vec::with_capacity(n),
+            delay_mean: d.mean,
+            delay_sigma: d.sigma_shared,
+            leakage_mean: l.mean,
+        });
+        for (chip, sur) in rows {
+            samples.push(chip);
+            if let (Some(data), Some((sd, sl))) = (surrogates.as_mut(), sur) {
+                data.delay.push(sd);
+                data.leakage.push(sl);
+            }
+        }
+        McResult {
+            samples,
+            surrogates,
+        }
     }
 
     /// Runs `op` under this config's thread bound (`threads == 0` keeps the
     /// ambient rayon parallelism).
-    fn in_pool<R, F: FnOnce() -> R>(&self, op: F) -> R {
+    pub(crate) fn in_pool<R, F: FnOnce() -> R>(&self, op: F) -> R {
         if self.config.threads == 0 {
             op()
         } else {
@@ -207,277 +182,6 @@ impl MonteCarlo {
                 .install(op)
         }
     }
-}
-
-/// Configuration of post-silicon adaptive body bias (ABB).
-///
-/// Body bias is a *die-level* knob applied after fabrication: reverse bias
-/// (positive Vth shift) trims leakage on fast/leaky die, forward bias
-/// (negative shift) rescues slow die at a leakage cost (Tschanz et al.,
-/// JSSC 2002). Each sampled chip measures itself and picks, from a small
-/// discrete grid, the bias that meets timing with minimum leakage.
-#[derive(Debug, Clone, PartialEq)]
-pub struct AbbConfig {
-    /// Candidate global Vth shifts (V), e.g. `[-0.06, -0.03, 0.0, 0.03, 0.06]`.
-    /// Must contain `0.0` so ABB can never be worse than no bias.
-    pub bias_grid: Vec<f64>,
-    /// The clock the chip must meet (ps).
-    pub t_clk: f64,
-}
-
-impl AbbConfig {
-    /// A standard ±60 mV grid in 20 mV steps.
-    pub fn standard(t_clk: f64) -> Self {
-        Self {
-            bias_grid: vec![-0.06, -0.04, -0.02, 0.0, 0.02, 0.04, 0.06],
-            t_clk,
-        }
-    }
-}
-
-/// One chip after adaptive body biasing.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct AbbChip {
-    /// The bias the chip selected (V).
-    pub bias: f64,
-    /// Circuit delay at the selected bias (ps).
-    pub delay: f64,
-    /// Leakage current at the selected bias (A).
-    pub leakage: f64,
-    /// Delay of the same chip with zero bias (ps).
-    pub delay_unbiased: f64,
-    /// Leakage of the same chip with zero bias (A).
-    pub leakage_unbiased: f64,
-}
-
-/// Result of an ABB Monte-Carlo run.
-#[derive(Debug, Clone, PartialEq)]
-pub struct AbbResult {
-    chips: Vec<AbbChip>,
-    t_clk: f64,
-}
-
-impl AbbResult {
-    /// Per-chip data.
-    pub fn chips(&self) -> &[AbbChip] {
-        &self.chips
-    }
-
-    /// Timing yield with adaptive body bias.
-    pub fn yield_with_abb(&self) -> f64 {
-        let ok = self.chips.iter().filter(|c| c.delay <= self.t_clk).count();
-        ok as f64 / self.chips.len().max(1) as f64
-    }
-
-    /// Timing yield of the same chip population without biasing.
-    pub fn yield_without_abb(&self) -> f64 {
-        let ok = self
-            .chips
-            .iter()
-            .filter(|c| c.delay_unbiased <= self.t_clk)
-            .count();
-        ok as f64 / self.chips.len().max(1) as f64
-    }
-
-    /// Summary of leakage current after biasing (A).
-    pub fn leakage_summary(&self) -> Summary {
-        Summary::from_samples(&self.chips.iter().map(|c| c.leakage).collect::<Vec<_>>())
-    }
-
-    /// Summary of the unbiased leakage current (A).
-    pub fn leakage_summary_unbiased(&self) -> Summary {
-        Summary::from_samples(
-            &self
-                .chips
-                .iter()
-                .map(|c| c.leakage_unbiased)
-                .collect::<Vec<_>>(),
-        )
-    }
-}
-
-impl MonteCarlo {
-    /// Runs the ABB experiment: every sampled chip evaluates the full
-    /// non-linear models at each candidate bias and keeps the
-    /// minimum-leakage bias that meets timing (or the fastest bias if none
-    /// does).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the bias grid is empty or does not contain `0.0`.
-    pub fn run_abb(&self, design: &Design, fm: &FactorModel, abb: &AbbConfig) -> AbbResult {
-        let _span = obs::span!("mc.abb_batch");
-        obs::counter!("mc_runs_total").inc();
-        obs::counter!("mc_samples_total").add(self.config.samples as u64);
-        assert!(!abb.bias_grid.is_empty(), "bias grid must be non-empty");
-        assert!(abb.bias_grid.contains(&0.0), "bias grid must contain 0.0");
-        let base = self.config.seed;
-        let chips: Vec<AbbChip> = self.in_pool(|| {
-            (0..self.config.samples)
-                .into_par_iter()
-                .map(|i| {
-                    let seed = base ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-                    evaluate_abb_sample(design, fm, seed, abb)
-                })
-                .collect()
-        });
-        AbbResult {
-            chips,
-            t_clk: abb.t_clk,
-        }
-    }
-}
-
-/// Evaluates one chip at every candidate bias and applies the selection
-/// policy. The process sample (all factor draws) is shared across biases —
-/// the bias is the only difference, exactly as on silicon.
-fn evaluate_abb_sample(design: &Design, fm: &FactorModel, seed: u64, abb: &AbbConfig) -> AbbChip {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut normal = StdNormalSampler::new();
-    let circuit = design.circuit();
-    let tech = design.tech();
-
-    let shared: Vec<f64> = (0..fm.num_shared())
-        .map(|_| normal.sample(&mut rng))
-        .collect();
-    // Freeze the per-gate draws so every bias sees the same silicon.
-    let per_gate: Vec<(f64, f64)> = circuit
-        .topo_order()
-        .iter()
-        .map(|&id| {
-            if circuit.node(id).kind.is_gate() {
-                let dl = fm.sample_l(id, &shared, normal.sample(&mut rng));
-                let dv = fm.vth_local(id) * normal.sample(&mut rng);
-                (dl, dv)
-            } else {
-                (0.0, 0.0)
-            }
-        })
-        .collect();
-
-    let evaluate = |bias: f64| -> (f64, f64) {
-        let mut arrival = vec![0.0_f64; circuit.num_nodes()];
-        let mut leakage = 0.0;
-        for (k, &id) in circuit.topo_order().iter().enumerate() {
-            let node = circuit.node(id);
-            if !node.kind.is_gate() {
-                continue;
-            }
-            let (dl, dv) = per_gate[k];
-            let dvth = dv + bias;
-            let d = cell::gate_delay(
-                tech,
-                node.kind,
-                node.fanin.len(),
-                design.size(id),
-                design.vth(id),
-                design.load_cap(id),
-                dl,
-                dvth,
-            );
-            let worst = node
-                .fanin
-                .iter()
-                .map(|f| arrival[f.index()])
-                .fold(0.0, f64::max);
-            arrival[id.index()] = worst + d;
-            leakage += cell::leakage_current(
-                tech,
-                node.kind,
-                node.fanin.len(),
-                design.size(id),
-                design.vth(id),
-                dl,
-                dvth,
-            );
-        }
-        let delay = circuit
-            .outputs()
-            .iter()
-            .map(|o| arrival[o.index()])
-            .fold(0.0, f64::max);
-        (delay, leakage)
-    };
-
-    let (delay_unbiased, leakage_unbiased) = evaluate(0.0);
-    let mut best: Option<(f64, f64, f64)> = None; // (bias, delay, leak)
-    let mut fastest: Option<(f64, f64, f64)> = None;
-    for &bias in &abb.bias_grid {
-        let (d, l) = if bias == 0.0 {
-            (delay_unbiased, leakage_unbiased)
-        } else {
-            evaluate(bias)
-        };
-        if fastest.as_ref().is_none_or(|&(_, fd, _)| d < fd) {
-            fastest = Some((bias, d, l));
-        }
-        if d <= abb.t_clk && best.as_ref().is_none_or(|&(_, _, bl)| l < bl) {
-            best = Some((bias, d, l));
-        }
-    }
-    let (bias, delay, leakage) = best.or(fastest).expect("bias grid is non-empty");
-    AbbChip {
-        bias,
-        delay,
-        leakage,
-        delay_unbiased,
-        leakage_unbiased,
-    }
-}
-
-/// Evaluates one chip: samples the factors, runs a full non-linear timing
-/// and leakage evaluation.
-fn evaluate_sample(design: &Design, fm: &FactorModel, seed: u64) -> ChipSample {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut normal = StdNormalSampler::new();
-    let circuit = design.circuit();
-    let tech = design.tech();
-
-    let shared: Vec<f64> = (0..fm.num_shared())
-        .map(|_| normal.sample(&mut rng))
-        .collect();
-
-    let mut arrival = vec![0.0_f64; circuit.num_nodes()];
-    let mut leakage = 0.0;
-    for &id in circuit.topo_order() {
-        let node = circuit.node(id);
-        if !node.kind.is_gate() {
-            continue;
-        }
-        let dl = fm.sample_l(id, &shared, normal.sample(&mut rng));
-        let dvth = fm.vth_local(id) * normal.sample(&mut rng);
-        let d = cell::gate_delay(
-            tech,
-            node.kind,
-            node.fanin.len(),
-            design.size(id),
-            design.vth(id),
-            design.load_cap(id),
-            dl,
-            dvth,
-        );
-        let worst = node
-            .fanin
-            .iter()
-            .map(|f| arrival[f.index()])
-            .fold(0.0, f64::max);
-        arrival[id.index()] = worst + d;
-        leakage += cell::leakage_current(
-            tech,
-            node.kind,
-            node.fanin.len(),
-            design.size(id),
-            design.vth(id),
-            dl,
-            dvth,
-        );
-    }
-    let delay = circuit
-        .outputs()
-        .iter()
-        .map(|o: &NodeId| arrival[o.index()])
-        .fold(0.0, f64::max);
-    ChipSample { delay, leakage }
 }
 
 #[cfg(test)]
@@ -517,6 +221,7 @@ mod tests {
                 samples: 64,
                 seed: 5,
                 threads,
+                ..Default::default()
             })
         };
         let one = mc(1).run(&d, &fm);
@@ -618,6 +323,194 @@ mod tests {
 }
 
 #[cfg(test)]
+mod variance_reduction_tests {
+    use super::*;
+    use statleak_netlist::{benchmarks, placement::Placement};
+    use statleak_ssta::Ssta;
+    use statleak_tech::{Technology, VariationConfig};
+    use std::sync::Arc;
+
+    fn setup(name: &str) -> (Design, FactorModel) {
+        let circuit = Arc::new(benchmarks::by_name(name).unwrap());
+        let placement = Placement::by_level(&circuit);
+        let tech = Technology::ptm100();
+        let fm =
+            FactorModel::build(&circuit, &placement, &tech, &VariationConfig::ptm100()).unwrap();
+        (Design::new(circuit, tech), fm)
+    }
+
+    fn config(samples: usize, threads: usize, scheme: &str) -> McConfig {
+        McConfig {
+            samples,
+            threads,
+            ..Default::default()
+        }
+        .with_scheme(scheme.parse().expect("valid scheme"))
+    }
+
+    #[test]
+    fn every_scheme_is_thread_count_invariant() {
+        // The acceptance contract: plain, IS, and QMC paths bit-identical
+        // across 1/4/8 threads.
+        let (d, fm) = setup("c432");
+        let t = Ssta::analyze(&d, &fm).clock_for_yield(0.95);
+        for scheme in ["plain", "sobol", "plain+is", "sobol+is+cv", "plain+cv"] {
+            let run_at = |threads: usize| {
+                let mc = MonteCarlo::new(config(256, threads, scheme));
+                (mc.run(&d, &fm), mc.timing_yield_estimate(&d, &fm, t))
+            };
+            let (r1, y1) = run_at(1);
+            let (r4, y4) = run_at(4);
+            let (r8, y8) = run_at(8);
+            assert_eq!(r1, r4, "{scheme}: population 1 vs 4 threads");
+            assert_eq!(r1, r8, "{scheme}: population 1 vs 8 threads");
+            assert_eq!(y1, y4, "{scheme}: estimate 1 vs 4 threads");
+            assert_eq!(y1, y8, "{scheme}: estimate 1 vs 8 threads");
+        }
+    }
+
+    #[test]
+    fn sobol_population_matches_plain_moments() {
+        let (d, fm) = setup("c432");
+        let plain = MonteCarlo::new(config(2000, 0, "plain")).run(&d, &fm);
+        let sobol = MonteCarlo::new(config(2000, 0, "sobol")).run(&d, &fm);
+        let (pm, sm) = (plain.delay_summary().mean, sobol.delay_summary().mean);
+        assert!((pm - sm).abs() / pm < 0.02, "plain {pm} vs sobol {sm}");
+        let (pl, sl) = (plain.leakage_summary().mean, sobol.leakage_summary().mean);
+        assert!((pl - sl).abs() / pl < 0.05, "plain {pl} vs sobol {sl}");
+    }
+
+    #[test]
+    fn cross_validation_is_and_qmc_agree_with_plain_within_wilson() {
+        // Tier-1: at a matched confidence level, the IS and QMC yield
+        // estimates on c432 must land inside the plain estimator's Wilson
+        // interval, and vice versa.
+        let (d, fm) = setup("c432");
+        let t = Ssta::analyze(&d, &fm).clock_for_yield(0.95);
+        let plain = MonteCarlo::new(config(4000, 0, "plain"));
+        let plain_ci = plain.run(&d, &fm).timing_yield_interval(t, DEFAULT_CI_Z);
+
+        let is_est = MonteCarlo::new(config(2000, 0, "plain+is")).timing_yield_estimate(&d, &fm, t);
+        assert!(
+            plain_ci.contains(is_est.yield_value),
+            "IS yield {} outside plain Wilson [{}, {}]",
+            is_est.yield_value,
+            plain_ci.lo,
+            plain_ci.hi
+        );
+        assert!(
+            is_est.ci.lo <= plain_ci.hi && plain_ci.lo <= is_est.ci.hi,
+            "IS and plain intervals are disjoint"
+        );
+
+        let qmc = MonteCarlo::new(config(4000, 0, "sobol")).timing_yield_estimate(&d, &fm, t);
+        assert!(
+            plain_ci.contains(qmc.yield_value),
+            "QMC yield {} outside plain Wilson [{}, {}]",
+            qmc.yield_value,
+            plain_ci.lo,
+            plain_ci.hi
+        );
+    }
+
+    #[test]
+    fn importance_sampling_resolves_the_far_tail() {
+        // At the 3.2-sigma clock the true miss rate is ~7e-4: invisible to
+        // 2000 plain samples, but the canonical-derived shift resolves it
+        // with a controlled relative error and a healthy ESS.
+        let (d, fm) = setup("c499");
+        let ssta = Ssta::analyze(&d, &fm);
+        let t = ssta.clock_for_yield(0.99931);
+        let expected = 1.0 - 0.99931;
+        let est = MonteCarlo::new(config(2000, 0, "plain+is")).timing_yield_estimate(&d, &fm, t);
+        assert!(est.miss_probability > 0.0, "IS must see the tail");
+        let ratio = est.miss_probability / expected;
+        assert!(
+            (0.4..2.5).contains(&ratio),
+            "IS miss {} vs analytic {expected} (ratio {ratio})",
+            est.miss_probability
+        );
+        assert!(
+            est.std_error / est.miss_probability < 0.3,
+            "relative SE {} too large",
+            est.std_error / est.miss_probability
+        );
+        // ESS shrinks like n·e^{-‖s‖²} for a mean shift — small by design
+        // at a 3.2-sigma target, but it must not fully degenerate.
+        assert!(est.ess > 5.0, "ESS {} degenerated", est.ess);
+        assert!(est.shift_magnitude > 0.5, "shift {}", est.shift_magnitude);
+        assert!(est.evaluations == 2000);
+    }
+
+    #[test]
+    fn control_variates_reduce_variance_on_c432() {
+        let (d, fm) = setup("c432");
+        let r = MonteCarlo::new(config(2000, 0, "plain+cv")).run(&d, &fm);
+        let delay = r.delay_mean_cv().expect("cv recorded");
+        // The shared factors carry most of the delay variance, so the
+        // linear surrogate must buy a real reduction.
+        assert!(
+            delay.variance_reduction > 2.0,
+            "delay VR {}",
+            delay.variance_reduction
+        );
+        // The adjustment is a correction, not a rewrite.
+        assert!((delay.adjusted - delay.raw).abs() / delay.raw < 0.01);
+        assert!(delay.beta > 0.5 && delay.beta < 2.0, "beta {}", delay.beta);
+
+        let leak = r.leakage_mean_cv().expect("cv recorded");
+        assert!(
+            leak.variance_reduction > 1.5,
+            "leakage VR {}",
+            leak.variance_reduction
+        );
+        assert!((leak.adjusted - leak.raw).abs() / leak.raw < 0.05);
+
+        // Yield CV at a mid-distribution clock.
+        let t = Ssta::analyze(&d, &fm).clock_for_yield(0.9);
+        let y = r.timing_yield_cv(t).expect("cv recorded");
+        assert!(
+            y.variance_reduction > 1.5,
+            "yield VR {}",
+            y.variance_reduction
+        );
+        assert!((y.adjusted - y.raw).abs() < 0.05);
+    }
+
+    #[test]
+    fn plain_runs_record_no_surrogates() {
+        let (d, fm) = setup("c17");
+        let r = MonteCarlo::new(config(32, 0, "plain")).run(&d, &fm);
+        assert!(r.delay_mean_cv().is_none());
+        assert!(r.leakage_mean_cv().is_none());
+        assert!(r.timing_yield_cv(100.0).is_none());
+    }
+
+    #[test]
+    fn default_scheme_reproduces_the_historical_stream() {
+        // The rebuilt sampler must leave the reference estimator untouched:
+        // same seed, same draws, same population.
+        let (d, fm) = setup("c17");
+        let a = MonteCarlo::new(McConfig {
+            samples: 128,
+            seed: 7,
+            ..Default::default()
+        })
+        .run(&d, &fm);
+        let b = MonteCarlo::new(config(128, 0, "plain").with_seed_for_test(7)).run(&d, &fm);
+        assert_eq!(a, b);
+    }
+}
+
+#[cfg(test)]
+impl McConfig {
+    fn with_seed_for_test(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
 mod abb_tests {
     use super::*;
     use statleak_netlist::{benchmarks, placement::Placement};
@@ -711,85 +604,6 @@ mod abb_tests {
     }
 }
 
-impl MonteCarlo {
-    /// Estimates the far-tail timing miss probability `P(D > t_clk)` by
-    /// **importance sampling**: the die-to-die channel-length factor is
-    /// sampled from `N(shift, 1)` instead of `N(0, 1)` (positive shift →
-    /// longer channels → slower die), and each sample carries the
-    /// likelihood ratio `exp(−shift·z₀ + shift²/2)`. For 3–4σ clock
-    /// targets, plain Monte Carlo needs millions of samples to see a
-    /// single miss; a shift of 2–3 concentrates the samples where the
-    /// misses are and cuts the variance by orders of magnitude.
-    ///
-    /// Returns `(estimate, standard_error)`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `shift` is negative (shift toward the slow tail only).
-    pub fn tail_miss_probability(
-        &self,
-        design: &Design,
-        fm: &FactorModel,
-        t_clk: f64,
-        shift: f64,
-    ) -> (f64, f64) {
-        assert!(shift >= 0.0, "shift must point into the slow tail");
-        let n = self.config.samples;
-        let mut sum = 0.0;
-        let mut sum_sq = 0.0;
-        for i in 0..n {
-            let seed = self.config.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-            let mut rng = StdRng::seed_from_u64(seed);
-            let mut normal = StdNormalSampler::new();
-            let circuit = design.circuit();
-            let tech = design.tech();
-            let mut shared: Vec<f64> = (0..fm.num_shared())
-                .map(|_| normal.sample(&mut rng))
-                .collect();
-            // Shift the die-to-die factor; weight by the likelihood ratio.
-            shared[0] += shift;
-            let weight = (-shift * shared[0] + 0.5 * shift * shift).exp();
-
-            let mut arrival = vec![0.0_f64; circuit.num_nodes()];
-            for &id in circuit.topo_order() {
-                let node = circuit.node(id);
-                if !node.kind.is_gate() {
-                    continue;
-                }
-                let dl = fm.sample_l(id, &shared, normal.sample(&mut rng));
-                let dvth = fm.vth_local(id) * normal.sample(&mut rng);
-                let d = cell::gate_delay(
-                    tech,
-                    node.kind,
-                    node.fanin.len(),
-                    design.size(id),
-                    design.vth(id),
-                    design.load_cap(id),
-                    dl,
-                    dvth,
-                );
-                let worst = node
-                    .fanin
-                    .iter()
-                    .map(|f| arrival[f.index()])
-                    .fold(0.0, f64::max);
-                arrival[id.index()] = worst + d;
-            }
-            let delay = circuit
-                .outputs()
-                .iter()
-                .map(|o| arrival[o.index()])
-                .fold(0.0, f64::max);
-            let x = if delay > t_clk { weight } else { 0.0 };
-            sum += x;
-            sum_sq += x * x;
-        }
-        let mean = sum / n as f64;
-        let var = (sum_sq / n as f64 - mean * mean).max(0.0);
-        (mean, (var / n as f64).sqrt())
-    }
-}
-
 #[cfg(test)]
 mod importance_sampling_tests {
     use super::*;
@@ -857,5 +671,80 @@ mod importance_sampling_tests {
             ..Default::default()
         })
         .tail_miss_probability(&d, &fm, 100.0, -1.0);
+    }
+}
+
+#[cfg(test)]
+mod unbiasedness_proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use statleak_stats::{phi, seeded_rng, StdNormalSampler};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The likelihood-ratio algebra is unbiased on a known analytic
+        /// Gaussian tail: estimating `P(Z > b)` from samples drawn at the
+        /// shifted mean `b` must converge to `1 − Φ(b)` within CI bounds,
+        /// for any tail depth and seed.
+        #[test]
+        fn importance_estimate_is_unbiased_on_gaussian_tail(
+            b in 1.0f64..3.0,
+            seed in any::<u64>(),
+        ) {
+            let n = 4000usize;
+            let shift = [b];
+            let mut rng = seeded_rng(seed);
+            let mut normal = StdNormalSampler::new();
+            let mut sum = 0.0;
+            let mut sum_sq = 0.0;
+            for _ in 0..n {
+                let x = normal.sample(&mut rng) + b;
+                let contrib = if x > b {
+                    importance_weight(&shift, &[x])
+                } else {
+                    0.0
+                };
+                sum += contrib;
+                sum_sq += contrib * contrib;
+            }
+            let est = sum / n as f64;
+            let var = (sum_sq / n as f64 - est * est).max(0.0);
+            let se = (var / n as f64).sqrt();
+            let truth = 1.0 - phi(b);
+            prop_assert!(
+                (est - truth).abs() <= 5.0 * se + 1e-9,
+                "estimate {est} vs truth {truth} (se {se}, b {b})"
+            );
+        }
+
+        /// The mean of the likelihood ratio itself is 1 for any shift —
+        /// the normalization every unbiased IS estimator rests on.
+        #[test]
+        fn likelihood_ratio_integrates_to_one(
+            s1 in -2.0f64..2.0,
+            s2 in -2.0f64..2.0,
+            seed in any::<u64>(),
+        ) {
+            let n = 4000usize;
+            let shift = [s1, s2];
+            let mut rng = seeded_rng(seed);
+            let mut normal = StdNormalSampler::new();
+            let mut sum = 0.0;
+            let mut sum_sq = 0.0;
+            for _ in 0..n {
+                let x = [normal.sample(&mut rng) + s1, normal.sample(&mut rng) + s2];
+                let w = importance_weight(&shift, &x);
+                sum += w;
+                sum_sq += w * w;
+            }
+            let est = sum / n as f64;
+            let var = (sum_sq / n as f64 - est * est).max(0.0);
+            let se = (var / n as f64).sqrt();
+            prop_assert!(
+                (est - 1.0).abs() <= 6.0 * se + 1e-9,
+                "E[w] = {est} (se {se}, shift [{s1}, {s2}])"
+            );
+        }
     }
 }

@@ -1,0 +1,144 @@
+//! Per-sample draw sourcing and the full non-linear chip evaluation.
+//!
+//! One chip sample consumes a fixed, documented sequence of standard-normal
+//! draws — the **sample dimension** that also defines the QMC budget:
+//!
+//! 1. the `num_shared` shared process factors, in factor order;
+//! 2. two gate-local draws per gate in topological order (channel-length
+//!    local, then Vth local).
+//!
+//! The plain sampler takes every draw from the seeded per-sample PRNG
+//! sub-stream (`seed ⊕ i·φ`), bit-identical to the historical engine. The
+//! Sobol sampler substitutes the leading `min(dimension, MAX_DIM)`
+//! draws with coordinates of a scrambled low-discrepancy point and falls
+//! back to the same PRNG stream beyond the table — the hybrid QMC+MC
+//! scheme. Both depend only on `(seed, i)`, never on the thread layout.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use statleak_stats::{SobolSequence, StdNormalSampler};
+use statleak_tech::{cell, Design, FactorModel};
+
+/// Weyl-sequence stride for per-sample sub-seeds (`⌊2^64/φ⌋`).
+pub(crate) const SEED_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// The sub-stream seed of sample `i`.
+#[inline]
+pub(crate) fn sub_seed(seed: u64, i: usize) -> u64 {
+    seed ^ (i as u64).wrapping_mul(SEED_STRIDE)
+}
+
+/// Number of standard-normal draws one chip evaluation consumes — the QMC
+/// dimension budget: shared factors plus two local terms per gate.
+pub(crate) fn sample_dimension(design: &Design, fm: &FactorModel) -> usize {
+    fm.num_shared() + 2 * design.circuit().num_gates()
+}
+
+/// Builds the scrambled Sobol' sequence for a run, covering as much of the
+/// sample dimension as the direction-number table allows.
+pub(crate) fn qmc_sequence(design: &Design, fm: &FactorModel, seed: u64) -> SobolSequence {
+    let dims = sample_dimension(design, fm).min(SobolSequence::MAX_DIM);
+    SobolSequence::new(dims, seed)
+}
+
+/// A per-sample normal draw source: an optional low-discrepancy prefix,
+/// consumed first in the fixed order above, then the seeded PRNG
+/// sub-stream. With an empty prefix this is bit-identical to the
+/// historical plain sampler.
+pub(crate) struct DrawSource<'a> {
+    qmc: &'a [f64],
+    next: usize,
+    rng: StdRng,
+    normal: StdNormalSampler,
+}
+
+impl<'a> DrawSource<'a> {
+    pub(crate) fn new(seed: u64, qmc: &'a [f64]) -> Self {
+        Self {
+            qmc,
+            next: 0,
+            rng: StdRng::seed_from_u64(seed),
+            normal: StdNormalSampler::new(),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn next_normal(&mut self) -> f64 {
+        if self.next < self.qmc.len() {
+            let v = self.qmc[self.next];
+            self.next += 1;
+            v
+        } else {
+            self.normal.sample(&mut self.rng)
+        }
+    }
+}
+
+/// Evaluates one chip with the full non-linear device models: samples the
+/// factors from `draws` (optionally mean-shifting the shared factors by
+/// `shift` — the importance-sampling layer), then runs alpha-power delay
+/// and exponential leakage over the whole netlist.
+///
+/// Returns `(delay_ps, leakage_a, shared)` where `shared` holds the
+/// *post-shift* shared factor values actually used — what likelihood
+/// ratios and control-variate surrogates must be evaluated at.
+pub(crate) fn evaluate_chip(
+    design: &Design,
+    fm: &FactorModel,
+    seed: u64,
+    qmc: &[f64],
+    shift: Option<&[f64]>,
+) -> (f64, f64, Vec<f64>) {
+    let mut draws = DrawSource::new(seed, qmc);
+    let circuit = design.circuit();
+    let tech = design.tech();
+
+    let mut shared: Vec<f64> = (0..fm.num_shared()).map(|_| draws.next_normal()).collect();
+    if let Some(s) = shift {
+        for (x, d) in shared.iter_mut().zip(s) {
+            *x += d;
+        }
+    }
+
+    let mut arrival = vec![0.0_f64; circuit.num_nodes()];
+    let mut leakage = 0.0;
+    for &id in circuit.topo_order() {
+        let node = circuit.node(id);
+        if !node.kind.is_gate() {
+            continue;
+        }
+        let dl = fm.sample_l(id, &shared, draws.next_normal());
+        let dvth = fm.vth_local(id) * draws.next_normal();
+        let d = cell::gate_delay(
+            tech,
+            node.kind,
+            node.fanin.len(),
+            design.size(id),
+            design.vth(id),
+            design.load_cap(id),
+            dl,
+            dvth,
+        );
+        let worst = node
+            .fanin
+            .iter()
+            .map(|f| arrival[f.index()])
+            .fold(0.0, f64::max);
+        arrival[id.index()] = worst + d;
+        leakage += cell::leakage_current(
+            tech,
+            node.kind,
+            node.fanin.len(),
+            design.size(id),
+            design.vth(id),
+            dl,
+            dvth,
+        );
+    }
+    let delay = circuit
+        .outputs()
+        .iter()
+        .map(|o| arrival[o.index()])
+        .fold(0.0, f64::max);
+    (delay, leakage, shared)
+}

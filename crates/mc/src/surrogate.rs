@@ -1,0 +1,101 @@
+//! Linearized analytical surrogates evaluated alongside the non-linear
+//! models — the "SSTA as control variate" layer.
+//!
+//! Both surrogates are functions of the *shared* factor draws only, with
+//! expectations known in closed form:
+//!
+//! * delay: the SSTA canonical `D̃(z) = μ_D + aᵀz` (exactly Gaussian,
+//!   `E[D̃] = μ_D`, `σ(D̃) = ‖a‖`);
+//! * leakage: the conditional mean `Ĩ(z) = E[I_total | shared = z] =
+//!   Σ_r c_r e^{s_rᵀ z}` from the region-aggregated Wilkinson state
+//!   (`E[Ĩ]` = the exact total mean).
+//!
+//! Restricting to shared factors is deliberate: after Clark max operations
+//! the canonical's per-gate local contributions fold into one aggregate
+//! term that cannot be re-attributed to individual gate draws, while the
+//! shared factors carry the bulk of the chip-level variance — which is all
+//! a control variate or a mean shift needs.
+
+use statleak_leakage::LeakageAnalysis;
+use statleak_ssta::Ssta;
+use statleak_tech::{Design, FactorModel};
+
+#[inline]
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// The linearized delay surrogate `D̃(z) = mean + sharedᵀz`.
+#[derive(Debug, Clone)]
+pub(crate) struct DelaySurrogate {
+    /// Canonical mean (ps) — the surrogate's exact expectation.
+    pub mean: f64,
+    /// Dense shared-factor sensitivities (ps per sigma).
+    pub shared: Vec<f64>,
+    /// `‖shared‖` — the surrogate's exact sigma.
+    pub sigma_shared: f64,
+    /// Total canonical variance (shared + local), for shift derivation.
+    pub variance: f64,
+}
+
+impl DelaySurrogate {
+    /// Runs SSTA and extracts the circuit-delay canonical.
+    pub(crate) fn build(design: &Design, fm: &FactorModel) -> Self {
+        let ssta = Ssta::analyze(design, fm);
+        let c = ssta.circuit_delay();
+        let shared = c.shared_dense();
+        let sigma_shared = dot(&shared, &shared).sqrt();
+        Self {
+            mean: c.mean,
+            shared,
+            sigma_shared,
+            variance: c.variance,
+        }
+    }
+
+    /// Evaluates the surrogate at the drawn shared factors.
+    #[inline]
+    pub(crate) fn eval(&self, z: &[f64]) -> f64 {
+        self.mean + dot(&self.shared, z)
+    }
+
+    /// The importance-sampling mean shift for a clock target `t_clk`: the
+    /// most-likely-failure point of the linear surrogate `{D̃ ≥ t_clk}`,
+    /// projected on the shared factors — `s = a·(t_clk − μ)/σ²`. Its norm
+    /// is `β·(shared-variance fraction)`, where `β` is the sigma-distance
+    /// of the clock from the mean.
+    pub(crate) fn failure_shift(&self, t_clk: f64) -> Vec<f64> {
+        if self.variance <= 0.0 {
+            return vec![0.0; self.shared.len()];
+        }
+        let scale = (t_clk - self.mean) / self.variance;
+        self.shared.iter().map(|a| a * scale).collect()
+    }
+}
+
+/// The conditional-mean leakage surrogate `Ĩ(z) = Σ_r c_r e^{s_rᵀ z}`.
+#[derive(Debug, Clone)]
+pub(crate) struct LeakageSurrogate {
+    /// Per-region `(c_r, s_r)` pairs.
+    regions: Vec<(f64, Vec<f64>)>,
+    /// Exact expectation (the Wilkinson total mean, A).
+    pub mean: f64,
+}
+
+impl LeakageSurrogate {
+    /// Runs the analytical leakage analysis and keeps its region state.
+    pub(crate) fn build(design: &Design, fm: &FactorModel) -> Self {
+        let leak = LeakageAnalysis::analyze(design, fm);
+        Self {
+            regions: leak.conditional_mean_surrogate(),
+            mean: leak.mean_total_current(),
+        }
+    }
+
+    /// Evaluates the surrogate at the drawn shared factors — `O(regions)`
+    /// exponentials, negligible next to a full netlist evaluation.
+    #[inline]
+    pub(crate) fn eval(&self, z: &[f64]) -> f64 {
+        self.regions.iter().map(|(c, s)| c * dot(s, z).exp()).sum()
+    }
+}

@@ -29,6 +29,7 @@ proptest! {
             samples: 64,
             seed: mc_seed,
             threads: 2,
+            ..Default::default()
         })
         .run(&d, &fm);
         for c in r.chips() {
@@ -46,6 +47,7 @@ proptest! {
             samples: 128,
             seed: 3,
             threads: 0,
+            ..Default::default()
         })
         .run(&d, &fm);
         let s = r.delay_summary();
@@ -69,6 +71,7 @@ proptest! {
             samples: 200,
             seed: 5,
             threads: 0,
+            ..Default::default()
         })
         .run(&d, &fm);
         let t = r.delay_summary().p95.min(r.delay_summary().max * qt.max(0.5));
@@ -90,6 +93,7 @@ proptest! {
             samples: 256,
             seed: 7,
             threads: 0,
+            ..Default::default()
         })
         .run(&d, &fm);
         prop_assert!(r.delay_leakage_correlation() < 0.0);

@@ -1,0 +1,117 @@
+//! Binomial proportion confidence intervals.
+//!
+//! Empirical yields are binomial proportions, and the naive Wald interval
+//! `p̂ ± z√(p̂(1−p̂)/n)` collapses to zero width at p̂ ∈ {0, 1} — exactly the
+//! regime tail-yield estimation lives in. The Wilson score interval inverts
+//! the score test instead: it is never degenerate, stays inside `[0, 1]`,
+//! and has close-to-nominal coverage even for a handful of trials, which is
+//! why every empirical yield in the Monte-Carlo engine reports it.
+
+/// A two-sided confidence interval on a binomial proportion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BinomialInterval {
+    /// Lower bound (≥ 0).
+    pub lo: f64,
+    /// Upper bound (≤ 1).
+    pub hi: f64,
+}
+
+impl BinomialInterval {
+    /// Half the interval width.
+    #[inline]
+    pub fn half_width(&self) -> f64 {
+        0.5 * (self.hi - self.lo)
+    }
+
+    /// Whether `p` lies inside the interval (inclusive).
+    #[inline]
+    pub fn contains(&self, p: f64) -> bool {
+        self.lo <= p && p <= self.hi
+    }
+}
+
+/// Wilson score interval for `successes` out of `trials` at normal quantile
+/// `z` (e.g. `z = 1.96` for 95% confidence).
+///
+/// Zero trials carry no information: the interval is the whole `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if `successes > trials` or `z` is negative or non-finite.
+///
+/// ```
+/// use statleak_stats::wilson_interval;
+/// let ci = wilson_interval(8, 10, 1.96);
+/// assert!(ci.lo > 0.44 && ci.lo < 0.50);
+/// assert!(ci.hi > 0.94 && ci.hi < 0.97);
+/// assert!(ci.contains(0.8));
+/// ```
+pub fn wilson_interval(successes: usize, trials: usize, z: f64) -> BinomialInterval {
+    assert!(successes <= trials, "more successes than trials");
+    assert!(
+        z.is_finite() && z >= 0.0,
+        "z must be a non-negative quantile"
+    );
+    if trials == 0 {
+        return BinomialInterval { lo: 0.0, hi: 1.0 };
+    }
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let spread = z * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt() / denom;
+    BinomialInterval {
+        lo: (center - spread).max(0.0),
+        hi: (center + spread).min(1.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn textbook_value() {
+        // 8/10 at 95%: Wilson gives ≈ [0.490, 0.943].
+        let ci = wilson_interval(8, 10, 1.959_963_985);
+        assert!((ci.lo - 0.490).abs() < 5e-3, "lo {}", ci.lo);
+        assert!((ci.hi - 0.943).abs() < 5e-3, "hi {}", ci.hi);
+    }
+
+    #[test]
+    fn never_degenerate_at_the_extremes() {
+        let all = wilson_interval(1000, 1000, 1.96);
+        assert!(all.hi == 1.0 && all.lo < 1.0 && all.lo > 0.99);
+        let none = wilson_interval(0, 1000, 1.96);
+        assert!(none.lo == 0.0 && none.hi > 0.0 && none.hi < 0.01);
+    }
+
+    #[test]
+    fn zero_trials_is_vacuous() {
+        assert_eq!(
+            wilson_interval(0, 0, 1.96),
+            BinomialInterval { lo: 0.0, hi: 1.0 }
+        );
+    }
+
+    #[test]
+    fn width_shrinks_like_inverse_sqrt_n() {
+        let w100 = wilson_interval(50, 100, 1.96).half_width();
+        let w10000 = wilson_interval(5000, 10_000, 1.96).half_width();
+        let ratio = w100 / w10000;
+        assert!((ratio - 10.0).abs() < 0.5, "ratio {ratio}");
+    }
+
+    #[test]
+    fn zero_z_collapses_to_point_estimate() {
+        let ci = wilson_interval(3, 4, 0.0);
+        assert!((ci.lo - 0.75).abs() < 1e-12 && (ci.hi - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "more successes than trials")]
+    fn successes_beyond_trials_rejected() {
+        let _ = wilson_interval(5, 4, 1.96);
+    }
+}

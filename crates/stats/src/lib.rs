@@ -36,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod binomial;
 mod bivariate;
 mod clark;
 mod descriptive;
@@ -44,9 +45,11 @@ mod linalg;
 mod lognormal;
 mod normal;
 mod rng;
+mod sobol;
 mod sparse;
 mod wilkinson;
 
+pub use binomial::{wilson_interval, BinomialInterval};
 pub use bivariate::bivariate_normal_cdf;
 pub use clark::{clark_max, clark_max_many, ClarkMoments};
 pub use descriptive::{percentile_of_sorted, Histogram, Summary};
@@ -55,5 +58,6 @@ pub use linalg::{cholesky, CholeskyError, Matrix};
 pub use lognormal::LogNormal;
 pub use normal::Normal;
 pub use rng::{sample_standard_normal, seeded_rng, StdNormalSampler};
+pub use sobol::SobolSequence;
 pub use sparse::SparseVec;
 pub use wilkinson::{wilkinson_sum, LognormalTerm};

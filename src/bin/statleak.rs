@@ -6,10 +6,16 @@
 //!     List the built-in ISCAS85-class benchmark suite.
 //!
 //! statleak analyze   --input FILE [--clock-ps N] [--report K]
-//!     Timing (STA/SSTA), leakage, and yield report for a netlist.
+//!                    [--mc-sampler S] [--mc-samples N] [--mc-seed N]
+//!     Timing (STA/SSTA), leakage, and yield report for a netlist. With
+//!     --mc-samples > 0 an empirical yield with a 95% confidence interval
+//!     is printed; --mc-sampler picks the estimator (`plain`, `sobol`,
+//!     layered with `+is` importance sampling and `+cv` control variates,
+//!     e.g. `sobol+is`).
 //!
 //! statleak optimize  --input FILE [--slack-factor F] [--eta E]
 //!                    [--triple-vth] [--out-verilog F] [--out-bench F]
+//!                    [--mc-sampler S] [--mc-samples N] [--mc-seed N]
 //!     Run the full statistical flow and write the optimized netlist.
 //!
 //! statleak export-lib [--out FILE]
@@ -51,7 +57,7 @@
 use statleak::engine::{Json, ServeConfig, Server};
 use statleak::error::StatleakError;
 use statleak::leakage::LeakageAnalysis;
-use statleak::mc::{McConfig, MonteCarlo};
+use statleak::mc::{McConfig, MonteCarlo, SamplingScheme};
 use statleak::netlist::{bench, benchmarks, placement::Placement, verilog, Circuit};
 use statleak::obs;
 use statleak::opt::{sizing, statistical_flow, StatisticalOptimizer};
@@ -156,8 +162,10 @@ fn print_usage() {
          commands:\n\
          \x20 benchmarks                      list built-in circuits\n\
          \x20 analyze   --input FILE [--clock-ps N] [--report K]\n\
+         \x20           [--mc-sampler S] [--mc-samples N] [--mc-seed N]\n\
          \x20 optimize  --input FILE [--slack-factor F] [--eta E] [--triple-vth]\n\
          \x20           [--out-verilog F] [--out-bench F]\n\
+         \x20           [--mc-sampler S] [--mc-samples N] [--mc-seed N]\n\
          \x20 export-lib [--out FILE]\n\
          \x20 serve     [--addr A] [--workers N] [--queue-depth N]\n\
          \x20           [--cache-capacity N] [--deadline-ms N]\n\
@@ -166,6 +174,7 @@ fn print_usage() {
          \n\
          global flags: --trace FILE (NDJSON span trace), --log-level LEVEL\n\
          --input accepts .bench, .v, or a built-in name like c880\n\
+         --mc-sampler: plain | sobol, layered with +is / +cv (e.g. sobol+is)\n\
          serve speaks newline-delimited JSON (docs/SERVE_PROTOCOL.md)\n\
          exit codes: 0 ok, 2 usage, 3 io, 4 parse, 5 model, 6 infeasible, 7 busy"
     );
@@ -265,6 +274,30 @@ fn load_circuit(flags: &BTreeMap<String, String>) -> Result<Circuit, StatleakErr
     }
 }
 
+/// Parses the shared `--mc-sampler` / `--mc-samples` / `--mc-seed` flags.
+/// Unknown sampler tokens are usage errors (exit 2), reported with the
+/// parser's own diagnostic. `default_samples` differs per command
+/// (`analyze` skips MC unless asked; `optimize` always confirms).
+fn parse_mc_flags(
+    flags: &BTreeMap<String, String>,
+    default_samples: usize,
+) -> Result<McConfig, StatleakError> {
+    let scheme = match flags.get("--mc-sampler") {
+        None => SamplingScheme::default(),
+        Some(v) => v
+            .parse::<SamplingScheme>()
+            .map_err(|e| StatleakError::Usage(format!("`--mc-sampler`: {e}")))?,
+    };
+    let samples = get_parsed::<usize>(flags, "--mc-samples")?.unwrap_or(default_samples);
+    let seed = get_parsed::<u64>(flags, "--mc-seed")?.unwrap_or(McConfig::default().seed);
+    Ok(McConfig {
+        samples,
+        seed,
+        ..Default::default()
+    }
+    .with_scheme(scheme))
+}
+
 fn build_context(circuit: Circuit) -> Result<(Design, FactorModel), StatleakError> {
     let circuit = Arc::new(circuit);
     let placement = Placement::by_level(&circuit);
@@ -295,13 +328,26 @@ fn cmd_benchmarks() -> Result<(), StatleakError> {
 }
 
 fn cmd_analyze(args: &[String]) -> Result<(), StatleakError> {
-    let flags = parse_flags(args, &["--input", "--clock-ps", "--report"], &[])?;
+    let flags = parse_flags(
+        args,
+        &[
+            "--input",
+            "--clock-ps",
+            "--report",
+            "--mc-sampler",
+            "--mc-samples",
+            "--mc-seed",
+        ],
+        &[],
+    )?;
     // Validate every value before the (expensive) analysis starts.
     let clock_override = match get_parsed::<f64>(&flags, "--clock-ps")? {
         Some(v) => Some(require_positive("--clock-ps", v)?),
         None => None,
     };
     let report_k = get_parsed::<usize>(&flags, "--report")?;
+    // MC confirmation is opt-in for analyze: 0 samples unless asked.
+    let mc_config = parse_mc_flags(&flags, 0)?;
     let (design, fm) = build_context(load_circuit(&flags)?)?;
     let stats = design.circuit().stats();
     println!(
@@ -337,6 +383,14 @@ fn cmd_analyze(args: &[String]) -> Result<(), StatleakError> {
         t_clk,
         ssta.timing_yield(t_clk)
     );
+    if mc_config.samples > 0 {
+        let scheme = mc_config.scheme();
+        let est = MonteCarlo::new(mc_config).timing_yield_estimate(&design, &fm, t_clk);
+        println!(
+            "MC yield ({scheme})  : {:.4}  95% CI [{:.4}, {:.4}]  ({} samples, ESS {:.0})",
+            est.yield_value, est.ci.lo, est.ci.hi, est.evaluations, est.ess
+        );
+    }
     if let Some(k) = report_k {
         println!();
         print!(
@@ -356,9 +410,13 @@ fn cmd_optimize(args: &[String]) -> Result<(), StatleakError> {
             "--eta",
             "--out-verilog",
             "--out-bench",
+            "--mc-sampler",
+            "--mc-samples",
+            "--mc-seed",
         ],
         &["--triple-vth"],
     )?;
+    let mc_config = parse_mc_flags(&flags, 1000)?;
     // Validate every value before the (expensive) flow starts.
     let slack = match get_parsed::<f64>(&flags, "--slack-factor")? {
         Some(v) if v.is_finite() && v >= 1.0 => v,
@@ -405,17 +463,33 @@ fn cmd_optimize(args: &[String]) -> Result<(), StatleakError> {
         out.design.total_width()
     );
 
-    // Monte-Carlo confirmation.
-    let mc = MonteCarlo::new(McConfig {
-        samples: 1000,
-        ..Default::default()
-    })
-    .run(&out.design, &fm);
-    println!(
-        "MC check: yield {:.4}, p95 leakage {:.3} uW",
-        mc.timing_yield(t_clk),
-        mc.leakage_percentile(0.95) * out.design.tech().vdd * 1e6
-    );
+    // Monte-Carlo confirmation (skipped with --mc-samples 0).
+    if mc_config.samples > 0 {
+        let scheme = mc_config.scheme();
+        let engine = MonteCarlo::new(mc_config);
+        let est = engine.timing_yield_estimate(&out.design, &fm, t_clk);
+        // The leakage percentile always comes from an unshifted
+        // population run, whatever the yield estimator.
+        let population = if scheme.variance_reduction.importance_sampling {
+            MonteCarlo::new(McConfig {
+                variance_reduction: statleak::mc::VarianceReduction {
+                    importance_sampling: false,
+                    ..engine.config().variance_reduction
+                },
+                ..engine.config().clone()
+            })
+            .run(&out.design, &fm)
+        } else {
+            engine.run(&out.design, &fm)
+        };
+        println!(
+            "MC check ({scheme}): yield {:.4} 95% CI [{:.4}, {:.4}], p95 leakage {:.3} uW",
+            est.yield_value,
+            est.ci.lo,
+            est.ci.hi,
+            population.leakage_percentile(0.95) * out.design.tech().vdd * 1e6
+        );
+    }
 
     if let Some(path) = flags.get("--out-verilog") {
         write_file(path, verilog::write(out.design.circuit()))?;

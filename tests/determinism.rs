@@ -39,6 +39,7 @@ fn monte_carlo_is_stable_across_runs_and_threads() {
             samples: 256,
             seed: 7,
             threads,
+            ..Default::default()
         })
         .run(&design, &fm)
     };
