@@ -1,0 +1,249 @@
+//! Load generator for `statleak serve`: batch vs. one-request-per-line.
+//!
+//! Starts an in-process daemon, warms every op it will request (so the
+//! session cache and result memos are hot and the measurement isolates
+//! *serving* overhead — dispatch, queueing, protocol encode/decode, and
+//! round trips — not flow compute), then drives it to saturation twice
+//! with the same concurrent clients:
+//!
+//! 1. **single**: each client holds one persistent connection and sends
+//!    one request line at a time, lock-step (the classic NDJSON client).
+//! 2. **batch**: the same clients send the same ops packed into `batch`
+//!    requests of [`BATCH_SIZE`] items per line.
+//!
+//! Throughput is requests (resp. items) per second; latency percentiles
+//! come from the server's own `serve_queue_wait_ns` / `serve_service_ns`
+//! obs histograms. Results land in `BENCH_serve.json` (or the path given
+//! as the first CLI argument); the optional second argument scales the
+//! per-client request count (default 1500 — CI uses a smaller load):
+//!
+//! ```text
+//! cargo run --release -p statleak-bench --bin serve_perf [out.json] [per_client]
+//! ```
+
+use statleak_engine::{Json, ServeConfig, Server};
+use statleak_obs as obs;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::AtomicBool;
+use std::time::Instant;
+
+/// Concurrent client connections in both phases.
+const CLIENTS: usize = 8;
+/// Items per `batch` request line.
+const BATCH_SIZE: usize = 32;
+/// Default single-line requests per client in the baseline phase.
+const DEFAULT_SINGLE_PER_CLIENT: usize = 1500;
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// The op bodies every request cycles through — distinct memo entries,
+/// all warmed before measurement.
+const ITEM_OPS: [&str; 4] = [
+    r#"{"op":"comparison"}"#,
+    r#"{"op":"distribution","bins":16}"#,
+    r#"{"op":"sweep","axis":"slack_factor","values":[1.2,1.3]}"#,
+    r#"{"op":"mc_validation"}"#,
+];
+
+/// Shared config suffix: smallest circuit, MC disabled, so a warm
+/// request is pure serving overhead.
+const CFG: &str = r#""benchmark":"c17","mc_samples":0"#;
+
+fn single_line(i: usize) -> String {
+    let body = ITEM_OPS[i % ITEM_OPS.len()];
+    // Splice the shared config into the item body's op object.
+    let params = body
+        .strip_prefix('{')
+        .and_then(|b| b.strip_suffix('}'))
+        .expect("item op is an object");
+    format!("{{\"id\":{i},{params},{CFG}}}")
+}
+
+fn batch_line(i: usize) -> String {
+    let items: Vec<&str> = (0..BATCH_SIZE)
+        .map(|j| ITEM_OPS[(i * BATCH_SIZE + j) % ITEM_OPS.len()])
+        .collect();
+    format!(
+        "{{\"id\":{i},\"op\":\"batch\",{CFG},\"items\":[{}]}}",
+        items.join(",")
+    )
+}
+
+/// One lock-step client: sends each line, reads each response, panics on
+/// any protocol or request error (the benchmark must not quietly measure
+/// error paths).
+fn run_client(addr: SocketAddr, lines: &[String]) {
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut writer = stream.try_clone().expect("clone stream");
+    let mut reader = BufReader::new(stream);
+    let mut response = String::new();
+    for line in lines {
+        writer
+            .write_all(format!("{line}\n").as_bytes())
+            .expect("send");
+        response.clear();
+        reader.read_line(&mut response).expect("receive");
+        assert!(
+            response.contains(r#""ok":true"#),
+            "request failed under load: {response}"
+        );
+    }
+}
+
+/// Fans `per_client` lines built by `make_line` over [`CLIENTS`]
+/// connections and returns the wall-clock seconds for all to finish.
+fn drive(addr: SocketAddr, per_client: usize, make_line: impl Fn(usize) -> String) -> f64 {
+    let lines: Vec<Vec<String>> = (0..CLIENTS)
+        .map(|c| {
+            (0..per_client)
+                .map(|i| make_line(c * per_client + i))
+                .collect()
+        })
+        .collect();
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for client_lines in &lines {
+            scope.spawn(move || run_client(addr, client_lines));
+        }
+    });
+    start.elapsed().as_secs_f64()
+}
+
+/// Serializes one histogram from the global registry, ns → µs.
+fn histogram_json(name: &str) -> Json {
+    let snapshot = obs::Registry::global().snapshot();
+    let h = snapshot
+        .histograms
+        .iter()
+        .find(|h| h.name == name)
+        .unwrap_or_else(|| panic!("histogram {name} not recorded"));
+    Json::obj(vec![
+        ("count", Json::Num(h.count as f64)),
+        ("p50_us", Json::Num(round2(h.p50 / 1e3))),
+        ("p95_us", Json::Num(round2(h.p95 / 1e3))),
+        ("p99_us", Json::Num(round2(h.p99 / 1e3))),
+        ("mean_us", Json::Num(round2(h.mean / 1e3))),
+    ])
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_serve.json".to_string());
+    let single_per_client: usize = std::env::args()
+        .nth(2)
+        .map(|v| v.parse().expect("per_client must be a number"))
+        .unwrap_or(DEFAULT_SINGLE_PER_CLIENT)
+        .max(BATCH_SIZE);
+    // Same total item count as the baseline, packed into batch lines.
+    let batches_per_client = single_per_client / BATCH_SIZE;
+    let host_cpus = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+
+    let mut config = ServeConfig::default();
+    config.addr = "127.0.0.1:0".to_string();
+    config.queue_depth = 2 * CLIENTS.max(8);
+    let server = Server::bind(&config, &SHUTDOWN).expect("bind");
+    let addr = server.local_addr();
+    let server_thread = std::thread::spawn(move || server.run().expect("server runs"));
+
+    // Warm every distinct op once: after this, all measured requests are
+    // memo hits and the numbers isolate serving overhead.
+    eprintln!("warming {} ops on c17 ...", ITEM_OPS.len());
+    for i in 0..ITEM_OPS.len() {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(format!("{}\n", single_line(i)).as_bytes())
+            .expect("send");
+        let mut response = String::new();
+        BufReader::new(stream)
+            .read_line(&mut response)
+            .expect("receive");
+        assert!(
+            response.contains(r#""ok":true"#),
+            "warmup failed: {response}"
+        );
+    }
+
+    let single_total = CLIENTS * single_per_client;
+    eprintln!("single: {CLIENTS} clients x {single_per_client} one-op lines ...");
+    let single_s = drive(addr, single_per_client, single_line);
+    let single_rps = single_total as f64 / single_s;
+    eprintln!("  {single_total} requests in {single_s:.2} s = {single_rps:.0} req/s");
+
+    let batch_items = CLIENTS * batches_per_client * BATCH_SIZE;
+    eprintln!("batch: {CLIENTS} clients x {batches_per_client} lines of {BATCH_SIZE} items ...");
+    let batch_s = drive(addr, batches_per_client, batch_line);
+    let batch_ips = batch_items as f64 / batch_s;
+    let speedup = batch_ips / single_rps;
+    eprintln!(
+        "  {batch_items} items in {batch_s:.2} s = {batch_ips:.0} items/s ({speedup:.1}x single)"
+    );
+
+    // Latency percentiles from the server's own histograms (cumulative
+    // over both phases plus warmup).
+    let queue_wait = histogram_json("serve_queue_wait_ns");
+    let service = histogram_json("serve_service_ns");
+
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(b"{\"op\":\"shutdown\"}\n")
+        .expect("send shutdown");
+    let mut ack = String::new();
+    BufReader::new(stream).read_line(&mut ack).expect("ack");
+    let report = server_thread.join().expect("server thread");
+    assert_eq!(report.busy_rejected, 0, "benchmark must not shed load");
+    assert_eq!(report.request_errors, 0);
+
+    let json = Json::obj(vec![
+        (
+            "harness",
+            Json::str("cargo run --release -p statleak-bench --bin serve_perf"),
+        ),
+        ("host_cpus", Json::Num(host_cpus as f64)),
+        ("clients", Json::Num(CLIENTS as f64)),
+        // Mirrors the server's own worker sizing rule (workers = 0).
+        ("workers", Json::Num(host_cpus.min(8) as f64)),
+        ("batch_size", Json::Num(BATCH_SIZE as f64)),
+        (
+            "single",
+            Json::obj(vec![
+                ("requests", Json::Num(single_total as f64)),
+                ("elapsed_s", Json::Num(round2(single_s))),
+                ("requests_per_s", Json::Num(round2(single_rps))),
+            ]),
+        ),
+        (
+            "batch",
+            Json::obj(vec![
+                ("lines", Json::Num((CLIENTS * batches_per_client) as f64)),
+                ("items", Json::Num(batch_items as f64)),
+                ("elapsed_s", Json::Num(round2(batch_s))),
+                ("items_per_s", Json::Num(round2(batch_ips))),
+            ]),
+        ),
+        ("batch_speedup", Json::Num(round2(speedup))),
+        ("queue_wait", queue_wait),
+        ("service", service),
+        (
+            "server",
+            Json::obj(vec![
+                ("served", Json::Num(report.served as f64)),
+                ("busy_rejected", Json::Num(report.busy_rejected as f64)),
+                (
+                    "deadline_expired",
+                    Json::Num(report.deadline_expired as f64),
+                ),
+                ("connections", Json::Num(report.connections as f64)),
+            ]),
+        ),
+    ]);
+    std::fs::write(&out_path, format!("{json}\n")).expect("write BENCH_serve.json");
+    eprintln!("wrote {out_path}");
+}
+
+fn round2(x: f64) -> f64 {
+    (x * 100.0).round() / 100.0
+}

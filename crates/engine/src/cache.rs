@@ -1,11 +1,12 @@
 //! A small bounded LRU cache and the content hasher that keys it.
 //!
-//! The cache is deliberately simple: capacities are tens of entries (one
-//! per distinct `(netlist, tech, config)` triple a process works with), so
-//! a `VecDeque` scanned linearly beats pointer-chasing list machinery and
-//! stays trivially correct.
+//! Lookups are O(1): a `HashMap` indexes the entries, and recency is
+//! tracked with a lazily-compacted queue of `(stamp, key)` pairs instead
+//! of an intrusive linked list — a stale queue entry (one whose stamp no
+//! longer matches the map's) is simply skipped at eviction time. That
+//! keeps `get` allocation-free on the hot path while staying safe code.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
 /// FNV-1a offset basis.
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
@@ -69,14 +70,29 @@ impl ContentHasher {
     }
 }
 
+/// One cached value plus the recency stamp of its latest touch.
+#[derive(Debug)]
+struct Slot<V> {
+    value: V,
+    stamp: u64,
+}
+
 /// A bounded least-recently-used map from `u64` keys to values.
 ///
-/// Front of the deque is most-recently-used. Not thread-safe by itself —
-/// the engine wraps it in a `Mutex`.
+/// `get` and `insert` are O(1) amortized: the map holds the values, and
+/// every touch appends a fresh `(stamp, key)` pair to the recency queue.
+/// Only the queue entry whose stamp matches the map's current stamp for
+/// that key is live; eviction pops stale pairs until it finds a live one,
+/// and the queue is compacted once it grows past twice the live count.
+/// Not thread-safe by itself — the engine wraps it in a `Mutex`.
 #[derive(Debug)]
 pub struct Lru<V> {
     capacity: usize,
-    entries: VecDeque<(u64, V)>,
+    map: HashMap<u64, Slot<V>>,
+    /// Recency queue: back is most recent. May contain stale pairs.
+    order: VecDeque<(u64, u64)>,
+    /// Monotone touch counter; stamps are unique per touch.
+    clock: u64,
 }
 
 impl<V: Clone> Lru<V> {
@@ -84,16 +100,38 @@ impl<V: Clone> Lru<V> {
     pub fn new(capacity: usize) -> Self {
         Self {
             capacity: capacity.max(1),
-            entries: VecDeque::new(),
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            clock: 0,
+        }
+    }
+
+    /// Marks `key` as touched now and records the touch in the queue.
+    fn touch(&mut self, key: u64) -> u64 {
+        self.clock += 1;
+        self.order.push_back((self.clock, key));
+        self.clock
+    }
+
+    /// Drops stale queue pairs once they outnumber the live entries.
+    fn maybe_compact(&mut self) {
+        if self.order.len() > 2 * self.map.len() + 8 {
+            let map = &self.map;
+            self.order
+                .retain(|&(stamp, key)| map.get(&key).is_some_and(|s| s.stamp == stamp));
         }
     }
 
     /// Looks up `key`, promoting it to most-recently-used on a hit.
     pub fn get(&mut self, key: u64) -> Option<V> {
-        let pos = self.entries.iter().position(|(k, _)| *k == key)?;
-        let entry = self.entries.remove(pos).expect("position is in range");
-        let value = entry.1.clone();
-        self.entries.push_front(entry);
+        if !self.map.contains_key(&key) {
+            return None;
+        }
+        let stamp = self.touch(key);
+        let slot = self.map.get_mut(&key).expect("checked above");
+        slot.stamp = stamp;
+        let value = slot.value.clone();
+        self.maybe_compact();
         Some(value)
     }
 
@@ -107,23 +145,46 @@ impl<V: Clone> Lru<V> {
         if let Some(existing) = self.get(key) {
             return (existing, None);
         }
-        self.entries.push_front((key, value.clone()));
-        let evicted = if self.entries.len() > self.capacity {
-            self.entries.pop_back().map(|(k, _)| k)
+        let stamp = self.touch(key);
+        self.map.insert(
+            key,
+            Slot {
+                value: value.clone(),
+                stamp,
+            },
+        );
+        let evicted = if self.map.len() > self.capacity {
+            Some(self.evict_lru())
         } else {
             None
         };
+        self.maybe_compact();
         (value, evicted)
+    }
+
+    /// Removes and returns the least-recently-used key, skipping stale
+    /// queue pairs.
+    fn evict_lru(&mut self) -> u64 {
+        loop {
+            let (stamp, key) = self
+                .order
+                .pop_front()
+                .expect("queue covers every live entry");
+            if self.map.get(&key).is_some_and(|s| s.stamp == stamp) {
+                self.map.remove(&key);
+                return key;
+            }
+        }
     }
 
     /// Current number of cached entries.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.map.len()
     }
 
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.map.is_empty()
     }
 
     /// The configured bound.
@@ -133,12 +194,19 @@ impl<V: Clone> Lru<V> {
 
     /// Keys from most- to least-recently-used (for tests and stats).
     pub fn keys(&self) -> Vec<u64> {
-        self.entries.iter().map(|(k, _)| *k).collect()
+        let mut out = Vec::with_capacity(self.map.len());
+        for &(stamp, key) in self.order.iter().rev() {
+            if self.map.get(&key).is_some_and(|s| s.stamp == stamp) {
+                out.push(key);
+            }
+        }
+        out
     }
 
     /// Drops every entry.
     pub fn clear(&mut self) {
-        self.entries.clear();
+        self.map.clear();
+        self.order.clear();
     }
 }
 
@@ -203,6 +271,31 @@ mod tests {
         assert_eq!(winner, "first");
         assert_eq!(evicted, None);
         assert_eq!(lru.len(), 1);
+    }
+
+    #[test]
+    fn lru_survives_heavy_re_touching_without_queue_growth() {
+        // Many repeated gets on the same keys leave stale pairs behind;
+        // compaction must keep the queue bounded and eviction must still
+        // pick the true LRU entry.
+        let mut lru = Lru::new(3);
+        lru.insert(1, "a");
+        lru.insert(2, "b");
+        lru.insert(3, "c");
+        for _ in 0..10_000 {
+            assert_eq!(lru.get(2), Some("b"));
+            assert_eq!(lru.get(3), Some("c"));
+        }
+        assert!(
+            lru.order.len() <= 2 * lru.map.len() + 8,
+            "queue grew unboundedly: {} pairs for {} entries",
+            lru.order.len(),
+            lru.map.len()
+        );
+        // Key 1 has not been touched since insert: it is the LRU entry.
+        let (_, evicted) = lru.insert(4, "d");
+        assert_eq!(evicted, Some(1));
+        assert_eq!(lru.keys(), vec![4, 3, 2]);
     }
 
     #[test]

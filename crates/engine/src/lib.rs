@@ -40,11 +40,15 @@
 pub mod cache;
 pub mod json;
 pub mod proto;
+pub mod ring;
 pub mod serve;
 pub mod session;
+pub mod store;
 
 pub use cache::{ContentHasher, Lru};
 pub use json::{Json, JsonError};
 pub use proto::{Op, ProtoError, Request};
+pub use ring::Ring;
 pub use serve::{ServeConfig, ServeReport, Server};
 pub use session::{session_key, CacheStats, Engine, Session, DEFAULT_CACHE_CAPACITY};
+pub use store::{Store, StoreStats};

@@ -15,11 +15,14 @@
 //! | `infeasible`        | optimization target cannot be met            |
 //! | `busy`              | queue at high-water mark, request rejected   |
 //! | `deadline`          | request expired before a worker picked it up |
+//! | `wrong-shard`       | another fleet node owns this session         |
 //! | `shutdown`          | server is draining, no new work accepted     |
 //! | `internal`          | anything else                                |
 
+use crate::cache::ContentHasher;
 use crate::json::Json;
 use crate::session::{CacheStats, Session};
+use crate::store::StoreStats;
 use statleak_core::flows::{
     AblationRow, ComparisonOutcome, DesignMetrics, DistKind, DistributionData, FlowConfig,
     FlowError, McValidation, SweepPoint, SweepSpec,
@@ -64,6 +67,22 @@ pub enum Op {
     Distribution(FlowConfig, usize),
     /// Modeling ablations (A1).
     Ablation(FlowConfig),
+    /// Several analysis ops over one shared session, fanned across the
+    /// worker pool and answered as a single aggregated response.
+    Batch(FlowConfig, Vec<Op>),
+    /// Consistent-hash routing query: which fleet node owns this
+    /// session? Answered inline, never queued.
+    Route(FlowConfig, RouteSpec),
+}
+
+/// Ring parameters carried by a `route` request (both optional when the
+/// server was started with its own `--ring`).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RouteSpec {
+    /// Explicit ring override: fleet node names.
+    pub ring: Option<Vec<String>>,
+    /// Virtual points per node (default [`crate::ring::DEFAULT_REPLICAS`]).
+    pub replicas: Option<usize>,
 }
 
 impl Op {
@@ -81,16 +100,65 @@ impl Op {
             Op::McValidation(_) => "mc_validation",
             Op::Distribution(..) => "distribution",
             Op::Ablation(_) => "ablation",
+            Op::Batch(..) => "batch",
+            Op::Route(..) => "route",
         }
     }
 
     /// Whether the op is answered inline by the connection handler
-    /// (control ops) rather than queued to the worker pool.
+    /// (control ops) rather than queued to the worker pool. `route` is
+    /// control: it only hashes, so it stays responsive under load.
     pub fn is_control(&self) -> bool {
         matches!(
             self,
-            Op::Ping | Op::Stats | Op::Shutdown | Op::Metrics | Op::MetricsText
+            Op::Ping | Op::Stats | Op::Shutdown | Op::Metrics | Op::MetricsText | Op::Route(..)
         )
+    }
+}
+
+/// Deterministic content hash of an op's name and parameters — the
+/// second half of the on-disk store key (the first is
+/// [`crate::session_key`]). Stable across processes and platforms, like
+/// every [`ContentHasher`] digest.
+pub fn op_hash(op: &Op) -> u64 {
+    let mut h = ContentHasher::new();
+    hash_op(&mut h, op);
+    h.finish()
+}
+
+fn hash_op(h: &mut ContentHasher, op: &Op) {
+    h.str(op.name());
+    match op {
+        Op::Sweep(_, spec) => {
+            h.str(spec.axis());
+            for &x in spec.values() {
+                h.f64(x);
+            }
+        }
+        Op::YieldCurves(_, grid) => {
+            for &x in grid {
+                h.f64(x);
+            }
+        }
+        Op::Distribution(_, bins) => {
+            h.usize(*bins);
+        }
+        Op::Batch(_, items) => {
+            h.usize(items.len());
+            for item in items {
+                hash_op(h, item);
+            }
+        }
+        // Name-only ops: the config is hashed by the session key.
+        Op::Comparison(_)
+        | Op::McValidation(_)
+        | Op::Ablation(_)
+        | Op::Route(..)
+        | Op::Ping
+        | Op::Stats
+        | Op::Shutdown
+        | Op::Metrics
+        | Op::MetricsText => {}
     }
 }
 
@@ -212,6 +280,61 @@ fn parse_config(obj: &Json) -> Result<FlowConfig, ProtoError> {
     })
 }
 
+/// Upper bound on sub-requests in one `batch` op.
+pub const MAX_BATCH_ITEMS: usize = 64;
+
+/// The op names that run on the worker pool against a session (batch
+/// items must be one of these).
+const ANALYSIS_OPS: &[&str] = &[
+    "comparison",
+    "sweep",
+    "yield_curves",
+    "mc_validation",
+    "distribution",
+    "ablation",
+];
+
+/// Parses the op-specific parameters of one analysis op. `obj` is the
+/// request object for a top-level op, or the item object for a batch
+/// sub-request (items inherit the batch's config).
+fn parse_analysis_op(name: &str, obj: &Json, cfg: FlowConfig) -> Result<Op, ProtoError> {
+    match name {
+        "comparison" => Ok(Op::Comparison(cfg)),
+        "sweep" => {
+            let values = field_values(obj, "values")?;
+            let axis = obj
+                .get("axis")
+                .and_then(Json::as_str)
+                .unwrap_or("slack_factor");
+            let spec = match axis {
+                "slack_factor" => SweepSpec::SlackFactor(values),
+                "sigma_l" => SweepSpec::SigmaL(values),
+                other => {
+                    return Err(ProtoError::usage(format!(
+                        "unknown sweep axis `{other}` (expected `slack_factor` or `sigma_l`)"
+                    )))
+                }
+            };
+            Ok(Op::Sweep(cfg, spec))
+        }
+        "yield_curves" => Ok(Op::YieldCurves(cfg, field_values(obj, "grid")?)),
+        "mc_validation" => Ok(Op::McValidation(cfg)),
+        "distribution" => {
+            let bins = field_usize(obj, "bins")?.unwrap_or(30);
+            if bins == 0 || bins > 1024 {
+                return Err(ProtoError::usage(format!(
+                    "`bins` must be in 1..=1024, got {bins}"
+                )));
+            }
+            Ok(Op::Distribution(cfg, bins))
+        }
+        "ablation" => Ok(Op::Ablation(cfg)),
+        other => Err(ProtoError::usage(format!(
+            "op `{other}` is not a batchable analysis op"
+        ))),
+    }
+}
+
 /// Parses one request line.
 ///
 /// # Errors
@@ -232,41 +355,71 @@ pub fn parse_request(line: &str) -> Result<Request, (ProtoError, Json)> {
         "shutdown" => Op::Shutdown,
         "metrics" => Op::Metrics,
         "metrics_text" => Op::MetricsText,
-        "comparison" => Op::Comparison(parse_config(&obj).map_err(fail)?),
-        "sweep" => {
+        "batch" => {
             let cfg = parse_config(&obj).map_err(fail)?;
-            let values = field_values(&obj, "values").map_err(fail)?;
-            let axis = obj
-                .get("axis")
-                .and_then(Json::as_str)
-                .unwrap_or("slack_factor");
-            let spec = match axis {
-                "slack_factor" => SweepSpec::SlackFactor(values),
-                "sigma_l" => SweepSpec::SigmaL(values),
-                other => {
-                    return Err(fail(ProtoError::usage(format!(
-                        "unknown sweep axis `{other}` (expected `slack_factor` or `sigma_l`)"
-                    ))))
-                }
-            };
-            Op::Sweep(cfg, spec)
-        }
-        "yield_curves" => Op::YieldCurves(
-            parse_config(&obj).map_err(fail)?,
-            field_values(&obj, "grid").map_err(fail)?,
-        ),
-        "mc_validation" => Op::McValidation(parse_config(&obj).map_err(fail)?),
-        "distribution" => {
-            let cfg = parse_config(&obj).map_err(fail)?;
-            let bins = field_usize(&obj, "bins").map_err(fail)?.unwrap_or(30);
-            if bins == 0 || bins > 1024 {
+            let items = obj
+                .get("items")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| fail(ProtoError::usage("`batch` requires an `items` array")))?;
+            if items.is_empty() || items.len() > MAX_BATCH_ITEMS {
                 return Err(fail(ProtoError::usage(format!(
-                    "`bins` must be in 1..=1024, got {bins}"
+                    "`items` must hold 1..={MAX_BATCH_ITEMS} sub-requests, got {}",
+                    items.len()
                 ))));
             }
-            Op::Distribution(cfg, bins)
+            let mut ops = Vec::with_capacity(items.len());
+            for (i, item) in items.iter().enumerate() {
+                let item_err =
+                    |e: ProtoError| ProtoError::usage(format!("items[{i}]: {}", e.message));
+                let name = item.get("op").and_then(Json::as_str).ok_or_else(|| {
+                    fail(ProtoError::usage(format!(
+                        "items[{i}]: missing string field `op`"
+                    )))
+                })?;
+                ops.push(
+                    parse_analysis_op(name, item, cfg.clone()).map_err(|e| fail(item_err(e)))?,
+                );
+            }
+            Op::Batch(cfg, ops)
         }
-        "ablation" => Op::Ablation(parse_config(&obj).map_err(fail)?),
+        "route" => {
+            let cfg = parse_config(&obj).map_err(fail)?;
+            let ring = match obj.get("ring") {
+                None | Some(Json::Null) => None,
+                Some(v) => {
+                    let arr = v.as_arr().ok_or_else(|| {
+                        fail(ProtoError::usage("`ring` must be an array of node names"))
+                    })?;
+                    if arr.is_empty() || arr.len() > 256 {
+                        return Err(fail(ProtoError::usage(format!(
+                            "`ring` must hold 1..=256 node names, got {}",
+                            arr.len()
+                        ))));
+                    }
+                    let mut nodes = Vec::with_capacity(arr.len());
+                    for n in arr {
+                        let s = n.as_str().ok_or_else(|| {
+                            fail(ProtoError::usage("`ring` must be an array of node names"))
+                        })?;
+                        nodes.push(s.to_string());
+                    }
+                    Some(nodes)
+                }
+            };
+            let replicas = field_usize(&obj, "replicas").map_err(fail)?;
+            if let Some(r) = replicas {
+                if r == 0 || r > 1024 {
+                    return Err(fail(ProtoError::usage(format!(
+                        "`replicas` must be in 1..=1024, got {r}"
+                    ))));
+                }
+            }
+            Op::Route(cfg, RouteSpec { ring, replicas })
+        }
+        name if ANALYSIS_OPS.contains(&name) => {
+            let cfg = parse_config(&obj).map_err(fail)?;
+            parse_analysis_op(name, &obj, cfg).map_err(fail)?
+        }
         other => {
             return Err(fail(ProtoError::usage(format!(
                 "unknown op `{other}` (see docs/SERVE_PROTOCOL.md)"
@@ -290,18 +443,31 @@ pub fn parse_request(line: &str) -> Result<Request, (ProtoError, Json)> {
 
 /// Encodes a success response line (no trailing newline).
 pub fn ok_response(id: &Json, op: &str, data: Json) -> String {
-    Json::obj(vec![
+    ok_response_with(id, op, data, Vec::new())
+}
+
+/// Encodes a success response line with extra top-level fields (e.g.
+/// `deadline_exceeded` on a late-but-served response).
+pub fn ok_response_with(id: &Json, op: &str, data: Json, extra: Vec<(&str, Json)>) -> String {
+    let mut pairs = vec![
         ("id", id.clone()),
         ("ok", Json::Bool(true)),
         ("op", Json::str(op)),
         ("data", data),
-    ])
-    .to_string()
+    ];
+    pairs.extend(extra);
+    Json::obj(pairs).to_string()
 }
 
 /// Encodes an error response line (no trailing newline).
 pub fn err_response(id: &Json, error: &ProtoError) -> String {
-    Json::obj(vec![
+    err_response_with(id, error, Vec::new())
+}
+
+/// Encodes an error response line with extra top-level fields (e.g.
+/// `shard_of` on a `wrong-shard` rejection).
+pub fn err_response_with(id: &Json, error: &ProtoError, extra: Vec<(&str, Json)>) -> String {
+    let mut pairs = vec![
         ("id", id.clone()),
         ("ok", Json::Bool(false)),
         (
@@ -311,8 +477,9 @@ pub fn err_response(id: &Json, error: &ProtoError) -> String {
                 ("message", Json::str(error.message.clone())),
             ]),
         ),
-    ])
-    .to_string()
+    ];
+    pairs.extend(extra);
+    Json::obj(pairs).to_string()
 }
 
 fn metrics_json(m: &DesignMetrics) -> Json {
@@ -515,14 +682,22 @@ pub fn execute(session: &Session, op: &Op) -> Result<Json, ProtoError> {
             flow(session.distribution().map(|d| distribution_json(&d, *bins)))
         }
         Op::Ablation(_) => flow(session.ablation().map(|r| ablation_json(&r))),
-        Op::Ping | Op::Stats | Op::Shutdown | Op::Metrics | Op::MetricsText => Err(ProtoError {
+        // Batch is fanned out by the server, not executed as one unit.
+        Op::Batch(..)
+        | Op::Ping
+        | Op::Stats
+        | Op::Shutdown
+        | Op::Metrics
+        | Op::MetricsText
+        | Op::Route(..) => Err(ProtoError {
             class: "internal",
-            message: format!("control op `{}` reached the worker pool", op.name()),
+            message: format!("op `{}` cannot execute against a single session", op.name()),
         }),
     }
 }
 
-/// The config an analysis op targets (`None` for control ops).
+/// The config an analysis op targets (`None` for control ops other than
+/// `route`, whose config is only hashed, never prepared).
 pub fn op_config(op: &Op) -> Option<&FlowConfig> {
     match op {
         Op::Comparison(cfg)
@@ -530,9 +705,24 @@ pub fn op_config(op: &Op) -> Option<&FlowConfig> {
         | Op::YieldCurves(cfg, _)
         | Op::McValidation(cfg)
         | Op::Distribution(cfg, _)
-        | Op::Ablation(cfg) => Some(cfg),
+        | Op::Ablation(cfg)
+        | Op::Batch(cfg, _)
+        | Op::Route(cfg, _) => Some(cfg),
         Op::Ping | Op::Stats | Op::Shutdown | Op::Metrics | Op::MetricsText => None,
     }
+}
+
+/// Encodes store traffic counters plus the on-disk entry count (the
+/// `stats` op's `store` section).
+pub fn store_stats_json(s: &StoreStats, entries: usize) -> Json {
+    Json::obj(vec![
+        ("hits", Json::Num(s.hits as f64)),
+        ("misses", Json::Num(s.misses as f64)),
+        ("stores", Json::Num(s.stores as f64)),
+        ("quarantined", Json::Num(s.quarantined as f64)),
+        ("write_errors", Json::Num(s.write_errors as f64)),
+        ("entries", Json::Num(entries as f64)),
+    ])
 }
 
 /// Encodes an observability-registry snapshot for the `metrics` op.
@@ -653,6 +843,92 @@ mod tests {
                 .unwrap_err();
         assert_eq!(e.class, "config");
         assert_eq!(id, Json::str("x"));
+    }
+
+    #[test]
+    fn parses_batch_requests_with_shared_config() {
+        let r = parse_request(
+            r#"{"id":1,"op":"batch","benchmark":"c17","mc_samples":0,"slack_factor":1.3,
+                "items":[{"op":"comparison"},
+                         {"op":"sweep","axis":"sigma_l","values":[0.05,0.1]},
+                         {"op":"distribution","bins":12}]}"#,
+        )
+        .unwrap();
+        let Op::Batch(cfg, items) = &r.op else {
+            panic!("wrong op: {:?}", r.op)
+        };
+        assert_eq!(cfg.benchmark, "c17");
+        assert_eq!(items.len(), 3);
+        // Items inherit the batch-level config wholesale.
+        let Op::Sweep(item_cfg, SweepSpec::SigmaL(v)) = &items[1] else {
+            panic!("wrong item: {:?}", items[1])
+        };
+        assert_eq!(item_cfg.slack_factor, 1.3);
+        assert_eq!(v, &[0.05, 0.1]);
+        assert!(matches!(items[2], Op::Distribution(_, 12)));
+
+        // Bad shapes are usage errors naming the offending item.
+        for bad in [
+            r#"{"op":"batch","benchmark":"c17"}"#,
+            r#"{"op":"batch","benchmark":"c17","items":[]}"#,
+            r#"{"op":"batch","benchmark":"c17","items":[{"op":"ping"}]}"#,
+            r#"{"op":"batch","benchmark":"c17","items":[{"op":"batch","items":[]}]}"#,
+            r#"{"op":"batch","benchmark":"c17","items":[{"nop":1}]}"#,
+        ] {
+            let (e, _) = parse_request(bad).unwrap_err();
+            assert_eq!(e.class, "usage", "{bad} -> {e:?}");
+        }
+        let (e, _) = parse_request(
+            r#"{"op":"batch","benchmark":"c17","items":[{"op":"comparison"},{"op":"nope"}]}"#,
+        )
+        .unwrap_err();
+        assert!(e.message.contains("items[1]"), "{e:?}");
+    }
+
+    #[test]
+    fn parses_route_requests() {
+        let r = parse_request(
+            r#"{"op":"route","benchmark":"c432","ring":["a:7878","b:7878"],"replicas":32}"#,
+        )
+        .unwrap();
+        let Op::Route(cfg, spec) = &r.op else {
+            panic!("wrong op: {:?}", r.op)
+        };
+        assert_eq!(cfg.benchmark, "c432");
+        assert_eq!(spec.ring.as_deref().map(<[String]>::len), Some(2));
+        assert_eq!(spec.replicas, Some(32));
+        assert!(r.op.is_control(), "route answers inline");
+
+        // Ring omitted entirely is fine (server-side ring applies).
+        let r = parse_request(r#"{"op":"route","benchmark":"c432"}"#).unwrap();
+        assert!(matches!(
+            &r.op,
+            Op::Route(_, spec) if spec.ring.is_none() && spec.replicas.is_none()
+        ));
+
+        for bad in [
+            r#"{"op":"route","benchmark":"c432","ring":[]}"#,
+            r#"{"op":"route","benchmark":"c432","ring":[3]}"#,
+            r#"{"op":"route","benchmark":"c432","ring":"a"}"#,
+            r#"{"op":"route","benchmark":"c432","ring":["a"],"replicas":0}"#,
+        ] {
+            assert_eq!(parse_request(bad).unwrap_err().0.class, "usage", "{bad}");
+        }
+    }
+
+    #[test]
+    fn op_hash_separates_params_but_not_configs() {
+        let op = |line: &str| parse_request(line).unwrap().op;
+        let a = op(r#"{"op":"sweep","benchmark":"c17","values":[1.1,1.2]}"#);
+        let b = op(r#"{"op":"sweep","benchmark":"c17","values":[1.1,1.3]}"#);
+        let c = op(r#"{"op":"sweep","benchmark":"c880","values":[1.1,1.2]}"#);
+        assert_ne!(op_hash(&a), op_hash(&b), "values must separate");
+        // The config is keyed by the session hash, not the op hash.
+        assert_eq!(op_hash(&a), op_hash(&c));
+        let d = op(r#"{"op":"comparison","benchmark":"c17"}"#);
+        let e = op(r#"{"op":"ablation","benchmark":"c17"}"#);
+        assert_ne!(op_hash(&d), op_hash(&e), "op name must separate");
+        assert_eq!(op_hash(&d), op_hash(&d));
     }
 
     #[test]

@@ -4,13 +4,34 @@
 //! per line, one response line per request, in order per connection). No
 //! async runtime: a nonblocking accept loop hands each connection to a
 //! thread, analysis ops flow through a bounded queue into a fixed worker
-//! pool, and control ops (`ping`/`stats`/`shutdown`) are answered inline
-//! so they stay responsive under load.
+//! pool, and control ops (`ping`/`stats`/`route`/`shutdown`) are answered
+//! inline so they stay responsive under load.
+//!
+//! Three production features sit on top of that core:
+//!
+//! - **Persistent warm store** ([`Store`]): with a `store_dir` configured,
+//!   every analysis result is written to disk keyed by the deterministic
+//!   session/op content hashes, and looked up *before* a session is
+//!   prepared — so a restarted daemon (even after `kill -9`) answers
+//!   repeated requests from disk without rebuilding anything, and fleet
+//!   members sharing one directory pre-seed each other.
+//! - **Batching**: a `batch` request acquires one session and fans its
+//!   items across the worker pool; the submitting worker helps drain
+//!   items itself, so a pool saturated with batch parents still makes
+//!   progress (items never block, parents only run items).
+//! - **Sharding** ([`Ring`]): with a consistent-hash ring and a self node
+//!   configured, sessions owned by another fleet member are rejected with
+//!   a typed `wrong-shard` error naming the owner, and the `route`
+//!   control op lets clients (or peers) resolve owners without a
+//!   coordinator.
 //!
 //! Load shedding is explicit rather than implicit: once the queue reaches
 //! the configured high-water mark a request is rejected immediately with
 //! a typed `busy` error, and a request that waits in the queue past its
-//! deadline is answered `deadline` instead of silently running late.
+//! deadline is answered `deadline` instead of silently running late. A
+//! request that *starts* in time but finishes past its deadline is still
+//! answered, marked `"deadline_exceeded":true`, and counted — so the
+//! `deadline_expired` report is truthful either way.
 //!
 //! Shutdown is cooperative: when the shutdown flag flips (SIGTERM in the
 //! CLI, or a `shutdown` request), the listener stops accepting, queued
@@ -19,12 +40,15 @@
 
 use crate::json::Json;
 use crate::proto::{self, Op, ProtoError, Request};
-use crate::session::Engine;
+use crate::ring::{Ring, DEFAULT_REPLICAS};
+use crate::session::{session_key, Engine, Session};
+use crate::store::Store;
+use statleak_core::flows::FlowConfig;
 use statleak_obs as obs;
 use std::collections::{BTreeMap, VecDeque};
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -49,6 +73,16 @@ pub struct ServeConfig {
     pub default_deadline_ms: Option<u64>,
     /// Capacity of the session LRU cache.
     pub cache_capacity: usize,
+    /// Directory of the persistent result store; `None` = memory only.
+    /// Safe to share between fleet members and across restarts.
+    pub store_dir: Option<String>,
+    /// Node names of the fleet's consistent-hash ring; empty = unsharded.
+    pub ring: Vec<String>,
+    /// This node's name within `ring`. When both are set, requests whose
+    /// session hashes to another node are rejected `wrong-shard`.
+    pub self_node: Option<String>,
+    /// Virtual points per ring node.
+    pub ring_replicas: usize,
 }
 
 impl Default for ServeConfig {
@@ -59,6 +93,10 @@ impl Default for ServeConfig {
             queue_depth: 64,
             default_deadline_ms: None,
             cache_capacity: crate::session::DEFAULT_CACHE_CAPACITY,
+            store_dir: None,
+            ring: Vec::new(),
+            self_node: None,
+            ring_replicas: DEFAULT_REPLICAS,
         }
     }
 }
@@ -72,10 +110,12 @@ pub struct ServeReport {
     pub request_errors: u64,
     /// Requests shed at the high-water mark.
     pub busy_rejected: u64,
-    /// Requests whose queue wait exceeded their deadline.
+    /// Requests whose queue wait or execution exceeded their deadline.
     pub deadline_expired: u64,
     /// Lines that failed to parse as protocol requests.
     pub protocol_errors: u64,
+    /// Requests rejected because their session belongs to another shard.
+    pub wrong_shard: u64,
     /// Connections accepted over the server's lifetime.
     pub connections: u64,
 }
@@ -87,9 +127,34 @@ struct Job {
     reply: mpsc::Sender<String>,
 }
 
+/// One item of an in-flight `batch` request, shared between the parent
+/// worker and whichever worker (possibly the parent) executes it.
+struct BatchState {
+    session: Session,
+    ops: Vec<Op>,
+    results: Mutex<Vec<Option<Result<Json, ProtoError>>>>,
+    remaining: AtomicUsize,
+}
+
+struct BatchItem {
+    state: Arc<BatchState>,
+    index: usize,
+}
+
+/// What the worker queue carries: whole request lines, or single batch
+/// items fanned out by a batch parent. Items never block, so a parent
+/// helping drain them cannot deadlock the pool.
+enum Work {
+    Line(Box<Job>),
+    Item(BatchItem),
+}
+
 struct Shared {
     engine: Engine,
-    queue: Mutex<VecDeque<Job>>,
+    store: Option<Store>,
+    ring: Option<Ring>,
+    self_node: Option<String>,
+    queue: Mutex<VecDeque<Work>>,
     queue_cv: Condvar,
     queue_depth: usize,
     default_deadline: Option<Duration>,
@@ -105,6 +170,7 @@ struct Shared {
     busy_rejected: AtomicU64,
     deadline_expired: AtomicU64,
     protocol_errors: AtomicU64,
+    wrong_shard: AtomicU64,
     connections: AtomicU64,
 }
 
@@ -120,6 +186,7 @@ impl Shared {
             busy_rejected: self.busy_rejected.load(Ordering::Relaxed),
             deadline_expired: self.deadline_expired.load(Ordering::Relaxed),
             protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            wrong_shard: self.wrong_shard.load(Ordering::Relaxed),
             connections: self.connections.load(Ordering::Relaxed),
         }
     }
@@ -129,6 +196,33 @@ impl Shared {
         Json::obj(vec![
             ("cache", proto::cache_stats_json(&self.engine.cache_stats())),
             (
+                "store",
+                match &self.store {
+                    Some(store) => proto::store_stats_json(&store.stats(), store.len()),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "ring",
+                match &self.ring {
+                    Some(ring) => Json::obj(vec![
+                        (
+                            "nodes",
+                            Json::Arr(ring.nodes().iter().map(|n| Json::str(n.clone())).collect()),
+                        ),
+                        ("replicas", Json::Num(ring.replicas() as f64)),
+                        (
+                            "self",
+                            match &self.self_node {
+                                Some(n) => Json::str(n.clone()),
+                                None => Json::Null,
+                            },
+                        ),
+                    ]),
+                    None => Json::Null,
+                },
+            ),
+            (
                 "server",
                 Json::obj(vec![
                     ("served", Json::Num(r.served as f64)),
@@ -136,6 +230,7 @@ impl Shared {
                     ("busy_rejected", Json::Num(r.busy_rejected as f64)),
                     ("deadline_expired", Json::Num(r.deadline_expired as f64)),
                     ("protocol_errors", Json::Num(r.protocol_errors as f64)),
+                    ("wrong_shard", Json::Num(r.wrong_shard as f64)),
                     ("connections", Json::Num(r.connections as f64)),
                     (
                         "queued",
@@ -166,6 +261,46 @@ impl Shared {
     }
 }
 
+/// Counts live connection threads so drain can wait for them without the
+/// accept loop keeping an ever-growing `JoinHandle` list.
+struct ConnGate {
+    active: Mutex<u64>,
+    cv: Condvar,
+}
+
+impl ConnGate {
+    fn new() -> Arc<ConnGate> {
+        Arc::new(ConnGate {
+            active: Mutex::new(0),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn enter(self: &Arc<ConnGate>) -> ConnGuard {
+        *self.active.lock().expect("conn gate lock") += 1;
+        ConnGuard(Arc::clone(self))
+    }
+
+    fn wait_idle(&self) {
+        let mut active = self.active.lock().expect("conn gate lock");
+        while *active > 0 {
+            let (a, _) = self.cv.wait_timeout(active, POLL).expect("conn gate lock");
+            active = a;
+        }
+    }
+}
+
+/// RAII decrement: runs on normal exit *and* unwind, so a panicking
+/// connection thread cannot wedge the drain.
+struct ConnGuard(Arc<ConnGate>);
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        *self.0.active.lock().expect("conn gate lock") -= 1;
+        self.0.cv.notify_all();
+    }
+}
+
 /// A bound, not-yet-running server. Splitting bind from run lets callers
 /// learn the actual port (ephemeral binds) before the accept loop blocks.
 pub struct Server {
@@ -175,7 +310,8 @@ pub struct Server {
 }
 
 impl Server {
-    /// Binds the listener and sizes the worker pool.
+    /// Binds the listener, opens the store, builds the ring, and sizes
+    /// the worker pool.
     ///
     /// The `shutdown` flag is the drain trigger: the CLI points it at a
     /// static that its SIGTERM handler sets; a `shutdown` request sets the
@@ -183,7 +319,8 @@ impl Server {
     ///
     /// # Errors
     ///
-    /// Propagates bind failures.
+    /// Propagates bind and store-open failures, and rejects a ring with
+    /// no usable nodes or a `self_node` that is not a ring member.
     pub fn bind(config: &ServeConfig, shutdown: &'static AtomicBool) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
@@ -196,8 +333,30 @@ impl Server {
         } else {
             config.workers
         };
+        let store = match &config.store_dir {
+            Some(dir) => Some(Store::open(dir)?),
+            None => None,
+        };
+        let ring = Ring::new(&config.ring, config.ring_replicas);
+        if !config.ring.is_empty() && ring.is_none() {
+            return Err(std::io::Error::new(
+                ErrorKind::InvalidInput,
+                "ring has no usable nodes",
+            ));
+        }
+        if let (Some(ring), Some(node)) = (&ring, &config.self_node) {
+            if !ring.contains(node) {
+                return Err(std::io::Error::new(
+                    ErrorKind::InvalidInput,
+                    format!("self node {node:?} is not a member of the ring"),
+                ));
+            }
+        }
         let shared = Arc::new(Shared {
             engine: Engine::new(config.cache_capacity),
+            store,
+            ring,
+            self_node: config.self_node.clone(),
             queue: Mutex::new(VecDeque::new()),
             queue_cv: Condvar::new(),
             queue_depth: config.queue_depth.max(1),
@@ -212,6 +371,7 @@ impl Server {
             busy_rejected: AtomicU64::new(0),
             deadline_expired: AtomicU64::new(0),
             protocol_errors: AtomicU64::new(0),
+            wrong_shard: AtomicU64::new(0),
             connections: AtomicU64::new(0),
         });
         Ok(Server {
@@ -248,35 +408,35 @@ impl Server {
             );
         }
 
-        let mut conn_handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        // Connection threads are detached; the gate counts them so drain
+        // can wait for the last one without holding a handle per
+        // connection for the server's whole lifetime.
+        let gate = ConnGate::new();
         while !shared.draining() {
             match listener.accept() {
                 Ok((stream, _peer)) => {
                     shared.connections.fetch_add(1, Ordering::Relaxed);
                     let shared = shared.clone();
-                    conn_handles.push(
-                        std::thread::Builder::new()
-                            .name("statleak-conn".to_string())
-                            .spawn(move || handle_connection(stream, &shared))
-                            .expect("spawn connection thread"),
-                    );
+                    let guard = gate.enter();
+                    std::thread::Builder::new()
+                        .name("statleak-conn".to_string())
+                        .spawn(move || {
+                            let _guard = guard;
+                            handle_connection(stream, &shared);
+                        })
+                        .expect("spawn connection thread");
                 }
                 Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(POLL),
                 Err(e) if e.kind() == ErrorKind::Interrupted => {}
                 Err(e) => return Err(e),
             }
-            // Reap finished connection threads so the handle list stays
-            // bounded on long runs.
-            conn_handles = reap(conn_handles);
         }
 
         // Drain: stop accepting (listener drops below), let connection
         // threads finish their in-flight request, then let workers empty
         // the queue.
         drop(listener);
-        for handle in conn_handles {
-            let _ = handle.join();
-        }
+        gate.wait_idle();
         shared.queue_cv.notify_all();
         for handle in worker_handles {
             let _ = handle.join();
@@ -285,27 +445,13 @@ impl Server {
     }
 }
 
-fn reap(handles: Vec<std::thread::JoinHandle<()>>) -> Vec<std::thread::JoinHandle<()>> {
-    handles
-        .into_iter()
-        .filter_map(|h| {
-            if h.is_finished() {
-                let _ = h.join();
-                None
-            } else {
-                Some(h)
-            }
-        })
-        .collect()
-}
-
 fn worker_loop(shared: &Shared) {
     loop {
-        let job = {
+        let work = {
             let mut queue = shared.queue.lock().expect("queue lock");
             loop {
-                if let Some(job) = queue.pop_front() {
-                    break Some(job);
+                if let Some(work) = queue.pop_front() {
+                    break Some(work);
                 }
                 if shared.draining() {
                     break None;
@@ -317,10 +463,16 @@ fn worker_loop(shared: &Shared) {
                 queue = q;
             }
         };
-        let Some(job) = job else { return };
-        let line = process(shared, &job);
-        // A dropped receiver just means the client hung up mid-request.
-        let _ = job.reply.send(line);
+        match work {
+            None => return,
+            Some(Work::Line(job)) => {
+                let line = process(shared, &job);
+                // A dropped receiver just means the client hung up
+                // mid-request.
+                let _ = job.reply.send(line);
+            }
+            Some(Work::Item(item)) => run_batch_item(shared, &item),
+        }
     }
 }
 
@@ -345,36 +497,215 @@ fn process(shared: &Shared, job: &Job) -> String {
             );
         }
     }
-    let Some(cfg) = proto::op_config(&job.request.op) else {
-        // Control ops never reach the queue (see handle_connection).
-        shared.request_errors.fetch_add(1, Ordering::Relaxed);
-        return proto::err_response(
-            id,
-            &ProtoError {
-                class: "internal",
-                message: "control op routed to worker pool".to_string(),
-            },
-        );
-    };
     let service_start = Instant::now();
-    let result = shared
-        .engine
-        .session(cfg)
-        .map_err(|e| ProtoError::from_flow(&e))
-        .and_then(|session| proto::execute(&session, &job.request.op));
+    let outcome = execute_line(shared, &job.request);
     obs::histogram!("serve_service_ns").record_duration(service_start.elapsed());
-    match result {
-        Ok(data) => {
+    // The request started in time but may have *finished* late: answer it
+    // anyway (the work is done), but mark and count it so the
+    // deadline_expired report stays truthful.
+    let late = job
+        .deadline
+        .is_some_and(|deadline| job.accepted.elapsed() > deadline);
+    if late {
+        shared.deadline_expired.fetch_add(1, Ordering::Relaxed);
+        obs::counter!("serve_deadline_expired_total").inc();
+    }
+    let mut extra: Vec<(&str, Json)> = Vec::new();
+    if late {
+        extra.push(("deadline_exceeded", Json::Bool(true)));
+    }
+    match outcome {
+        Ok(LineOutcome { data, from_store }) => {
             shared.served.fetch_add(1, Ordering::Relaxed);
             obs::counter!("serve_served_total").inc();
-            proto::ok_response(id, job.request.op.name(), data)
+            if from_store {
+                extra.push(("source", Json::str("store")));
+            }
+            proto::ok_response_with(id, job.request.op.name(), data, extra)
         }
         Err(e) => {
             shared.request_errors.fetch_add(1, Ordering::Relaxed);
             obs::counter!("serve_request_errors_total").inc();
-            proto::err_response(id, &e)
+            proto::err_response_with(id, &e, extra)
         }
     }
+}
+
+struct LineOutcome {
+    data: Json,
+    /// Whether the whole answer came from the persistent store (no
+    /// session was prepared, nothing was computed).
+    from_store: bool,
+}
+
+fn execute_line(shared: &Shared, request: &Request) -> Result<LineOutcome, ProtoError> {
+    if let Op::Batch(cfg, items) = &request.op {
+        return process_batch(shared, cfg, items).map(|data| LineOutcome {
+            data,
+            from_store: false,
+        });
+    }
+    let Some(cfg) = proto::op_config(&request.op) else {
+        // Control ops never reach the queue (see handle_connection).
+        return Err(ProtoError {
+            class: "internal",
+            message: "control op routed to worker pool".to_string(),
+        });
+    };
+    let key = session_key(cfg).map_err(|e| ProtoError::from_flow(&e))?;
+    let op_hash = proto::op_hash(&request.op);
+    // Disk before session: a warm store answers without rebuilding
+    // anything, which is what makes restarts cheap.
+    if let Some(store) = &shared.store {
+        if let Some(data) = store.load(key, op_hash) {
+            return Ok(LineOutcome {
+                data,
+                from_store: true,
+            });
+        }
+    }
+    let session = shared
+        .engine
+        .session(cfg)
+        .map_err(|e| ProtoError::from_flow(&e))?;
+    let data = proto::execute(&session, &request.op)?;
+    if let Some(store) = &shared.store {
+        store.save(key, op_hash, &data);
+    }
+    Ok(LineOutcome {
+        data,
+        from_store: false,
+    })
+}
+
+/// Executes a `batch`: answer store-warm items from disk, acquire ONE
+/// session for the rest, fan them across the worker pool, and help drain
+/// items while waiting so saturated pools still make progress.
+fn process_batch(shared: &Shared, cfg: &FlowConfig, items: &[Op]) -> Result<Json, ProtoError> {
+    let key = session_key(cfg).map_err(|e| ProtoError::from_flow(&e))?;
+    let hashes: Vec<u64> = items.iter().map(proto::op_hash).collect();
+    let mut results: Vec<Option<Result<Json, ProtoError>>> = Vec::new();
+    results.resize_with(items.len(), || None);
+    let mut store_hits = 0u64;
+    let mut misses = Vec::new();
+    for i in 0..items.len() {
+        match shared.store.as_ref().and_then(|s| s.load(key, hashes[i])) {
+            Some(data) => {
+                results[i] = Some(Ok(data));
+                store_hits += 1;
+            }
+            None => misses.push(i),
+        }
+    }
+    if !misses.is_empty() {
+        let session = shared
+            .engine
+            .session(cfg)
+            .map_err(|e| ProtoError::from_flow(&e))?;
+        let state = Arc::new(BatchState {
+            session,
+            ops: items.to_vec(),
+            results: Mutex::new({
+                let mut v: Vec<Option<Result<Json, ProtoError>>> = Vec::new();
+                v.resize_with(items.len(), || None);
+                v
+            }),
+            remaining: AtomicUsize::new(misses.len()),
+        });
+        {
+            let mut queue = shared.queue.lock().expect("queue lock");
+            for &i in &misses {
+                queue.push_back(Work::Item(BatchItem {
+                    state: state.clone(),
+                    index: i,
+                }));
+            }
+            shared
+                .max_queued
+                .fetch_max(queue.len() as u64, Ordering::Relaxed);
+        }
+        shared.queue_cv.notify_all();
+        // Help drain: run ANY queued batch item (ours or another
+        // batch's). Parents never pop whole request lines, so this
+        // cannot recurse or deadlock.
+        while state.remaining.load(Ordering::SeqCst) > 0 {
+            if let Some(item) = take_item(shared) {
+                run_batch_item(shared, &item);
+            } else {
+                let queue = shared.queue.lock().expect("queue lock");
+                drop(
+                    shared
+                        .queue_cv
+                        .wait_timeout(queue, POLL)
+                        .expect("queue lock"),
+                );
+            }
+        }
+        let mut computed = state.results.lock().expect("batch results lock");
+        for &i in &misses {
+            let result = computed[i].take().expect("worker recorded every item");
+            if let (Some(store), Ok(data)) = (&shared.store, &result) {
+                store.save(key, hashes[i], data);
+            }
+            results[i] = Some(result);
+        }
+    }
+    let mut out = Vec::with_capacity(items.len());
+    let mut item_errors = 0u64;
+    for (op, result) in items.iter().zip(results) {
+        let result = result.expect("every item resolved");
+        out.push(match result {
+            Ok(data) => Json::obj(vec![
+                ("ok", Json::Bool(true)),
+                ("op", Json::str(op.name())),
+                ("data", data),
+            ]),
+            Err(e) => {
+                item_errors += 1;
+                Json::obj(vec![
+                    ("ok", Json::Bool(false)),
+                    ("op", Json::str(op.name())),
+                    (
+                        "error",
+                        Json::obj(vec![
+                            ("class", Json::str(e.class)),
+                            ("message", Json::str(e.message)),
+                        ]),
+                    ),
+                ])
+            }
+        });
+    }
+    obs::counter!("serve_batch_items_total").add(items.len() as u64);
+    Ok(Json::obj(vec![
+        ("count", Json::Num(items.len() as f64)),
+        ("item_errors", Json::Num(item_errors as f64)),
+        ("store_hits", Json::Num(store_hits as f64)),
+        ("session_key", Json::str(format!("{key:016x}"))),
+        ("items", Json::Arr(out)),
+    ]))
+}
+
+/// Pops the first queued batch *item*, skipping whole request lines.
+fn take_item(shared: &Shared) -> Option<BatchItem> {
+    let mut queue = shared.queue.lock().expect("queue lock");
+    let pos = queue.iter().position(|w| matches!(w, Work::Item(_)))?;
+    match queue.remove(pos) {
+        Some(Work::Item(item)) => Some(item),
+        _ => unreachable!("position() found an item at this index"),
+    }
+}
+
+fn run_batch_item(shared: &Shared, item: &BatchItem) {
+    let _span = obs::span!("serve.batch_item");
+    let op = &item.state.ops[item.index];
+    let start = Instant::now();
+    let result = proto::execute(&item.state.session, op);
+    obs::histogram!("serve_service_ns").record_duration(start.elapsed());
+    item.state.results.lock().expect("batch results lock")[item.index] = Some(result);
+    item.state.remaining.fetch_sub(1, Ordering::SeqCst);
+    // Wake the parent (and anyone waiting on the queue) promptly.
+    shared.queue_cv.notify_all();
 }
 
 fn handle_connection(stream: TcpStream, shared: &Shared) {
@@ -451,6 +782,82 @@ fn read_line_polled(
     }
 }
 
+/// Answers a `route` request: resolve the session's owner on the
+/// request-supplied ring if given, else the server's own ring.
+fn route_response(
+    shared: &Shared,
+    cfg: &FlowConfig,
+    spec: &proto::RouteSpec,
+) -> Result<Json, ProtoError> {
+    let key = session_key(cfg).map_err(|e| ProtoError::from_flow(&e))?;
+    let request_ring = match &spec.ring {
+        Some(nodes) => {
+            let replicas = spec.replicas.unwrap_or_else(|| {
+                shared
+                    .ring
+                    .as_ref()
+                    .map_or(DEFAULT_REPLICAS, Ring::replicas)
+            });
+            Some(Ring::new(nodes, replicas).ok_or(ProtoError {
+                class: "usage",
+                message: "route: ring has no usable nodes".to_string(),
+            })?)
+        }
+        None => None,
+    };
+    let ring =
+        match (&request_ring, &shared.ring) {
+            (Some(r), _) => r,
+            (None, Some(r)) => r,
+            (None, None) => return Err(ProtoError {
+                class: "usage",
+                message:
+                    "route: no ring configured; pass \"ring\":[...] or start the server with --ring"
+                        .to_string(),
+            }),
+        };
+    let shard = ring.shard_of(key);
+    Ok(Json::obj(vec![
+        ("session_key", Json::str(format!("{key:016x}"))),
+        ("shard", Json::str(shard)),
+        (
+            "local",
+            Json::Bool(shared.self_node.as_deref() == Some(shard)),
+        ),
+        (
+            "ring",
+            Json::Arr(ring.nodes().iter().map(|n| Json::str(n.clone())).collect()),
+        ),
+        ("replicas", Json::Num(ring.replicas() as f64)),
+    ]))
+}
+
+/// Rejects an analysis request whose session another fleet member owns.
+/// Returns the pre-built error response, or `None` when the request is
+/// local (or the key cannot be resolved here — the worker will produce
+/// the proper typed error instead).
+fn wrong_shard_rejection(shared: &Shared, id: &Json, op: &Op) -> Option<String> {
+    let (ring, self_node) = (shared.ring.as_ref()?, shared.self_node.as_deref()?);
+    let key = session_key(proto::op_config(op)?).ok()?;
+    let shard = ring.shard_of(key);
+    if shard == self_node {
+        return None;
+    }
+    shared.wrong_shard.fetch_add(1, Ordering::Relaxed);
+    obs::counter!("serve_wrong_shard_total").inc();
+    Some(proto::err_response_with(
+        id,
+        &ProtoError {
+            class: "wrong-shard",
+            message: format!("session {key:016x} belongs to {shard}; re-send it there"),
+        },
+        vec![
+            ("shard", Json::str(shard)),
+            ("session_key", Json::str(format!("{key:016x}"))),
+        ],
+    ))
+}
+
 fn dispatch(line: &str, shared: &Shared) -> String {
     let request = match proto::parse_request(line) {
         Ok(r) => r,
@@ -486,6 +893,13 @@ fn dispatch(line: &str, shared: &Shared) -> String {
                 ("text", Json::str(obs::Registry::global().prometheus_text())),
             ]),
         ),
+        Op::Route(cfg, spec) => match route_response(shared, cfg, spec) {
+            Ok(data) => proto::ok_response(&id, "route", data),
+            Err(e) => {
+                shared.request_errors.fetch_add(1, Ordering::Relaxed);
+                proto::err_response(&id, &e)
+            }
+        },
         Op::Shutdown => {
             shared.shutdown.store(true, Ordering::SeqCst);
             proto::ok_response(
@@ -503,6 +917,9 @@ fn dispatch(line: &str, shared: &Shared) -> String {
                         message: "server is draining; request rejected".to_string(),
                     },
                 );
+            }
+            if let Some(rejection) = wrong_shard_rejection(shared, &id, &request.op) {
+                return rejection;
             }
             let deadline = request
                 .deadline_ms
@@ -525,12 +942,12 @@ fn dispatch(line: &str, shared: &Shared) -> String {
                         },
                     );
                 }
-                queue.push_back(Job {
+                queue.push_back(Work::Line(Box::new(Job {
                     request,
                     accepted: Instant::now(),
                     deadline,
                     reply: tx,
-                });
+                })));
                 shared
                     .max_queued
                     .fetch_max(queue.len() as u64, Ordering::Relaxed);
@@ -556,6 +973,7 @@ fn dispatch(line: &str, shared: &Shared) -> String {
 mod tests {
     use super::*;
     use std::io::BufRead;
+    use std::path::PathBuf;
 
     fn request(addr: SocketAddr, line: &str) -> String {
         let mut stream = TcpStream::connect(addr).expect("connect");
@@ -566,6 +984,16 @@ mod tests {
         let mut response = String::new();
         reader.read_line(&mut response).expect("read");
         response.trim().to_string()
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "statleak-serve-test-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
     }
 
     #[test]
@@ -609,6 +1037,9 @@ mod tests {
         let stats = request(addr, r#"{"id":3,"op":"stats"}"#);
         assert!(stats.contains(r#""hits":1"#), "{stats}");
         assert!(stats.contains(r#""misses":1"#), "{stats}");
+        // No store, no ring configured.
+        assert!(stats.contains(r#""store":null"#), "{stats}");
+        assert!(stats.contains(r#""ring":null"#), "{stats}");
 
         let bad = request(addr, r#"{"id":4,"op":"comparison","benchmark":"c9999"}"#);
         assert!(bad.contains(r#""class":"unknown-benchmark""#), "{bad}");
@@ -660,5 +1091,178 @@ mod tests {
         let report = handle.join().expect("server thread");
         assert_eq!(report.deadline_expired, 1);
         SHUTDOWN.store(false, Ordering::SeqCst);
+    }
+
+    #[test]
+    fn late_finishing_request_is_answered_but_marked() {
+        static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+        let config = ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 1,
+            queue_depth: 8,
+            ..Default::default()
+        };
+        let server = Server::bind(&config, &SHUTDOWN).expect("bind");
+        let addr = server.local_addr();
+        let handle = std::thread::spawn(move || server.run().expect("run"));
+
+        // The deadline is alive at dequeue (nothing is queued ahead) but
+        // certainly expired once the MC run finishes: the response must
+        // arrive, marked.
+        let late = request(
+            addr,
+            r#"{"id":"m","op":"mc_validation","benchmark":"c432","mc_samples":20000,"deadline_ms":1}"#,
+        );
+        assert!(late.contains(r#""ok":true"#), "{late}");
+        assert!(late.contains(r#""deadline_exceeded":true"#), "{late}");
+
+        request(addr, r#"{"op":"shutdown"}"#);
+        let report = handle.join().expect("server thread");
+        assert_eq!(report.deadline_expired, 1);
+        assert_eq!(report.served, 1);
+        SHUTDOWN.store(false, Ordering::SeqCst);
+    }
+
+    #[test]
+    fn batch_acquires_one_session_and_answers_every_item() {
+        static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+        let config = ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_depth: 16,
+            ..Default::default()
+        };
+        let server = Server::bind(&config, &SHUTDOWN).expect("bind");
+        let addr = server.local_addr();
+        let handle = std::thread::spawn(move || server.run().expect("run"));
+
+        let batch = request(
+            addr,
+            r#"{"id":"b1","op":"batch","benchmark":"c17","mc_samples":0,"items":[{"op":"comparison"},{"op":"distribution","bins":8},{"op":"sweep","axis":"slack_factor","values":[1.2,1.4]}]}"#,
+        );
+        assert!(batch.contains(r#""ok":true"#), "{batch}");
+        assert!(batch.contains(r#""count":3"#), "{batch}");
+        assert!(batch.contains(r#""item_errors":0"#), "{batch}");
+        assert!(batch.contains(r#""stat_extra_saving""#), "{batch}");
+        assert_eq!(batch.matches(r#""ok":true"#).count(), 4, "{batch}");
+
+        // One config, three items: the session must be prepared once.
+        let stats = request(addr, r#"{"op":"stats"}"#);
+        assert!(stats.contains(r#""misses":1"#), "{stats}");
+
+        // Batches memoize like single requests: identical re-send.
+        let again = request(
+            addr,
+            r#"{"id":"b1","op":"batch","benchmark":"c17","mc_samples":0,"items":[{"op":"comparison"},{"op":"distribution","bins":8},{"op":"sweep","axis":"slack_factor","values":[1.2,1.4]}]}"#,
+        );
+        assert_eq!(batch, again);
+
+        request(addr, r#"{"op":"shutdown"}"#);
+        let report = handle.join().expect("server thread");
+        assert_eq!(report.served, 2);
+        assert_eq!(report.request_errors, 0);
+        SHUTDOWN.store(false, Ordering::SeqCst);
+    }
+
+    #[test]
+    fn store_answers_repeats_without_a_session() {
+        static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+        let dir = tmp_dir("warm");
+        let config = ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 1,
+            queue_depth: 8,
+            store_dir: Some(dir.to_string_lossy().into_owned()),
+            ..Default::default()
+        };
+        let server = Server::bind(&config, &SHUTDOWN).expect("bind");
+        let addr = server.local_addr();
+        let handle = std::thread::spawn(move || server.run().expect("run"));
+
+        let line = r#"{"id":1,"op":"comparison","benchmark":"c17","mc_samples":0}"#;
+        let first = request(addr, line);
+        assert!(first.contains(r#""ok":true"#), "{first}");
+        assert!(!first.contains(r#""source":"store""#), "{first}");
+        let second = request(addr, line);
+        assert!(second.contains(r#""source":"store""#), "{second}");
+        let stats = request(addr, r#"{"op":"stats"}"#);
+        assert!(stats.contains(r#""stores":1"#), "{stats}");
+        // The repeat was served from disk before any session lookup: the
+        // engine saw exactly one request.
+        assert!(stats.contains(r#""misses":1"#), "{stats}");
+        assert!(stats.contains(r#""hits":0"#), "{stats}");
+
+        request(addr, r#"{"op":"shutdown"}"#);
+        handle.join().expect("server thread");
+        SHUTDOWN.store(false, Ordering::SeqCst);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn routes_sessions_and_rejects_wrong_shard() {
+        static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+        // Work out which of two nodes owns the c17 session, then start a
+        // server claiming to be the OTHER node.
+        let line = r#"{"id":7,"op":"comparison","benchmark":"c17","mc_samples":0}"#;
+        let parsed = proto::parse_request(line).expect("parse");
+        let cfg = proto::op_config(&parsed.op).expect("analysis op").clone();
+        let key = session_key(&cfg).expect("session key");
+        let nodes = vec!["a:1".to_string(), "b:1".to_string()];
+        let ring = Ring::new(&nodes, DEFAULT_REPLICAS).expect("ring");
+        let owner = ring.shard_of(key).to_string();
+        let other = nodes.iter().find(|n| **n != owner).expect("two nodes");
+
+        let config = ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 1,
+            queue_depth: 4,
+            ring: nodes.clone(),
+            self_node: Some(other.clone()),
+            ..Default::default()
+        };
+        let server = Server::bind(&config, &SHUTDOWN).expect("bind");
+        let addr = server.local_addr();
+        let handle = std::thread::spawn(move || server.run().expect("run"));
+
+        // The analysis op is rejected with the owner's name.
+        let rejected = request(addr, line);
+        assert!(rejected.contains(r#""class":"wrong-shard""#), "{rejected}");
+        assert!(
+            rejected.contains(&format!(r#""shard":"{owner}""#)),
+            "{rejected}"
+        );
+
+        // `route` resolves the same owner, flagged non-local.
+        let routed = request(addr, r#"{"op":"route","benchmark":"c17","mc_samples":0}"#);
+        assert!(
+            routed.contains(&format!(r#""shard":"{owner}""#)),
+            "{routed}"
+        );
+        assert!(routed.contains(r#""local":false"#), "{routed}");
+
+        // A request-supplied single-node ring routes everything there.
+        let override_ring = request(
+            addr,
+            r#"{"op":"route","benchmark":"c17","ring":["solo:9"]}"#,
+        );
+        assert!(
+            override_ring.contains(r#""shard":"solo:9""#),
+            "{override_ring}"
+        );
+
+        request(addr, r#"{"op":"shutdown"}"#);
+        let report = handle.join().expect("server thread");
+        assert_eq!(report.wrong_shard, 1);
+        SHUTDOWN.store(false, Ordering::SeqCst);
+
+        // A self node outside the ring is a bind-time error.
+        static SHUTDOWN2: AtomicBool = AtomicBool::new(false);
+        let bad = ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            ring: nodes,
+            self_node: Some("stranger".to_string()),
+            ..Default::default()
+        };
+        assert!(Server::bind(&bad, &SHUTDOWN2).is_err());
     }
 }

@@ -23,8 +23,12 @@
 //!
 //! statleak serve [--addr A] [--workers N] [--queue-depth N]
 //!                [--cache-capacity N] [--deadline-ms N]
+//!                [--store-dir DIR] [--ring N1,N2,..] [--self-node N]
+//!                [--ring-replicas N]
 //!     Run the newline-delimited-JSON analysis daemon (see
 //!     docs/SERVE_PROTOCOL.md). Drains gracefully on SIGTERM/SIGINT.
+//!     `--store-dir` persists results so restarts come back warm;
+//!     `--ring`/`--self-node` enable coordinator-free fleet sharding.
 //!
 //! statleak call --addr A --json REQUEST
 //!     Send one request line to a running daemon and print the response.
@@ -168,7 +172,8 @@ fn print_usage() {
          \x20           [--mc-sampler S] [--mc-samples N] [--mc-seed N]\n\
          \x20 export-lib [--out FILE]\n\
          \x20 serve     [--addr A] [--workers N] [--queue-depth N]\n\
-         \x20           [--cache-capacity N] [--deadline-ms N]\n\
+         \x20           [--cache-capacity N] [--deadline-ms N] [--store-dir DIR]\n\
+         \x20           [--ring N1,N2,..] [--self-node N] [--ring-replicas N]\n\
          \x20 call      --addr A --json REQUEST\n\
          \x20 trace     INPUT [--slack-factor F] [--eta E] [--mc-samples N] [--top K]\n\
          \n\
@@ -546,6 +551,10 @@ fn cmd_serve(args: &[String]) -> Result<(), StatleakError> {
             "--queue-depth",
             "--cache-capacity",
             "--deadline-ms",
+            "--store-dir",
+            "--ring",
+            "--self-node",
+            "--ring-replicas",
         ],
         &[],
     )?;
@@ -575,6 +584,40 @@ fn cmd_serve(args: &[String]) -> Result<(), StatleakError> {
     if let Some(v) = get_parsed::<u64>(&flags, "--deadline-ms")? {
         config.default_deadline_ms = Some(v);
     }
+    if let Some(dir) = flags.get("--store-dir") {
+        config.store_dir = Some(dir.clone());
+    }
+    if let Some(ring) = flags.get("--ring") {
+        // Comma-separated node names; the names are opaque to the ring,
+        // but by convention are the fleet's `host:port` addresses.
+        config.ring = ring
+            .split(',')
+            .map(str::trim)
+            .filter(|n| !n.is_empty())
+            .map(str::to_string)
+            .collect();
+        if config.ring.is_empty() {
+            return Err(StatleakError::Usage(
+                "`--ring` needs at least one node name".into(),
+            ));
+        }
+    }
+    if let Some(node) = flags.get("--self-node") {
+        if config.ring.is_empty() {
+            return Err(StatleakError::Usage(
+                "`--self-node` requires `--ring`".into(),
+            ));
+        }
+        config.self_node = Some(node.clone());
+    }
+    if let Some(v) = get_parsed::<usize>(&flags, "--ring-replicas")? {
+        if v == 0 {
+            return Err(StatleakError::Usage(
+                "`--ring-replicas` must be at least 1".into(),
+            ));
+        }
+        config.ring_replicas = v;
+    }
 
     install_shutdown_handler();
     let server = Server::bind(&config, &SHUTDOWN).map_err(|e| StatleakError::Io {
@@ -590,12 +633,13 @@ fn cmd_serve(args: &[String]) -> Result<(), StatleakError> {
     })?;
     eprintln!(
         "drained: {} served, {} errors, {} busy-rejected, {} past deadline, \
-         {} malformed, {} connections",
+         {} malformed, {} wrong-shard, {} connections",
         report.served,
         report.request_errors,
         report.busy_rejected,
         report.deadline_expired,
         report.protocol_errors,
+        report.wrong_shard,
         report.connections
     );
     Ok(())

@@ -65,6 +65,13 @@ impl Daemon {
         assert!(delivered.success(), "SIGTERM delivered");
     }
 
+    /// Hard-kills the daemon (SIGKILL — no drain, no atexit, nothing),
+    /// simulating a crash or OOM kill.
+    fn sigkill(mut self) {
+        self.child.kill().expect("SIGKILL delivered");
+        self.child.wait().expect("killed child reaped");
+    }
+
     /// Waits for the daemon to exit, asserting a clean (exit 0) drain.
     fn assert_clean_exit(mut self) {
         let start = Instant::now();
@@ -103,6 +110,16 @@ fn request_at(addr: &str, line: &str) -> String {
         .read_line(&mut response)
         .expect("receive");
     response.trim().to_string()
+}
+
+/// Like `request_at`, but tolerates the daemon dying mid-request (the
+/// connection may reset when the process is SIGKILLed under it).
+fn request_ignoring_failure(addr: &str, line: &str) {
+    if let Ok(mut stream) = TcpStream::connect(addr) {
+        let _ = stream.write_all(format!("{line}\n").as_bytes());
+        let mut response = String::new();
+        let _ = BufReader::new(stream).read_line(&mut response);
+    }
 }
 
 #[test]
@@ -230,6 +247,96 @@ fn call_round_trips_and_maps_exit_codes() {
         .output()
         .expect("call runs");
     assert_eq!(bad.status.code(), Some(2));
+
+    daemon.sigterm();
+    daemon.assert_clean_exit();
+}
+
+#[test]
+fn kill_dash_nine_restart_against_same_store_comes_back_warm() {
+    let store_dir = std::env::temp_dir().join(format!(
+        "statleak-serve-kill9-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let store_flag = store_dir.to_string_lossy().into_owned();
+
+    // First daemon: compute one result cold; it must land in the store.
+    let line = r#"{"id":"w","op":"comparison","benchmark":"c17","mc_samples":0}"#;
+    let first = Daemon::spawn(&["--workers", "2", "--store-dir", &store_flag]);
+    let cold = first.request(line);
+    assert!(cold.contains(r#""ok":true"#), "{cold}");
+    assert!(
+        !cold.contains(r#""source":"store""#),
+        "first answer is computed, not loaded: {cold}"
+    );
+    first.wait_for_stats(|s| s.contains(r#""stores":1"#), "result to be persisted");
+
+    // Put the daemon under load and SIGKILL it mid-flight: no drain, no
+    // graceful close. The store must survive on the strength of its
+    // atomic write discipline alone.
+    let addr = first.addr.clone();
+    let in_flight = std::thread::spawn(move || {
+        request_ignoring_failure(
+            &addr,
+            r#"{"id":"doomed","op":"mc_validation","benchmark":"c880","mc_samples":20000}"#,
+        );
+    });
+    std::thread::sleep(Duration::from_millis(300));
+    first.sigkill();
+    in_flight
+        .join()
+        .expect("in-flight client survives the kill");
+
+    // Restarted daemon on the same directory: the very first repeat is a
+    // store hit — answered from disk with no session rebuild.
+    let second = Daemon::spawn(&["--workers", "2", "--store-dir", &store_flag]);
+    let warm = second.request(line);
+    assert!(warm.contains(r#""ok":true"#), "{warm}");
+    assert!(
+        warm.contains(r#""source":"store""#),
+        "first repeated request after restart must be served from the store: {warm}"
+    );
+    let stats = second.request(r#"{"id":"s","op":"stats"}"#);
+    // Store counters: one disk hit, nothing re-persisted.
+    assert!(stats.contains(r#""hits":1"#), "{stats}");
+    assert!(stats.contains(r#""stores":0"#), "{stats}");
+    // Engine counters: no session was built or even looked up.
+    assert!(stats.contains(r#""hits":0"#), "{stats}");
+    assert!(stats.contains(r#""misses":0"#), "{stats}");
+
+    second.sigterm();
+    second.assert_clean_exit();
+    let _ = std::fs::remove_dir_all(&store_dir);
+}
+
+#[test]
+fn batch_requests_fan_out_over_one_session_end_to_end() {
+    let daemon = Daemon::spawn(&["--workers", "2"]);
+
+    let batch = daemon.request(
+        r#"{"id":"b","op":"batch","benchmark":"c17","mc_samples":0,"items":[{"op":"comparison"},{"op":"distribution","bins":10},{"op":"sweep","axis":"slack_factor","values":[1.2,1.4]},{"op":"mc_validation"}]}"#,
+    );
+    assert!(batch.contains(r#""ok":true"#), "{batch}");
+    assert!(batch.contains(r#""count":4"#), "{batch}");
+    assert!(batch.contains(r#""item_errors":0"#), "{batch}");
+    // Every item carries its own payload in order.
+    assert!(batch.contains(r#""stat_extra_saving""#), "{batch}");
+    assert!(batch.contains(r#""bins""#), "{batch}");
+
+    let stats = daemon.request(r#"{"id":"s","op":"stats"}"#);
+    assert!(stats.contains(r#""batch":1"#), "{stats}");
+    // Four items, one config: the session was prepared exactly once.
+    assert!(stats.contains(r#""misses":1"#), "{stats}");
+
+    // Routing metadata is available without a server-side ring.
+    let routed = daemon.request(
+        r#"{"id":"r","op":"route","benchmark":"c17","mc_samples":0,"ring":["n1:7878","n2:7878","n3:7878"]}"#,
+    );
+    assert!(routed.contains(r#""ok":true"#), "{routed}");
+    assert!(routed.contains(r#""shard":"n"#), "{routed}");
+    assert!(routed.contains(r#""session_key""#), "{routed}");
 
     daemon.sigterm();
     daemon.assert_clean_exit();
