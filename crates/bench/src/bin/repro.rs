@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! repro [--quick] [--out DIR] [--fresh] [--no-checkpoint]
-//!       [t1|t2|t3|t4|t5|t6|f1|f2|f3|f4|f5|a1|a2|a3|a4|a5|all]
+//!       [t1|t2|t3|t4|t5|t6|f1|f2|f3|f4|f5|a1|a2|a3|a4|a5|a6|all]
 //! ```
 //!
 //! Each experiment prints a console table and writes a CSV under the
@@ -33,17 +33,18 @@
 
 use statleak_bench::checkpoint::{CellResult, Checkpoint};
 use statleak_bench::{full_suite, quick_suite};
-use statleak_core::flows::{FlowConfig, FlowError, SweepSpec};
+use statleak_core::flows::{FlowConfig, FlowError, LibrarySpec, SweepSpec};
 use statleak_core::report::{fmt_pct, fmt_power, Table};
 use statleak_engine::Engine;
 use statleak_netlist::benchmarks;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Instant;
 
 /// Everything `repro` knows how to run, in run order.
-const EXPERIMENTS: [&str; 16] = [
+const EXPERIMENTS: [&str; 17] = [
     "t1", "t2", "t3", "t4", "t5", "t6", "f1", "f2", "f3", "f4", "f5", "a1", "a2", "a3", "a4", "a5",
+    "a6",
 ];
 
 struct Options {
@@ -73,7 +74,7 @@ fn parse_args() -> Result<Options, String> {
             "--help" | "-h" => {
                 println!(
                     "repro [--quick] [--out DIR] [--fresh] [--no-checkpoint] \
-                     [t1|t2|t3|t4|t5|t6|f1|f2|f3|f4|f5|a1|a2|a3|a4|a5|all]"
+                     [t1|t2|t3|t4|t5|t6|f1|f2|f3|f4|f5|a1|a2|a3|a4|a5|a6|all]"
                 );
                 std::process::exit(0);
             }
@@ -248,6 +249,7 @@ fn main() -> ExitCode {
             "a3" => a3(&mut ctx),
             "a4" => a4(&mut ctx),
             "a5" => a5(&mut ctx),
+            "a6" => a6(&mut ctx),
             _ => unreachable!("EXPERIMENTS is exhaustive"),
         }
     }
@@ -952,4 +954,79 @@ fn a5(ctx: &mut Ctx) {
     }
     print!("{}", t.render());
     ctx.save("a5_variance_reduction", &t);
+}
+
+/// A6 — Liberty corner libraries vs statistical optimization: the full
+/// comparison flow re-run through the golden SS/TT/FF corner files under
+/// `libs/` (see `cargo run --example gen_corner_libs`), against the
+/// builtin closed-form models. Corner files move every cell number
+/// coherently, so the statistical optimum shifts with the corner while
+/// the statistical-over-deterministic advantage persists at each one —
+/// no single corner reproduces the distribution the statistical flow
+/// optimizes against.
+fn a6(ctx: &mut Ctx) {
+    println!("\n== A6: Liberty corner libraries vs statistical optimization ==");
+    let circuits = if ctx.opts.quick {
+        vec!["c17", "c432"]
+    } else {
+        vec!["c432", "c880", "c1908"]
+    };
+    let mut t = Table::new(&[
+        "circuit",
+        "library",
+        "stat p95",
+        "stat yield",
+        "extra saving",
+        "high-vth",
+    ]);
+    let samples = mc_samples(&ctx.opts);
+    let lib = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../libs/statleak_mini.lib");
+    for name in circuits {
+        let lib = lib.clone();
+        ctx.cell("a6", name, &mut t, move || {
+            let corners = [
+                ("builtin", LibrarySpec::Builtin),
+                (
+                    "tt",
+                    LibrarySpec::Liberty {
+                        path: lib.clone(),
+                        corner: None,
+                    },
+                ),
+                (
+                    "ss",
+                    LibrarySpec::Liberty {
+                        path: lib.clone(),
+                        corner: Some("ss".into()),
+                    },
+                ),
+                (
+                    "ff",
+                    LibrarySpec::Liberty {
+                        path: lib.clone(),
+                        corner: Some("ff".into()),
+                    },
+                ),
+            ];
+            let mut rows = Vec::new();
+            for (label, spec) in corners {
+                let cfg = FlowConfig::builder(name)
+                    .mc_samples(samples)
+                    .library(spec)
+                    .build()?;
+                let o = Engine::global().session(&cfg)?.run_comparison()?;
+                rows.push(vec![
+                    name.to_string(),
+                    label.to_string(),
+                    fmt_power(o.statistical.leakage_p95),
+                    format!("{:.3}", o.statistical.timing_yield),
+                    fmt_pct(o.stat_extra_saving),
+                    o.statistical.high_vth.to_string(),
+                ]);
+            }
+            Ok(rows)
+        });
+    }
+    print!("{}", t.render());
+    ctx.save("a6_corner_libraries", &t);
 }

@@ -7,7 +7,11 @@ use statleak_obs as obs;
 use statleak_opt::{deterministic_for_yield, sizing, statistical_for_yield};
 use statleak_ssta::Ssta;
 use statleak_stats::{BinomialInterval, CholeskyError, Histogram};
-use statleak_tech::{Design, FactorModel, Technology, VariationConfig};
+use statleak_tech::liberty::LibertyLoadError;
+use statleak_tech::{
+    CellLibrary, Design, FactorModel, LibertyLibrary, Technology, VariationConfig,
+};
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -31,6 +35,107 @@ impl std::fmt::Display for ConfigError {
 
 impl std::error::Error for ConfigError {}
 
+/// Which cell library a flow evaluates through.
+///
+/// The default is [`LibrarySpec::Builtin`] — the technology's closed-form
+/// models, whose results are bit-identical to every release before the
+/// library abstraction existed. [`LibrarySpec::Liberty`] substitutes a
+/// characterized `.lib` file (NLDM tables, `when`-conditioned leakage),
+/// optionally resolved at a named process corner from the sibling-file
+/// corner set (`mylib_ss.lib` next to `mylib.lib`).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum LibrarySpec {
+    /// The technology's built-in closed-form models (reference semantics).
+    #[default]
+    Builtin,
+    /// A Liberty `.lib` file loaded through
+    /// [`statleak_tech::LibertyLibrary`].
+    Liberty {
+        /// Path to the base `.lib` file.
+        path: PathBuf,
+        /// Corner name (`ss`, `ff`, ...); `None` or `tt` selects the base
+        /// file itself.
+        corner: Option<String>,
+    },
+}
+
+impl LibrarySpec {
+    /// Parses the CLI/protocol spelling `path[,corner=<name>]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] for an empty path or an unknown option.
+    pub fn parse(spec: &str) -> Result<Self, ConfigError> {
+        let mut parts = spec.split(',');
+        let path = parts.next().unwrap_or("").trim();
+        if path.is_empty() {
+            return Err(ConfigError {
+                field: "library",
+                message: "must start with a `.lib` file path".into(),
+            });
+        }
+        let mut corner = None;
+        for part in parts {
+            let part = part.trim();
+            match part.strip_prefix("corner=") {
+                Some(c) if !c.is_empty() => corner = Some(c.to_ascii_lowercase()),
+                _ => {
+                    return Err(ConfigError {
+                        field: "library",
+                        message: format!("unknown option `{part}` (expected `corner=<name>`)"),
+                    })
+                }
+            }
+        }
+        Ok(LibrarySpec::Liberty {
+            path: PathBuf::from(path),
+            corner,
+        })
+    }
+
+    /// A stable one-line rendering (`builtin` or
+    /// `liberty:<path>[,corner=<name>]`), the inverse of
+    /// [`LibrarySpec::parse`] up to the `liberty:` prefix.
+    pub fn describe(&self) -> String {
+        match self {
+            LibrarySpec::Builtin => "builtin".into(),
+            LibrarySpec::Liberty { path, corner } => match corner {
+                Some(c) => format!("liberty:{},corner={c}", path.display()),
+                None => format!("liberty:{}", path.display()),
+            },
+        }
+    }
+
+    /// Resolves the spec into a live [`CellLibrary`] for a technology.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::Library`] when the `.lib` file cannot be
+    /// read, parsed, or resolved at the requested corner.
+    pub fn build(&self, tech: &Technology) -> Result<Arc<dyn CellLibrary>, FlowError> {
+        match self {
+            LibrarySpec::Builtin => Ok(Arc::new(statleak_tech::BuiltinLibrary::new(tech.clone()))),
+            LibrarySpec::Liberty { path, corner } => {
+                let lib = LibertyLibrary::load(path, corner.as_deref(), tech.clone())?;
+                Ok(Arc::new(lib))
+            }
+        }
+    }
+}
+
+/// Failure class of a [`FlowError::Library`], used by the CLI to pick the
+/// exit code (I/O vs parse vs usage).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LibraryErrorClass {
+    /// The `.lib` file could not be read.
+    Io,
+    /// The `.lib` file failed to lex, parse, or decode (the message
+    /// carries the line/column).
+    Parse,
+    /// The requested corner is not in the discovered corner set.
+    UnknownCorner,
+}
+
 /// Errors surfaced by the flows.
 ///
 /// Marked `#[non_exhaustive]`: downstream matches must keep a wildcard arm
@@ -46,6 +151,14 @@ pub enum FlowError {
     Sizing(statleak_opt::SizeError),
     /// A [`FlowConfig`] field failed builder validation.
     Config(ConfigError),
+    /// The configured cell library could not be loaded.
+    Library {
+        /// Failure class (I/O vs parse vs unknown corner).
+        class: LibraryErrorClass,
+        /// Human-readable diagnostic, including the path and (for parse
+        /// failures) the line/column.
+        message: String,
+    },
 }
 
 impl FlowError {
@@ -59,6 +172,11 @@ impl FlowError {
             FlowError::Correlation(_) => "correlation",
             FlowError::Sizing(_) => "infeasible",
             FlowError::Config(_) => "config",
+            FlowError::Library { class, .. } => match class {
+                LibraryErrorClass::Io => "library-io",
+                LibraryErrorClass::Parse => "library-parse",
+                LibraryErrorClass::UnknownCorner => "library-corner",
+            },
         }
     }
 }
@@ -70,6 +188,7 @@ impl std::fmt::Display for FlowError {
             FlowError::Correlation(e) => write!(f, "correlation model: {e}"),
             FlowError::Sizing(e) => write!(f, "sizing: {e}"),
             FlowError::Config(e) => write!(f, "config: {e}"),
+            FlowError::Library { message, .. } => write!(f, "library: {message}"),
         }
     }
 }
@@ -91,6 +210,20 @@ impl From<statleak_opt::SizeError> for FlowError {
 impl From<ConfigError> for FlowError {
     fn from(e: ConfigError) -> Self {
         FlowError::Config(e)
+    }
+}
+
+impl From<LibertyLoadError> for FlowError {
+    fn from(e: LibertyLoadError) -> Self {
+        let class = match &e {
+            LibertyLoadError::Io { .. } => LibraryErrorClass::Io,
+            LibertyLoadError::UnknownCorner { .. } => LibraryErrorClass::UnknownCorner,
+            _ => LibraryErrorClass::Parse,
+        };
+        FlowError::Library {
+            class,
+            message: e.to_string(),
+        }
     }
 }
 
@@ -122,6 +255,9 @@ pub struct FlowConfig {
     /// ([`statleak_tech::wire::wire_caps_from_placement`]) instead of the
     /// fixed-stub-only load model.
     pub wire_loads: bool,
+    /// The cell library every evaluation path reads through
+    /// ([`LibrarySpec::Builtin`] by default).
+    pub library: LibrarySpec,
 }
 
 impl FlowConfig {
@@ -148,6 +284,7 @@ impl FlowConfig {
             mc_sampling: SamplingScheme::default(),
             mc_seed: McConfig::default().seed,
             wire_loads: false,
+            library: LibrarySpec::Builtin,
         }
     }
 
@@ -162,6 +299,7 @@ impl FlowConfig {
             mc_sampling: self.mc_sampling,
             mc_seed: self.mc_seed,
             wire_loads: self.wire_loads,
+            library: self.library.clone(),
         }
     }
 
@@ -198,6 +336,7 @@ pub struct FlowConfigBuilder {
     mc_sampling: SamplingScheme,
     mc_seed: u64,
     wire_loads: bool,
+    library: LibrarySpec,
 }
 
 impl FlowConfigBuilder {
@@ -248,6 +387,13 @@ impl FlowConfigBuilder {
     /// Install placement-driven wire loads instead of fixed stubs.
     pub fn wire_loads(mut self, wire_loads: bool) -> Self {
         self.wire_loads = wire_loads;
+        self
+    }
+
+    /// The cell library every evaluation path reads through (see
+    /// [`LibrarySpec`]; builtin closed forms by default).
+    pub fn library(mut self, library: LibrarySpec) -> Self {
+        self.library = library;
         self
     }
 
@@ -332,6 +478,7 @@ impl FlowConfigBuilder {
             mc_sampling: self.mc_sampling,
             mc_seed: self.mc_seed,
             wire_loads: self.wire_loads,
+            library: self.library,
         }
     }
 }
@@ -355,7 +502,8 @@ pub struct Setup {
 ///
 /// # Errors
 ///
-/// Returns [`FlowError::UnknownBenchmark`] or a correlation-model error.
+/// Returns [`FlowError::UnknownBenchmark`], a correlation-model error, or
+/// [`FlowError::Library`] when a configured `.lib` file fails to load.
 pub fn prepare(cfg: &FlowConfig) -> Result<Setup, FlowError> {
     let _span = obs::span!("flow.prepare");
     // Combinational suite first, then the sequential (FF-cut) suite.
@@ -366,7 +514,8 @@ pub fn prepare(cfg: &FlowConfig) -> Result<Setup, FlowError> {
     let placement = Placement::by_level(&circuit);
     let tech = Technology::ptm100();
     let fm = FactorModel::build(&circuit, &placement, &tech, &cfg.variation)?;
-    let mut base = Design::new(Arc::clone(&circuit), tech);
+    let library = cfg.library.build(&tech)?;
+    let mut base = Design::with_library(Arc::clone(&circuit), tech, library);
     if cfg.wire_loads {
         base.set_wire_caps(statleak_tech::wire::wire_caps_from_placement(
             &circuit,
@@ -1039,7 +1188,7 @@ pub fn ablation_on(setup: &Setup, cfg: &FlowConfig) -> Result<Vec<AblationRow>, 
     tech_nocouple.vth_l_coeff = 0.0;
     let fm_nc = FactorModel::build(&setup.circuit, &placement, &tech_nocouple, &cfg.variation)?;
     let design_nc = {
-        let mut d = Design::new(Arc::clone(&setup.circuit), tech_nocouple);
+        let mut d = design.fresh_like(tech_nocouple);
         // Copy the baseline's implementation state.
         for g in design.circuit().gates() {
             d.set_size(g, design.size(g));

@@ -49,6 +49,6 @@ pub mod report;
 
 pub use flows::{
     ComparisonOutcome, ConfigError, DesignMetrics, FlowConfig, FlowConfigBuilder, FlowError,
-    McSpec, SweepSpec,
+    LibraryErrorClass, LibrarySpec, McSpec, SweepSpec,
 };
 pub use joint::JointYield;

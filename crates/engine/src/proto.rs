@@ -25,7 +25,7 @@ use crate::session::{CacheStats, Session};
 use crate::store::StoreStats;
 use statleak_core::flows::{
     AblationRow, ComparisonOutcome, DesignMetrics, DistKind, DistributionData, FlowConfig,
-    FlowError, McValidation, SweepPoint, SweepSpec,
+    FlowError, LibrarySpec, McValidation, SweepPoint, SweepSpec,
 };
 use statleak_obs as obs;
 
@@ -273,6 +273,20 @@ fn parse_config(obj: &Json) -> Result<FlowConfig, ProtoError> {
     }
     if let Some(x) = field_bool(obj, "wire_loads")? {
         builder = builder.wire_loads(x);
+    }
+    match obj.get("library") {
+        None | Some(Json::Null) => {}
+        Some(v) => {
+            let spec = v
+                .as_str()
+                .ok_or_else(|| ProtoError::usage("`library` must be a string"))?;
+            let spec = if spec.eq_ignore_ascii_case("builtin") {
+                LibrarySpec::Builtin
+            } else {
+                LibrarySpec::parse(spec).map_err(|e| ProtoError::usage(format!("`library` {e}")))?
+            };
+            builder = builder.library(spec);
+        }
     }
     builder.build().map_err(|e| ProtoError {
         class: "config",

@@ -15,7 +15,7 @@
 use crate::cache::{ContentHasher, Lru};
 use statleak_core::flows::{
     self, AblationRow, ComparisonOutcome, DesignMetrics, DistributionData, FlowConfig, FlowError,
-    McValidation, Setup, SweepPoint, SweepSpec,
+    LibrarySpec, McValidation, Setup, SweepPoint, SweepSpec,
 };
 use statleak_netlist::{bench, benchmarks};
 use statleak_obs as obs;
@@ -381,10 +381,18 @@ impl Engine {
 
 /// Computes the content-hash cache key for a configuration.
 ///
+/// The key covers the netlist content, the technology parameters, every
+/// [`FlowConfig`] knob, and the *content identity* of the configured cell
+/// library ([`statleak_tech::CellLibrary::id`], which embeds a hash of the `.lib` source
+/// for Liberty libraries) — so editing a library file on disk, or pointing
+/// two requests at different corners of the same library, never aliases
+/// into one cached session.
+///
 /// # Errors
 ///
 /// Returns [`FlowError::UnknownBenchmark`] if the benchmark name resolves
-/// to no built-in circuit.
+/// to no built-in circuit, or [`FlowError::Library`] if a configured
+/// `.lib` file cannot be loaded.
 pub fn session_key(cfg: &FlowConfig) -> Result<u64, FlowError> {
     // Resolve exactly like `flows::prepare`: combinational suite first,
     // then the sequential (FF-cut) suite.
@@ -397,6 +405,19 @@ pub fn session_key(cfg: &FlowConfig) -> Result<u64, FlowError> {
     // Technology model. `Debug` prints every parameter with full f64
     // round-trip precision, which is exactly the content we want keyed.
     h.str(&format!("{:?}", Technology::ptm100()));
+    // Library identity: the builtin id is derived from the technology
+    // parameters; a Liberty id embeds the file stem, corner, and a
+    // content hash of the `.lib` source.
+    match &cfg.library {
+        LibrarySpec::Builtin => {
+            h.str("library:builtin");
+        }
+        spec => {
+            let library = spec.build(&Technology::ptm100())?;
+            h.str("library:");
+            h.str(library.id());
+        }
+    }
     // FlowConfig knobs.
     h.str(&cfg.benchmark);
     h.f64(cfg.slack_factor);

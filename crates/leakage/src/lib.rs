@@ -1,7 +1,7 @@
 //! Full-chip statistical leakage analysis.
 //!
 //! Each gate's sub-threshold leakage is an *exact* lognormal in this
-//! model (see [`statleak_tech::cell::ln_leakage`]): its ln-space form is an
+//! model (see [`statleak_tech::CellLibrary::ln_leakage`]): its ln-space form is an
 //! affine function of the shared channel-length factors plus a gate-local
 //! term. The full-chip leakage is the sum of these correlated lognormals.
 //!
@@ -46,7 +46,7 @@
 
 use statleak_netlist::NodeId;
 use statleak_stats::{wilkinson_sum, LogNormal, LognormalTerm};
-use statleak_tech::{cell, Design, FactorModel};
+use statleak_tech::{Design, FactorModel};
 
 /// The per-gate lognormal leakage description in the shared factor basis.
 #[derive(Debug, Clone, PartialEq)]
@@ -71,13 +71,10 @@ impl GateLeakage {
 pub fn gate_leakage(design: &Design, fm: &FactorModel, id: NodeId) -> GateLeakage {
     let node = design.circuit().node(id);
     debug_assert!(node.kind.is_gate(), "inputs do not leak");
-    let (ln_nom, dln_dl, dln_dvth) = cell::ln_leakage(
-        design.tech(),
-        node.kind,
-        node.fanin.len(),
-        design.size(id),
-        design.vth(id),
-    );
+    let (ln_nom, dln_dl, dln_dvth) =
+        design
+            .library()
+            .ln_leakage(node.kind, node.fanin.len(), design.size(id), design.vth(id));
     let mut shared = fm.l_shared_dense(id);
     for a in &mut shared {
         *a *= dln_dl;
@@ -226,13 +223,13 @@ impl LeakageAnalysis {
     ///
     /// Allocation-free: only the ln-space nominal is needed (the gate's
     /// sensitivity vector is a region-level constant already cached in
-    /// `region_v_shared`), so this evaluates [`cell::ln_leakage`] directly
+    /// `region_v_shared`), so this evaluates
+    /// [`statleak_tech::CellLibrary::ln_leakage`] directly
     /// instead of building a full [`GateLeakage`].
     pub fn update_gate(&mut self, design: &Design, _fm: &FactorModel, id: NodeId) -> LeakUndo {
         let node = design.circuit().node(id);
         debug_assert!(node.kind.is_gate(), "inputs do not leak");
-        let (ln_nom, _, _) = cell::ln_leakage(
-            design.tech(),
+        let (ln_nom, _, _) = design.library().ln_leakage(
             node.kind,
             node.fanin.len(),
             design.size(id),

@@ -5,7 +5,7 @@ use rand::SeedableRng;
 use rayon::prelude::*;
 use statleak_obs as obs;
 use statleak_stats::{StdNormalSampler, Summary};
-use statleak_tech::{cell, Design, FactorModel};
+use statleak_tech::{Design, FactorModel};
 
 use crate::sample::sub_seed;
 use crate::MonteCarlo;
@@ -134,7 +134,6 @@ fn evaluate_abb_sample(design: &Design, fm: &FactorModel, seed: u64, abb: &AbbCo
     let mut rng = StdRng::seed_from_u64(seed);
     let mut normal = StdNormalSampler::new();
     let circuit = design.circuit();
-    let tech = design.tech();
 
     let shared: Vec<f64> = (0..fm.num_shared())
         .map(|_| normal.sample(&mut rng))
@@ -164,8 +163,7 @@ fn evaluate_abb_sample(design: &Design, fm: &FactorModel, seed: u64, abb: &AbbCo
             }
             let (dl, dv) = per_gate[k];
             let dvth = dv + bias;
-            let d = cell::gate_delay(
-                tech,
+            let d = design.library().delay(
                 node.kind,
                 node.fanin.len(),
                 design.size(id),
@@ -180,8 +178,7 @@ fn evaluate_abb_sample(design: &Design, fm: &FactorModel, seed: u64, abb: &AbbCo
                 .map(|f| arrival[f.index()])
                 .fold(0.0, f64::max);
             arrival[id.index()] = worst + d;
-            leakage += cell::leakage_current(
-                tech,
+            leakage += design.library().leakage(
                 node.kind,
                 node.fanin.len(),
                 design.size(id),

@@ -17,7 +17,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use statleak_stats::{SobolSequence, StdNormalSampler};
-use statleak_tech::{cell, Design, FactorModel};
+use statleak_tech::{Design, FactorModel};
 
 /// Weyl-sequence stride for per-sample sub-seeds (`⌊2^64/φ⌋`).
 pub(crate) const SEED_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
@@ -91,7 +91,6 @@ pub(crate) fn evaluate_chip(
 ) -> (f64, f64, Vec<f64>) {
     let mut draws = DrawSource::new(seed, qmc);
     let circuit = design.circuit();
-    let tech = design.tech();
 
     let mut shared: Vec<f64> = (0..fm.num_shared()).map(|_| draws.next_normal()).collect();
     if let Some(s) = shift {
@@ -109,8 +108,7 @@ pub(crate) fn evaluate_chip(
         }
         let dl = fm.sample_l(id, &shared, draws.next_normal());
         let dvth = fm.vth_local(id) * draws.next_normal();
-        let d = cell::gate_delay(
-            tech,
+        let d = design.library().delay(
             node.kind,
             node.fanin.len(),
             design.size(id),
@@ -125,8 +123,7 @@ pub(crate) fn evaluate_chip(
             .map(|f| arrival[f.index()])
             .fold(0.0, f64::max);
         arrival[id.index()] = worst + d;
-        leakage += cell::leakage_current(
-            tech,
+        leakage += design.library().leakage(
             node.kind,
             node.fanin.len(),
             design.size(id),

@@ -129,7 +129,7 @@ impl DeterministicOptimizer {
             sized.sort_by(|&a, &b| design.size(b).total_cmp(&design.size(a)));
             for g in sized {
                 let old = design.size(g);
-                let Some(down) = design.tech().size_down(old) else {
+                let Some(down) = design.size_down(old) else {
                     continue;
                 };
                 design.set_size(g, down);

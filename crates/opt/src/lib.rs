@@ -55,23 +55,18 @@ pub use statistical::{
 
 use rayon::prelude::*;
 use statleak_netlist::NodeId;
-use statleak_tech::{cell, Design, VthClass};
+use statleak_tech::{Design, VthClass};
 
 /// Nominal delay penalty of swapping gate `g` from its current Vth flavor
 /// to `target`, at its current size and load (ps).
 pub(crate) fn vth_penalty_to(design: &Design, g: NodeId, target: VthClass) -> f64 {
     let node = design.circuit().node(g);
     let c_load = design.load_cap(g);
-    let d_new = cell::gate_delay_nominal(
-        design.tech(),
-        node.kind,
-        node.fanin.len(),
-        design.size(g),
-        target,
-        c_load,
-    );
-    let d_cur = cell::gate_delay_nominal(
-        design.tech(),
+    let d_new =
+        design
+            .library()
+            .delay_nominal(node.kind, node.fanin.len(), design.size(g), target, c_load);
+    let d_cur = design.library().delay_nominal(
         node.kind,
         node.fanin.len(),
         design.size(g),

@@ -24,7 +24,7 @@
 use crate::sizing::{size_for_delay, SizeError};
 use statleak_netlist::NodeId;
 use statleak_sta::Sta;
-use statleak_tech::{cell, Design};
+use statleak_tech::Design;
 
 /// Configuration of the weight-driven sizer.
 #[derive(Debug, Clone, PartialEq)]
@@ -65,12 +65,11 @@ pub struct LrReport {
 /// Local cost of giving gate `g` size `w`: own width + weighted own delay
 /// + weighted delay of the fanin drivers whose load changes with `w`.
 fn local_cost(design: &Design, weights: &[f64], g: NodeId, w: f64) -> f64 {
-    let tech = design.tech();
+    let lib = design.library();
     let circuit = design.circuit();
     let node = circuit.node(g);
     // Own delay at size w with the current load.
-    let d_own = cell::gate_delay_nominal(
-        tech,
+    let d_own = lib.delay_nominal(
         node.kind,
         node.fanin.len(),
         w,
@@ -79,14 +78,14 @@ fn local_cost(design: &Design, weights: &[f64], g: NodeId, w: f64) -> f64 {
     );
     let mut cost = w + weights[g.index()] * d_own;
     // Effect of our input capacitance on each fanin driver.
-    let delta_cap = cell::input_cap(tech, w) - cell::input_cap(tech, design.size(g));
+    let delta_cap = lib.input_cap(node.kind, node.fanin.len(), w, design.vth(g))
+        - lib.input_cap(node.kind, node.fanin.len(), design.size(g), design.vth(g));
     for &f in node.fanin {
         let fnode = circuit.node(f);
         if !fnode.kind.is_gate() {
             continue;
         }
-        let d_f = cell::gate_delay_nominal(
-            tech,
+        let d_f = lib.delay_nominal(
             fnode.kind,
             fnode.fanin.len(),
             design.size(f),
@@ -120,7 +119,7 @@ pub fn size_lagrangian(design: &mut Design, cfg: &LrConfig) -> Result<LrReport, 
         for &g in &gates {
             let mut best_w = design.size(g);
             let mut best_cost = local_cost(design, &weights, g, best_w);
-            for &w in &design.tech().sizes {
+            for &w in design.library().sizes() {
                 if w == best_w {
                     continue;
                 }

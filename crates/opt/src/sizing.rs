@@ -46,7 +46,7 @@ fn best_upsize_step(design: &mut Design, sta: &mut Sta) -> Option<f64> {
             continue;
         }
         let old = design.size(g);
-        let Some(up) = design.tech().size_up(old) else {
+        let Some(up) = design.size_up(old) else {
             continue;
         };
         design.set_size(g, up);
@@ -140,7 +140,7 @@ pub fn size_for_yield(
                 continue;
             }
             let old = design.size(g);
-            let Some(up) = design.tech().size_up(old) else {
+            let Some(up) = design.size_up(old) else {
                 continue;
             };
             design.set_size(g, up);

@@ -17,7 +17,7 @@
 
 use statleak_netlist::NodeId;
 use statleak_stats::{clark_max, phi_inv};
-use statleak_tech::{cell, Design, FactorModel};
+use statleak_tech::{Design, FactorModel};
 
 /// Dense canonical form `X = mean + Σ_k shared[k]·Z_k + local·R`; the
 /// pre-sparse representation with a full-width sensitivity vector.
@@ -165,8 +165,7 @@ pub struct DenseAnalysis {
 pub fn gate_delay_dense(design: &Design, fm: &FactorModel, id: NodeId) -> DenseCanonical {
     let circuit = design.circuit();
     debug_assert!(circuit.kind(id).is_gate(), "inputs have no delay");
-    let (d, dd_dl, dd_dvth) = cell::delay_sensitivities(
-        design.tech(),
+    let (d, dd_dl, dd_dvth) = design.library().delay_sensitivities(
         circuit.kind(id),
         circuit.fanin(id).len(),
         design.size(id),

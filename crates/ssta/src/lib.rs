@@ -52,7 +52,7 @@ use rayon::prelude::*;
 use statleak_netlist::{Circuit, ConeScratch, NodeId};
 use statleak_obs as obs;
 use statleak_stats::phi;
-use statleak_tech::{cell, Design, FactorModel};
+use statleak_tech::{Design, FactorModel};
 
 /// Minimum number of gates in a level block before propagation of that
 /// level fans out across threads; below this the spawn/collect overhead of
@@ -76,8 +76,7 @@ pub fn gate_delay_canonical_into(
 ) {
     let circuit = design.circuit();
     debug_assert!(circuit.kind(id).is_gate(), "inputs have no delay");
-    let (d, dd_dl, dd_dvth) = cell::delay_sensitivities(
-        design.tech(),
+    let (d, dd_dl, dd_dvth) = design.library().delay_sensitivities(
         circuit.kind(id),
         circuit.fanin(id).len(),
         design.size(id),

@@ -18,6 +18,16 @@
 //! Shorter channels (negative `ΔL/L`) *lower* the threshold (roll-off), so
 //! fast die are leaky die — the correlation the statistical optimizer must
 //! respect and the deterministic one ignores.
+//!
+//! # Deprecation note
+//!
+//! The free functions taking `&Technology` are **deprecated**: evaluation
+//! now goes through the [`crate::CellLibrary`] trait, resolved once per
+//! flow ([`crate::BuiltinLibrary`] wraps exactly these closed forms;
+//! [`crate::LibertyLibrary`] substitutes characterized `.lib` values).
+//! The forwarders below delegate verbatim to the crate-private
+//! implementations, so existing callers keep bit-identical results while
+//! they migrate.
 
 use crate::params::{Technology, VthClass};
 use statleak_netlist::GateKind;
@@ -51,24 +61,49 @@ pub fn leak_state_factor(kind: GateKind, fanin: usize) -> f64 {
     }
 }
 
-/// Input capacitance presented by one gate pin (fF).
+/// Per-input-state leakage factor of a gate kind.
+///
+/// `state` is a bitmask over the cell's input pins (bit `i` set = pin `i`
+/// high, `0 ≤ state < 2^fanin`). The profile models the series-stack
+/// effect — for NAND/AND every *low* input adds an off NMOS in series;
+/// for NOR/OR every *high* input adds an off PMOS — and is normalized so
+/// the arithmetic mean over all `2^fanin` states equals
+/// [`leak_state_factor`] (the scalar the averaged model consumes).
+pub fn leak_state_factor_for_state(kind: GateKind, fanin: usize, state: usize) -> f64 {
+    debug_assert!(fanin >= 1);
+    debug_assert!(state < (1usize << fanin));
+    let states = 1usize << fanin;
+    let raw = |s: usize| -> f64 {
+        let ones = (s & (states - 1)).count_ones() as f64;
+        let zeros = fanin as f64 - ones;
+        match kind {
+            GateKind::Input => 0.0,
+            // Off devices in the series stack suppress leakage.
+            GateKind::And | GateKind::Nand => 1.0 / (1.0 + 0.8 * zeros),
+            GateKind::Or | GateKind::Nor => 1.0 / (1.0 + 0.8 * ones),
+            // Single-input and pass-structure cells: mild input asymmetry.
+            GateKind::Buff | GateKind::Not => 1.0 + 0.1 * (ones - zeros),
+            GateKind::Xor | GateKind::Xnor => 1.0,
+        }
+    };
+    let total: f64 = (0..states).map(raw).sum();
+    leak_state_factor(kind, fanin) * raw(state) * states as f64 / total
+}
+
+// ---------------------------------------------------------------------------
+// Crate-private implementations: the single source of truth for the closed
+// forms. `BuiltinLibrary`, the deprecated forwarders, and the Liberty
+// characterizer all call these, so every path evaluates the identical
+// floating-point expression.
+// ---------------------------------------------------------------------------
+
 #[inline]
-pub fn input_cap(tech: &Technology, size: f64) -> f64 {
+pub(crate) fn input_cap_impl(tech: &Technology, size: f64) -> f64 {
     tech.c_gate * size
 }
 
-/// Full (non-linearized) gate delay under a parameter perturbation (ps).
-///
-/// This is the model the Monte-Carlo engine evaluates; SSTA uses its
-/// first-order expansion ([`delay_sensitivities`]).
-///
-/// # Panics
-///
-/// Panics (debug) if called for [`GateKind::Input`].
-// The argument list mirrors the physical model's parameter vector; bundling
-// it into a struct would just move the same eight names one level down.
 #[allow(clippy::too_many_arguments)]
-pub fn gate_delay(
+pub(crate) fn gate_delay_impl(
     tech: &Technology,
     kind: GateKind,
     fanin: usize,
@@ -86,8 +121,7 @@ pub fn gate_delay(
         / (size * overdrive.powf(tech.alpha))
 }
 
-/// Nominal gate delay (no variation), ps.
-pub fn gate_delay_nominal(
+pub(crate) fn gate_delay_nominal_impl(
     tech: &Technology,
     kind: GateKind,
     fanin: usize,
@@ -95,14 +129,10 @@ pub fn gate_delay_nominal(
     vth_class: VthClass,
     c_load: f64,
 ) -> f64 {
-    gate_delay(tech, kind, fanin, size, vth_class, c_load, 0.0, 0.0)
+    gate_delay_impl(tech, kind, fanin, size, vth_class, c_load, 0.0, 0.0)
 }
 
-/// First-order delay sensitivities at the nominal point.
-///
-/// Returns `(d_nom, ∂d/∂(ΔL/L), ∂d/∂ΔVth)` where the `ΔL/L` derivative
-/// already folds in the threshold roll-off path `∂d/∂Vth · dVth/dL`.
-pub fn delay_sensitivities(
+pub(crate) fn delay_sensitivities_impl(
     tech: &Technology,
     kind: GateKind,
     fanin: usize,
@@ -110,7 +140,7 @@ pub fn delay_sensitivities(
     vth_class: VthClass,
     c_load: f64,
 ) -> (f64, f64, f64) {
-    let d = gate_delay_nominal(tech, kind, fanin, size, vth_class, c_load);
+    let d = gate_delay_nominal_impl(tech, kind, fanin, size, vth_class, c_load);
     let overdrive = tech.vdd - tech.vth(vth_class);
     // ∂d/∂Vth = alpha · d / (Vdd − Vth)
     let dd_dvth = tech.alpha * d / overdrive;
@@ -119,8 +149,7 @@ pub fn delay_sensitivities(
     (d, dd_dl, dd_dvth)
 }
 
-/// Full (non-linearized) sub-threshold leakage current (A).
-pub fn leakage_current(
+pub(crate) fn leakage_current_impl(
     tech: &Technology,
     kind: GateKind,
     fanin: usize,
@@ -134,7 +163,128 @@ pub fn leakage_current(
     tech.i0 * size * leak_state_factor(kind, fanin) * (-vth_eff / tech.n_vt()).exp()
 }
 
+pub(crate) fn leakage_nominal_impl(
+    tech: &Technology,
+    kind: GateKind,
+    fanin: usize,
+    size: f64,
+    vth_class: VthClass,
+) -> f64 {
+    leakage_current_impl(tech, kind, fanin, size, vth_class, 0.0, 0.0)
+}
+
+pub(crate) fn ln_leakage_impl(
+    tech: &Technology,
+    kind: GateKind,
+    fanin: usize,
+    size: f64,
+    vth_class: VthClass,
+) -> (f64, f64, f64) {
+    let ln_nom = leakage_nominal_impl(tech, kind, fanin, size, vth_class).ln();
+    let dln_dvth = -1.0 / tech.n_vt();
+    let dln_dl = dln_dvth * tech.vth_l_coeff;
+    (ln_nom, dln_dl, dln_dvth)
+}
+
+// ---------------------------------------------------------------------------
+// Deprecated forwarders (kept so downstream code compiles while migrating
+// to the `CellLibrary` trait).
+// ---------------------------------------------------------------------------
+
+/// Input capacitance presented by one gate pin (fF).
+#[deprecated(note = "use `CellLibrary::input_cap` via `Design::library()` instead")]
+#[inline]
+pub fn input_cap(tech: &Technology, size: f64) -> f64 {
+    input_cap_impl(tech, size)
+}
+
+/// Full (non-linearized) gate delay under a parameter perturbation (ps).
+///
+/// This is the model the Monte-Carlo engine evaluates; SSTA uses its
+/// first-order expansion ([`delay_sensitivities`]).
+///
+/// # Panics
+///
+/// Panics (debug) if called for [`GateKind::Input`].
+// The argument list mirrors the physical model's parameter vector; bundling
+// it into a struct would just move the same eight names one level down.
+#[deprecated(note = "use `CellLibrary::delay` via `Design::library()` instead")]
+#[allow(clippy::too_many_arguments)]
+pub fn gate_delay(
+    tech: &Technology,
+    kind: GateKind,
+    fanin: usize,
+    size: f64,
+    vth_class: VthClass,
+    c_load: f64,
+    delta_l_rel: f64,
+    delta_vth_rand: f64,
+) -> f64 {
+    gate_delay_impl(
+        tech,
+        kind,
+        fanin,
+        size,
+        vth_class,
+        c_load,
+        delta_l_rel,
+        delta_vth_rand,
+    )
+}
+
+/// Nominal gate delay (no variation), ps.
+#[deprecated(note = "use `CellLibrary::delay_nominal` via `Design::library()` instead")]
+pub fn gate_delay_nominal(
+    tech: &Technology,
+    kind: GateKind,
+    fanin: usize,
+    size: f64,
+    vth_class: VthClass,
+    c_load: f64,
+) -> f64 {
+    gate_delay_nominal_impl(tech, kind, fanin, size, vth_class, c_load)
+}
+
+/// First-order delay sensitivities at the nominal point.
+///
+/// Returns `(d_nom, ∂d/∂(ΔL/L), ∂d/∂ΔVth)` where the `ΔL/L` derivative
+/// already folds in the threshold roll-off path `∂d/∂Vth · dVth/dL`.
+#[deprecated(note = "use `CellLibrary::delay_sensitivities` via `Design::library()` instead")]
+pub fn delay_sensitivities(
+    tech: &Technology,
+    kind: GateKind,
+    fanin: usize,
+    size: f64,
+    vth_class: VthClass,
+    c_load: f64,
+) -> (f64, f64, f64) {
+    delay_sensitivities_impl(tech, kind, fanin, size, vth_class, c_load)
+}
+
+/// Full (non-linearized) sub-threshold leakage current (A).
+#[deprecated(note = "use `CellLibrary::leakage` via `Design::library()` instead")]
+pub fn leakage_current(
+    tech: &Technology,
+    kind: GateKind,
+    fanin: usize,
+    size: f64,
+    vth_class: VthClass,
+    delta_l_rel: f64,
+    delta_vth_rand: f64,
+) -> f64 {
+    leakage_current_impl(
+        tech,
+        kind,
+        fanin,
+        size,
+        vth_class,
+        delta_l_rel,
+        delta_vth_rand,
+    )
+}
+
 /// Nominal leakage current (A).
+#[deprecated(note = "use `CellLibrary::leakage_nominal` via `Design::library()` instead")]
 pub fn leakage_nominal(
     tech: &Technology,
     kind: GateKind,
@@ -142,7 +292,7 @@ pub fn leakage_nominal(
     size: f64,
     vth_class: VthClass,
 ) -> f64 {
-    leakage_current(tech, kind, fanin, size, vth_class, 0.0, 0.0)
+    leakage_nominal_impl(tech, kind, fanin, size, vth_class)
 }
 
 /// ln-space leakage description: `(ln I_nom, ∂lnI/∂(ΔL/L), ∂lnI/∂ΔVth)`.
@@ -151,6 +301,7 @@ pub fn leakage_nominal(
 /// this model, the ln-space expansion is exact, and per-gate leakage is an
 /// exact lognormal — which is what makes Wilkinson summation the right
 /// full-chip aggregation.
+#[deprecated(note = "use `CellLibrary::ln_leakage` via `Design::library()` instead")]
 pub fn ln_leakage(
     tech: &Technology,
     kind: GateKind,
@@ -158,13 +309,11 @@ pub fn ln_leakage(
     size: f64,
     vth_class: VthClass,
 ) -> (f64, f64, f64) {
-    let ln_nom = leakage_nominal(tech, kind, fanin, size, vth_class).ln();
-    let dln_dvth = -1.0 / tech.n_vt();
-    let dln_dl = dln_dvth * tech.vth_l_coeff;
-    (ln_nom, dln_dl, dln_dvth)
+    ln_leakage_impl(tech, kind, fanin, size, vth_class)
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the forwarders themselves are under test
 mod tests {
     use super::*;
 
@@ -251,6 +400,40 @@ mod tests {
     fn stack_factors_monotone_in_fanin() {
         assert!(stack_resistance(GateKind::Nand, 3) > stack_resistance(GateKind::Nand, 2));
         assert!(leak_state_factor(GateKind::Nand, 3) < leak_state_factor(GateKind::Nand, 2));
+    }
+
+    #[test]
+    fn per_state_factors_average_to_scalar() {
+        for (kind, fanin) in [
+            (GateKind::Nand, 2),
+            (GateKind::Nand, 4),
+            (GateKind::Nor, 3),
+            (GateKind::And, 2),
+            (GateKind::Or, 4),
+            (GateKind::Not, 1),
+            (GateKind::Buff, 1),
+            (GateKind::Xor, 2),
+        ] {
+            let states = 1usize << fanin;
+            let mean: f64 = (0..states)
+                .map(|s| leak_state_factor_for_state(kind, fanin, s))
+                .sum::<f64>()
+                / states as f64;
+            let scalar = leak_state_factor(kind, fanin);
+            assert!(
+                (mean - scalar).abs() < 1e-12,
+                "{kind:?}/{fanin}: mean {mean} vs scalar {scalar}"
+            );
+        }
+    }
+
+    #[test]
+    fn nand_all_high_state_is_leakiest() {
+        // All inputs high = full NMOS stack on, leakage through PMOS: the
+        // NAND's worst state; each low input adds a series off device.
+        let f = |s| leak_state_factor_for_state(GateKind::Nand, 2, s);
+        assert!(f(0b11) > f(0b01));
+        assert!(f(0b01) > f(0b00));
     }
 
     #[test]

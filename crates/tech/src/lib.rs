@@ -13,8 +13,12 @@
 //!   sensitivities to `ΔL/L` and `ΔVth`;
 //! * [`Design`] — a circuit plus its per-gate size and Vth assignment, the
 //!   object every analysis and optimizer operates on;
-//! * [`liberty`] — Liberty-subset (`.lib`) export/import of the cell
-//!   library for interchange with other tools;
+//! * [`CellLibrary`] — the library abstraction every analysis consumes:
+//!   [`BuiltinLibrary`] wraps the closed forms (default, reference
+//!   semantics), [`LibertyLibrary`] substitutes characterized `.lib`
+//!   values (NLDM tables, `when`-conditioned leakage, corner variants);
+//! * [`liberty`] — the typed Liberty front-end (lexer → AST → decode)
+//!   plus `.lib` export/import for interchange with other tools;
 //! * [`variation`] — the variation decomposition (die-to-die / spatially
 //!   correlated / gate-local) factored into independent standard-normal
 //!   factors shared by SSTA, leakage analysis, and Monte Carlo.
@@ -40,10 +44,13 @@
 pub mod cell;
 mod design;
 pub mod liberty;
+pub mod library;
 mod params;
 pub mod variation;
 pub mod wire;
 
 pub use design::Design;
+pub use liberty::LibertyLibrary;
+pub use library::{BuiltinLibrary, CellLibrary};
 pub use params::{Technology, VthClass};
 pub use variation::{FactorModel, VariationConfig};

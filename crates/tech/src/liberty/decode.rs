@@ -1,0 +1,517 @@
+//! Typed decode: AST groups → `Library`/`Cell`/`Pin`/`LeakagePower`/
+//! [`NldmTable`].
+//!
+//! Unknown attributes and groups are skipped (the Liberty convention —
+//! real libraries carry far more than any one consumer reads), but what
+//! *is* read is checked strictly: numbers must parse, lookup tables must
+//! reference a declared `lu_table_template` (or the built-in `scalar`),
+//! `values` shapes must match their index axes, and a cell may not declare
+//! the same pin twice. All violations carry line/column positions.
+
+use super::ast::{parse_groups, AttrValue, Group};
+use super::error::{LibertyError, LibertyErrorKind};
+use std::collections::BTreeMap;
+
+/// A decoded Liberty library.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Library {
+    /// Library name (the `library (...)` argument).
+    pub name: String,
+    /// `nom_voltage`, if declared (V).
+    pub nom_voltage: Option<f64>,
+    /// Declared `lu_table_template` groups, by name.
+    pub templates: BTreeMap<String, TableTemplate>,
+    /// All cells, in source order.
+    pub cells: Vec<Cell>,
+}
+
+/// A `lu_table_template` declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableTemplate {
+    /// Template name.
+    pub name: String,
+    /// `variable_1` (conventionally the input transition axis).
+    pub variable_1: Option<String>,
+    /// `variable_2` (conventionally the output load axis).
+    pub variable_2: Option<String>,
+    /// Default `index_1` sample points.
+    pub index_1: Vec<f64>,
+    /// Default `index_2` sample points.
+    pub index_2: Vec<f64>,
+}
+
+/// One decoded cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cell {
+    /// Cell name, e.g. `NAND2_X2_HVT`.
+    pub name: String,
+    /// State-averaged `cell_leakage_power` attribute (library leakage
+    /// power units), if present.
+    pub cell_leakage_power: Option<f64>,
+    /// `when`-conditioned per-state leakage groups, in source order.
+    pub leakage_power: Vec<LeakagePower>,
+    /// Pins, in source order.
+    pub pins: Vec<Pin>,
+    /// Optional self-describing attributes written by this repo's
+    /// exporter (absent in third-party libraries, which are classified by
+    /// cell-name convention instead).
+    pub drive_size: Option<f64>,
+    /// `fanin_count` attribute.
+    pub fanin_count: Option<usize>,
+    /// `function_kind` attribute (bench keyword, e.g. `NAND`).
+    pub function_kind: Option<String>,
+    /// `threshold_flavor` attribute (`LVT`/`MVT`/`HVT`).
+    pub threshold_flavor: Option<String>,
+    /// 1-based source line of the cell group.
+    pub line: u32,
+}
+
+/// One `leakage_power () { when : ...; value : ...; }` group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LeakagePower {
+    /// The input-state condition, e.g. `A&!B` (`None` = unconditioned).
+    pub when: Option<String>,
+    /// Leakage power in library leakage power units.
+    pub value: f64,
+}
+
+/// One decoded pin.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pin {
+    /// Pin name.
+    pub name: String,
+    /// `direction` attribute (`input`/`output`), if present.
+    pub direction: Option<String>,
+    /// `capacitance` attribute (library capacitance units).
+    pub capacitance: Option<f64>,
+    /// `timing ()` groups on this pin.
+    pub timings: Vec<Timing>,
+}
+
+/// One `timing ()` group.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Timing {
+    /// `related_pin`, if declared.
+    pub related_pin: Option<String>,
+    /// Linear-model intrinsic delay (`intrinsic_rise`), if declared.
+    pub intrinsic_rise: Option<f64>,
+    /// Linear-model load slope (`rise_resistance`), if declared.
+    pub rise_resistance: Option<f64>,
+    /// NLDM rise table, if declared.
+    pub cell_rise: Option<NldmTable>,
+    /// NLDM fall table, if declared.
+    pub cell_fall: Option<NldmTable>,
+}
+
+/// A non-linear delay-model lookup table: delay values sampled over
+/// `index_1` (input transition) × `index_2` (output load).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NldmTable {
+    /// The `lu_table_template` this table instantiates.
+    pub template: String,
+    /// Input-transition sample points (ps), ascending.
+    pub index_1: Vec<f64>,
+    /// Output-load sample points (library capacitance units), ascending.
+    pub index_2: Vec<f64>,
+    /// Row-major values: `values[i][j]` is delay at `index_1[i]`,
+    /// `index_2[j]`.
+    pub values: Vec<Vec<f64>>,
+}
+
+impl NldmTable {
+    /// Bilinear interpolation (linear extrapolation beyond the grid) of
+    /// the table at an input transition and output load.
+    pub fn lookup(&self, transition: f64, load: f64) -> f64 {
+        let (i0, i1, ti) = bracket(&self.index_1, transition);
+        let (j0, j1, tj) = bracket(&self.index_2, load);
+        let interp_row = |i: usize| -> f64 {
+            let row = &self.values[i];
+            row[j0] + (row[j1] - row[j0]) * tj
+        };
+        let v0 = interp_row(i0);
+        let v1 = interp_row(i1);
+        v0 + (v1 - v0) * ti
+    }
+}
+
+/// Bracketing for 1-D interpolation: returns `(lo, hi, t)` with `t` the
+/// (possibly <0 or >1, i.e. extrapolating) blend factor between the two
+/// nearest sample points.
+fn bracket(axis: &[f64], x: f64) -> (usize, usize, f64) {
+    match axis.len() {
+        0 => (0, 0, 0.0),
+        1 => (0, 0, 0.0),
+        _ => {
+            let mut hi = axis.len() - 1;
+            for (i, &a) in axis.iter().enumerate().skip(1) {
+                if x <= a || i == axis.len() - 1 {
+                    hi = i;
+                    break;
+                }
+            }
+            let lo = hi - 1;
+            let span = axis[hi] - axis[lo];
+            let t = if span.abs() < 1e-300 {
+                0.0
+            } else {
+                (x - axis[lo]) / span
+            };
+            (lo, hi, t)
+        }
+    }
+}
+
+/// Parses and decodes Liberty text into a typed [`Library`].
+///
+/// # Errors
+///
+/// Returns the first lex/grammar/decode error with its source position.
+pub fn parse_library(src: &str) -> Result<Library, LibertyError> {
+    let groups = parse_groups(src)?;
+    let lib = groups
+        .iter()
+        .find(|g| g.name == "library")
+        .ok_or_else(|| LibertyError::new(LibertyErrorKind::MissingLibrary, 1, 1))?;
+    decode_library(lib)
+}
+
+fn decode_library(lib: &Group) -> Result<Library, LibertyError> {
+    let name = lib.args.first().cloned().unwrap_or_default();
+    let nom_voltage = match lib.simple("nom_voltage") {
+        Some(text) => Some(parse_num(text, "nom_voltage", lib)?),
+        None => None,
+    };
+
+    let mut templates = BTreeMap::new();
+    for t in lib.groups_named("lu_table_template") {
+        let tname = t.args.first().cloned().unwrap_or_default();
+        templates.insert(
+            tname.clone(),
+            TableTemplate {
+                name: tname,
+                variable_1: t.simple("variable_1").map(str::to_string),
+                variable_2: t.simple("variable_2").map(str::to_string),
+                index_1: parse_axis(t, "index_1")?,
+                index_2: parse_axis(t, "index_2")?,
+            },
+        );
+    }
+
+    let mut cells = Vec::new();
+    for c in lib.groups_named("cell") {
+        cells.push(decode_cell(c, &templates)?);
+    }
+    Ok(Library {
+        name,
+        nom_voltage,
+        templates,
+        cells,
+    })
+}
+
+fn decode_cell(
+    c: &Group,
+    templates: &BTreeMap<String, TableTemplate>,
+) -> Result<Cell, LibertyError> {
+    let name = c.args.first().cloned().unwrap_or_default();
+    let mut cell = Cell {
+        name: name.clone(),
+        cell_leakage_power: opt_num(c, "cell_leakage_power")?,
+        leakage_power: Vec::new(),
+        pins: Vec::new(),
+        drive_size: opt_num(c, "drive_size")?,
+        fanin_count: opt_num(c, "fanin_count")?.map(|v| v as usize),
+        function_kind: c.simple("function_kind").map(str::to_string),
+        threshold_flavor: c.simple("threshold_flavor").map(str::to_string),
+        line: c.line,
+    };
+    for lp in c.groups_named("leakage_power") {
+        let value_text = lp.simple("value").ok_or_else(|| {
+            LibertyError::new(
+                LibertyErrorKind::Expected {
+                    expected: "`value` attribute in leakage_power group",
+                    found: "none".into(),
+                },
+                lp.line,
+                lp.column,
+            )
+        })?;
+        cell.leakage_power.push(LeakagePower {
+            when: lp.simple("when").map(str::to_string),
+            value: parse_num(value_text, "value", lp)?,
+        });
+    }
+    for p in c.groups_named("pin") {
+        let pname = p.args.first().cloned().unwrap_or_default();
+        if cell.pins.iter().any(|e| e.name == pname) {
+            return Err(LibertyError::new(
+                LibertyErrorKind::DuplicatePin {
+                    cell: name,
+                    pin: pname,
+                },
+                p.line,
+                p.column,
+            ));
+        }
+        let mut pin = Pin {
+            name: pname,
+            direction: p.simple("direction").map(str::to_string),
+            capacitance: opt_num(p, "capacitance")?,
+            timings: Vec::new(),
+        };
+        for t in p.groups_named("timing") {
+            let mut timing = Timing {
+                related_pin: t.simple("related_pin").map(str::to_string),
+                intrinsic_rise: opt_num(t, "intrinsic_rise")?,
+                rise_resistance: opt_num(t, "rise_resistance")?,
+                ..Timing::default()
+            };
+            for table_group in &t.groups {
+                let which = match table_group.name.as_str() {
+                    "cell_rise" => 0,
+                    "cell_fall" => 1,
+                    _ => continue,
+                };
+                let table = decode_table(table_group, templates)?;
+                if which == 0 {
+                    timing.cell_rise = Some(table);
+                } else {
+                    timing.cell_fall = Some(table);
+                }
+            }
+            pin.timings.push(timing);
+        }
+        cell.pins.push(pin);
+    }
+    Ok(cell)
+}
+
+fn decode_table(
+    g: &Group,
+    templates: &BTreeMap<String, TableTemplate>,
+) -> Result<NldmTable, LibertyError> {
+    let tname = g.args.first().cloned().unwrap_or_default();
+    let template = match templates.get(&tname) {
+        Some(t) => Some(t),
+        None if tname == "scalar" => None,
+        None => {
+            return Err(LibertyError::new(
+                LibertyErrorKind::UnknownTemplate { name: tname },
+                g.line,
+                g.column,
+            ));
+        }
+    };
+    // Local index_1/index_2 override the template defaults.
+    let mut index_1 = parse_axis(g, "index_1")?;
+    let mut index_2 = parse_axis(g, "index_2")?;
+    if let Some(t) = template {
+        if index_1.is_empty() {
+            index_1 = t.index_1.clone();
+        }
+        if index_2.is_empty() {
+            index_2 = t.index_2.clone();
+        }
+    }
+    let values_attr = g.attrs.iter().find(|a| a.key == "values").ok_or_else(|| {
+        LibertyError::new(
+            LibertyErrorKind::Expected {
+                expected: "`values` attribute in lookup table",
+                found: "none".into(),
+            },
+            g.line,
+            g.column,
+        )
+    })?;
+    let rows_text: Vec<String> = match &values_attr.value {
+        AttrValue::Complex(rows) => rows.clone(),
+        AttrValue::Simple(row) => vec![row.clone()],
+    };
+    let mut values = Vec::with_capacity(rows_text.len());
+    for row_text in &rows_text {
+        let mut row = Vec::new();
+        for tok in row_text.split([',', ' ']).filter(|s| !s.is_empty()) {
+            row.push(tok.parse::<f64>().map_err(|_| {
+                LibertyError::new(
+                    LibertyErrorKind::BadNumber {
+                        key: "values".into(),
+                        text: tok.to_string(),
+                    },
+                    values_attr.line,
+                    values_attr.column,
+                )
+            })?);
+        }
+        values.push(row);
+    }
+    let rows = index_1.len().max(1);
+    let cols = index_2.len().max(1);
+    let shape_ok = values.len() == rows && values.iter().all(|r| r.len() == cols);
+    // Scalar tables (1×1) are also commonly written as a single row.
+    let scalar_ok = rows == 1 && cols == 1 && values.len() == 1 && values[0].len() == 1;
+    if !(shape_ok || scalar_ok) {
+        return Err(LibertyError::new(
+            LibertyErrorKind::BadTableShape {
+                template: if tname.is_empty() {
+                    "scalar".into()
+                } else {
+                    tname
+                },
+            },
+            values_attr.line,
+            values_attr.column,
+        ));
+    }
+    Ok(NldmTable {
+        template: tname,
+        index_1,
+        index_2,
+        values,
+    })
+}
+
+fn parse_axis(g: &Group, key: &str) -> Result<Vec<f64>, LibertyError> {
+    let Some(attr) = g.attrs.iter().find(|a| a.key == key) else {
+        return Ok(Vec::new());
+    };
+    let texts: Vec<String> = match &attr.value {
+        AttrValue::Complex(args) => args.clone(),
+        AttrValue::Simple(v) => vec![v.clone()],
+    };
+    let mut out = Vec::new();
+    for text in &texts {
+        for tok in text.split([',', ' ']).filter(|s| !s.is_empty()) {
+            out.push(tok.parse::<f64>().map_err(|_| {
+                LibertyError::new(
+                    LibertyErrorKind::BadNumber {
+                        key: key.to_string(),
+                        text: tok.to_string(),
+                    },
+                    attr.line,
+                    attr.column,
+                )
+            })?);
+        }
+    }
+    Ok(out)
+}
+
+fn opt_num(g: &Group, key: &str) -> Result<Option<f64>, LibertyError> {
+    match g.simple(key) {
+        Some(text) => Ok(Some(parse_num(text, key, g)?)),
+        None => Ok(None),
+    }
+}
+
+fn parse_num(text: &str, key: &str, g: &Group) -> Result<f64, LibertyError> {
+    let attr_pos = g
+        .attrs
+        .iter()
+        .find(|a| a.key == key)
+        .map(|a| (a.line, a.column))
+        .unwrap_or((g.line, g.column));
+    text.parse::<f64>().map_err(|_| {
+        LibertyError::new(
+            LibertyErrorKind::BadNumber {
+                key: key.to_string(),
+                text: text.to_string(),
+            },
+            attr_pos.0,
+            attr_pos.1,
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MINI: &str = r#"
+library (demo) {
+  nom_voltage : 1.2;
+  lu_table_template (delay_2x3) {
+    variable_1 : input_net_transition;
+    variable_2 : total_output_net_capacitance;
+    index_1 ("10, 40");
+    index_2 ("0, 10, 30");
+  }
+  cell (NAND2_X1_LVT) {
+    cell_leakage_power : 0.5;
+    leakage_power () { when : "A&B"; value : 0.9; }
+    leakage_power () { when : "!A&!B"; value : 0.1; }
+    pin (A) { direction : input; capacitance : 2.0; }
+    pin (Y) {
+      direction : output;
+      timing () {
+        related_pin : "A";
+        cell_rise (delay_2x3) {
+          values ("5, 15, 35", "5, 15, 35");
+        }
+      }
+    }
+  }
+}
+"#;
+
+    #[test]
+    fn decodes_templates_states_and_tables() {
+        let lib = parse_library(MINI).unwrap();
+        assert_eq!(lib.name, "demo");
+        assert_eq!(lib.nom_voltage, Some(1.2));
+        let t = &lib.templates["delay_2x3"];
+        assert_eq!(t.index_1, [10.0, 40.0]);
+        assert_eq!(t.index_2, [0.0, 10.0, 30.0]);
+        let cell = &lib.cells[0];
+        assert_eq!(cell.leakage_power.len(), 2);
+        assert_eq!(cell.leakage_power[0].when.as_deref(), Some("A&B"));
+        assert_eq!(cell.leakage_power[1].value, 0.1);
+        let y = cell.pins.iter().find(|p| p.name == "Y").unwrap();
+        let rise = y.timings[0].cell_rise.as_ref().unwrap();
+        assert_eq!(rise.index_2, [0.0, 10.0, 30.0]);
+        // Linear table: interpolation and extrapolation are exact.
+        assert!((rise.lookup(20.0, 5.0) - 10.0).abs() < 1e-12);
+        assert!((rise.lookup(20.0, 50.0) - 55.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_template_is_positioned() {
+        let src = MINI.replace("cell_rise (delay_2x3)", "cell_rise (missing_tmpl)");
+        let err = parse_library(&src).unwrap_err();
+        assert_eq!(
+            err.kind,
+            LibertyErrorKind::UnknownTemplate {
+                name: "missing_tmpl".into()
+            }
+        );
+        assert!(err.line > 1);
+    }
+
+    #[test]
+    fn duplicate_pin_is_positioned() {
+        let src = MINI.replace(
+            "pin (A) { direction : input; capacitance : 2.0; }",
+            "pin (A) { direction : input; capacitance : 2.0; }\n    pin (A) { direction : input; }",
+        );
+        let err = parse_library(&src).unwrap_err();
+        assert!(matches!(
+            err.kind,
+            LibertyErrorKind::DuplicatePin { ref pin, .. } if pin == "A"
+        ));
+    }
+
+    #[test]
+    fn bad_table_shape_rejected() {
+        let src = MINI.replace(
+            "values (\"5, 15, 35\", \"5, 15, 35\");",
+            "values (\"5, 15\", \"5, 15, 35\");",
+        );
+        let err = parse_library(&src).unwrap_err();
+        assert!(matches!(err.kind, LibertyErrorKind::BadTableShape { .. }));
+    }
+
+    #[test]
+    fn missing_library_reported() {
+        let err = parse_library("cell (X) { }").unwrap_err();
+        assert_eq!(err.kind, LibertyErrorKind::MissingLibrary);
+    }
+}

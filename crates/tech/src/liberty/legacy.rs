@@ -1,0 +1,209 @@
+//! The legacy flat-attribute Liberty parser.
+//!
+//! Predates the typed front-end ([`super::decode`]): a light-weight scan
+//! that extracts the attributes written by [`super::export`] into flat
+//! [`LibertyCell`] records. Kept because its API (`parse`,
+//! [`ParseLibertyError`]) is public and the round-trip template tests
+//! build on it; new code should use [`super::parse_library`] /
+//! [`crate::LibertyLibrary`].
+
+use super::export::LibertyCell;
+use crate::params::VthClass;
+use statleak_netlist::GateKind;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Errors produced while parsing the Liberty subset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseLibertyError {
+    /// No `library (...)` header.
+    MissingLibrary,
+    /// A cell lacked a required attribute; carries cell name + attribute.
+    MissingAttribute {
+        /// The cell.
+        cell: String,
+        /// The missing attribute key.
+        attribute: String,
+    },
+    /// A value could not be parsed as a number; carries key and text.
+    BadValue {
+        /// Attribute key.
+        key: String,
+        /// Unparsable text.
+        text: String,
+    },
+}
+
+impl fmt::Display for ParseLibertyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseLibertyError::MissingLibrary => write!(f, "no `library` group found"),
+            ParseLibertyError::MissingAttribute { cell, attribute } => {
+                write!(f, "cell `{cell}` lacks attribute `{attribute}`")
+            }
+            ParseLibertyError::BadValue { key, text } => {
+                write!(f, "bad numeric value for `{key}`: `{text}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseLibertyError {}
+
+/// Parses Liberty-subset text back into flat cells.
+///
+/// Only the attributes written by [`super::export`] are interpreted;
+/// unknown attributes and groups are skipped (which is the Liberty
+/// convention and lets users feed in real libraries with richer content).
+///
+/// # Errors
+///
+/// Returns [`ParseLibertyError`] on missing headers/attributes or
+/// unparsable numbers.
+pub fn parse(src: &str) -> Result<Vec<LibertyCell>, ParseLibertyError> {
+    if !src.contains("library") {
+        return Err(ParseLibertyError::MissingLibrary);
+    }
+    let mut cells = Vec::new();
+    // Light-weight scan: find `cell (NAME) {` groups, then read key : value
+    // pairs until the group's brace depth closes.
+    let mut rest = src;
+    while let Some(pos) = rest.find("cell (") {
+        rest = &rest[pos + "cell (".len()..];
+        let close = rest.find(')').ok_or(ParseLibertyError::MissingLibrary)?;
+        let name = rest[..close].trim().to_string();
+        let body_start = rest[close..]
+            .find('{')
+            .map(|i| close + i + 1)
+            .ok_or(ParseLibertyError::MissingLibrary)?;
+        // Find the matching closing brace.
+        let mut depth = 1;
+        let mut end = body_start;
+        for (i, ch) in rest[body_start..].char_indices() {
+            match ch {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = body_start + i;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let body = &rest[body_start..end];
+        let mut attrs: BTreeMap<String, String> = BTreeMap::new();
+        for line in body.lines() {
+            if let Some((k, v)) = line.split_once(':') {
+                attrs.insert(
+                    k.trim().to_string(),
+                    v.trim().trim_end_matches(';').trim().to_string(),
+                );
+            }
+        }
+        let get = |key: &str| -> Result<String, ParseLibertyError> {
+            attrs
+                .get(key)
+                .cloned()
+                .ok_or_else(|| ParseLibertyError::MissingAttribute {
+                    cell: name.clone(),
+                    attribute: key.to_string(),
+                })
+        };
+        let num = |key: &str| -> Result<f64, ParseLibertyError> {
+            let text = get(key)?;
+            text.parse().map_err(|_| ParseLibertyError::BadValue {
+                key: key.to_string(),
+                text,
+            })
+        };
+        let kind = GateKind::from_bench_keyword(&get("function_kind")?).ok_or_else(|| {
+            ParseLibertyError::BadValue {
+                key: "function_kind".into(),
+                text: get("function_kind").unwrap_or_default(),
+            }
+        })?;
+        let vth = match get("threshold_flavor")?.as_str() {
+            "LVT" => VthClass::Low,
+            "MVT" => VthClass::Mid,
+            "HVT" => VthClass::High,
+            other => {
+                return Err(ParseLibertyError::BadValue {
+                    key: "threshold_flavor".into(),
+                    text: other.to_string(),
+                })
+            }
+        };
+        cells.push(LibertyCell {
+            name: name.clone(),
+            kind,
+            fanin: num("fanin_count")? as usize,
+            size: num("drive_size")?,
+            vth,
+            input_cap: num("capacitance")?,
+            leakage_nw: num("cell_leakage_power")?,
+            intrinsic_ps: num("intrinsic_rise")?,
+            slope_ps_per_ff: num("rise_resistance")?,
+        });
+        rest = &rest[end..];
+    }
+    Ok(cells)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::liberty::export::{characterize, export};
+    use crate::params::Technology;
+
+    #[test]
+    fn round_trip_preserves_values() {
+        let tech = Technology::ptm100();
+        let cells = parse(&export(&tech, "lib")).unwrap();
+        // 2 single-fanin kinds + 4 kinds × 3 fanins + 2 kinds × 1 fanin
+        // = 16 variants × 9 sizes × 2 vth.
+        assert_eq!(cells.len(), 16 * tech.sizes.len() * 2);
+        let inv = cells
+            .iter()
+            .find(|c| c.name == "INV_X1_LVT")
+            .expect("inverter present");
+        let expect = characterize(&tech, GateKind::Not, "INV", 1, 1.0, VthClass::Low);
+        assert!((inv.leakage_nw - expect.leakage_nw).abs() < 1e-4);
+        assert!((inv.input_cap - expect.input_cap).abs() < 1e-4);
+        assert!((inv.intrinsic_ps - expect.intrinsic_ps).abs() < 1e-4);
+        assert!((inv.slope_ps_per_ff - expect.slope_ps_per_ff).abs() < 1e-4);
+    }
+
+    #[test]
+    fn hvt_cells_leak_less_than_lvt() {
+        let cells = parse(&export(&Technology::ptm100(), "lib")).unwrap();
+        let lvt = cells.iter().find(|c| c.name == "NAND2_X1_LVT").unwrap();
+        let hvt = cells.iter().find(|c| c.name == "NAND2_X1_HVT").unwrap();
+        assert!(lvt.leakage_nw / hvt.leakage_nw > 15.0);
+        assert!(hvt.intrinsic_ps > lvt.intrinsic_ps);
+    }
+
+    #[test]
+    fn missing_library_rejected() {
+        assert_eq!(parse("cell (X) {}"), Err(ParseLibertyError::MissingLibrary));
+    }
+
+    #[test]
+    fn missing_attribute_reported() {
+        let src = "library (l) { cell (BROKEN) { drive_size : 1; } }";
+        let e = parse(src).unwrap_err();
+        assert!(matches!(e, ParseLibertyError::MissingAttribute { .. }));
+    }
+
+    #[test]
+    fn unknown_attributes_skipped() {
+        let tech = Technology::ptm100();
+        let mut text = export(&tech, "lib");
+        text = text.replace(
+            "delay_model : table_lookup;",
+            "delay_model : table_lookup;\n  vendor_secret_sauce : 42;",
+        );
+        assert!(parse(&text).is_ok());
+    }
+}

@@ -1,0 +1,350 @@
+//! Liberty lexer: raw text → position-tagged tokens.
+//!
+//! The token set is deliberately small — Liberty is `name (args) { ... }`
+//! groups, `key : value ;` simple attributes, and `key (args) ;` complex
+//! attributes. Identifiers, numbers, and unit suffixes all lex as
+//! [`TokenKind::Word`]; quoted strings keep their unescaped content.
+//! `//` line comments, `/* */` block comments, and `\`-newline line
+//! continuations are skipped. Every token records the 1-based line/column
+//! of its first character for error reporting.
+
+use super::error::{LibertyError, LibertyErrorKind};
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token class and payload.
+    pub kind: TokenKind,
+    /// 1-based source line of the first character.
+    pub line: u32,
+    /// 1-based source column of the first character.
+    pub column: u32,
+}
+
+/// Token classes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Bare word: identifier, number, or unit text (e.g. `cell_rise`,
+    /// `1.25`, `1ps`).
+    Word(String),
+    /// Quoted string with escapes resolved.
+    Quoted(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `:`
+    Colon,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+}
+
+impl TokenKind {
+    /// A short human-readable rendering for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Word(w) => w.clone(),
+            TokenKind::Quoted(s) => format!("\"{s}\""),
+            TokenKind::LParen => "(".into(),
+            TokenKind::RParen => ")".into(),
+            TokenKind::LBrace => "{".into(),
+            TokenKind::RBrace => "}".into(),
+            TokenKind::Colon => ":".into(),
+            TokenKind::Semi => ";".into(),
+            TokenKind::Comma => ",".into(),
+        }
+    }
+}
+
+/// Lexes Liberty source into tokens.
+///
+/// # Errors
+///
+/// Returns a position-carrying [`LibertyError`] for unterminated strings
+/// or block comments and for unsupported string escapes.
+pub fn lex(src: &str) -> Result<Vec<Token>, LibertyError> {
+    let mut tokens = Vec::new();
+    let mut chars = src.chars().peekable();
+    let mut line: u32 = 1;
+    let mut column: u32 = 1;
+
+    macro_rules! bump {
+        ($c:expr) => {
+            if $c == '\n' {
+                line += 1;
+                column = 1;
+            } else {
+                column += 1;
+            }
+        };
+    }
+
+    while let Some(&c) = chars.peek() {
+        let (tok_line, tok_col) = (line, column);
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                chars.next();
+                bump!(c);
+            }
+            '\\' => {
+                // Line continuation: backslash followed by (optional CR and)
+                // newline is whitespace; anything else is an error here.
+                chars.next();
+                bump!(c);
+                while matches!(chars.peek(), Some('\r')) {
+                    chars.next();
+                    bump!('\r');
+                }
+                match chars.peek() {
+                    Some('\n') => {
+                        chars.next();
+                        bump!('\n');
+                    }
+                    other => {
+                        return Err(LibertyError::new(
+                            LibertyErrorKind::Expected {
+                                expected: "newline after line-continuation `\\`",
+                                found: other.map(|c| c.to_string()).unwrap_or_default(),
+                            },
+                            tok_line,
+                            tok_col,
+                        ));
+                    }
+                }
+            }
+            '/' => {
+                chars.next();
+                bump!('/');
+                match chars.peek() {
+                    Some('/') => {
+                        // Line comment.
+                        for c2 in chars.by_ref() {
+                            bump!(c2);
+                            if c2 == '\n' {
+                                break;
+                            }
+                        }
+                    }
+                    Some('*') => {
+                        chars.next();
+                        bump!('*');
+                        let mut closed = false;
+                        let mut prev = '\0';
+                        for c2 in chars.by_ref() {
+                            bump!(c2);
+                            if prev == '*' && c2 == '/' {
+                                closed = true;
+                                break;
+                            }
+                            prev = c2;
+                        }
+                        if !closed {
+                            return Err(LibertyError::new(
+                                LibertyErrorKind::UnterminatedComment,
+                                tok_line,
+                                tok_col,
+                            ));
+                        }
+                    }
+                    _ => {
+                        // A lone `/` inside e.g. a path-like word.
+                        let mut word = String::from('/');
+                        while let Some(&c2) = chars.peek() {
+                            if is_word_char(c2) {
+                                word.push(c2);
+                                chars.next();
+                                bump!(c2);
+                            } else {
+                                break;
+                            }
+                        }
+                        tokens.push(Token {
+                            kind: TokenKind::Word(word),
+                            line: tok_line,
+                            column: tok_col,
+                        });
+                    }
+                }
+            }
+            '"' => {
+                chars.next();
+                bump!('"');
+                let mut text = String::new();
+                let mut closed = false;
+                while let Some(c2) = chars.next() {
+                    bump!(c2);
+                    match c2 {
+                        '"' => {
+                            closed = true;
+                            break;
+                        }
+                        '\n' => {
+                            return Err(LibertyError::new(
+                                LibertyErrorKind::UnterminatedString,
+                                tok_line,
+                                tok_col,
+                            ));
+                        }
+                        '\\' => {
+                            let (esc_line, esc_col) = (line, column.saturating_sub(1));
+                            match chars.next() {
+                                Some('"') => {
+                                    bump!('"');
+                                    text.push('"');
+                                }
+                                Some('\\') => {
+                                    bump!('\\');
+                                    text.push('\\');
+                                }
+                                Some('n') => {
+                                    bump!('n');
+                                    text.push('\n');
+                                }
+                                // Multi-line quoted values (common for
+                                // `values` tables): backslash-newline
+                                // continues the string.
+                                Some('\n') => {
+                                    bump!('\n');
+                                }
+                                Some(other) => {
+                                    return Err(LibertyError::new(
+                                        LibertyErrorKind::BadEscape { escape: other },
+                                        esc_line,
+                                        esc_col,
+                                    ));
+                                }
+                                None => {
+                                    return Err(LibertyError::new(
+                                        LibertyErrorKind::UnterminatedString,
+                                        tok_line,
+                                        tok_col,
+                                    ));
+                                }
+                            }
+                        }
+                        other => text.push(other),
+                    }
+                }
+                if !closed {
+                    return Err(LibertyError::new(
+                        LibertyErrorKind::UnterminatedString,
+                        tok_line,
+                        tok_col,
+                    ));
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Quoted(text),
+                    line: tok_line,
+                    column: tok_col,
+                });
+            }
+            '(' | ')' | '{' | '}' | ':' | ';' | ',' => {
+                chars.next();
+                bump!(c);
+                let kind = match c {
+                    '(' => TokenKind::LParen,
+                    ')' => TokenKind::RParen,
+                    '{' => TokenKind::LBrace,
+                    '}' => TokenKind::RBrace,
+                    ':' => TokenKind::Colon,
+                    ';' => TokenKind::Semi,
+                    _ => TokenKind::Comma,
+                };
+                tokens.push(Token {
+                    kind,
+                    line: tok_line,
+                    column: tok_col,
+                });
+            }
+            _ => {
+                let mut word = String::new();
+                while let Some(&c2) = chars.peek() {
+                    if is_word_char(c2) {
+                        word.push(c2);
+                        chars.next();
+                        bump!(c2);
+                    } else {
+                        break;
+                    }
+                }
+                if word.is_empty() {
+                    // An unexpected single character (e.g. `@`): surface it
+                    // as a word token; the parser will reject it with
+                    // position info.
+                    word.push(c);
+                    chars.next();
+                    bump!(c);
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Word(word),
+                    line: tok_line,
+                    column: tok_col,
+                });
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+fn is_word_char(c: char) -> bool {
+    c.is_alphanumeric() || matches!(c, '_' | '.' | '-' | '+' | '!' | '&' | '|' | '*' | '\'')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positions_are_one_based() {
+        let toks = lex("library (demo) {\n  key : 1.5;\n}").unwrap();
+        assert_eq!(toks[0].kind, TokenKind::Word("library".into()));
+        assert_eq!((toks[0].line, toks[0].column), (1, 1));
+        let key = toks
+            .iter()
+            .find(|t| t.kind == TokenKind::Word("key".into()));
+        assert_eq!((key.unwrap().line, key.unwrap().column), (2, 3));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = lex("a /* x\n y */ b // tail\nc").unwrap();
+        let words: Vec<_> = toks
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokenKind::Word(w) => Some(w.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(words, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn bad_escape_is_positioned() {
+        let err = lex("x : \"a\\qb\";").unwrap_err();
+        assert_eq!(err.kind, LibertyErrorKind::BadEscape { escape: 'q' });
+        assert_eq!(err.line, 1);
+        assert!(
+            err.column >= 6,
+            "column {} should point at the escape",
+            err.column
+        );
+    }
+
+    #[test]
+    fn unterminated_string_rejected() {
+        let err = lex("x : \"abc").unwrap_err();
+        assert_eq!(err.kind, LibertyErrorKind::UnterminatedString);
+    }
+
+    #[test]
+    fn unterminated_comment_rejected() {
+        let err = lex("/* never closed").unwrap_err();
+        assert_eq!(err.kind, LibertyErrorKind::UnterminatedComment);
+    }
+}

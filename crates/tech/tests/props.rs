@@ -1,4 +1,8 @@
 //! Property-based tests for the device models.
+//!
+//! These exercise the deprecated `cell::*` forwarders on purpose: they
+//! are the reference semantics `BuiltinLibrary` must keep matching.
+#![allow(deprecated)]
 
 use proptest::prelude::*;
 use statleak_netlist::GateKind;

@@ -1,0 +1,47 @@
+//! Regenerates the checked-in golden corner libraries under `libs/`:
+//! `statleak_mini.lib` (typical), `statleak_mini_ss.lib` (slow/low-leak),
+//! and `statleak_mini_ff.lib` (fast/high-leak).
+//!
+//! ```text
+//! cargo run --example gen_corner_libs
+//! ```
+//!
+//! The corners are the builtin 100 nm models re-characterized at
+//! perturbed process points: SS raises both thresholds by 30 mV and slows
+//! the drive constant by 10%; FF does the opposite. The size grid is cut
+//! to four points so the files stay small enough to diff by eye. Tests
+//! (`tests/liberty_corners.rs`) load these files verbatim — rerun this
+//! generator and re-commit whenever the export format or the models
+//! change.
+
+use statleak::tech::{liberty, Technology};
+
+/// The technology points the three corner files are characterized at.
+pub fn corner_techs() -> [(&'static str, Technology); 3] {
+    let mini = |dvth: f64, k_scale: f64| {
+        let mut t = Technology::ptm100();
+        t.sizes = vec![1.0, 2.0, 4.0, 8.0];
+        t.vth_low += dvth;
+        t.vth_mid += dvth;
+        t.vth_high += dvth;
+        t.k_delay *= k_scale;
+        t
+    };
+    [
+        ("", mini(0.0, 1.0)),
+        ("_ss", mini(0.03, 1.1)),
+        ("_ff", mini(-0.03, 0.9)),
+    ]
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("libs");
+    std::fs::create_dir_all(&root)?;
+    for (suffix, tech) in corner_techs() {
+        let name = format!("statleak_mini{suffix}");
+        let path = root.join(format!("{name}.lib"));
+        std::fs::write(&path, liberty::export(&tech, &name))?;
+        println!("wrote {}", path.display());
+    }
+    Ok(())
+}

@@ -58,6 +58,7 @@
 // below (`install_shutdown_handler`), confined to this binary so every
 // library crate keeps `#![forbid(unsafe_code)]`.
 
+use statleak::core::LibrarySpec;
 use statleak::engine::{Json, ServeConfig, Server};
 use statleak::error::StatleakError;
 use statleak::leakage::LeakageAnalysis;
@@ -167,9 +168,11 @@ fn print_usage() {
          \x20 benchmarks                      list built-in circuits\n\
          \x20 analyze   --input FILE [--clock-ps N] [--report K]\n\
          \x20           [--mc-sampler S] [--mc-samples N] [--mc-seed N]\n\
+         \x20           [--liberty FILE[,corner=NAME]]\n\
          \x20 optimize  --input FILE [--slack-factor F] [--eta E] [--triple-vth]\n\
          \x20           [--out-verilog F] [--out-bench F]\n\
          \x20           [--mc-sampler S] [--mc-samples N] [--mc-seed N]\n\
+         \x20           [--liberty FILE[,corner=NAME]]\n\
          \x20 export-lib [--out FILE]\n\
          \x20 serve     [--addr A] [--workers N] [--queue-depth N]\n\
          \x20           [--cache-capacity N] [--deadline-ms N] [--store-dir DIR]\n\
@@ -303,12 +306,27 @@ fn parse_mc_flags(
     .with_scheme(scheme))
 }
 
-fn build_context(circuit: Circuit) -> Result<(Design, FactorModel), StatleakError> {
+/// Parses the optional `--liberty <file>[,corner=<name>]` flag into a
+/// [`LibrarySpec`] (builtin models when the flag is absent).
+fn parse_library_flag(flags: &BTreeMap<String, String>) -> Result<LibrarySpec, StatleakError> {
+    match flags.get("--liberty") {
+        None => Ok(LibrarySpec::Builtin),
+        Some(spec) => {
+            LibrarySpec::parse(spec).map_err(|e| StatleakError::Usage(format!("`--liberty` {e}")))
+        }
+    }
+}
+
+fn build_context(
+    circuit: Circuit,
+    library: &LibrarySpec,
+) -> Result<(Design, FactorModel), StatleakError> {
     let circuit = Arc::new(circuit);
     let placement = Placement::by_level(&circuit);
     let tech = Technology::ptm100();
     let fm = FactorModel::build(&circuit, &placement, &tech, &VariationConfig::ptm100())?;
-    Ok((Design::new(circuit, tech), fm))
+    let lib = library.build(&tech)?;
+    Ok((Design::with_library(circuit, tech, lib), fm))
 }
 
 fn write_file(path: &str, text: String) -> Result<(), StatleakError> {
@@ -342,6 +360,7 @@ fn cmd_analyze(args: &[String]) -> Result<(), StatleakError> {
             "--mc-sampler",
             "--mc-samples",
             "--mc-seed",
+            "--liberty",
         ],
         &[],
     )?;
@@ -353,7 +372,8 @@ fn cmd_analyze(args: &[String]) -> Result<(), StatleakError> {
     let report_k = get_parsed::<usize>(&flags, "--report")?;
     // MC confirmation is opt-in for analyze: 0 samples unless asked.
     let mc_config = parse_mc_flags(&flags, 0)?;
-    let (design, fm) = build_context(load_circuit(&flags)?)?;
+    let library = parse_library_flag(&flags)?;
+    let (design, fm) = build_context(load_circuit(&flags)?, &library)?;
     let stats = design.circuit().stats();
     println!(
         "{}: {} inputs, {} outputs, {} gates, depth {}",
@@ -418,6 +438,7 @@ fn cmd_optimize(args: &[String]) -> Result<(), StatleakError> {
             "--mc-sampler",
             "--mc-samples",
             "--mc-seed",
+            "--liberty",
         ],
         &["--triple-vth"],
     )?;
@@ -441,7 +462,8 @@ fn cmd_optimize(args: &[String]) -> Result<(), StatleakError> {
         }
         None => 0.95,
     };
-    let (base, fm) = build_context(load_circuit(&flags)?)?;
+    let library = parse_library_flag(&flags)?;
+    let (base, fm) = build_context(load_circuit(&flags)?, &library)?;
 
     eprintln!("estimating minimum delay...");
     let dmin = sizing::min_delay_estimate(&base);

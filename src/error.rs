@@ -20,7 +20,7 @@
 //! The mapping is part of the CLI contract (see the README) and must not
 //! change between releases; new classes may be appended with new codes.
 
-use statleak_core::FlowError;
+use statleak_core::{FlowError, LibraryErrorClass};
 use statleak_netlist::bench::ParseBenchError;
 use statleak_netlist::verilog::ParseVerilogError;
 use statleak_opt::SizeError;
@@ -89,15 +89,20 @@ impl StatleakError {
                 FlowError::UnknownBenchmark(_) | FlowError::Config(_) => 2,
                 FlowError::Correlation(_) => 5,
                 FlowError::Sizing(_) => 6,
+                FlowError::Library { class, .. } => match class {
+                    LibraryErrorClass::Io => 3,
+                    LibraryErrorClass::Parse => 4,
+                    LibraryErrorClass::UnknownCorner => 2,
+                },
                 // `FlowError` is non-exhaustive; unknown future variants
                 // fall back to the internal-error code.
                 _ => 1,
             },
             StatleakError::Busy(_) => 7,
             StatleakError::Remote { class, .. } => match class.as_str() {
-                "usage" | "config" | "unknown-benchmark" => 2,
-                "io" => 3,
-                "parse" => 4,
+                "usage" | "config" | "unknown-benchmark" | "library-corner" => 2,
+                "io" | "library-io" => 3,
+                "parse" | "library-parse" => 4,
                 "model" | "correlation" => 5,
                 "infeasible" => 6,
                 "busy" => 7,
@@ -241,6 +246,27 @@ mod tests {
         }));
         assert_eq!(e.exit_code(), 2);
         assert_eq!(e.class(), "usage");
+    }
+
+    #[test]
+    fn library_errors_map_onto_io_parse_usage() {
+        let lib = |class: LibraryErrorClass| {
+            StatleakError::from(FlowError::Library {
+                class,
+                message: "m".into(),
+            })
+        };
+        assert_eq!(lib(LibraryErrorClass::Io).exit_code(), 3);
+        assert_eq!(lib(LibraryErrorClass::Parse).exit_code(), 4);
+        assert_eq!(lib(LibraryErrorClass::UnknownCorner).exit_code(), 2);
+        assert_eq!(
+            StatleakError::Remote {
+                class: "library-parse".into(),
+                message: "m".into(),
+            }
+            .exit_code(),
+            4
+        );
     }
 
     #[test]

@@ -1,0 +1,284 @@
+//! Golden-file tests of the Liberty front-end: the checked-in SS/TT/FF
+//! mini-libraries under `libs/` (regenerate with
+//! `cargo run --example gen_corner_libs`) must load through the typed
+//! parser, order delay/leakage monotonically across corners, drive the
+//! experiment flows and the CLI end-to-end, and isolate engine sessions
+//! by library content.
+
+use statleak::core::flows::{FlowConfig, LibrarySpec};
+use statleak::engine::{session_key, Engine};
+use statleak::netlist::benchmarks;
+use statleak::sta::Sta;
+use statleak::tech::{Design, LibertyLibrary, Technology};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::sync::Arc;
+
+fn lib_path(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("libs")
+        .join(name)
+}
+
+fn base_lib() -> PathBuf {
+    lib_path("statleak_mini.lib")
+}
+
+/// A c432 design evaluating through the golden library at a corner
+/// (`None` = the base/typical file).
+fn corner_design(corner: Option<&str>) -> Design {
+    let tech = Technology::ptm100();
+    let lib = LibertyLibrary::load(&base_lib(), corner, tech.clone())
+        .expect("golden corner library loads");
+    let circuit = Arc::new(benchmarks::by_name("c432").expect("known benchmark"));
+    Design::with_library(circuit, tech, Arc::new(lib))
+}
+
+#[test]
+fn golden_libraries_expose_the_reduced_size_grid() {
+    for corner in [None, Some("ss"), Some("ff")] {
+        let d = corner_design(corner);
+        assert_eq!(d.library().sizes(), &[1.0, 2.0, 4.0, 8.0]);
+        assert!(
+            d.library().id().starts_with("liberty:statleak_mini:"),
+            "{}",
+            d.library().id()
+        );
+    }
+}
+
+#[test]
+fn corner_selection_orders_delay_and_leakage_monotonically() {
+    let tt = corner_design(None);
+    let ss = corner_design(Some("ss"));
+    let ff = corner_design(Some("ff"));
+
+    let delay = |d: &Design| Sta::analyze(d).circuit_delay();
+    let (d_ss, d_tt, d_ff) = (delay(&ss), delay(&tt), delay(&ff));
+    assert!(
+        d_ss > d_tt && d_tt > d_ff,
+        "corner delays must order ss > tt > ff, got {d_ss} / {d_tt} / {d_ff}"
+    );
+
+    let leak = |d: &Design| d.total_leakage_power_nominal();
+    let (p_ss, p_tt, p_ff) = (leak(&ss), leak(&tt), leak(&ff));
+    assert!(
+        p_ss < p_tt && p_tt < p_ff,
+        "corner leakage must order ss < tt < ff, got {p_ss} / {p_tt} / {p_ff}"
+    );
+}
+
+#[test]
+fn typical_corner_tracks_the_builtin_models() {
+    // The TT file was characterized from the builtin closed forms, so the
+    // library-evaluated design must agree closely (NLDM interpolation is
+    // exact for the linear-in-load delay model) while SS must not.
+    let circuit = Arc::new(benchmarks::by_name("c432").expect("known benchmark"));
+    let builtin = Design::new(Arc::clone(&circuit), Technology::ptm100());
+    let tt = corner_design(None);
+    let ss = corner_design(Some("ss"));
+
+    let d_builtin = Sta::analyze(&builtin).circuit_delay();
+    let d_tt = Sta::analyze(&tt).circuit_delay();
+    let d_ss = Sta::analyze(&ss).circuit_delay();
+    assert!(
+        ((d_tt - d_builtin) / d_builtin).abs() < 1e-6,
+        "TT library should reproduce the builtin delay: {d_tt} vs {d_builtin}"
+    );
+    assert!(
+        (d_ss - d_builtin) / d_builtin > 0.05,
+        "SS library must differ from builtin: {d_ss} vs {d_builtin}"
+    );
+}
+
+#[test]
+fn unknown_corner_is_rejected_with_the_available_set() {
+    let err = LibertyLibrary::load(&base_lib(), Some("fff"), Technology::ptm100())
+        .expect_err("bogus corner");
+    let msg = err.to_string();
+    assert!(msg.contains("fff"), "{msg}");
+    assert!(msg.contains("ss") && msg.contains("ff"), "{msg}");
+}
+
+#[test]
+fn liberty_library_drives_the_experiment_flows() {
+    let cfg = |library: LibrarySpec| {
+        FlowConfig::builder("c17")
+            .mc_samples(0)
+            .library(library)
+            .build()
+            .expect("valid config")
+    };
+    let run = |cfg: &FlowConfig| {
+        Engine::global()
+            .session(cfg)
+            .expect("session opens")
+            .run_comparison()
+            .expect("comparison runs")
+    };
+    let builtin = run(&cfg(LibrarySpec::Builtin));
+    let spec = LibrarySpec::Liberty {
+        path: base_lib(),
+        corner: Some("ss".into()),
+    };
+    let ss = run(&cfg(spec));
+    // Same circuit and optimizer, different cell numbers: the statistical
+    // optimum must move (SS cells leak less at the same assignment).
+    assert!(
+        ss.statistical.leakage_mean < builtin.statistical.leakage_mean,
+        "ss {} vs builtin {}",
+        ss.statistical.leakage_mean,
+        builtin.statistical.leakage_mean
+    );
+}
+
+#[test]
+fn session_keys_isolate_library_content() {
+    let cfg = |library: LibrarySpec| {
+        FlowConfig::builder("c17")
+            .mc_samples(0)
+            .library(library)
+            .build()
+            .expect("valid config")
+    };
+    let liberty = |corner: Option<&str>| {
+        cfg(LibrarySpec::Liberty {
+            path: base_lib(),
+            corner: corner.map(str::to_string),
+        })
+    };
+    let k_builtin = session_key(&cfg(LibrarySpec::Builtin)).unwrap();
+    let k_tt = session_key(&liberty(None)).unwrap();
+    let k_ss = session_key(&liberty(Some("ss"))).unwrap();
+    let k_ff = session_key(&liberty(Some("ff"))).unwrap();
+    assert_ne!(
+        k_builtin, k_tt,
+        "builtin and liberty sessions must not alias"
+    );
+    assert_ne!(k_tt, k_ss);
+    assert_ne!(k_ss, k_ff);
+
+    // Editing the file on disk must change the key even though the path
+    // and corner spelling are unchanged.
+    let dir = std::env::temp_dir().join(format!("statleak_libkey_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let copy = dir.join("statleak_mini.lib");
+    std::fs::copy(base_lib(), &copy).unwrap();
+    let spec = LibrarySpec::Liberty {
+        path: copy.clone(),
+        corner: None,
+    };
+    let before = session_key(&cfg(spec.clone())).unwrap();
+    let mut text = std::fs::read_to_string(&copy).unwrap();
+    text = text.replace(
+        "cell_leakage_power : 118.544099;",
+        "cell_leakage_power : 99.0;",
+    );
+    std::fs::write(&copy, text).unwrap();
+    let after = session_key(&cfg(spec)).unwrap();
+    assert_ne!(
+        before, after,
+        "changed library content must re-key the session"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn statleak(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_statleak"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn cli_analyze_accepts_liberty_and_corners() {
+    let base = base_lib();
+    let base = base.to_str().unwrap();
+    let tt = statleak(&["analyze", "--input", "c17", "--liberty", base]);
+    assert!(
+        tt.status.success(),
+        "{}",
+        String::from_utf8_lossy(&tt.stderr)
+    );
+    let text = String::from_utf8_lossy(&tt.stdout);
+    assert!(text.contains("leakage power"), "{text}");
+
+    let ss = statleak(&[
+        "analyze",
+        "--input",
+        "c17",
+        "--liberty",
+        &format!("{base},corner=ss"),
+    ]);
+    assert!(
+        ss.status.success(),
+        "{}",
+        String::from_utf8_lossy(&ss.stderr)
+    );
+    assert_ne!(
+        String::from_utf8_lossy(&ss.stdout),
+        text,
+        "corner selection must change the reported numbers"
+    );
+}
+
+#[test]
+fn cli_optimize_runs_through_a_liberty_library() {
+    let base = base_lib();
+    let out = statleak(&[
+        "optimize",
+        "--input",
+        "c17",
+        "--mc-samples",
+        "8",
+        "--liberty",
+        base.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("optimized:"));
+}
+
+#[test]
+fn cli_maps_liberty_failures_onto_stable_exit_codes() {
+    // Unknown corner: usage (2).
+    let out = statleak(&[
+        "analyze",
+        "--input",
+        "c17",
+        "--liberty",
+        &format!("{},corner=nope", base_lib().display()),
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "unknown corner is a usage error"
+    );
+
+    // Unreadable file: io (3).
+    let out = statleak(&["analyze", "--input", "c17", "--liberty", "/no/such.lib"]);
+    assert_eq!(out.status.code(), Some(3), "missing file is an io error");
+
+    // Malformed library: parse (4), with the position in the diagnostic.
+    let dir = std::env::temp_dir().join(format!("statleak_badlib_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("bad.lib");
+    std::fs::write(&bad, "library (broken) {\n  cell (X) {\n").unwrap();
+    let out = statleak(&[
+        "analyze",
+        "--input",
+        "c17",
+        "--liberty",
+        bad.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(4), "parse failure maps to exit 4");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("line 2"),
+        "diagnostic carries the position: {err}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -214,6 +214,52 @@ fn serve_sheds_load_with_busy_and_drains_in_flight_work_on_sigterm() {
 }
 
 #[test]
+fn library_field_keys_distinct_sessions() {
+    let daemon = Daemon::spawn(&["--workers", "1"]);
+    let lib = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("libs")
+        .join("statleak_mini.lib");
+    let lib = lib.to_str().expect("utf-8 path");
+
+    let builtin = daemon.request(r#"{"id":1,"op":"comparison","benchmark":"c17","mc_samples":0}"#);
+    assert!(builtin.contains(r#""ok":true"#), "{builtin}");
+    let ss = daemon.request(&format!(
+        r#"{{"id":1,"op":"comparison","benchmark":"c17","mc_samples":0,"library":"{lib},corner=ss"}}"#
+    ));
+    assert!(ss.contains(r#""ok":true"#), "{ss}");
+    assert_ne!(
+        builtin, ss,
+        "library must change the session, not hit its cache"
+    );
+    let ff = daemon.request(&format!(
+        r#"{{"id":1,"op":"comparison","benchmark":"c17","mc_samples":0,"library":"{lib},corner=ff"}}"#
+    ));
+    assert_ne!(ss, ff, "corners must not alias one session");
+
+    // Explicit "builtin" spells the default and must hit the warm entry.
+    let warm = daemon.request(
+        r#"{"id":1,"op":"comparison","benchmark":"c17","mc_samples":0,"library":"builtin"}"#,
+    );
+    assert_eq!(builtin, warm, "explicit builtin is the default library");
+    let stats = daemon.request(r#"{"id":2,"op":"stats"}"#);
+    assert!(stats.contains(r#""misses":3"#), "{stats}");
+    assert!(stats.contains(r#""hits":1"#), "{stats}");
+
+    // Liberty failures surface the typed error classes.
+    let bad = daemon.request(&format!(
+        r#"{{"id":3,"op":"comparison","benchmark":"c17","mc_samples":0,"library":"{lib},corner=nope"}}"#
+    ));
+    assert!(bad.contains(r#""class":"library-corner""#), "{bad}");
+    let gone = daemon.request(
+        r#"{"id":4,"op":"comparison","benchmark":"c17","mc_samples":0,"library":"/no/such.lib"}"#,
+    );
+    assert!(gone.contains(r#""class":"library-io""#), "{gone}");
+
+    daemon.sigterm();
+    daemon.assert_clean_exit();
+}
+
+#[test]
 fn call_round_trips_and_maps_exit_codes() {
     let daemon = Daemon::spawn(&["--workers", "1"]);
 
