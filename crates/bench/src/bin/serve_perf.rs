@@ -10,6 +10,9 @@
 //!    one request line at a time, lock-step (the classic NDJSON client).
 //! 2. **batch**: the same clients send the same ops packed into `batch`
 //!    requests of [`BATCH_SIZE`] items per line.
+//! 3. **access_log**: the single workload again, against a second server
+//!    with `--access-log` enabled, to price the audit-log write path
+//!    (`overhead_frac` in the output; CI gates it at ≤ 10%).
 //!
 //! Throughput is requests (resp. items) per second; latency percentiles
 //! come from the server's own `serve_queue_wait_ns` / `serve_service_ns`
@@ -36,6 +39,7 @@ const BATCH_SIZE: usize = 32;
 const DEFAULT_SINGLE_PER_CLIENT: usize = 1500;
 
 static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+static SHUTDOWN_AUDITED: AtomicBool = AtomicBool::new(false);
 
 /// The op bodies every request cycles through — distinct memo entries,
 /// all warmed before measurement.
@@ -197,6 +201,59 @@ fn main() {
     assert_eq!(report.busy_rejected, 0, "benchmark must not shed load");
     assert_eq!(report.request_errors, 0);
 
+    // Phase 3: the identical single workload against a server with the
+    // request audit log enabled, pricing the per-request NDJSON write.
+    let audit_path =
+        std::env::temp_dir().join(format!("statleak-serve-perf-{}.log", std::process::id()));
+    let _ = std::fs::remove_file(&audit_path);
+    let mut audited_config = ServeConfig::default();
+    audited_config.addr = "127.0.0.1:0".to_string();
+    audited_config.queue_depth = 2 * CLIENTS.max(8);
+    audited_config.access_log = Some(audit_path.to_string_lossy().into_owned());
+    let audited = Server::bind(&audited_config, &SHUTDOWN_AUDITED).expect("bind audited");
+    let audited_addr = audited.local_addr();
+    let audited_thread = std::thread::spawn(move || audited.run().expect("audited server runs"));
+    for i in 0..ITEM_OPS.len() {
+        let mut stream = TcpStream::connect(audited_addr).expect("connect");
+        stream
+            .write_all(format!("{}\n", single_line(i)).as_bytes())
+            .expect("send");
+        let mut response = String::new();
+        BufReader::new(stream)
+            .read_line(&mut response)
+            .expect("receive");
+        assert!(
+            response.contains(r#""ok":true"#),
+            "audited warmup failed: {response}"
+        );
+    }
+    eprintln!("access_log: {CLIENTS} clients x {single_per_client} one-op lines, audit log on ...");
+    let audited_s = drive(audited_addr, single_per_client, single_line);
+    let audited_rps = single_total as f64 / audited_s;
+    let overhead_frac = (1.0 - audited_rps / single_rps).max(0.0);
+    eprintln!(
+        "  {single_total} requests in {audited_s:.2} s = {audited_rps:.0} req/s \
+         ({:.1}% overhead vs no log)",
+        overhead_frac * 100.0
+    );
+    let audit_records = std::fs::read_to_string(&audit_path)
+        .map(|t| t.lines().count())
+        .unwrap_or(0);
+    assert!(
+        audit_records as u64 >= single_total as u64,
+        "every measured request must be audited, got {audit_records}"
+    );
+    let mut stream = TcpStream::connect(audited_addr).expect("connect");
+    stream
+        .write_all(b"{\"op\":\"shutdown\"}\n")
+        .expect("send shutdown");
+    let mut ack = String::new();
+    BufReader::new(stream).read_line(&mut ack).expect("ack");
+    let audited_report = audited_thread.join().expect("audited server thread");
+    assert_eq!(audited_report.busy_rejected, 0);
+    assert_eq!(audited_report.request_errors, 0);
+    let _ = std::fs::remove_file(&audit_path);
+
     let json = Json::obj(vec![
         (
             "harness",
@@ -225,6 +282,17 @@ fn main() {
             ]),
         ),
         ("batch_speedup", Json::Num(round2(speedup))),
+        (
+            "access_log",
+            Json::obj(vec![
+                ("requests", Json::Num(single_total as f64)),
+                ("elapsed_s", Json::Num(round2(audited_s))),
+                ("requests_per_s", Json::Num(round2(audited_rps))),
+                ("records", Json::Num(audit_records as f64)),
+                // Throughput lost to the audit write path; CI gates ≤ 0.10.
+                ("overhead_frac", Json::Num(round4(overhead_frac))),
+            ]),
+        ),
         ("queue_wait", queue_wait),
         ("service", service),
         (
@@ -246,4 +314,8 @@ fn main() {
 
 fn round2(x: f64) -> f64 {
     (x * 100.0).round() / 100.0
+}
+
+fn round4(x: f64) -> f64 {
+    (x * 10_000.0).round() / 10_000.0
 }

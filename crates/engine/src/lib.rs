@@ -37,6 +37,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod cache;
 pub mod json;
 pub mod proto;
@@ -45,6 +46,7 @@ pub mod serve;
 pub mod session;
 pub mod store;
 
+pub use audit::{AccessLog, AccessRecord};
 pub use cache::{ContentHasher, Lru};
 pub use json::{Json, JsonError};
 pub use proto::{Op, ProtoError, Request};

@@ -28,6 +28,7 @@ use statleak_core::flows::{
     FlowError, LibrarySpec, McValidation, SweepPoint, SweepSpec,
 };
 use statleak_obs as obs;
+use statleak_obs::{TraceContext, TraceId};
 
 /// A parsed request.
 #[derive(Debug, Clone, PartialEq)]
@@ -39,6 +40,10 @@ pub struct Request {
     /// Per-request queue deadline in milliseconds (overrides the server
     /// default). The clock starts when the request is accepted.
     pub deadline_ms: Option<u64>,
+    /// Inherited trace context from the optional `trace` field
+    /// (`{"trace_id": <hex>, "parent_span_id": <int>}`). When absent the
+    /// server originates a fresh context per analysis request.
+    pub trace: Option<TraceContext>,
 }
 
 /// The operation a request names.
@@ -448,11 +453,50 @@ pub fn parse_request(line: &str) -> Result<Request, (ProtoError, Json)> {
             ))
         })?),
     };
+    let trace = parse_trace(&obj).map_err(fail)?;
     Ok(Request {
         id,
         op,
         deadline_ms,
+        trace,
     })
+}
+
+/// Parses the optional `trace` field of a request object:
+/// `{"trace_id": "<1-32 hex digits, nonzero>", "parent_span_id": <int>}`.
+fn parse_trace(obj: &Json) -> Result<Option<TraceContext>, ProtoError> {
+    let t = match obj.get("trace") {
+        None | Some(Json::Null) => return Ok(None),
+        Some(t @ Json::Obj(_)) => t,
+        Some(_) => return Err(ProtoError::usage("`trace` must be an object")),
+    };
+    let hex = t
+        .get("trace_id")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ProtoError::usage("`trace` requires a string field `trace_id`"))?;
+    let trace_id = TraceId::parse(hex).ok_or_else(|| {
+        ProtoError::usage(format!(
+            "`trace_id` must be 1-32 hex digits and nonzero, got {hex:?}"
+        ))
+    })?;
+    let parent_span = match t.get("parent_span_id") {
+        None | Some(Json::Null) => 0,
+        Some(v) => v
+            .as_usize()
+            .map(|x| x as u64)
+            .ok_or_else(|| ProtoError::usage("`parent_span_id` must be a non-negative integer"))?,
+    };
+    Ok(Some(TraceContext {
+        trace_id,
+        parent_span,
+    }))
+}
+
+/// The response extra announcing the trace id a request ran under; appended
+/// to every analysis response (and redirect) so clients can join their logs
+/// with the server's access log, spans, and exemplars.
+pub fn trace_extra(ctx: &TraceContext) -> (&'static str, Json) {
+    ("trace_id", Json::str(ctx.trace_id.to_hex()))
 }
 
 /// Encodes a success response line (no trailing newline).
@@ -770,7 +814,7 @@ pub fn obs_metrics_json(snapshot: &obs::metrics::MetricsSnapshot) -> Json {
                     .iter()
                     .map(|h| {
                         (
-                            h.name.to_string(),
+                            h.name.clone(),
                             Json::obj(vec![
                                 ("count", Json::Num(h.count as f64)),
                                 ("sum", Json::Num(h.sum as f64)),
@@ -778,6 +822,37 @@ pub fn obs_metrics_json(snapshot: &obs::metrics::MetricsSnapshot) -> Json {
                                 ("p50", Json::Num(h.p50)),
                                 ("p95", Json::Num(h.p95)),
                                 ("p99", Json::Num(h.p99)),
+                                // Mergeable representation: sparse
+                                // power-of-two (bucket index, count)
+                                // pairs, losslessly addable across nodes.
+                                (
+                                    "buckets",
+                                    Json::Arr(
+                                        h.buckets
+                                            .iter()
+                                            .map(|&(i, c)| {
+                                                Json::Arr(vec![
+                                                    Json::Num(i as f64),
+                                                    Json::Num(c as f64),
+                                                ])
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
+                                (
+                                    "exemplars",
+                                    Json::Arr(
+                                        h.exemplars
+                                            .iter()
+                                            .map(|e| {
+                                                Json::obj(vec![
+                                                    ("value", Json::Num(e.value as f64)),
+                                                    ("trace_id", Json::str(e.trace_id.to_hex())),
+                                                ])
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
                             ]),
                         )
                     })
@@ -785,6 +860,63 @@ pub fn obs_metrics_json(snapshot: &obs::metrics::MetricsSnapshot) -> Json {
             ),
         ),
     ])
+}
+
+/// Decodes one histogram object produced by [`obs_metrics_json`] back into
+/// its mergeable snapshot form — the client half of fleet aggregation
+/// (`statleak top` merges these across nodes).
+///
+/// # Errors
+///
+/// Returns a message naming the malformed field.
+pub fn parse_histogram_json(name: &str, v: &Json) -> Result<obs::HistogramSnapshot, String> {
+    let buckets_json = v
+        .get("buckets")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("histogram {name}: missing `buckets` array"))?;
+    let mut buckets = Vec::with_capacity(buckets_json.len());
+    for pair in buckets_json {
+        let pair = pair
+            .as_arr()
+            .filter(|p| p.len() == 2)
+            .ok_or_else(|| format!("histogram {name}: bucket entries must be [index, count]"))?;
+        let i = pair[0]
+            .as_usize()
+            .ok_or_else(|| format!("histogram {name}: bucket index must be an integer"))?;
+        let c = pair[1]
+            .as_f64()
+            .filter(|c| *c >= 0.0)
+            .ok_or_else(|| format!("histogram {name}: bucket count must be a number"))?;
+        buckets.push((i, c as u64));
+    }
+    let sum = v
+        .get("sum")
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("histogram {name}: missing `sum`"))? as u64;
+    let mut exemplars = Vec::new();
+    if let Some(arr) = v.get("exemplars").and_then(Json::as_arr) {
+        for e in arr {
+            let value = e
+                .get("value")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("histogram {name}: exemplar missing `value`"))?;
+            let trace_id = e
+                .get("trace_id")
+                .and_then(Json::as_str)
+                .and_then(TraceId::parse)
+                .ok_or_else(|| format!("histogram {name}: exemplar missing `trace_id`"))?;
+            exemplars.push(obs::Exemplar {
+                value: value as u64,
+                trace_id,
+            });
+        }
+    }
+    Ok(obs::HistogramSnapshot::from_parts(
+        name.to_string(),
+        buckets,
+        sum,
+        exemplars,
+    ))
 }
 
 #[cfg(test)]
@@ -959,5 +1091,59 @@ mod tests {
             err,
             r#"{"id":null,"ok":false,"error":{"class":"usage","message":"nope"}}"#
         );
+    }
+
+    #[test]
+    fn parses_trace_context() {
+        let r = parse_request(
+            r#"{"op":"ping","trace":{"trace_id":"00000000000000000000000000c0ffee","parent_span_id":9}}"#,
+        )
+        .unwrap();
+        let ctx = r.trace.unwrap();
+        assert_eq!(ctx.trace_id, TraceId(0xC0FFEE));
+        assert_eq!(ctx.parent_span, 9);
+
+        // parent_span_id is optional; short hex ids are accepted.
+        let r = parse_request(r#"{"op":"ping","trace":{"trace_id":"c0ffee"}}"#).unwrap();
+        assert_eq!(
+            r.trace,
+            Some(TraceContext {
+                trace_id: TraceId(0xC0FFEE),
+                parent_span: 0
+            })
+        );
+
+        // Absent trace parses as None (the server then originates one).
+        assert_eq!(parse_request(r#"{"op":"ping"}"#).unwrap().trace, None);
+
+        for bad in [
+            r#"{"op":"ping","trace":"c0ffee"}"#,
+            r#"{"op":"ping","trace":{}}"#,
+            r#"{"op":"ping","trace":{"trace_id":""}}"#,
+            r#"{"op":"ping","trace":{"trace_id":"0"}}"#,
+            r#"{"op":"ping","trace":{"trace_id":"zz"}}"#,
+            r#"{"op":"ping","trace":{"trace_id":"ff","parent_span_id":-1}}"#,
+        ] {
+            assert_eq!(parse_request(bad).unwrap_err().0.class, "usage", "{bad}");
+        }
+    }
+
+    #[test]
+    fn histogram_json_round_trips_through_parse() {
+        let registry = obs::Registry::new();
+        let h = registry.histogram("rt_ns");
+        let ctx = obs::TraceContext::new();
+        {
+            let _guard = obs::trace::enter(ctx);
+            for v in [0u64, 3, 900, 1_000_000] {
+                h.record_traced(v);
+            }
+        }
+        let snapshot = registry.snapshot();
+        let json = obs_metrics_json(&snapshot);
+        let encoded = json.get("histograms").unwrap().get("rt_ns").unwrap();
+        let parsed = parse_histogram_json("rt_ns", encoded).unwrap();
+        assert_eq!(parsed, snapshot.histograms[0]);
+        assert!(parsed.exemplars.iter().all(|e| e.trace_id == ctx.trace_id));
     }
 }

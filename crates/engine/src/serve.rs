@@ -38,6 +38,7 @@
 //! and in-flight requests drain to completion, every response is written,
 //! and [`Server::run`] returns its final [`ServeReport`].
 
+use crate::audit::{AccessLog, AccessRecord};
 use crate::json::Json;
 use crate::proto::{self, Op, ProtoError, Request};
 use crate::ring::{Ring, DEFAULT_REPLICAS};
@@ -45,6 +46,7 @@ use crate::session::{session_key, Engine, Session};
 use crate::store::Store;
 use statleak_core::flows::FlowConfig;
 use statleak_obs as obs;
+use statleak_obs::TraceContext;
 use std::collections::{BTreeMap, VecDeque};
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -83,6 +85,10 @@ pub struct ServeConfig {
     pub self_node: Option<String>,
     /// Virtual points per ring node.
     pub ring_replicas: usize,
+    /// NDJSON request audit log path (`--access-log`); `None` = disabled.
+    pub access_log: Option<String>,
+    /// Audit-log rotation threshold in bytes.
+    pub access_log_max_bytes: u64,
 }
 
 impl Default for ServeConfig {
@@ -97,6 +103,8 @@ impl Default for ServeConfig {
             ring: Vec::new(),
             self_node: None,
             ring_replicas: DEFAULT_REPLICAS,
+            access_log: None,
+            access_log_max_bytes: crate::audit::DEFAULT_ACCESS_LOG_MAX_BYTES,
         }
     }
 }
@@ -122,6 +130,9 @@ pub struct ServeReport {
 
 struct Job {
     request: Request,
+    /// Trace context for the whole request: the client's if it sent one,
+    /// otherwise originated by the server at dispatch.
+    trace: TraceContext,
     accepted: Instant,
     deadline: Option<Duration>,
     reply: mpsc::Sender<String>,
@@ -134,6 +145,15 @@ struct BatchState {
     ops: Vec<Op>,
     results: Mutex<Vec<Option<Result<Json, ProtoError>>>>,
     remaining: AtomicUsize,
+    /// The batch envelope's trace context, inherited by every item so one
+    /// trace id joins the fan-out across workers.
+    trace: TraceContext,
+    /// The envelope's request id, repeated on per-item audit records.
+    request_id: Json,
+    /// Where the shared session came from (`cache` or `cold`), stamped on
+    /// computed items' audit records.
+    session_origin: &'static str,
+    session_key: u64,
 }
 
 struct BatchItem {
@@ -152,6 +172,7 @@ enum Work {
 struct Shared {
     engine: Engine,
     store: Option<Store>,
+    access: Option<AccessLog>,
     ring: Option<Ring>,
     self_node: Option<String>,
     queue: Mutex<VecDeque<Work>>,
@@ -177,6 +198,17 @@ struct Shared {
 impl Shared {
     fn draining(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Appends one audit record when the access log is enabled. I/O
+    /// failures are counted, not propagated — the request itself already
+    /// has its answer.
+    fn audit(&self, record: &AccessRecord) {
+        if let Some(log) = &self.access {
+            if log.write(record).is_err() {
+                obs::counter!("serve_access_log_errors_total").inc();
+            }
+        }
     }
 
     fn report(&self) -> ServeReport {
@@ -337,6 +369,25 @@ impl Server {
             Some(dir) => Some(Store::open(dir)?),
             None => None,
         };
+        let access = match &config.access_log {
+            Some(path) => Some(AccessLog::open(path, config.access_log_max_bytes)?),
+            None => None,
+        };
+        let registry = obs::Registry::global();
+        registry.describe("serve_queue_wait_ns", "Time a request waited queued (ns)");
+        registry.describe(
+            "serve_service_ns",
+            "Request execution time once dequeued (ns)",
+        );
+        registry.describe(
+            "serve_requests_total",
+            "Parsed requests, control ops included",
+        );
+        registry.describe("serve_served_total", "Requests answered successfully");
+        registry.describe(
+            "engine_cache_sessions",
+            "Prepared sessions resident in the LRU cache",
+        );
         let ring = Ring::new(&config.ring, config.ring_replicas);
         if !config.ring.is_empty() && ring.is_none() {
             return Err(std::io::Error::new(
@@ -355,6 +406,7 @@ impl Server {
         let shared = Arc::new(Shared {
             engine: Engine::new(config.cache_capacity),
             store,
+            access,
             ring,
             self_node: config.self_node.clone(),
             queue: Mutex::new(VecDeque::new()),
@@ -477,14 +529,39 @@ fn worker_loop(shared: &Shared) {
 }
 
 fn process(shared: &Shared, job: &Job) -> String {
+    // Install the trace context before anything records: the span below,
+    // the histograms (exemplars), and every batch item fanned out from
+    // here all pick it up.
+    let _trace = obs::trace::enter(job.trace);
     let _span = obs::span!("serve.process");
     let id = &job.request.id;
-    obs::histogram!("serve_queue_wait_ns").record_duration(job.accepted.elapsed());
+    let queue_wait = job.accepted.elapsed();
+    obs::histogram!("serve_queue_wait_ns").record_duration_traced(queue_wait);
+    // Client-supplied trace ids are echoed in the response; server-
+    // originated ones are not, so untraced repeats stay byte-identical.
+    let client_traced = job.request.trace.is_some();
+    let mut record = AccessRecord {
+        trace_id: job.trace.trace_id,
+        id: id.clone(),
+        op: job.request.op.name(),
+        outcome: "error",
+        session_key: None,
+        queue_wait_ns: Some(queue_wait.as_nanos() as u64),
+        service_ns: None,
+        deadline_exceeded: false,
+        batch_index: None,
+    };
     if let Some(deadline) = job.deadline {
         if job.accepted.elapsed() > deadline {
             shared.deadline_expired.fetch_add(1, Ordering::Relaxed);
             obs::counter!("serve_deadline_expired_total").inc();
-            return proto::err_response(
+            record.outcome = "deadline_exceeded";
+            shared.audit(&record);
+            let mut extra: Vec<(&str, Json)> = Vec::new();
+            if client_traced {
+                extra.push(proto::trace_extra(&job.trace));
+            }
+            return proto::err_response_with(
                 id,
                 &ProtoError {
                     class: "deadline",
@@ -494,12 +571,15 @@ fn process(shared: &Shared, job: &Job) -> String {
                         deadline.as_secs_f64() * 1e3
                     ),
                 },
+                extra,
             );
         }
     }
     let service_start = Instant::now();
     let outcome = execute_line(shared, &job.request);
-    obs::histogram!("serve_service_ns").record_duration(service_start.elapsed());
+    let service = service_start.elapsed();
+    obs::histogram!("serve_service_ns").record_duration_traced(service);
+    record.service_ns = Some(service.as_nanos() as u64);
     // The request started in time but may have *finished* late: answer it
     // anyway (the work is done), but mark and count it so the
     // deadline_expired report stays truthful.
@@ -509,41 +589,70 @@ fn process(shared: &Shared, job: &Job) -> String {
     if late {
         shared.deadline_expired.fetch_add(1, Ordering::Relaxed);
         obs::counter!("serve_deadline_expired_total").inc();
+        record.deadline_exceeded = true;
     }
     let mut extra: Vec<(&str, Json)> = Vec::new();
     if late {
         extra.push(("deadline_exceeded", Json::Bool(true)));
     }
+    if client_traced {
+        extra.push(proto::trace_extra(&job.trace));
+    }
     match outcome {
-        Ok(LineOutcome { data, from_store }) => {
+        Ok(LineOutcome {
+            data,
+            origin,
+            session_key,
+        }) => {
             shared.served.fetch_add(1, Ordering::Relaxed);
             obs::counter!("serve_served_total").inc();
-            if from_store {
+            if origin == Origin::Store {
                 extra.push(("source", Json::str("store")));
             }
+            record.outcome = origin.as_str();
+            record.session_key = session_key;
+            shared.audit(&record);
             proto::ok_response_with(id, job.request.op.name(), data, extra)
         }
         Err(e) => {
             shared.request_errors.fetch_add(1, Ordering::Relaxed);
             obs::counter!("serve_request_errors_total").inc();
+            shared.audit(&record);
             proto::err_response_with(id, &e, extra)
+        }
+    }
+}
+
+/// Where a request's answer came from, in decreasing order of warmth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Origin {
+    /// Persistent store: no session was prepared, nothing was computed.
+    Store,
+    /// A warm session from the engine cache.
+    Cache,
+    /// A session prepared from scratch.
+    Cold,
+}
+
+impl Origin {
+    fn as_str(self) -> &'static str {
+        match self {
+            Origin::Store => "store",
+            Origin::Cache => "cache",
+            Origin::Cold => "cold",
         }
     }
 }
 
 struct LineOutcome {
     data: Json,
-    /// Whether the whole answer came from the persistent store (no
-    /// session was prepared, nothing was computed).
-    from_store: bool,
+    origin: Origin,
+    session_key: Option<u64>,
 }
 
 fn execute_line(shared: &Shared, request: &Request) -> Result<LineOutcome, ProtoError> {
     if let Op::Batch(cfg, items) = &request.op {
-        return process_batch(shared, cfg, items).map(|data| LineOutcome {
-            data,
-            from_store: false,
-        });
+        return process_batch(shared, cfg, items, request);
     }
     let Some(cfg) = proto::op_config(&request.op) else {
         // Control ops never reach the queue (see handle_connection).
@@ -560,13 +669,14 @@ fn execute_line(shared: &Shared, request: &Request) -> Result<LineOutcome, Proto
         if let Some(data) = store.load(key, op_hash) {
             return Ok(LineOutcome {
                 data,
-                from_store: true,
+                origin: Origin::Store,
+                session_key: Some(key),
             });
         }
     }
-    let session = shared
+    let (session, cache_hit) = shared
         .engine
-        .session(cfg)
+        .session_with_origin(cfg)
         .map_err(|e| ProtoError::from_flow(&e))?;
     let data = proto::execute(&session, &request.op)?;
     if let Some(store) = &shared.store {
@@ -574,14 +684,27 @@ fn execute_line(shared: &Shared, request: &Request) -> Result<LineOutcome, Proto
     }
     Ok(LineOutcome {
         data,
-        from_store: false,
+        origin: if cache_hit {
+            Origin::Cache
+        } else {
+            Origin::Cold
+        },
+        session_key: Some(key),
     })
 }
 
 /// Executes a `batch`: answer store-warm items from disk, acquire ONE
 /// session for the rest, fan them across the worker pool, and help drain
 /// items while waiting so saturated pools still make progress.
-fn process_batch(shared: &Shared, cfg: &FlowConfig, items: &[Op]) -> Result<Json, ProtoError> {
+fn process_batch(
+    shared: &Shared,
+    cfg: &FlowConfig,
+    items: &[Op],
+    request: &Request,
+) -> Result<LineOutcome, ProtoError> {
+    // The envelope's trace context (installed by `process`) rides along
+    // into every fanned-out item.
+    let trace = obs::trace::current().unwrap_or_default();
     let key = session_key(cfg).map_err(|e| ProtoError::from_flow(&e))?;
     let hashes: Vec<u64> = items.iter().map(proto::op_hash).collect();
     let mut results: Vec<Option<Result<Json, ProtoError>>> = Vec::new();
@@ -593,15 +716,32 @@ fn process_batch(shared: &Shared, cfg: &FlowConfig, items: &[Op]) -> Result<Json
             Some(data) => {
                 results[i] = Some(Ok(data));
                 store_hits += 1;
+                shared.audit(&AccessRecord {
+                    trace_id: trace.trace_id,
+                    id: request.id.clone(),
+                    op: items[i].name(),
+                    outcome: "store",
+                    session_key: Some(key),
+                    queue_wait_ns: None,
+                    service_ns: None,
+                    deadline_exceeded: false,
+                    batch_index: Some(i),
+                });
             }
             None => misses.push(i),
         }
     }
+    let mut origin = Origin::Store;
     if !misses.is_empty() {
-        let session = shared
+        let (session, cache_hit) = shared
             .engine
-            .session(cfg)
+            .session_with_origin(cfg)
             .map_err(|e| ProtoError::from_flow(&e))?;
+        origin = if cache_hit {
+            Origin::Cache
+        } else {
+            Origin::Cold
+        };
         let state = Arc::new(BatchState {
             session,
             ops: items.to_vec(),
@@ -611,6 +751,10 @@ fn process_batch(shared: &Shared, cfg: &FlowConfig, items: &[Op]) -> Result<Json
                 v
             }),
             remaining: AtomicUsize::new(misses.len()),
+            trace,
+            request_id: request.id.clone(),
+            session_origin: origin.as_str(),
+            session_key: key,
         });
         {
             let mut queue = shared.queue.lock().expect("queue lock");
@@ -677,13 +821,18 @@ fn process_batch(shared: &Shared, cfg: &FlowConfig, items: &[Op]) -> Result<Json
         });
     }
     obs::counter!("serve_batch_items_total").add(items.len() as u64);
-    Ok(Json::obj(vec![
+    let data = Json::obj(vec![
         ("count", Json::Num(items.len() as f64)),
         ("item_errors", Json::Num(item_errors as f64)),
         ("store_hits", Json::Num(store_hits as f64)),
         ("session_key", Json::str(format!("{key:016x}"))),
         ("items", Json::Arr(out)),
-    ]))
+    ]);
+    Ok(LineOutcome {
+        data,
+        origin,
+        session_key: Some(key),
+    })
 }
 
 /// Pops the first queued batch *item*, skipping whole request lines.
@@ -697,11 +846,31 @@ fn take_item(shared: &Shared) -> Option<BatchItem> {
 }
 
 fn run_batch_item(shared: &Shared, item: &BatchItem) {
+    // Items run on arbitrary workers (or helping parents): re-install the
+    // envelope's trace so the span and exemplars carry the same id across
+    // the fan-out.
+    let _trace = obs::trace::enter(item.state.trace);
     let _span = obs::span!("serve.batch_item");
     let op = &item.state.ops[item.index];
     let start = Instant::now();
     let result = proto::execute(&item.state.session, op);
-    obs::histogram!("serve_service_ns").record_duration(start.elapsed());
+    let service = start.elapsed();
+    obs::histogram!("serve_service_ns").record_duration_traced(service);
+    shared.audit(&AccessRecord {
+        trace_id: item.state.trace.trace_id,
+        id: item.state.request_id.clone(),
+        op: op.name(),
+        outcome: if result.is_ok() {
+            item.state.session_origin
+        } else {
+            "error"
+        },
+        session_key: Some(item.state.session_key),
+        queue_wait_ns: None,
+        service_ns: Some(service.as_nanos() as u64),
+        deadline_exceeded: false,
+        batch_index: Some(item.index),
+    });
     item.state.results.lock().expect("batch results lock")[item.index] = Some(result);
     item.state.remaining.fetch_sub(1, Ordering::SeqCst);
     // Wake the parent (and anyone waiting on the queue) promptly.
@@ -836,7 +1005,13 @@ fn route_response(
 /// Returns the pre-built error response, or `None` when the request is
 /// local (or the key cannot be resolved here — the worker will produce
 /// the proper typed error instead).
-fn wrong_shard_rejection(shared: &Shared, id: &Json, op: &Op) -> Option<String> {
+fn wrong_shard_rejection(
+    shared: &Shared,
+    id: &Json,
+    op: &Op,
+    trace: TraceContext,
+    client_traced: bool,
+) -> Option<String> {
     let (ring, self_node) = (shared.ring.as_ref()?, shared.self_node.as_deref()?);
     let key = session_key(proto::op_config(op)?).ok()?;
     let shard = ring.shard_of(key);
@@ -845,16 +1020,33 @@ fn wrong_shard_rejection(shared: &Shared, id: &Json, op: &Op) -> Option<String> 
     }
     shared.wrong_shard.fetch_add(1, Ordering::Relaxed);
     obs::counter!("serve_wrong_shard_total").inc();
+    // The redirect is audited here with the same trace id the client will
+    // carry to the owning node — one id on both sides of the redirect.
+    shared.audit(&AccessRecord {
+        trace_id: trace.trace_id,
+        id: id.clone(),
+        op: op.name(),
+        outcome: "wrong-shard",
+        session_key: Some(key),
+        queue_wait_ns: None,
+        service_ns: None,
+        deadline_exceeded: false,
+        batch_index: None,
+    });
+    let mut extra = vec![
+        ("shard", Json::str(shard)),
+        ("session_key", Json::str(format!("{key:016x}"))),
+    ];
+    if client_traced {
+        extra.push(proto::trace_extra(&trace));
+    }
     Some(proto::err_response_with(
         id,
         &ProtoError {
             class: "wrong-shard",
             message: format!("session {key:016x} belongs to {shard}; re-send it there"),
         },
-        vec![
-            ("shard", Json::str(shard)),
-            ("session_key", Json::str(format!("{key:016x}"))),
-        ],
+        extra,
     ))
 }
 
@@ -909,6 +1101,10 @@ fn dispatch(line: &str, shared: &Shared) -> String {
             )
         }
         _ => {
+            // Adopt the client's trace context or originate one: every
+            // analysis request is traceable from this point on.
+            let trace = request.trace.unwrap_or_else(TraceContext::new);
+            let client_traced = request.trace.is_some();
             if shared.draining() {
                 return proto::err_response(
                     &id,
@@ -918,7 +1114,9 @@ fn dispatch(line: &str, shared: &Shared) -> String {
                     },
                 );
             }
-            if let Some(rejection) = wrong_shard_rejection(shared, &id, &request.op) {
+            if let Some(rejection) =
+                wrong_shard_rejection(shared, &id, &request.op, trace, client_traced)
+            {
                 return rejection;
             }
             let deadline = request
@@ -931,7 +1129,22 @@ fn dispatch(line: &str, shared: &Shared) -> String {
                 if queue.len() >= shared.queue_depth {
                     shared.busy_rejected.fetch_add(1, Ordering::Relaxed);
                     obs::counter!("serve_busy_rejected_total").inc();
-                    return proto::err_response(
+                    shared.audit(&AccessRecord {
+                        trace_id: trace.trace_id,
+                        id: id.clone(),
+                        op: request.op.name(),
+                        outcome: "busy",
+                        session_key: None,
+                        queue_wait_ns: None,
+                        service_ns: None,
+                        deadline_exceeded: false,
+                        batch_index: None,
+                    });
+                    let mut extra: Vec<(&str, Json)> = Vec::new();
+                    if client_traced {
+                        extra.push(proto::trace_extra(&trace));
+                    }
+                    return proto::err_response_with(
                         &id,
                         &ProtoError {
                             class: "busy",
@@ -940,10 +1153,12 @@ fn dispatch(line: &str, shared: &Shared) -> String {
                                 shared.queue_depth
                             ),
                         },
+                        extra,
                     );
                 }
                 queue.push_back(Work::Line(Box::new(Job {
                     request,
+                    trace,
                     accepted: Instant::now(),
                     deadline,
                     reply: tx,
@@ -1264,5 +1479,95 @@ mod tests {
             ..Default::default()
         };
         assert!(Server::bind(&bad, &SHUTDOWN2).is_err());
+    }
+
+    #[test]
+    fn traced_requests_echo_ids_and_write_the_access_log() {
+        static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+        let dir = tmp_dir("audit");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let log_path = dir.join("access.log");
+        let config = ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_depth: 16,
+            access_log: Some(log_path.to_string_lossy().into_owned()),
+            ..Default::default()
+        };
+        let server = Server::bind(&config, &SHUTDOWN).expect("bind");
+        let addr = server.local_addr();
+        let handle = std::thread::spawn(move || server.run().expect("run"));
+
+        // A client-supplied trace id is echoed zero-padded to 32 digits.
+        let hex = "00000000000000000000000000000abc";
+        let traced = request(
+            addr,
+            r#"{"id":1,"op":"comparison","benchmark":"c17","mc_samples":0,"trace":{"trace_id":"abc"}}"#,
+        );
+        assert!(traced.contains(r#""ok":true"#), "{traced}");
+        assert!(
+            traced.contains(&format!(r#""trace_id":"{hex}""#)),
+            "{traced}"
+        );
+
+        // Untraced requests stay byte-identical to the pre-trace wire
+        // format: the server originates an id internally but never echoes.
+        let untraced = request(
+            addr,
+            r#"{"id":2,"op":"comparison","benchmark":"c17","mc_samples":0}"#,
+        );
+        assert!(untraced.contains(r#""ok":true"#), "{untraced}");
+        assert!(!untraced.contains("trace_id"), "{untraced}");
+
+        // A traced batch: the envelope id rides into every item record.
+        let batch = request(
+            addr,
+            r#"{"id":"b","op":"batch","benchmark":"c17","mc_samples":0,"trace":{"trace_id":"abc"},"items":[{"op":"comparison"},{"op":"distribution","bins":8}]}"#,
+        );
+        assert!(batch.contains(r#""ok":true"#), "{batch}");
+        assert!(batch.contains(&format!(r#""trace_id":"{hex}""#)), "{batch}");
+
+        request(addr, r#"{"op":"shutdown"}"#);
+        handle.join().expect("server thread");
+        SHUTDOWN.store(false, Ordering::SeqCst);
+
+        let text = std::fs::read_to_string(&log_path).expect("access log");
+        let lines: Vec<&str> = text.lines().collect();
+        // 1 cold + 1 cache + batch envelope + 2 batch items.
+        assert_eq!(lines.len(), 5, "{text}");
+        for line in &lines {
+            assert!(Json::parse(line).is_ok(), "{line}");
+        }
+        assert!(
+            lines[0].contains(&format!(r#""trace_id":"{hex}""#)),
+            "{}",
+            lines[0]
+        );
+        assert!(lines[0].contains(r#""outcome":"cold""#), "{}", lines[0]);
+        assert!(lines[0].contains(r#""queue_wait_ns""#), "{}", lines[0]);
+        assert!(lines[0].contains(r#""service_ns""#), "{}", lines[0]);
+        assert!(lines[0].contains(r#""session_key""#), "{}", lines[0]);
+        // The untraced repeat was a cache hit, audited under a
+        // server-originated id.
+        assert!(lines[1].contains(r#""outcome":"cache""#), "{}", lines[1]);
+        assert!(!lines[1].contains(hex), "{}", lines[1]);
+        // Batch items carry the envelope's trace id and their index; the
+        // envelope record itself has no index.
+        let items: Vec<&&str> = lines.iter().filter(|l| l.contains("batch_index")).collect();
+        assert_eq!(items.len(), 2, "{text}");
+        for item in items {
+            assert!(item.contains(&format!(r#""trace_id":"{hex}""#)), "{item}");
+            assert!(item.contains(r#""outcome":"cache""#), "{item}");
+        }
+        let envelope = lines
+            .iter()
+            .find(|l| l.contains(r#""op":"batch""#))
+            .expect("batch envelope record");
+        assert!(
+            envelope.contains(&format!(r#""trace_id":"{hex}""#)),
+            "{envelope}"
+        );
+        assert!(!envelope.contains("batch_index"), "{envelope}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

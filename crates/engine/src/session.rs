@@ -327,11 +327,22 @@ impl Engine {
     /// Returns [`FlowError::UnknownBenchmark`] or a correlation-model
     /// error from `prepare()`.
     pub fn session(&self, cfg: &FlowConfig) -> Result<Session, FlowError> {
+        self.session_with_origin(cfg).map(|(session, _)| session)
+    }
+
+    /// Like [`Engine::session`], additionally reporting whether the
+    /// session came from the cache (`true`) or was prepared cold
+    /// (`false`) — the serve audit log's `cache` vs `cold` outcome.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Engine::session`].
+    pub fn session_with_origin(&self, cfg: &FlowConfig) -> Result<(Session, bool), FlowError> {
         let key = session_key(cfg)?;
         if let Some(inner) = self.cache.lock().expect("cache lock").get(key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             obs::counter!("engine_cache_hits_total").inc();
-            return Ok(self.wrap(inner));
+            return Ok((self.wrap(inner), true));
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         obs::counter!("engine_cache_misses_total").inc();
@@ -345,12 +356,17 @@ impl Engine {
             setup,
             memo: Mutex::new(HashMap::new()),
         });
-        let (winner, evicted) = self.cache.lock().expect("cache lock").insert(key, inner);
-        if evicted.is_some() {
-            self.evictions.fetch_add(1, Ordering::Relaxed);
-            obs::counter!("engine_cache_evictions_total").inc();
-        }
-        Ok(self.wrap(winner))
+        let winner = {
+            let mut cache = self.cache.lock().expect("cache lock");
+            let (winner, evicted) = cache.insert(key, inner);
+            if evicted.is_some() {
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                obs::counter!("engine_cache_evictions_total").inc();
+            }
+            obs::gauge!("engine_cache_sessions").set(cache.len() as f64);
+            winner
+        };
+        Ok((self.wrap(winner), false))
     }
 
     fn wrap(&self, inner: Arc<SessionInner>) -> Session {

@@ -16,6 +16,11 @@
 //!   [`sink::SinkSpec::Disabled`]: span entry reduces to one relaxed
 //!   atomic load and no clock read, so instrumented code paths stay
 //!   effectively free until tracing is switched on.
+//! - **Trace context** ([`trace`]): 128-bit request-scoped trace ids,
+//!   installed per thread with [`trace::enter`] and propagated across
+//!   process boundaries by the serve protocol. Spans, events, and
+//!   histogram exemplars recorded under a context carry its id, so one
+//!   id follows a request from client to fleet node to worker thread.
 //!
 //! The overhead contract is enforced by tests in the workspace root:
 //! analysis results must be byte-identical with every sink installed,
@@ -28,11 +33,13 @@ pub mod metrics;
 pub mod profile;
 pub mod sink;
 pub mod span;
+pub mod trace;
 
-pub use metrics::{Counter, Gauge, Histogram, Registry};
+pub use metrics::{Counter, Exemplar, Gauge, Histogram, HistogramSnapshot, Registry};
 pub use profile::{self_time, ProfileRow};
 pub use sink::{enabled, flush, init_from_env, install, take_memory, SinkSpec};
 pub use span::{event, span, EventRecord, Record, SpanRecord};
+pub use trace::{TraceContext, TraceId};
 
 use std::sync::atomic::{AtomicU8, Ordering};
 

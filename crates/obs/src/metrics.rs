@@ -6,10 +6,12 @@
 //! [`crate::histogram!`] macros so steady-state updates are a single
 //! atomic op with no registry lock.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Duration;
+
+use crate::trace::{self, TraceId};
 
 /// Monotonically increasing counter.
 #[derive(Debug, Clone)]
@@ -53,11 +55,25 @@ impl Gauge {
 /// additionally absorbs everything above `2^62`.
 const BUCKETS: usize = 64;
 
+/// Maximum exemplars a histogram retains (oldest evicted first).
+pub const EXEMPLAR_CAP: usize = 4;
+
+/// A sampled observation pinned to the trace that produced it, so a
+/// latency spike in a histogram links to a replayable trace id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Exemplar {
+    /// The recorded value (same unit as the histogram).
+    pub value: u64,
+    /// Trace id of the request that recorded it.
+    pub trace_id: TraceId,
+}
+
 #[derive(Debug)]
 struct HistogramInner {
     buckets: [AtomicU64; BUCKETS],
     count: AtomicU64,
     sum: AtomicU64,
+    exemplars: Mutex<VecDeque<Exemplar>>,
 }
 
 /// Log-bucketed histogram for latency-like values (record in nanoseconds).
@@ -103,57 +119,89 @@ impl Histogram {
         self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
     }
 
+    /// Records one observation and, when a [`trace::TraceContext`] is
+    /// installed on this thread, retains `(value, trace_id)` as an
+    /// exemplar (ring of [`EXEMPLAR_CAP`], oldest evicted). Untraced
+    /// calls cost exactly what [`Histogram::record`] does.
+    pub fn record_traced(&self, v: u64) {
+        self.record(v);
+        if let Some(ctx) = trace::current() {
+            let mut ring = self.0.exemplars.lock().expect("exemplar ring poisoned");
+            if ring.len() >= EXEMPLAR_CAP {
+                ring.pop_front();
+            }
+            ring.push_back(Exemplar {
+                value: v,
+                trace_id: ctx.trace_id,
+            });
+        }
+    }
+
+    /// Records a duration in nanoseconds with exemplar capture.
+    pub fn record_duration_traced(&self, d: Duration) {
+        self.record_traced(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
     /// Total number of observations.
     pub fn count(&self) -> u64 {
         self.0.count.load(Ordering::Relaxed)
     }
 
-    fn snapshot(&self, name: &'static str) -> HistogramSnapshot {
+    /// Current exemplar ring contents, oldest first.
+    pub fn exemplars(&self) -> Vec<Exemplar> {
+        self.0
+            .exemplars
+            .lock()
+            .expect("exemplar ring poisoned")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    fn snapshot(&self, name: &str) -> HistogramSnapshot {
         let buckets: Vec<(usize, u64)> = (0..BUCKETS)
             .filter_map(|i| {
                 let c = self.0.buckets[i].load(Ordering::Relaxed);
                 (c > 0).then_some((i, c))
             })
             .collect();
-        let count = self.count();
         let sum = self.0.sum.load(Ordering::Relaxed);
-        let quantile = |q: f64| -> f64 {
-            if count == 0 {
-                return 0.0;
-            }
-            let target = (q * count as f64).ceil().max(1.0) as u64;
-            let mut seen = 0u64;
-            for &(i, c) in &buckets {
-                seen += c;
-                if seen >= target {
-                    return bucket_mid(i);
-                }
-            }
-            bucket_mid(BUCKETS - 1)
-        };
-        HistogramSnapshot {
-            name,
-            count,
-            sum,
-            mean: if count == 0 {
-                0.0
-            } else {
-                sum as f64 / count as f64
-            },
-            p50: quantile(0.50),
-            p95: quantile(0.95),
-            p99: quantile(0.99),
-            buckets,
-        }
+        HistogramSnapshot::from_parts(name.to_string(), buckets, sum, self.exemplars())
     }
 }
 
+/// Estimates the `q`-quantile (0..=1) of a log-bucketed distribution from
+/// sparse `(bucket index, count)` pairs, as the geometric midpoint of the
+/// bucket containing the target rank. `count` must be the bucket total.
+pub fn estimate_quantile(buckets: &[(usize, u64)], count: u64, q: f64) -> f64 {
+    if count == 0 {
+        return 0.0;
+    }
+    let target = (q * count as f64).ceil().max(1.0) as u64;
+    let mut seen = 0u64;
+    for &(i, c) in buckets {
+        seen += c;
+        if seen >= target {
+            return bucket_mid(i);
+        }
+    }
+    bucket_mid(BUCKETS - 1)
+}
+
 /// Point-in-time view of one histogram.
-#[derive(Debug, Clone)]
+///
+/// This is also the *mergeable* wire representation for fleet
+/// aggregation: the sparse `(bucket index, count)` pairs plus `sum` are
+/// lossless under addition, so snapshots from different processes (whose
+/// power-of-two bucket layout is identical by construction) combine with
+/// [`HistogramSnapshot::merge`] into exactly the histogram a single
+/// process would have produced from the concatenated samples.
+#[derive(Debug, Clone, PartialEq)]
 pub struct HistogramSnapshot {
     /// Registered name.
-    pub name: &'static str,
-    /// Observation count.
+    pub name: String,
+    /// Observation count (always the sum of `buckets` counts, so the
+    /// cumulative `+Inf` bucket equals the total by construction).
     pub count: u64,
     /// Sum of observed values.
     pub sum: u64,
@@ -167,6 +215,66 @@ pub struct HistogramSnapshot {
     pub p99: f64,
     /// Non-empty `(bucket index, count)` pairs, ascending.
     pub buckets: Vec<(usize, u64)>,
+    /// Retained `(value, trace_id)` exemplars, oldest first (≤ [`EXEMPLAR_CAP`]).
+    pub exemplars: Vec<Exemplar>,
+}
+
+impl HistogramSnapshot {
+    /// Builds a snapshot from its mergeable parts, deriving `count`,
+    /// `mean`, and the quantile estimates from the buckets.
+    pub fn from_parts(
+        name: String,
+        buckets: Vec<(usize, u64)>,
+        sum: u64,
+        exemplars: Vec<Exemplar>,
+    ) -> HistogramSnapshot {
+        let count: u64 = buckets.iter().map(|&(_, c)| c).sum();
+        HistogramSnapshot {
+            name,
+            count,
+            sum,
+            mean: if count == 0 {
+                0.0
+            } else {
+                sum as f64 / count as f64
+            },
+            p50: estimate_quantile(&buckets, count, 0.50),
+            p95: estimate_quantile(&buckets, count, 0.95),
+            p99: estimate_quantile(&buckets, count, 0.99),
+            buckets,
+            exemplars,
+        }
+    }
+
+    /// An empty snapshot under `name`, the identity element for [`merge`].
+    ///
+    /// [`merge`]: HistogramSnapshot::merge
+    pub fn empty(name: String) -> HistogramSnapshot {
+        HistogramSnapshot::from_parts(name, Vec::new(), 0, Vec::new())
+    }
+
+    /// Folds `other` into `self`: bucket counts and sums add, quantile
+    /// estimates are recomputed from the merged buckets, and exemplars
+    /// concatenate (newest kept, capped at [`EXEMPLAR_CAP`]).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        let mut merged: BTreeMap<usize, u64> = self.buckets.iter().copied().collect();
+        for &(i, c) in &other.buckets {
+            *merged.entry(i).or_insert(0) += c;
+        }
+        let mut exemplars = std::mem::take(&mut self.exemplars);
+        exemplars.extend(other.exemplars.iter().cloned());
+        if exemplars.len() > EXEMPLAR_CAP {
+            exemplars.drain(..exemplars.len() - EXEMPLAR_CAP);
+        }
+        // Wrapping add matches the live histogram's atomic `fetch_add`
+        // semantics, so merge ≡ concatenation even at u64::MAX samples.
+        *self = HistogramSnapshot::from_parts(
+            std::mem::take(&mut self.name),
+            merged.into_iter().collect(),
+            self.sum.wrapping_add(other.sum),
+            exemplars,
+        );
+    }
 }
 
 /// Point-in-time view of the whole registry (sorted by name).
@@ -187,6 +295,7 @@ pub struct Registry {
     counters: Mutex<BTreeMap<&'static str, Counter>>,
     gauges: Mutex<BTreeMap<&'static str, Gauge>>,
     histograms: Mutex<BTreeMap<&'static str, Histogram>>,
+    helps: Mutex<BTreeMap<&'static str, &'static str>>,
 }
 
 impl Registry {
@@ -232,9 +341,20 @@ impl Registry {
                     buckets: std::array::from_fn(|_| AtomicU64::new(0)),
                     count: AtomicU64::new(0),
                     sum: AtomicU64::new(0),
+                    exemplars: Mutex::new(VecDeque::new()),
                 }))
             })
             .clone()
+    }
+
+    /// Registers free-form help text for `name`, emitted as a `# HELP`
+    /// line in [`Registry::prometheus_text`] (escaped per the exposition
+    /// format). Idempotent; the latest registration wins.
+    pub fn describe(&self, name: &'static str, help: &'static str) {
+        self.helps
+            .lock()
+            .expect("metrics registry poisoned")
+            .insert(name, help);
     }
 
     /// Consistent-enough snapshot of every metric (each atomic read is
@@ -267,21 +387,40 @@ impl Registry {
 
     /// Prometheus text exposition (version 0.0.4) of the registry, with
     /// every metric name prefixed `statleak_`.
+    ///
+    /// Help text and label values are escaped per the exposition-format
+    /// rules, the cumulative `+Inf` bucket always equals `_count` (both
+    /// derive from the same bucket totals), and histogram exemplars are
+    /// emitted as `# EXEMPLAR` comment lines (ignored by 0.0.4 parsers,
+    /// greppable by operators and the fleet tests).
     pub fn prometheus_text(&self) -> String {
         let snapshot = self.snapshot();
+        let helps = self
+            .helps
+            .lock()
+            .expect("metrics registry poisoned")
+            .clone();
         let mut out = String::new();
+        let help_line = |out: &mut String, name: &str| {
+            if let Some(help) = helps.get(name) {
+                out.push_str(&format!("# HELP statleak_{name} {}\n", escape_help(help)));
+            }
+        };
         for (name, value) in &snapshot.counters {
+            help_line(&mut out, name);
             out.push_str(&format!(
                 "# TYPE statleak_{name} counter\nstatleak_{name} {value}\n"
             ));
         }
         for (name, value) in &snapshot.gauges {
+            help_line(&mut out, name);
             out.push_str(&format!(
                 "# TYPE statleak_{name} gauge\nstatleak_{name} {value}\n"
             ));
         }
         for h in &snapshot.histograms {
-            let name = h.name;
+            let name = &h.name;
+            help_line(&mut out, name);
             out.push_str(&format!("# TYPE statleak_{name} histogram\n"));
             let mut cumulative = 0u64;
             for &(i, c) in &h.buckets {
@@ -292,15 +431,52 @@ impl Registry {
                     ));
                 }
             }
+            // `cumulative` now holds the bucket total, so +Inf and _count
+            // agree by construction even under concurrent recording.
             out.push_str(&format!(
-                "statleak_{name}_bucket{{le=\"+Inf\"}} {}\n",
-                h.count
+                "statleak_{name}_bucket{{le=\"+Inf\"}} {cumulative}\n"
             ));
             out.push_str(&format!("statleak_{name}_sum {}\n", h.sum));
-            out.push_str(&format!("statleak_{name}_count {}\n", h.count));
+            out.push_str(&format!("statleak_{name}_count {cumulative}\n"));
+            for ex in &h.exemplars {
+                out.push_str(&format!(
+                    "# EXEMPLAR statleak_{name}{{trace_id=\"{}\"}} {}\n",
+                    escape_label_value(&ex.trace_id.to_hex()),
+                    ex.value
+                ));
+            }
         }
         out
     }
+}
+
+/// Escapes a label value per the Prometheus exposition format: backslash,
+/// double quote, and newline become `\\`, `\"`, and `\n`.
+pub fn escape_label_value(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Escapes `# HELP` text per the Prometheus exposition format: backslash
+/// and newline become `\\` and `\n` (quotes are legal in help text).
+pub fn escape_help(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -370,5 +546,100 @@ mod tests {
         assert!(text.contains("statleak_svc_ns_bucket{le=\"+Inf\"} 2\n"));
         assert!(text.contains("statleak_svc_ns_sum 103\n"));
         assert!(text.contains("statleak_svc_ns_count 2\n"));
+    }
+
+    /// Satellite: exposition escaping + the `+Inf`-equals-`_count`
+    /// invariant are locked down here.
+    #[test]
+    fn prometheus_text_escapes_help_and_labels() {
+        assert_eq!(escape_help("a\\b\nc\"d"), "a\\\\b\\nc\"d");
+        assert_eq!(escape_label_value("a\\b\nc\"d"), "a\\\\b\\nc\\\"d");
+        let registry = Registry::new();
+        registry.counter("esc_reqs").inc();
+        registry.describe("esc_reqs", "line one\nline \\two");
+        let text = registry.prometheus_text();
+        assert!(
+            text.contains("# HELP statleak_esc_reqs line one\\nline \\\\two\n"),
+            "{text}"
+        );
+        // Escaped help stays a single exposition line.
+        assert!(!text.contains("line one\nline"), "{text}");
+    }
+
+    #[test]
+    fn prometheus_inf_bucket_equals_count() {
+        let registry = Registry::new();
+        let h = registry.histogram("inf_ns");
+        for v in [0u64, 1, 5, 1000, u64::MAX] {
+            h.record(v);
+        }
+        let text = registry.prometheus_text();
+        assert!(
+            text.contains("statleak_inf_ns_bucket{le=\"+Inf\"} 5\n"),
+            "{text}"
+        );
+        assert!(text.contains("statleak_inf_ns_count 5\n"), "{text}");
+        let snapshot = registry.snapshot().histograms[0].clone();
+        assert_eq!(
+            snapshot.count,
+            snapshot.buckets.iter().map(|&(_, c)| c).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn record_traced_keeps_a_capped_exemplar_ring() {
+        let registry = Registry::new();
+        let h = registry.histogram("ex_ns");
+        h.record_traced(7); // no context installed: no exemplar
+        assert!(h.exemplars().is_empty());
+        let ctx = trace::TraceContext::new();
+        let _guard = trace::enter(ctx);
+        for v in 0..(EXEMPLAR_CAP as u64 + 3) {
+            h.record_traced(v);
+        }
+        let exemplars = h.exemplars();
+        assert_eq!(exemplars.len(), EXEMPLAR_CAP);
+        // Newest survive, all pinned to the installed trace id.
+        assert_eq!(exemplars.last().unwrap().value, EXEMPLAR_CAP as u64 + 2);
+        assert!(exemplars.iter().all(|e| e.trace_id == ctx.trace_id));
+        let snapshot = registry.snapshot().histograms[0].clone();
+        assert_eq!(snapshot.exemplars, exemplars);
+        let text = registry.prometheus_text();
+        assert!(
+            text.contains(&format!(
+                "# EXEMPLAR statleak_ex_ns{{trace_id=\"{}\"}}",
+                ctx.trace_id.to_hex()
+            )),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn merge_matches_single_histogram_over_concatenated_samples() {
+        let registry = Registry::new();
+        let whole = registry.histogram("whole");
+        let part_a = registry.histogram("part_a");
+        let part_b = registry.histogram("part_b");
+        for v in [0u64, 1, 3, 900, 65_000] {
+            part_a.record(v);
+            whole.record(v);
+        }
+        for v in [2u64, 3, 1_000_000] {
+            part_b.record(v);
+            whole.record(v);
+        }
+        let snapshot = registry.snapshot();
+        let by_name = |n: &str| {
+            snapshot
+                .histograms
+                .iter()
+                .find(|h| h.name == n)
+                .unwrap()
+                .clone()
+        };
+        let mut merged = HistogramSnapshot::empty("whole".to_string());
+        merged.merge(&by_name("part_a"));
+        merged.merge(&by_name("part_b"));
+        assert_eq!(merged, by_name("whole"));
     }
 }

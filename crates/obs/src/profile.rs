@@ -61,6 +61,7 @@ mod tests {
             thread: 1,
             start_us: 0.0,
             dur_us,
+            trace: 0,
         })
     }
 

@@ -13,6 +13,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 use crate::sink;
+use crate::trace;
 
 /// Records are flushed to the sinks once a thread buffer holds this many.
 const BATCH: usize = 256;
@@ -32,6 +33,8 @@ pub struct SpanRecord {
     pub start_us: f64,
     /// Duration in microseconds (monotonic clock).
     pub dur_us: f64,
+    /// 128-bit trace id of the enclosing request (0 = untraced).
+    pub trace: u128,
 }
 
 /// A point-in-time event with numeric fields (e.g. a trajectory snapshot).
@@ -45,6 +48,8 @@ pub struct EventRecord {
     pub at_us: f64,
     /// Named numeric payload.
     pub fields: Vec<(&'static str, f64)>,
+    /// 128-bit trace id of the enclosing request (0 = untraced).
+    pub trace: u128,
 }
 
 /// One trace record: either a completed span or a point event.
@@ -66,17 +71,26 @@ fn json_num(v: f64) -> String {
 }
 
 impl Record {
-    /// Single-line JSON encoding (NDJSON row).
+    /// Single-line JSON encoding (NDJSON row). Untraced records (trace
+    /// id 0) omit the `trace` key, keeping pre-trace output byte-stable.
     pub fn to_ndjson(&self) -> String {
+        let trace_field = |trace: u128| {
+            if trace == 0 {
+                String::new()
+            } else {
+                format!(",\"trace\":\"{trace:032x}\"")
+            }
+        };
         match self {
             Record::Span(s) => format!(
-                "{{\"t\":\"span\",\"name\":\"{}\",\"id\":{},\"parent\":{},\"thread\":{},\"start_us\":{},\"dur_us\":{}}}",
+                "{{\"t\":\"span\",\"name\":\"{}\",\"id\":{},\"parent\":{},\"thread\":{},\"start_us\":{},\"dur_us\":{}{}}}",
                 s.name,
                 s.id,
                 s.parent,
                 s.thread,
                 json_num(s.start_us),
                 json_num(s.dur_us),
+                trace_field(s.trace),
             ),
             Record::Event(e) => {
                 let fields: Vec<String> = e
@@ -85,11 +99,12 @@ impl Record {
                     .map(|(k, v)| format!("\"{k}\":{}", json_num(*v)))
                     .collect();
                 format!(
-                    "{{\"t\":\"event\",\"name\":\"{}\",\"thread\":{},\"at_us\":{},\"fields\":{{{}}}}}",
+                    "{{\"t\":\"event\",\"name\":\"{}\",\"thread\":{},\"at_us\":{},\"fields\":{{{}}}{}}}",
                     e.name,
                     e.thread,
                     json_num(e.at_us),
                     fields.join(","),
+                    trace_field(e.trace),
                 )
             }
         }
@@ -178,6 +193,7 @@ struct ActiveSpan {
     parent: u64,
     start_us: f64,
     start: Instant,
+    trace: u128,
 }
 
 /// RAII guard for an open span; records the span when dropped. Inert (no
@@ -190,9 +206,15 @@ pub fn span(name: &'static str) -> SpanGuard {
         return SpanGuard(None);
     }
     let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    let ctx = trace::current();
     let parent = STACK.with(|stack| {
         let mut stack = stack.borrow_mut();
-        let parent = stack.last().copied().unwrap_or(0);
+        // A root span opened under a propagated trace context links to the
+        // remote caller's span id, joining client and server trees.
+        let parent = stack
+            .last()
+            .copied()
+            .unwrap_or_else(|| ctx.map_or(0, |c| c.parent_span));
         stack.push(id);
         parent
     });
@@ -202,6 +224,7 @@ pub fn span(name: &'static str) -> SpanGuard {
         parent,
         start_us: now_us(),
         start: Instant::now(),
+        trace: ctx.map_or(0, |c| c.trace_id.0),
     }))
 }
 
@@ -229,6 +252,7 @@ impl Drop for SpanGuard {
             thread,
             start_us: active.start_us,
             dur_us,
+            trace: active.trace,
         }));
     }
 }
@@ -244,6 +268,7 @@ pub fn event(name: &'static str, fields: &[(&'static str, f64)]) {
         thread,
         at_us: now_us(),
         fields: fields.to_vec(),
+        trace: trace::current().map_or(0, |c| c.trace_id.0),
     }));
 }
 
@@ -258,10 +283,12 @@ mod tests {
             thread: 1,
             at_us: 2.0,
             fields: vec![("ok", 1.5), ("bad", f64::NAN)],
+            trace: 0,
         });
         let line = record.to_ndjson();
         assert!(line.contains("\"ok\":1.5"), "{line}");
         assert!(line.contains("\"bad\":null"), "{line}");
+        assert!(!line.contains("\"trace\""), "{line}");
     }
 
     #[test]
@@ -273,6 +300,7 @@ mod tests {
             thread: 1,
             start_us: 10.0,
             dur_us: 2.5,
+            trace: 0,
         });
         let line = record.to_ndjson();
         for key in [
@@ -283,5 +311,32 @@ mod tests {
         ] {
             assert!(line.contains(key), "{line}");
         }
+        assert!(!line.contains("\"trace\""), "{line}");
+    }
+
+    #[test]
+    fn traced_records_carry_a_32_digit_hex_trace_id() {
+        let span = Record::Span(SpanRecord {
+            name: "x",
+            id: 1,
+            parent: 0,
+            thread: 1,
+            start_us: 0.0,
+            dur_us: 1.0,
+            trace: 0xCAFE,
+        });
+        let line = span.to_ndjson();
+        assert!(
+            line.contains(&format!("\"trace\":\"{:032x}\"", 0xCAFEu128)),
+            "{line}"
+        );
+        let event = Record::Event(EventRecord {
+            name: "e",
+            thread: 1,
+            at_us: 0.0,
+            fields: vec![],
+            trace: 0xCAFE,
+        });
+        assert!(event.to_ndjson().contains("\"trace\":\""));
     }
 }

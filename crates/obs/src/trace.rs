@@ -1,0 +1,186 @@
+//! 128-bit trace ids and thread-local trace-context propagation.
+//!
+//! A [`TraceId`] names one logical request end-to-end: the client that
+//! originated it, the serve node that accepted it, every worker thread a
+//! `batch` fan-out touches, and any node a wrong-shard redirect lands on.
+//! The id travels in-band (the serve protocol's optional `trace` field)
+//! and is re-installed on each side with [`enter`], which makes it visible
+//! to spans ([`crate::span`]), histogram exemplars
+//! ([`crate::Histogram::record_traced`]), and the serve access log.
+//!
+//! Ids are generated from a per-process seed (wall clock, pid, and ASLR
+//! jitter) mixed through SplitMix64 with a process-wide counter — unique
+//! in practice across a fleet without needing an OS randomness source.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// A 128-bit trace id; never zero (zero encodes "no trace" on the wire).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TraceId(pub u128);
+
+/// SplitMix64 mixing step: decorrelates consecutive counter values.
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn process_seed() -> u64 {
+    static SEED: OnceLock<u64> = OnceLock::new();
+    *SEED.get_or_init(|| {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        // The address of a static picks up ASLR entropy, distinguishing
+        // two processes that share a pid namespace and a clock tick.
+        let aslr = process_seed as *const () as usize as u64;
+        nanos ^ (u64::from(std::process::id()) << 32) ^ aslr.rotate_left(17)
+    })
+}
+
+impl TraceId {
+    /// Generates a fresh, process-unique (and fleet-unique in practice)
+    /// nonzero trace id.
+    pub fn generate() -> TraceId {
+        static NEXT: AtomicU64 = AtomicU64::new(1);
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        let hi = splitmix64(process_seed() ^ n);
+        let lo = splitmix64(hi ^ n.rotate_left(32));
+        let id = (u128::from(hi) << 64) | u128::from(lo);
+        TraceId(if id == 0 { 1 } else { id })
+    }
+
+    /// 32-digit lowercase hex encoding (the wire format).
+    pub fn to_hex(self) -> String {
+        format!("{:032x}", self.0)
+    }
+
+    /// Parses 1–32 hex digits; rejects zero, empty, and non-hex input.
+    pub fn parse(s: &str) -> Option<TraceId> {
+        if s.is_empty() || s.len() > 32 {
+            return None;
+        }
+        let v = u128::from_str_radix(s, 16).ok()?;
+        (v != 0).then_some(TraceId(v))
+    }
+}
+
+impl std::fmt::Display for TraceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// The propagated context: which trace a unit of work belongs to, and the
+/// caller-side span id it should attach under (0 = no remote parent).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// The 128-bit trace id shared by every hop of the request.
+    pub trace_id: TraceId,
+    /// Span id of the remote caller's span, if it sent one; local root
+    /// spans opened under this context use it as their parent.
+    pub parent_span: u64,
+}
+
+impl TraceContext {
+    /// A fresh context with a generated id and no remote parent.
+    pub fn new() -> TraceContext {
+        TraceContext {
+            trace_id: TraceId::generate(),
+            parent_span: 0,
+        }
+    }
+}
+
+impl Default for TraceContext {
+    fn default() -> TraceContext {
+        TraceContext::new()
+    }
+}
+
+thread_local! {
+    static CURRENT: Cell<Option<TraceContext>> = const { Cell::new(None) };
+}
+
+/// The trace context installed on this thread, if any.
+pub fn current() -> Option<TraceContext> {
+    CURRENT.with(Cell::get)
+}
+
+/// Installs `ctx` as the current thread's trace context until the guard
+/// drops (the previous context, if any, is restored — contexts nest).
+pub fn enter(ctx: TraceContext) -> TraceGuard {
+    TraceGuard {
+        prev: CURRENT.with(|c| c.replace(Some(ctx))),
+    }
+}
+
+/// RAII guard returned by [`enter`]; restores the previous context on drop.
+#[must_use = "dropping the guard immediately uninstalls the trace context"]
+pub struct TraceGuard {
+    prev: Option<TraceContext>,
+}
+
+impl Drop for TraceGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| c.set(self.prev.take()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_ids_are_nonzero_and_distinct() {
+        let a = TraceId::generate();
+        let b = TraceId::generate();
+        assert_ne!(a.0, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn hex_round_trips_and_is_32_digits() {
+        let id = TraceId::generate();
+        let hex = id.to_hex();
+        assert_eq!(hex.len(), 32);
+        assert_eq!(TraceId::parse(&hex), Some(id));
+        assert_eq!(
+            TraceId::parse("0000000000000000000000000000002a"),
+            Some(TraceId(42))
+        );
+        assert_eq!(TraceId::parse("2a"), Some(TraceId(42)));
+    }
+
+    #[test]
+    fn parse_rejects_zero_empty_overlong_and_nonhex() {
+        assert_eq!(TraceId::parse(""), None);
+        assert_eq!(TraceId::parse("0"), None);
+        assert_eq!(TraceId::parse(&"0".repeat(32)), None);
+        assert_eq!(TraceId::parse(&"f".repeat(33)), None);
+        assert_eq!(TraceId::parse("xyz"), None);
+    }
+
+    #[test]
+    fn enter_nests_and_restores() {
+        assert_eq!(current(), None);
+        let outer = TraceContext::new();
+        let guard = enter(outer);
+        assert_eq!(current(), Some(outer));
+        {
+            let inner = TraceContext {
+                trace_id: TraceId(7),
+                parent_span: 9,
+            };
+            let _inner_guard = enter(inner);
+            assert_eq!(current(), Some(inner));
+        }
+        assert_eq!(current(), Some(outer));
+        drop(guard);
+        assert_eq!(current(), None);
+    }
+}

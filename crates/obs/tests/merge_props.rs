@@ -1,0 +1,124 @@
+//! Property tests for the mergeable histogram representation: merging N
+//! shard snapshots must be indistinguishable from one histogram fed the
+//! concatenated samples, and exemplar rings must never exceed their cap.
+//!
+//! `statleak-obs` is zero-dependency, so the randomness is a hand-rolled
+//! SplitMix64 generator with fixed seeds (deterministic, CI-stable).
+
+use statleak_obs::metrics::{Registry, EXEMPLAR_CAP};
+use statleak_obs::{trace, HistogramSnapshot};
+
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A value spread across the full bucket range: uniform bit width,
+    /// then uniform bits, so low buckets and the overflow bucket are all
+    /// exercised.
+    fn sample(&mut self) -> u64 {
+        let width = self.next() % 65; // 0..=64 significant bits
+        if width == 0 {
+            0
+        } else {
+            self.next() >> (64 - width)
+        }
+    }
+}
+
+#[test]
+fn merging_shards_equals_one_histogram_of_concatenated_samples() {
+    let mut rng = Rng(0xDEC0DE);
+    for case in 0..50 {
+        let shards = 1 + (rng.next() % 8) as usize;
+        let registry = Registry::new();
+        let whole = registry.histogram("whole");
+        let shard_names: Vec<&'static str> = (0..shards)
+            .map(|s| {
+                // Registry keys are &'static str; leak the tiny name.
+                Box::leak(format!("shard_{s}").into_boxed_str()) as &'static str
+            })
+            .collect();
+        for &name in &shard_names {
+            let shard = registry.histogram(name);
+            let samples = rng.next() % 200;
+            for _ in 0..samples {
+                let v = rng.sample();
+                shard.record(v);
+                whole.record(v);
+            }
+        }
+        let snapshot = registry.snapshot();
+        let by_name = |n: &str| {
+            snapshot
+                .histograms
+                .iter()
+                .find(|h| h.name == n)
+                .unwrap()
+                .clone()
+        };
+        let mut merged = HistogramSnapshot::empty("whole".to_string());
+        for &name in &shard_names {
+            merged.merge(&by_name(name));
+        }
+        let expected = by_name("whole");
+        assert_eq!(merged.count, expected.count, "case {case}: count");
+        assert_eq!(merged.sum, expected.sum, "case {case}: sum");
+        assert_eq!(merged.buckets, expected.buckets, "case {case}: buckets");
+        assert_eq!(merged, expected, "case {case}: full snapshot");
+        // Merge is order-insensitive.
+        let mut reversed = HistogramSnapshot::empty("whole".to_string());
+        for &name in shard_names.iter().rev() {
+            reversed.merge(&by_name(name));
+        }
+        assert_eq!(reversed, expected, "case {case}: reversed merge order");
+    }
+}
+
+#[test]
+fn exemplar_rings_never_exceed_cap_under_random_traced_loads() {
+    let mut rng = Rng(0xE7E7);
+    for case in 0..30 {
+        let registry = Registry::new();
+        let h = registry.histogram("ring");
+        let ops = rng.next() % 300;
+        for _ in 0..ops {
+            if rng.next().is_multiple_of(3) {
+                h.record(rng.sample()); // untraced: must not add exemplars
+            } else {
+                let _guard = trace::enter(trace::TraceContext::new());
+                h.record_traced(rng.sample());
+            }
+            assert!(
+                h.exemplars().len() <= EXEMPLAR_CAP,
+                "case {case}: ring overflowed"
+            );
+        }
+        let snapshot = registry.snapshot().histograms[0].clone();
+        assert!(snapshot.exemplars.len() <= EXEMPLAR_CAP);
+    }
+}
+
+#[test]
+fn merged_exemplars_stay_capped() {
+    let registry = Registry::new();
+    let a = registry.histogram("a");
+    let b = registry.histogram("b");
+    let _guard = trace::enter(trace::TraceContext::new());
+    for v in 0..10 {
+        a.record_traced(v);
+        b.record_traced(v + 100);
+    }
+    let snapshot = registry.snapshot();
+    let mut merged = snapshot.histograms[0].clone();
+    merged.merge(&snapshot.histograms[1]);
+    assert_eq!(merged.exemplars.len(), EXEMPLAR_CAP);
+    // The newest exemplars (from the later-merged shard) survive.
+    assert!(merged.exemplars.iter().all(|e| e.value >= 100));
+}

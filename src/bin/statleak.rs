@@ -24,14 +24,28 @@
 //! statleak serve [--addr A] [--workers N] [--queue-depth N]
 //!                [--cache-capacity N] [--deadline-ms N]
 //!                [--store-dir DIR] [--ring N1,N2,..] [--self-node N]
-//!                [--ring-replicas N]
+//!                [--ring-replicas N] [--access-log FILE]
+//!                [--access-log-max-bytes N]
 //!     Run the newline-delimited-JSON analysis daemon (see
 //!     docs/SERVE_PROTOCOL.md). Drains gracefully on SIGTERM/SIGINT.
 //!     `--store-dir` persists results so restarts come back warm;
-//!     `--ring`/`--self-node` enable coordinator-free fleet sharding.
+//!     `--ring`/`--self-node` enable coordinator-free fleet sharding;
+//!     `--access-log` streams one size-rotated NDJSON audit record per
+//!     request (and per batch item) with its trace id and outcome.
 //!
-//! statleak call --addr A --json REQUEST
+//! statleak call --addr A --json REQUEST [--trace] [--trace-id HEX]
 //!     Send one request line to a running daemon and print the response.
+//!     `--trace` originates a fresh 128-bit trace id (printed to stderr)
+//!     and attaches it to the request; `--trace-id` joins an existing
+//!     trace instead. The id then appears in the server's response,
+//!     access log, spans, and histogram exemplars.
+//!
+//! statleak top --ring A1,A2,.. [--interval-ms N] [--once] [--json]
+//!     Poll `metrics` from every fleet node and render a refreshing
+//!     per-node + fleet-total table (throughput, queue-wait and service
+//!     quantiles, cache/store hit rates). Counters add and histograms
+//!     merge losslessly. `--once` polls a single round; `--json` (implies
+//!     --once) prints the merged snapshot as JSON.
 //!
 //! statleak trace INPUT [--slack-factor F] [--eta E] [--mc-samples N]
 //!                [--top K]
@@ -42,7 +56,9 @@
 //! Global flags (any command): `--trace FILE` appends every span/event as
 //! NDJSON to FILE; `--log-level error|warn|info|debug|trace` sets the
 //! stderr log threshold. The `STATLEAK_TRACE` / `STATLEAK_LOG`
-//! environment variables are the equivalent defaults.
+//! environment variables are the equivalent defaults. For `call`,
+//! `--trace` is that command's boolean flag instead (see above); use
+//! `STATLEAK_TRACE` to capture spans there.
 //!
 //! `--input` accepts `.bench` (ISCAS85/89; DFFs are cut) or structural
 //! Verilog (`.v`/`.verilog`, any case), or the name of a built-in
@@ -100,11 +116,14 @@ fn setup_observability(args: &mut Vec<String>) -> Result<Option<String>, Statlea
         move |e: std::io::Error| StatleakError::Io { path, source: e }
     };
     obs::init_from_env().map_err(io_err("STATLEAK_TRACE"))?;
+    // `call` owns `--trace` as its boolean "originate a trace id" flag;
+    // everywhere else it is the global NDJSON span-trace file flag.
+    let call_owns_trace = args.first().map(String::as_str) == Some("call");
     let mut trace: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         let flag = args[i].clone();
-        if flag != "--trace" && flag != "--log-level" {
+        if flag != "--trace" && flag != "--log-level" || (flag == "--trace" && call_owns_trace) {
             i += 1;
             continue;
         }
@@ -149,6 +168,7 @@ fn run(args: &[String], trace_file: Option<&str>) -> Result<(), StatleakError> {
         "export-lib" => cmd_export_lib(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
         "call" => cmd_call(&args[1..]),
+        "top" => cmd_top(&args[1..]),
         "trace" => cmd_trace(&args[1..], trace_file),
         "help" => {
             print_usage();
@@ -177,7 +197,9 @@ fn print_usage() {
          \x20 serve     [--addr A] [--workers N] [--queue-depth N]\n\
          \x20           [--cache-capacity N] [--deadline-ms N] [--store-dir DIR]\n\
          \x20           [--ring N1,N2,..] [--self-node N] [--ring-replicas N]\n\
-         \x20 call      --addr A --json REQUEST\n\
+         \x20           [--access-log FILE] [--access-log-max-bytes N]\n\
+         \x20 call      --addr A --json REQUEST [--trace] [--trace-id HEX]\n\
+         \x20 top       --ring A1,A2,.. [--interval-ms N] [--once] [--json]\n\
          \x20 trace     INPUT [--slack-factor F] [--eta E] [--mc-samples N] [--top K]\n\
          \n\
          global flags: --trace FILE (NDJSON span trace), --log-level LEVEL\n\
@@ -577,6 +599,8 @@ fn cmd_serve(args: &[String]) -> Result<(), StatleakError> {
             "--ring",
             "--self-node",
             "--ring-replicas",
+            "--access-log",
+            "--access-log-max-bytes",
         ],
         &[],
     )?;
@@ -640,6 +664,22 @@ fn cmd_serve(args: &[String]) -> Result<(), StatleakError> {
         }
         config.ring_replicas = v;
     }
+    if let Some(path) = flags.get("--access-log") {
+        config.access_log = Some(path.clone());
+    }
+    if let Some(v) = get_parsed::<u64>(&flags, "--access-log-max-bytes")? {
+        if !flags.contains_key("--access-log") {
+            return Err(StatleakError::Usage(
+                "`--access-log-max-bytes` requires `--access-log`".into(),
+            ));
+        }
+        if v == 0 {
+            return Err(StatleakError::Usage(
+                "`--access-log-max-bytes` must be at least 1".into(),
+            ));
+        }
+        config.access_log_max_bytes = v;
+    }
 
     install_shutdown_handler();
     let server = Server::bind(&config, &SHUTDOWN).map_err(|e| StatleakError::Io {
@@ -670,7 +710,7 @@ fn cmd_serve(args: &[String]) -> Result<(), StatleakError> {
 fn cmd_call(args: &[String]) -> Result<(), StatleakError> {
     use std::io::{BufRead, BufReader, Write};
 
-    let flags = parse_flags(args, &["--addr", "--json"], &[])?;
+    let flags = parse_flags(args, &["--addr", "--json", "--trace-id"], &["--trace"])?;
     let addr = flags
         .get("--addr")
         .ok_or_else(|| StatleakError::Usage("missing --addr".into()))?;
@@ -682,6 +722,42 @@ fn cmd_call(args: &[String]) -> Result<(), StatleakError> {
             "`--json` must be a single line (the protocol is one request per line)".into(),
         ));
     }
+    // Originate (or join) a trace: attach the id to the request so the
+    // server's spans, access log, and exemplars all carry it, and print
+    // it to stderr so the caller can grep for it fleet-wide.
+    let trace_id = match flags.get("--trace-id") {
+        Some(hex) => Some(obs::TraceId::parse(hex).ok_or_else(|| {
+            StatleakError::Usage(format!(
+                "`--trace-id` must be 1-32 nonzero hex digits, got `{hex}`"
+            ))
+        })?),
+        None if flags.contains_key("--trace") => Some(obs::TraceId::generate()),
+        None => None,
+    };
+    let request = match trace_id {
+        None => request.clone(),
+        Some(id) => {
+            let parsed = Json::parse(request)
+                .map_err(|e| StatleakError::Usage(format!("`--json` is not valid JSON: {e}")))?;
+            let Json::Obj(mut pairs) = parsed else {
+                return Err(StatleakError::Usage(
+                    "`--json` must be a JSON object to attach a trace".into(),
+                ));
+            };
+            if pairs.iter().any(|(k, _)| k == "trace") {
+                return Err(StatleakError::Usage(
+                    "request already has a `trace` field; drop --trace/--trace-id".into(),
+                ));
+            }
+            pairs.push((
+                "trace".to_string(),
+                Json::obj(vec![("trace_id", Json::str(id.to_hex()))]),
+            ));
+            eprintln!("trace {}", id.to_hex());
+            Json::Obj(pairs).to_string()
+        }
+    };
+    let request = &request;
     let io_err = |e: std::io::Error| StatleakError::Io {
         path: addr.clone(),
         source: e,
@@ -724,6 +800,285 @@ fn cmd_call(args: &[String]) -> Result<(), StatleakError> {
         class: field("class"),
         message: field("message"),
     })
+}
+
+/// One node's decoded `metrics` response (or the error polling it).
+struct NodePoll {
+    node: String,
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, obs::HistogramSnapshot>,
+    error: Option<String>,
+}
+
+impl NodePoll {
+    fn failed(node: &str, error: String) -> NodePoll {
+        NodePoll {
+            node: node.to_string(),
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            histograms: BTreeMap::new(),
+            error: Some(error),
+        }
+    }
+
+    fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+}
+
+/// Sends one `metrics` request to `addr` and decodes the snapshot.
+fn poll_node(addr: &str) -> NodePoll {
+    use std::io::{BufRead, BufReader, Write};
+    let attempt = || -> Result<NodePoll, String> {
+        let mut stream = std::net::TcpStream::connect(addr).map_err(|e| e.to_string())?;
+        stream
+            .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+            .map_err(|e| e.to_string())?;
+        stream
+            .write_all(b"{\"op\":\"metrics\"}\n")
+            .and_then(|()| stream.flush())
+            .map_err(|e| e.to_string())?;
+        let mut line = String::new();
+        BufReader::new(stream)
+            .read_line(&mut line)
+            .map_err(|e| e.to_string())?;
+        let parsed = Json::parse(line.trim()).map_err(|e| format!("unparsable response: {e}"))?;
+        if parsed.get("ok").and_then(Json::as_bool) != Some(true) {
+            return Err(format!("metrics request failed: {}", line.trim()));
+        }
+        let data = parsed.get("data").ok_or("response has no data")?;
+        let entries = |section: &str| -> Vec<(String, Json)> {
+            match data.get(section) {
+                Some(Json::Obj(pairs)) => pairs.clone(),
+                _ => Vec::new(),
+            }
+        };
+        let mut poll = NodePoll::failed(addr, String::new());
+        poll.error = None;
+        for (name, v) in entries("counters") {
+            poll.counters.insert(name, v.as_f64().unwrap_or(0.0) as u64);
+        }
+        for (name, v) in entries("gauges") {
+            poll.gauges.insert(name, v.as_f64().unwrap_or(0.0));
+        }
+        for (name, v) in entries("histograms") {
+            let h = statleak::engine::proto::parse_histogram_json(&name, &v)?;
+            poll.histograms.insert(name, h);
+        }
+        Ok(poll)
+    };
+    attempt().unwrap_or_else(|e| NodePoll::failed(addr, e))
+}
+
+/// Adds every node's counters/gauges and merges its histograms into one
+/// fleet-total poll. Counter addition and histogram merging are lossless,
+/// so the fleet totals equal what a single node would have reported had
+/// it served every request.
+fn merge_polls(nodes: &[NodePoll]) -> NodePoll {
+    let mut fleet = NodePoll::failed("fleet", String::new());
+    fleet.error = None;
+    for poll in nodes.iter().filter(|p| p.error.is_none()) {
+        for (name, v) in &poll.counters {
+            *fleet.counters.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, v) in &poll.gauges {
+            *fleet.gauges.entry(name.clone()).or_insert(0.0) += v;
+        }
+        for (name, h) in &poll.histograms {
+            fleet
+                .histograms
+                .entry(name.clone())
+                .or_insert_with(|| obs::HistogramSnapshot::empty(name.clone()))
+                .merge(h);
+        }
+    }
+    fleet
+}
+
+fn poll_json(poll: &NodePoll) -> Json {
+    let hist = |h: &obs::HistogramSnapshot| {
+        Json::obj(vec![
+            ("count", Json::Num(h.count as f64)),
+            ("sum", Json::Num(h.sum as f64)),
+            ("mean", Json::Num(h.mean)),
+            ("p50", Json::Num(h.p50)),
+            ("p95", Json::Num(h.p95)),
+            ("p99", Json::Num(h.p99)),
+        ])
+    };
+    let mut pairs = vec![("node", Json::str(poll.node.clone()))];
+    if let Some(e) = &poll.error {
+        pairs.push(("error", Json::str(e.clone())));
+        return Json::obj(pairs);
+    }
+    pairs.push((
+        "counters",
+        Json::Obj(
+            poll.counters
+                .iter()
+                .map(|(k, &v)| (k.clone(), Json::Num(v as f64)))
+                .collect(),
+        ),
+    ));
+    pairs.push((
+        "gauges",
+        Json::Obj(
+            poll.gauges
+                .iter()
+                .map(|(k, &v)| (k.clone(), Json::Num(v)))
+                .collect(),
+        ),
+    ));
+    pairs.push((
+        "histograms",
+        Json::Obj(
+            poll.histograms
+                .iter()
+                .map(|(k, h)| (k.clone(), hist(h)))
+                .collect(),
+        ),
+    ));
+    Json::obj(pairs)
+}
+
+/// One rendered table row; `rate` is requests/s since the previous poll
+/// (None in `--once` mode, where there is no previous poll).
+fn render_row(poll: &NodePoll, rate: Option<f64>) -> String {
+    if let Some(e) = &poll.error {
+        return format!("{:<22} DOWN: {e}", poll.node);
+    }
+    let ratio = |hit: u64, miss: u64| {
+        let total = hit + miss;
+        if total == 0 {
+            "   -".to_string()
+        } else {
+            format!("{:3.0}%", 100.0 * hit as f64 / total as f64)
+        }
+    };
+    let quantiles = |name: &str| match poll.histograms.get(name) {
+        Some(h) if h.count > 0 => format!("{:>7.2}/{:<7.2}", h.p50 / 1e6, h.p99 / 1e6),
+        _ => format!("{:>7}/{:<7}", "-", "-"),
+    };
+    let rate = match rate {
+        Some(r) => format!("{r:7.1}"),
+        None => format!("{:>7}", "-"),
+    };
+    format!(
+        "{:<22} {:>8} {rate} {} {} {:>15} {:>15}",
+        poll.node,
+        poll.counter("serve_requests_total"),
+        ratio(
+            poll.counter("engine_cache_hits_total"),
+            poll.counter("engine_cache_misses_total"),
+        ),
+        ratio(
+            poll.counter("store_hits_total"),
+            poll.counter("store_misses_total"),
+        ),
+        quantiles("serve_queue_wait_ns"),
+        quantiles("serve_service_ns"),
+    )
+}
+
+fn cmd_top(args: &[String]) -> Result<(), StatleakError> {
+    use std::io::Write;
+
+    let flags = parse_flags(args, &["--ring", "--interval-ms"], &["--once", "--json"])?;
+    let ring = flags
+        .get("--ring")
+        .ok_or_else(|| StatleakError::Usage("missing --ring (comma-separated addresses)".into()))?;
+    let nodes: Vec<String> = ring
+        .split(',')
+        .map(str::trim)
+        .filter(|n| !n.is_empty())
+        .map(str::to_string)
+        .collect();
+    if nodes.is_empty() {
+        return Err(StatleakError::Usage(
+            "`--ring` needs at least one address".into(),
+        ));
+    }
+    let interval = std::time::Duration::from_millis(
+        get_parsed::<u64>(&flags, "--interval-ms")?
+            .unwrap_or(2000)
+            .max(100),
+    );
+    let json = flags.contains_key("--json");
+    let once = flags.contains_key("--once") || json;
+
+    let mut previous: Option<Vec<NodePoll>> = None;
+    loop {
+        let polls: Vec<NodePoll> = nodes.iter().map(|n| poll_node(n)).collect();
+        let fleet = merge_polls(&polls);
+        if json {
+            let out = Json::obj(vec![
+                ("nodes", Json::Arr(polls.iter().map(poll_json).collect())),
+                ("fleet", poll_json(&fleet)),
+            ]);
+            println!("{out}");
+        } else {
+            let mut screen = String::new();
+            if !once {
+                // ANSI clear + home: redraw in place each interval.
+                screen.push_str("\x1b[2J\x1b[H");
+            }
+            screen.push_str(&format!(
+                "statleak fleet: {} node(s), {} up\n{:<22} {:>8} {:>7} {:>4} {:>5} {:>15} {:>15}\n",
+                nodes.len(),
+                polls.iter().filter(|p| p.error.is_none()).count(),
+                "node",
+                "reqs",
+                "req/s",
+                "hit%",
+                "store",
+                "queue p50/p99ms",
+                "serve p50/p99ms",
+            ));
+            for (i, poll) in polls.iter().enumerate() {
+                let rate = previous.as_ref().and_then(|prev| {
+                    let before = prev.get(i)?;
+                    (before.error.is_none() && poll.error.is_none()).then(|| {
+                        poll.counter("serve_requests_total")
+                            .saturating_sub(before.counter("serve_requests_total"))
+                            as f64
+                            / interval.as_secs_f64()
+                    })
+                });
+                screen.push_str(&render_row(poll, rate));
+                screen.push('\n');
+            }
+            let fleet_rate = previous.as_ref().map(|prev| {
+                let before: u64 = prev.iter().map(|p| p.counter("serve_requests_total")).sum();
+                fleet
+                    .counters
+                    .get("serve_requests_total")
+                    .copied()
+                    .unwrap_or(0)
+                    .saturating_sub(before) as f64
+                    / interval.as_secs_f64()
+            });
+            screen.push_str(&render_row(&fleet, fleet_rate));
+            screen.push('\n');
+            print!("{screen}");
+            std::io::stdout().flush().ok();
+        }
+        if once {
+            // Every node down is an I/O failure, not a quiet empty table.
+            if polls.iter().all(|p| p.error.is_some()) {
+                return Err(StatleakError::Io {
+                    path: ring.clone(),
+                    source: std::io::Error::new(
+                        std::io::ErrorKind::ConnectionRefused,
+                        "no fleet node answered the metrics poll",
+                    ),
+                });
+            }
+            return Ok(());
+        }
+        previous = Some(polls);
+        std::thread::sleep(interval);
+    }
 }
 
 fn cmd_trace(args: &[String], trace_file: Option<&str>) -> Result<(), StatleakError> {

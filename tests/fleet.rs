@@ -1,0 +1,403 @@
+//! Fleet-level observability tests: trace-context propagation across a
+//! wrong-shard redirect, the request audit log, histogram exemplars and
+//! span streams joined by one trace id, and `statleak top` aggregation.
+
+use statleak::engine::ring::DEFAULT_REPLICAS;
+use statleak::engine::{proto, session_key, Json, Ring};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+struct Daemon {
+    child: Child,
+    addr: String,
+}
+
+impl Daemon {
+    /// Spawns `statleak serve` on an ephemeral port with extra flags and
+    /// environment, reading the resolved address from stdout.
+    fn spawn(extra: &[&str], env: &[(&str, &str)]) -> Daemon {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_statleak"));
+        cmd.arg("serve")
+            .args(["--addr", "127.0.0.1:0"])
+            .args(extra)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped());
+        for (k, v) in env {
+            cmd.env(k, v);
+        }
+        let mut child = cmd.spawn().expect("daemon starts");
+        let stdout = child.stdout.take().expect("stdout piped");
+        let mut line = String::new();
+        BufReader::new(stdout)
+            .read_line(&mut line)
+            .expect("daemon announces its address");
+        let addr = line
+            .trim()
+            .strip_prefix("serving on ")
+            .unwrap_or_else(|| panic!("unexpected announcement: {line:?}"))
+            .to_string();
+        Daemon { child, addr }
+    }
+
+    fn request(&self, line: &str) -> String {
+        let mut stream = TcpStream::connect(&self.addr).expect("connect");
+        stream
+            .write_all(format!("{line}\n").as_bytes())
+            .expect("send");
+        let mut response = String::new();
+        BufReader::new(stream)
+            .read_line(&mut response)
+            .expect("receive");
+        response.trim().to_string()
+    }
+
+    fn sigterm_and_wait(mut self) {
+        let delivered = Command::new("kill")
+            .args(["-TERM", &self.child.id().to_string()])
+            .status()
+            .expect("kill runs");
+        assert!(delivered.success(), "SIGTERM delivered");
+        let start = Instant::now();
+        loop {
+            if let Some(status) = self.child.try_wait().expect("wait") {
+                assert!(status.success(), "clean drain, got {status:?}");
+                return;
+            }
+            assert!(
+                start.elapsed() < Duration::from_secs(120),
+                "daemon did not drain"
+            );
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "statleak-fleet-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+/// Runs `statleak call`, returning (exit code, stdout, stderr).
+fn call(args: &[&str]) -> (i32, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_statleak"))
+        .arg("call")
+        .args(args)
+        .output()
+        .expect("call runs");
+    (
+        out.status.code().unwrap_or(-1),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+/// Extracts the `trace HEX` line `statleak call --trace` prints.
+fn trace_id_from_stderr(stderr: &str) -> String {
+    let hex = stderr
+        .lines()
+        .find_map(|l| l.strip_prefix("trace "))
+        .unwrap_or_else(|| panic!("no trace line in stderr: {stderr}"))
+        .trim()
+        .to_string();
+    assert_eq!(hex.len(), 32, "trace ids are 32 hex digits: {hex}");
+    hex
+}
+
+/// Polls until `path` contains `needle` (audit logs are flushed per write,
+/// but the write races the response).
+fn wait_for_log(path: &Path, needle: &str) -> String {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let text = std::fs::read_to_string(path).unwrap_or_default();
+        if text.contains(needle) {
+            return text;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "log {path:?} never contained {needle}; have:\n{text}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+#[test]
+fn one_trace_id_spans_a_wrong_shard_redirect_across_two_nodes() {
+    let dir = tmp_dir("redirect");
+    let log_a = dir.join("a.log");
+    let log_b = dir.join("b.log");
+    let a = Daemon::spawn(
+        &[
+            "--workers",
+            "1",
+            "--ring",
+            "na,nb",
+            "--self-node",
+            "na",
+            "--access-log",
+            log_a.to_str().unwrap(),
+        ],
+        &[],
+    );
+    let b = Daemon::spawn(
+        &[
+            "--workers",
+            "1",
+            "--ring",
+            "na,nb",
+            "--self-node",
+            "nb",
+            "--access-log",
+            log_b.to_str().unwrap(),
+        ],
+        &[],
+    );
+
+    // Resolve the c17 session's owner on the same logical ring the
+    // daemons use, so the test can aim the first request at the WRONG
+    // node deliberately.
+    let line = r#"{"id":"x","op":"comparison","benchmark":"c17","mc_samples":0}"#;
+    let request = proto::parse_request(line).expect("parse");
+    let cfg = proto::op_config(&request.op).expect("analysis op").clone();
+    let key = session_key(&cfg).expect("session key");
+    let ring = Ring::new(&["na".to_string(), "nb".to_string()], DEFAULT_REPLICAS).expect("ring");
+    let owner_is_a = ring.shard_of(key) == "na";
+    let (owner, other, owner_log, other_log) = if owner_is_a {
+        (&a, &b, &log_a, &log_b)
+    } else {
+        (&b, &a, &log_b, &log_a)
+    };
+
+    // Originate a trace at the client, aimed at the non-owner: the node
+    // rejects it wrong-shard, naming the owner, and logs the trace id.
+    let (code, stdout, stderr) = call(&["--addr", &other.addr, "--json", line, "--trace"]);
+    let hex = trace_id_from_stderr(&stderr);
+    assert_ne!(code, 0, "wrong-shard is an error: {stdout}");
+    assert!(stdout.contains(r#""class":"wrong-shard""#), "{stdout}");
+    assert!(stdout.contains(r#""trace_id""#), "{stdout}");
+
+    // Follow the redirect, joining the SAME trace.
+    let (code, stdout, _) = call(&["--addr", &owner.addr, "--json", line, "--trace-id", &hex]);
+    assert_eq!(code, 0, "{stdout}");
+    assert!(stdout.contains(r#""ok":true"#), "{stdout}");
+    assert!(
+        stdout.contains(&format!(r#""trace_id":"{hex}""#)),
+        "{stdout}"
+    );
+
+    // One trace id on both sides of the redirect: the rejecting node's
+    // audit log has a wrong-shard record, the owner's a cold serve.
+    let rejected = wait_for_log(other_log, &hex);
+    let rejected_line = rejected
+        .lines()
+        .find(|l| l.contains(&hex))
+        .expect("redirect audited");
+    assert!(
+        rejected_line.contains(r#""outcome":"wrong-shard""#),
+        "{rejected_line}"
+    );
+    let served = wait_for_log(owner_log, &hex);
+    let served_line = served
+        .lines()
+        .find(|l| l.contains(&hex))
+        .expect("serve audited");
+    assert!(served_line.contains(r#""outcome":"cold""#), "{served_line}");
+    assert!(served_line.contains(r#""service_ns""#), "{served_line}");
+
+    a.sigterm_and_wait();
+    b.sigterm_and_wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_traced_call_joins_audit_log_exemplars_and_spans_across_batch_fanout() {
+    let dir = tmp_dir("joined");
+    let access = dir.join("access.log");
+    let spans = dir.join("spans.ndjson");
+    let daemon = Daemon::spawn(
+        &["--workers", "2", "--access-log", access.to_str().unwrap()],
+        &[("STATLEAK_TRACE", spans.to_str().unwrap())],
+    );
+
+    // One traced batch: the client-originated id must fan out with it.
+    let batch = r#"{"id":"b","op":"batch","benchmark":"c17","mc_samples":0,"items":[{"op":"comparison"},{"op":"distribution","bins":8}]}"#;
+    let (code, stdout, stderr) = call(&["--addr", &daemon.addr, "--json", batch, "--trace"]);
+    assert_eq!(code, 0, "{stdout}\n{stderr}");
+    let hex = trace_id_from_stderr(&stderr);
+    assert!(
+        stdout.contains(&format!(r#""trace_id":"{hex}""#)),
+        "response echoes the trace id: {stdout}"
+    );
+
+    // Audit log: the batch envelope plus one record per fanned-out item,
+    // all under the one trace id.
+    let log = wait_for_log(&access, &hex);
+    let traced: Vec<&str> = log.lines().filter(|l| l.contains(&hex)).collect();
+    assert_eq!(traced.len(), 3, "envelope + 2 items:\n{log}");
+    assert!(
+        traced.iter().any(|l| l.contains(r#""op":"batch""#)),
+        "{log}"
+    );
+    assert_eq!(
+        traced
+            .iter()
+            .filter(|l| l.contains(r#""batch_index""#))
+            .count(),
+        2,
+        "{log}"
+    );
+
+    // Histogram exemplars: the metrics op surfaces at least one exemplar
+    // carrying this trace id (the ring holds the most recent traced
+    // observations, and nothing else traced has run).
+    let metrics = daemon.request(r#"{"id":"m","op":"metrics"}"#);
+    assert!(metrics.contains(r#""exemplars""#), "{metrics}");
+    assert!(
+        metrics.contains(&format!(r#""trace_id":"{hex}""#)),
+        "exemplar joins the trace: {metrics}"
+    );
+    // The Prometheus exposition carries them as comment lines.
+    let text = daemon.request(r#"{"id":"t","op":"metrics_text"}"#);
+    assert!(text.contains("# EXEMPLAR"), "{text}");
+    assert!(text.contains(&hex), "{text}");
+
+    // Span stream: drain the daemon (flushes every span buffer), then the
+    // NDJSON trace must show the request span AND the fanned-out item
+    // spans under the same trace id.
+    daemon.sigterm_and_wait();
+    let stream = std::fs::read_to_string(&spans).expect("span stream");
+    let traced: Vec<&str> = stream.lines().filter(|l| l.contains(&hex)).collect();
+    assert!(
+        traced
+            .iter()
+            .any(|l| l.contains(r#""name":"serve.process""#)),
+        "request span traced:\n{stream}"
+    );
+    assert!(
+        traced
+            .iter()
+            .filter(|l| l.contains(r#""name":"serve.batch_item""#))
+            .count()
+            >= 2,
+        "batch fan-out spans traced:\n{stream}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn top_once_json_reports_fleet_totals_equal_to_per_node_sums() {
+    let a = Daemon::spawn(&["--workers", "1"], &[]);
+    let b = Daemon::spawn(&["--workers", "1"], &[]);
+
+    // Uneven load so the totals are distinguishable: two analysis
+    // requests on node a, one on node b.
+    for _ in 0..2 {
+        let r = a.request(r#"{"id":1,"op":"comparison","benchmark":"c17","mc_samples":0}"#);
+        assert!(r.contains(r#""ok":true"#), "{r}");
+    }
+    let r = b.request(r#"{"id":1,"op":"comparison","benchmark":"c17","mc_samples":0}"#);
+    assert!(r.contains(r#""ok":true"#), "{r}");
+
+    let ring = format!("{},{}", a.addr, b.addr);
+    let out = Command::new(env!("CARGO_BIN_EXE_statleak"))
+        .args(["top", "--ring", &ring, "--once", "--json"])
+        .output()
+        .expect("top runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let report = Json::parse(stdout.trim()).expect("top emits JSON");
+
+    let nodes = report
+        .get("nodes")
+        .and_then(Json::as_arr)
+        .expect("nodes array");
+    assert_eq!(nodes.len(), 2, "{stdout}");
+    let fleet = report.get("fleet").expect("fleet section");
+
+    // Merged totals equal the sum of the per-node metrics, for counters
+    // and for merged histogram counts and sums alike.
+    for metric in ["serve_requests_total", "serve_served_total"] {
+        let per_node: f64 = nodes
+            .iter()
+            .map(|n| {
+                n.get("counters")
+                    .and_then(|c| c.get(metric))
+                    .and_then(Json::as_f64)
+                    .unwrap_or_else(|| panic!("node missing {metric}: {stdout}"))
+            })
+            .sum();
+        let total = fleet
+            .get("counters")
+            .and_then(|c| c.get(metric))
+            .and_then(Json::as_f64)
+            .unwrap_or_else(|| panic!("fleet missing {metric}: {stdout}"));
+        assert_eq!(total, per_node, "{metric}: {stdout}");
+        assert!(total > 0.0, "{metric} must have counted: {stdout}");
+    }
+    for field in ["count", "sum"] {
+        let per_node: f64 = nodes
+            .iter()
+            .map(|n| {
+                n.get("histograms")
+                    .and_then(|h| h.get("serve_service_ns"))
+                    .and_then(|h| h.get(field))
+                    .and_then(Json::as_f64)
+                    .unwrap_or_else(|| panic!("node histogram missing {field}: {stdout}"))
+            })
+            .sum();
+        let total = fleet
+            .get("histograms")
+            .and_then(|h| h.get("serve_service_ns"))
+            .and_then(|h| h.get(field))
+            .and_then(Json::as_f64)
+            .unwrap_or_else(|| panic!("fleet histogram missing {field}: {stdout}"));
+        assert_eq!(total, per_node, "histogram {field}: {stdout}");
+    }
+
+    // The cache-occupancy gauge is live on both nodes and sums.
+    let occupancy = fleet
+        .get("gauges")
+        .and_then(|g| g.get("engine_cache_sessions"))
+        .and_then(Json::as_f64)
+        .unwrap_or_else(|| panic!("fleet missing engine_cache_sessions: {stdout}"));
+    assert_eq!(occupancy, 2.0, "one session resident per node: {stdout}");
+
+    // Human-readable mode renders the per-node and fleet rows.
+    let table = Command::new(env!("CARGO_BIN_EXE_statleak"))
+        .args(["top", "--ring", &ring, "--once"])
+        .output()
+        .expect("top runs");
+    assert!(table.status.success());
+    let text = String::from_utf8_lossy(&table.stdout);
+    assert!(text.contains("fleet"), "{text}");
+    assert!(text.contains(&a.addr), "{text}");
+
+    // Every node down is a hard I/O error, not an empty success.
+    let dead = Command::new(env!("CARGO_BIN_EXE_statleak"))
+        .args(["top", "--ring", "127.0.0.1:1", "--once", "--json"])
+        .output()
+        .expect("top runs");
+    assert_eq!(dead.status.code(), Some(3), "io exit code");
+
+    a.sigterm_and_wait();
+    b.sigterm_and_wait();
+}
